@@ -1,0 +1,110 @@
+//! Criterion benchmarks for whole mining runs: the four paper algorithms
+//! on both data methods, plus the horizontal-vs-vertical counting
+//! ablation on a full run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ccs_bench::{paper_mining_params, DataMethod};
+use ccs_constraints::{AttributeTable, Constraint, ConstraintSet};
+use ccs_core::{
+    mine_with_strategy, run_bms, run_bms_batched, Algorithm, CorrelationQuery, CountingStrategy,
+};
+use ccs_itemset::HorizontalCounter;
+
+const N_ITEMS: u32 = 30;
+const N_BASKETS: usize = 1_000;
+
+fn query(constraints: ConstraintSet) -> CorrelationQuery {
+    CorrelationQuery { params: paper_mining_params(), constraints }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+    for method in DataMethod::both() {
+        let db = method.generate(N_ITEMS, N_BASKETS, 11);
+        let mut group = c.benchmark_group(format!("mine/{}", method.label()));
+        group.sample_size(10);
+        // Anti-monotone + succinct constraint at 50% selectivity — the
+        // Figure 1 configuration.
+        let cs = ConstraintSet::new().and(Constraint::max_le("price", N_ITEMS as f64 / 2.0));
+        for algo in Algorithm::paper_algorithms() {
+            group.bench_with_input(BenchmarkId::new("am_succinct", algo.name()), &algo, |b, &a| {
+                b.iter(|| {
+                    mine_with_strategy(
+                        black_box(&db),
+                        &attrs,
+                        &query(cs.clone()),
+                        a,
+                        CountingStrategy::Horizontal,
+                    )
+                    .unwrap()
+                })
+            });
+        }
+        // Monotone + succinct — the Figure 5/7 configuration.
+        let cs_m = ConstraintSet::new().and(Constraint::min_le("price", N_ITEMS as f64 / 2.0));
+        for algo in Algorithm::paper_algorithms() {
+            group.bench_with_input(BenchmarkId::new("mono_succinct", algo.name()), &algo, |b, &a| {
+                b.iter(|| {
+                    mine_with_strategy(
+                        black_box(&db),
+                        &attrs,
+                        &query(cs_m.clone()),
+                        a,
+                        CountingStrategy::Horizontal,
+                    )
+                    .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_counting_ablation(c: &mut Criterion) {
+    let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+    let db = DataMethod::Quest.generate(N_ITEMS, N_BASKETS, 11);
+    let cs = ConstraintSet::new().and(Constraint::max_le("price", N_ITEMS as f64 / 2.0));
+    let mut group = c.benchmark_group("mine/counting_ablation_bms_plus_plus");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("horizontal", CountingStrategy::Horizontal),
+        ("vertical", CountingStrategy::Vertical),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                mine_with_strategy(
+                    black_box(&db),
+                    &attrs,
+                    &query(cs.clone()),
+                    Algorithm::BmsPlusPlus,
+                    strategy,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_batching(c: &mut Criterion) {
+    // Per-set scans (the paper's cost model) vs one scan per level (the
+    // classic Apriori engine) on the identical BMS sweep.
+    let db = DataMethod::Quest.generate(N_ITEMS, N_BASKETS, 11);
+    let params = paper_mining_params();
+    let mut group = c.benchmark_group("mine/scan_batching_bms");
+    group.sample_size(10);
+    group.bench_function("per_set", |b| {
+        b.iter(|| {
+            let mut counter = HorizontalCounter::new(black_box(&db));
+            run_bms(&db, &params, &mut counter)
+        })
+    });
+    group.bench_function("per_level", |b| {
+        b.iter(|| run_bms_batched(black_box(&db), &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_counting_ablation, bench_scan_batching);
+criterion_main!(benches);

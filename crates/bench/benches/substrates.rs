@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for the substrate crates: tid-set algebra,
+//! contingency-table counting (horizontal vs vertical — the DESIGN.md §5
+//! counting ablation), chi-squared machinery, and candidate generation.
+
+use std::collections::HashSet;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ccs_bench::DataMethod;
+use ccs_itemset::{
+    candidate, HorizontalCounter, Itemset, MintermCounter, TidSet, VerticalCounter,
+};
+use ccs_stats::{chi2_quantile, ContingencyTable};
+
+fn bench_tidset(c: &mut Criterion) {
+    let n = 100_000;
+    let a = TidSet::from_ids(n, (0..n).step_by(3));
+    let b = TidSet::from_ids(n, (0..n).step_by(5));
+    c.bench_function("tidset/intersection_count_100k", |bench| {
+        bench.iter(|| black_box(&a).intersection_count(black_box(&b)))
+    });
+    c.bench_function("tidset/split_by_100k", |bench| {
+        bench.iter(|| black_box(&a).split_by(black_box(&b)))
+    });
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let db = DataMethod::Quest.generate(60, 5_000, 7);
+    let set3 = Itemset::from_ids([1, 5, 9]);
+    let mut group = c.benchmark_group("counting/table_3items_5k_baskets");
+    group.bench_function("horizontal", |bench| {
+        bench.iter(|| {
+            let mut counter = HorizontalCounter::new(&db);
+            black_box(counter.minterm_counts(black_box(&set3)))
+        })
+    });
+    // Vertical: index built once (as the miner does), tables amortized.
+    let mut vertical = VerticalCounter::new(&db);
+    group.bench_function("vertical_amortized", |bench| {
+        bench.iter(|| black_box(vertical.minterm_counts(black_box(&set3))))
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("stats/chi2_quantile_df4", |bench| {
+        bench.iter(|| black_box(chi2_quantile(black_box(0.9), black_box(4))))
+    });
+    let table = ContingencyTable::from_counts(
+        Itemset::from_ids([0, 1, 2]),
+        vec![500, 80, 70, 40, 60, 30, 20, 200],
+    );
+    c.bench_function("stats/chi_squared_8cells", |bench| {
+        bench.iter(|| black_box(&table).chi_squared())
+    });
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    // A level of 500 pairs over 50 items, as the miners see it.
+    let mut level: HashSet<Itemset> = HashSet::new();
+    for i in 0..50u32 {
+        for j in (i + 1)..50 {
+            if (i + j) % 3 != 0 {
+                level.insert(Itemset::from_ids([i, j]));
+            }
+        }
+    }
+    for size in [100usize, 400] {
+        let subset: HashSet<Itemset> = level.iter().take(size).cloned().collect();
+        c.bench_with_input(
+            BenchmarkId::new("candidate/apriori_gen", size),
+            &subset,
+            |bench, s| bench.iter(|| black_box(candidate::apriori_gen(black_box(s)))),
+        );
+    }
+}
+
+criterion_group!(benches, bench_tidset, bench_counting, bench_stats, bench_candidates);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (a, b) of the paper. See `ccs_bench::figures`.
+
+fn main() {
+    let args = ccs_bench::HarnessArgs::parse();
+    ccs_bench::figures::Figure::Fig1.run_and_save(&args);
+}

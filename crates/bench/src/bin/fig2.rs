@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 (a, b) of the paper. See `ccs_bench::figures`.
+
+fn main() {
+    let args = ccs_bench::HarnessArgs::parse();
+    ccs_bench::figures::Figure::Fig2.run_and_save(&args);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (a, b) of the paper. See `ccs_bench::figures`.
+
+fn main() {
+    let args = ccs_bench::HarnessArgs::parse();
+    ccs_bench::figures::Figure::Fig3.run_and_save(&args);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (a, b) of the paper. See `ccs_bench::figures`.
+
+fn main() {
+    let args = ccs_bench::HarnessArgs::parse();
+    ccs_bench::figures::Figure::Fig7.run_and_save(&args);
+}

@@ -1,0 +1,502 @@
+//! The constraint language: AST and evaluation.
+//!
+//! The constraint forms follow Lemma 1 of the paper (which itself draws on
+//! the language of Ng, Lakshmanan, Han & Pang, SIGMOD 1998):
+//!
+//! 1. `agg(S.A) θ c` with `agg ∈ {min, max, sum, count}`, `θ ∈ {≤, ≥}`,
+//!    and `A` a numeric attribute with non-negative domain,
+//! 2. `CS ⊆ S.A` / `CS ⊄ S.A` with `CS` a constant set of categories,
+//! 3. `CS ∩ S.A = ∅` / `CS ∩ S.A ≠ ∅`,
+//!
+//! plus two extensions used elsewhere in the paper: `|S.A| θ c` on the
+//! number of distinct attribute values (the shelf-planning constraint
+//! `|S.type| = 1` from §1) and `avg(S.A) θ c` (the future-work constraint
+//! of §6, which is neither monotone nor anti-monotone).
+//!
+//! `S.A` denotes the *set of attribute values* of the items of `S`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ccs_itemset::Itemset;
+
+use crate::attr::AttributeTable;
+
+/// An SQL-style aggregate over a numeric item attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Smallest attribute value among the set's items (`+∞` for `∅`).
+    Min,
+    /// Largest attribute value among the set's items (`-∞` for `∅`).
+    Max,
+    /// Sum of attribute values (`0` for `∅`).
+    Sum,
+    /// Number of items in the set (the attribute is irrelevant).
+    Count,
+}
+
+/// A comparison direction. Lemma 1 restricts aggregates to `≤` / `≥`;
+/// equality splits into one of each (one monotone, one anti-monotone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+}
+
+impl Cmp {
+    /// Applies the comparison.
+    #[inline]
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Le => lhs <= rhs,
+            Cmp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The opposite direction.
+    pub fn flip(self) -> Cmp {
+        match self {
+            Cmp::Le => Cmp::Ge,
+            Cmp::Ge => Cmp::Le,
+        }
+    }
+}
+
+/// A single constraint on an itemset `S`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `agg(S.A) θ c`.
+    Agg {
+        /// The aggregate function.
+        agg: AggFn,
+        /// Numeric attribute name (ignored for `Count`).
+        attr: String,
+        /// Comparison direction.
+        cmp: Cmp,
+        /// The constant bound `c`.
+        value: f64,
+    },
+    /// `CS ⊆ S.A` (`negated: false`) or `CS ⊄ S.A` (`negated: true`):
+    /// the set of categories of `S`'s items must (not) cover `CS`.
+    ConstSubset {
+        /// Categorical attribute name.
+        attr: String,
+        /// The constant category-id set `CS`.
+        categories: BTreeSet<u32>,
+        /// `true` for the `⊄` form.
+        negated: bool,
+    },
+    /// `CS ∩ S.A = ∅` (`negated: false`) or `CS ∩ S.A ≠ ∅`
+    /// (`negated: true`).
+    Disjoint {
+        /// Categorical attribute name.
+        attr: String,
+        /// The constant category-id set `CS`.
+        categories: BTreeSet<u32>,
+        /// `true` for the `≠ ∅` form.
+        negated: bool,
+    },
+    /// `|S.A| θ c`: the number of *distinct* categories among `S`'s items.
+    CountDistinct {
+        /// Categorical attribute name.
+        attr: String,
+        /// Comparison direction.
+        cmp: Cmp,
+        /// The bound on the number of distinct categories.
+        value: u64,
+    },
+    /// `avg(S.A) θ c` — neither monotone nor anti-monotone (§6 of the
+    /// paper). Supported in evaluation and by the naive miner only; the
+    /// level-wise miners reject queries containing it.
+    Avg {
+        /// Numeric attribute name.
+        attr: String,
+        /// Comparison direction.
+        cmp: Cmp,
+        /// The constant bound `c`.
+        value: f64,
+    },
+    /// `CS ⊆ S` (`negated: false`) or `CS ⊄ S` (`negated: true`) over
+    /// raw item ids — the paper's domain constraints on `S` itself
+    /// (e.g. "must include item 7").
+    ItemSubset {
+        /// The constant item-id set `CS`.
+        items: BTreeSet<u32>,
+        /// `true` for the `⊄` form.
+        negated: bool,
+    },
+    /// `CS ∩ S = ∅` (`negated: false`) or `CS ∩ S ≠ ∅`
+    /// (`negated: true`) over raw item ids.
+    ItemDisjoint {
+        /// The constant item-id set `CS`.
+        items: BTreeSet<u32>,
+        /// `true` for the `≠ ∅` form.
+        negated: bool,
+    },
+}
+
+/// An error found when validating constraints against an attribute table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// A numeric attribute referenced by a constraint is not registered.
+    UnknownNumericAttr(String),
+    /// A categorical attribute referenced by a constraint is not
+    /// registered.
+    UnknownCategoricalAttr(String),
+    /// A numeric attribute has negative values, violating the
+    /// non-negative-domain requirement of Lemma 1 for `sum`.
+    NegativeDomain(String),
+    /// An item-level constraint mentions an id outside the universe.
+    ItemOutOfUniverse {
+        /// The offending item id.
+        item: u32,
+        /// The universe size.
+        n_items: u32,
+    },
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::UnknownNumericAttr(a) => {
+                write!(f, "unknown numeric attribute '{a}'")
+            }
+            ConstraintError::UnknownCategoricalAttr(a) => {
+                write!(f, "unknown categorical attribute '{a}'")
+            }
+            ConstraintError::NegativeDomain(a) => {
+                write!(f, "attribute '{a}' has negative values; sum constraints require a non-negative domain")
+            }
+            ConstraintError::ItemOutOfUniverse { item, n_items } => {
+                write!(f, "item {item} outside universe 0..{n_items}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl Constraint {
+    /// Convenience constructor: `agg(S.attr) θ c`.
+    pub fn agg(agg: AggFn, attr: impl Into<String>, cmp: Cmp, value: f64) -> Self {
+        Constraint::Agg { agg, attr: attr.into(), cmp, value }
+    }
+
+    /// Convenience constructor: `max(S.attr) ≤ c` — the anti-monotone +
+    /// succinct workhorse of the paper's experiments.
+    pub fn max_le(attr: impl Into<String>, value: f64) -> Self {
+        Self::agg(AggFn::Max, attr, Cmp::Le, value)
+    }
+
+    /// Convenience constructor: `sum(S.attr) ≤ c` — anti-monotone, not
+    /// succinct.
+    pub fn sum_le(attr: impl Into<String>, value: f64) -> Self {
+        Self::agg(AggFn::Sum, attr, Cmp::Le, value)
+    }
+
+    /// Convenience constructor: `min(S.attr) ≥ c` — anti-monotone +
+    /// succinct.
+    pub fn min_ge(attr: impl Into<String>, value: f64) -> Self {
+        Self::agg(AggFn::Min, attr, Cmp::Ge, value)
+    }
+
+    /// Convenience constructor: `min(S.attr) ≤ c` — monotone + succinct
+    /// (the constraint of Figures 5–8 of the paper, there written
+    /// `min(S.price) ≥ v` over the *complement* selectivity; see
+    /// `ccs-bench`).
+    pub fn min_le(attr: impl Into<String>, value: f64) -> Self {
+        Self::agg(AggFn::Min, attr, Cmp::Le, value)
+    }
+
+    /// Convenience constructor: `max(S.attr) ≥ c` — monotone + succinct.
+    pub fn max_ge(attr: impl Into<String>, value: f64) -> Self {
+        Self::agg(AggFn::Max, attr, Cmp::Ge, value)
+    }
+
+    /// Convenience constructor: `sum(S.attr) ≥ c` — monotone, not
+    /// succinct.
+    pub fn sum_ge(attr: impl Into<String>, value: f64) -> Self {
+        Self::agg(AggFn::Sum, attr, Cmp::Ge, value)
+    }
+
+    /// Checks that every attribute the constraint mentions exists in
+    /// `attrs` with the right kind, and that `sum` domains are
+    /// non-negative.
+    pub fn validate(&self, attrs: &AttributeTable) -> Result<(), ConstraintError> {
+        match self {
+            Constraint::Agg { agg: AggFn::Count, .. } => Ok(()),
+            Constraint::Agg { agg, attr, .. } => {
+                let col = attrs
+                    .numeric(attr)
+                    .ok_or_else(|| ConstraintError::UnknownNumericAttr(attr.clone()))?;
+                if *agg == AggFn::Sum && col.iter().any(|&v| v < 0.0) {
+                    return Err(ConstraintError::NegativeDomain(attr.clone()));
+                }
+                Ok(())
+            }
+            Constraint::Avg { attr, .. } => attrs
+                .numeric(attr)
+                .map(|_| ())
+                .ok_or_else(|| ConstraintError::UnknownNumericAttr(attr.clone())),
+            Constraint::ConstSubset { attr, .. }
+            | Constraint::Disjoint { attr, .. }
+            | Constraint::CountDistinct { attr, .. } => attrs
+                .categorical(attr)
+                .map(|_| ())
+                .ok_or_else(|| ConstraintError::UnknownCategoricalAttr(attr.clone())),
+            Constraint::ItemSubset { items, .. } | Constraint::ItemDisjoint { items, .. } => {
+                match items.iter().find(|&&i| i >= attrs.n_items()) {
+                    Some(&item) => Err(ConstraintError::ItemOutOfUniverse {
+                        item,
+                        n_items: attrs.n_items(),
+                    }),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the constraint on `set`.
+    ///
+    /// Empty-set conventions keep the monotonicity laws intact:
+    /// `min(∅) = +∞`, `max(∅) = -∞`, `sum(∅) = 0`, `count(∅) = 0`,
+    /// `∅.A = ∅`. `avg(∅) θ c` is `false` (there is no average).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced attribute is missing; call
+    /// [`Constraint::validate`] first for a fallible check.
+    pub fn satisfied(&self, set: &Itemset, attrs: &AttributeTable) -> bool {
+        match self {
+            Constraint::Agg { agg, attr, cmp, value } => {
+                let lhs = match agg {
+                    AggFn::Count => set.len() as f64,
+                    AggFn::Min => set
+                        .iter()
+                        .map(|i| attrs.numeric_value(attr, i))
+                        .fold(f64::INFINITY, f64::min),
+                    AggFn::Max => set
+                        .iter()
+                        .map(|i| attrs.numeric_value(attr, i))
+                        .fold(f64::NEG_INFINITY, f64::max),
+                    AggFn::Sum => set.iter().map(|i| attrs.numeric_value(attr, i)).sum(),
+                };
+                cmp.eval(lhs, *value)
+            }
+            Constraint::Avg { attr, cmp, value } => {
+                if set.is_empty() {
+                    return false;
+                }
+                let sum: f64 = set.iter().map(|i| attrs.numeric_value(attr, i)).sum();
+                cmp.eval(sum / set.len() as f64, *value)
+            }
+            Constraint::ConstSubset { attr, categories, negated } => {
+                let covered = categories
+                    .iter()
+                    .all(|&c| set.iter().any(|i| attrs.category_of(attr, i) == c));
+                covered != *negated
+            }
+            Constraint::Disjoint { attr, categories, negated } => {
+                let intersects = set.iter().any(|i| categories.contains(&attrs.category_of(attr, i)));
+                // negated = false means "must be disjoint".
+                intersects == *negated
+            }
+            Constraint::CountDistinct { attr, cmp, value } => {
+                let distinct: BTreeSet<u32> =
+                    set.iter().map(|i| attrs.category_of(attr, i)).collect();
+                cmp.eval(distinct.len() as f64, *value as f64)
+            }
+            Constraint::ItemSubset { items, negated } => {
+                let covered = items.iter().all(|&i| set.contains(ccs_itemset::Item::new(i)));
+                covered != *negated
+            }
+            Constraint::ItemDisjoint { items, negated } => {
+                let intersects = set.iter().any(|i| items.contains(&i.id()));
+                intersects == *negated
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFn::Min => write!(f, "min"),
+            AggFn::Max => write!(f, "max"),
+            AggFn::Sum => write!(f, "sum"),
+            AggFn::Count => write!(f, "count"),
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Le => write!(f, "<="),
+            Cmp::Ge => write!(f, ">="),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Agg { agg, attr, cmp, value } => {
+                write!(f, "{agg}(S.{attr}) {cmp} {value}")
+            }
+            Constraint::Avg { attr, cmp, value } => write!(f, "avg(S.{attr}) {cmp} {value}"),
+            Constraint::ConstSubset { attr, categories, negated } => {
+                let op = if *negated { "not subset" } else { "subset" };
+                write!(f, "{categories:?} {op} S.{attr}")
+            }
+            Constraint::Disjoint { attr, categories, negated } => {
+                let op = if *negated { "intersects" } else { "disjoint" };
+                write!(f, "{categories:?} {op} S.{attr}")
+            }
+            Constraint::CountDistinct { attr, cmp, value } => {
+                write!(f, "|S.{attr}| {cmp} {value}")
+            }
+            Constraint::ItemSubset { items, negated } => {
+                let op = if *negated { "not subset" } else { "subset" };
+                write!(f, "{items:?} {op} S")
+            }
+            Constraint::ItemDisjoint { items, negated } => {
+                let op = if *negated { "intersects" } else { "disjoint" };
+                write!(f, "{items:?} {op} S")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_itemset::Itemset;
+
+    fn attrs() -> AttributeTable {
+        let mut t = AttributeTable::new(5);
+        // prices 1..=5, types: soda, soda, snack, dairy, dairy
+        t.add_numeric("price", vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        t.add_categorical("type", &["soda", "soda", "snack", "dairy", "dairy"]);
+        t
+    }
+
+    fn cat_ids(attrs: &AttributeTable, labels: &[&str]) -> BTreeSet<u32> {
+        let col = attrs.categorical("type").unwrap();
+        labels.iter().map(|l| col.id_of(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn aggregate_evaluation() {
+        let a = attrs();
+        let s = Itemset::from_ids([0, 2, 4]); // prices 1, 3, 5
+        assert!(Constraint::max_le("price", 5.0).satisfied(&s, &a));
+        assert!(!Constraint::max_le("price", 4.0).satisfied(&s, &a));
+        assert!(Constraint::min_ge("price", 1.0).satisfied(&s, &a));
+        assert!(!Constraint::min_ge("price", 2.0).satisfied(&s, &a));
+        assert!(Constraint::sum_le("price", 9.0).satisfied(&s, &a));
+        assert!(!Constraint::sum_le("price", 8.0).satisfied(&s, &a));
+        assert!(Constraint::sum_ge("price", 9.0).satisfied(&s, &a));
+        assert!(Constraint::agg(AggFn::Count, "price", Cmp::Le, 3.0).satisfied(&s, &a));
+        assert!(!Constraint::agg(AggFn::Count, "price", Cmp::Ge, 4.0).satisfied(&s, &a));
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let a = attrs();
+        let e = Itemset::empty();
+        assert!(Constraint::max_le("price", 0.0).satisfied(&e, &a)); // max(∅) = -∞
+        assert!(!Constraint::max_ge("price", 0.0).satisfied(&e, &a));
+        assert!(Constraint::min_ge("price", 100.0).satisfied(&e, &a)); // min(∅) = +∞
+        assert!(!Constraint::min_le("price", 100.0).satisfied(&e, &a));
+        assert!(Constraint::sum_le("price", 0.0).satisfied(&e, &a)); // sum(∅) = 0
+        assert!(!Constraint::Avg { attr: "price".into(), cmp: Cmp::Le, value: 100.0 }
+            .satisfied(&e, &a));
+    }
+
+    #[test]
+    fn avg_constraint_evaluation() {
+        let a = attrs();
+        let s = Itemset::from_ids([0, 4]); // avg price 3
+        assert!(Constraint::Avg { attr: "price".into(), cmp: Cmp::Le, value: 3.0 }
+            .satisfied(&s, &a));
+        assert!(!Constraint::Avg { attr: "price".into(), cmp: Cmp::Ge, value: 3.5 }
+            .satisfied(&s, &a));
+    }
+
+    #[test]
+    fn const_subset_evaluation() {
+        let a = attrs();
+        let need = cat_ids(&a, &["soda", "dairy"]);
+        let c = Constraint::ConstSubset { attr: "type".into(), categories: need.clone(), negated: false };
+        assert!(c.satisfied(&Itemset::from_ids([0, 3]), &a)); // soda + dairy
+        assert!(!c.satisfied(&Itemset::from_ids([0, 2]), &a)); // soda + snack
+        let neg = Constraint::ConstSubset { attr: "type".into(), categories: need, negated: true };
+        assert!(!neg.satisfied(&Itemset::from_ids([0, 3]), &a));
+        assert!(neg.satisfied(&Itemset::from_ids([0, 2]), &a));
+    }
+
+    #[test]
+    fn disjoint_evaluation() {
+        let a = attrs();
+        let snacks = cat_ids(&a, &["snack"]);
+        let no_snacks =
+            Constraint::Disjoint { attr: "type".into(), categories: snacks.clone(), negated: false };
+        assert!(no_snacks.satisfied(&Itemset::from_ids([0, 1, 3]), &a));
+        assert!(!no_snacks.satisfied(&Itemset::from_ids([0, 2]), &a));
+        let some_snack =
+            Constraint::Disjoint { attr: "type".into(), categories: snacks, negated: true };
+        assert!(some_snack.satisfied(&Itemset::from_ids([2]), &a));
+        assert!(!some_snack.satisfied(&Itemset::from_ids([0]), &a));
+    }
+
+    #[test]
+    fn count_distinct_shelf_planning() {
+        let a = attrs();
+        // |S.type| <= 1: all items of a single type.
+        let single = Constraint::CountDistinct { attr: "type".into(), cmp: Cmp::Le, value: 1 };
+        assert!(single.satisfied(&Itemset::from_ids([0, 1]), &a)); // both soda
+        assert!(single.satisfied(&Itemset::from_ids([3, 4]), &a)); // both dairy
+        assert!(!single.satisfied(&Itemset::from_ids([0, 2]), &a));
+        assert!(single.satisfied(&Itemset::empty(), &a)); // 0 distinct ≤ 1
+    }
+
+    #[test]
+    fn validation_catches_missing_attributes() {
+        let a = attrs();
+        assert!(Constraint::max_le("price", 1.0).validate(&a).is_ok());
+        assert_eq!(
+            Constraint::max_le("weight", 1.0).validate(&a),
+            Err(ConstraintError::UnknownNumericAttr("weight".into()))
+        );
+        assert_eq!(
+            Constraint::CountDistinct { attr: "brand".into(), cmp: Cmp::Le, value: 1 }
+                .validate(&a),
+            Err(ConstraintError::UnknownCategoricalAttr("brand".into()))
+        );
+        // count ignores the attribute entirely.
+        assert!(Constraint::agg(AggFn::Count, "anything", Cmp::Le, 3.0).validate(&a).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_negative_sum_domain() {
+        let mut t = AttributeTable::new(2);
+        t.add_numeric("delta", vec![-1.0, 2.0]);
+        assert_eq!(
+            Constraint::sum_le("delta", 5.0).validate(&t),
+            Err(ConstraintError::NegativeDomain("delta".into()))
+        );
+        // min/max over negative domains are fine.
+        assert!(Constraint::max_le("delta", 5.0).validate(&t).is_ok());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Constraint::max_le("price", 10.0).to_string(), "max(S.price) <= 10");
+        assert_eq!(Constraint::sum_ge("price", 2.5).to_string(), "sum(S.price) >= 2.5");
+    }
+}

@@ -1,0 +1,232 @@
+//! [`AttributeTable`]: per-item attributes referenced by constraints.
+//!
+//! Constraints in the paper's language talk about *attributes* of items —
+//! `S.price` (numeric) and `S.type` (categorical) in all the examples. The
+//! attribute table is a column store keyed by attribute name: one `f64` or
+//! category id per item. Categorical values are interned so constraints
+//! compare small integers, with labels kept for display and parsing.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ccs_itemset::Item;
+
+/// An interned categorical column: one category id per item, plus the
+/// id → label dictionary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoricalColumn {
+    values: Vec<u32>,
+    labels: Vec<String>,
+}
+
+impl CategoricalColumn {
+    /// Category id of `item`.
+    #[inline]
+    pub fn value(&self, item: Item) -> u32 {
+        self.values[item.index()]
+    }
+
+    /// Label of a category id.
+    pub fn label(&self, id: u32) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Id of a label, if the label occurs in the column.
+    pub fn id_of(&self, label: &str) -> Option<u32> {
+        self.labels.iter().position(|l| l == label).map(|i| i as u32)
+    }
+
+    /// Number of distinct categories.
+    pub fn n_categories(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The raw id column.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+}
+
+/// Per-item attribute columns for a universe of `n_items` items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AttributeTable {
+    n_items: u32,
+    numeric: BTreeMap<String, Vec<f64>>,
+    categorical: BTreeMap<String, CategoricalColumn>,
+}
+
+impl AttributeTable {
+    /// An empty table for a universe of `n_items` items.
+    pub fn new(n_items: u32) -> Self {
+        AttributeTable { n_items, numeric: BTreeMap::new(), categorical: BTreeMap::new() }
+    }
+
+    /// Size of the item universe.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Registers a numeric column (e.g. `price`). Values must be finite and
+    /// there must be exactly one per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or non-finite values.
+    pub fn add_numeric(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        let name = name.into();
+        assert_eq!(
+            values.len(),
+            self.n_items as usize,
+            "numeric attribute '{name}' needs {} values, got {}",
+            self.n_items,
+            values.len()
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "numeric attribute '{name}' contains non-finite values"
+        );
+        self.numeric.insert(name, values);
+        self
+    }
+
+    /// Registers a categorical column (e.g. `type`) from one label per
+    /// item, interning the labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn add_categorical<S: AsRef<str>>(
+        &mut self,
+        name: impl Into<String>,
+        item_labels: &[S],
+    ) -> &mut Self {
+        let name = name.into();
+        assert_eq!(
+            item_labels.len(),
+            self.n_items as usize,
+            "categorical attribute '{name}' needs {} values, got {}",
+            self.n_items,
+            item_labels.len()
+        );
+        let mut labels: Vec<String> = Vec::new();
+        let mut ids: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut values = Vec::with_capacity(item_labels.len());
+        for l in item_labels {
+            let l = l.as_ref();
+            let id = *ids.entry(l).or_insert_with(|| {
+                labels.push(l.to_owned());
+                (labels.len() - 1) as u32
+            });
+            values.push(id);
+        }
+        self.categorical.insert(name, CategoricalColumn { values, labels });
+        self
+    }
+
+    /// The paper's standard experimental setup: `price of item i = i + 1`
+    /// (so the cheapest item costs $1 and prices are all distinct).
+    pub fn with_identity_prices(n_items: u32) -> Self {
+        let mut t = Self::new(n_items);
+        t.add_numeric("price", (0..n_items).map(|i| (i + 1) as f64).collect());
+        t
+    }
+
+    /// The numeric column `name`, if registered.
+    pub fn numeric(&self, name: &str) -> Option<&[f64]> {
+        self.numeric.get(name).map(|v| &v[..])
+    }
+
+    /// The categorical column `name`, if registered.
+    pub fn categorical(&self, name: &str) -> Option<&CategoricalColumn> {
+        self.categorical.get(name)
+    }
+
+    /// Numeric value of `item` under attribute `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute is not a registered numeric column. Call
+    /// [`AttributeTable::numeric`] first for a fallible lookup.
+    pub fn numeric_value(&self, name: &str, item: Item) -> f64 {
+        self.numeric
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown numeric attribute '{name}'"))[item.index()]
+    }
+
+    /// Category id of `item` under attribute `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute is not a registered categorical column.
+    pub fn category_of(&self, name: &str, item: Item) -> u32 {
+        self.categorical
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown categorical attribute '{name}'"))
+            .value(item)
+    }
+
+    /// Names of all registered numeric columns.
+    pub fn numeric_names(&self) -> impl Iterator<Item = &str> {
+        self.numeric.keys().map(|s| s.as_str())
+    }
+
+    /// Names of all registered categorical columns.
+    pub fn categorical_names(&self) -> impl Iterator<Item = &str> {
+        self.categorical.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_column_roundtrip() {
+        let mut t = AttributeTable::new(3);
+        t.add_numeric("price", vec![1.0, 2.5, 9.0]);
+        assert_eq!(t.numeric_value("price", Item(1)), 2.5);
+        assert_eq!(t.numeric("price").unwrap(), &[1.0, 2.5, 9.0]);
+        assert!(t.numeric("weight").is_none());
+        assert_eq!(t.numeric_names().collect::<Vec<_>>(), vec!["price"]);
+    }
+
+    #[test]
+    fn categorical_column_interns_labels() {
+        let mut t = AttributeTable::new(4);
+        t.add_categorical("type", &["soda", "snack", "soda", "dairy"]);
+        let col = t.categorical("type").unwrap();
+        assert_eq!(col.n_categories(), 3);
+        assert_eq!(col.value(Item(0)), col.value(Item(2)));
+        assert_ne!(col.value(Item(0)), col.value(Item(1)));
+        assert_eq!(col.label(col.value(Item(3))), "dairy");
+        assert_eq!(col.id_of("snack"), Some(col.value(Item(1))));
+        assert_eq!(col.id_of("fish"), None);
+        assert_eq!(t.category_of("type", Item(3)), col.value(Item(3)));
+    }
+
+    #[test]
+    fn identity_prices_match_paper_setup() {
+        let t = AttributeTable::with_identity_prices(5);
+        assert_eq!(t.numeric_value("price", Item(0)), 1.0);
+        assert_eq!(t.numeric_value("price", Item(4)), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 3 values")]
+    fn length_mismatch_panics() {
+        AttributeTable::new(3).add_numeric("price", vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_numeric_panics() {
+        AttributeTable::new(1).add_numeric("price", vec![f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown numeric attribute")]
+    fn unknown_attribute_panics() {
+        AttributeTable::new(1).numeric_value("price", Item(0));
+    }
+}

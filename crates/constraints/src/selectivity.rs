@@ -1,0 +1,155 @@
+//! Constraint selectivity: measurement and threshold calibration.
+//!
+//! The paper's experiments sweep *constraint selectivity* — the proportion
+//! of items a constraint leaves usable (its allowed universe for
+//! anti-monotone succinct constraints, its witness class for monotone
+//! succinct ones). Low selectivity = strong pruning. These helpers measure
+//! the selectivity of a constraint over an attribute table and, inversely,
+//! calibrate a threshold value that achieves a target selectivity —
+//! exactly how the benchmark harness picks `v` for `max(S.price) ≤ v`
+//! sweeps.
+
+use crate::ast::Constraint;
+use crate::attr::AttributeTable;
+use crate::succinct::{am_allowed_items, ms_witness_classes};
+
+/// Fraction of items in the allowed universe (anti-monotone succinct) or
+/// in the union of witness classes (monotone succinct). Returns `None`
+/// for constraints without an item-level footprint (`sum`, `count`,
+/// `avg`, …), whose selectivity the paper parameterizes differently
+/// (e.g. by `maxsum` directly in Figure 4).
+pub fn item_selectivity(c: &Constraint, attrs: &AttributeTable) -> Option<f64> {
+    let n = attrs.n_items() as f64;
+    if n == 0.0 {
+        return None;
+    }
+    if let Some(allowed) = am_allowed_items(c, attrs) {
+        return Some(allowed.len() as f64 / n);
+    }
+    if let Some(classes) = ms_witness_classes(c, attrs) {
+        let mut mask = vec![false; attrs.n_items() as usize];
+        for class in classes {
+            for i in class {
+                mask[i.index()] = true;
+            }
+        }
+        let count = mask.iter().filter(|&&b| b).count();
+        return Some(count as f64 / n);
+    }
+    None
+}
+
+/// The value `v` such that `max(S.attr) ≤ v` has (approximately) the given
+/// item selectivity: the `selectivity`-quantile of the attribute column.
+///
+/// # Panics
+///
+/// Panics if the attribute is missing, the universe is empty, or
+/// `selectivity ∉ [0, 1]`.
+pub fn threshold_for_le_selectivity(attrs: &AttributeTable, attr: &str, selectivity: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0, 1]");
+    let col = attrs
+        .numeric(attr)
+        .unwrap_or_else(|| panic!("unknown numeric attribute '{attr}'"));
+    assert!(!col.is_empty(), "empty item universe");
+    let mut sorted: Vec<f64> = col.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let want = (selectivity * sorted.len() as f64).round() as usize;
+    if want == 0 {
+        // Below the minimum: nothing qualifies.
+        sorted[0] - 1.0
+    } else {
+        sorted[want - 1]
+    }
+}
+
+/// The value `v` such that `min(S.attr) ≥ v` (anti-monotone) — or the
+/// witness class of `max(S.attr) ≥ v` (monotone) — has the given item
+/// selectivity: items with `attr ≥ v`.
+///
+/// # Panics
+///
+/// As [`threshold_for_le_selectivity`].
+pub fn threshold_for_ge_selectivity(attrs: &AttributeTable, attr: &str, selectivity: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0, 1]");
+    let col = attrs
+        .numeric(attr)
+        .unwrap_or_else(|| panic!("unknown numeric attribute '{attr}'"));
+    assert!(!col.is_empty(), "empty item universe");
+    let mut sorted: Vec<f64> = col.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values")); // descending
+    let want = (selectivity * sorted.len() as f64).round() as usize;
+    if want == 0 {
+        sorted[0] + 1.0
+    } else {
+        sorted[want - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Constraint;
+
+    fn attrs() -> AttributeTable {
+        AttributeTable::with_identity_prices(100) // prices 1..=100
+    }
+
+    #[test]
+    fn le_threshold_hits_target_selectivity() {
+        let a = attrs();
+        for &sel in &[0.1, 0.25, 0.5, 0.8, 1.0] {
+            let v = threshold_for_le_selectivity(&a, "price", sel);
+            let c = Constraint::max_le("price", v);
+            let measured = item_selectivity(&c, &a).unwrap();
+            assert!(
+                (measured - sel).abs() < 0.011,
+                "target {sel}, got {measured} (v = {v})"
+            );
+        }
+    }
+
+    #[test]
+    fn ge_threshold_hits_target_selectivity() {
+        let a = attrs();
+        for &sel in &[0.1, 0.5, 0.9] {
+            let v = threshold_for_ge_selectivity(&a, "price", sel);
+            let c = Constraint::min_ge("price", v);
+            let measured = item_selectivity(&c, &a).unwrap();
+            assert!(
+                (measured - sel).abs() < 0.011,
+                "target {sel}, got {measured} (v = {v})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_selectivity_excludes_everything() {
+        let a = attrs();
+        let v = threshold_for_le_selectivity(&a, "price", 0.0);
+        assert_eq!(item_selectivity(&Constraint::max_le("price", v), &a), Some(0.0));
+        let v = threshold_for_ge_selectivity(&a, "price", 0.0);
+        assert_eq!(item_selectivity(&Constraint::min_ge("price", v), &a), Some(0.0));
+    }
+
+    #[test]
+    fn monotone_witness_selectivity() {
+        let a = attrs();
+        // min(price) ≤ 30: witnesses are the 30 cheapest items.
+        let c = Constraint::min_le("price", 30.0);
+        assert!((item_selectivity(&c, &a).unwrap() - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_item_level_constraints_have_no_selectivity() {
+        let a = attrs();
+        assert_eq!(item_selectivity(&Constraint::sum_le("price", 50.0), &a), None);
+        assert_eq!(
+            item_selectivity(
+                &Constraint::Avg { attr: "price".into(), cmp: crate::ast::Cmp::Le, value: 3.0 },
+                &a
+            ),
+            None
+        );
+    }
+}

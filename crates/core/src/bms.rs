@@ -1,0 +1,200 @@
+//! Algorithm BMS — the unconstrained baseline of Brin, Motwani &
+//! Silverstein (SIGMOD 1997).
+//!
+//! A level-wise sweep of the itemset lattice that exploits two closure
+//! properties:
+//!
+//! * CT-support is *anti-monotone*: a candidate is only considered when
+//!   every maximal proper subset survived as CT-supported,
+//! * being correlated is *monotone*: the answer set is the *minimal*
+//!   correlated sets, so a correlated set is reported (added to `SIG`) and
+//!   never expanded; only CT-supported **un**correlated sets (`NOTSIG`)
+//!   seed the next level.
+//!
+//! The constrained algorithms of the paper (BMS+, BMS++, BMS*, BMS**) are
+//! all modifications of this sweep.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
+
+use crate::engine::Engine;
+use crate::metrics::MiningMetrics;
+use crate::params::MiningParams;
+
+/// The complete state Algorithm BMS leaves behind: `SIG` (all minimal
+/// correlated and CT-supported sets), `NOTSIG` (every CT-supported but
+/// uncorrelated set encountered, at any level), and work metrics.
+///
+/// BMS* consumes both sets (renamed `SIG'` / `NOTSIG'` in the paper) to
+/// seed its upward sweep.
+#[derive(Debug, Clone)]
+pub struct BmsOutput {
+    /// Minimal correlated and CT-supported sets, sorted.
+    pub sig: Vec<Itemset>,
+    /// CT-supported, uncorrelated sets from every level.
+    pub notsig: HashSet<Itemset>,
+    /// The frequent 1-items the sweep was seeded with.
+    pub level1: Vec<Item>,
+    /// Work accounting.
+    pub metrics: MiningMetrics,
+}
+
+/// Runs Algorithm BMS over `db` with the given statistical parameters.
+pub fn run_bms<C: MintermCounter>(
+    db: &TransactionDb,
+    params: &MiningParams,
+    counter: &mut C,
+) -> BmsOutput {
+    params.validate();
+    let start = Instant::now();
+    let mut metrics = MiningMetrics::default();
+    let base_stats = counter.stats();
+    let mut engine = Engine::new(counter, params);
+
+    // Level 1: the item basis. The O(i) ≥ s filter of the pseudo-code,
+    // with s = min_item_support (0 ⇒ all items participate; see
+    // MiningParams).
+    let item_threshold = params.item_support_abs(db.len());
+    let supports = db.item_supports();
+    let level1: Vec<Item> = (0..db.n_items())
+        .map(Item::new)
+        .filter(|i| supports[i.index()] as u64 >= item_threshold)
+        .collect();
+
+    let mut sig: Vec<Itemset> = Vec::new();
+    let mut notsig_all: HashSet<Itemset> = HashSet::new();
+
+    // Level 2 candidates: all pairs of basis items.
+    let mut cands = candidate::all_pairs(&level1);
+    let mut level = 2usize;
+    while !cands.is_empty() && level <= params.max_level {
+        metrics.candidates_generated += cands.len() as u64;
+        metrics.max_level_reached = level;
+        let mut notsig_level: HashSet<Itemset> = HashSet::new();
+        for set in &cands {
+            let v = engine.evaluate(set);
+            if v.ct_supported {
+                if v.correlated {
+                    sig.push(set.clone());
+                } else {
+                    notsig_level.insert(set.clone());
+                }
+            }
+        }
+        cands = candidate::apriori_gen(&notsig_level);
+        notsig_all.extend(notsig_level);
+        level += 1;
+    }
+
+    sig.sort_unstable();
+    metrics.sig_size = sig.len() as u64;
+    metrics.notsig_size = notsig_all.len() as u64;
+    let end_stats = engine.counting_stats();
+    metrics.absorb_counting(ccs_itemset::CountingStats {
+        tables_built: end_stats.tables_built - base_stats.tables_built,
+        db_scans: end_stats.db_scans - base_stats.db_scans,
+        transactions_visited: end_stats.transactions_visited - base_stats.transactions_visited,
+    });
+    metrics.elapsed = start.elapsed();
+
+    BmsOutput { sig, notsig: notsig_all, level1, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_itemset::HorizontalCounter;
+
+    /// A database where items 0 and 1 are perfectly correlated and item 2
+    /// is independent noise.
+    fn correlated_db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..40 {
+            let mut t = if i % 2 == 0 { vec![0u32, 1] } else { vec![] };
+            if i % 3 == 0 {
+                t.push(2);
+            }
+            txns.push(t);
+        }
+        TransactionDb::from_ids(3, txns)
+    }
+
+    fn params() -> MiningParams {
+        MiningParams {
+            confidence: 0.9,
+            support_fraction: 0.1,
+            ct_fraction: 0.25,
+            min_item_support: 0.0,
+            max_level: 6,
+        }
+    }
+
+    #[test]
+    fn finds_the_planted_pair() {
+        let db = correlated_db();
+        let mut counter = HorizontalCounter::new(&db);
+        let out = run_bms(&db, &params(), &mut counter);
+        assert!(
+            out.sig.contains(&Itemset::from_ids([0, 1])),
+            "planted pair not found; SIG = {:?}",
+            out.sig
+        );
+    }
+
+    #[test]
+    fn independent_pairs_land_in_notsig() {
+        let db = correlated_db();
+        let mut counter = HorizontalCounter::new(&db);
+        let out = run_bms(&db, &params(), &mut counter);
+        // {0,2} is independent: must not be in SIG.
+        assert!(!out.sig.contains(&Itemset::from_ids([0, 2])));
+    }
+
+    #[test]
+    fn sig_sets_are_minimal() {
+        let db = correlated_db();
+        let mut counter = HorizontalCounter::new(&db);
+        let out = run_bms(&db, &params(), &mut counter);
+        for (i, a) in out.sig.iter().enumerate() {
+            for b in &out.sig[i + 1..] {
+                assert!(
+                    !a.is_subset_of(b) && !b.is_subset_of(a),
+                    "SIG contains nested sets {a} ⊆ {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_count_tables() {
+        let db = correlated_db();
+        let mut counter = HorizontalCounter::new(&db);
+        let out = run_bms(&db, &params(), &mut counter);
+        // 3 items → 3 pairs at level 2, plus whatever level 3 considered.
+        assert!(out.metrics.tables_built >= 3);
+        assert_eq!(out.metrics.tables_built, out.metrics.db_scans);
+        assert!(out.metrics.candidates_generated >= out.metrics.tables_built);
+        assert!(out.metrics.max_level_reached >= 2);
+    }
+
+    #[test]
+    fn item_support_filter_prunes_basis() {
+        let db = correlated_db(); // item 2 support ~1/3, items 0,1 = 1/2
+        let p = MiningParams { min_item_support: 0.4, ..params() };
+        let mut counter = HorizontalCounter::new(&db);
+        let out = run_bms(&db, &p, &mut counter);
+        assert_eq!(out.level1, vec![Item(0), Item(1)]);
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let db = TransactionDb::from_ids(4, Vec::<Vec<u32>>::new());
+        let mut counter = HorizontalCounter::new(&db);
+        let out = run_bms(&db, &params(), &mut counter);
+        // With zero transactions every table is all-zeros: chi2 = 0, so
+        // nothing is correlated.
+        assert!(out.sig.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Algorithm BMS+ — the naive miner for `VALID_MIN` answers.
+//!
+//! Runs Algorithm BMS unmodified (ignoring the constraints' pruning
+//! power entirely) and filters the resulting `SIG` by the query
+//! constraints. Its cost is therefore exactly `|BMS|` — the §3.3 analysis
+//! gives `|BMS+| = Σ_{i=1}^{k} c_i`, independent of constraint
+//! selectivity, which is what Figures 2, 6 and 8 of the paper show as the
+//! flat curves.
+
+use ccs_constraints::AttributeTable;
+use ccs_itemset::{MintermCounter, TransactionDb};
+
+use crate::bms::run_bms;
+use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// Runs Algorithm BMS+ and returns `VALID_MIN(Q)`.
+///
+/// # Errors
+///
+/// Returns [`MiningError`] if the constraints fail validation or contain
+/// a neither-monotone (`avg`) constraint.
+pub fn run_bms_plus<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+) -> Result<MiningResult, MiningError> {
+    query.validate(attrs)?;
+    if query.constraints.has_neither_monotone() {
+        return Err(MiningError::NonMonotoneConstraint);
+    }
+    let out = run_bms(db, &query.params, counter);
+    let answers: Vec<_> = out
+        .sig
+        .into_iter()
+        .filter(|s| query.constraints.satisfied(s, attrs))
+        .collect();
+    let mut metrics = out.metrics;
+    metrics.sig_size = answers.len() as u64;
+    Ok(MiningResult::new(answers, Semantics::ValidMin, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use ccs_itemset::{HorizontalCounter, Itemset};
+    use crate::params::MiningParams;
+
+    /// Items 0–1 and 2–3 perfectly correlated pairs; price of item i = i+1.
+    fn db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..60 {
+            let mut t = Vec::new();
+            if i % 2 == 0 {
+                t.extend([0u32, 1]);
+            }
+            if i % 3 == 0 {
+                t.extend([2, 3]);
+            }
+            txns.push(t);
+        }
+        TransactionDb::from_ids(4, txns)
+    }
+
+    fn query(constraints: ConstraintSet) -> CorrelationQuery {
+        CorrelationQuery {
+            params: MiningParams {
+                confidence: 0.9,
+                support_fraction: 0.1,
+                ct_fraction: 0.25,
+                min_item_support: 0.0,
+                max_level: 5,
+            },
+            constraints,
+        }
+    }
+
+    #[test]
+    fn unconstrained_returns_all_minimal_correlated() {
+        let db = db();
+        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
+        let mut c = HorizontalCounter::new(&db);
+        let r = run_bms_plus(&db, &attrs, &query(ConstraintSet::new()), &mut c).unwrap();
+        assert!(r.contains(&Itemset::from_ids([0, 1])));
+        assert!(r.contains(&Itemset::from_ids([2, 3])));
+    }
+
+    #[test]
+    fn constraints_filter_answers() {
+        let db = db();
+        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
+        // max price ≤ 2 keeps only items {0, 1} (prices 1, 2).
+        let cs = ConstraintSet::new().and(Constraint::max_le("price", 2.0));
+        let mut c = HorizontalCounter::new(&db);
+        let r = run_bms_plus(&db, &attrs, &query(cs), &mut c).unwrap();
+        assert!(r.contains(&Itemset::from_ids([0, 1])));
+        assert!(!r.contains(&Itemset::from_ids([2, 3])));
+    }
+
+    #[test]
+    fn avg_constraint_is_rejected() {
+        let db = db();
+        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
+        let cs = ConstraintSet::new().and(Constraint::Avg {
+            attr: "price".into(),
+            cmp: ccs_constraints::Cmp::Le,
+            value: 2.0,
+        });
+        let mut c = HorizontalCounter::new(&db);
+        assert_eq!(
+            run_bms_plus(&db, &attrs, &query(cs), &mut c),
+            Err(MiningError::NonMonotoneConstraint)
+        );
+    }
+
+    #[test]
+    fn work_is_independent_of_constraints() {
+        let db = db();
+        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
+        let mut c1 = HorizontalCounter::new(&db);
+        let r1 = run_bms_plus(&db, &attrs, &query(ConstraintSet::new()), &mut c1).unwrap();
+        let cs = ConstraintSet::new().and(Constraint::max_le("price", 1.0));
+        let mut c2 = HorizontalCounter::new(&db);
+        let r2 = run_bms_plus(&db, &attrs, &query(cs), &mut c2).unwrap();
+        assert_eq!(r1.metrics.tables_built, r2.metrics.tables_built);
+    }
+}

@@ -1,0 +1,280 @@
+//! Algorithm BMS++ — constraint-pushing miner for `VALID_MIN` answers.
+//!
+//! Modifies Algorithm BMS in the three ways of §3.1 of the paper:
+//!
+//! I. **Preprocessing.** `GOOD₁` = items whose singleton satisfies every
+//!    anti-monotone constraint (this subsumes the succinct universes: an
+//!    item outside `σ_{A≤c}(Item)` fails `max(S.A) ≤ c` as a singleton).
+//!    `L1⁺` = frequent `GOOD₁` items in the chosen monotone-succinct
+//!    witness class; `L1⁻` = the remaining frequent `GOOD₁` items.
+//!
+//! II. **Candidate formation.** `CAND₂ = {{i₁,i₂} | i₁ ∈ L1⁺, i₂ ∈ L1⁺ ∪
+//!     L1⁻}`. For `k > 2`, a `k`-set is a candidate when every
+//!     `(k−1)`-subset that intersects `L1⁺` is in the previous level's
+//!     `NOTSIG`. Candidates are produced by single-item extension of
+//!     `NOTSIG` sets (the symmetric Apriori join is incomplete here: a
+//!     candidate may legitimately have subsets that were never candidates
+//!     because they miss `L1⁺`).
+//!
+//! III. **SIG/NOTSIG.** Residual (non-succinct) anti-monotone constraints
+//!      are checked *before* the contingency table is built; residual
+//!      monotone constraints are checked at SIG-entry, like correlation.
+//!
+//! One soundness amendment beyond the paper's pseudo-code (see DESIGN.md
+//! "Fidelity notes"): when a SIG candidate `S` contains exactly one
+//! witness `w`, the subset `S \ {w}` was never examined (it misses
+//! `L1⁺`), yet if it is correlated then `S` is not a *minimal* correlated
+//! set and must not be reported. One extra contingency table per such SIG
+//! candidate closes the hole exactly.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use ccs_constraints::AttributeTable;
+use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
+
+use crate::engine::Engine;
+use crate::metrics::MiningMetrics;
+use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// Runs Algorithm BMS++ and returns `VALID_MIN(Q)`.
+///
+/// # Errors
+///
+/// Returns [`MiningError`] if the constraints fail validation or contain
+/// a neither-monotone (`avg`) constraint.
+pub fn run_bms_plus_plus<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+) -> Result<MiningResult, MiningError> {
+    query.validate(attrs)?;
+    if query.constraints.has_neither_monotone() {
+        return Err(MiningError::NonMonotoneConstraint);
+    }
+    let start = Instant::now();
+    let mut metrics = MiningMetrics::default();
+    let base_stats = counter.stats();
+    let analysis = query.constraints.analyze(attrs);
+    let mut engine = Engine::new(counter, &query.params);
+
+    // I. Preprocessing: GOOD₁ and the L1⁺ / L1⁻ split.
+    let item_threshold = query.params.item_support_abs(db.len());
+    let supports = db.item_supports();
+    let good1: Vec<Item> = (0..db.n_items())
+        .map(Item::new)
+        .filter(|&i| {
+            supports[i.index()] as u64 >= item_threshold
+                && query.constraints.anti_monotone_satisfied(&Itemset::singleton(i), attrs)
+        })
+        .collect();
+    let l1_plus: Vec<Item> =
+        good1.iter().copied().filter(|&i| analysis.item_witnesses(i)).collect();
+    let l1_minus: Vec<Item> =
+        good1.iter().copied().filter(|&i| !analysis.item_witnesses(i)).collect();
+    let witness_set: HashSet<Item> = l1_plus.iter().copied().collect();
+
+    // II + III. The level-wise sweep.
+    let mut sig_candidates: Vec<Itemset> = Vec::new();
+    let mut cands = candidate::pairs_from(&l1_plus, &l1_minus);
+    let mut level = 2usize;
+    while !cands.is_empty() && level <= query.params.max_level {
+        metrics.candidates_generated += cands.len() as u64;
+        metrics.max_level_reached = level;
+        let mut notsig_level: HashSet<Itemset> = HashSet::new();
+        for set in &cands {
+            if !analysis.am_residual_satisfied(set, attrs) {
+                metrics.pruned_before_count += 1;
+                continue;
+            }
+            let v = engine.evaluate(set);
+            if !v.ct_supported {
+                continue;
+            }
+            if v.correlated {
+                if analysis.m_residual_satisfied(set, attrs) {
+                    sig_candidates.push(set.clone());
+                }
+            } else {
+                notsig_level.insert(set.clone());
+            }
+        }
+        cands = candidate::extend_gen(&notsig_level, &good1, |cand| {
+            cand.subsets_dropping_one().all(|s| {
+                !s.iter().any(|i| witness_set.contains(&i)) || notsig_level.contains(&s)
+            })
+        });
+        level += 1;
+    }
+
+    // Soundness verification: for a SIG candidate with a single witness,
+    // check that removing the witness does not leave a correlated set.
+    let mut answers = Vec::with_capacity(sig_candidates.len());
+    if analysis.has_witness_class() {
+        for set in sig_candidates {
+            let witnesses: Vec<Item> =
+                set.iter().filter(|i| witness_set.contains(i)).collect();
+            if witnesses.len() == 1 && set.len() >= 3 {
+                let residue = set.without_item(witnesses[0]);
+                let v = engine.evaluate(&residue);
+                if v.correlated && v.ct_supported {
+                    continue; // `set` is not a minimal correlated set.
+                }
+            }
+            answers.push(set);
+        }
+    } else {
+        answers = sig_candidates;
+    }
+
+    metrics.sig_size = answers.len() as u64;
+    let end = engine.counting_stats();
+    metrics.absorb_counting(ccs_itemset::CountingStats {
+        tables_built: end.tables_built - base_stats.tables_built,
+        db_scans: end.db_scans - base_stats.db_scans,
+        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
+    });
+    metrics.elapsed = start.elapsed();
+    Ok(MiningResult::new(answers, Semantics::ValidMin, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use ccs_itemset::HorizontalCounter;
+    use crate::bms_plus::run_bms_plus;
+    use crate::params::MiningParams;
+
+    fn db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..60 {
+            let mut t = Vec::new();
+            if i % 2 == 0 {
+                t.extend([0u32, 1]);
+            }
+            if i % 3 == 0 {
+                t.extend([2, 3]);
+            }
+            if i % 5 == 0 {
+                t.push(4);
+            }
+            txns.push(t);
+        }
+        TransactionDb::from_ids(5, txns)
+    }
+
+    fn query(constraints: ConstraintSet) -> CorrelationQuery {
+        CorrelationQuery {
+            params: MiningParams {
+                confidence: 0.9,
+                support_fraction: 0.1,
+                ct_fraction: 0.25,
+                min_item_support: 0.0,
+                max_level: 5,
+            },
+            constraints,
+        }
+    }
+
+    fn attrs() -> AttributeTable {
+        AttributeTable::with_identity_prices(5)
+    }
+
+    /// BMS++ must agree with BMS+ on every constraint mix (Theorem 2.1).
+    fn assert_agrees_with_bms_plus(cs: ConstraintSet) {
+        let db = db();
+        let attrs = attrs();
+        let q = query(cs);
+        let mut c1 = HorizontalCounter::new(&db);
+        let plus = run_bms_plus(&db, &attrs, &q, &mut c1).unwrap();
+        let mut c2 = HorizontalCounter::new(&db);
+        let pp = run_bms_plus_plus(&db, &attrs, &q, &mut c2).unwrap();
+        assert_eq!(plus.answers, pp.answers, "BMS+ vs BMS++ for {}", q.constraints);
+        // BMS++ never considers more sets, up to the one verification
+        // table a single-witness SIG candidate may cost (see the module
+        // docs) — a bounded overhead of at most one table per answer.
+        assert!(
+            pp.metrics.tables_built <= plus.metrics.tables_built + pp.answers.len() as u64,
+            "|BMS++| = {} > |BMS+| = {} + {} answers",
+            pp.metrics.tables_built,
+            plus.metrics.tables_built,
+            pp.answers.len()
+        );
+    }
+
+    #[test]
+    fn agrees_unconstrained() {
+        assert_agrees_with_bms_plus(ConstraintSet::new());
+    }
+
+    #[test]
+    fn agrees_with_am_succinct_constraint() {
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::max_le("price", 2.0)));
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::max_le("price", 4.0)));
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::min_ge("price", 3.0)));
+    }
+
+    #[test]
+    fn agrees_with_am_nonsuccinct_constraint() {
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::sum_le("price", 3.0)));
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::sum_le("price", 7.0)));
+    }
+
+    #[test]
+    fn agrees_with_monotone_succinct_constraint() {
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::min_le("price", 1.0)));
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::min_le("price", 3.0)));
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::max_ge("price", 4.0)));
+    }
+
+    #[test]
+    fn agrees_with_monotone_nonsuccinct_constraint() {
+        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::sum_ge("price", 5.0)));
+    }
+
+    #[test]
+    fn agrees_with_mixed_constraints() {
+        assert_agrees_with_bms_plus(
+            ConstraintSet::new()
+                .and(Constraint::max_le("price", 4.0))
+                .and(Constraint::sum_ge("price", 3.0)),
+        );
+        assert_agrees_with_bms_plus(
+            ConstraintSet::new()
+                .and(Constraint::sum_le("price", 7.0))
+                .and(Constraint::min_le("price", 2.0)),
+        );
+    }
+
+    #[test]
+    fn succinct_am_constraint_prunes_tables() {
+        let db = db();
+        let attrs = attrs();
+        // Only items 0,1 allowed: BMS++ builds 1 pair table (+ nothing
+        // above), BMS+ builds all 10.
+        let q = query(ConstraintSet::new().and(Constraint::max_le("price", 2.0)));
+        let mut c2 = HorizontalCounter::new(&db);
+        let pp = run_bms_plus_plus(&db, &attrs, &q, &mut c2).unwrap();
+        let mut c1 = HorizontalCounter::new(&db);
+        let plus = run_bms_plus(&db, &attrs, &q, &mut c1).unwrap();
+        assert!(pp.metrics.tables_built < plus.metrics.tables_built / 2);
+    }
+
+    #[test]
+    fn avg_constraint_is_rejected() {
+        let db = db();
+        let attrs = attrs();
+        let q = query(ConstraintSet::new().and(Constraint::Avg {
+            attr: "price".into(),
+            cmp: ccs_constraints::Cmp::Le,
+            value: 2.0,
+        }));
+        let mut c = HorizontalCounter::new(&db);
+        assert_eq!(
+            run_bms_plus_plus(&db, &attrs, &q, &mut c),
+            Err(MiningError::NonMonotoneConstraint)
+        );
+    }
+}

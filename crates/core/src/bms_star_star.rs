@@ -1,0 +1,262 @@
+//! Algorithm BMS** — constraint-pushing miner for `MIN_VALID` answers.
+//!
+//! Per Figure G of the paper, the work splits into two phases:
+//!
+//! 1. **SUPP enumeration.** A level-wise sweep that applies only the
+//!    *anti-monotone* machinery — the `L1⁺`/`L1⁻` preprocessing and
+//!    candidate formation of BMS++, the pre-count residual anti-monotone
+//!    checks, and the CT-support test — but *no* chi-squared test. The
+//!    result is `SUPP_k`: every CT-supported, anti-monotone-valid,
+//!    witness-touching set per level, with its chi-squared verdict cached
+//!    from the same contingency table.
+//!
+//! 2. **Upward SIG sweep.** Starting from `SUPP₂`, sets that are
+//!    correlated and satisfy the monotone constraints become answers
+//!    (after a minimality check against already-found answers); the rest
+//!    seed single-item extensions *within SUPP* for the next level. No
+//!    contingency table is ever rebuilt — phase 2 is pure CPU, which is
+//!    exactly why the §3.3 analysis charges BMS** only `Σᵢ vᵢ` tables.
+//!
+//! The candidate-generation and minimality amendments of
+//! [`crate::bms_star`] apply here too (DESIGN.md "Fidelity notes"). Every
+//! set in SUPP touches `L1⁺`, and every valid set must, so unlike BMS++
+//! no extra verification tables are needed: a minimal valid set's
+//! minimality violations always go through witness-touching subsets that
+//! phase 2 has already classified.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use ccs_constraints::AttributeTable;
+use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
+
+use crate::engine::{Engine, Verdict};
+use crate::metrics::MiningMetrics;
+use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// Runs Algorithm BMS** and returns `MIN_VALID(Q)`.
+///
+/// # Errors
+///
+/// Returns [`MiningError`] if the constraints fail validation or contain
+/// a neither-monotone (`avg`) constraint.
+pub fn run_bms_star_star<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+) -> Result<MiningResult, MiningError> {
+    query.validate(attrs)?;
+    if query.constraints.has_neither_monotone() {
+        return Err(MiningError::NonMonotoneConstraint);
+    }
+    let start = Instant::now();
+    let mut metrics = MiningMetrics::default();
+    let base_stats = counter.stats();
+    let analysis = query.constraints.analyze(attrs);
+    let mut engine = Engine::new(counter, &query.params);
+
+    // Preprocessing, identical to BMS++.
+    let item_threshold = query.params.item_support_abs(db.len());
+    let supports = db.item_supports();
+    let good1: Vec<Item> = (0..db.n_items())
+        .map(Item::new)
+        .filter(|&i| {
+            supports[i.index()] as u64 >= item_threshold
+                && query.constraints.anti_monotone_satisfied(&Itemset::singleton(i), attrs)
+        })
+        .collect();
+    let l1_plus: Vec<Item> =
+        good1.iter().copied().filter(|&i| analysis.item_witnesses(i)).collect();
+    let l1_minus: Vec<Item> =
+        good1.iter().copied().filter(|&i| !analysis.item_witnesses(i)).collect();
+    let witness_set: HashSet<Item> = l1_plus.iter().copied().collect();
+
+    // Phase 1: SUPP levels with cached verdicts.
+    let mut supp: HashMap<usize, HashMap<Itemset, Verdict>> = HashMap::new();
+    let mut cands = candidate::pairs_from(&l1_plus, &l1_minus);
+    let mut level = 2usize;
+    while !cands.is_empty() && level <= query.params.max_level {
+        metrics.candidates_generated += cands.len() as u64;
+        metrics.max_level_reached = level;
+        let mut supp_level: HashMap<Itemset, Verdict> = HashMap::new();
+        for set in &cands {
+            if !analysis.am_residual_satisfied(set, attrs) {
+                metrics.pruned_before_count += 1;
+                continue;
+            }
+            let v = engine.evaluate(set);
+            if v.ct_supported {
+                supp_level.insert(set.clone(), v);
+            }
+        }
+        let keys: HashSet<Itemset> = supp_level.keys().cloned().collect();
+        cands = candidate::extend_gen(&keys, &good1, |cand| {
+            cand.subsets_dropping_one().all(|s| {
+                !s.iter().any(|i| witness_set.contains(&i)) || keys.contains(&s)
+            })
+        });
+        supp.insert(level, supp_level);
+        level += 1;
+    }
+
+    // Phase 2: upward SIG sweep over SUPP — no new contingency tables.
+    let mut sig: Vec<Itemset> = Vec::new();
+    let mut current: Vec<Itemset> = supp.get(&2).map(|m| m.keys().cloned().collect()).unwrap_or_default();
+    current.sort_unstable();
+    let mut k = 2usize;
+    while !current.is_empty() {
+        let mut notsig_level: HashSet<Itemset> = HashSet::new();
+        for set in &current {
+            if sig.iter().any(|a| a.is_subset_of(set)) {
+                continue; // not minimal, and no superset can be either
+            }
+            let v = supp[&k][set];
+            if v.correlated && analysis.m_residual_satisfied(set, attrs) {
+                sig.push(set.clone());
+            } else {
+                notsig_level.insert(set.clone());
+            }
+        }
+        k += 1;
+        let Some(next_supp) = supp.get(&k) else { break };
+        current = candidate::extend_gen(&notsig_level, &good1, |cand| next_supp.contains_key(cand));
+    }
+
+    metrics.sig_size = sig.len() as u64;
+    let end = engine.counting_stats();
+    metrics.absorb_counting(ccs_itemset::CountingStats {
+        tables_built: end.tables_built - base_stats.tables_built,
+        db_scans: end.db_scans - base_stats.db_scans,
+        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
+    });
+    metrics.elapsed = start.elapsed();
+    Ok(MiningResult::new(sig, Semantics::MinValid, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use ccs_itemset::HorizontalCounter;
+    use crate::bms_star::run_bms_star;
+    use crate::naive::run_naive;
+    use crate::params::MiningParams;
+
+    fn db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..60 {
+            let mut t = Vec::new();
+            if i % 2 == 0 {
+                t.extend([0u32, 1]);
+            }
+            if i % 3 == 0 {
+                t.extend([2, 3]);
+            }
+            if i % 5 == 0 {
+                t.push(4);
+            }
+            txns.push(t);
+        }
+        TransactionDb::from_ids(5, txns)
+    }
+
+    fn query(constraints: ConstraintSet) -> CorrelationQuery {
+        CorrelationQuery {
+            params: MiningParams {
+                confidence: 0.9,
+                support_fraction: 0.1,
+                ct_fraction: 0.25,
+                min_item_support: 0.0,
+                max_level: 5,
+            },
+            constraints,
+        }
+    }
+
+    fn assert_agrees(cs: ConstraintSet) {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(cs);
+        let mut c1 = HorizontalCounter::new(&db);
+        let ss = run_bms_star_star(&db, &attrs, &q, &mut c1).unwrap();
+        let mut c2 = HorizontalCounter::new(&db);
+        let naive = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c2).unwrap();
+        assert_eq!(ss.answers, naive.answers, "BMS** vs naive for {}", q.constraints);
+        let mut c3 = HorizontalCounter::new(&db);
+        let star = run_bms_star(&db, &attrs, &q, &mut c3).unwrap();
+        assert_eq!(ss.answers, star.answers, "BMS** vs BMS* for {}", q.constraints);
+    }
+
+    #[test]
+    fn agrees_unconstrained() {
+        assert_agrees(ConstraintSet::new());
+    }
+
+    #[test]
+    fn agrees_with_anti_monotone_constraints() {
+        assert_agrees(ConstraintSet::new().and(Constraint::max_le("price", 4.0)));
+        assert_agrees(ConstraintSet::new().and(Constraint::sum_le("price", 5.0)));
+        assert_agrees(ConstraintSet::new().and(Constraint::min_ge("price", 2.0)));
+    }
+
+    #[test]
+    fn agrees_with_monotone_constraints() {
+        assert_agrees(ConstraintSet::new().and(Constraint::min_le("price", 2.0)));
+        assert_agrees(ConstraintSet::new().and(Constraint::max_ge("price", 4.0)));
+        assert_agrees(ConstraintSet::new().and(Constraint::sum_ge("price", 5.0)));
+        assert_agrees(ConstraintSet::new().and(Constraint::sum_ge("price", 8.0)));
+    }
+
+    #[test]
+    fn agrees_with_mixed_constraints() {
+        assert_agrees(
+            ConstraintSet::new()
+                .and(Constraint::max_le("price", 4.0))
+                .and(Constraint::sum_ge("price", 4.0)),
+        );
+        assert_agrees(
+            ConstraintSet::new()
+                .and(Constraint::sum_le("price", 9.0))
+                .and(Constraint::min_le("price", 3.0)),
+        );
+    }
+
+    #[test]
+    fn high_selectivity_makes_star_star_consider_more_sets() {
+        // With a barely-selective monotone constraint, BMS** enumerates
+        // the whole CT-supported region while BMS* stops at the
+        // correlation border — the §3.3 crossover, seen from the BMS*
+        // side.
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(ConstraintSet::new().and(Constraint::min_le("price", 5.0)));
+        let mut c1 = HorizontalCounter::new(&db);
+        let ss = run_bms_star_star(&db, &attrs, &q, &mut c1).unwrap();
+        let mut c2 = HorizontalCounter::new(&db);
+        let star = run_bms_star(&db, &attrs, &q, &mut c2).unwrap();
+        assert_eq!(ss.answers, star.answers);
+        assert!(
+            ss.metrics.tables_built >= star.metrics.tables_built,
+            "expected |BMS**| ≥ |BMS*| at selectivity 1.0: {} vs {}",
+            ss.metrics.tables_built,
+            star.metrics.tables_built
+        );
+    }
+
+    #[test]
+    fn avg_constraint_is_rejected() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(ConstraintSet::new().and(Constraint::Avg {
+            attr: "price".into(),
+            cmp: ccs_constraints::Cmp::Le,
+            value: 2.0,
+        }));
+        let mut c = HorizontalCounter::new(&db);
+        assert_eq!(
+            run_bms_star_star(&db, &attrs, &q, &mut c),
+            Err(MiningError::NonMonotoneConstraint)
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Solution-space borders: the complete characterization of §5.
+//!
+//! The paper's related-work discussion points out that minimal answers
+//! alone do *not* characterize the solution space — "technically, this
+//! is true only when one also returns, as part of the answer, some
+//! description of the upper border". This module computes both borders
+//! of the space
+//!
+//! ```text
+//! SPACE(Q) = { S | S correlated ∧ CT-supported ∧ S ⊨ C }
+//! ```
+//!
+//! * the **lower border**: minimal members (= `MIN_VALID(Q)`), and
+//! * the **upper border**: maximal members (bounded above by the
+//!   CT-support and anti-monotone-constraint borders).
+//!
+//! Because correlation and the monotone constraints are upward closed
+//! while CT-support and the anti-monotone constraints are downward
+//! closed, the space is *order-convex*: `A ⊆ S ⊆ B` with `A, B ∈ SPACE`
+//! implies `S ∈ SPACE`. Membership is therefore exactly the sandwich
+//! test implemented by [`SolutionSpace::contains`] — the two borders
+//! really are a complete description.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use ccs_constraints::AttributeTable;
+use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
+
+use crate::engine::Engine;
+use crate::metrics::MiningMetrics;
+use crate::query::{CorrelationQuery, MiningError};
+
+/// Both borders of a constrained correlation query's solution space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionSpace {
+    /// Minimal members of the space, sorted (= `MIN_VALID(Q)`).
+    pub minimal: Vec<Itemset>,
+    /// Maximal members of the space, sorted.
+    ///
+    /// Complete up to `max_level`; if the sweep was truncated by the
+    /// level cap (see [`SolutionSpace::truncated`]) there may be larger
+    /// members above it.
+    pub maximal: Vec<Itemset>,
+    /// `true` when the level cap stopped a still-expanding sweep, in
+    /// which case `maximal` describes the border only up to that level.
+    pub truncated: bool,
+    /// Work accounting.
+    pub metrics: MiningMetrics,
+}
+
+impl SolutionSpace {
+    /// Exact membership test via the sandwich property: `set` is in the
+    /// space iff it contains some minimal member and is contained in
+    /// some maximal member.
+    pub fn contains(&self, set: &Itemset) -> bool {
+        self.minimal.iter().any(|lo| lo.is_subset_of(set))
+            && self.maximal.iter().any(|hi| set.is_subset_of(hi))
+    }
+}
+
+/// Computes both borders of `SPACE(Q)` by a level-wise sweep of the
+/// CT-supported, anti-monotone-valid region (which contains the space
+/// and is downward closed, so Apriori candidate generation is exact).
+///
+/// # Errors
+///
+/// Returns [`MiningError`] if the constraints fail validation or
+/// contain a neither-monotone (`avg`) constraint (whose space may have
+/// holes and is not sandwich-characterizable).
+pub fn solution_space<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+) -> Result<SolutionSpace, MiningError> {
+    query.validate(attrs)?;
+    if query.constraints.has_neither_monotone() {
+        return Err(MiningError::NonMonotoneConstraint);
+    }
+    let start = Instant::now();
+    let mut metrics = MiningMetrics::default();
+    let base_stats = counter.stats();
+    let analysis = query.constraints.analyze(attrs);
+    let mut engine = Engine::new(counter, &query.params);
+
+    // The enumeration universe: frequent items whose singleton passes
+    // every anti-monotone constraint.
+    let item_threshold = query.params.item_support_abs(db.len());
+    let supports = db.item_supports();
+    let good1: Vec<Item> = (0..db.n_items())
+        .map(Item::new)
+        .filter(|&i| {
+            supports[i.index()] as u64 >= item_threshold
+                && query.constraints.anti_monotone_satisfied(&Itemset::singleton(i), attrs)
+        })
+        .collect();
+
+    // Level-wise enumeration of the supported region, remembering which
+    // sets are space members.
+    let mut in_space: HashMap<usize, HashSet<Itemset>> = HashMap::new();
+    let mut cands = candidate::all_pairs(&good1);
+    let mut level = 2usize;
+    let mut truncated = false;
+    while !cands.is_empty() {
+        if level > query.params.max_level {
+            truncated = true;
+            break;
+        }
+        metrics.candidates_generated += cands.len() as u64;
+        metrics.max_level_reached = level;
+        let mut supported_level: HashSet<Itemset> = HashSet::new();
+        let mut space_level: HashSet<Itemset> = HashSet::new();
+        for set in &cands {
+            if !analysis.am_residual_satisfied(set, attrs) {
+                metrics.pruned_before_count += 1;
+                continue;
+            }
+            let v = engine.evaluate(set);
+            if !v.ct_supported {
+                continue;
+            }
+            supported_level.insert(set.clone());
+            if v.correlated && query.constraints.monotone_satisfied(set, attrs) {
+                space_level.insert(set.clone());
+            }
+        }
+        cands = candidate::apriori_gen(&supported_level);
+        in_space.insert(level, space_level);
+        level += 1;
+    }
+
+    // Borders. Convexity makes one-level checks exact: a member is
+    // minimal iff no (k−1)-subset is a member, maximal iff no
+    // (k+1)-superset is.
+    let empty = HashSet::new();
+    let mut minimal = Vec::new();
+    let mut maximal = Vec::new();
+    for (&k, members) in &in_space {
+        let below = if k > 2 { in_space.get(&(k - 1)).unwrap_or(&empty) } else { &empty };
+        let above = in_space.get(&(k + 1)).unwrap_or(&empty);
+        for set in members {
+            if set.subsets_dropping_one().all(|s| !below.contains(&s)) {
+                minimal.push(set.clone());
+            }
+            let dominated = above.iter().any(|sup| set.is_subset_of(sup));
+            if !dominated {
+                maximal.push(set.clone());
+            }
+        }
+    }
+    minimal.sort_unstable();
+    maximal.sort_unstable();
+
+    metrics.sig_size = minimal.len() as u64;
+    let end = engine.counting_stats();
+    metrics.absorb_counting(ccs_itemset::CountingStats {
+        tables_built: end.tables_built - base_stats.tables_built,
+        db_scans: end.db_scans - base_stats.db_scans,
+        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
+    });
+    metrics.elapsed = start.elapsed();
+    Ok(SolutionSpace { minimal, maximal, truncated, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use ccs_itemset::HorizontalCounter;
+    use crate::bms_star_star::run_bms_star_star;
+    use crate::params::MiningParams;
+
+    fn db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..80u32 {
+            let mut t = Vec::new();
+            if i % 2 == 0 {
+                t.extend([0, 1]);
+            }
+            if i % 4 == 0 {
+                t.extend([2, 3]);
+            }
+            if i % 5 == 0 {
+                t.push(4);
+            }
+            txns.push(t);
+        }
+        TransactionDb::from_ids(5, txns)
+    }
+
+    fn query(constraints: ConstraintSet) -> CorrelationQuery {
+        CorrelationQuery {
+            params: MiningParams {
+                confidence: 0.9,
+                support_fraction: 0.1,
+                ct_fraction: 0.25,
+                min_item_support: 0.0,
+                max_level: 5,
+            },
+            constraints,
+        }
+    }
+
+    fn space_for(cs: ConstraintSet) -> SolutionSpace {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let mut c = HorizontalCounter::new(&db);
+        solution_space(&db, &attrs, &query(cs), &mut c).unwrap()
+    }
+
+    #[test]
+    fn lower_border_equals_min_valid() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        for cs in [
+            ConstraintSet::new(),
+            ConstraintSet::new().and(Constraint::max_le("price", 4.0)),
+            ConstraintSet::new().and(Constraint::sum_ge("price", 5.0)),
+            ConstraintSet::new().and(Constraint::min_le("price", 2.0)),
+        ] {
+            let q = query(cs);
+            let space = {
+                let mut c = HorizontalCounter::new(&db);
+                solution_space(&db, &attrs, &q, &mut c).unwrap()
+            };
+            let mut c2 = HorizontalCounter::new(&db);
+            let mv = run_bms_star_star(&db, &attrs, &q, &mut c2).unwrap();
+            assert_eq!(space.minimal, mv.answers, "lower border vs MIN_VALID on {}", q.constraints);
+        }
+    }
+
+    #[test]
+    fn borders_are_antichains() {
+        let space = space_for(ConstraintSet::new());
+        for border in [&space.minimal, &space.maximal] {
+            for (i, a) in border.iter().enumerate() {
+                for b in &border[i + 1..] {
+                    assert!(!a.is_subset_of(b) && !b.is_subset_of(a), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_minimal_member_is_below_some_maximal_member() {
+        let space = space_for(ConstraintSet::new().and(Constraint::max_le("price", 5.0)));
+        assert!(!space.truncated);
+        for lo in &space.minimal {
+            assert!(
+                space.maximal.iter().any(|hi| lo.is_subset_of(hi)),
+                "{lo} has no dominating maximal member"
+            );
+        }
+    }
+
+    #[test]
+    fn sandwich_membership_matches_direct_evaluation() {
+        use ccs_stats::ContingencyTable;
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let cs = ConstraintSet::new().and(Constraint::sum_ge("price", 4.0));
+        let q = query(cs);
+        let space = {
+            let mut c = HorizontalCounter::new(&db);
+            solution_space(&db, &attrs, &q, &mut c).unwrap()
+        };
+        assert!(!space.truncated);
+        let s_abs = q.params.support_abs(db.len());
+        // Every set over the universe, levels 2..=4: direct definition vs
+        // sandwich.
+        let mut all = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                all.push(Itemset::from_ids([a, b]));
+                for c in (b + 1)..5 {
+                    all.push(Itemset::from_ids([a, b, c]));
+                    for d in (c + 1)..5 {
+                        all.push(Itemset::from_ids([a, b, c, d]));
+                    }
+                }
+            }
+        }
+        for set in all {
+            let mut counter = HorizontalCounter::new(&db);
+            let table = ContingencyTable::build(&mut counter, &set);
+            let direct = table.is_ct_supported(s_abs, q.params.ct_fraction)
+                && table.is_correlated(q.params.confidence)
+                && q.constraints.satisfied(&set, &attrs);
+            assert_eq!(space.contains(&set), direct, "sandwich mismatch for {set}");
+        }
+    }
+
+    #[test]
+    fn avg_constraints_are_rejected() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(ConstraintSet::new().and(Constraint::Avg {
+            attr: "price".into(),
+            cmp: ccs_constraints::Cmp::Le,
+            value: 3.0,
+        }));
+        let mut c = HorizontalCounter::new(&db);
+        assert!(matches!(
+            solution_space(&db, &attrs, &q, &mut c),
+            Err(MiningError::NonMonotoneConstraint)
+        ));
+    }
+}

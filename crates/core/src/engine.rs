@@ -1,0 +1,81 @@
+//! Shared per-candidate evaluation machinery for the level-wise miners.
+
+use ccs_itemset::{Itemset, MintermCounter};
+use ccs_stats::{chi2_quantile, ContingencyTable};
+
+use crate::params::MiningParams;
+
+/// The verdict on one candidate set after building its contingency table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Verdict {
+    /// CT-support test outcome.
+    pub ct_supported: bool,
+    /// Correlation (chi-squared) test outcome.
+    pub correlated: bool,
+    /// The raw chi-squared statistic.
+    pub chi2: f64,
+}
+
+/// Wraps a counting strategy with the query's statistical tests and the
+/// (cached) chi-squared critical value.
+pub(crate) struct Engine<'a, C: MintermCounter> {
+    counter: &'a mut C,
+    /// Absolute cell-support threshold.
+    pub s_abs: u64,
+    /// CT-support cell fraction.
+    pub p: f64,
+    confidence: f64,
+    crit: Option<f64>,
+}
+
+impl<'a, C: MintermCounter> Engine<'a, C> {
+    pub(crate) fn new(counter: &'a mut C, params: &MiningParams) -> Self {
+        let n = counter.n_transactions();
+        Engine {
+            counter,
+            s_abs: params.support_abs(n),
+            p: params.ct_fraction,
+            confidence: params.confidence,
+            crit: None,
+        }
+    }
+
+    /// The chi-squared critical value of the correlation test.
+    ///
+    /// Following Brin et al. (and §2.1 of the paper: "a degree of
+    /// freedom, which is always 1 for boolean variables"), the cutoff is
+    /// the df = 1 quantile at *every* level. This fixed cutoff is what
+    /// makes being correlated *monotone* — the statistic never decreases
+    /// when an item is added, so a superset compared against the same
+    /// cutoff stays correlated. A level-dependent cutoff (e.g. the
+    /// full-independence df = 2^k − k − 1) would break the upward
+    /// closure the whole algorithm family builds on; see the fidelity
+    /// notes in DESIGN.md.
+    pub(crate) fn critical_value(&mut self) -> f64 {
+        *self.crit.get_or_insert_with(|| chi2_quantile(self.confidence, 1))
+    }
+
+    /// Builds the contingency table for `set` and applies both tests.
+    /// The table is accounted by the counting layer; absorb
+    /// [`Engine::counting_stats`] into the run's metrics once at the end.
+    pub(crate) fn evaluate(&mut self, set: &Itemset) -> Verdict {
+        debug_assert!(set.len() >= 2, "tests are degenerate below pairs");
+        let table = ContingencyTable::build(self.counter, set);
+        let ct_supported = table.is_ct_supported(self.s_abs, self.p);
+        let chi2 = table.chi_squared();
+        let correlated = chi2 >= self.critical_value();
+        Verdict { ct_supported, correlated, chi2 }
+    }
+
+    /// Raw minterm counts for `set` (one accounted table), for callers
+    /// that need the cells themselves (conditional-independence tests).
+    pub(crate) fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+        self.counter.minterm_counts(set)
+    }
+
+    /// Final counting statistics, to be absorbed into metrics once at the
+    /// end of a run.
+    pub(crate) fn counting_stats(&self) -> ccs_itemset::CountingStats {
+        self.counter.stats()
+    }
+}

@@ -1,0 +1,51 @@
+//! # ccs-core — constrained correlated set mining
+//!
+//! A from-scratch Rust implementation of *Efficient Mining of Constrained
+//! Correlated Sets* (Grahne, Lakshmanan & Wang, ICDE 2000): the four
+//! constrained variants of the Brin–Motwani–Silverstein correlation miner,
+//! the baseline itself, and an exhaustive reference.
+//!
+//! | Algorithm | Answer set | Constraint pushing |
+//! |-----------|------------|--------------------|
+//! | [`bms`] (baseline) | minimal correlated + CT-supported | — |
+//! | [`bms_plus`] | `VALID_MIN` | none (post-filter) |
+//! | [`bms_plus_plus`] | `VALID_MIN` | full (§3.1) |
+//! | [`bms_star`] | `MIN_VALID` | none (BMS + upward sweep) |
+//! | [`bms_star_star`] | `MIN_VALID` | full (§3.2) |
+//! | [`naive`] | either | exhaustive ground truth |
+//!
+//! Start from [`mine`] for the one-call API, or the per-algorithm
+//! functions for counter control. [`border`] computes both borders of
+//! the solution space — the complete characterization §5 of the paper
+//! calls for.
+
+#![warn(missing_docs)]
+
+pub mod bms;
+pub mod bms_batched;
+pub mod border;
+pub mod causality;
+pub mod bms_plus;
+pub mod bms_plus_plus;
+pub mod bms_star;
+pub mod bms_star_star;
+mod engine;
+pub mod metrics;
+pub mod miner;
+pub mod naive;
+pub mod params;
+pub mod query;
+
+pub use bms::{run_bms, BmsOutput};
+pub use bms_batched::run_bms_batched;
+pub use border::{solution_space, SolutionSpace};
+pub use causality::{discover_causality, CausalAnalysis, CausalFinding};
+pub use bms_plus::run_bms_plus;
+pub use bms_plus_plus::run_bms_plus_plus;
+pub use bms_star::run_bms_star;
+pub use bms_star_star::run_bms_star_star;
+pub use metrics::MiningMetrics;
+pub use miner::{mine, mine_with_counter, mine_with_strategy, Algorithm, CountingStrategy};
+pub use naive::{run_naive, NAIVE_MAX_ITEMS};
+pub use params::MiningParams;
+pub use query::{CorrelationQuery, MiningError, MiningResult, Semantics};

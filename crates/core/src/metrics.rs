@@ -1,0 +1,102 @@
+//! Work accounting for the §3.3 cost analysis.
+//!
+//! The paper argues that the number of sets an algorithm *considers*
+//! (builds a contingency table for) dominates its cost, since each table
+//! historically meant a database scan. Every miner in this crate reports
+//! a [`MiningMetrics`] so experiments can compare `|BMS+|`, `|BMS++|`,
+//! `|BMS*|`, and `|BMS**|` directly, alongside wall-clock time.
+
+use std::time::Duration;
+
+use ccs_itemset::CountingStats;
+
+/// Work performed by one mining run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MiningMetrics {
+    /// Candidate itemsets generated across all levels (before any per-set
+    /// constraint check).
+    pub candidates_generated: u64,
+    /// Sets for which a contingency table was built — the paper's
+    /// "number of sets considered", the dominating cost term.
+    pub tables_built: u64,
+    /// Candidate sets discarded by a residual anti-monotone constraint
+    /// check *before* counting (the pre-table pruning of BMS++/BMS**).
+    pub pruned_before_count: u64,
+    /// Database scans performed by the counting layer.
+    pub db_scans: u64,
+    /// Transactions visited by the counting layer, across all scans.
+    pub transactions_visited: u64,
+    /// Highest lattice level reached.
+    pub max_level_reached: usize,
+    /// Number of sets placed in SIG (answers, before/after filtering
+    /// depending on algorithm).
+    pub sig_size: u64,
+    /// Number of sets placed in NOTSIG across the run.
+    pub notsig_size: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl MiningMetrics {
+    /// Folds the counting layer's statistics into the metrics.
+    pub fn absorb_counting(&mut self, stats: CountingStats) {
+        self.tables_built += stats.tables_built;
+        self.db_scans += stats.db_scans;
+        self.transactions_visited += stats.transactions_visited;
+    }
+
+    /// Merges another metrics record into this one (durations add;
+    /// `max_level_reached` takes the max). Used when an algorithm is a
+    /// pipeline of phases (BMS* = BMS + upward sweep).
+    pub fn merge(&mut self, other: &MiningMetrics) {
+        self.candidates_generated += other.candidates_generated;
+        self.tables_built += other.tables_built;
+        self.pruned_before_count += other.pruned_before_count;
+        self.db_scans += other.db_scans;
+        self.transactions_visited += other.transactions_visited;
+        self.max_level_reached = self.max_level_reached.max(other.max_level_reached);
+        self.sig_size += other.sig_size;
+        self.notsig_size += other.notsig_size;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_counting_accumulates() {
+        let mut m = MiningMetrics::default();
+        m.absorb_counting(CountingStats { tables_built: 3, db_scans: 3, transactions_visited: 30 });
+        m.absorb_counting(CountingStats { tables_built: 2, db_scans: 2, transactions_visited: 20 });
+        assert_eq!(m.tables_built, 5);
+        assert_eq!(m.db_scans, 5);
+        assert_eq!(m.transactions_visited, 50);
+    }
+
+    #[test]
+    fn merge_combines_phases() {
+        let a = MiningMetrics {
+            candidates_generated: 10,
+            tables_built: 8,
+            max_level_reached: 3,
+            sig_size: 2,
+            elapsed: Duration::from_millis(5),
+            ..MiningMetrics::default()
+        };
+        let mut b = MiningMetrics {
+            candidates_generated: 4,
+            tables_built: 4,
+            max_level_reached: 5,
+            elapsed: Duration::from_millis(7),
+            ..MiningMetrics::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.candidates_generated, 14);
+        assert_eq!(b.tables_built, 12);
+        assert_eq!(b.max_level_reached, 5);
+        assert_eq!(b.sig_size, 2);
+        assert_eq!(b.elapsed, Duration::from_millis(12));
+    }
+}

@@ -1,0 +1,227 @@
+//! The top-level mining API: pick an algorithm, get an answer set.
+
+use ccs_constraints::AttributeTable;
+use ccs_itemset::{HorizontalCounter, MintermCounter, ParallelCounter, TransactionDb, VerticalCounter};
+
+use crate::bms_plus::run_bms_plus;
+use crate::bms_plus_plus::run_bms_plus_plus;
+use crate::bms_star::run_bms_star;
+use crate::bms_star_star::run_bms_star_star;
+use crate::naive::run_naive;
+use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// The mining algorithms of the paper, plus the exhaustive reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// BMS+ — naive `VALID_MIN`: run BMS, filter by constraints.
+    BmsPlus,
+    /// BMS++ — constraint-pushing `VALID_MIN`.
+    BmsPlusPlus,
+    /// BMS* — naive `MIN_VALID`: run BMS, then sweep upward.
+    BmsStar,
+    /// BMS** — constraint-pushing `MIN_VALID`.
+    BmsStarStar,
+    /// Exhaustive enumeration (ground truth; accepts `avg` constraints;
+    /// exponential — small universes only).
+    Naive,
+    /// Exhaustive enumeration under `MIN_VALID` semantics.
+    NaiveMinValid,
+}
+
+impl Algorithm {
+    /// The answer-set semantics the algorithm computes.
+    pub fn semantics(self) -> Semantics {
+        match self {
+            Algorithm::BmsPlus | Algorithm::BmsPlusPlus | Algorithm::Naive => Semantics::ValidMin,
+            Algorithm::BmsStar | Algorithm::BmsStarStar | Algorithm::NaiveMinValid => {
+                Semantics::MinValid
+            }
+        }
+    }
+
+    /// All four level-wise algorithms of the paper, in presentation
+    /// order.
+    pub fn paper_algorithms() -> [Algorithm; 4] {
+        [Algorithm::BmsPlus, Algorithm::BmsPlusPlus, Algorithm::BmsStar, Algorithm::BmsStarStar]
+    }
+
+    /// Short display name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::BmsPlus => "BMS+",
+            Algorithm::BmsPlusPlus => "BMS++",
+            Algorithm::BmsStar => "BMS*",
+            Algorithm::BmsStarStar => "BMS**",
+            Algorithm::Naive => "naive",
+            Algorithm::NaiveMinValid => "naive(MIN_VALID)",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// How contingency tables are counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CountingStrategy {
+    /// One database scan per table — the paper's cost model. Default.
+    #[default]
+    Horizontal,
+    /// Tid-set intersections over a one-pass vertical index — the fast
+    /// path (DESIGN.md ablation).
+    Vertical,
+    /// Horizontal scans fanned out over all available cores — identical
+    /// cost model to `Horizontal`, divided across threads (an extension
+    /// beyond the paper's single-core testbed).
+    Parallel,
+}
+
+/// Runs `algorithm` on `db` with a counter chosen by `strategy`.
+///
+/// # Errors
+///
+/// Returns [`MiningError`] on invalid constraints, or when a
+/// neither-monotone constraint reaches a level-wise algorithm.
+pub fn mine_with_strategy(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    strategy: CountingStrategy,
+) -> Result<MiningResult, MiningError> {
+    match strategy {
+        CountingStrategy::Horizontal => {
+            let mut counter = HorizontalCounter::new(db);
+            mine_with_counter(db, attrs, query, algorithm, &mut counter)
+        }
+        CountingStrategy::Vertical => {
+            let mut counter = VerticalCounter::new(db);
+            mine_with_counter(db, attrs, query, algorithm, &mut counter)
+        }
+        CountingStrategy::Parallel => {
+            let mut counter = ParallelCounter::with_available_parallelism(db);
+            mine_with_counter(db, attrs, query, algorithm, &mut counter)
+        }
+    }
+}
+
+/// Runs `algorithm` with the default (paper-faithful, horizontal)
+/// counting strategy.
+///
+/// # Errors
+///
+/// As [`mine_with_strategy`].
+pub fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    mine_with_strategy(db, attrs, query, algorithm, CountingStrategy::Horizontal)
+}
+
+/// Runs `algorithm` against a caller-provided counting strategy.
+///
+/// # Errors
+///
+/// As [`mine_with_strategy`].
+pub fn mine_with_counter<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    counter: &mut C,
+) -> Result<MiningResult, MiningError> {
+    match algorithm {
+        Algorithm::BmsPlus => run_bms_plus(db, attrs, query, counter),
+        Algorithm::BmsPlusPlus => run_bms_plus_plus(db, attrs, query, counter),
+        Algorithm::BmsStar => run_bms_star(db, attrs, query, counter),
+        Algorithm::BmsStarStar => run_bms_star_star(db, attrs, query, counter),
+        Algorithm::Naive => run_naive(db, attrs, query, Semantics::ValidMin, counter),
+        Algorithm::NaiveMinValid => run_naive(db, attrs, query, Semantics::MinValid, counter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use crate::params::MiningParams;
+
+    fn db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..50 {
+            let mut t = Vec::new();
+            if i % 2 == 0 {
+                t.extend([0u32, 1]);
+            }
+            if i % 5 == 0 {
+                t.push(2);
+            }
+            txns.push(t);
+        }
+        TransactionDb::from_ids(3, txns)
+    }
+
+    fn query() -> CorrelationQuery {
+        CorrelationQuery {
+            params: MiningParams {
+                confidence: 0.9,
+                support_fraction: 0.1,
+                ct_fraction: 0.25,
+                min_item_support: 0.0,
+                max_level: 4,
+            },
+            constraints: ConstraintSet::new().and(Constraint::max_le("price", 3.0)),
+        }
+    }
+
+    #[test]
+    fn semantics_mapping() {
+        assert_eq!(Algorithm::BmsPlus.semantics(), Semantics::ValidMin);
+        assert_eq!(Algorithm::BmsPlusPlus.semantics(), Semantics::ValidMin);
+        assert_eq!(Algorithm::BmsStar.semantics(), Semantics::MinValid);
+        assert_eq!(Algorithm::BmsStarStar.semantics(), Semantics::MinValid);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_anti_monotone_query() {
+        // Theorem 1.2: with only anti-monotone constraints the two
+        // semantics coincide, so all four paper algorithms agree.
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(3);
+        let q = query();
+        let results: Vec<_> = Algorithm::paper_algorithms()
+            .iter()
+            .map(|&a| mine(&db, &attrs, &q, a).unwrap().answers)
+            .collect();
+        for r in &results[1..] {
+            assert_eq!(&results[0], r);
+        }
+    }
+
+    #[test]
+    fn all_counting_strategies_agree() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(3);
+        let q = query();
+        for &a in &Algorithm::paper_algorithms() {
+            let h = mine_with_strategy(&db, &attrs, &q, a, CountingStrategy::Horizontal)
+                .unwrap()
+                .answers;
+            for strategy in [CountingStrategy::Vertical, CountingStrategy::Parallel] {
+                let v = mine_with_strategy(&db, &attrs, &q, a, strategy).unwrap().answers;
+                assert_eq!(h, v, "{strategy:?} mismatch for {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(Algorithm::BmsPlus.name(), "BMS+");
+        assert_eq!(Algorithm::BmsStarStar.to_string(), "BMS**");
+    }
+}

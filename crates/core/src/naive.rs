@@ -1,0 +1,266 @@
+//! The exhaustive reference miner.
+//!
+//! Enumerates *every* itemset over the item basis (up to `max_level`),
+//! evaluates correlation, CT-support, and validity directly from the
+//! definitions, and derives `VALID_MIN` / `MIN_VALID` by explicit
+//! minimality checks against all proper subsets. Exponential in the
+//! number of items — usable only on small universes — but it is the
+//! ground truth every level-wise algorithm is tested against, and the
+//! only miner that accepts neither-monotone (`avg`) constraints, whose
+//! holey solution spaces defeat level-wise pruning (§6 of the paper).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ccs_constraints::AttributeTable;
+use ccs_itemset::{Item, Itemset, MintermCounter, TransactionDb};
+
+use crate::engine::Engine;
+use crate::metrics::MiningMetrics;
+use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    ct_supported: bool,
+    correlated: bool,
+    valid: bool,
+}
+
+/// The largest item basis the exhaustive miner accepts.
+pub const NAIVE_MAX_ITEMS: usize = 20;
+
+/// Runs the exhaustive reference miner under the given semantics.
+///
+/// Unlike the level-wise miners this accepts any constraint, including
+/// `avg`. Note that for neither-monotone constraints the minimal answer
+/// sets do not characterize the full solution space (it may have holes);
+/// they are still well-defined and computed literally.
+///
+/// # Errors
+///
+/// Returns [`MiningError::Constraint`] if the constraints fail
+/// validation, or [`MiningError::UniverseTooLarge`] if the item basis
+/// exceeds [`NAIVE_MAX_ITEMS`].
+pub fn run_naive<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    semantics: Semantics,
+    counter: &mut C,
+) -> Result<MiningResult, MiningError> {
+    query.validate(attrs)?;
+    let start = Instant::now();
+    let mut metrics = MiningMetrics::default();
+    let base_stats = counter.stats();
+    let mut engine = Engine::new(counter, &query.params);
+
+    // Same item basis as the level-wise miners.
+    let item_threshold = query.params.item_support_abs(db.len());
+    let supports = db.item_supports();
+    let basis: Vec<Item> = (0..db.n_items())
+        .map(Item::new)
+        .filter(|i| supports[i.index()] as u64 >= item_threshold)
+        .collect();
+    if basis.len() > NAIVE_MAX_ITEMS {
+        return Err(MiningError::UniverseTooLarge { basis: basis.len(), limit: NAIVE_MAX_ITEMS });
+    }
+
+    let top = query.params.max_level.min(basis.len());
+    let mut flags: HashMap<Itemset, Flags> = HashMap::new();
+    for k in 2..=top {
+        for set in combinations(&basis, k) {
+            metrics.candidates_generated += 1;
+            let v = engine.evaluate(&set);
+            let valid = query.constraints.satisfied(&set, attrs);
+            flags.insert(
+                set,
+                Flags { ct_supported: v.ct_supported, correlated: v.correlated, valid },
+            );
+        }
+    }
+
+    let in_space = |f: &Flags, semantics: Semantics| match semantics {
+        // The "space" minimality quantifies over differs per semantics:
+        // VALID_MIN is minimal in {correlated ∧ CT-supported}, MIN_VALID
+        // in {correlated ∧ CT-supported ∧ valid}.
+        Semantics::ValidMin => f.ct_supported && f.correlated,
+        Semantics::MinValid => f.ct_supported && f.correlated && f.valid,
+    };
+
+    let mut answers = Vec::new();
+    for (set, f) in &flags {
+        if !in_space(f, semantics) {
+            continue;
+        }
+        // For VALID_MIN the set itself must additionally be valid.
+        if semantics == Semantics::ValidMin && !f.valid {
+            continue;
+        }
+        let minimal = set
+            .proper_subsets()
+            .into_iter()
+            .filter(|s| s.len() >= 2)
+            .all(|s| flags.get(&s).is_none_or(|sf| !in_space(sf, semantics)));
+        if minimal {
+            answers.push(set.clone());
+        }
+    }
+
+    metrics.sig_size = answers.len() as u64;
+    metrics.max_level_reached = top;
+    let end = engine.counting_stats();
+    metrics.absorb_counting(ccs_itemset::CountingStats {
+        tables_built: end.tables_built - base_stats.tables_built,
+        db_scans: end.db_scans - base_stats.db_scans,
+        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
+    });
+    metrics.elapsed = start.elapsed();
+    Ok(MiningResult::new(answers, semantics, metrics))
+}
+
+/// All `k`-combinations of `items`, in lexicographic order.
+fn combinations(items: &[Item], k: usize) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    combine_rec(items, k, 0, &mut current, &mut out);
+    out
+}
+
+fn combine_rec(
+    items: &[Item],
+    k: usize,
+    start: usize,
+    current: &mut Vec<Item>,
+    out: &mut Vec<Itemset>,
+) {
+    if current.len() == k {
+        out.push(Itemset::from_items(current.iter().copied()));
+        return;
+    }
+    let needed = k - current.len();
+    for i in start..=items.len().saturating_sub(needed) {
+        current.push(items[i]);
+        combine_rec(items, k, i + 1, current, out);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use ccs_itemset::HorizontalCounter;
+    use crate::params::MiningParams;
+
+    fn db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..60 {
+            let mut t = Vec::new();
+            if i % 2 == 0 {
+                t.extend([0u32, 1]);
+            }
+            if i % 3 == 0 {
+                t.extend([2, 3]);
+            }
+            if i % 5 == 0 {
+                t.push(4);
+            }
+            txns.push(t);
+        }
+        TransactionDb::from_ids(5, txns)
+    }
+
+    fn query(constraints: ConstraintSet) -> CorrelationQuery {
+        CorrelationQuery {
+            params: MiningParams {
+                confidence: 0.9,
+                support_fraction: 0.1,
+                ct_fraction: 0.25,
+                min_item_support: 0.0,
+                max_level: 4,
+            },
+            constraints,
+        }
+    }
+
+    #[test]
+    fn combinations_enumerate_binomials() {
+        let items: Vec<Item> = (0..5).map(Item::new).collect();
+        assert_eq!(combinations(&items, 2).len(), 10);
+        assert_eq!(combinations(&items, 3).len(), 10);
+        assert_eq!(combinations(&items, 5).len(), 1);
+        assert_eq!(combinations(&items, 6).len(), 0);
+    }
+
+    #[test]
+    fn unconstrained_semantics_coincide() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(ConstraintSet::new());
+        let mut c1 = HorizontalCounter::new(&db);
+        let vm = run_naive(&db, &attrs, &q, Semantics::ValidMin, &mut c1).unwrap();
+        let mut c2 = HorizontalCounter::new(&db);
+        let mv = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c2).unwrap();
+        assert_eq!(vm.answers, mv.answers);
+        assert!(vm.contains(&Itemset::from_ids([0, 1])));
+        assert!(vm.contains(&Itemset::from_ids([2, 3])));
+    }
+
+    #[test]
+    fn valid_min_is_subset_of_min_valid() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        // Monotone constraint: total price at least 6.
+        let q = query(ConstraintSet::new().and(Constraint::sum_ge("price", 6.0)));
+        let mut c1 = HorizontalCounter::new(&db);
+        let vm = run_naive(&db, &attrs, &q, Semantics::ValidMin, &mut c1).unwrap();
+        let mut c2 = HorizontalCounter::new(&db);
+        let mv = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c2).unwrap();
+        for s in &vm.answers {
+            assert!(mv.contains(s), "VALID_MIN member {s} missing from MIN_VALID");
+        }
+    }
+
+    #[test]
+    fn anti_monotone_constraints_make_semantics_coincide() {
+        // Theorem 1.2.
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(ConstraintSet::new().and(Constraint::max_le("price", 4.0)));
+        let mut c1 = HorizontalCounter::new(&db);
+        let vm = run_naive(&db, &attrs, &q, Semantics::ValidMin, &mut c1).unwrap();
+        let mut c2 = HorizontalCounter::new(&db);
+        let mv = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c2).unwrap();
+        assert_eq!(vm.answers, mv.answers);
+    }
+
+    #[test]
+    fn avg_constraint_is_supported() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(ConstraintSet::new().and(Constraint::Avg {
+            attr: "price".into(),
+            cmp: ccs_constraints::Cmp::Le,
+            value: 2.0,
+        }));
+        let mut c = HorizontalCounter::new(&db);
+        let r = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c).unwrap();
+        // {0,1} has avg price 1.5 ≤ 2; {2,3} has avg 3.5.
+        assert!(r.contains(&Itemset::from_ids([0, 1])));
+        assert!(!r.contains(&Itemset::from_ids([2, 3])));
+    }
+
+    #[test]
+    fn answers_are_mutually_minimal() {
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(5);
+        let q = query(ConstraintSet::new().and(Constraint::sum_ge("price", 3.0)));
+        let mut c = HorizontalCounter::new(&db);
+        let r = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c).unwrap();
+        for (i, a) in r.answers.iter().enumerate() {
+            for b in &r.answers[i + 1..] {
+                assert!(!a.is_subset_of(b) && !b.is_subset_of(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Mining parameters shared by every algorithm.
+
+/// The statistical parameters of a correlation query: the chi-squared
+/// confidence level `α`, the cell-support threshold `s` (as a fraction of
+/// the database size), and the cell fraction `p` of the CT-support test —
+/// the `(α, s, p%)` triple of Brin et al. that the paper keeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiningParams {
+    /// Chi-squared confidence level for the correlation test (the paper's
+    /// experiments use 0.9: an itemset is correlated when its statistic
+    /// exceeds the 90% quantile).
+    pub confidence: f64,
+    /// Cell-support threshold `s` as a fraction of the number of baskets
+    /// (0.25 in the paper's experiments).
+    pub support_fraction: f64,
+    /// Fraction `p` of contingency cells that must reach `s` for
+    /// CT-support (0.25 in the paper's experiments).
+    pub ct_fraction: f64,
+    /// Minimum relative support an item needs to participate at all
+    /// (the `O(i) ≥ s` filter of the paper's pseudo-code). `0.0` disables
+    /// the filter, which matches the 25%-threshold experiments where a
+    /// literal reading would prune every item of a sparse basket
+    /// database.
+    pub min_item_support: f64,
+    /// Safety cap on the lattice level (inclusive). The paper's
+    /// experiments never see answers above level 4; the cap bounds
+    /// runaway sweeps on adversarial inputs.
+    pub max_level: usize,
+}
+
+impl MiningParams {
+    /// The paper's experimental configuration: confidence 0.9, `s` = 25%
+    /// of baskets, `p` = 25% of cells.
+    pub fn paper() -> Self {
+        MiningParams {
+            confidence: 0.9,
+            support_fraction: 0.25,
+            ct_fraction: 0.25,
+            min_item_support: 0.0,
+            max_level: 8,
+        }
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values; parameters are programmer input,
+    /// not user data.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.confidence),
+            "confidence must be in [0, 1), got {}",
+            self.confidence
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.support_fraction),
+            "support_fraction must be in [0, 1], got {}",
+            self.support_fraction
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.ct_fraction),
+            "ct_fraction must be in [0, 1], got {}",
+            self.ct_fraction
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.min_item_support),
+            "min_item_support must be in [0, 1], got {}",
+            self.min_item_support
+        );
+        assert!(self.max_level >= 2, "max_level must be at least 2");
+    }
+
+    /// The absolute cell-support threshold for a database of `n` baskets.
+    pub fn support_abs(&self, n: usize) -> u64 {
+        (self.support_fraction * n as f64).ceil() as u64
+    }
+
+    /// The absolute item-support threshold for a database of `n` baskets.
+    pub fn item_support_abs(&self, n: usize) -> u64 {
+        (self.min_item_support * n as f64).ceil() as u64
+    }
+}
+
+impl Default for MiningParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = MiningParams::paper();
+        p.validate();
+        assert_eq!(p.confidence, 0.9);
+        assert_eq!(p.support_fraction, 0.25);
+        assert_eq!(p.ct_fraction, 0.25);
+    }
+
+    #[test]
+    fn absolute_thresholds_round_up() {
+        let p = MiningParams { support_fraction: 0.25, ..MiningParams::paper() };
+        assert_eq!(p.support_abs(100), 25);
+        assert_eq!(p.support_abs(101), 26);
+        assert_eq!(p.support_abs(0), 0);
+        let q = MiningParams { min_item_support: 0.1, ..MiningParams::paper() };
+        assert_eq!(q.item_support_abs(95), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn confidence_of_one_rejected() {
+        MiningParams { confidence: 1.0, ..MiningParams::paper() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_level")]
+    fn tiny_max_level_rejected() {
+        MiningParams { max_level: 1, ..MiningParams::paper() }.validate();
+    }
+}

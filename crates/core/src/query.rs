@@ -1,0 +1,174 @@
+//! Constrained correlation queries and their answer-set semantics.
+
+use std::fmt;
+
+use ccs_constraints::{AttributeTable, ConstraintError, ConstraintSet};
+use ccs_itemset::Itemset;
+
+use crate::metrics::MiningMetrics;
+use crate::params::MiningParams;
+
+/// A constrained correlation query:
+/// `{ S | S is CT-supported and correlated & S satisfies C }`,
+/// with the statistical parameters `(α, s, p%)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CorrelationQuery {
+    /// Statistical parameters.
+    pub params: MiningParams,
+    /// The constraint conjunction `C`.
+    pub constraints: ConstraintSet,
+}
+
+impl CorrelationQuery {
+    /// An unconstrained query with the given parameters (plain Brin et
+    /// al. mining).
+    pub fn unconstrained(params: MiningParams) -> Self {
+        CorrelationQuery { params, constraints: ConstraintSet::new() }
+    }
+
+    /// A query with the paper's default parameters and the given
+    /// constraints.
+    pub fn with_constraints(constraints: ConstraintSet) -> Self {
+        CorrelationQuery { params: MiningParams::paper(), constraints }
+    }
+
+    /// Validates parameters and constraints against an attribute table.
+    pub fn validate(&self, attrs: &AttributeTable) -> Result<(), ConstraintError> {
+        self.params.validate();
+        self.constraints.validate(attrs)
+    }
+}
+
+/// Which answer set a mining run computes (Definitions 1 and 2 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// `VALID_MIN(Q)`: minimal correlated + CT-supported sets that are
+    /// also valid. Computed by BMS+ and BMS++.
+    ValidMin,
+    /// `MIN_VALID(Q)`: minimal sets among the correlated + CT-supported +
+    /// valid ones. Computed by BMS* and BMS**. Always a superset of
+    /// `VALID_MIN(Q)`; equal when all constraints are anti-monotone
+    /// (Theorem 1).
+    MinValid,
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Semantics::ValidMin => write!(f, "VALID_MIN"),
+            Semantics::MinValid => write!(f, "MIN_VALID"),
+        }
+    }
+}
+
+/// The outcome of a mining run: the answer set and the work performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningResult {
+    /// The answer itemsets, sorted for determinism.
+    pub answers: Vec<Itemset>,
+    /// Which semantics `answers` follows.
+    pub semantics: Semantics,
+    /// Work accounting.
+    pub metrics: MiningMetrics,
+}
+
+impl MiningResult {
+    /// Builds a result, sorting the answers.
+    pub fn new(mut answers: Vec<Itemset>, semantics: Semantics, metrics: MiningMetrics) -> Self {
+        answers.sort_unstable();
+        answers.dedup();
+        MiningResult { answers, semantics, metrics }
+    }
+
+    /// `true` iff `set` is among the answers.
+    pub fn contains(&self, set: &Itemset) -> bool {
+        self.answers.binary_search(set).is_ok()
+    }
+}
+
+/// Errors a mining run can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// A constraint references a missing or ill-typed attribute.
+    Constraint(ConstraintError),
+    /// The query contains a constraint that is neither monotone nor
+    /// anti-monotone (`avg`): the level-wise algorithms cannot handle it
+    /// (§6 of the paper); use the naive miner.
+    NonMonotoneConstraint,
+    /// The exhaustive reference miner was asked to enumerate a basis
+    /// larger than it can handle.
+    UniverseTooLarge {
+        /// Items in the (filtered) basis.
+        basis: usize,
+        /// The miner's hard cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::Constraint(e) => write!(f, "constraint error: {e}"),
+            MiningError::NonMonotoneConstraint => write!(
+                f,
+                "query contains a constraint that is neither monotone nor anti-monotone \
+                 (e.g. avg); only the naive miner supports such queries"
+            ),
+            MiningError::UniverseTooLarge { basis, limit } => write!(
+                f,
+                "the exhaustive miner is limited to {limit} items, but the basis has {basis}; \
+                 use a level-wise algorithm or add pruning constraints"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}
+
+impl From<ConstraintError> for MiningError {
+    fn from(e: ConstraintError) -> Self {
+        MiningError::Constraint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_constraints::Constraint;
+
+    #[test]
+    fn query_validation() {
+        let attrs = AttributeTable::with_identity_prices(10);
+        let q = CorrelationQuery::with_constraints(
+            ConstraintSet::new().and(Constraint::max_le("price", 5.0)),
+        );
+        assert!(q.validate(&attrs).is_ok());
+        let bad = CorrelationQuery::with_constraints(
+            ConstraintSet::new().and(Constraint::max_le("weight", 5.0)),
+        );
+        assert!(bad.validate(&attrs).is_err());
+    }
+
+    #[test]
+    fn result_sorts_and_dedups() {
+        let r = MiningResult::new(
+            vec![
+                Itemset::from_ids([2, 3]),
+                Itemset::from_ids([0, 1]),
+                Itemset::from_ids([2, 3]),
+            ],
+            Semantics::ValidMin,
+            MiningMetrics::default(),
+        );
+        assert_eq!(r.answers.len(), 2);
+        assert!(r.contains(&Itemset::from_ids([0, 1])));
+        assert!(!r.contains(&Itemset::from_ids([0, 2])));
+    }
+
+    #[test]
+    fn semantics_display() {
+        assert_eq!(Semantics::ValidMin.to_string(), "VALID_MIN");
+        assert_eq!(Semantics::MinValid.to_string(), "MIN_VALID");
+    }
+}

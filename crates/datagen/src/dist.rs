@@ -1,0 +1,133 @@
+//! Random-variate samplers for the data generators.
+//!
+//! The Quest generator needs Poisson, Normal, and Exponential variates.
+//! `rand` (the only RNG crate on this project's dependency list) provides
+//! uniform sampling only, so the transforms are implemented here: Knuth's
+//! product method / normal approximation for Poisson, Box–Muller for
+//! Normal, and inverse-CDF for Exponential.
+
+use rand::Rng;
+
+/// A Poisson(λ) variate.
+///
+/// Uses Knuth's product-of-uniforms method for λ < 30 and a rounded
+/// normal approximation `N(λ, λ)` (clamped at 0) for larger λ, which is
+/// accurate far beyond what transaction-length sampling needs.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not positive and finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda > 0.0 && lambda.is_finite(), "poisson needs λ > 0, got {lambda}");
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product = rng.gen::<f64>();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// A Normal(μ, σ) variate via Box–Muller.
+///
+/// # Panics
+///
+/// Panics if `sd` is negative or either parameter is non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0 && sd.is_finite() && mean.is_finite(), "bad normal parameters");
+    // Avoid ln(0): sample u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sd * z
+}
+
+/// An Exponential variate with the given mean (`1/rate`).
+///
+/// # Panics
+///
+/// Panics if `mean` is not positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "exponential needs mean > 0, got {mean}");
+    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_small_lambda() {
+        let mut r = rng();
+        let lambda = 4.0;
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut r, lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        assert!((var - lambda).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_mean_large_lambda_uses_normal_branch() {
+        let mut r = rng();
+        let lambda = 100.0;
+        let n = 20_000;
+        let mean =
+            (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| exponential(&mut r, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| poisson(&mut r, 5.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| poisson(&mut r, 5.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "λ > 0")]
+    fn poisson_rejects_zero_lambda() {
+        poisson(&mut rng(), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ccs-datagen — synthetic basket-data generators
+//!
+//! Both test-data generation methods of the paper's evaluation (§4):
+//!
+//! * [`quest`] — an IBM-Quest-style generator (Agrawal–Srikant VLDB'94),
+//!   simulating "real world" basket data via weighted, corrupted
+//!   potentially-large itemsets ("method 1"),
+//! * [`rules`] — a correlation-rule-planted generator with known ground
+//!   truth ("method 2"), for verifying that miners recover exactly the
+//!   planted correlations,
+//! * [`dist`] — the Poisson / Normal / Exponential samplers they share.
+//!
+//! All generation is deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod quest;
+pub mod rules;
+
+pub use quest::{generate as generate_quest, QuestParams};
+pub use rules::{generate as generate_rules, PlantedRule, RuleParams, RulePlantedData};

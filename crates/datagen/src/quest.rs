@@ -1,0 +1,281 @@
+//! IBM-Quest-style synthetic basket data ("method 1" of the paper's
+//! experiments).
+//!
+//! Re-implements the synthetic data generator of Agrawal & Srikant ("Fast
+//! Algorithms for Mining Association Rules", VLDB 1994, §4.1), which the
+//! paper uses to "simulate the real world". The original is a closed-source
+//! C program from IBM Almaden; this implementation follows the published
+//! description (see DESIGN.md "Substitutions"):
+//!
+//! 1. A pool of `|L|` *potentially large itemsets* (patterns) is generated.
+//!    Pattern sizes are Poisson with mean `|I|`; successive patterns reuse
+//!    an exponentially-distributed fraction of the previous pattern's items
+//!    (correlation level 0.5); remaining items are drawn uniformly.
+//!    Each pattern gets an exponentially-distributed weight (normalized to
+//!    a probability) and a *corruption level* drawn from N(0.5, 0.1²).
+//! 2. Each transaction has a Poisson(`|T|`) target size and is filled by
+//!    repeatedly picking a weighted random pattern, *corrupting* it (items
+//!    are dropped while a uniform draw stays below the corruption level),
+//!    and inserting the surviving items. An oversized final pattern is
+//!    added to the transaction half the time and discarded otherwise.
+//!
+//! The paper's method-1 configuration is [`QuestParams::paper`]:
+//! `|T| = 20`, `|I| = 4`, `N = 1000`, with `|D|` swept from 10 000 to
+//! 100 000.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use ccs_itemset::{Item, TransactionDb};
+
+use crate::dist::{exponential, normal, poisson};
+
+/// Parameters of the Quest-style generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestParams {
+    /// `|D|`: number of transactions to generate.
+    pub n_transactions: usize,
+    /// `N`: number of items in the universe.
+    pub n_items: u32,
+    /// `|T|`: mean transaction size (Poisson).
+    pub avg_transaction_len: f64,
+    /// `|I|`: mean size of the potentially-large itemsets (Poisson).
+    pub avg_pattern_len: f64,
+    /// `|L|`: number of potentially-large itemsets in the pattern pool.
+    pub n_patterns: usize,
+    /// Fraction of items successive patterns share on average
+    /// (exponentially distributed with this mean). 0.5 in the original.
+    pub correlation: f64,
+    /// Mean of the per-pattern corruption level. 0.5 in the original.
+    pub corruption_mean: f64,
+    /// Standard deviation of the corruption level. 0.1 in the original.
+    pub corruption_sd: f64,
+    /// RNG seed: generation is fully deterministic given the parameters.
+    pub seed: u64,
+}
+
+impl QuestParams {
+    /// The configuration of the paper's method-1 experiments:
+    /// `|T| = 20`, `|I| = 4`, `N = 1000`, `|L| = 2000`.
+    pub fn paper(n_transactions: usize, seed: u64) -> Self {
+        QuestParams {
+            n_transactions,
+            n_items: 1000,
+            avg_transaction_len: 20.0,
+            avg_pattern_len: 4.0,
+            n_patterns: 2000,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1,
+            seed,
+        }
+    }
+
+    /// A laptop-scale configuration preserving the paper's shape
+    /// (used by unit tests and the default benchmark scale).
+    pub fn small(n_transactions: usize, n_items: u32, seed: u64) -> Self {
+        QuestParams {
+            n_transactions,
+            n_items,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 3.0,
+            n_patterns: (n_items as usize / 2).max(10),
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1,
+            seed,
+        }
+    }
+}
+
+/// One potentially-large itemset in the pattern pool.
+#[derive(Debug, Clone)]
+struct Pattern {
+    items: Vec<Item>,
+    /// Cumulative weight, for O(log L) weighted selection.
+    cumulative_weight: f64,
+    corruption: f64,
+}
+
+/// Generates a transaction database per the Quest procedure.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (no items, no patterns, non-positive
+/// means).
+pub fn generate(params: &QuestParams) -> TransactionDb {
+    assert!(params.n_items > 0, "need at least one item");
+    assert!(params.n_patterns > 0, "need at least one pattern");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let patterns = generate_patterns(params, &mut rng);
+    let total_weight = patterns.last().expect("n_patterns > 0").cumulative_weight;
+
+    let mut transactions: Vec<Vec<Item>> = Vec::with_capacity(params.n_transactions);
+    let mut scratch: Vec<Item> = Vec::new();
+    for _ in 0..params.n_transactions {
+        let target = poisson(&mut rng, params.avg_transaction_len).max(1) as usize;
+        let mut txn: Vec<Item> = Vec::with_capacity(target + 4);
+        while txn.len() < target {
+            let pat = pick_pattern(&patterns, total_weight, &mut rng);
+            corrupt_into(pat, &mut scratch, &mut rng);
+            if scratch.is_empty() {
+                continue;
+            }
+            // Oversized final pattern: keep half the time, else discard
+            // (the original saves it for the next transaction; a discard
+            // has the same distributional effect and is simpler).
+            if txn.len() + scratch.len() > target && !txn.is_empty() && rng.gen::<bool>() {
+                break;
+            }
+            txn.extend_from_slice(&scratch);
+        }
+        transactions.push(txn);
+    }
+    TransactionDb::new(params.n_items, transactions)
+}
+
+fn generate_patterns(params: &QuestParams, rng: &mut StdRng) -> Vec<Pattern> {
+    let mut patterns: Vec<Pattern> = Vec::with_capacity(params.n_patterns);
+    let mut cumulative = 0.0;
+    let mut prev_items: Vec<Item> = Vec::new();
+    for _ in 0..params.n_patterns {
+        let len = (poisson(rng, params.avg_pattern_len).max(1) as usize)
+            .min(params.n_items as usize);
+        let mut items: Vec<Item> = Vec::with_capacity(len);
+        if !prev_items.is_empty() {
+            // Reuse an exponentially-distributed fraction of the previous
+            // pattern, from its front (the original picks a random
+            // fraction of items; front-of-shuffled is equivalent).
+            let frac = exponential(rng, params.correlation).min(1.0);
+            let reuse = ((frac * len as f64).round() as usize).min(prev_items.len());
+            items.extend_from_slice(&prev_items[..reuse]);
+        }
+        while items.len() < len {
+            let candidate = Item::new(rng.gen_range(0..params.n_items));
+            if !items.contains(&candidate) {
+                items.push(candidate);
+            }
+        }
+        let weight = exponential(rng, 1.0);
+        cumulative += weight;
+        let corruption = normal(rng, params.corruption_mean, params.corruption_sd)
+            .clamp(0.0, 1.0);
+        // Shuffle so the reused prefix isn't positionally biased.
+        shuffle(&mut items, rng);
+        prev_items = items.clone();
+        patterns.push(Pattern { items, cumulative_weight: cumulative, corruption });
+    }
+    patterns
+}
+
+fn pick_pattern<'a>(patterns: &'a [Pattern], total: f64, rng: &mut StdRng) -> &'a Pattern {
+    let needle = rng.gen::<f64>() * total;
+    let idx = patterns.partition_point(|p| p.cumulative_weight < needle);
+    &patterns[idx.min(patterns.len() - 1)]
+}
+
+/// Applies Quest corruption: starting from the full pattern, items are
+/// dropped one at a time while a uniform draw stays below the pattern's
+/// corruption level.
+fn corrupt_into(pat: &Pattern, out: &mut Vec<Item>, rng: &mut StdRng) {
+    out.clear();
+    out.extend_from_slice(&pat.items);
+    while !out.is_empty() && rng.gen::<f64>() < pat.corruption {
+        let victim = rng.gen_range(0..out.len());
+        out.swap_remove(victim);
+    }
+}
+
+fn shuffle(items: &mut [Item], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = QuestParams::small(200, 50, 42);
+        assert_eq!(generate(&p), generate(&p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&QuestParams::small(200, 50, 1));
+        let b = generate(&QuestParams::small(200, 50, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn transaction_count_and_universe_respected() {
+        let p = QuestParams::small(500, 80, 7);
+        let db = generate(&p);
+        assert_eq!(db.len(), 500);
+        assert_eq!(db.n_items(), 80);
+    }
+
+    #[test]
+    fn average_transaction_length_tracks_parameter() {
+        let p = QuestParams { seed: 11, ..QuestParams::small(2000, 200, 0) };
+        let db = generate(&p);
+        let avg = db.avg_transaction_len();
+        // Corruption + dedup shrink baskets a little below |T|; the mean
+        // must sit in a sane band around it.
+        assert!(
+            avg > 0.5 * p.avg_transaction_len && avg < 1.5 * p.avg_transaction_len,
+            "avg transaction length {avg} vs |T| = {}",
+            p.avg_transaction_len
+        );
+    }
+
+    #[test]
+    fn patterns_plant_cooccurrence() {
+        // With few patterns and low corruption, pattern items co-occur far
+        // more often than independence predicts.
+        let p = QuestParams {
+            n_patterns: 5,
+            corruption_mean: 0.2,
+            corruption_sd: 0.05,
+            ..QuestParams::small(3000, 100, 99)
+        };
+        let db = generate(&p);
+        // Among the ten most frequent items, at least one pair must come
+        // from a shared pattern and show clearly super-independent lift.
+        let supports = db.item_supports();
+        let mut idx: Vec<usize> = (0..supports.len()).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(supports[i]));
+        let top: Vec<u32> = idx[..10].iter().map(|&i| i as u32).collect();
+        let mut best_lift = 0.0f64;
+        for (i, &a) in top.iter().enumerate() {
+            for &b in &top[i + 1..] {
+                let joint = db.relative_support(&ccs_itemset::Itemset::from_ids([a, b]));
+                let independent = db.relative_support(&ccs_itemset::Itemset::from_ids([a]))
+                    * db.relative_support(&ccs_itemset::Itemset::from_ids([b]));
+                if independent > 0.0 {
+                    best_lift = best_lift.max(joint / independent);
+                }
+            }
+        }
+        assert!(best_lift > 1.2, "expected a strongly associated pair, best lift {best_lift}");
+    }
+
+    #[test]
+    fn paper_params_shape() {
+        let p = QuestParams::paper(10_000, 3);
+        assert_eq!(p.n_items, 1000);
+        assert_eq!(p.avg_transaction_len, 20.0);
+        assert_eq!(p.avg_pattern_len, 4.0);
+        assert_eq!(p.n_patterns, 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        generate(&QuestParams { n_items: 0, ..QuestParams::small(10, 10, 0) });
+    }
+}

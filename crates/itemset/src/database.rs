@@ -1,0 +1,229 @@
+//! [`TransactionDb`]: an in-memory market-basket database.
+//!
+//! A database is a sequence of *baskets* (transactions), each a sorted set of
+//! items drawn from a universe `0..n_items`. The horizontal layout here is
+//! the paper-faithful one — Algorithm BMS and its constrained variants cost
+//! their work in database scans over this layout. A derived vertical layout
+//! (per-item tid-sets) lives in [`crate::vertical`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::item::Item;
+use crate::itemset::Itemset;
+
+/// An immutable in-memory transaction database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionDb {
+    n_items: u32,
+    transactions: Vec<Box<[Item]>>,
+}
+
+impl TransactionDb {
+    /// Builds a database over a universe of `n_items` items.
+    ///
+    /// Each transaction is sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction mentions an item `>= n_items`.
+    pub fn new<T, I>(n_items: u32, transactions: T) -> Self
+    where
+        T: IntoIterator<Item = I>,
+        I: IntoIterator<Item = Item>,
+    {
+        let transactions: Vec<Box<[Item]>> = transactions
+            .into_iter()
+            .map(|t| {
+                let mut v: Vec<Item> = t.into_iter().collect();
+                v.sort_unstable();
+                v.dedup();
+                if let Some(&max) = v.last() {
+                    assert!(
+                        max.id() < n_items,
+                        "transaction item {max} outside universe 0..{n_items}"
+                    );
+                }
+                v.into_boxed_slice()
+            })
+            .collect();
+        TransactionDb { n_items, transactions }
+    }
+
+    /// Builds a database from raw `u32` item ids.
+    pub fn from_ids<T, I>(n_items: u32, transactions: T) -> Self
+    where
+        T: IntoIterator<Item = I>,
+        I: IntoIterator<Item = u32>,
+    {
+        Self::new(
+            n_items,
+            transactions
+                .into_iter()
+                .map(|t| t.into_iter().map(Item::new).collect::<Vec<_>>()),
+        )
+    }
+
+    /// Size of the item universe.
+    #[inline]
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Number of transactions (baskets).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// `true` iff the database has no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The transaction at index `tid` (sorted items).
+    #[inline]
+    pub fn transaction(&self, tid: usize) -> &[Item] {
+        &self.transactions[tid]
+    }
+
+    /// Iterates over all transactions in tid order.
+    pub fn transactions(&self) -> impl Iterator<Item = &[Item]> + '_ {
+        self.transactions.iter().map(|t| &t[..])
+    }
+
+    /// Counts transactions containing every item of `set` (absolute support),
+    /// by a full scan.
+    pub fn support(&self, set: &Itemset) -> usize {
+        self.transactions().filter(|t| contains_sorted(t, set.items())).count()
+    }
+
+    /// Relative support of `set` in `[0, 1]`. Zero for an empty database.
+    pub fn relative_support(&self, set: &Itemset) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            self.support(set) as f64 / self.transactions.len() as f64
+        }
+    }
+
+    /// Per-item absolute supports, computed in one scan.
+    pub fn item_supports(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_items as usize];
+        for t in self.transactions() {
+            for item in t {
+                counts[item.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Mean basket size.
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            let total: usize = self.transactions.iter().map(|t| t.len()).sum();
+            total as f64 / self.transactions.len() as f64
+        }
+    }
+
+    /// Largest basket size.
+    pub fn max_transaction_len(&self) -> usize {
+        self.transactions.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+}
+
+/// `true` iff sorted slice `haystack` contains every element of the sorted
+/// slice `needles` (both strictly increasing).
+pub(crate) fn contains_sorted(haystack: &[Item], needles: &[Item]) -> bool {
+    if needles.len() > haystack.len() {
+        return false;
+    }
+    let mut hi = 0;
+    'outer: for &n in needles {
+        while hi < haystack.len() {
+            match haystack[hi].cmp(&n) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_ids(
+            5,
+            vec![vec![0, 1, 2], vec![0, 1], vec![1, 2, 3], vec![4], vec![0, 1, 2, 3, 4]],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let db = db();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.n_items(), 5);
+        assert!(!db.is_empty());
+        assert_eq!(db.transaction(1), &[Item(0), Item(1)]);
+        assert_eq!(db.max_transaction_len(), 5);
+        assert!((db.avg_transaction_len() - 14.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transactions_are_sorted_and_deduped() {
+        let db = TransactionDb::from_ids(4, vec![vec![3, 1, 1, 0]]);
+        assert_eq!(db.transaction(0), &[Item(0), Item(1), Item(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_item_panics() {
+        TransactionDb::from_ids(3, vec![vec![3]]);
+    }
+
+    #[test]
+    fn support_counts_by_scan() {
+        let db = db();
+        assert_eq!(db.support(&Itemset::from_ids([0, 1])), 3);
+        assert_eq!(db.support(&Itemset::from_ids([1, 2])), 3);
+        assert_eq!(db.support(&Itemset::from_ids([0, 4])), 1);
+        assert_eq!(db.support(&Itemset::empty()), 5);
+        assert!((db.relative_support(&Itemset::from_ids([0, 1])) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn item_supports_matches_per_item_scan() {
+        let db = db();
+        assert_eq!(db.item_supports(), vec![3, 4, 3, 2, 2]);
+    }
+
+    #[test]
+    fn empty_database_edge_cases() {
+        let db = TransactionDb::from_ids(3, Vec::<Vec<u32>>::new());
+        assert!(db.is_empty());
+        assert_eq!(db.support(&Itemset::from_ids([0])), 0);
+        assert_eq!(db.relative_support(&Itemset::from_ids([0])), 0.0);
+        assert_eq!(db.avg_transaction_len(), 0.0);
+    }
+
+    #[test]
+    fn contains_sorted_edge_cases() {
+        let hay: Vec<Item> = [1u32, 3, 5, 7].iter().map(|&i| Item(i)).collect();
+        let ok: Vec<Item> = [3u32, 7].iter().map(|&i| Item(i)).collect();
+        let bad: Vec<Item> = [3u32, 8].iter().map(|&i| Item(i)).collect();
+        assert!(contains_sorted(&hay, &ok));
+        assert!(!contains_sorted(&hay, &bad));
+        assert!(contains_sorted(&hay, &[]));
+        assert!(!contains_sorted(&[], &ok));
+    }
+}

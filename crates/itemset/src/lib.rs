@@ -1,0 +1,34 @@
+//! # ccs-itemset — itemset kernel for constrained correlation mining
+//!
+//! The substrate every miner in this workspace stands on:
+//!
+//! * [`Item`] / [`Itemset`] — dense item ids and immutable sorted itemsets
+//!   with full set algebra and lattice helpers,
+//! * [`TransactionDb`] — an in-memory horizontal basket database,
+//! * [`TidSet`] / [`VerticalIndex`] — per-item transaction bitmaps,
+//! * [`counting`] — pluggable minterm (contingency-cell) counting with work
+//!   accounting, in both paper-faithful horizontal-scan and fast vertical
+//!   flavours,
+//! * [`parallel`] — a data-parallel horizontal counter (scoped threads),
+//! * [`candidate`] — Apriori-style level-wise candidate generation,
+//!   including the asymmetric extension generator required by the
+//!   constraint-pushing algorithms BMS++ / BMS**.
+
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod counting;
+pub mod database;
+pub mod item;
+pub mod parallel;
+pub mod itemset;
+pub mod tidset;
+pub mod vertical;
+
+pub use counting::{CountingStats, HorizontalCounter, MintermCounter, VerticalCounter};
+pub use parallel::ParallelCounter;
+pub use database::TransactionDb;
+pub use item::Item;
+pub use itemset::Itemset;
+pub use tidset::TidSet;
+pub use vertical::VerticalIndex;

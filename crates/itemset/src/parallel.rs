@@ -1,0 +1,165 @@
+//! [`ParallelCounter`]: data-parallel horizontal minterm counting.
+//!
+//! Splits the transaction database into contiguous chunks, counts each
+//! chunk's contingency cells on its own thread (scoped, so no `'static`
+//! bounds), and merges the per-chunk tables. Semantics are identical to
+//! [`HorizontalCounter`](crate::counting::HorizontalCounter) — same
+//! scan-per-table cost model, same statistics — divided across cores.
+//! An extension beyond the paper (its testbed was a single-core Pentium),
+//! used by the `Parallel` counting strategy of `ccs-core`.
+
+use crate::counting::{cell_index, CountingStats, MintermCounter};
+use crate::database::TransactionDb;
+use crate::itemset::Itemset;
+
+/// A horizontal scan counter that fans each scan out over `n_threads`
+/// chunks of the database.
+#[derive(Debug)]
+pub struct ParallelCounter<'a> {
+    db: &'a TransactionDb,
+    n_threads: usize,
+    stats: CountingStats,
+}
+
+impl<'a> ParallelCounter<'a> {
+    /// Creates a counter over `db` using up to `n_threads` threads
+    /// (clamped to at least 1).
+    pub fn new(db: &'a TransactionDb, n_threads: usize) -> Self {
+        ParallelCounter { db, n_threads: n_threads.max(1), stats: CountingStats::default() }
+    }
+
+    /// Creates a counter sized to the machine's available parallelism.
+    pub fn with_available_parallelism(db: &'a TransactionDb) -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(db, n)
+    }
+
+    /// The number of worker threads a scan uses.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+}
+
+impl MintermCounter for ParallelCounter<'_> {
+    fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+        let cells = 1usize << set.len();
+        let n = self.db.len();
+        self.stats.tables_built += 1;
+        self.stats.db_scans += 1;
+        self.stats.transactions_visited += n as u64;
+
+        // Small databases or single-thread configs: count inline.
+        let threads = self.n_threads.min(n.div_ceil(1024).max(1));
+        if threads <= 1 {
+            let mut counts = vec![0u64; cells];
+            for tid in 0..n {
+                counts[cell_index(self.db.transaction(tid), set)] += 1;
+            }
+            return counts;
+        }
+
+        let chunk = n.div_ceil(threads);
+        let db = self.db;
+        let mut partials: Vec<Vec<u64>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let mut counts = vec![0u64; cells];
+                        for tid in lo..hi {
+                            counts[cell_index(db.transaction(tid), set)] += 1;
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("counting worker panicked"));
+            }
+        });
+        let mut counts = vec![0u64; cells];
+        for partial in partials {
+            for (acc, c) in counts.iter_mut().zip(partial) {
+                *acc += c;
+            }
+        }
+        counts
+    }
+
+    fn n_transactions(&self) -> usize {
+        self.db.len()
+    }
+
+    fn stats(&self) -> CountingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::HorizontalCounter;
+
+    fn db(n: usize) -> TransactionDb {
+        TransactionDb::from_ids(
+            6,
+            (0..n).map(|i| {
+                let mut t = Vec::new();
+                if i % 2 == 0 {
+                    t.extend([0, 1]);
+                }
+                if i % 3 == 0 {
+                    t.push(2);
+                }
+                if i % 7 == 0 {
+                    t.extend([3, 4, 5]);
+                }
+                t
+            }),
+        )
+    }
+
+    #[test]
+    fn matches_sequential_counter_across_sizes_and_threads() {
+        for n in [0usize, 1, 100, 5000] {
+            let d = db(n);
+            for threads in [1usize, 2, 4, 16] {
+                let mut par = ParallelCounter::new(&d, threads);
+                let mut seq = HorizontalCounter::new(&d);
+                for set in [
+                    Itemset::from_ids([0]),
+                    Itemset::from_ids([0, 1]),
+                    Itemset::from_ids([0, 2, 3]),
+                    Itemset::from_ids([1, 2, 3, 5]),
+                ] {
+                    assert_eq!(
+                        par.minterm_counts(&set),
+                        seq.minterm_counts(&set),
+                        "n={n} threads={threads} set={set}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_logical_scans() {
+        let d = db(5000);
+        let mut par = ParallelCounter::new(&d, 4);
+        par.minterm_counts(&Itemset::from_ids([0, 1]));
+        par.minterm_counts(&Itemset::from_ids([0, 2]));
+        let s = par.stats();
+        assert_eq!(s.tables_built, 2);
+        assert_eq!(s.db_scans, 2);
+        assert_eq!(s.transactions_visited, 10_000);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let d = db(10);
+        assert_eq!(ParallelCounter::new(&d, 0).n_threads(), 1);
+        assert!(ParallelCounter::with_available_parallelism(&d).n_threads() >= 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! [`TidSet`]: a fixed-capacity bitmap over transaction ids.
+//!
+//! A tid-set records which transactions of a database contain some item (or
+//! satisfy some pattern). Contingency-table construction in the vertical
+//! counting path reduces to `AND` / `AND NOT` over tid-sets plus popcounts,
+//! so this type is the innermost loop of the whole miner. It is a plain
+//! `Vec<u64>` of blocks with branch-free bulk operations.
+
+use std::fmt;
+
+/// A bitmap over transaction ids `0..capacity`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TidSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+const BLOCK_BITS: usize = 64;
+
+impl TidSet {
+    /// An empty tid-set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        TidSet { blocks: vec![0; capacity.div_ceil(BLOCK_BITS)], capacity }
+    }
+
+    /// A tid-set with every id in `0..capacity` present.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for b in &mut s.blocks {
+            *b = !0;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// Builds from an iterator of ids.
+    pub fn from_ids<I: IntoIterator<Item = usize>>(capacity: usize, ids: I) -> Self {
+        let mut s = Self::new(capacity);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Number of ids this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a transaction id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, tid: usize) {
+        assert!(tid < self.capacity, "tid {tid} out of range 0..{}", self.capacity);
+        self.blocks[tid / BLOCK_BITS] |= 1u64 << (tid % BLOCK_BITS);
+    }
+
+    /// Removes a transaction id (no-op if absent or out of range).
+    #[inline]
+    pub fn remove(&mut self, tid: usize) {
+        if tid < self.capacity {
+            self.blocks[tid / BLOCK_BITS] &= !(1u64 << (tid % BLOCK_BITS));
+        }
+    }
+
+    /// Membership test. Ids outside `0..capacity` are absent.
+    #[inline]
+    pub fn contains(&self, tid: usize) -> bool {
+        tid < self.capacity && self.blocks[tid / BLOCK_BITS] & (1u64 << (tid % BLOCK_BITS)) != 0
+    }
+
+    /// Number of ids present (popcount).
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` iff no id is present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &TidSet) {
+        self.check_same_capacity(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &TidSet) {
+        self.check_same_capacity(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: removes every id present in `other`.
+    pub fn subtract(&mut self, other: &TidSet) {
+        self.check_same_capacity(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// New set: `self ∩ other`.
+    pub fn intersection(&self, other: &TidSet) -> TidSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// New set: `self ∖ other`.
+    pub fn difference(&self, other: &TidSet) -> TidSet {
+        let mut out = self.clone();
+        out.subtract(other);
+        out
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_count(&self, other: &TidSet) -> usize {
+        self.check_same_capacity(other);
+        self.blocks.iter().zip(&other.blocks).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// Splits `self` by `other`: returns `(self ∩ other, self ∖ other)`.
+    ///
+    /// This is the recursion step of vertical contingency-table counting:
+    /// the current cell's tid-set is split into the transactions that do and
+    /// do not contain the next item.
+    pub fn split_by(&self, other: &TidSet) -> (TidSet, TidSet) {
+        self.check_same_capacity(other);
+        let mut with = TidSet::new(self.capacity);
+        let mut without = TidSet::new(self.capacity);
+        for i in 0..self.blocks.len() {
+            with.blocks[i] = self.blocks[i] & other.blocks[i];
+            without.blocks[i] = self.blocks[i] & !other.blocks[i];
+        }
+        (with, without)
+    }
+
+    /// Iterates over the present ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            BitIter { block, base: bi * BLOCK_BITS }
+        })
+    }
+
+    #[inline]
+    fn check_same_capacity(&self, other: &TidSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "tid-set capacity mismatch: {} vs {}",
+            self.capacity, other.capacity
+        );
+    }
+
+    /// Zeroes bits beyond `capacity` in the last block.
+    fn clear_tail(&mut self) {
+        let tail = self.capacity % BLOCK_BITS;
+        if tail != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+struct BitIter {
+    block: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.block == 0 {
+            return None;
+        }
+        let bit = self.block.trailing_zeros() as usize;
+        self.block &= self.block - 1;
+        Some(self.base + bit)
+    }
+}
+
+impl fmt::Debug for TidSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TidSet")
+            .field("capacity", &self.capacity)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = TidSet::new(100);
+        assert!(!s.contains(7));
+        s.insert(7);
+        s.insert(63);
+        s.insert(64);
+        assert!(s.contains(7));
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert_eq!(s.count(), 3);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        TidSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_respects_capacity_tail() {
+        let s = TidSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TidSet::from_ids(128, [1, 2, 3, 100]);
+        let b = TidSet::from_ids(128, [2, 3, 4]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 100]);
+        assert_eq!(a.intersection_count(&b), 2);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 5);
+    }
+
+    #[test]
+    fn split_by_partitions() {
+        let a = TidSet::from_ids(64, [0, 1, 2, 3]);
+        let b = TidSet::from_ids(64, [1, 3, 5]);
+        let (with, without) = a.split_by(&b);
+        assert_eq!(with.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(without.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(with.count() + without.count(), a.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn capacity_mismatch_panics() {
+        let mut a = TidSet::new(64);
+        let b = TidSet::new(65);
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    fn iter_crosses_block_boundaries() {
+        let ids = [0, 63, 64, 127, 128];
+        let s = TidSet::from_ids(200, ids);
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids.to_vec());
+    }
+
+    #[test]
+    fn empty_detection() {
+        let mut s = TidSet::new(64);
+        assert!(s.is_empty());
+        s.insert(0);
+        assert!(!s.is_empty());
+    }
+}

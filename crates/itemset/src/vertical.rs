@@ -1,0 +1,197 @@
+//! [`VerticalIndex`]: a per-item tid-set index over a [`TransactionDb`].
+//!
+//! The vertical layout stores, for every item, the set of transaction ids
+//! that contain it. Supports become tid-set intersections and full
+//! contingency tables become a recursive tid-set split — no repeated
+//! database scans. This is the fast counting path; the horizontal scan in
+//! [`crate::counting`] is the paper-faithful one.
+
+use crate::database::TransactionDb;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::tidset::TidSet;
+
+/// Per-item tid-sets for a transaction database.
+#[derive(Debug, Clone)]
+pub struct VerticalIndex {
+    n_transactions: usize,
+    tidsets: Vec<TidSet>,
+}
+
+impl VerticalIndex {
+    /// Builds the index in a single pass over the database.
+    pub fn build(db: &TransactionDb) -> Self {
+        let n = db.len();
+        let mut tidsets = vec![TidSet::new(n); db.n_items() as usize];
+        for (tid, t) in db.transactions().enumerate() {
+            for item in t {
+                tidsets[item.index()].insert(tid);
+            }
+        }
+        VerticalIndex { n_transactions: n, tidsets }
+    }
+
+    /// Number of transactions in the indexed database.
+    #[inline]
+    pub fn n_transactions(&self) -> usize {
+        self.n_transactions
+    }
+
+    /// Number of items in the universe.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.tidsets.len()
+    }
+
+    /// The tid-set of a single item.
+    #[inline]
+    pub fn tidset(&self, item: Item) -> &TidSet {
+        &self.tidsets[item.index()]
+    }
+
+    /// Absolute support of an itemset via tid-set intersection.
+    pub fn support(&self, set: &Itemset) -> usize {
+        let mut items = set.iter();
+        let Some(first) = items.next() else {
+            return self.n_transactions;
+        };
+        let mut acc = self.tidsets[first.index()].clone();
+        for item in items {
+            acc.intersect_with(&self.tidsets[item.index()]);
+            if acc.is_empty() {
+                return 0;
+            }
+        }
+        acc.count()
+    }
+
+    /// Counts all `2^k` minterms (contingency-table cells) of a `k`-itemset.
+    ///
+    /// Cell indexing: for the sorted items `s_0 < … < s_{k-1}` of `set`, the
+    /// count at index `c` is the number of transactions that contain exactly
+    /// the items `{ s_j | bit j of c is 1 }` among the items of `set`
+    /// (other items are unconstrained). Index `2^k - 1` is "all present",
+    /// index `0` is "none present".
+    ///
+    /// Runs in `O(2^k · n/64)` via recursive tid-set splitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set.len() > 20` (a `2^k` table would be astronomically
+    /// large; the miners never get near this).
+    pub fn minterm_counts(&self, set: &Itemset) -> Vec<u64> {
+        let k = set.len();
+        assert!(k <= 20, "refusing to build a 2^{k}-cell contingency table");
+        let mut counts = vec![0u64; 1usize << k];
+        let all = TidSet::full(self.n_transactions);
+        self.split_recurse(set.items(), 0, all, &mut counts);
+        counts
+    }
+
+    fn split_recurse(&self, items: &[Item], mask: usize, current: TidSet, counts: &mut [u64]) {
+        match items.split_first() {
+            None => counts[mask] = current.count() as u64,
+            Some((&first, rest)) => {
+                // Prune: an empty cell tid-set stays empty down the whole
+                // subtree, and the counts vector is already zeroed.
+                if current.is_empty() {
+                    return;
+                }
+                let (with, without) = current.split_by(&self.tidsets[first.index()]);
+                // Bit j of the mask corresponds to items[j] of the original
+                // set; we process items left to right, so the bit for
+                // `first` is the current depth.
+                let depth_bit = 1usize << (mask_depth(counts.len(), rest.len()) - 1);
+                self.split_recurse(rest, mask | depth_bit, with, counts);
+                self.split_recurse(rest, mask, without, counts);
+            }
+        }
+    }
+}
+
+/// Given the total table size `2^k` and the number of items still to be
+/// processed, returns the 1-based bit position of the item being processed
+/// now (items are consumed left to right, bit 0 = first item).
+#[inline]
+fn mask_depth(table_len: usize, remaining: usize) -> usize {
+    let k = table_len.trailing_zeros() as usize;
+    k - remaining
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        // 0: {a,b}  1: {a}  2: {b}  3: {}  4: {a,b}
+        TransactionDb::from_ids(2, vec![vec![0, 1], vec![0], vec![1], vec![], vec![0, 1]])
+    }
+
+    #[test]
+    fn supports_match_horizontal_scan() {
+        let d = db();
+        let v = VerticalIndex::build(&d);
+        for set in [
+            Itemset::empty(),
+            Itemset::from_ids([0]),
+            Itemset::from_ids([1]),
+            Itemset::from_ids([0, 1]),
+        ] {
+            assert_eq!(v.support(&set), d.support(&set), "support mismatch for {set}");
+        }
+    }
+
+    #[test]
+    fn pair_minterms_partition_the_database() {
+        let v = VerticalIndex::build(&db());
+        let counts = v.minterm_counts(&Itemset::from_ids([0, 1]));
+        // bit0 = item 0 present, bit1 = item 1 present.
+        assert_eq!(counts[0b00], 1); // {}
+        assert_eq!(counts[0b01], 1); // {a}
+        assert_eq!(counts[0b10], 1); // {b}
+        assert_eq!(counts[0b11], 2); // {a,b}
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn singleton_minterms() {
+        let v = VerticalIndex::build(&db());
+        let counts = v.minterm_counts(&Itemset::from_ids([0]));
+        assert_eq!(counts, vec![2, 3]); // absent, present
+    }
+
+    #[test]
+    fn empty_set_minterms_is_total_count() {
+        let v = VerticalIndex::build(&db());
+        assert_eq!(v.minterm_counts(&Itemset::empty()), vec![5]);
+    }
+
+    #[test]
+    fn triple_minterms_on_richer_db() {
+        let d = TransactionDb::from_ids(
+            3,
+            vec![vec![0, 1, 2], vec![0, 1], vec![0, 2], vec![1, 2], vec![2], vec![]],
+        );
+        let v = VerticalIndex::build(&d);
+        let set = Itemset::from_ids([0, 1, 2]);
+        let counts = v.minterm_counts(&set);
+        assert_eq!(counts.iter().sum::<u64>(), 6);
+        assert_eq!(counts[0b111], 1); // {0,1,2}
+        assert_eq!(counts[0b011], 1); // {0,1}
+        assert_eq!(counts[0b101], 1); // {0,2}
+        assert_eq!(counts[0b110], 1); // {1,2}
+        assert_eq!(counts[0b100], 1); // {2}
+        assert_eq!(counts[0b000], 1); // {}
+        assert_eq!(counts[0b001], 0);
+        assert_eq!(counts[0b010], 0);
+    }
+
+    #[test]
+    fn all_present_cell_equals_support() {
+        let d = db();
+        let v = VerticalIndex::build(&d);
+        let set = Itemset::from_ids([0, 1]);
+        let counts = v.minterm_counts(&set);
+        assert_eq!(counts[counts.len() - 1] as usize, d.support(&set));
+    }
+}

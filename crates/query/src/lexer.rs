@@ -1,0 +1,241 @@
+//! Tokenizer for the constrained-correlation query language.
+
+use std::fmt;
+
+/// A lexical token with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts (for error messages).
+    pub offset: usize,
+}
+
+/// The tokens of the query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword (`max`, `price`, `subset`, `soda`, …).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `&`
+    Amp,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `|`
+    Pipe,
+    /// `.`
+    Dot,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LBrace => write!(f, "'{{'"),
+            Token::RBrace => write!(f, "'}}'"),
+            Token::LParen => write!(f, "'('"),
+            Token::RParen => write!(f, "')'"),
+            Token::Comma => write!(f, "','"),
+            Token::Amp => write!(f, "'&'"),
+            Token::Le => write!(f, "'<='"),
+            Token::Ge => write!(f, "'>='"),
+            Token::Pipe => write!(f, "'|'"),
+            Token::Dot => write!(f, "'.'"),
+        }
+    }
+}
+
+/// A lexing error: an unexpected character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// Its byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character '{}' at offset {}", self.ch, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on the first unexpected character.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                out.push(Spanned { token: Token::LBrace, offset: i });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { token: Token::RBrace, offset: i });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '&' => {
+                out.push(Spanned { token: Token::Amp, offset: i });
+                i += 1;
+            }
+            '|' => {
+                out.push(Spanned { token: Token::Pipe, offset: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            '<' | '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    let token = if c == '<' { Token::Le } else { Token::Ge };
+                    out.push(Spanned { token, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { ch: c, offset: i });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    // A '.' not followed by a digit terminates the number
+                    // (it could be an attribute dot — numbers in queries
+                    // never precede dots in practice, but be precise).
+                    if bytes[i] == b'.'
+                        && (i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text.parse().map_err(|_| LexError { ch: c, offset: start })?;
+                out.push(Spanned { token: Token::Number(value), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned { token: Token::Ident(input[start..i].to_owned()), offset: start });
+            }
+            other => return Err(LexError { ch: other, offset: i }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_aggregate_clause() {
+        assert_eq!(
+            tokens("max(price) <= 100"),
+            vec![
+                Token::Ident("max".into()),
+                Token::LParen,
+                Token::Ident("price".into()),
+                Token::RParen,
+                Token::Le,
+                Token::Number(100.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_set_clause() {
+        assert_eq!(
+            tokens("{soda, frozen_food} subset type"),
+            vec![
+                Token::LBrace,
+                Token::Ident("soda".into()),
+                Token::Comma,
+                Token::Ident("frozen_food".into()),
+                Token::RBrace,
+                Token::Ident("subset".into()),
+                Token::Ident("type".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_pipes_dots_and_floats() {
+        assert_eq!(
+            tokens("|S.type| >= 2.5"),
+            vec![
+                Token::Pipe,
+                Token::Ident("S".into()),
+                Token::Dot,
+                Token::Ident("type".into()),
+                Token::Pipe,
+                Token::Ge,
+                Token::Number(2.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_bad_character_with_offset() {
+        let err = lex("max(price) = 3").unwrap_err();
+        assert_eq!(err.ch, '=');
+        assert_eq!(err.offset, 11);
+        let err = lex("max < 3").unwrap_err();
+        assert_eq!(err.ch, '<');
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let spanned = lex("a & b").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 2);
+        assert_eq!(spanned[2].offset, 4);
+    }
+
+    #[test]
+    fn empty_input_lexes_to_nothing() {
+        assert!(lex("   ").unwrap().is_empty());
+    }
+}

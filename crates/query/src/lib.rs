@@ -1,0 +1,29 @@
+//! # ccs-query — a textual language for constrained correlation queries
+//!
+//! Turns query strings written in the paper's notation into
+//! [`ccs_constraints::ConstraintSet`]s:
+//!
+//! ```
+//! use ccs_constraints::AttributeTable;
+//! use ccs_query::parse_constraints;
+//!
+//! let mut attrs = AttributeTable::with_identity_prices(10);
+//! attrs.add_categorical("type", &["soda"; 10]);
+//! let cs = parse_constraints(
+//!     "correlated & ct_supported & max(S.price) <= 8 & {soda} subset S.type",
+//!     &attrs,
+//! ).unwrap();
+//! assert_eq!(cs.len(), 2);
+//! ```
+//!
+//! See [`parser`] for the grammar.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod render;
+
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse_constraints, ParseError};
+pub use render::{render_constraint, render_constraints, RenderError};

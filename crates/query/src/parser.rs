@@ -1,0 +1,562 @@
+//! Recursive-descent parser for constrained correlation queries.
+//!
+//! The textual form mirrors the paper's notation, e.g. the §2.2 example
+//! query becomes:
+//!
+//! ```text
+//! ct_supported & correlated
+//!   & {snacks} disjoint S.type
+//!   & {soda, frozen_food} subset S.type
+//!   & max(S.price) <= 50
+//!   & sum(S.price) >= 100
+//! ```
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query   := clause ('&' clause)*
+//! clause  := 'correlated' | 'ct_supported'          -- markers, always implied
+//!          | agg '(' attrref ')' cmp number          -- agg ∈ min|max|sum|count|avg
+//!          | '|' attrref '|' cmp number              -- count-distinct
+//!          | set setop attrref
+//! setop   := 'subset' | 'not' 'subset' | 'disjoint' | 'intersects'
+//! set     := '{' elem (',' elem)* '}'  -- elem: label, or item id when
+//!                                      -- the target is 'S' itself
+//! attrref := ('S' '.')? ident | 'S'
+//! cmp     := '<=' | '>='
+//! ```
+//!
+//! Category labels are resolved against the attribute table at parse
+//! time, so a typo is a parse error rather than a silently-unsatisfiable
+//! constraint.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ccs_constraints::{AggFn, AttributeTable, Cmp, Constraint, ConstraintSet};
+
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// A parse error with enough context to point at the problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// A token appeared where something else was expected.
+    Unexpected {
+        /// What was found (display form), e.g. `"','"`.
+        found: String,
+        /// What the parser expected.
+        expected: &'static str,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// The input ended mid-clause.
+    UnexpectedEnd {
+        /// What the parser expected next.
+        expected: &'static str,
+    },
+    /// An aggregate references an attribute that is not a numeric column.
+    UnknownNumericAttr(String),
+    /// A set clause references an attribute that is not a categorical
+    /// column.
+    UnknownCategoricalAttr(String),
+    /// A category label does not occur in the referenced column.
+    UnknownLabel {
+        /// The unresolved label.
+        label: String,
+        /// The column it was looked up in.
+        attr: String,
+    },
+    /// A set constraint on `S` itself contained a non-numeric element.
+    ItemIdExpected {
+        /// The offending element.
+        found: String,
+    },
+    /// An item id in a set constraint on `S` is outside the universe.
+    ItemOutOfUniverse {
+        /// The offending id.
+        item: u32,
+        /// The universe size.
+        n_items: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected, offset } => {
+                write!(f, "expected {expected}, found {found} at offset {offset}")
+            }
+            ParseError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of query, expected {expected}")
+            }
+            ParseError::UnknownNumericAttr(a) => write!(f, "unknown numeric attribute '{a}'"),
+            ParseError::UnknownCategoricalAttr(a) => {
+                write!(f, "unknown categorical attribute '{a}'")
+            }
+            ParseError::UnknownLabel { label, attr } => {
+                write!(f, "label '{label}' does not occur in attribute '{attr}'")
+            }
+            ParseError::ItemIdExpected { found } => {
+                write!(f, "set constraints on S take numeric item ids, found '{found}'")
+            }
+            ParseError::ItemOutOfUniverse { item, n_items } => {
+                write!(f, "item {item} outside universe 0..{n_items}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses a query string into a [`ConstraintSet`], resolving attribute
+/// and category names against `attrs`.
+///
+/// The markers `correlated` and `ct_supported` are accepted and ignored
+/// (every correlation query implies them).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or unresolvable names.
+pub fn parse_constraints(input: &str, attrs: &AttributeTable) -> Result<ConstraintSet, ParseError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, pos: 0, attrs };
+    parser.query()
+}
+
+struct Parser<'a> {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    attrs: &'a AttributeTable,
+}
+
+impl Parser<'_> {
+    fn query(&mut self) -> Result<ConstraintSet, ParseError> {
+        let mut out = ConstraintSet::new();
+        if self.tokens.is_empty() {
+            return Ok(out);
+        }
+        loop {
+            if let Some(c) = self.clause()? {
+                out.push(c);
+            }
+            if self.peek().is_none() {
+                return Ok(out);
+            }
+            self.expect_amp()?;
+        }
+    }
+
+    fn clause(&mut self) -> Result<Option<Constraint>, ParseError> {
+        match self.peek() {
+            Some(Token::Pipe) => self.count_distinct().map(Some),
+            Some(Token::LBrace) => self.set_clause().map(Some),
+            Some(Token::Ident(word)) => match word.as_str() {
+                "correlated" | "ct_supported" => {
+                    self.advance();
+                    Ok(None)
+                }
+                "min" | "max" | "sum" | "count" | "avg" => self.aggregate().map(Some),
+                _ => Err(self.unexpected("a constraint clause")),
+            },
+            _ => Err(self.unexpected("a constraint clause")),
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<Constraint, ParseError> {
+        let word = self.expect_ident("an aggregate function")?;
+        self.expect(Token::LParen, "'('")?;
+        let attr = self.attr_ref()?;
+        self.expect(Token::RParen, "')'")?;
+        let cmp = self.comparison()?;
+        let value = self.number()?;
+        // `count` ignores the attribute; `avg` and the rest need a real
+        // numeric column.
+        if word != "count" && self.attrs.numeric(&attr).is_none() {
+            return Err(ParseError::UnknownNumericAttr(attr));
+        }
+        Ok(match word.as_str() {
+            "min" => Constraint::agg(AggFn::Min, attr, cmp, value),
+            "max" => Constraint::agg(AggFn::Max, attr, cmp, value),
+            "sum" => Constraint::agg(AggFn::Sum, attr, cmp, value),
+            "count" => Constraint::agg(AggFn::Count, attr, cmp, value),
+            "avg" => Constraint::Avg { attr, cmp, value },
+            _ => unreachable!("clause() routed a non-aggregate here"),
+        })
+    }
+
+    fn count_distinct(&mut self) -> Result<Constraint, ParseError> {
+        self.expect(Token::Pipe, "'|'")?;
+        let attr = self.attr_ref()?;
+        self.expect(Token::Pipe, "'|'")?;
+        let cmp = self.comparison()?;
+        let value = self.number()?;
+        if self.attrs.categorical(&attr).is_none() {
+            return Err(ParseError::UnknownCategoricalAttr(attr));
+        }
+        Ok(Constraint::CountDistinct { attr, cmp, value: value as u64 })
+    }
+
+    fn set_clause(&mut self) -> Result<Constraint, ParseError> {
+        self.expect(Token::LBrace, "'{'")?;
+        let mut elems = vec![self.set_element()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            elems.push(self.set_element()?);
+        }
+        self.expect(Token::RBrace, "'}'")?;
+        let op = self.expect_ident("'subset', 'not subset', 'disjoint', or 'intersects'")?;
+        let (negated_subset, kind) = match op.as_str() {
+            "subset" => (false, SetKind::Subset),
+            "not" => {
+                let next = self.expect_ident("'subset'")?;
+                if next != "subset" {
+                    return Err(self.unexpected_prev("'subset' after 'not'"));
+                }
+                (true, SetKind::Subset)
+            }
+            "disjoint" => (false, SetKind::Disjoint),
+            "intersects" => (false, SetKind::Intersects),
+            _ => return Err(self.unexpected_prev("a set operator")),
+        };
+        let attr = self.attr_ref()?;
+        // `{3, 7} subset S` — a domain constraint on the itemset itself:
+        // elements must be numeric item ids.
+        if attr == "S" {
+            let mut items = BTreeSet::new();
+            for e in elems {
+                match e {
+                    SetElem::Id(id) => {
+                        items.insert(id);
+                    }
+                    SetElem::Label(label) => {
+                        return Err(ParseError::ItemIdExpected { found: label });
+                    }
+                }
+            }
+            for &id in &items {
+                if id >= self.attrs.n_items() {
+                    return Err(ParseError::ItemOutOfUniverse {
+                        item: id,
+                        n_items: self.attrs.n_items(),
+                    });
+                }
+            }
+            return Ok(match kind {
+                SetKind::Subset => Constraint::ItemSubset { items, negated: negated_subset },
+                SetKind::Disjoint => Constraint::ItemDisjoint { items, negated: false },
+                SetKind::Intersects => Constraint::ItemDisjoint { items, negated: true },
+            });
+        }
+        let col = self
+            .attrs
+            .categorical(&attr)
+            .ok_or_else(|| ParseError::UnknownCategoricalAttr(attr.clone()))?;
+        let mut categories = BTreeSet::new();
+        for e in elems {
+            let label = match e {
+                SetElem::Label(l) => l,
+                SetElem::Id(id) => id.to_string(),
+            };
+            let id = col
+                .id_of(&label)
+                .ok_or_else(|| ParseError::UnknownLabel { label, attr: attr.clone() })?;
+            categories.insert(id);
+        }
+        Ok(match kind {
+            SetKind::Subset => Constraint::ConstSubset { attr, categories, negated: negated_subset },
+            SetKind::Disjoint => Constraint::Disjoint { attr, categories, negated: false },
+            SetKind::Intersects => Constraint::Disjoint { attr, categories, negated: true },
+        })
+    }
+
+    /// One element of a `{…}` set literal: a category label or an item id.
+    fn set_element(&mut self) -> Result<SetElem, ParseError> {
+        match self.next_token("a category label or item id")? {
+            (Token::Ident(s), _) => Ok(SetElem::Label(s)),
+            (Token::Number(n), offset) => {
+                if n.fract() != 0.0 || n < 0.0 || n > u32::MAX as f64 {
+                    return Err(ParseError::Unexpected {
+                        found: n.to_string(),
+                        expected: "an integer item id",
+                        offset,
+                    });
+                }
+                Ok(SetElem::Id(n as u32))
+            }
+            (t, offset) => Err(ParseError::Unexpected {
+                found: t.to_string(),
+                expected: "a category label or item id",
+                offset,
+            }),
+        }
+    }
+
+    /// `('S' '.')? ident`
+    fn attr_ref(&mut self) -> Result<String, ParseError> {
+        let first = self.expect_ident("an attribute name")?;
+        if first == "S" && self.peek() == Some(&Token::Dot) {
+            self.advance();
+            return self.expect_ident("an attribute name after 'S.'");
+        }
+        Ok(first)
+    }
+
+    fn comparison(&mut self) -> Result<Cmp, ParseError> {
+        match self.next_token("'<=' or '>='")? {
+            (Token::Le, _) => Ok(Cmp::Le),
+            (Token::Ge, _) => Ok(Cmp::Ge),
+            (t, offset) => Err(ParseError::Unexpected {
+                found: t.to_string(),
+                expected: "'<=' or '>='",
+                offset,
+            }),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next_token("a number")? {
+            (Token::Number(n), _) => Ok(n),
+            (t, offset) => {
+                Err(ParseError::Unexpected { found: t.to_string(), expected: "a number", offset })
+            }
+        }
+    }
+
+    fn expect_amp(&mut self) -> Result<(), ParseError> {
+        self.expect(Token::Amp, "'&'")
+    }
+
+    fn expect(&mut self, want: Token, expected: &'static str) -> Result<(), ParseError> {
+        match self.next_token(expected)? {
+            (t, _) if t == want => Ok(()),
+            (t, offset) => {
+                Err(ParseError::Unexpected { found: t.to_string(), expected, offset })
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, expected: &'static str) -> Result<String, ParseError> {
+        match self.next_token(expected)? {
+            (Token::Ident(s), _) => Ok(s),
+            (t, offset) => {
+                Err(ParseError::Unexpected { found: t.to_string(), expected, offset })
+            }
+        }
+    }
+
+    fn next_token(&mut self, expected: &'static str) -> Result<(Token, usize), ParseError> {
+        let s = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or(ParseError::UnexpectedEnd { expected })?;
+        self.pos += 1;
+        Ok((s.token, s.offset))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn unexpected(&self, expected: &'static str) -> ParseError {
+        match self.tokens.get(self.pos) {
+            Some(s) => ParseError::Unexpected {
+                found: s.token.to_string(),
+                expected,
+                offset: s.offset,
+            },
+            None => ParseError::UnexpectedEnd { expected },
+        }
+    }
+
+    fn unexpected_prev(&self, expected: &'static str) -> ParseError {
+        match self.tokens.get(self.pos.saturating_sub(1)) {
+            Some(s) => ParseError::Unexpected {
+                found: s.token.to_string(),
+                expected,
+                offset: s.offset,
+            },
+            None => ParseError::UnexpectedEnd { expected },
+        }
+    }
+}
+
+enum SetKind {
+    Subset,
+    Disjoint,
+    Intersects,
+}
+
+enum SetElem {
+    Label(String),
+    Id(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_itemset::Itemset;
+
+    fn attrs() -> AttributeTable {
+        let mut t = AttributeTable::new(6);
+        t.add_numeric("price", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        t.add_categorical("type", &["soda", "soda", "snacks", "dairy", "dairy", "beer"]);
+        t
+    }
+
+    #[test]
+    fn parses_paper_example_query() {
+        let a = attrs();
+        let cs = parse_constraints(
+            "ct_supported & correlated \
+             & {snacks} disjoint S.type \
+             & {soda, beer} subset S.type \
+             & max(S.price) <= 50 & sum(S.price) >= 100",
+            &a,
+        )
+        .unwrap();
+        assert_eq!(cs.len(), 4);
+        // Check semantics on a sample set: item 0 (soda), 5 (beer).
+        let s = Itemset::from_ids([0, 5]);
+        assert!(cs.constraints()[0].satisfied(&s, &a)); // no snacks
+        assert!(cs.constraints()[1].satisfied(&s, &a)); // soda + beer covered
+        assert!(cs.constraints()[2].satisfied(&s, &a)); // max price 6 ≤ 50
+        assert!(!cs.constraints()[3].satisfied(&s, &a)); // sum 7 < 100
+    }
+
+    #[test]
+    fn parses_aggregates_and_bare_attr() {
+        let a = attrs();
+        let cs = parse_constraints("min(price) >= 2 & count(items) <= 3", &a).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.constraints()[0], Constraint::min_ge("price", 2.0));
+    }
+
+    #[test]
+    fn parses_count_distinct_and_not_subset() {
+        let a = attrs();
+        let cs = parse_constraints("|S.type| <= 1 & {beer} not subset type", &a).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert!(matches!(cs.constraints()[0], Constraint::CountDistinct { .. }));
+        assert!(matches!(
+            cs.constraints()[1],
+            Constraint::ConstSubset { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_intersects_and_avg() {
+        let a = attrs();
+        let cs = parse_constraints("{dairy} intersects type & avg(price) <= 3.5", &a).unwrap();
+        assert!(matches!(cs.constraints()[0], Constraint::Disjoint { negated: true, .. }));
+        assert!(matches!(cs.constraints()[1], Constraint::Avg { .. }));
+        assert!(cs.has_neither_monotone());
+    }
+
+    #[test]
+    fn empty_query_is_unconstrained() {
+        let a = attrs();
+        let cs = parse_constraints("", &a).unwrap();
+        assert!(cs.is_empty());
+        let cs = parse_constraints("correlated & ct_supported", &a).unwrap();
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn unknown_names_are_errors() {
+        let a = attrs();
+        assert_eq!(
+            parse_constraints("max(weight) <= 3", &a),
+            Err(ParseError::UnknownNumericAttr("weight".into()))
+        );
+        assert_eq!(
+            parse_constraints("{fish} subset type", &a),
+            Err(ParseError::UnknownLabel { label: "fish".into(), attr: "type".into() })
+        );
+        assert_eq!(
+            parse_constraints("{soda} subset brand", &a),
+            Err(ParseError::UnknownCategoricalAttr("brand".into()))
+        );
+    }
+
+    #[test]
+    fn syntax_errors_carry_position() {
+        let a = attrs();
+        match parse_constraints("max(price) <= ", &a) {
+            Err(ParseError::UnexpectedEnd { expected }) => assert_eq!(expected, "a number"),
+            other => panic!("expected UnexpectedEnd, got {other:?}"),
+        }
+        match parse_constraints("max price) <= 3", &a) {
+            Err(ParseError::Unexpected { expected, .. }) => assert_eq!(expected, "'('"),
+            other => panic!("expected Unexpected, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_constraints("max(price) = 3", &a),
+            Err(ParseError::Lex(_))
+        ));
+    }
+
+    #[test]
+    fn parses_item_level_constraints() {
+        let a = attrs();
+        let cs = parse_constraints(
+            "{0, 5} subset S & {2} disjoint S & {1, 3} intersects S & {4} not subset S",
+            &a,
+        )
+        .unwrap();
+        assert_eq!(cs.len(), 4);
+        assert!(matches!(
+            cs.constraints()[0],
+            Constraint::ItemSubset { negated: false, .. }
+        ));
+        assert!(matches!(
+            cs.constraints()[1],
+            Constraint::ItemDisjoint { negated: false, .. }
+        ));
+        assert!(matches!(
+            cs.constraints()[2],
+            Constraint::ItemDisjoint { negated: true, .. }
+        ));
+        assert!(matches!(
+            cs.constraints()[3],
+            Constraint::ItemSubset { negated: true, .. }
+        ));
+        // Semantics: {0, 5} must both be present.
+        let s = Itemset::from_ids([0, 1, 5]);
+        assert!(cs.constraints()[0].satisfied(&s, &a));
+        assert!(!cs.constraints()[0].satisfied(&Itemset::from_ids([0, 1]), &a));
+    }
+
+    #[test]
+    fn item_level_error_cases() {
+        let a = attrs();
+        assert_eq!(
+            parse_constraints("{soda} subset S", &a),
+            Err(ParseError::ItemIdExpected { found: "soda".into() })
+        );
+        assert_eq!(
+            parse_constraints("{99} subset S", &a),
+            Err(ParseError::ItemOutOfUniverse { item: 99, n_items: 6 })
+        );
+        assert!(parse_constraints("{1.5} subset S", &a).is_err());
+    }
+
+    #[test]
+    fn trailing_ampersand_is_an_error() {
+        let a = attrs();
+        assert!(parse_constraints("max(price) <= 3 &", &a).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Rendering constraints back to query text.
+//!
+//! The inverse of [`crate::parser`]: turns a [`Constraint`] /
+//! [`ConstraintSet`] into a string the parser accepts, resolving
+//! category ids back to their labels. `parse(render(c)) == c` for every
+//! constraint the language can express — property-tested in the crate's
+//! integration tests.
+
+use std::fmt::Write as _;
+
+use ccs_constraints::{AttributeTable, Cmp, Constraint, ConstraintSet};
+
+/// Why a constraint could not be rendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// A categorical constraint references an attribute missing from the
+    /// table.
+    UnknownCategoricalAttr(String),
+    /// A category id has no label in the referenced column.
+    UnknownCategoryId {
+        /// The unresolvable id.
+        id: u32,
+        /// The column it was looked up in.
+        attr: String,
+    },
+    /// A label contains characters the grammar cannot express (it would
+    /// not survive a parse round-trip).
+    UnrenderableLabel(String),
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::UnknownCategoricalAttr(a) => {
+                write!(f, "unknown categorical attribute '{a}'")
+            }
+            RenderError::UnknownCategoryId { id, attr } => {
+                write!(f, "category id {id} has no label in attribute '{attr}'")
+            }
+            RenderError::UnrenderableLabel(l) => {
+                write!(f, "label '{l}' is not expressible in the query grammar")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+fn cmp_str(cmp: Cmp) -> &'static str {
+    match cmp {
+        Cmp::Le => "<=",
+        Cmp::Ge => ">=",
+    }
+}
+
+fn check_label(label: &str) -> Result<(), RenderError> {
+    let ok = !label.is_empty()
+        && label.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if ok {
+        Ok(())
+    } else {
+        Err(RenderError::UnrenderableLabel(label.to_owned()))
+    }
+}
+
+/// Renders one constraint as query text.
+///
+/// # Errors
+///
+/// Returns [`RenderError`] when category ids cannot be resolved to
+/// grammar-compatible labels.
+pub fn render_constraint(c: &Constraint, attrs: &AttributeTable) -> Result<String, RenderError> {
+    let mut out = String::new();
+    match c {
+        Constraint::Agg { agg, attr, cmp, value } => {
+            let _ = write!(out, "{agg}(S.{attr}) {} {value}", cmp_str(*cmp));
+        }
+        Constraint::Avg { attr, cmp, value } => {
+            let _ = write!(out, "avg(S.{attr}) {} {value}", cmp_str(*cmp));
+        }
+        Constraint::CountDistinct { attr, cmp, value } => {
+            let _ = write!(out, "|S.{attr}| {} {value}", cmp_str(*cmp));
+        }
+        Constraint::ConstSubset { attr, categories, negated }
+        | Constraint::Disjoint { attr, categories, negated } => {
+            let col = attrs
+                .categorical(attr)
+                .ok_or_else(|| RenderError::UnknownCategoricalAttr(attr.clone()))?;
+            out.push('{');
+            for (i, &id) in categories.iter().enumerate() {
+                if id as usize >= col.n_categories() {
+                    return Err(RenderError::UnknownCategoryId { id, attr: attr.clone() });
+                }
+                let label = col.label(id);
+                check_label(label)?;
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(label);
+            }
+            out.push('}');
+            let op = match c {
+                Constraint::ConstSubset { negated: false, .. } => "subset",
+                Constraint::ConstSubset { negated: true, .. } => "not subset",
+                Constraint::Disjoint { negated: false, .. } => "disjoint",
+                _ => "intersects",
+            };
+            let _ = write!(out, " {op} S.{attr}");
+            let _ = negated;
+        }
+        Constraint::ItemSubset { items, negated } | Constraint::ItemDisjoint { items, negated } => {
+            out.push('{');
+            for (i, id) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{id}");
+            }
+            out.push('}');
+            let op = match c {
+                Constraint::ItemSubset { negated: false, .. } => "subset",
+                Constraint::ItemSubset { negated: true, .. } => "not subset",
+                Constraint::ItemDisjoint { negated: false, .. } => "disjoint",
+                _ => "intersects",
+            };
+            let _ = write!(out, " {op} S");
+            let _ = negated;
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a conjunction as query text (with the implied markers, so the
+/// output reads like the paper's queries). An empty conjunction renders
+/// as just the markers.
+///
+/// # Errors
+///
+/// As [`render_constraint`].
+pub fn render_constraints(
+    cs: &ConstraintSet,
+    attrs: &AttributeTable,
+) -> Result<String, RenderError> {
+    let mut out = String::from("correlated & ct_supported");
+    for c in cs.constraints() {
+        out.push_str(" & ");
+        out.push_str(&render_constraint(c, attrs)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_constraints;
+    use ccs_constraints::AggFn;
+    use std::collections::BTreeSet;
+
+    fn attrs() -> AttributeTable {
+        let mut t = AttributeTable::new(6);
+        t.add_numeric("price", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        t.add_categorical("type", &["soda", "soda", "snack", "dairy", "dairy", "beer"]);
+        t
+    }
+
+    fn roundtrip(c: Constraint) {
+        let a = attrs();
+        let text = render_constraint(&c, &a).unwrap();
+        let parsed = parse_constraints(&text, &a).unwrap();
+        assert_eq!(parsed.constraints(), &[c], "roundtrip through: {text}");
+    }
+
+    #[test]
+    fn aggregates_roundtrip() {
+        roundtrip(Constraint::max_le("price", 4.0));
+        roundtrip(Constraint::min_ge("price", 2.5));
+        roundtrip(Constraint::sum_ge("price", 10.0));
+        roundtrip(Constraint::agg(AggFn::Count, "price", Cmp::Le, 3.0));
+        roundtrip(Constraint::Avg { attr: "price".into(), cmp: Cmp::Ge, value: 3.5 });
+    }
+
+    #[test]
+    fn categorical_constraints_roundtrip() {
+        let a = attrs();
+        let col = a.categorical("type").unwrap();
+        let cats: BTreeSet<u32> =
+            ["soda", "beer"].iter().map(|l| col.id_of(l).unwrap()).collect();
+        roundtrip(Constraint::ConstSubset { attr: "type".into(), categories: cats.clone(), negated: false });
+        roundtrip(Constraint::Disjoint { attr: "type".into(), categories: cats.clone(), negated: true });
+        let single: BTreeSet<u32> = [col.id_of("snack").unwrap()].into_iter().collect();
+        roundtrip(Constraint::ConstSubset { attr: "type".into(), categories: single, negated: true });
+        roundtrip(Constraint::CountDistinct { attr: "type".into(), cmp: Cmp::Le, value: 1 });
+    }
+
+    #[test]
+    fn item_constraints_roundtrip() {
+        let items: BTreeSet<u32> = [0u32, 3].into_iter().collect();
+        roundtrip(Constraint::ItemSubset { items: items.clone(), negated: false });
+        roundtrip(Constraint::ItemSubset { items: items.clone(), negated: true });
+        roundtrip(Constraint::ItemDisjoint { items: items.clone(), negated: false });
+        roundtrip(Constraint::ItemDisjoint { items, negated: true });
+    }
+
+    #[test]
+    fn conjunction_roundtrips_with_markers() {
+        let a = attrs();
+        let cs = ConstraintSet::new()
+            .and(Constraint::max_le("price", 5.0))
+            .and(Constraint::sum_ge("price", 3.0));
+        let text = render_constraints(&cs, &a).unwrap();
+        assert!(text.starts_with("correlated & ct_supported & "));
+        assert_eq!(parse_constraints(&text, &a).unwrap(), cs);
+        // Empty conjunction: just the markers.
+        let empty = render_constraints(&ConstraintSet::new(), &a).unwrap();
+        assert!(parse_constraints(&empty, &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn render_errors() {
+        let a = attrs();
+        let bad_attr = Constraint::ConstSubset {
+            attr: "brand".into(),
+            categories: [0u32].into_iter().collect(),
+            negated: false,
+        };
+        assert_eq!(
+            render_constraint(&bad_attr, &a),
+            Err(RenderError::UnknownCategoricalAttr("brand".into()))
+        );
+        let bad_id = Constraint::Disjoint {
+            attr: "type".into(),
+            categories: [99u32].into_iter().collect(),
+            negated: false,
+        };
+        assert_eq!(
+            render_constraint(&bad_id, &a),
+            Err(RenderError::UnknownCategoryId { id: 99, attr: "type".into() })
+        );
+        // A label with a space cannot be re-parsed.
+        let mut t = AttributeTable::new(1);
+        t.add_categorical("type", &["fizzy drink"]);
+        let c = Constraint::Disjoint {
+            attr: "type".into(),
+            categories: [0u32].into_iter().collect(),
+            negated: false,
+        };
+        assert_eq!(
+            render_constraint(&c, &t),
+            Err(RenderError::UnrenderableLabel("fizzy drink".into()))
+        );
+    }
+}

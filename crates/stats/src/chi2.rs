@@ -1,0 +1,153 @@
+//! The chi-squared distribution: CDF, survival function, and quantiles.
+//!
+//! The correlation test of Brin et al. (and hence of every algorithm in this
+//! workspace) rejects independence when an itemset's chi-squared statistic
+//! exceeds the distribution's quantile at the user-chosen confidence level.
+//! All three functions reduce to the regularized incomplete gamma functions
+//! in [`crate::gamma`].
+
+use crate::gamma::{gamma_p, gamma_q};
+
+/// CDF of the chi-squared distribution with `df` degrees of freedom:
+/// `Pr[X ≤ x]`.
+///
+/// # Panics
+///
+/// Panics if `df == 0` or `x < 0`.
+pub fn chi2_cdf(x: f64, df: u32) -> f64 {
+    assert!(df > 0, "chi-squared needs at least 1 degree of freedom");
+    assert!(x >= 0.0, "chi-squared statistic must be non-negative, got {x}");
+    gamma_p(df as f64 / 2.0, x / 2.0)
+}
+
+/// Survival function `Pr[X > x]` — the p-value of an observed statistic
+/// `x`. Computed directly (not as `1 - cdf`) so small p-values retain
+/// relative precision.
+pub fn chi2_sf(x: f64, df: u32) -> f64 {
+    assert!(df > 0, "chi-squared needs at least 1 degree of freedom");
+    assert!(x >= 0.0, "chi-squared statistic must be non-negative, got {x}");
+    gamma_q(df as f64 / 2.0, x / 2.0)
+}
+
+/// Quantile (inverse CDF): the smallest `x` with `Pr[X ≤ x] ≥ p`.
+///
+/// For a correlation test at confidence `c` (the paper uses `c = 0.9`),
+/// the critical value is `chi2_quantile(c, df)`.
+///
+/// Solved by bracketing + bisection: ~60 iterations give full `f64`
+/// precision and the function is only called once per (confidence, df)
+/// pair, so speed is irrelevant.
+///
+/// # Panics
+///
+/// Panics if `df == 0` or `p ∉ [0, 1)`.
+pub fn chi2_quantile(p: f64, df: u32) -> f64 {
+    assert!(df > 0, "chi-squared needs at least 1 degree of freedom");
+    assert!((0.0..1.0).contains(&p), "quantile probability must be in [0, 1), got {p}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    // Bracket: the mean of the distribution is df, so [0, df] is a natural
+    // start; double the upper bound until it covers p.
+    let mut hi = (df as f64).max(1.0);
+    while chi2_cdf(hi, df) < p {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "failed to bracket chi-squared quantile");
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    /// Textbook critical values: chi2_quantile(conf, df).
+    #[test]
+    fn critical_values_match_published_tables() {
+        close(chi2_quantile(0.90, 1), 2.705_543, 1e-5);
+        close(chi2_quantile(0.95, 1), 3.841_459, 1e-5);
+        close(chi2_quantile(0.99, 1), 6.634_897, 1e-5);
+        close(chi2_quantile(0.95, 2), 5.991_465, 1e-5);
+        close(chi2_quantile(0.95, 4), 9.487_729, 1e-5);
+        close(chi2_quantile(0.90, 4), 7.779_440, 1e-5);
+        close(chi2_quantile(0.95, 10), 18.307_038, 1e-4);
+        close(chi2_quantile(0.99, 30), 50.892_181, 1e-4);
+    }
+
+    #[test]
+    fn cdf_at_critical_values_recovers_confidence() {
+        close(chi2_cdf(3.841_459, 1), 0.95, 1e-6);
+        close(chi2_cdf(2.705_543, 1), 0.90, 1e-6);
+        close(chi2_cdf(5.991_465, 2), 0.95, 1e-6);
+    }
+
+    #[test]
+    fn sf_is_complement_of_cdf() {
+        for &df in &[1u32, 2, 5, 17] {
+            for &x in &[0.0, 0.5, 1.0, 3.0, 10.0, 40.0] {
+                close(chi2_sf(x, df) + chi2_cdf(x, df), 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sf_small_tail_keeps_relative_precision() {
+        // Pr[X > 40 | df=1] ≈ 2.54e-10; a (1 - cdf) implementation would
+        // lose most digits here.
+        let p = chi2_sf(40.0, 1);
+        assert!(p > 0.0 && p < 1e-9, "tail p-value = {p}");
+        close(p / 2.539_6e-10, 1.0, 1e-3);
+    }
+
+    #[test]
+    fn quantile_roundtrips_cdf() {
+        for &df in &[1u32, 3, 7, 20] {
+            for &p in &[0.05, 0.25, 0.5, 0.9, 0.95, 0.999] {
+                let x = chi2_quantile(p, df);
+                close(chi2_cdf(x, df), p, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(chi2_quantile(0.0, 3), 0.0);
+        assert!(chi2_quantile(0.999_999, 1) > 20.0);
+    }
+
+    #[test]
+    fn df2_is_exponential_with_mean_two() {
+        // χ²(2) is Exp(1/2): CDF = 1 - e^{-x/2}.
+        for &x in &[0.5, 1.0, 2.0, 6.0] {
+            close(chi2_cdf(x, 2), 1.0 - (-x / 2.0_f64).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 degree")]
+    fn zero_df_panics() {
+        chi2_cdf(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn quantile_rejects_one() {
+        chi2_quantile(1.0, 1);
+    }
+}

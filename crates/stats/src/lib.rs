@@ -1,0 +1,23 @@
+//! # ccs-stats — statistics kernel for correlation mining
+//!
+//! From-first-principles implementations of everything the chi-squared
+//! correlation test of Brin et al. (SIGMOD 1997) needs, as used by the
+//! constrained miners of Grahne, Lakshmanan & Wang (ICDE 2000):
+//!
+//! * [`gamma`] — `ln Γ` (Lanczos) and the regularized incomplete gamma
+//!   functions (series + continued fraction),
+//! * [`chi2`] — chi-squared CDF, survival function (p-values), and
+//!   quantiles (critical values),
+//! * [`contingency`] — `2^k`-cell contingency tables over itemsets, the
+//!   chi-squared independence test, and the anti-monotone CT-support
+//!   significance test.
+
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod contingency;
+pub mod gamma;
+
+pub use chi2::{chi2_cdf, chi2_quantile, chi2_sf};
+pub use contingency::ContingencyTable;
+pub use gamma::{gamma_p, gamma_q, ln_gamma};

@@ -1,0 +1,68 @@
+//! Quickstart: generate synthetic basket data, mine constrained
+//! correlated sets with BMS++, and inspect a contingency table.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ccs::prelude::*;
+use ccs::itemset::HorizontalCounter;
+
+fn main() {
+    // 1. Synthetic market-basket data: the paper's "method 2" generator
+    //    plants known correlation rules, so we can see the miner find
+    //    them.
+    let params = RuleParams::small(3_000, 40, 7);
+    let data = generate_rules(&params);
+    println!("database: {} baskets over {} items", data.db.len(), data.db.n_items());
+    println!("planted rules:");
+    for rule in &data.rules {
+        println!("  {} (support {:.2})", rule.items, rule.support);
+    }
+
+    // 2. Per-item attributes: the paper's setup prices item i at $i+1.
+    let attrs = AttributeTable::with_identity_prices(40);
+
+    // 3. A constrained correlation query, in the paper's notation:
+    //    CT-supported, correlated, and with every item priced ≤ $30.
+    let constraints = parse_constraints("correlated & ct_supported & max(S.price) <= 30", &attrs)
+        .expect("well-formed query");
+    let query = CorrelationQuery { params: MiningParams::paper(), constraints };
+
+    // 4. Mine VALID_MIN(Q) with the constraint-pushing algorithm.
+    let result = mine(&data.db, &attrs, &query, Algorithm::BmsPlusPlus).expect("valid query");
+    println!(
+        "\nBMS++ found {} valid minimal correlated sets \
+         ({} contingency tables, {:?}):",
+        result.answers.len(),
+        result.metrics.tables_built,
+        result.metrics.elapsed
+    );
+    for set in result.answers.iter().take(12) {
+        println!("  {set}");
+    }
+    if result.answers.len() > 12 {
+        println!("  … and {} more", result.answers.len() - 12);
+    }
+
+    // 5. Inspect one answer's contingency table — the Figure B view.
+    if let Some(first) = result.answers.first() {
+        let mut counter = HorizontalCounter::new(&data.db);
+        let table = ContingencyTable::build(&mut counter, first);
+        println!("\ncontingency table of {first}:");
+        for (cell, count) in table.counts().iter().enumerate() {
+            let pattern: String = (0..first.len())
+                .map(|j| if cell & (1 << j) != 0 { '1' } else { '0' })
+                .collect();
+            println!("  cells[{pattern}] = {count} (expected {:.1})", table.expected(cell));
+        }
+        println!(
+            "  chi² = {:.2}, p-value = {:.4}, correlated at 90%: {}",
+            table.chi_squared(),
+            table.p_value(),
+            table.is_correlated(0.9)
+        );
+    }
+}

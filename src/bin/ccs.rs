@@ -1,0 +1,204 @@
+//! `ccs` — command-line constrained correlation mining.
+//!
+//! ```text
+//! ccs generate --method rules --baskets 5000 --items 100 --seed 7 --db data.baskets
+//! ccs attrs    --items 100 --db data.attrs            # identity prices
+//! ccs mine     --db data.baskets --attrs data.attrs \
+//!              --query "correlated & ct_supported & max(S.price) <= 50" \
+//!              --algorithm bms++
+//! ccs stats    --db data.baskets
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use ccs::dataset::{read_attrs, read_db, write_attrs, write_db};
+use ccs::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (recognized, result) = match args.first().map(String::as_str) {
+        Some("generate") => (true, cmd_generate(&args[1..])),
+        Some("attrs") => (true, cmd_attrs(&args[1..])),
+        Some("mine") => (true, cmd_mine(&args[1..])),
+        Some("stats") => (true, cmd_stats(&args[1..])),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            (true, Ok(()))
+        }
+        Some(other) => (false, Err(format!("unknown command '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            if !recognized {
+                eprintln!();
+                print_usage();
+            }
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:
+  ccs generate --method quest|rules --baskets <N> --items <N> [--seed <n>] --db <file>
+  ccs attrs    --items <N> --db <file>                 write identity-price attributes
+  ccs mine     --db <file> [--attrs <file>] --query <q> [--algorithm <a>]
+               [--support <f>] [--ct <f>] [--confidence <f>] [--strategy <s>]
+               algorithms: bms+ bms++ bms* bms** naive naive-min-valid
+               strategies: horizontal vertical parallel
+  ccs stats    --db <file>                             print database statistics"
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs only.
+struct Flags<'a>(&'a [String]);
+
+impl Flags<'_> {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag {key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for {key}")),
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let method = flags.require("--method")?;
+    let baskets: usize = flags.parse_or("--baskets", 10_000)?;
+    let items: u32 = flags.parse_or("--items", 100)?;
+    let seed: u64 = flags.parse_or("--seed", 42)?;
+    let out_path = flags.require("--db")?;
+
+    let db = match method {
+        "quest" => generate_quest(&QuestParams::small(baskets, items, seed)),
+        "rules" => {
+            let data = generate_rules(&RuleParams::small(baskets, items, seed));
+            eprintln!("planted rules:");
+            for r in &data.rules {
+                eprintln!("  {} (support {:.2})", r.items, r.support);
+            }
+            data.db
+        }
+        other => return Err(format!("unknown method '{other}' (quest|rules)")),
+    };
+    let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_db(&db, &mut w).map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!("wrote {} baskets over {} items to {out_path}", db.len(), db.n_items());
+    Ok(())
+}
+
+fn cmd_attrs(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let items: u32 = flags
+        .require("--items")?
+        .parse()
+        .map_err(|_| "bad value for --items".to_owned())?;
+    let out_path = flags.require("--db")?;
+    let attrs = AttributeTable::with_identity_prices(items);
+    let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_attrs(&attrs, &mut w).map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!("wrote identity-price attributes for {items} items to {out_path}");
+    Ok(())
+}
+
+fn load_db(path: &str) -> Result<TransactionDb, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_db(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let db = load_db(flags.require("--db")?)?;
+    let attrs = match flags.get("--attrs") {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            read_attrs(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))?
+        }
+        None => AttributeTable::with_identity_prices(db.n_items()),
+    };
+    let query_text = flags.get("--query").unwrap_or("correlated & ct_supported");
+    let constraints =
+        parse_constraints(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
+    let algorithm = match flags.get("--algorithm").unwrap_or("bms++") {
+        "bms+" => Algorithm::BmsPlus,
+        "bms++" => Algorithm::BmsPlusPlus,
+        "bms*" => Algorithm::BmsStar,
+        "bms**" => Algorithm::BmsStarStar,
+        "naive" => Algorithm::Naive,
+        "naive-min-valid" => Algorithm::NaiveMinValid,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let strategy = match flags.get("--strategy").unwrap_or("horizontal") {
+        "horizontal" => CountingStrategy::Horizontal,
+        "vertical" => CountingStrategy::Vertical,
+        "parallel" => CountingStrategy::Parallel,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let params = MiningParams {
+        confidence: flags.parse_or("--confidence", 0.9)?,
+        support_fraction: flags.parse_or("--support", 0.25)?,
+        ct_fraction: flags.parse_or("--ct", 0.25)?,
+        min_item_support: flags.parse_or("--min-item-support", 0.0)?,
+        max_level: flags.parse_or("--max-level", 8)?,
+    };
+    let query = CorrelationQuery { params, constraints };
+    let result =
+        mine_with_strategy(&db, &attrs, &query, algorithm, strategy).map_err(|e| e.to_string())?;
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for set in &result.answers {
+        // A closed pipe (e.g. `ccs mine … | head`) is a normal way for
+        // the reader to stop — finish quietly instead of panicking.
+        if writeln!(out, "{set}").is_err() {
+            return Ok(());
+        }
+    }
+    drop(out);
+    eprintln!(
+        "{} answers ({}), {} tables built, {:.3}s",
+        result.answers.len(),
+        result.semantics,
+        result.metrics.tables_built,
+        result.metrics.elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let db = load_db(flags.require("--db")?)?;
+    println!("baskets:          {}", db.len());
+    println!("items:            {}", db.n_items());
+    println!("avg basket size:  {:.2}", db.avg_transaction_len());
+    println!("max basket size:  {}", db.max_transaction_len());
+    let supports = db.item_supports();
+    let nonzero = supports.iter().filter(|&&s| s > 0).count();
+    println!("items occurring:  {nonzero}");
+    if let Some((item, &support)) = supports.iter().enumerate().max_by_key(|(_, &s)| s) {
+        println!(
+            "most frequent:    i{item} ({support} baskets, {:.1}%)",
+            100.0 * support as f64 / db.len().max(1) as f64
+        );
+    }
+    Ok(())
+}

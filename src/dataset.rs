@@ -1,0 +1,275 @@
+//! On-disk text formats for basket databases and attribute tables.
+//!
+//! Deliberately trivial, line-oriented, and diff-friendly — the kind of
+//! format you can produce from a SQL export with one `awk` line:
+//!
+//! ```text
+//! # ccs basket database
+//! items 1000
+//! 0 17 23 999
+//! 4 17
+//!
+//! ```
+//!
+//! (one basket per line, space-separated item ids; blank lines are empty
+//! baskets; `#` lines are comments). Attribute tables:
+//!
+//! ```text
+//! # ccs attributes
+//! items 4
+//! numeric price 1 2.5 3 9
+//! categorical type soda soda beer dairy
+//! ```
+//!
+//! Used by the `ccs` CLI binary; also convenient for test fixtures.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::constraints::AttributeTable;
+use crate::itemset::TransactionDb;
+
+/// A parse error for the dataset text formats.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally malformed input.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "i/o error: {e}"),
+            DatasetError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> DatasetError {
+    DatasetError::Parse { line, message: message.into() }
+}
+
+/// Writes a database in the basket text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_db<W: Write>(db: &TransactionDb, out: &mut W) -> io::Result<()> {
+    writeln!(out, "# ccs basket database")?;
+    writeln!(out, "items {}", db.n_items())?;
+    for t in db.transactions() {
+        let mut first = true;
+        for item in t {
+            if !first {
+                write!(out, " ")?;
+            }
+            write!(out, "{}", item.id())?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Reads a database in the basket text format.
+///
+/// # Errors
+///
+/// Returns [`DatasetError`] on I/O failures or malformed input
+/// (missing/duplicate `items` header, non-numeric ids, ids outside the
+/// declared universe).
+pub fn read_db<R: Read>(input: R) -> Result<TransactionDb, DatasetError> {
+    let reader = BufReader::new(input);
+    let mut n_items: Option<u32> = None;
+    let mut txns: Vec<Vec<u32>> = Vec::new();
+    let mut saw_header = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if trimmed.is_empty() {
+                continue;
+            }
+            let mut parts = trimmed.split_whitespace();
+            if parts.next() != Some("items") {
+                return Err(parse_err(lineno, "expected 'items <N>' header"));
+            }
+            let n: u32 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "expected a number after 'items'"))?;
+            n_items = Some(n);
+            saw_header = true;
+            continue;
+        }
+        let mut basket = Vec::new();
+        for tok in trimmed.split_whitespace() {
+            let id: u32 = tok
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad item id '{tok}'")))?;
+            let n = n_items.expect("header seen");
+            if id >= n {
+                return Err(parse_err(lineno, format!("item {id} outside universe 0..{n}")));
+            }
+            basket.push(id);
+        }
+        txns.push(basket);
+    }
+    let n = n_items.ok_or_else(|| parse_err(0, "missing 'items <N>' header"))?;
+    Ok(TransactionDb::from_ids(n, txns))
+}
+
+/// Writes an attribute table in the attributes text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_attrs<W: Write>(attrs: &AttributeTable, out: &mut W) -> io::Result<()> {
+    writeln!(out, "# ccs attributes")?;
+    writeln!(out, "items {}", attrs.n_items())?;
+    for name in attrs.numeric_names() {
+        write!(out, "numeric {name}")?;
+        for v in attrs.numeric(name).expect("listed name") {
+            write!(out, " {v}")?;
+        }
+        writeln!(out)?;
+    }
+    for name in attrs.categorical_names() {
+        let col = attrs.categorical(name).expect("listed name");
+        write!(out, "categorical {name}")?;
+        for &id in col.values() {
+            write!(out, " {}", col.label(id))?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Reads an attribute table in the attributes text format.
+///
+/// # Errors
+///
+/// Returns [`DatasetError`] on I/O failures or malformed input (missing
+/// header, wrong value counts, non-numeric values in `numeric` columns).
+pub fn read_attrs<R: Read>(input: R) -> Result<AttributeTable, DatasetError> {
+    let reader = BufReader::new(input);
+    let mut table: Option<AttributeTable> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let keyword = parts.next().expect("non-empty line");
+        match (keyword, &mut table) {
+            ("items", None) => {
+                let n: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "expected a number after 'items'"))?;
+                table = Some(AttributeTable::new(n));
+            }
+            ("items", Some(_)) => return Err(parse_err(lineno, "duplicate 'items' header")),
+            (kw @ ("numeric" | "categorical"), Some(t)) => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, format!("'{kw}' needs a column name")))?;
+                let values: Vec<&str> = parts.collect();
+                if values.len() != t.n_items() as usize {
+                    return Err(parse_err(
+                        lineno,
+                        format!("column '{name}' has {} values, need {}", values.len(), t.n_items()),
+                    ));
+                }
+                if kw == "numeric" {
+                    let parsed: Result<Vec<f64>, _> =
+                        values.iter().map(|v| v.parse::<f64>()).collect();
+                    let parsed = parsed
+                        .map_err(|_| parse_err(lineno, format!("non-numeric value in '{name}'")))?;
+                    t.add_numeric(name, parsed);
+                } else {
+                    t.add_categorical(name, &values);
+                }
+            }
+            (_, None) => return Err(parse_err(lineno, "expected 'items <N>' header first")),
+            (other, _) => {
+                return Err(parse_err(lineno, format!("unknown keyword '{other}'")));
+            }
+        }
+    }
+    table.ok_or_else(|| parse_err(0, "missing 'items <N>' header"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_roundtrip() {
+        let db = TransactionDb::from_ids(5, vec![vec![0, 2, 4], vec![], vec![1]]);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        let back = read_db(buf.as_slice()).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn db_rejects_out_of_universe_item() {
+        let err = read_db("items 3\n0 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn db_rejects_missing_header() {
+        assert!(read_db("0 1\n".as_bytes()).is_err());
+        assert!(read_db("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn db_skips_comments_and_leading_blanks() {
+        let db = read_db("# hello\n\nitems 2\n0 1\n# mid comment\n1\n".as_bytes()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.n_items(), 2);
+    }
+
+    #[test]
+    fn attrs_roundtrip() {
+        let mut attrs = AttributeTable::new(3);
+        attrs.add_numeric("price", vec![1.5, 2.0, 3.25]);
+        attrs.add_categorical("type", &["soda", "beer", "soda"]);
+        let mut buf = Vec::new();
+        write_attrs(&attrs, &mut buf).unwrap();
+        let back = read_attrs(buf.as_slice()).unwrap();
+        assert_eq!(attrs, back);
+    }
+
+    #[test]
+    fn attrs_error_cases() {
+        assert!(read_attrs("numeric price 1 2\n".as_bytes()).is_err()); // no header
+        assert!(read_attrs("items 2\nnumeric price 1\n".as_bytes()).is_err()); // count
+        assert!(read_attrs("items 2\nnumeric price a b\n".as_bytes()).is_err()); // non-numeric
+        assert!(read_attrs("items 2\nitems 2\n".as_bytes()).is_err()); // dup header
+        assert!(read_attrs("items 2\nboolean x 0 1\n".as_bytes()).is_err()); // keyword
+    }
+}

@@ -1,0 +1,91 @@
+//! §6 of the paper (future work): `avg` constraints are neither monotone
+//! nor anti-monotone — their solution space "may not be a single region
+//! and instead may have holes in it". These tests pin down that
+//! behaviour and the library's contract around it: level-wise miners
+//! refuse such queries, the exhaustive miner answers them literally.
+
+use ccs::prelude::*;
+
+/// avg(price) over identity prices exhibits a hole along a chain:
+/// {1} → avg 2 ✓, {1,4} → avg 3.5 ✗, {0,1,4} → avg 3 ✓ for the bound
+/// avg ≤ 3.
+#[test]
+fn avg_solution_space_has_holes() {
+    let attrs = AttributeTable::with_identity_prices(6);
+    let c = Constraint::Avg { attr: "price".into(), cmp: Cmp::Le, value: 3.0 };
+    let small = Itemset::from_ids([1]); // avg 2
+    let mid = Itemset::from_ids([1, 4]); // avg 3.5
+    let large = Itemset::from_ids([0, 1, 4]); // avg 3
+    assert!(c.satisfied(&small, &attrs));
+    assert!(!c.satisfied(&mid, &attrs));
+    assert!(c.satisfied(&large, &attrs));
+    assert!(small.is_subset_of(&mid) && mid.is_subset_of(&large));
+    assert_eq!(c.monotonicity(), Monotonicity::Neither);
+}
+
+fn db() -> TransactionDb {
+    // Two perfectly correlated pairs: cheap {0,1} and pricey {3,4};
+    // a correlated triple region via {0,1,4}.
+    let mut txns = Vec::new();
+    for i in 0..90u32 {
+        let mut t = Vec::new();
+        if i % 2 == 0 {
+            t.extend([0, 1]);
+        }
+        if i % 3 == 0 {
+            t.extend([3, 4]);
+        }
+        txns.push(t);
+    }
+    TransactionDb::from_ids(5, txns)
+}
+
+fn query(value: f64) -> CorrelationQuery {
+    CorrelationQuery {
+        params: MiningParams { support_fraction: 0.1, ..MiningParams::paper() },
+        constraints: ConstraintSet::new().and(Constraint::Avg {
+            attr: "price".into(),
+            cmp: Cmp::Le,
+            value,
+        }),
+    }
+}
+
+#[test]
+fn level_wise_miners_refuse_avg_queries() {
+    let db = db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    for algo in Algorithm::paper_algorithms() {
+        assert!(matches!(
+            mine(&db, &attrs, &query(3.0), algo),
+            Err(MiningError::NonMonotoneConstraint)
+        ));
+    }
+}
+
+#[test]
+fn naive_miner_answers_avg_queries_literally() {
+    let db = db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    // avg ≤ 2: only the cheap pair {0,1} (avg 1.5) qualifies.
+    let r = mine(&db, &attrs, &query(2.0), Algorithm::NaiveMinValid).unwrap();
+    assert_eq!(r.answers, vec![Itemset::from_ids([0, 1])]);
+    // avg ≤ 5: both correlated pairs qualify.
+    let r = mine(&db, &attrs, &query(5.0), Algorithm::NaiveMinValid).unwrap();
+    assert!(r.contains(&Itemset::from_ids([0, 1])));
+    assert!(r.contains(&Itemset::from_ids([3, 4])));
+}
+
+#[test]
+fn avg_valid_min_and_min_valid_still_nest() {
+    // Even for holey spaces the two literal definitions nest.
+    let db = db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    for value in [2.0, 3.0, 4.5, 5.0] {
+        let vm = mine(&db, &attrs, &query(value), Algorithm::Naive).unwrap();
+        let mv = mine(&db, &attrs, &query(value), Algorithm::NaiveMinValid).unwrap();
+        for s in &vm.answers {
+            assert!(mv.contains(s), "avg ≤ {value}: {s} in VALID_MIN only");
+        }
+    }
+}

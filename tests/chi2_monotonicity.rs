@@ -1,0 +1,136 @@
+//! The closure lemmas everything rests on, property-tested:
+//!
+//! * the chi-squared statistic never decreases when an item is added
+//!   (Brin et al.'s upward-closure lemma — with the fixed df = 1 cutoff
+//!   this makes "correlated" monotone),
+//! * CT-support is anti-monotone (downward closed),
+//! * the constraint classification of Lemma 1 matches actual evaluation
+//!   behaviour on random sub/supersets.
+
+use proptest::prelude::*;
+
+use ccs::itemset::{HorizontalCounter, Itemset, TransactionDb};
+use ccs::prelude::*;
+
+const N_ITEMS: u32 = 6;
+
+fn db_strategy() -> impl Strategy<Value = TransactionDb> {
+    proptest::collection::vec(proptest::collection::vec(0u32..N_ITEMS, 0..6), 10..60)
+        .prop_map(|txns| TransactionDb::from_ids(N_ITEMS, txns))
+}
+
+/// A random itemset of size 2..=4 plus one extra item outside it.
+fn set_and_extra() -> impl Strategy<Value = (Itemset, u32)> {
+    (proptest::collection::btree_set(0u32..N_ITEMS, 2..=4), 0u32..N_ITEMS).prop_filter_map(
+        "extra must be outside the set",
+        |(ids, extra)| {
+            if ids.contains(&extra) {
+                None
+            } else {
+                Some((Itemset::from_ids(ids), extra))
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// chi²(S ∪ {x}) ≥ chi²(S): the statistic is upward closed.
+    #[test]
+    fn chi_squared_statistic_is_upward_closed(
+        db in db_strategy(),
+        (set, extra) in set_and_extra(),
+    ) {
+        let mut counter = HorizontalCounter::new(&db);
+        let base = ContingencyTable::build(&mut counter, &set).chi_squared();
+        let bigger = ContingencyTable::build(
+            &mut counter,
+            &set.with_item(ccs::itemset::Item::new(extra)),
+        )
+        .chi_squared();
+        // Tiny negative slack for floating-point accumulation.
+        prop_assert!(
+            bigger >= base - 1e-6,
+            "chi2 dropped from {base} to {bigger} adding i{extra} to {set}"
+        );
+    }
+
+    /// Correlation at any confidence is monotone under item addition.
+    #[test]
+    fn correlation_is_monotone(
+        db in db_strategy(),
+        (set, extra) in set_and_extra(),
+        confidence in 0.5f64..0.999,
+    ) {
+        let mut counter = HorizontalCounter::new(&db);
+        let base = ContingencyTable::build(&mut counter, &set);
+        if base.is_correlated(confidence) {
+            let sup = ContingencyTable::build(
+                &mut counter,
+                &set.with_item(ccs::itemset::Item::new(extra)),
+            );
+            prop_assert!(
+                sup.is_correlated(confidence),
+                "superset of correlated {set} is uncorrelated at {confidence}"
+            );
+        }
+    }
+
+    /// CT-support is anti-monotone: a CT-supported set's subsets are
+    /// CT-supported.
+    #[test]
+    fn ct_support_is_anti_monotone(
+        db in db_strategy(),
+        (set, extra) in set_and_extra(),
+        s_frac in 0.0f64..0.5,
+        p in 0.0f64..1.0,
+    ) {
+        let s_abs = (s_frac * db.len() as f64).ceil() as u64;
+        let sup_set = set.with_item(ccs::itemset::Item::new(extra));
+        let mut counter = HorizontalCounter::new(&db);
+        let sup = ContingencyTable::build(&mut counter, &sup_set);
+        if sup.is_ct_supported(s_abs, p) {
+            let sub = ContingencyTable::build(&mut counter, &set);
+            prop_assert!(
+                sub.is_ct_supported(s_abs, p),
+                "subset {set} of CT-supported {sup_set} fails CT-support (s={s_abs}, p={p})"
+            );
+        }
+    }
+
+    /// Lemma 1, behaviourally: an anti-monotone constraint satisfied by a
+    /// set is satisfied by its subsets; a monotone one by its supersets.
+    #[test]
+    fn classification_matches_evaluation(
+        (set, extra) in set_and_extra(),
+        kind in 0usize..8,
+        c in 1.0f64..12.0,
+    ) {
+        let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+        let constraint = match kind {
+            0 => Constraint::max_le("price", c),
+            1 => Constraint::min_ge("price", c),
+            2 => Constraint::sum_le("price", c),
+            3 => Constraint::agg(AggFn::Count, "price", Cmp::Le, c),
+            4 => Constraint::min_le("price", c),
+            5 => Constraint::max_ge("price", c),
+            6 => Constraint::sum_ge("price", c),
+            _ => Constraint::agg(AggFn::Count, "price", Cmp::Ge, c),
+        };
+        let sup_set = set.with_item(ccs::itemset::Item::new(extra));
+        let sub_sat = constraint.satisfied(&set, &attrs);
+        let sup_sat = constraint.satisfied(&sup_set, &attrs);
+        match constraint.monotonicity() {
+            Monotonicity::AntiMonotone => prop_assert!(
+                !sup_sat || sub_sat,
+                "anti-monotone {constraint}: superset holds but subset fails"
+            ),
+            Monotonicity::Monotone => prop_assert!(
+                !sub_sat || sup_sat,
+                "monotone {constraint}: subset holds but superset fails"
+            ),
+            Monotonicity::Neither => {}
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Adversarial differential fuzzer (review harness).
+
+use proptest::prelude::*;
+
+use ccs::prelude::*;
+use std::collections::BTreeSet;
+
+const N_ITEMS: u32 = 7;
+
+fn attrs() -> AttributeTable {
+    let mut t = AttributeTable::with_identity_prices(N_ITEMS);
+    t.add_categorical("type", &["a", "a", "b", "b", "c", "c", "d"]);
+    t
+}
+
+fn db_strategy() -> impl Strategy<Value = TransactionDb> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0u32..N_ITEMS, 0..6), 20..60),
+        0u32..4,
+        2u32..5,
+        0u32..4,
+        2u32..5,
+    )
+        .prop_map(|(mut txns, p, every, p2, every2)| {
+            for (i, t) in txns.iter_mut().enumerate() {
+                if (i as u32) % every == 0 {
+                    t.push(p);
+                    t.push(p + 1);
+                    t.push(p + 2);
+                    t.push((p + 3) % N_ITEMS);
+                }
+                if (i as u32) % every2 == 1 {
+                    t.push(p2);
+                    t.push(p2 + 3);
+                }
+            }
+            TransactionDb::from_ids(N_ITEMS, txns)
+        })
+}
+
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    (0usize..14, 1.0f64..8.0, proptest::collection::btree_set(0u32..4, 1..3)).prop_map(
+        |(kind, c, cats)| {
+            let ids: BTreeSet<u32> = cats.iter().map(|&x| x.min(N_ITEMS - 1)).collect();
+            match kind {
+                0 => Constraint::max_le("price", c),
+                1 => Constraint::min_ge("price", c),
+                2 => Constraint::sum_le("price", c * 2.0),
+                3 => Constraint::min_le("price", c),
+                4 => Constraint::max_ge("price", c),
+                5 => Constraint::sum_ge("price", c * 2.0),
+                6 => Constraint::ItemSubset { items: ids, negated: false },
+                7 => Constraint::ItemSubset { items: ids, negated: true },
+                8 => Constraint::ItemDisjoint { items: ids, negated: false },
+                9 => Constraint::ItemDisjoint { items: ids, negated: true },
+                10 => Constraint::ConstSubset { attr: "type".into(), categories: ids, negated: false },
+                11 => Constraint::Disjoint { attr: "type".into(), categories: ids, negated: false },
+                12 => Constraint::Disjoint { attr: "type".into(), categories: ids, negated: true },
+                _ => Constraint::CountDistinct {
+                    attr: "type".into(),
+                    cmp: if c < 4.0 { Cmp::Le } else { Cmp::Ge },
+                    value: (c as u64 % 3) + 1,
+                },
+            }
+        },
+    )
+}
+
+fn params_strategy() -> impl Strategy<Value = MiningParams> {
+    (0.8f64..0.99, 0.03f64..0.3, 0.05f64..0.5, 0.0f64..0.25, 3usize..7).prop_map(
+        |(confidence, support_fraction, ct_fraction, min_item_support, max_level)| MiningParams {
+            confidence,
+            support_fraction,
+            ct_fraction,
+            min_item_support,
+            max_level,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2048, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_algorithms_agree_with_naive(
+        db in db_strategy(),
+        c1 in constraint_strategy(),
+        c2 in constraint_strategy(),
+        sum_lo in 4.0f64..26.0,
+        params in params_strategy(),
+    ) {
+        let attrs = attrs();
+        // A strong monotone constraint forces MIN_VALID answers above the
+        // correlation border, exercising the upward sweeps deeply.
+        let c3 = Constraint::sum_ge("price", sum_lo);
+        let q = CorrelationQuery { params, constraints: ConstraintSet::new().and(c1).and(c2).and(c3) };
+        let vm_ref = mine(&db, &attrs, &q, Algorithm::Naive).unwrap().answers;
+        let mv_ref = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap().answers;
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsPlus).unwrap().answers,
+            &vm_ref, "BMS+ mismatch on {}", q.constraints
+        );
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap().answers,
+            &vm_ref, "BMS++ mismatch on {}", q.constraints
+        );
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsStar).unwrap().answers,
+            &mv_ref, "BMS* mismatch on {}", q.constraints
+        );
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap().answers,
+            &mv_ref, "BMS** mismatch on {}", q.constraints
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests: on random small databases and random
+//! constraints, every level-wise algorithm must agree with the
+//! exhaustive reference, the two semantics must nest, and the two
+//! counting strategies must be indistinguishable.
+
+use proptest::prelude::*;
+
+use ccs::prelude::*;
+
+const N_ITEMS: u32 = 6;
+
+/// A random database over 6 items: up to 60 baskets of random subsets,
+/// biased so some pairs co-occur strongly (otherwise nothing is ever
+/// correlated and the tests are vacuous).
+fn db_strategy() -> impl Strategy<Value = TransactionDb> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0u32..N_ITEMS, 0..5), 20..60),
+        0u32..3, // a planted co-occurring pair: items (p, p+1)
+        2u32..5, // how often the pair is planted (every k-th basket)
+    )
+        .prop_map(|(mut txns, p, every)| {
+            for (i, t) in txns.iter_mut().enumerate() {
+                if (i as u32).is_multiple_of(every) {
+                    t.push(p);
+                    t.push(p + 1);
+                }
+            }
+            TransactionDb::from_ids(N_ITEMS, txns)
+        })
+}
+
+/// A random constraint over identity prices (item i costs $i+1, so
+/// thresholds in 1..=6 are meaningful).
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    (0usize..10, 1.0f64..7.0).prop_map(|(kind, c)| {
+        let ids = || [(c as u32).clamp(1, N_ITEMS - 1)].into_iter().collect();
+        match kind {
+            0 => Constraint::max_le("price", c),
+            1 => Constraint::min_ge("price", c),
+            2 => Constraint::sum_le("price", c * 2.0),
+            3 => Constraint::min_le("price", c),
+            4 => Constraint::max_ge("price", c),
+            5 => Constraint::ItemSubset { items: ids(), negated: false },
+            6 => Constraint::ItemSubset { items: ids(), negated: true },
+            7 => Constraint::ItemDisjoint { items: ids(), negated: false },
+            8 => Constraint::ItemDisjoint { items: ids(), negated: true },
+            _ => Constraint::sum_ge("price", c * 2.0),
+        }
+    })
+}
+
+fn query(constraints: ConstraintSet) -> CorrelationQuery {
+    CorrelationQuery {
+        params: MiningParams {
+            confidence: 0.9,
+            support_fraction: 0.15,
+            ct_fraction: 0.25,
+            min_item_support: 0.0,
+            max_level: 5,
+        },
+        constraints,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// BMS+ and BMS++ both compute VALID_MIN, exactly (Theorem 2.1),
+    /// and it matches the exhaustive reference.
+    #[test]
+    fn valid_min_algorithms_agree_with_naive(
+        db in db_strategy(),
+        c1 in constraint_strategy(),
+        c2 in constraint_strategy(),
+    ) {
+        let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+        let q = query(ConstraintSet::new().and(c1).and(c2));
+        let reference = mine(&db, &attrs, &q, Algorithm::Naive).unwrap().answers;
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsPlus).unwrap().answers,
+            &reference, "BMS+ mismatch on {}", q.constraints
+        );
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap().answers,
+            &reference, "BMS++ mismatch on {}", q.constraints
+        );
+    }
+
+    /// BMS* and BMS** both compute MIN_VALID, exactly (Theorem 2.2),
+    /// and it matches the exhaustive reference.
+    #[test]
+    fn min_valid_algorithms_agree_with_naive(
+        db in db_strategy(),
+        c1 in constraint_strategy(),
+        c2 in constraint_strategy(),
+    ) {
+        let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+        let q = query(ConstraintSet::new().and(c1).and(c2));
+        let reference = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap().answers;
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsStar).unwrap().answers,
+            &reference, "BMS* mismatch on {}", q.constraints
+        );
+        prop_assert_eq!(
+            &mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap().answers,
+            &reference, "BMS** mismatch on {}", q.constraints
+        );
+    }
+
+    /// Theorem 1.1: VALID_MIN ⊆ MIN_VALID for any constraint mix.
+    #[test]
+    fn semantics_nest(
+        db in db_strategy(),
+        c in constraint_strategy(),
+    ) {
+        let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+        let q = query(ConstraintSet::new().and(c));
+        let vm = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
+        let mv = mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap();
+        for s in &vm.answers {
+            prop_assert!(mv.contains(s), "{} missing from MIN_VALID on {}", s, q.constraints);
+        }
+    }
+
+    /// Answers are actually answers: every reported set is CT-supported,
+    /// correlated, valid, and mutually minimal.
+    #[test]
+    fn answers_satisfy_their_definition(
+        db in db_strategy(),
+        c in constraint_strategy(),
+    ) {
+        use ccs::itemset::HorizontalCounter;
+        let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+        let q = query(ConstraintSet::new().and(c));
+        let r = mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap();
+        let s_abs = q.params.support_abs(db.len());
+        for set in &r.answers {
+            let mut counter = HorizontalCounter::new(&db);
+            let table = ContingencyTable::build(&mut counter, set);
+            prop_assert!(table.is_ct_supported(s_abs, q.params.ct_fraction));
+            prop_assert!(table.is_correlated(q.params.confidence));
+            prop_assert!(q.constraints.satisfied(set, &attrs));
+        }
+        for (i, a) in r.answers.iter().enumerate() {
+            for b in &r.answers[i + 1..] {
+                prop_assert!(!a.is_subset_of(b) && !b.is_subset_of(a));
+            }
+        }
+    }
+
+    /// The vertical counting strategy is answer-for-answer identical to
+    /// the horizontal one.
+    #[test]
+    fn counting_strategies_agree(
+        db in db_strategy(),
+        c in constraint_strategy(),
+    ) {
+        let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+        let q = query(ConstraintSet::new().and(c));
+        for algo in Algorithm::paper_algorithms() {
+            let h = mine_with_strategy(&db, &attrs, &q, algo, CountingStrategy::Horizontal)
+                .unwrap().answers;
+            let v = mine_with_strategy(&db, &attrs, &q, algo, CountingStrategy::Vertical)
+                .unwrap().answers;
+            prop_assert_eq!(h, v, "strategy mismatch for {}", algo);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property test: every expressible constraint survives a
+//! render → parse round-trip, and parsing is stable (parse ∘ render ∘
+//! parse = parse ∘ render).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use ccs::prelude::*;
+use ccs::query::{parse_constraints, render_constraint, render_constraints};
+
+const N_ITEMS: u32 = 8;
+
+fn attrs() -> AttributeTable {
+    let mut t = AttributeTable::new(N_ITEMS);
+    t.add_numeric("price", (0..N_ITEMS).map(|i| (i + 1) as f64).collect());
+    t.add_categorical(
+        "type",
+        &["soda", "soda", "snack", "dairy", "dairy", "beer", "frozen", "beer"],
+    );
+    t
+}
+
+fn category_set() -> impl Strategy<Value = BTreeSet<u32>> {
+    // Category ids 0..5 exist in the `type` column above.
+    proptest::collection::btree_set(0u32..5, 1..3)
+}
+
+fn item_set() -> impl Strategy<Value = BTreeSet<u32>> {
+    proptest::collection::btree_set(0u32..N_ITEMS, 1..4)
+}
+
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        (0usize..8, 0.5f64..20.0).prop_map(|(k, c)| {
+            match k {
+                0 => Constraint::max_le("price", c),
+                1 => Constraint::max_ge("price", c),
+                2 => Constraint::min_le("price", c),
+                3 => Constraint::min_ge("price", c),
+                4 => Constraint::sum_le("price", c),
+                5 => Constraint::sum_ge("price", c),
+                6 => Constraint::agg(AggFn::Count, "price", Cmp::Le, c.round()),
+                _ => Constraint::Avg { attr: "price".into(), cmp: Cmp::Ge, value: c },
+            }
+        }),
+        (category_set(), any::<bool>()).prop_map(|(categories, negated)| {
+            Constraint::ConstSubset { attr: "type".into(), categories, negated }
+        }),
+        (category_set(), any::<bool>()).prop_map(|(categories, negated)| {
+            Constraint::Disjoint { attr: "type".into(), categories, negated }
+        }),
+        (0u64..5, any::<bool>()).prop_map(|(value, le)| Constraint::CountDistinct {
+            attr: "type".into(),
+            cmp: if le { Cmp::Le } else { Cmp::Ge },
+            value,
+        }),
+        (item_set(), any::<bool>())
+            .prop_map(|(items, negated)| Constraint::ItemSubset { items, negated }),
+        (item_set(), any::<bool>())
+            .prop_map(|(items, negated)| Constraint::ItemDisjoint { items, negated }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn single_constraint_roundtrips(c in constraint_strategy()) {
+        let a = attrs();
+        let text = render_constraint(&c, &a).expect("renderable");
+        let parsed = parse_constraints(&text, &a)
+            .unwrap_or_else(|e| panic!("render produced unparseable '{text}': {e}"));
+        prop_assert_eq!(parsed.constraints(), std::slice::from_ref(&c), "via '{}'", text);
+    }
+
+    #[test]
+    fn conjunction_roundtrips(
+        cs in proptest::collection::vec(constraint_strategy(), 0..4),
+    ) {
+        let a = attrs();
+        let set = ConstraintSet::from_vec(cs);
+        let text = render_constraints(&set, &a).expect("renderable");
+        let parsed = parse_constraints(&text, &a)
+            .unwrap_or_else(|e| panic!("render produced unparseable '{text}': {e}"));
+        prop_assert_eq!(parsed, set, "via '{}'", text);
+    }
+
+    /// Rendering is semantics-preserving: the parsed constraint evaluates
+    /// identically on random itemsets.
+    #[test]
+    fn roundtrip_preserves_evaluation(
+        c in constraint_strategy(),
+        ids in proptest::collection::btree_set(0u32..N_ITEMS, 0..5),
+    ) {
+        let a = attrs();
+        let text = render_constraint(&c, &a).expect("renderable");
+        let parsed = parse_constraints(&text, &a).expect("parseable");
+        let set = Itemset::from_ids(ids);
+        prop_assert_eq!(
+            c.satisfied(&set, &a),
+            parsed.constraints()[0].satisfied(&set, &a),
+            "evaluation diverged for {} on {}", text, set
+        );
+    }
+}

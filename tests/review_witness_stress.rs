@@ -1,0 +1,93 @@
+//! Review harness: stress the witness-class shortcut paths.
+
+use ccs::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_ITEMS: u32 = 8;
+
+fn random_db(seed: u64) -> TransactionDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(20..80);
+    // Plant several overlapping correlated groups among NON-witness items
+    // (high ids) plus noise, so minimal correlated sets can be witness-free.
+    let groups: Vec<Vec<u32>> = (0..rng.gen_range(1..4))
+        .map(|_| {
+            let k = rng.gen_range(2..4);
+            let mut g = Vec::new();
+            while g.len() < k {
+                let i = rng.gen_range(1..N_ITEMS);
+                if !g.contains(&i) {
+                    g.push(i);
+                }
+            }
+            g
+        })
+        .collect();
+    let txns: Vec<Vec<u32>> = (0..n)
+        .map(|_| {
+            let mut t = Vec::new();
+            for g in &groups {
+                if rng.gen_bool(0.4) {
+                    t.extend(g.iter().copied());
+                }
+            }
+            for i in 0..N_ITEMS {
+                if rng.gen_bool(0.25) {
+                    t.push(i);
+                }
+            }
+            t
+        })
+        .collect();
+    TransactionDb::from_ids(N_ITEMS, txns)
+}
+
+#[test]
+fn witness_class_paths_agree_with_naive() {
+    let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+    for seed in 0..400u64 {
+        let db = random_db(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let params = MiningParams {
+            confidence: 0.9,
+            support_fraction: [0.05, 0.1, 0.2][rng.gen_range(0..3)],
+            ct_fraction: [0.125, 0.25, 0.375][rng.gen_range(0..3)],
+            min_item_support: 0.0,
+            max_level: 6,
+        };
+        // Witness class = {item 0} only (price 1): min(price) <= 1.
+        // Occasionally widen or add an AM / monotone residual constraint.
+        let mut cs = match seed % 4 {
+            0 => ConstraintSet::new().and(Constraint::min_le("price", 1.0)),
+            1 => ConstraintSet::new().and(Constraint::ItemSubset {
+                items: [0u32, 1].into_iter().collect(),
+                negated: false,
+            }),
+            2 => ConstraintSet::new()
+                .and(Constraint::min_le("price", 2.0))
+                .and(Constraint::max_ge("price", 7.0)),
+            _ => ConstraintSet::new().and(Constraint::max_ge("price", 8.0)),
+        };
+        if seed % 3 == 0 {
+            cs = cs.and(Constraint::sum_le("price", 14.0));
+        }
+        if seed % 5 == 0 {
+            cs = cs.and(Constraint::sum_ge("price", 6.0));
+        }
+        if seed % 7 == 0 {
+            cs = cs.and(Constraint::max_le("price", 7.0));
+        }
+        let q = CorrelationQuery { params, constraints: cs };
+        let vm = mine(&db, &attrs, &q, Algorithm::Naive).unwrap().answers;
+        let pp = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap().answers;
+        assert_eq!(pp, vm, "BMS++ vs naive, seed {seed}, {}", q.constraints);
+        let plus = mine(&db, &attrs, &q, Algorithm::BmsPlus).unwrap().answers;
+        assert_eq!(plus, vm, "BMS+ vs naive, seed {seed}");
+        let mv = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap().answers;
+        let ss = mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap().answers;
+        assert_eq!(ss, mv, "BMS** vs naive, seed {seed}, {}", q.constraints);
+        let star = mine(&db, &attrs, &q, Algorithm::BmsStar).unwrap().answers;
+        assert_eq!(star, mv, "BMS* vs naive, seed {seed}");
+    }
+}

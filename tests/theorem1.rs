@@ -1,0 +1,160 @@
+//! Integration tests for Theorem 1 of the paper: the relationship
+//! between the two answer-set semantics, exercised through the full
+//! public API across crates.
+
+use ccs::prelude::*;
+
+/// Milk(“$1”)–bread(“$2”) always co-occur; cheese(“$5”) is independent
+/// of both, so pair correlations stop at {milk, bread}. The monotone
+/// constraint max(price) ≥ 5 invalidates that pair, and only the triple
+/// {milk, bread, cheese} recovers validity — the paper's §2.2 example
+/// as a concrete database.
+fn divergence_db() -> TransactionDb {
+    let mut txns = Vec::new();
+    for i in 0..120u32 {
+        let mut t = Vec::new();
+        if i % 2 == 0 {
+            t.extend([0, 1]);
+        }
+        if i % 4 <= 1 {
+            t.push(4);
+        }
+        if i % 3 == 0 {
+            t.push(2);
+        }
+        if i % 5 == 0 {
+            t.push(3);
+        }
+        txns.push(t);
+    }
+    TransactionDb::from_ids(5, txns)
+}
+
+fn params() -> MiningParams {
+    MiningParams { support_fraction: 0.1, ..MiningParams::paper() }
+}
+
+#[test]
+fn valid_min_is_always_contained_in_min_valid() {
+    let db = divergence_db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    for constraint in [
+        Constraint::max_ge("price", 5.0),
+        Constraint::sum_ge("price", 6.0),
+        Constraint::min_le("price", 2.0),
+        Constraint::max_le("price", 4.0),
+        Constraint::sum_le("price", 8.0),
+    ] {
+        let q = CorrelationQuery {
+            params: params(),
+            constraints: ConstraintSet::new().and(constraint),
+        };
+        let vm = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
+        let mv = mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap();
+        for s in &vm.answers {
+            assert!(mv.contains(s), "{s} in VALID_MIN but not MIN_VALID ({})", q.constraints);
+        }
+    }
+}
+
+#[test]
+fn monotone_constraint_separates_the_semantics() {
+    let db = divergence_db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    let q = CorrelationQuery {
+        params: params(),
+        constraints: ConstraintSet::new().and(Constraint::max_ge("price", 5.0)),
+    };
+    let vm = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
+    let mv = mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap();
+    // The correlated pair {milk, bread} is too cheap; no pair involving
+    // cheese is correlated; so VALID_MIN is empty…
+    assert!(vm.answers.is_empty(), "VALID_MIN = {:?}", vm.answers);
+    // …while MIN_VALID grows the pair until cheese joins.
+    assert_eq!(mv.answers, vec![Itemset::from_ids([0, 1, 4])]);
+}
+
+#[test]
+fn anti_monotone_constraints_collapse_the_semantics() {
+    // Theorem 1.2: with only anti-monotone constraints the two answer
+    // sets coincide, for every algorithm pair.
+    let db = divergence_db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    for constraint in [
+        Constraint::max_le("price", 3.0),
+        Constraint::sum_le("price", 4.0),
+        Constraint::min_ge("price", 1.0),
+    ] {
+        let q = CorrelationQuery {
+            params: params(),
+            constraints: ConstraintSet::new().and(constraint),
+        };
+        assert!(q.constraints.all_anti_monotone());
+        let answers: Vec<Vec<Itemset>> = Algorithm::paper_algorithms()
+            .iter()
+            .map(|&a| mine(&db, &attrs, &q, a).unwrap().answers)
+            .collect();
+        for (i, a) in answers.iter().enumerate().skip(1) {
+            assert_eq!(&answers[0], a, "algorithm #{i} diverged on {}", q.constraints);
+        }
+    }
+}
+
+#[test]
+fn level_wise_algorithms_match_the_exhaustive_reference() {
+    let db = divergence_db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    for constraint in [
+        Constraint::max_ge("price", 5.0),
+        Constraint::min_le("price", 1.0),
+        Constraint::sum_ge("price", 7.0),
+        Constraint::max_le("price", 4.0),
+    ] {
+        let q = CorrelationQuery {
+            params: params(),
+            constraints: ConstraintSet::new().and(constraint),
+        };
+        let naive_vm = mine(&db, &attrs, &q, Algorithm::Naive).unwrap();
+        let naive_mv = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap();
+        for algo in [Algorithm::BmsPlus, Algorithm::BmsPlusPlus] {
+            assert_eq!(
+                mine(&db, &attrs, &q, algo).unwrap().answers,
+                naive_vm.answers,
+                "{algo} vs naive on {}",
+                q.constraints
+            );
+        }
+        for algo in [Algorithm::BmsStar, Algorithm::BmsStarStar] {
+            assert_eq!(
+                mine(&db, &attrs, &q, algo).unwrap().answers,
+                naive_mv.answers,
+                "{algo} vs naive on {}",
+                q.constraints
+            );
+        }
+    }
+}
+
+#[test]
+fn avg_queries_route_to_the_naive_miner_only() {
+    let db = divergence_db();
+    let attrs = AttributeTable::with_identity_prices(5);
+    let q = CorrelationQuery {
+        params: params(),
+        constraints: ConstraintSet::new().and(Constraint::Avg {
+            attr: "price".into(),
+            cmp: Cmp::Le,
+            value: 2.0,
+        }),
+    };
+    for algo in Algorithm::paper_algorithms() {
+        assert!(matches!(
+            mine(&db, &attrs, &q, algo),
+            Err(MiningError::NonMonotoneConstraint)
+        ));
+    }
+    let r = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap();
+    // {milk, bread} has avg price 1.5 ≤ 2 and is the only correlated
+    // set over cheap items.
+    assert_eq!(r.answers, vec![Itemset::from_ids([0, 1])]);
+}
