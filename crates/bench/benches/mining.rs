@@ -6,16 +6,17 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use ccs_bench::{paper_mining_params, DataMethod};
 use ccs_constraints::{AttributeTable, Constraint, ConstraintSet};
-use ccs_core::{
-    mine_with_strategy, run_bms, run_bms_batched, Algorithm, CorrelationQuery, CountingStrategy,
-};
-use ccs_itemset::HorizontalCounter;
+use ccs_core::{mine_with_strategy, run_bms, Algorithm, CorrelationQuery, CountingStrategy};
+use ccs_itemset::{HorizontalCounter, ParallelCounter, VerticalCounter};
 
 const N_ITEMS: u32 = 30;
 const N_BASKETS: usize = 1_000;
 
 fn query(constraints: ConstraintSet) -> CorrelationQuery {
-    CorrelationQuery { params: paper_mining_params(), constraints }
+    CorrelationQuery {
+        params: paper_mining_params(),
+        constraints,
+    }
 }
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -28,34 +29,42 @@ fn bench_algorithms(c: &mut Criterion) {
         // Figure 1 configuration.
         let cs = ConstraintSet::new().and(Constraint::max_le("price", N_ITEMS as f64 / 2.0));
         for algo in Algorithm::paper_algorithms() {
-            group.bench_with_input(BenchmarkId::new("am_succinct", algo.name()), &algo, |b, &a| {
-                b.iter(|| {
-                    mine_with_strategy(
-                        black_box(&db),
-                        &attrs,
-                        &query(cs.clone()),
-                        a,
-                        CountingStrategy::Horizontal,
-                    )
-                    .unwrap()
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("am_succinct", algo.name()),
+                &algo,
+                |b, &a| {
+                    b.iter(|| {
+                        mine_with_strategy(
+                            black_box(&db),
+                            &attrs,
+                            &query(cs.clone()),
+                            a,
+                            CountingStrategy::Horizontal,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
         }
         // Monotone + succinct — the Figure 5/7 configuration.
         let cs_m = ConstraintSet::new().and(Constraint::min_le("price", N_ITEMS as f64 / 2.0));
         for algo in Algorithm::paper_algorithms() {
-            group.bench_with_input(BenchmarkId::new("mono_succinct", algo.name()), &algo, |b, &a| {
-                b.iter(|| {
-                    mine_with_strategy(
-                        black_box(&db),
-                        &attrs,
-                        &query(cs_m.clone()),
-                        a,
-                        CountingStrategy::Horizontal,
-                    )
-                    .unwrap()
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("mono_succinct", algo.name()),
+                &algo,
+                |b, &a| {
+                    b.iter(|| {
+                        mine_with_strategy(
+                            black_box(&db),
+                            &attrs,
+                            &query(cs_m.clone()),
+                            a,
+                            CountingStrategy::Horizontal,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
         }
         group.finish();
     }
@@ -87,24 +96,38 @@ fn bench_counting_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_scan_batching(c: &mut Criterion) {
-    // Per-set scans (the paper's cost model) vs one scan per level (the
-    // classic Apriori engine) on the identical BMS sweep.
+fn bench_bms_strategies(c: &mut Criterion) {
+    // The baseline BMS sweep — level-batched through the engine in every
+    // configuration — under each counting substrate.
     let db = DataMethod::Quest.generate(N_ITEMS, N_BASKETS, 11);
     let params = paper_mining_params();
-    let mut group = c.benchmark_group("mine/scan_batching_bms");
+    let mut group = c.benchmark_group("mine/bms_strategies");
     group.sample_size(10);
-    group.bench_function("per_set", |b| {
+    group.bench_function("horizontal", |b| {
         b.iter(|| {
             let mut counter = HorizontalCounter::new(black_box(&db));
             run_bms(&db, &params, &mut counter)
         })
     });
-    group.bench_function("per_level", |b| {
-        b.iter(|| run_bms_batched(black_box(&db), &params))
+    group.bench_function("vertical", |b| {
+        b.iter(|| {
+            let mut counter = VerticalCounter::new(black_box(&db));
+            run_bms(&db, &params, &mut counter)
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            let mut counter = ParallelCounter::with_available_parallelism(black_box(&db));
+            run_bms(&db, &params, &mut counter)
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_counting_ablation, bench_scan_batching);
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_counting_ablation,
+    bench_bms_strategies
+);
 criterion_main!(benches);

@@ -8,9 +8,37 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use ccs_bench::DataMethod;
 use ccs_itemset::{
-    candidate, HorizontalCounter, Itemset, MintermCounter, TidSet, VerticalCounter,
+    candidate, HorizontalCounter, Itemset, MintermCounter, ParallelCounter, TidSet, VerticalCounter,
 };
 use ccs_stats::{chi2_quantile, ContingencyTable};
+
+/// A dense miner level: all `k`-subsets of consecutive `pool`-item
+/// windows until `n` candidates exist — the shape `apriori_gen`
+/// produces over a correlated item module, where every prefix class is
+/// full and suffix items recur across members.
+fn dense_level(n_items: u32, n: usize, k: usize, pool: u32) -> Vec<Itemset> {
+    let mut sets: Vec<Itemset> = Vec::with_capacity(n);
+    let mut base = 0u32;
+    'outer: while sets.len() < n {
+        assert!(
+            base + pool <= n_items,
+            "not enough items for {n} dense candidates"
+        );
+        for mask in 0u32..(1 << pool) {
+            if mask.count_ones() as usize == k {
+                sets.push(Itemset::from_ids(
+                    (0..pool).filter(|b| mask >> b & 1 == 1).map(|b| base + b),
+                ));
+                if sets.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+        base += pool;
+    }
+    sets.sort_unstable();
+    sets
+}
 
 fn bench_tidset(c: &mut Criterion) {
     let n = 100_000;
@@ -38,6 +66,45 @@ fn bench_counting(c: &mut Criterion) {
     let mut vertical = VerticalCounter::new(&db);
     group.bench_function("vertical_amortized", |bench| {
         bench.iter(|| black_box(vertical.minterm_counts(black_box(&set3))))
+    });
+    group.finish();
+}
+
+/// The level-batched paths of every strategy against their per-candidate
+/// loops: one 200-candidate level of 4-itemsets over 5k baskets.
+fn bench_counting_batch(c: &mut Criterion) {
+    let db = DataMethod::Quest.generate(60, 5_000, 7);
+    let level = dense_level(60, 200, 4, 12);
+    let mut group = c.benchmark_group("counting/level_200x4items_5k_baskets");
+    group.sample_size(10);
+    group.bench_function("horizontal_per_candidate", |bench| {
+        bench.iter(|| {
+            let mut counter = HorizontalCounter::new(&db);
+            for set in &level {
+                black_box(counter.minterm_counts(black_box(set)));
+            }
+        })
+    });
+    group.bench_function("horizontal_batch", |bench| {
+        bench.iter(|| {
+            let mut counter = HorizontalCounter::new(&db);
+            black_box(counter.minterm_counts_batch(black_box(&level)))
+        })
+    });
+    let mut vertical = VerticalCounter::new(&db);
+    group.bench_function("vertical_per_candidate", |bench| {
+        bench.iter(|| {
+            for set in &level {
+                black_box(vertical.minterm_counts(black_box(set)));
+            }
+        })
+    });
+    group.bench_function("vertical_batch", |bench| {
+        bench.iter(|| black_box(vertical.minterm_counts_batch(black_box(&level))))
+    });
+    let mut parallel = ParallelCounter::with_available_parallelism(&db);
+    group.bench_function("parallel_batch", |bench| {
+        bench.iter(|| black_box(parallel.minterm_counts_batch(black_box(&level))))
     });
     group.finish();
 }
@@ -75,5 +142,12 @@ fn bench_candidates(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_tidset, bench_counting, bench_stats, bench_candidates);
+criterion_group!(
+    benches,
+    bench_tidset,
+    bench_counting,
+    bench_counting_batch,
+    bench_stats,
+    bench_candidates
+);
 criterion_main!(benches);

@@ -57,9 +57,7 @@ fn main() {
         ),
     ];
 
-    println!(
-        "cost-model validation on rule-planted data ({n_items} items, {baskets} baskets)\n"
-    );
+    println!("cost-model validation on rule-planted data ({n_items} items, {baskets} baskets)\n");
     for (label, _, make) in &classes {
         println!("constraint class: {label}");
         println!(
@@ -71,8 +69,17 @@ fn main() {
             let counts: Vec<u64> = Algorithm::paper_algorithms()
                 .iter()
                 .map(|&a| {
-                    measure("ablation", DataMethod::Rules, "sel", sel, &db, &attrs, &constraints, a)
-                        .tables
+                    measure(
+                        "ablation",
+                        DataMethod::Rules,
+                        "sel",
+                        sel,
+                        &db,
+                        &attrs,
+                        &constraints,
+                        a,
+                    )
+                    .tables
                 })
                 .collect();
             println!(

@@ -1,0 +1,224 @@
+//! Counting-substrate throughput baseline.
+//!
+//! Times one miner level — 500 candidate 4-itemsets, every 4-subset of
+//! a dense 12-item module as `apriori_gen` produces over correlated
+//! item clusters, over a 10 000-basket Quest database — through every
+//! counting strategy, per candidate and level-batched, and writes
+//! `results/BENCH_counting.json` with candidates/sec and tables/sec per
+//! strategy. The headline number is the prefix-sharing vertical batch's
+//! speedup over per-candidate vertical counting.
+//!
+//! ```text
+//! cargo run --release -p ccs-bench --bin counting_baseline [-- --out <dir>]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ccs_bench::DataMethod;
+use ccs_itemset::{HorizontalCounter, Itemset, MintermCounter, ParallelCounter, VerticalCounter};
+
+const N_ITEMS: u32 = 60;
+const N_BASKETS: usize = 10_000;
+const N_CANDIDATES: usize = 500;
+const CANDIDATE_SIZE: usize = 4;
+/// Dense-module width: C(12, 4) = 495 subsets, so 500 candidates span
+/// one full module plus the start of a second.
+const POOL: u32 = 12;
+const REPS: usize = 7;
+
+/// One dense miner level: all `k`-subsets of consecutive `pool`-item
+/// windows until `n` candidates exist. This is the shape `apriori_gen`
+/// produces over a correlated item module — every prefix class is full,
+/// every suffix item recurs across many members — i.e. exactly the
+/// NOTSIG-heavy regime level batching targets.
+fn dense_level(n_items: u32, n: usize, k: usize, pool: u32) -> Vec<Itemset> {
+    let mut sets: Vec<Itemset> = Vec::with_capacity(n);
+    let mut base = 0u32;
+    'outer: while sets.len() < n {
+        assert!(
+            base + pool <= n_items,
+            "not enough items for {n} dense candidates"
+        );
+        for mask in 0u32..(1 << pool) {
+            if mask.count_ones() as usize == k {
+                sets.push(Itemset::from_ids(
+                    (0..pool).filter(|b| mask >> b & 1 == 1).map(|b| base + b),
+                ));
+                if sets.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+        base += pool;
+    }
+    sets.sort_unstable();
+    sets
+}
+
+/// Runs `level_pass` `REPS` times and returns the median wall-clock
+/// seconds of one pass, with the counter's table delta across all reps.
+fn time_level<C: MintermCounter>(
+    counter: &mut C,
+    level: &[Itemset],
+    mut level_pass: impl FnMut(&mut C, &[Itemset]),
+) -> (f64, u64) {
+    let base_tables = counter.stats().tables_built;
+    level_pass(counter, level); // warm-up (vertical index, page cache)
+    let mut secs: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            level_pass(counter, level);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_unstable_by(f64::total_cmp);
+    let tables = counter.stats().tables_built - base_tables;
+    (secs[REPS / 2], tables / (REPS as u64 + 1))
+}
+
+struct Row {
+    name: &'static str,
+    seconds: f64,
+    tables_per_pass: u64,
+}
+
+impl Row {
+    fn candidates_per_sec(&self) -> f64 {
+        N_CANDIDATES as f64 / self.seconds
+    }
+
+    fn tables_per_sec(&self) -> f64 {
+        self.tables_per_pass as f64 / self.seconds
+    }
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+        }
+    }
+
+    let db = DataMethod::Quest.generate(N_ITEMS, N_BASKETS, 7);
+    let level = dense_level(N_ITEMS, N_CANDIDATES, CANDIDATE_SIZE, POOL);
+    assert_eq!(level.len(), N_CANDIDATES);
+
+    let single = |counter: &mut dyn MintermCounter, level: &[Itemset]| {
+        for set in level {
+            std::hint::black_box(counter.minterm_counts(set));
+        }
+    };
+    let batch = |counter: &mut dyn MintermCounter, level: &[Itemset]| {
+        std::hint::black_box(counter.minterm_counts_batch(level));
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    {
+        let mut c = HorizontalCounter::new(&db);
+        let (s, t) = time_level(&mut c, &level, |c, l| single(c, l));
+        rows.push(Row {
+            name: "horizontal/per_candidate",
+            seconds: s,
+            tables_per_pass: t,
+        });
+        let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
+        rows.push(Row {
+            name: "horizontal/batch",
+            seconds: s,
+            tables_per_pass: t,
+        });
+    }
+    {
+        let mut c = VerticalCounter::new(&db);
+        let (s, t) = time_level(&mut c, &level, |c, l| single(c, l));
+        rows.push(Row {
+            name: "vertical/per_candidate",
+            seconds: s,
+            tables_per_pass: t,
+        });
+        let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
+        rows.push(Row {
+            name: "vertical/batch",
+            seconds: s,
+            tables_per_pass: t,
+        });
+    }
+    {
+        let mut c = ParallelCounter::with_available_parallelism(&db);
+        let (s, t) = time_level(&mut c, &level, |c, l| single(c, l));
+        rows.push(Row {
+            name: "parallel/per_candidate",
+            seconds: s,
+            tables_per_pass: t,
+        });
+        let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
+        rows.push(Row {
+            name: "parallel/batch",
+            seconds: s,
+            tables_per_pass: t,
+        });
+    }
+
+    let vertical_single = rows
+        .iter()
+        .find(|r| r.name == "vertical/per_candidate")
+        .unwrap();
+    let vertical_batch = rows.iter().find(|r| r.name == "vertical/batch").unwrap();
+    let speedup = vertical_single.seconds / vertical_batch.seconds;
+
+    println!(
+        "counting baseline: {N_CANDIDATES} candidates of size {CANDIDATE_SIZE}, \
+         {N_BASKETS} baskets, {N_ITEMS} items (median of {REPS} passes)"
+    );
+    println!(
+        "{:>26} {:>12} {:>16} {:>14}",
+        "strategy", "seconds", "candidates/sec", "tables/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:>26} {:>12.6} {:>16.0} {:>14.0}",
+            r.name,
+            r.seconds,
+            r.candidates_per_sec(),
+            r.tables_per_sec()
+        );
+    }
+    println!("\nvertical batch speedup over per-candidate: {speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"items\": {N_ITEMS}, \"transactions\": {N_BASKETS}, \
+         \"candidates\": {N_CANDIDATES}, \"candidate_size\": {CANDIDATE_SIZE}, \
+         \"reps\": {REPS} }},"
+    );
+    json.push_str("  \"strategies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"median_seconds\": {:.6}, \
+             \"candidates_per_sec\": {:.1}, \"tables_per_sec\": {:.1} }}{}",
+            r.name,
+            r.seconds,
+            r.candidates_per_sec(),
+            r.tables_per_sec(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"vertical_batch_speedup_over_per_candidate\": {speedup:.2}"
+    );
+    json.push_str("}\n");
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = out_dir.join("BENCH_counting.json");
+    std::fs::write(&path, json).expect("write BENCH_counting.json");
+    println!("wrote {}", path.display());
+}

@@ -26,8 +26,11 @@ fn main() {
         }
         match parse_csv(&csv) {
             Ok(rows) => {
-                std::fs::write(dir.join(format!("fig{n}.svg")), render_svg(&rows, YAxis::Seconds))
-                    .expect("write svg");
+                std::fs::write(
+                    dir.join(format!("fig{n}.svg")),
+                    render_svg(&rows, YAxis::Seconds),
+                )
+                .expect("write svg");
                 std::fs::write(
                     dir.join(format!("fig{n}_tables.svg")),
                     render_svg(&rows, YAxis::Tables),
@@ -39,7 +42,10 @@ fn main() {
         }
     }
     if rendered == 0 {
-        eprintln!("no figN.csv files under {}; run the fig binaries first", dir.display());
+        eprintln!(
+            "no figN.csv files under {}; run the fig binaries first",
+            dir.display()
+        );
         std::process::exit(2);
     }
     eprintln!("rendered {rendered} figures into {}", dir.display());

@@ -35,7 +35,10 @@ fn main() {
         }
     }
     if found == 0 {
-        eprintln!("no figN.csv files under {}; run the fig binaries first", dir.display());
+        eprintln!(
+            "no figN.csv files under {}; run the fig binaries first",
+            dir.display()
+        );
         std::process::exit(2);
     }
     let out = dir.join("REPORT.md");

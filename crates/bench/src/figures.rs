@@ -29,7 +29,11 @@ use crate::{measure, write_csv, DataMethod, HarnessArgs, SweepRow};
 
 /// The three algorithms compared on anti-monotone constraints
 /// (BMS* coincides with BMS+ there, so the paper plots these three).
-const AM_ALGOS: [Algorithm; 3] = [Algorithm::BmsPlus, Algorithm::BmsPlusPlus, Algorithm::BmsStarStar];
+const AM_ALGOS: [Algorithm; 3] = [
+    Algorithm::BmsPlus,
+    Algorithm::BmsPlusPlus,
+    Algorithm::BmsStarStar,
+];
 /// `VALID_MIN` pair for the monotone figures 5–6.
 const VM_ALGOS: [Algorithm; 2] = [Algorithm::BmsPlus, Algorithm::BmsPlusPlus];
 /// `MIN_VALID` pair for the monotone figures 7–8.
@@ -124,7 +128,11 @@ impl Figure {
             "running {} ({} items, up to {} baskets)…",
             self.name(),
             args.scale.n_items,
-            args.scale.basket_sweep.last().copied().unwrap_or(args.scale.fixed_baskets)
+            args.scale
+                .basket_sweep
+                .last()
+                .copied()
+                .unwrap_or(args.scale.fixed_baskets)
         );
         let rows = self.run(args);
         crate::print_table(&rows);
@@ -272,7 +280,10 @@ mod tests {
                     .unwrap()
                     .tables
             };
-            assert!(t(0.2, "BMS++") < t(0.8, "BMS++"), "{ds}: BMS++ not selective");
+            assert!(
+                t(0.2, "BMS++") < t(0.8, "BMS++"),
+                "{ds}: BMS++ not selective"
+            );
             assert_eq!(t(0.2, "BMS+"), t(0.8, "BMS+"), "{ds}: BMS+ should be flat");
         }
     }
@@ -290,7 +301,10 @@ mod tests {
                     .filter(|r| r.dataset == ds && r.x == n as f64)
                     .map(|r| r.answers)
                     .collect();
-                assert!(answers.windows(2).all(|w| w[0] == w[1]), "{ds}@{n}: {answers:?}");
+                assert!(
+                    answers.windows(2).all(|w| w[0] == w[1]),
+                    "{ds}@{n}: {answers:?}"
+                );
             }
         }
     }

@@ -210,8 +210,10 @@ pub fn measure(
     constraints: &ConstraintSet,
     algorithm: Algorithm,
 ) -> SweepRow {
-    let query =
-        CorrelationQuery { params: paper_mining_params(), constraints: constraints.clone() };
+    let query = CorrelationQuery {
+        params: paper_mining_params(),
+        constraints: constraints.clone(),
+    };
     let result = mine(db, attrs, &query, algorithm)
         .unwrap_or_else(|e| panic!("{algorithm} failed on {figure}: {e}"));
     SweepRow {
@@ -251,7 +253,8 @@ impl HarnessArgs {
                 "--paper" => scale = Scale::paper_scale(),
                 "--out" => {
                     out_dir = PathBuf::from(
-                        args.next().unwrap_or_else(|| usage("--out needs a directory")),
+                        args.next()
+                            .unwrap_or_else(|| usage("--out needs a directory")),
                     )
                 }
                 "--seed" => {
@@ -264,7 +267,11 @@ impl HarnessArgs {
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
-        HarnessArgs { scale, out_dir, seed }
+        HarnessArgs {
+            scale,
+            out_dir,
+            seed,
+        }
     }
 }
 
@@ -316,7 +323,10 @@ mod tests {
             answers: 3,
         };
         assert_eq!(row.to_csv(), "fig1,quest,baskets,500,BMS+,1.2500,42,50,3");
-        assert_eq!(SweepRow::CSV_HEADER.split(',').count(), row.to_csv().split(',').count());
+        assert_eq!(
+            SweepRow::CSV_HEADER.split(',').count(),
+            row.to_csv().split(',').count()
+        );
     }
 
     #[test]
@@ -359,5 +369,5 @@ mod tests {
 }
 pub mod figures;
 
-pub mod report;
 pub mod plot;
+pub mod report;

@@ -17,7 +17,9 @@ const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 48.0;
 
 /// A muted, print-friendly palette (one entry per series, cycled).
-const COLORS: [&str; 6] = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#a463f2", "#97bbf5"];
+const COLORS: [&str; 6] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#a463f2", "#97bbf5",
+];
 
 /// Which measured quantity to plot on the y axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +53,12 @@ pub fn render_svg(rows: &[SweepRow], y_axis: YAxis) -> String {
     if rows.is_empty() {
         return String::new();
     }
-    let title = format!("{} — {} vs {}", rows[0].figure, y_axis.label(), rows[0].x_name);
+    let title = format!(
+        "{} — {} vs {}",
+        rows[0].figure,
+        y_axis.label(),
+        rows[0].x_name
+    );
 
     // Series keyed by (dataset, algorithm), points sorted by x.
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
@@ -87,7 +94,10 @@ pub fn render_svg(rows: &[SweepRow], y_axis: YAxis) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
     );
-    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{title}</text>"#,
@@ -143,10 +153,18 @@ pub fn render_svg(rows: &[SweepRow], y_axis: YAxis) -> String {
             .iter()
             .enumerate()
             .map(|(i, &(x, y))| {
-                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, px(x), py(y))
+                format!(
+                    "{}{:.1},{:.1}",
+                    if i == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                )
             })
             .collect();
-        let _ = write!(svg, r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#);
+        let _ = write!(
+            svg,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        );
         for &(x, y) in pts {
             let _ = write!(
                 svg,

@@ -32,7 +32,12 @@ pub fn parse_csv(path: &Path) -> Result<Vec<SweepRow>, String> {
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 9 {
-            return Err(format!("{}: line {} has {} fields", path.display(), idx + 2, f.len()));
+            return Err(format!(
+                "{}: line {} has {} fields",
+                path.display(),
+                idx + 2,
+                f.len()
+            ));
         }
         let parse_f64 = |s: &str, what: &str| {
             s.parse::<f64>()

@@ -183,7 +183,12 @@ impl std::error::Error for ConstraintError {}
 impl Constraint {
     /// Convenience constructor: `agg(S.attr) θ c`.
     pub fn agg(agg: AggFn, attr: impl Into<String>, cmp: Cmp, value: f64) -> Self {
-        Constraint::Agg { agg, attr: attr.into(), cmp, value }
+        Constraint::Agg {
+            agg,
+            attr: attr.into(),
+            cmp,
+            value,
+        }
     }
 
     /// Convenience constructor: `max(S.attr) ≤ c` — the anti-monotone +
@@ -228,7 +233,9 @@ impl Constraint {
     /// non-negative.
     pub fn validate(&self, attrs: &AttributeTable) -> Result<(), ConstraintError> {
         match self {
-            Constraint::Agg { agg: AggFn::Count, .. } => Ok(()),
+            Constraint::Agg {
+                agg: AggFn::Count, ..
+            } => Ok(()),
             Constraint::Agg { agg, attr, .. } => {
                 let col = attrs
                     .numeric(attr)
@@ -272,7 +279,12 @@ impl Constraint {
     /// [`Constraint::validate`] first for a fallible check.
     pub fn satisfied(&self, set: &Itemset, attrs: &AttributeTable) -> bool {
         match self {
-            Constraint::Agg { agg, attr, cmp, value } => {
+            Constraint::Agg {
+                agg,
+                attr,
+                cmp,
+                value,
+            } => {
                 let lhs = match agg {
                     AggFn::Count => set.len() as f64,
                     AggFn::Min => set
@@ -294,14 +306,24 @@ impl Constraint {
                 let sum: f64 = set.iter().map(|i| attrs.numeric_value(attr, i)).sum();
                 cmp.eval(sum / set.len() as f64, *value)
             }
-            Constraint::ConstSubset { attr, categories, negated } => {
+            Constraint::ConstSubset {
+                attr,
+                categories,
+                negated,
+            } => {
                 let covered = categories
                     .iter()
                     .all(|&c| set.iter().any(|i| attrs.category_of(attr, i) == c));
                 covered != *negated
             }
-            Constraint::Disjoint { attr, categories, negated } => {
-                let intersects = set.iter().any(|i| categories.contains(&attrs.category_of(attr, i)));
+            Constraint::Disjoint {
+                attr,
+                categories,
+                negated,
+            } => {
+                let intersects = set
+                    .iter()
+                    .any(|i| categories.contains(&attrs.category_of(attr, i)));
                 // negated = false means "must be disjoint".
                 intersects == *negated
             }
@@ -311,7 +333,9 @@ impl Constraint {
                 cmp.eval(distinct.len() as f64, *value as f64)
             }
             Constraint::ItemSubset { items, negated } => {
-                let covered = items.iter().all(|&i| set.contains(ccs_itemset::Item::new(i)));
+                let covered = items
+                    .iter()
+                    .all(|&i| set.contains(ccs_itemset::Item::new(i)));
                 covered != *negated
             }
             Constraint::ItemDisjoint { items, negated } => {
@@ -345,15 +369,28 @@ impl fmt::Display for Cmp {
 impl fmt::Display for Constraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Constraint::Agg { agg, attr, cmp, value } => {
+            Constraint::Agg {
+                agg,
+                attr,
+                cmp,
+                value,
+            } => {
                 write!(f, "{agg}(S.{attr}) {cmp} {value}")
             }
             Constraint::Avg { attr, cmp, value } => write!(f, "avg(S.{attr}) {cmp} {value}"),
-            Constraint::ConstSubset { attr, categories, negated } => {
+            Constraint::ConstSubset {
+                attr,
+                categories,
+                negated,
+            } => {
                 let op = if *negated { "not subset" } else { "subset" };
                 write!(f, "{categories:?} {op} S.{attr}")
             }
-            Constraint::Disjoint { attr, categories, negated } => {
+            Constraint::Disjoint {
+                attr,
+                categories,
+                negated,
+            } => {
                 let op = if *negated { "intersects" } else { "disjoint" };
                 write!(f, "{categories:?} {op} S.{attr}")
             }
@@ -414,28 +451,48 @@ mod tests {
         assert!(Constraint::min_ge("price", 100.0).satisfied(&e, &a)); // min(∅) = +∞
         assert!(!Constraint::min_le("price", 100.0).satisfied(&e, &a));
         assert!(Constraint::sum_le("price", 0.0).satisfied(&e, &a)); // sum(∅) = 0
-        assert!(!Constraint::Avg { attr: "price".into(), cmp: Cmp::Le, value: 100.0 }
-            .satisfied(&e, &a));
+        assert!(!Constraint::Avg {
+            attr: "price".into(),
+            cmp: Cmp::Le,
+            value: 100.0
+        }
+        .satisfied(&e, &a));
     }
 
     #[test]
     fn avg_constraint_evaluation() {
         let a = attrs();
         let s = Itemset::from_ids([0, 4]); // avg price 3
-        assert!(Constraint::Avg { attr: "price".into(), cmp: Cmp::Le, value: 3.0 }
-            .satisfied(&s, &a));
-        assert!(!Constraint::Avg { attr: "price".into(), cmp: Cmp::Ge, value: 3.5 }
-            .satisfied(&s, &a));
+        assert!(Constraint::Avg {
+            attr: "price".into(),
+            cmp: Cmp::Le,
+            value: 3.0
+        }
+        .satisfied(&s, &a));
+        assert!(!Constraint::Avg {
+            attr: "price".into(),
+            cmp: Cmp::Ge,
+            value: 3.5
+        }
+        .satisfied(&s, &a));
     }
 
     #[test]
     fn const_subset_evaluation() {
         let a = attrs();
         let need = cat_ids(&a, &["soda", "dairy"]);
-        let c = Constraint::ConstSubset { attr: "type".into(), categories: need.clone(), negated: false };
+        let c = Constraint::ConstSubset {
+            attr: "type".into(),
+            categories: need.clone(),
+            negated: false,
+        };
         assert!(c.satisfied(&Itemset::from_ids([0, 3]), &a)); // soda + dairy
         assert!(!c.satisfied(&Itemset::from_ids([0, 2]), &a)); // soda + snack
-        let neg = Constraint::ConstSubset { attr: "type".into(), categories: need, negated: true };
+        let neg = Constraint::ConstSubset {
+            attr: "type".into(),
+            categories: need,
+            negated: true,
+        };
         assert!(!neg.satisfied(&Itemset::from_ids([0, 3]), &a));
         assert!(neg.satisfied(&Itemset::from_ids([0, 2]), &a));
     }
@@ -444,12 +501,18 @@ mod tests {
     fn disjoint_evaluation() {
         let a = attrs();
         let snacks = cat_ids(&a, &["snack"]);
-        let no_snacks =
-            Constraint::Disjoint { attr: "type".into(), categories: snacks.clone(), negated: false };
+        let no_snacks = Constraint::Disjoint {
+            attr: "type".into(),
+            categories: snacks.clone(),
+            negated: false,
+        };
         assert!(no_snacks.satisfied(&Itemset::from_ids([0, 1, 3]), &a));
         assert!(!no_snacks.satisfied(&Itemset::from_ids([0, 2]), &a));
-        let some_snack =
-            Constraint::Disjoint { attr: "type".into(), categories: snacks, negated: true };
+        let some_snack = Constraint::Disjoint {
+            attr: "type".into(),
+            categories: snacks,
+            negated: true,
+        };
         assert!(some_snack.satisfied(&Itemset::from_ids([2]), &a));
         assert!(!some_snack.satisfied(&Itemset::from_ids([0]), &a));
     }
@@ -458,7 +521,11 @@ mod tests {
     fn count_distinct_shelf_planning() {
         let a = attrs();
         // |S.type| <= 1: all items of a single type.
-        let single = Constraint::CountDistinct { attr: "type".into(), cmp: Cmp::Le, value: 1 };
+        let single = Constraint::CountDistinct {
+            attr: "type".into(),
+            cmp: Cmp::Le,
+            value: 1,
+        };
         assert!(single.satisfied(&Itemset::from_ids([0, 1]), &a)); // both soda
         assert!(single.satisfied(&Itemset::from_ids([3, 4]), &a)); // both dairy
         assert!(!single.satisfied(&Itemset::from_ids([0, 2]), &a));
@@ -474,12 +541,18 @@ mod tests {
             Err(ConstraintError::UnknownNumericAttr("weight".into()))
         );
         assert_eq!(
-            Constraint::CountDistinct { attr: "brand".into(), cmp: Cmp::Le, value: 1 }
-                .validate(&a),
+            Constraint::CountDistinct {
+                attr: "brand".into(),
+                cmp: Cmp::Le,
+                value: 1
+            }
+            .validate(&a),
             Err(ConstraintError::UnknownCategoricalAttr("brand".into()))
         );
         // count ignores the attribute entirely.
-        assert!(Constraint::agg(AggFn::Count, "anything", Cmp::Le, 3.0).validate(&a).is_ok());
+        assert!(Constraint::agg(AggFn::Count, "anything", Cmp::Le, 3.0)
+            .validate(&a)
+            .is_ok());
     }
 
     #[test]
@@ -496,7 +569,13 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(Constraint::max_le("price", 10.0).to_string(), "max(S.price) <= 10");
-        assert_eq!(Constraint::sum_ge("price", 2.5).to_string(), "sum(S.price) >= 2.5");
+        assert_eq!(
+            Constraint::max_le("price", 10.0).to_string(),
+            "max(S.price) <= 10"
+        );
+        assert_eq!(
+            Constraint::sum_ge("price", 2.5).to_string(),
+            "sum(S.price) >= 2.5"
+        );
     }
 }

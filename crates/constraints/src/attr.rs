@@ -34,7 +34,10 @@ impl CategoricalColumn {
 
     /// Id of a label, if the label occurs in the column.
     pub fn id_of(&self, label: &str) -> Option<u32> {
-        self.labels.iter().position(|l| l == label).map(|i| i as u32)
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as u32)
     }
 
     /// Number of distinct categories.
@@ -59,7 +62,11 @@ pub struct AttributeTable {
 impl AttributeTable {
     /// An empty table for a universe of `n_items` items.
     pub fn new(n_items: u32) -> Self {
-        AttributeTable { n_items, numeric: BTreeMap::new(), categorical: BTreeMap::new() }
+        AttributeTable {
+            n_items,
+            numeric: BTreeMap::new(),
+            categorical: BTreeMap::new(),
+        }
     }
 
     /// Size of the item universe.
@@ -120,7 +127,8 @@ impl AttributeTable {
             });
             values.push(id);
         }
-        self.categorical.insert(name, CategoricalColumn { values, labels });
+        self.categorical
+            .insert(name, CategoricalColumn { values, labels });
         self
     }
 

@@ -82,8 +82,14 @@ impl Constraint {
     /// per-item selection).
     pub fn is_succinct(&self) -> bool {
         match self {
-            Constraint::Agg { agg: AggFn::Min | AggFn::Max, .. } => true,
-            Constraint::Agg { agg: AggFn::Sum | AggFn::Count, .. } => false,
+            Constraint::Agg {
+                agg: AggFn::Min | AggFn::Max,
+                ..
+            } => true,
+            Constraint::Agg {
+                agg: AggFn::Sum | AggFn::Count,
+                ..
+            } => false,
             Constraint::ConstSubset { .. } | Constraint::Disjoint { .. } => true,
             Constraint::ItemSubset { .. } | Constraint::ItemDisjoint { .. } => true,
             Constraint::CountDistinct { .. } | Constraint::Avg { .. } => false,
@@ -111,8 +117,16 @@ mod tests {
             (Constraint::min_le("p", 1.0), Monotone, true),
             (Constraint::sum_le("p", 1.0), AntiMonotone, false),
             (Constraint::sum_ge("p", 1.0), Monotone, false),
-            (Constraint::agg(AggFn::Count, "p", Cmp::Le, 3.0), AntiMonotone, false),
-            (Constraint::agg(AggFn::Count, "p", Cmp::Ge, 3.0), Monotone, false),
+            (
+                Constraint::agg(AggFn::Count, "p", Cmp::Le, 3.0),
+                AntiMonotone,
+                false,
+            ),
+            (
+                Constraint::agg(AggFn::Count, "p", Cmp::Ge, 3.0),
+                Monotone,
+                false,
+            ),
         ];
         for (c, mono, succ) in cases {
             assert_eq!(c.monotonicity(), mono, "monotonicity of {c}");
@@ -122,19 +136,35 @@ mod tests {
 
     #[test]
     fn set_constraint_classification() {
-        let sub = Constraint::ConstSubset { attr: "t".into(), categories: cs(&[1]), negated: false };
+        let sub = Constraint::ConstSubset {
+            attr: "t".into(),
+            categories: cs(&[1]),
+            negated: false,
+        };
         assert_eq!(sub.monotonicity(), Monotonicity::Monotone);
         assert!(sub.is_succinct());
 
-        let nsub = Constraint::ConstSubset { attr: "t".into(), categories: cs(&[1]), negated: true };
+        let nsub = Constraint::ConstSubset {
+            attr: "t".into(),
+            categories: cs(&[1]),
+            negated: true,
+        };
         assert_eq!(nsub.monotonicity(), Monotonicity::AntiMonotone);
         assert!(nsub.is_succinct());
 
-        let disj = Constraint::Disjoint { attr: "t".into(), categories: cs(&[1]), negated: false };
+        let disj = Constraint::Disjoint {
+            attr: "t".into(),
+            categories: cs(&[1]),
+            negated: false,
+        };
         assert_eq!(disj.monotonicity(), Monotonicity::AntiMonotone);
         assert!(disj.is_succinct());
 
-        let inter = Constraint::Disjoint { attr: "t".into(), categories: cs(&[1]), negated: true };
+        let inter = Constraint::Disjoint {
+            attr: "t".into(),
+            categories: cs(&[1]),
+            negated: true,
+        };
         assert_eq!(inter.monotonicity(), Monotonicity::Monotone);
         assert!(inter.is_succinct());
     }
@@ -143,10 +173,34 @@ mod tests {
     fn item_level_classification() {
         use Monotonicity::*;
         let cases = [
-            (Constraint::ItemSubset { items: cs(&[1, 2]), negated: false }, Monotone),
-            (Constraint::ItemSubset { items: cs(&[1]), negated: true }, AntiMonotone),
-            (Constraint::ItemDisjoint { items: cs(&[1]), negated: false }, AntiMonotone),
-            (Constraint::ItemDisjoint { items: cs(&[1]), negated: true }, Monotone),
+            (
+                Constraint::ItemSubset {
+                    items: cs(&[1, 2]),
+                    negated: false,
+                },
+                Monotone,
+            ),
+            (
+                Constraint::ItemSubset {
+                    items: cs(&[1]),
+                    negated: true,
+                },
+                AntiMonotone,
+            ),
+            (
+                Constraint::ItemDisjoint {
+                    items: cs(&[1]),
+                    negated: false,
+                },
+                AntiMonotone,
+            ),
+            (
+                Constraint::ItemDisjoint {
+                    items: cs(&[1]),
+                    negated: true,
+                },
+                Monotone,
+            ),
         ];
         for (c, mono) in cases {
             assert_eq!(c.monotonicity(), mono, "monotonicity of {c}");
@@ -156,14 +210,26 @@ mod tests {
 
     #[test]
     fn extensions_classification() {
-        let single = Constraint::CountDistinct { attr: "t".into(), cmp: Cmp::Le, value: 1 };
+        let single = Constraint::CountDistinct {
+            attr: "t".into(),
+            cmp: Cmp::Le,
+            value: 1,
+        };
         assert_eq!(single.monotonicity(), Monotonicity::AntiMonotone);
         assert!(!single.is_succinct());
 
-        let multi = Constraint::CountDistinct { attr: "t".into(), cmp: Cmp::Ge, value: 2 };
+        let multi = Constraint::CountDistinct {
+            attr: "t".into(),
+            cmp: Cmp::Ge,
+            value: 2,
+        };
         assert_eq!(multi.monotonicity(), Monotonicity::Monotone);
 
-        let avg = Constraint::Avg { attr: "p".into(), cmp: Cmp::Le, value: 3.0 };
+        let avg = Constraint::Avg {
+            attr: "p".into(),
+            cmp: Cmp::Le,
+            value: 3.0,
+        };
         assert_eq!(avg.monotonicity(), Monotonicity::Neither);
         assert!(!avg.is_succinct());
     }

@@ -85,14 +85,18 @@ impl ConstraintSet {
     /// `true` iff every constraint is anti-monotone — the condition of
     /// Theorem 1.2 under which `VALID_MIN(Q) = MIN_VALID(Q)`.
     pub fn all_anti_monotone(&self) -> bool {
-        self.constraints.iter().all(|c| c.monotonicity() == Monotonicity::AntiMonotone)
+        self.constraints
+            .iter()
+            .all(|c| c.monotonicity() == Monotonicity::AntiMonotone)
     }
 
     /// `true` iff some constraint is neither monotone nor anti-monotone
     /// (an `avg` constraint): only the naive exhaustive miner can handle
     /// such a query, and minimal answers may not characterize the space.
     pub fn has_neither_monotone(&self) -> bool {
-        self.constraints.iter().any(|c| c.monotonicity() == Monotonicity::Neither)
+        self.constraints
+            .iter()
+            .any(|c| c.monotonicity() == Monotonicity::Neither)
     }
 
     /// `true` iff `set` satisfies every *anti-monotone* constraint.
@@ -160,9 +164,7 @@ impl ConstraintSet {
         // residual SIG-time checks (footnote 5 of the paper).
         let mut witness_class: Option<Vec<bool>> = None;
         let mut captured_m: Option<usize> = None;
-        if let Some((idx, single, class)) =
-            classes.iter().min_by_key(|(_, _, class)| class.len())
-        {
+        if let Some((idx, single, class)) = classes.iter().min_by_key(|(_, _, class)| class.len()) {
             let mut mask = vec![false; n];
             for i in class {
                 mask[i.index()] = true;
@@ -195,7 +197,9 @@ impl ConstraintSet {
 
 impl FromIterator<Constraint> for ConstraintSet {
     fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
-        ConstraintSet { constraints: iter.into_iter().collect() }
+        ConstraintSet {
+            constraints: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -238,7 +242,9 @@ impl ConstraintAnalysis {
     /// `true` iff item `i` is inside every anti-monotone succinct
     /// universe.
     pub fn item_allowed(&self, item: Item) -> bool {
-        self.allowed_universe.as_ref().is_none_or(|m| m[item.index()])
+        self.allowed_universe
+            .as_ref()
+            .is_none_or(|m| m[item.index()])
     }
 
     /// `true` iff there is an exploitable monotone-succinct witness class.
@@ -256,13 +262,17 @@ impl ConstraintAnalysis {
     /// Per-set check of the residual anti-monotone constraints (applied
     /// before building a contingency table).
     pub fn am_residual_satisfied(&self, set: &Itemset, attrs: &AttributeTable) -> bool {
-        self.am_residual.iter().all(|&i| self.constraints[i].satisfied(set, attrs))
+        self.am_residual
+            .iter()
+            .all(|&i| self.constraints[i].satisfied(set, attrs))
     }
 
     /// Per-set check of the residual monotone constraints (applied at
     /// SIG-entry time).
     pub fn m_residual_satisfied(&self, set: &Itemset, attrs: &AttributeTable) -> bool {
-        self.m_residual.iter().all(|&i| self.constraints[i].satisfied(set, attrs))
+        self.m_residual
+            .iter()
+            .all(|&i| self.constraints[i].satisfied(set, attrs))
     }
 
     /// `true` iff the conjunction contains a neither-monotone constraint.
@@ -372,8 +382,10 @@ mod tests {
     fn multi_witness_subset_constraint_is_residual() {
         let a = attrs();
         let col = a.categorical("type").unwrap();
-        let need: BTreeSet<u32> =
-            ["soda", "beer"].iter().map(|l| col.id_of(l).unwrap()).collect();
+        let need: BTreeSet<u32> = ["soda", "beer"]
+            .iter()
+            .map(|l| col.id_of(l).unwrap())
+            .collect();
         let cs = ConstraintSet::new().and(Constraint::ConstSubset {
             attr: "type".into(),
             categories: need,

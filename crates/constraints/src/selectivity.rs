@@ -47,7 +47,10 @@ pub fn item_selectivity(c: &Constraint, attrs: &AttributeTable) -> Option<f64> {
 /// Panics if the attribute is missing, the universe is empty, or
 /// `selectivity ∉ [0, 1]`.
 pub fn threshold_for_le_selectivity(attrs: &AttributeTable, attr: &str, selectivity: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&selectivity),
+        "selectivity must be in [0, 1]"
+    );
     let col = attrs
         .numeric(attr)
         .unwrap_or_else(|| panic!("unknown numeric attribute '{attr}'"));
@@ -71,7 +74,10 @@ pub fn threshold_for_le_selectivity(attrs: &AttributeTable, attr: &str, selectiv
 ///
 /// As [`threshold_for_le_selectivity`].
 pub fn threshold_for_ge_selectivity(attrs: &AttributeTable, attr: &str, selectivity: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&selectivity),
+        "selectivity must be in [0, 1]"
+    );
     let col = attrs
         .numeric(attr)
         .unwrap_or_else(|| panic!("unknown numeric attribute '{attr}'"));
@@ -127,9 +133,15 @@ mod tests {
     fn zero_selectivity_excludes_everything() {
         let a = attrs();
         let v = threshold_for_le_selectivity(&a, "price", 0.0);
-        assert_eq!(item_selectivity(&Constraint::max_le("price", v), &a), Some(0.0));
+        assert_eq!(
+            item_selectivity(&Constraint::max_le("price", v), &a),
+            Some(0.0)
+        );
         let v = threshold_for_ge_selectivity(&a, "price", 0.0);
-        assert_eq!(item_selectivity(&Constraint::min_ge("price", v), &a), Some(0.0));
+        assert_eq!(
+            item_selectivity(&Constraint::min_ge("price", v), &a),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -143,10 +155,17 @@ mod tests {
     #[test]
     fn non_item_level_constraints_have_no_selectivity() {
         let a = attrs();
-        assert_eq!(item_selectivity(&Constraint::sum_le("price", 50.0), &a), None);
+        assert_eq!(
+            item_selectivity(&Constraint::sum_le("price", 50.0), &a),
+            None
+        );
         assert_eq!(
             item_selectivity(
-                &Constraint::Avg { attr: "price".into(), cmp: crate::ast::Cmp::Le, value: 3.0 },
+                &Constraint::Avg {
+                    attr: "price".into(),
+                    cmp: crate::ast::Cmp::Le,
+                    value: 3.0
+                },
                 &a
             ),
             None

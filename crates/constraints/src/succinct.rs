@@ -38,29 +38,57 @@ use crate::attr::AttributeTable;
 /// exploitable way.
 pub fn am_allowed_items(c: &Constraint, attrs: &AttributeTable) -> Option<Vec<Item>> {
     match c {
-        Constraint::Agg { agg: AggFn::Max, attr, cmp: Cmp::Le, value } => {
-            Some(select_numeric(attrs, attr, |v| v <= *value))
-        }
-        Constraint::Agg { agg: AggFn::Min, attr, cmp: Cmp::Ge, value } => {
-            Some(select_numeric(attrs, attr, |v| v >= *value))
-        }
-        Constraint::Disjoint { attr, categories, negated: false } => {
-            Some(select_categorical(attrs, attr, |cat| !categories.contains(&cat)))
-        }
+        Constraint::Agg {
+            agg: AggFn::Max,
+            attr,
+            cmp: Cmp::Le,
+            value,
+        } => Some(select_numeric(attrs, attr, |v| v <= *value)),
+        Constraint::Agg {
+            agg: AggFn::Min,
+            attr,
+            cmp: Cmp::Ge,
+            value,
+        } => Some(select_numeric(attrs, attr, |v| v >= *value)),
+        Constraint::Disjoint {
+            attr,
+            categories,
+            negated: false,
+        } => Some(select_categorical(attrs, attr, |cat| {
+            !categories.contains(&cat)
+        })),
         // `CS ⊄ S.A` is only a plain powerset for |CS| = 1: sets avoiding
         // that single category. For larger CS the space is a union of
         // powersets ("miss at least one of CS"), which universe pruning
         // cannot capture.
-        Constraint::ConstSubset { attr, categories, negated: true } if categories.len() == 1 => {
+        Constraint::ConstSubset {
+            attr,
+            categories,
+            negated: true,
+        } if categories.len() == 1 => {
             let only = *categories.iter().next().expect("len checked");
             Some(select_categorical(attrs, attr, |cat| cat != only))
         }
-        Constraint::ItemDisjoint { items, negated: false } => Some(
-            (0..attrs.n_items()).filter(|i| !items.contains(i)).map(Item::new).collect(),
+        Constraint::ItemDisjoint {
+            items,
+            negated: false,
+        } => Some(
+            (0..attrs.n_items())
+                .filter(|i| !items.contains(i))
+                .map(Item::new)
+                .collect(),
         ),
-        Constraint::ItemSubset { items, negated: true } if items.len() == 1 => {
+        Constraint::ItemSubset {
+            items,
+            negated: true,
+        } if items.len() == 1 => {
             let only = *items.iter().next().expect("len checked");
-            Some((0..attrs.n_items()).filter(|&i| i != only).map(Item::new).collect())
+            Some(
+                (0..attrs.n_items())
+                    .filter(|&i| i != only)
+                    .map(Item::new)
+                    .collect(),
+            )
         }
         _ => None,
     }
@@ -75,30 +103,46 @@ pub fn am_allowed_items(c: &Constraint, attrs: &AttributeTable) -> Option<Vec<It
 /// unsatisfiable over this item universe.
 pub fn ms_witness_classes(c: &Constraint, attrs: &AttributeTable) -> Option<Vec<Vec<Item>>> {
     match c {
-        Constraint::Agg { agg: AggFn::Min, attr, cmp: Cmp::Le, value } => {
-            Some(vec![select_numeric(attrs, attr, |v| v <= *value)])
-        }
-        Constraint::Agg { agg: AggFn::Max, attr, cmp: Cmp::Ge, value } => {
-            Some(vec![select_numeric(attrs, attr, |v| v >= *value)])
-        }
-        Constraint::Disjoint { attr, categories, negated: true } => {
-            Some(vec![select_categorical(attrs, attr, |cat| categories.contains(&cat))])
-        }
+        Constraint::Agg {
+            agg: AggFn::Min,
+            attr,
+            cmp: Cmp::Le,
+            value,
+        } => Some(vec![select_numeric(attrs, attr, |v| v <= *value)]),
+        Constraint::Agg {
+            agg: AggFn::Max,
+            attr,
+            cmp: Cmp::Ge,
+            value,
+        } => Some(vec![select_numeric(attrs, attr, |v| v >= *value)]),
+        Constraint::Disjoint {
+            attr,
+            categories,
+            negated: true,
+        } => Some(vec![select_categorical(attrs, attr, |cat| {
+            categories.contains(&cat)
+        })]),
         // `CS ⊆ S.A` requires one witness per category of CS.
-        Constraint::ConstSubset { attr, categories, negated: false } => Some(
+        Constraint::ConstSubset {
+            attr,
+            categories,
+            negated: false,
+        } => Some(
             categories
                 .iter()
                 .map(|&c| select_categorical(attrs, attr, |cat| cat == c))
                 .collect(),
         ),
-        Constraint::ItemDisjoint { items, negated: true } => {
-            Some(vec![items.iter().copied().map(Item::new).collect()])
-        }
+        Constraint::ItemDisjoint {
+            items,
+            negated: true,
+        } => Some(vec![items.iter().copied().map(Item::new).collect()]),
         // `CS ⊆ S`: each required item is its own (singleton) witness
         // class.
-        Constraint::ItemSubset { items, negated: false } => {
-            Some(items.iter().map(|&i| vec![Item::new(i)]).collect())
-        }
+        Constraint::ItemSubset {
+            items,
+            negated: false,
+        } => Some(items.iter().map(|&i| vec![Item::new(i)]).collect()),
         _ => None,
     }
 }
@@ -165,7 +209,11 @@ mod tests {
     #[test]
     fn disjoint_allowed_items() {
         let a = attrs();
-        let c = Constraint::Disjoint { attr: "type".into(), categories: cat(&a, &["snack"]), negated: false };
+        let c = Constraint::Disjoint {
+            attr: "type".into(),
+            categories: cat(&a, &["snack"]),
+            negated: false,
+        };
         let allowed = am_allowed_items(&c, &a).unwrap();
         assert_eq!(ids(&allowed), vec![0, 1, 3, 4, 5]);
     }
@@ -173,7 +221,11 @@ mod tests {
     #[test]
     fn singleton_not_subset_allowed_items() {
         let a = attrs();
-        let c = Constraint::ConstSubset { attr: "type".into(), categories: cat(&a, &["beer"]), negated: true };
+        let c = Constraint::ConstSubset {
+            attr: "type".into(),
+            categories: cat(&a, &["beer"]),
+            negated: true,
+        };
         let allowed = am_allowed_items(&c, &a).unwrap();
         assert_eq!(ids(&allowed), vec![0, 1, 2, 3, 4]);
         // Multi-category ⊄ is not exploitable as a single universe.
@@ -211,7 +263,11 @@ mod tests {
     #[test]
     fn intersects_witness_class() {
         let a = attrs();
-        let c = Constraint::Disjoint { attr: "type".into(), categories: cat(&a, &["dairy"]), negated: true };
+        let c = Constraint::Disjoint {
+            attr: "type".into(),
+            categories: cat(&a, &["dairy"]),
+            negated: true,
+        };
         let classes = ms_witness_classes(&c, &a).unwrap();
         assert_eq!(ids(&classes[0]), vec![3, 4]);
     }

@@ -43,9 +43,9 @@ pub fn run_bms_plus<C: MintermCounter>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::MiningParams;
     use ccs_constraints::{Constraint, ConstraintSet};
     use ccs_itemset::{HorizontalCounter, Itemset};
-    use crate::params::MiningParams;
 
     /// Items 0–1 and 2–3 perfectly correlated pairs; price of item i = i+1.
     fn db() -> TransactionDb {

@@ -66,13 +66,21 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
         .map(Item::new)
         .filter(|&i| {
             supports[i.index()] as u64 >= item_threshold
-                && query.constraints.anti_monotone_satisfied(&Itemset::singleton(i), attrs)
+                && query
+                    .constraints
+                    .anti_monotone_satisfied(&Itemset::singleton(i), attrs)
         })
         .collect();
-    let l1_plus: Vec<Item> =
-        good1.iter().copied().filter(|&i| analysis.item_witnesses(i)).collect();
-    let l1_minus: Vec<Item> =
-        good1.iter().copied().filter(|&i| !analysis.item_witnesses(i)).collect();
+    let l1_plus: Vec<Item> = good1
+        .iter()
+        .copied()
+        .filter(|&i| analysis.item_witnesses(i))
+        .collect();
+    let l1_minus: Vec<Item> = good1
+        .iter()
+        .copied()
+        .filter(|&i| !analysis.item_witnesses(i))
+        .collect();
     let witness_set: HashSet<Item> = l1_plus.iter().copied().collect();
 
     // II + III. The level-wise sweep.
@@ -83,12 +91,18 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
         metrics.candidates_generated += cands.len() as u64;
         metrics.max_level_reached = level;
         let mut notsig_level: HashSet<Itemset> = HashSet::new();
-        for set in &cands {
-            if !analysis.am_residual_satisfied(set, attrs) {
+        // III (first half): residual anti-monotone checks happen before
+        // any counting, so pruned sets never enter the level batch.
+        let mut survivors: Vec<Itemset> = Vec::with_capacity(cands.len());
+        for set in cands {
+            if analysis.am_residual_satisfied(&set, attrs) {
+                survivors.push(set);
+            } else {
                 metrics.pruned_before_count += 1;
-                continue;
             }
-            let v = engine.evaluate(set);
+        }
+        let verdicts = engine.evaluate_level(&survivors);
+        for (set, v) in survivors.iter().zip(verdicts) {
             if !v.ct_supported {
                 continue;
             }
@@ -101,9 +115,8 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
             }
         }
         cands = candidate::extend_gen(&notsig_level, &good1, |cand| {
-            cand.subsets_dropping_one().all(|s| {
-                !s.iter().any(|i| witness_set.contains(&i)) || notsig_level.contains(&s)
-            })
+            cand.subsets_dropping_one()
+                .all(|s| !s.iter().any(|i| witness_set.contains(&i)) || notsig_level.contains(&s))
         });
         level += 1;
     }
@@ -113,8 +126,7 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
     let mut answers = Vec::with_capacity(sig_candidates.len());
     if analysis.has_witness_class() {
         for set in sig_candidates {
-            let witnesses: Vec<Item> =
-                set.iter().filter(|i| witness_set.contains(i)).collect();
+            let witnesses: Vec<Item> = set.iter().filter(|i| witness_set.contains(i)).collect();
             if witnesses.len() == 1 && set.len() >= 3 {
                 let residue = set.without_item(witnesses[0]);
                 let v = engine.evaluate(&residue);
@@ -130,11 +142,7 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
 
     metrics.sig_size = answers.len() as u64;
     let end = engine.counting_stats();
-    metrics.absorb_counting(ccs_itemset::CountingStats {
-        tables_built: end.tables_built - base_stats.tables_built,
-        db_scans: end.db_scans - base_stats.db_scans,
-        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
-    });
+    metrics.absorb_counting(end.since(&base_stats));
     metrics.elapsed = start.elapsed();
     Ok(MiningResult::new(answers, Semantics::ValidMin, metrics))
 }
@@ -142,10 +150,10 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccs_constraints::{Constraint, ConstraintSet};
-    use ccs_itemset::HorizontalCounter;
     use crate::bms_plus::run_bms_plus;
     use crate::params::MiningParams;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use ccs_itemset::HorizontalCounter;
 
     fn db() -> TransactionDb {
         let mut txns = Vec::new();
@@ -191,7 +199,11 @@ mod tests {
         let plus = run_bms_plus(&db, &attrs, &q, &mut c1).unwrap();
         let mut c2 = HorizontalCounter::new(&db);
         let pp = run_bms_plus_plus(&db, &attrs, &q, &mut c2).unwrap();
-        assert_eq!(plus.answers, pp.answers, "BMS+ vs BMS++ for {}", q.constraints);
+        assert_eq!(
+            plus.answers, pp.answers,
+            "BMS+ vs BMS++ for {}",
+            q.constraints
+        );
         // BMS++ never considers more sets, up to the one verification
         // table a single-witness SIG candidate may cost (see the module
         // docs) — a bounded overhead of at most one table per answer.

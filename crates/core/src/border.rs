@@ -92,7 +92,9 @@ pub fn solution_space<C: MintermCounter>(
         .map(Item::new)
         .filter(|&i| {
             supports[i.index()] as u64 >= item_threshold
-                && query.constraints.anti_monotone_satisfied(&Itemset::singleton(i), attrs)
+                && query
+                    .constraints
+                    .anti_monotone_satisfied(&Itemset::singleton(i), attrs)
         })
         .collect();
 
@@ -137,7 +139,11 @@ pub fn solution_space<C: MintermCounter>(
     let mut minimal = Vec::new();
     let mut maximal = Vec::new();
     for (&k, members) in &in_space {
-        let below = if k > 2 { in_space.get(&(k - 1)).unwrap_or(&empty) } else { &empty };
+        let below = if k > 2 {
+            in_space.get(&(k - 1)).unwrap_or(&empty)
+        } else {
+            &empty
+        };
         let above = in_space.get(&(k + 1)).unwrap_or(&empty);
         for set in members {
             if set.subsets_dropping_one().all(|s| !below.contains(&s)) {
@@ -154,22 +160,23 @@ pub fn solution_space<C: MintermCounter>(
 
     metrics.sig_size = minimal.len() as u64;
     let end = engine.counting_stats();
-    metrics.absorb_counting(ccs_itemset::CountingStats {
-        tables_built: end.tables_built - base_stats.tables_built,
-        db_scans: end.db_scans - base_stats.db_scans,
-        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
-    });
+    metrics.absorb_counting(end.since(&base_stats));
     metrics.elapsed = start.elapsed();
-    Ok(SolutionSpace { minimal, maximal, truncated, metrics })
+    Ok(SolutionSpace {
+        minimal,
+        maximal,
+        truncated,
+        metrics,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccs_constraints::{Constraint, ConstraintSet};
-    use ccs_itemset::HorizontalCounter;
     use crate::bms_star_star::run_bms_star_star;
     use crate::params::MiningParams;
+    use ccs_constraints::{Constraint, ConstraintSet};
+    use ccs_itemset::HorizontalCounter;
 
     fn db() -> TransactionDb {
         let mut txns = Vec::new();
@@ -226,7 +233,11 @@ mod tests {
             };
             let mut c2 = HorizontalCounter::new(&db);
             let mv = run_bms_star_star(&db, &attrs, &q, &mut c2).unwrap();
-            assert_eq!(space.minimal, mv.answers, "lower border vs MIN_VALID on {}", q.constraints);
+            assert_eq!(
+                space.minimal, mv.answers,
+                "lower border vs MIN_VALID on {}",
+                q.constraints
+            );
         }
     }
 

@@ -60,7 +60,11 @@ pub enum CausalFinding {
 impl fmt::Display for CausalFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CausalFinding::Collider { cause_1, cause_2, effect } => {
+            CausalFinding::Collider {
+                cause_1,
+                cause_2,
+                effect,
+            } => {
                 write!(f, "{cause_1} -> {effect} <- {cause_2}")
             }
             CausalFinding::Mediator { a, mediator, c } => {
@@ -119,7 +123,9 @@ pub fn discover_causality<C: MintermCounter>(
         .map(Item::new)
         .filter(|&i| {
             supports[i.index()] as u64 >= item_threshold
-                && query.constraints.anti_monotone_satisfied(&Itemset::singleton(i), attrs)
+                && query
+                    .constraints
+                    .anti_monotone_satisfied(&Itemset::singleton(i), attrs)
         })
         .collect();
 
@@ -152,8 +158,11 @@ pub fn discover_causality<C: MintermCounter>(
     for a in 0..n {
         for b in (a + 1)..n {
             for c in (b + 1)..n {
-                let (ab, ac, bc) =
-                    (correlated[a * n + b], correlated[a * n + c], correlated[b * n + c]);
+                let (ab, ac, bc) = (
+                    correlated[a * n + b],
+                    correlated[a * n + c],
+                    correlated[b * n + c],
+                );
                 let n_corr = usize::from(ab) + usize::from(ac) + usize::from(bc);
                 if n_corr < 2 {
                     continue;
@@ -187,7 +196,11 @@ pub fn discover_causality<C: MintermCounter>(
                 let counts = engine.minterm_counts(&triple);
                 // Positions of a, b, c within the sorted triple.
                 let pos = |item: Item| {
-                    triple.items().iter().position(|&x| x == item).expect("member of triple")
+                    triple
+                        .items()
+                        .iter()
+                        .position(|&x| x == item)
+                        .expect("member of triple")
                 };
                 for (x, m, z) in [(a, b, c), (b, a, c), (a, c, b)] {
                     let chi2 = conditional_chi2(
@@ -213,14 +226,14 @@ pub fn discover_causality<C: MintermCounter>(
     correlated_pairs.sort_unstable();
 
     let end = engine.counting_stats();
-    metrics.absorb_counting(ccs_itemset::CountingStats {
-        tables_built: end.tables_built - base_stats.tables_built,
-        db_scans: end.db_scans - base_stats.db_scans,
-        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
-    });
+    metrics.absorb_counting(end.since(&base_stats));
     metrics.sig_size = findings.len() as u64;
     metrics.elapsed = start.elapsed();
-    Ok(CausalAnalysis { correlated_pairs, findings, metrics })
+    Ok(CausalAnalysis {
+        correlated_pairs,
+        findings,
+        metrics,
+    })
 }
 
 /// Pooled chi-squared of the `x`–`z` dependence within both slices of
@@ -245,13 +258,13 @@ fn conditional_chi2(counts: &[u64], x_bit: usize, m_bit: usize, z_bit: usize) ->
         }
         let px = (cell[1][0] + cell[1][1]) / slice_n;
         let pz = (cell[0][1] + cell[1][1]) / slice_n;
-        for xv in 0..2 {
-            for zv in 0..2 {
+        for (xv, row) in cell.iter().enumerate() {
+            for (zv, &observed) in row.iter().enumerate() {
                 let e = slice_n
                     * (if xv == 1 { px } else { 1.0 - px })
                     * (if zv == 1 { pz } else { 1.0 - pz });
                 if e > 0.0 {
-                    let d = cell[xv][zv] - e;
+                    let d = observed - e;
                     total += d * d / e;
                 }
             }
@@ -263,9 +276,9 @@ fn conditional_chi2(counts: &[u64], x_bit: usize, m_bit: usize, z_bit: usize) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::MiningParams;
     use ccs_constraints::{Constraint, ConstraintSet};
     use ccs_itemset::HorizontalCounter;
-    use crate::params::MiningParams;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -309,8 +322,16 @@ mod tests {
         let txns: Vec<Vec<u32>> = (0..n)
             .map(|_| {
                 let a = rng.gen_bool(0.5);
-                let b = if a { rng.gen_bool(0.85) } else { rng.gen_bool(0.15) };
-                let c = if b { rng.gen_bool(0.85) } else { rng.gen_bool(0.15) };
+                let b = if a {
+                    rng.gen_bool(0.85)
+                } else {
+                    rng.gen_bool(0.15)
+                };
+                let c = if b {
+                    rng.gen_bool(0.85)
+                } else {
+                    rng.gen_bool(0.15)
+                };
                 let mut t = Vec::new();
                 if a {
                     t.push(0);
@@ -331,7 +352,10 @@ mod tests {
     fn ccu_rule_finds_the_collider() {
         let db = collider_db(4000, 7);
         let attrs = AttributeTable::with_identity_prices(3);
-        let q = CorrelationQuery { params: params(), constraints: ConstraintSet::new() };
+        let q = CorrelationQuery {
+            params: params(),
+            constraints: ConstraintSet::new(),
+        };
         let mut c = HorizontalCounter::new(&db);
         let out = discover_causality(&db, &attrs, &q, &mut c).unwrap();
         assert!(
@@ -349,7 +373,10 @@ mod tests {
     fn ccc_rule_finds_the_mediator() {
         let db = chain_db(6000, 9);
         let attrs = AttributeTable::with_identity_prices(3);
-        let q = CorrelationQuery { params: params(), constraints: ConstraintSet::new() };
+        let q = CorrelationQuery {
+            params: params(),
+            constraints: ConstraintSet::new(),
+        };
         let mut c = HorizontalCounter::new(&db);
         let out = discover_causality(&db, &attrs, &q, &mut c).unwrap();
         // All three pairs correlate (A–C through B), but B explains the
@@ -364,10 +391,9 @@ mod tests {
             out.findings
         );
         // And neither endpoint is reported as a mediator.
-        assert!(!out
-            .findings
-            .iter()
-            .any(|f| matches!(f, CausalFinding::Mediator { mediator, .. } if *mediator != Item(1))));
+        assert!(!out.findings.iter().any(
+            |f| matches!(f, CausalFinding::Mediator { mediator, .. } if *mediator != Item(1))
+        ));
     }
 
     #[test]

@@ -1,6 +1,21 @@
-//! Shared per-candidate evaluation machinery for the level-wise miners.
+//! Shared candidate evaluation machinery for the level-wise miners.
+//!
+//! Two batching layers live here:
+//!
+//! * [`Engine::evaluate_level`] hands a whole level of candidates to the
+//!   counting layer at once ([`MintermCounter::minterm_counts_batch`]),
+//!   so a horizontal strategy pays one scan per *level* rather than per
+//!   *candidate*, and the vertical strategy can share prefix
+//!   intersections across candidates.
+//! * A verdict memo-cache keyed by [`Itemset`]: once a set has been
+//!   judged, any later evaluation — typically a BMS*/BMS** border sweep
+//!   revisiting sets the BMS phase already classified — is answered from
+//!   the cache without rebuilding the contingency table. Hits are
+//!   reported via [`CountingStats::cache_hits`].
 
-use ccs_itemset::{Itemset, MintermCounter};
+use std::collections::{HashMap, HashSet};
+
+use ccs_itemset::{CountingStats, Itemset, MintermCounter};
 use ccs_stats::{chi2_quantile, ContingencyTable};
 
 use crate::params::MiningParams;
@@ -26,6 +41,10 @@ pub(crate) struct Engine<'a, C: MintermCounter> {
     pub p: f64,
     confidence: f64,
     crit: Option<f64>,
+    /// Memoised verdicts: a set is counted at most once per engine.
+    cache: HashMap<Itemset, Verdict>,
+    /// Evaluations answered from `cache` without building a table.
+    cache_hits: u64,
 }
 
 impl<'a, C: MintermCounter> Engine<'a, C> {
@@ -37,6 +56,8 @@ impl<'a, C: MintermCounter> Engine<'a, C> {
             p: params.ct_fraction,
             confidence: params.confidence,
             crit: None,
+            cache: HashMap::new(),
+            cache_hits: 0,
         }
     }
 
@@ -52,19 +73,66 @@ impl<'a, C: MintermCounter> Engine<'a, C> {
     /// closure the whole algorithm family builds on; see the fidelity
     /// notes in DESIGN.md.
     pub(crate) fn critical_value(&mut self) -> f64 {
-        *self.crit.get_or_insert_with(|| chi2_quantile(self.confidence, 1))
+        *self
+            .crit
+            .get_or_insert_with(|| chi2_quantile(self.confidence, 1))
     }
 
-    /// Builds the contingency table for `set` and applies both tests.
-    /// The table is accounted by the counting layer; absorb
-    /// [`Engine::counting_stats`] into the run's metrics once at the end.
-    pub(crate) fn evaluate(&mut self, set: &Itemset) -> Verdict {
-        debug_assert!(set.len() >= 2, "tests are degenerate below pairs");
-        let table = ContingencyTable::build(self.counter, set);
+    /// Applies both tests to an already-built contingency table.
+    fn judge(&mut self, table: &ContingencyTable) -> Verdict {
         let ct_supported = table.is_ct_supported(self.s_abs, self.p);
         let chi2 = table.chi_squared();
         let correlated = chi2 >= self.critical_value();
-        Verdict { ct_supported, correlated, chi2 }
+        Verdict {
+            ct_supported,
+            correlated,
+            chi2,
+        }
+    }
+
+    /// Evaluates one candidate: answers from the memo-cache if the set
+    /// was judged before, otherwise builds its contingency table (one
+    /// accounted table) and caches the verdict. Absorb
+    /// [`Engine::counting_stats`] into the run's metrics once at the end.
+    pub(crate) fn evaluate(&mut self, set: &Itemset) -> Verdict {
+        debug_assert!(set.len() >= 2, "tests are degenerate below pairs");
+        if let Some(&v) = self.cache.get(set) {
+            self.cache_hits += 1;
+            return v;
+        }
+        let table = ContingencyTable::build(self.counter, set);
+        let v = self.judge(&table);
+        self.cache.insert(set.clone(), v);
+        v
+    }
+
+    /// Evaluates a whole level of candidates in one counting batch.
+    ///
+    /// Sets with cached verdicts (and in-batch duplicates) are answered
+    /// from the memo-cache; the rest go to the counting layer as a single
+    /// [`MintermCounter::minterm_counts_batch`] call, so horizontal
+    /// strategies pay one scan per level and the vertical strategy shares
+    /// prefix work across candidates. Verdicts come back in input order.
+    pub(crate) fn evaluate_level(&mut self, sets: &[Itemset]) -> Vec<Verdict> {
+        let mut fresh: Vec<Itemset> = Vec::new();
+        let mut queued: HashSet<&Itemset> = HashSet::new();
+        for set in sets {
+            debug_assert!(set.len() >= 2, "tests are degenerate below pairs");
+            if self.cache.contains_key(set) || !queued.insert(set) {
+                self.cache_hits += 1;
+            } else {
+                fresh.push(set.clone());
+            }
+        }
+        if !fresh.is_empty() {
+            let counts = self.counter.minterm_counts_batch(&fresh);
+            for (set, cells) in fresh.into_iter().zip(counts) {
+                let table = ContingencyTable::from_counts(set.clone(), cells);
+                let v = self.judge(&table);
+                self.cache.insert(set, v);
+            }
+        }
+        sets.iter().map(|s| self.cache[s]).collect()
     }
 
     /// Raw minterm counts for `set` (one accounted table), for callers
@@ -73,9 +141,12 @@ impl<'a, C: MintermCounter> Engine<'a, C> {
         self.counter.minterm_counts(set)
     }
 
-    /// Final counting statistics, to be absorbed into metrics once at the
-    /// end of a run.
-    pub(crate) fn counting_stats(&self) -> ccs_itemset::CountingStats {
-        self.counter.stats()
+    /// Final counting statistics — the counting layer's numbers plus this
+    /// engine's cache hits — to be absorbed into metrics once at the end
+    /// of a run.
+    pub(crate) fn counting_stats(&self) -> CountingStats {
+        let mut stats = self.counter.stats();
+        stats.cache_hits += self.cache_hits;
+        stats
     }
 }

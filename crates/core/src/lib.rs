@@ -22,13 +22,12 @@
 #![warn(missing_docs)]
 
 pub mod bms;
-pub mod bms_batched;
-pub mod border;
-pub mod causality;
 pub mod bms_plus;
 pub mod bms_plus_plus;
 pub mod bms_star;
 pub mod bms_star_star;
+pub mod border;
+pub mod causality;
 mod engine;
 pub mod metrics;
 pub mod miner;
@@ -37,13 +36,12 @@ pub mod params;
 pub mod query;
 
 pub use bms::{run_bms, BmsOutput};
-pub use bms_batched::run_bms_batched;
-pub use border::{solution_space, SolutionSpace};
-pub use causality::{discover_causality, CausalAnalysis, CausalFinding};
 pub use bms_plus::run_bms_plus;
 pub use bms_plus_plus::run_bms_plus_plus;
 pub use bms_star::run_bms_star;
 pub use bms_star_star::run_bms_star_star;
+pub use border::{solution_space, SolutionSpace};
+pub use causality::{discover_causality, CausalAnalysis, CausalFinding};
 pub use metrics::MiningMetrics;
 pub use miner::{mine, mine_with_counter, mine_with_strategy, Algorithm, CountingStrategy};
 pub use naive::{run_naive, NAIVE_MAX_ITEMS};

@@ -26,6 +26,12 @@ pub struct MiningMetrics {
     pub db_scans: u64,
     /// Transactions visited by the counting layer, across all scans.
     pub transactions_visited: u64,
+    /// Contingency cells computed by the counting layer (`2^k` per
+    /// `k`-itemset table).
+    pub cells_counted: u64,
+    /// Evaluations answered from the engine's verdict cache (no table
+    /// was rebuilt).
+    pub cache_hits: u64,
     /// Highest lattice level reached.
     pub max_level_reached: usize,
     /// Number of sets placed in SIG (answers, before/after filtering
@@ -43,6 +49,8 @@ impl MiningMetrics {
         self.tables_built += stats.tables_built;
         self.db_scans += stats.db_scans;
         self.transactions_visited += stats.transactions_visited;
+        self.cells_counted += stats.cells_counted;
+        self.cache_hits += stats.cache_hits;
     }
 
     /// Merges another metrics record into this one (durations add;
@@ -54,6 +62,8 @@ impl MiningMetrics {
         self.pruned_before_count += other.pruned_before_count;
         self.db_scans += other.db_scans;
         self.transactions_visited += other.transactions_visited;
+        self.cells_counted += other.cells_counted;
+        self.cache_hits += other.cache_hits;
         self.max_level_reached = self.max_level_reached.max(other.max_level_reached);
         self.sig_size += other.sig_size;
         self.notsig_size += other.notsig_size;
@@ -68,11 +78,25 @@ mod tests {
     #[test]
     fn absorb_counting_accumulates() {
         let mut m = MiningMetrics::default();
-        m.absorb_counting(CountingStats { tables_built: 3, db_scans: 3, transactions_visited: 30 });
-        m.absorb_counting(CountingStats { tables_built: 2, db_scans: 2, transactions_visited: 20 });
+        m.absorb_counting(CountingStats {
+            tables_built: 3,
+            db_scans: 3,
+            transactions_visited: 30,
+            cells_counted: 12,
+            cache_hits: 1,
+        });
+        m.absorb_counting(CountingStats {
+            tables_built: 2,
+            db_scans: 2,
+            transactions_visited: 20,
+            cells_counted: 8,
+            cache_hits: 0,
+        });
         assert_eq!(m.tables_built, 5);
         assert_eq!(m.db_scans, 5);
         assert_eq!(m.transactions_visited, 50);
+        assert_eq!(m.cells_counted, 20);
+        assert_eq!(m.cache_hits, 1);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The top-level mining API: pick an algorithm, get an answer set.
 
 use ccs_constraints::AttributeTable;
-use ccs_itemset::{HorizontalCounter, MintermCounter, ParallelCounter, TransactionDb, VerticalCounter};
+use ccs_itemset::{
+    HorizontalCounter, MintermCounter, ParallelCounter, TransactionDb, VerticalCounter,
+};
 
 use crate::bms_plus::run_bms_plus;
 use crate::bms_plus_plus::run_bms_plus_plus;
@@ -42,7 +44,12 @@ impl Algorithm {
     /// All four level-wise algorithms of the paper, in presentation
     /// order.
     pub fn paper_algorithms() -> [Algorithm; 4] {
-        [Algorithm::BmsPlus, Algorithm::BmsPlusPlus, Algorithm::BmsStar, Algorithm::BmsStarStar]
+        [
+            Algorithm::BmsPlus,
+            Algorithm::BmsPlusPlus,
+            Algorithm::BmsStar,
+            Algorithm::BmsStarStar,
+        ]
     }
 
     /// Short display name matching the paper's notation.
@@ -148,8 +155,8 @@ pub fn mine_with_counter<C: MintermCounter>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccs_constraints::{Constraint, ConstraintSet};
     use crate::params::MiningParams;
+    use ccs_constraints::{Constraint, ConstraintSet};
 
     fn db() -> TransactionDb {
         let mut txns = Vec::new();
@@ -203,18 +210,54 @@ mod tests {
         }
     }
 
+    /// A database with two overlapping correlated modules over 8 items,
+    /// so mining levels carry many same-prefix candidates: the
+    /// level-batched evaluation paths (one-scan horizontal batch,
+    /// prefix-sharing vertical batch, parallel fan-out) and the verdict
+    /// memo-cache all see real traffic.
+    fn modular_db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for i in 0..120u32 {
+            let mut t = Vec::new();
+            if i % 2 == 0 {
+                t.extend([0, 1, 2, 3]);
+            }
+            if i % 3 == 0 {
+                t.extend([3, 4, 5, 6]);
+            }
+            if i % 5 == 0 {
+                t.push(7);
+            }
+            if i % 7 == 0 {
+                t.extend([1, 5]);
+            }
+            t.sort_unstable();
+            t.dedup();
+            txns.push(t);
+        }
+        TransactionDb::from_ids(8, txns)
+    }
+
     #[test]
     fn all_counting_strategies_agree() {
-        let db = db();
-        let attrs = AttributeTable::with_identity_prices(3);
+        // Every algorithm routes candidates through the level-batched
+        // `Engine::evaluate_level`, so this compares the horizontal
+        // batch, the prefix-sharing vertical batch, and the parallel
+        // fan-out — plus the memo-cache in front of all three — against
+        // each other on both databases, byte for byte.
+        let attrs = AttributeTable::with_identity_prices(8);
         let q = query();
-        for &a in &Algorithm::paper_algorithms() {
-            let h = mine_with_strategy(&db, &attrs, &q, a, CountingStrategy::Horizontal)
-                .unwrap()
-                .answers;
-            for strategy in [CountingStrategy::Vertical, CountingStrategy::Parallel] {
-                let v = mine_with_strategy(&db, &attrs, &q, a, strategy).unwrap().answers;
-                assert_eq!(h, v, "{strategy:?} mismatch for {a}");
+        for db in [db(), modular_db()] {
+            for &a in &Algorithm::paper_algorithms() {
+                let h = mine_with_strategy(&db, &attrs, &q, a, CountingStrategy::Horizontal)
+                    .unwrap()
+                    .answers;
+                for strategy in [CountingStrategy::Vertical, CountingStrategy::Parallel] {
+                    let v = mine_with_strategy(&db, &attrs, &q, a, strategy)
+                        .unwrap()
+                        .answers;
+                    assert_eq!(h, v, "{strategy:?} mismatch for {a}");
+                }
             }
         }
     }

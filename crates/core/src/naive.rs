@@ -62,7 +62,10 @@ pub fn run_naive<C: MintermCounter>(
         .filter(|i| supports[i.index()] as u64 >= item_threshold)
         .collect();
     if basis.len() > NAIVE_MAX_ITEMS {
-        return Err(MiningError::UniverseTooLarge { basis: basis.len(), limit: NAIVE_MAX_ITEMS });
+        return Err(MiningError::UniverseTooLarge {
+            basis: basis.len(),
+            limit: NAIVE_MAX_ITEMS,
+        });
     }
 
     let top = query.params.max_level.min(basis.len());
@@ -74,7 +77,11 @@ pub fn run_naive<C: MintermCounter>(
             let valid = query.constraints.satisfied(&set, attrs);
             flags.insert(
                 set,
-                Flags { ct_supported: v.ct_supported, correlated: v.correlated, valid },
+                Flags {
+                    ct_supported: v.ct_supported,
+                    correlated: v.correlated,
+                    valid,
+                },
             );
         }
     }
@@ -109,11 +116,7 @@ pub fn run_naive<C: MintermCounter>(
     metrics.sig_size = answers.len() as u64;
     metrics.max_level_reached = top;
     let end = engine.counting_stats();
-    metrics.absorb_counting(ccs_itemset::CountingStats {
-        tables_built: end.tables_built - base_stats.tables_built,
-        db_scans: end.db_scans - base_stats.db_scans,
-        transactions_visited: end.transactions_visited - base_stats.transactions_visited,
-    });
+    metrics.absorb_counting(end.since(&base_stats));
     metrics.elapsed = start.elapsed();
     Ok(MiningResult::new(answers, semantics, metrics))
 }
@@ -148,9 +151,9 @@ fn combine_rec(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::MiningParams;
     use ccs_constraints::{Constraint, ConstraintSet};
     use ccs_itemset::HorizontalCounter;
-    use crate::params::MiningParams;
 
     fn db() -> TransactionDb {
         let mut txns = Vec::new();
@@ -217,7 +220,10 @@ mod tests {
         let mut c2 = HorizontalCounter::new(&db);
         let mv = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c2).unwrap();
         for s in &vm.answers {
-            assert!(mv.contains(s), "VALID_MIN member {s} missing from MIN_VALID");
+            assert!(
+                mv.contains(s),
+                "VALID_MIN member {s} missing from MIN_VALID"
+            );
         }
     }
 

@@ -103,23 +103,37 @@ mod tests {
 
     #[test]
     fn absolute_thresholds_round_up() {
-        let p = MiningParams { support_fraction: 0.25, ..MiningParams::paper() };
+        let p = MiningParams {
+            support_fraction: 0.25,
+            ..MiningParams::paper()
+        };
         assert_eq!(p.support_abs(100), 25);
         assert_eq!(p.support_abs(101), 26);
         assert_eq!(p.support_abs(0), 0);
-        let q = MiningParams { min_item_support: 0.1, ..MiningParams::paper() };
+        let q = MiningParams {
+            min_item_support: 0.1,
+            ..MiningParams::paper()
+        };
         assert_eq!(q.item_support_abs(95), 10);
     }
 
     #[test]
     #[should_panic(expected = "confidence")]
     fn confidence_of_one_rejected() {
-        MiningParams { confidence: 1.0, ..MiningParams::paper() }.validate();
+        MiningParams {
+            confidence: 1.0,
+            ..MiningParams::paper()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "max_level")]
     fn tiny_max_level_rejected() {
-        MiningParams { max_level: 1, ..MiningParams::paper() }.validate();
+        MiningParams {
+            max_level: 1,
+            ..MiningParams::paper()
+        }
+        .validate();
     }
 }

@@ -23,13 +23,19 @@ impl CorrelationQuery {
     /// An unconstrained query with the given parameters (plain Brin et
     /// al. mining).
     pub fn unconstrained(params: MiningParams) -> Self {
-        CorrelationQuery { params, constraints: ConstraintSet::new() }
+        CorrelationQuery {
+            params,
+            constraints: ConstraintSet::new(),
+        }
     }
 
     /// A query with the paper's default parameters and the given
     /// constraints.
     pub fn with_constraints(constraints: ConstraintSet) -> Self {
-        CorrelationQuery { params: MiningParams::paper(), constraints }
+        CorrelationQuery {
+            params: MiningParams::paper(),
+            constraints,
+        }
     }
 
     /// Validates parameters and constraints against an attribute table.
@@ -78,7 +84,11 @@ impl MiningResult {
     pub fn new(mut answers: Vec<Itemset>, semantics: Semantics, metrics: MiningMetrics) -> Self {
         answers.sort_unstable();
         answers.dedup();
-        MiningResult { answers, semantics, metrics }
+        MiningResult {
+            answers,
+            semantics,
+            metrics,
+        }
     }
 
     /// `true` iff `set` is among the answers.

@@ -18,7 +18,10 @@ use rand::Rng;
 ///
 /// Panics if `lambda` is not positive and finite.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda > 0.0 && lambda.is_finite(), "poisson needs λ > 0, got {lambda}");
+    assert!(
+        lambda > 0.0 && lambda.is_finite(),
+        "poisson needs λ > 0, got {lambda}"
+    );
     if lambda < 30.0 {
         let limit = (-lambda).exp();
         let mut product = rng.gen::<f64>();
@@ -40,7 +43,10 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
 ///
 /// Panics if `sd` is negative or either parameter is non-finite.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
-    assert!(sd >= 0.0 && sd.is_finite() && mean.is_finite(), "bad normal parameters");
+    assert!(
+        sd >= 0.0 && sd.is_finite() && mean.is_finite(),
+        "bad normal parameters"
+    );
     // Avoid ln(0): sample u1 from (0, 1].
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();
@@ -54,7 +60,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
 ///
 /// Panics if `mean` is not positive and finite.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
-    assert!(mean > 0.0 && mean.is_finite(), "exponential needs mean > 0, got {mean}");
+    assert!(
+        mean > 0.0 && mean.is_finite(),
+        "exponential needs mean > 0, got {mean}"
+    );
     let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
     -mean * u.ln()
 }
@@ -76,7 +85,11 @@ mod tests {
         let n = 50_000;
         let samples: Vec<u64> = (0..n).map(|_| poisson(&mut r, lambda)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / n as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 0.1, "mean {mean}");
         assert!((var - lambda).abs() < 0.2, "variance {var}");
     }
@@ -86,8 +99,7 @@ mod tests {
         let mut r = rng();
         let lambda = 100.0;
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
+        let mean = (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
         assert!((mean - lambda).abs() < 0.5, "mean {mean}");
     }
 

@@ -140,8 +140,8 @@ fn generate_patterns(params: &QuestParams, rng: &mut StdRng) -> Vec<Pattern> {
     let mut cumulative = 0.0;
     let mut prev_items: Vec<Item> = Vec::new();
     for _ in 0..params.n_patterns {
-        let len = (poisson(rng, params.avg_pattern_len).max(1) as usize)
-            .min(params.n_items as usize);
+        let len =
+            (poisson(rng, params.avg_pattern_len).max(1) as usize).min(params.n_items as usize);
         let mut items: Vec<Item> = Vec::with_capacity(len);
         if !prev_items.is_empty() {
             // Reuse an exponentially-distributed fraction of the previous
@@ -159,12 +159,15 @@ fn generate_patterns(params: &QuestParams, rng: &mut StdRng) -> Vec<Pattern> {
         }
         let weight = exponential(rng, 1.0);
         cumulative += weight;
-        let corruption = normal(rng, params.corruption_mean, params.corruption_sd)
-            .clamp(0.0, 1.0);
+        let corruption = normal(rng, params.corruption_mean, params.corruption_sd).clamp(0.0, 1.0);
         // Shuffle so the reused prefix isn't positionally biased.
         shuffle(&mut items, rng);
         prev_items = items.clone();
-        patterns.push(Pattern { items, cumulative_weight: cumulative, corruption });
+        patterns.push(Pattern {
+            items,
+            cumulative_weight: cumulative,
+            corruption,
+        });
     }
     patterns
 }
@@ -221,7 +224,10 @@ mod tests {
 
     #[test]
     fn average_transaction_length_tracks_parameter() {
-        let p = QuestParams { seed: 11, ..QuestParams::small(2000, 200, 0) };
+        let p = QuestParams {
+            seed: 11,
+            ..QuestParams::small(2000, 200, 0)
+        };
         let db = generate(&p);
         let avg = db.avg_transaction_len();
         // Corruption + dedup shrink baskets a little below |T|; the mean
@@ -261,7 +267,10 @@ mod tests {
                 }
             }
         }
-        assert!(best_lift > 1.2, "expected a strongly associated pair, best lift {best_lift}");
+        assert!(
+            best_lift > 1.2,
+            "expected a strongly associated pair, best lift {best_lift}"
+        );
     }
 
     #[test]
@@ -276,6 +285,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one item")]
     fn zero_items_rejected() {
-        generate(&QuestParams { n_items: 0, ..QuestParams::small(10, 10, 0) });
+        generate(&QuestParams {
+            n_items: 0,
+            ..QuestParams::small(10, 10, 0)
+        });
     }
 }

@@ -97,7 +97,10 @@ pub struct RulePlantedData {
 /// Panics on degenerate parameters.
 pub fn generate(params: &RuleParams) -> RulePlantedData {
     assert!(params.n_items > 0, "need at least one item");
-    assert!(params.rule_len.0 >= 1 && params.rule_len.0 <= params.rule_len.1, "bad rule_len");
+    assert!(
+        params.rule_len.0 >= 1 && params.rule_len.0 <= params.rule_len.1,
+        "bad rule_len"
+    );
     assert!(
         params.n_rules * params.rule_len.1 <= params.n_items as usize,
         "not enough items for {} disjoint rules of up to {} items",
@@ -105,7 +108,10 @@ pub fn generate(params: &RuleParams) -> RulePlantedData {
         params.rule_len.1
     );
     let (lo, hi) = params.support_range;
-    assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "bad support_range");
+    assert!(
+        (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+        "bad support_range"
+    );
 
     let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -148,7 +154,10 @@ pub fn generate(params: &RuleParams) -> RulePlantedData {
         transactions.push(txn);
     }
 
-    RulePlantedData { db: TransactionDb::new(params.n_items, transactions), rules }
+    RulePlantedData {
+        db: TransactionDb::new(params.n_items, transactions),
+        rules,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +226,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not enough items")]
     fn too_many_rules_for_universe_rejected() {
-        generate(&RuleParams { n_rules: 100, ..RuleParams::small(10, 20, 0) });
+        generate(&RuleParams {
+            n_rules: 100,
+            ..RuleParams::small(10, 20, 0)
+        });
     }
 
     #[test]

@@ -52,7 +52,9 @@ where
 /// Classical Apriori candidate generation: join + "all `(k-1)`-subsets
 /// present" prune.
 pub fn apriori_gen(prev: &HashSet<Itemset>) -> Vec<Itemset> {
-    apriori_join(prev, |cand| cand.subsets_dropping_one().all(|s| prev.contains(&s)))
+    apriori_join(prev, |cand| {
+        cand.subsets_dropping_one().all(|s| prev.contains(&s))
+    })
 }
 
 /// Extends every set in `prev` by one item drawn from `universe`,

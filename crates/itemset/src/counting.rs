@@ -28,6 +28,25 @@ pub struct CountingStats {
     pub db_scans: u64,
     /// Total transactions visited across all scans.
     pub transactions_visited: u64,
+    /// Total contingency cells computed (`2^k` per `k`-itemset table).
+    pub cells_counted: u64,
+    /// Evaluations answered from a verdict cache instead of a counter
+    /// (tracked by `ccs-core`'s engine, not by the counters themselves).
+    pub cache_hits: u64,
+}
+
+impl CountingStats {
+    /// The work performed since `base` was captured (field-wise
+    /// difference; all counters are monotone).
+    pub fn since(&self, base: &CountingStats) -> CountingStats {
+        CountingStats {
+            tables_built: self.tables_built - base.tables_built,
+            db_scans: self.db_scans - base.db_scans,
+            transactions_visited: self.transactions_visited - base.transactions_visited,
+            cells_counted: self.cells_counted - base.cells_counted,
+            cache_hits: self.cache_hits - base.cache_hits,
+        }
+    }
 }
 
 /// A strategy for counting the `2^k` minterms of an itemset.
@@ -36,6 +55,17 @@ pub trait MintermCounter {
     /// [`VerticalIndex::minterm_counts`]: bit `j` of the cell index is 1 iff
     /// the `j`-th smallest item of `set` is present.
     fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64>;
+
+    /// Counts a whole level of candidates, returning one `2^k` count
+    /// vector per candidate in input order.
+    ///
+    /// The default implementation counts each set independently;
+    /// implementations override it to share work across the level
+    /// (a single scan for horizontal counters, prefix-shared tid-set
+    /// recursion for vertical ones).
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        sets.iter().map(|s| self.minterm_counts(s)).collect()
+    }
 
     /// Number of transactions in the underlying database.
     fn n_transactions(&self) -> usize;
@@ -54,25 +84,10 @@ pub struct HorizontalCounter<'a> {
 impl<'a> HorizontalCounter<'a> {
     /// Creates a counter over `db`.
     pub fn new(db: &'a TransactionDb) -> Self {
-        HorizontalCounter { db, stats: CountingStats::default() }
-    }
-
-    /// Counts minterms for a whole level of candidates in a *single* scan,
-    /// as Apriori-style implementations do: each transaction updates every
-    /// candidate's table.
-    ///
-    /// Returns one `2^k` count vector per candidate, in input order.
-    pub fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
-        let mut tables: Vec<Vec<u64>> = sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
-        for t in self.db.transactions() {
-            self.stats.transactions_visited += 1;
-            for (set, table) in sets.iter().zip(tables.iter_mut()) {
-                table[cell_index(t, set)] += 1;
-            }
+        HorizontalCounter {
+            db,
+            stats: CountingStats::default(),
         }
-        self.stats.db_scans += 1;
-        self.stats.tables_built += sets.len() as u64;
-        tables
     }
 }
 
@@ -85,7 +100,29 @@ impl MintermCounter for HorizontalCounter<'_> {
         }
         self.stats.db_scans += 1;
         self.stats.tables_built += 1;
+        self.stats.cells_counted += counts.len() as u64;
         counts
+    }
+
+    /// Counts minterms for a whole level of candidates in a *single* scan,
+    /// as Apriori-style implementations do: each transaction updates every
+    /// candidate's table.
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        if sets.is_empty() {
+            return Vec::new();
+        }
+        let mut tables: Vec<Vec<u64>> =
+            sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
+        for t in self.db.transactions() {
+            self.stats.transactions_visited += 1;
+            for (set, table) in sets.iter().zip(tables.iter_mut()) {
+                table[cell_index(t, set)] += 1;
+            }
+        }
+        self.stats.db_scans += 1;
+        self.stats.tables_built += sets.len() as u64;
+        self.stats.cells_counted += tables.iter().map(|t| t.len() as u64).sum::<u64>();
+        tables
     }
 
     fn n_transactions(&self) -> usize {
@@ -111,7 +148,10 @@ impl VerticalCounter {
         let index = VerticalIndex::build(db);
         VerticalCounter {
             index,
-            stats: CountingStats { db_scans: 1, ..CountingStats::default() },
+            stats: CountingStats {
+                db_scans: 1,
+                ..CountingStats::default()
+            },
         }
     }
 
@@ -119,12 +159,27 @@ impl VerticalCounter {
     pub fn index(&self) -> &VerticalIndex {
         &self.index
     }
+
+    /// Mutable access to the underlying index (counting methods need
+    /// `&mut` for the scratch arena).
+    pub fn index_mut(&mut self) -> &mut VerticalIndex {
+        &mut self.index
+    }
 }
 
 impl MintermCounter for VerticalCounter {
     fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
         self.stats.tables_built += 1;
+        self.stats.cells_counted += 1u64 << set.len();
         self.index.minterm_counts(set)
+    }
+
+    /// Batch counting with Eclat-style prefix sharing; see
+    /// [`VerticalIndex::minterm_counts_batch`].
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        self.stats.tables_built += sets.len() as u64;
+        self.stats.cells_counted += sets.iter().map(|s| 1u64 << s.len()).sum::<u64>();
+        self.index.minterm_counts_batch(sets)
     }
 
     fn n_transactions(&self) -> usize {
@@ -162,7 +217,15 @@ mod tests {
     fn db() -> TransactionDb {
         TransactionDb::from_ids(
             4,
-            vec![vec![0, 1, 2], vec![0, 1], vec![0, 2], vec![1, 2], vec![2], vec![], vec![3]],
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![2],
+                vec![],
+                vec![3],
+            ],
         )
     }
 
@@ -236,5 +299,65 @@ mod tests {
         v.minterm_counts(&Itemset::from_ids([0, 1]));
         assert_eq!(v.stats().db_scans, 1);
         assert_eq!(v.stats().tables_built, 1);
+        assert_eq!(v.stats().cells_counted, 4);
+    }
+
+    #[test]
+    fn all_batch_paths_agree_with_singles() {
+        let d = db();
+        let sets = vec![
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 2]),
+            Itemset::from_ids([1, 2]),
+            Itemset::from_ids([0, 1, 2]),
+            Itemset::from_ids([3]),
+        ];
+        let expected: Vec<Vec<u64>> = {
+            let mut h = HorizontalCounter::new(&d);
+            sets.iter().map(|s| h.minterm_counts(s)).collect()
+        };
+        let mut h = HorizontalCounter::new(&d);
+        assert_eq!(h.minterm_counts_batch(&sets), expected, "horizontal batch");
+        let mut v = VerticalCounter::new(&d);
+        assert_eq!(v.minterm_counts_batch(&sets), expected, "vertical batch");
+    }
+
+    #[test]
+    fn default_trait_batch_loops_over_singles() {
+        // A counter that does not override the batch method gets the
+        // per-candidate default.
+        struct Wrapper<'a>(HorizontalCounter<'a>);
+        impl MintermCounter for Wrapper<'_> {
+            fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+                self.0.minterm_counts(set)
+            }
+            fn n_transactions(&self) -> usize {
+                self.0.n_transactions()
+            }
+            fn stats(&self) -> CountingStats {
+                self.0.stats()
+            }
+        }
+        let d = db();
+        let sets = vec![Itemset::from_ids([0, 1]), Itemset::from_ids([1, 2])];
+        let mut w = Wrapper(HorizontalCounter::new(&d));
+        let batch = w.minterm_counts_batch(&sets);
+        assert_eq!(w.stats().db_scans, 2, "default batch is one scan per set");
+        let mut h = HorizontalCounter::new(&d);
+        assert_eq!(batch, h.minterm_counts_batch(&sets));
+    }
+
+    #[test]
+    fn stats_since_diffs_fieldwise() {
+        let d = db();
+        let mut h = HorizontalCounter::new(&d);
+        h.minterm_counts(&Itemset::from_ids([0]));
+        let base = h.stats();
+        h.minterm_counts(&Itemset::from_ids([0, 1]));
+        let delta = h.stats().since(&base);
+        assert_eq!(delta.tables_built, 1);
+        assert_eq!(delta.db_scans, 1);
+        assert_eq!(delta.cells_counted, 4);
+        assert_eq!(delta.transactions_visited, d.len() as u64);
     }
 }

@@ -46,7 +46,10 @@ impl TransactionDb {
                 v.into_boxed_slice()
             })
             .collect();
-        TransactionDb { n_items, transactions }
+        TransactionDb {
+            n_items,
+            transactions,
+        }
     }
 
     /// Builds a database from raw `u32` item ids.
@@ -95,7 +98,9 @@ impl TransactionDb {
     /// Counts transactions containing every item of `set` (absolute support),
     /// by a full scan.
     pub fn support(&self, set: &Itemset) -> usize {
-        self.transactions().filter(|t| contains_sorted(t, set.items())).count()
+        self.transactions()
+            .filter(|t| contains_sorted(t, set.items()))
+            .count()
     }
 
     /// Relative support of `set` in `[0, 1]`. Zero for an empty database.
@@ -164,7 +169,13 @@ mod tests {
     fn db() -> TransactionDb {
         TransactionDb::from_ids(
             5,
-            vec![vec![0, 1, 2], vec![0, 1], vec![1, 2, 3], vec![4], vec![0, 1, 2, 3, 4]],
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![1, 2, 3],
+                vec![4],
+                vec![0, 1, 2, 3, 4],
+            ],
         )
     }
 

@@ -27,12 +27,16 @@ pub struct Itemset {
 impl Itemset {
     /// The empty itemset.
     pub fn empty() -> Self {
-        Itemset { items: Box::new([]) }
+        Itemset {
+            items: Box::new([]),
+        }
     }
 
     /// A singleton itemset.
     pub fn singleton(item: Item) -> Self {
-        Itemset { items: Box::new([item]) }
+        Itemset {
+            items: Box::new([item]),
+        }
     }
 
     /// Builds an itemset from arbitrary items, sorting and deduplicating.
@@ -40,7 +44,9 @@ impl Itemset {
         let mut v: Vec<Item> = items.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Itemset { items: v.into_boxed_slice() }
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Builds an itemset from raw `u32` ids, sorting and deduplicating.
@@ -55,8 +61,13 @@ impl Itemset {
     ///
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted_vec(v: Vec<Item>) -> Self {
-        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "vector must be strictly sorted");
-        Itemset { items: v.into_boxed_slice() }
+        debug_assert!(
+            v.windows(2).all(|w| w[0] < w[1]),
+            "vector must be strictly sorted"
+        );
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Number of items in the set (its lattice level).
@@ -153,7 +164,9 @@ impl Itemset {
         }
         out.extend_from_slice(&self.items[i..]);
         out.extend_from_slice(&other.items[j..]);
-        Itemset { items: out.into_boxed_slice() }
+        Itemset {
+            items: out.into_boxed_slice(),
+        }
     }
 
     /// Set intersection, by linear merge.
@@ -171,7 +184,9 @@ impl Itemset {
                 }
             }
         }
-        Itemset { items: out.into_boxed_slice() }
+        Itemset {
+            items: out.into_boxed_slice(),
+        }
     }
 
     /// Set difference `self \ other`, by linear merge.
@@ -192,7 +207,9 @@ impl Itemset {
             }
         }
         out.extend_from_slice(&self.items[i..]);
-        Itemset { items: out.into_boxed_slice() }
+        Itemset {
+            items: out.into_boxed_slice(),
+        }
     }
 
     /// A new itemset with `item` inserted (no-op if already present).
@@ -204,7 +221,9 @@ impl Itemset {
                 v.extend_from_slice(&self.items[..pos]);
                 v.push(item);
                 v.extend_from_slice(&self.items[pos..]);
-                Itemset { items: v.into_boxed_slice() }
+                Itemset {
+                    items: v.into_boxed_slice(),
+                }
             }
         }
     }
@@ -217,7 +236,9 @@ impl Itemset {
                 let mut v = Vec::with_capacity(self.len() - 1);
                 v.extend_from_slice(&self.items[..pos]);
                 v.extend_from_slice(&self.items[pos + 1..]);
-                Itemset { items: v.into_boxed_slice() }
+                Itemset {
+                    items: v.into_boxed_slice(),
+                }
             }
         }
     }
@@ -233,7 +254,9 @@ impl Itemset {
             let mut v = Vec::with_capacity(self.items.len() - 1);
             v.extend_from_slice(&self.items[..drop]);
             v.extend_from_slice(&self.items[drop + 1..]);
-            Itemset { items: v.into_boxed_slice() }
+            Itemset {
+                items: v.into_boxed_slice(),
+            }
         })
     }
 
@@ -250,7 +273,9 @@ impl Itemset {
                     v.push(item);
                 }
             }
-            out.push(Itemset { items: v.into_boxed_slice() });
+            out.push(Itemset {
+                items: v.into_boxed_slice(),
+            });
         }
         out
     }

@@ -20,15 +20,15 @@ pub mod candidate;
 pub mod counting;
 pub mod database;
 pub mod item;
-pub mod parallel;
 pub mod itemset;
+pub mod parallel;
 pub mod tidset;
 pub mod vertical;
 
 pub use counting::{CountingStats, HorizontalCounter, MintermCounter, VerticalCounter};
-pub use parallel::ParallelCounter;
 pub use database::TransactionDb;
 pub use item::Item;
 pub use itemset::Itemset;
+pub use parallel::ParallelCounter;
 pub use tidset::TidSet;
 pub use vertical::VerticalIndex;

@@ -25,12 +25,18 @@ impl<'a> ParallelCounter<'a> {
     /// Creates a counter over `db` using up to `n_threads` threads
     /// (clamped to at least 1).
     pub fn new(db: &'a TransactionDb, n_threads: usize) -> Self {
-        ParallelCounter { db, n_threads: n_threads.max(1), stats: CountingStats::default() }
+        ParallelCounter {
+            db,
+            n_threads: n_threads.max(1),
+            stats: CountingStats::default(),
+        }
     }
 
     /// Creates a counter sized to the machine's available parallelism.
     pub fn with_available_parallelism(db: &'a TransactionDb) -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Self::new(db, n)
     }
 
@@ -47,6 +53,7 @@ impl MintermCounter for ParallelCounter<'_> {
         self.stats.tables_built += 1;
         self.stats.db_scans += 1;
         self.stats.transactions_visited += n as u64;
+        self.stats.cells_counted += cells as u64;
 
         // Small databases or single-thread configs: count inline.
         let threads = self.n_threads.min(n.div_ceil(1024).max(1));
@@ -86,6 +93,67 @@ impl MintermCounter for ParallelCounter<'_> {
             }
         }
         counts
+    }
+
+    /// Counts a whole level in one logical scan, fanned out across
+    /// candidates × chunks: each worker scans its chunk once, updating a
+    /// private table per candidate, and the per-chunk tables are merged.
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        let n = self.db.len();
+        let mut tables: Vec<Vec<u64>> =
+            sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
+        if sets.is_empty() {
+            return tables;
+        }
+        self.stats.tables_built += sets.len() as u64;
+        self.stats.db_scans += 1;
+        self.stats.transactions_visited += n as u64;
+        self.stats.cells_counted += tables.iter().map(|t| t.len() as u64).sum::<u64>();
+
+        let threads = self.n_threads.min(n.div_ceil(1024).max(1));
+        if threads <= 1 {
+            for tid in 0..n {
+                let t = self.db.transaction(tid);
+                for (set, table) in sets.iter().zip(tables.iter_mut()) {
+                    table[cell_index(t, set)] += 1;
+                }
+            }
+            return tables;
+        }
+
+        let chunk = n.div_ceil(threads);
+        let db = self.db;
+        let mut partials: Vec<Vec<Vec<u64>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let mut counts: Vec<Vec<u64>> =
+                            sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
+                        for tid in lo..hi {
+                            let txn = db.transaction(tid);
+                            for (set, table) in sets.iter().zip(counts.iter_mut()) {
+                                table[cell_index(txn, set)] += 1;
+                            }
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("counting worker panicked"));
+            }
+        });
+        for partial in partials {
+            for (table, part) in tables.iter_mut().zip(partial) {
+                for (acc, c) in table.iter_mut().zip(part) {
+                    *acc += c;
+                }
+            }
+        }
+        tables
     }
 
     fn n_transactions(&self) -> usize {
@@ -154,6 +222,33 @@ mod tests {
         assert_eq!(s.tables_built, 2);
         assert_eq!(s.db_scans, 2);
         assert_eq!(s.transactions_visited, 10_000);
+    }
+
+    #[test]
+    fn batch_matches_sequential_batch_and_counts_one_scan() {
+        for n in [0usize, 1, 100, 5000] {
+            let d = db(n);
+            let sets = vec![
+                Itemset::from_ids([0, 1]),
+                Itemset::from_ids([0, 2]),
+                Itemset::from_ids([2, 3, 4]),
+                Itemset::from_ids([5]),
+            ];
+            let mut seq = HorizontalCounter::new(&d);
+            let expected = seq.minterm_counts_batch(&sets);
+            for threads in [1usize, 2, 8] {
+                let mut par = ParallelCounter::new(&d, threads);
+                assert_eq!(
+                    par.minterm_counts_batch(&sets),
+                    expected,
+                    "n={n} threads={threads}"
+                );
+                let s = par.stats();
+                assert_eq!(s.db_scans, 1, "batch must be one logical scan");
+                assert_eq!(s.tables_built, sets.len() as u64);
+                assert_eq!(s.transactions_visited, n as u64);
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@ const BLOCK_BITS: usize = 64;
 impl TidSet {
     /// An empty tid-set able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        TidSet { blocks: vec![0; capacity.div_ceil(BLOCK_BITS)], capacity }
+        TidSet {
+            blocks: vec![0; capacity.div_ceil(BLOCK_BITS)],
+            capacity,
+        }
     }
 
     /// A tid-set with every id in `0..capacity` present.
@@ -55,7 +58,11 @@ impl TidSet {
     /// Panics if `tid >= capacity`.
     #[inline]
     pub fn insert(&mut self, tid: usize) {
-        assert!(tid < self.capacity, "tid {tid} out of range 0..{}", self.capacity);
+        assert!(
+            tid < self.capacity,
+            "tid {tid} out of range 0..{}",
+            self.capacity
+        );
         self.blocks[tid / BLOCK_BITS] |= 1u64 << (tid % BLOCK_BITS);
     }
 
@@ -128,7 +135,11 @@ impl TidSet {
     /// `|self ∩ other|` without allocating.
     pub fn intersection_count(&self, other: &TidSet) -> usize {
         self.check_same_capacity(other);
-        self.blocks.iter().zip(&other.blocks).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Splits `self` by `other`: returns `(self ∩ other, self ∖ other)`.
@@ -137,21 +148,80 @@ impl TidSet {
     /// the current cell's tid-set is split into the transactions that do and
     /// do not contain the next item.
     pub fn split_by(&self, other: &TidSet) -> (TidSet, TidSet) {
-        self.check_same_capacity(other);
         let mut with = TidSet::new(self.capacity);
         let mut without = TidSet::new(self.capacity);
+        self.split_into(other, &mut with, &mut without);
+        (with, without)
+    }
+
+    /// [`split_by`](Self::split_by) into caller-owned scratch sets,
+    /// allocation-free. `with` and `without` are overwritten entirely;
+    /// they only need matching capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the four capacities differ.
+    pub fn split_into(&self, other: &TidSet, with: &mut TidSet, without: &mut TidSet) {
+        self.check_same_capacity(other);
+        self.check_same_capacity(with);
+        self.check_same_capacity(without);
         for i in 0..self.blocks.len() {
-            with.blocks[i] = self.blocks[i] & other.blocks[i];
-            without.blocks[i] = self.blocks[i] & !other.blocks[i];
+            let s = self.blocks[i];
+            let o = other.blocks[i];
+            with.blocks[i] = s & o;
+            without.blocks[i] = s & !o;
+        }
+    }
+
+    /// `|self ∩ a ∩ b|` in one fused branch-free pass, no allocation.
+    ///
+    /// This is the member-specific kernel of the vertical batch leaf: the
+    /// four contingency cells of a suffix pair `(a, b)` under a node `L`
+    /// follow from `|L ∩ a ∩ b|` plus the class-shared `|L ∩ a|`,
+    /// `|L ∩ b|`, and `|L|` by inclusion–exclusion.
+    pub fn triple_intersection_count(&self, a: &TidSet, b: &TidSet) -> usize {
+        self.check_same_capacity(a);
+        self.check_same_capacity(b);
+        let mut count = 0usize;
+        for ((s, x), y) in self.blocks.iter().zip(&a.blocks).zip(&b.blocks) {
+            count += (s & x & y).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Popcounts of both halves of a split — `(|self ∩ other|,
+    /// |self ∖ other|)` — without materialising either bitmap.
+    ///
+    /// The last level of the vertical counting recursion only needs the two
+    /// leaf cell counts, so this branch-free kernel replaces a `split_by`
+    /// (two allocations + two full passes) with a single fused pass.
+    pub fn count_split(&self, other: &TidSet) -> (usize, usize) {
+        self.check_same_capacity(other);
+        let mut with = 0usize;
+        let mut without = 0usize;
+        for (s, o) in self.blocks.iter().zip(&other.blocks) {
+            with += (s & o).count_ones() as usize;
+            without += (s & !o).count_ones() as usize;
         }
         (with, without)
     }
 
+    /// Overwrites `self` with the contents of `other` (no allocation;
+    /// capacities must match).
+    pub fn copy_from(&mut self, other: &TidSet) {
+        self.check_same_capacity(other);
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
     /// Iterates over the present ids in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BitIter { block, base: bi * BLOCK_BITS }
-        })
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &block)| BitIter {
+                block,
+                base: bi * BLOCK_BITS,
+            })
     }
 
     #[inline]
@@ -256,6 +326,46 @@ mod tests {
         assert_eq!(with.iter().collect::<Vec<_>>(), vec![1, 3]);
         assert_eq!(without.iter().collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(with.count() + without.count(), a.count());
+    }
+
+    #[test]
+    fn split_into_reuses_scratch_and_matches_split_by() {
+        let a = TidSet::from_ids(130, [0, 1, 63, 64, 65, 129]);
+        let b = TidSet::from_ids(130, [1, 64, 100, 129]);
+        // Dirty scratch must be fully overwritten.
+        let mut with = TidSet::from_ids(130, [7, 8, 9]);
+        let mut without = TidSet::full(130);
+        a.split_into(&b, &mut with, &mut without);
+        let (ew, ewo) = a.split_by(&b);
+        assert_eq!(with, ew);
+        assert_eq!(without, ewo);
+    }
+
+    #[test]
+    fn count_split_matches_materialised_split() {
+        let a = TidSet::from_ids(200, (0..200).step_by(3));
+        let b = TidSet::from_ids(200, (0..200).step_by(5));
+        let (with, without) = a.split_by(&b);
+        assert_eq!(a.count_split(&b), (with.count(), without.count()));
+        assert_eq!(a.count_split(&b).0, a.intersection_count(&b));
+    }
+
+    #[test]
+    fn triple_intersection_count_matches_materialised() {
+        let a = TidSet::from_ids(300, (0..300).step_by(2));
+        let b = TidSet::from_ids(300, (0..300).step_by(3));
+        let c = TidSet::from_ids(300, (0..300).step_by(5));
+        let expected = a.intersection(&b).intersection(&c).count();
+        assert_eq!(a.triple_intersection_count(&b, &c), expected);
+        assert_eq!(expected, 10); // multiples of 30 in 0..300
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let src = TidSet::from_ids(70, [0, 42, 69]);
+        let mut dst = TidSet::full(70);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

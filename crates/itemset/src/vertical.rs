@@ -5,17 +5,55 @@
 //! contingency tables become a recursive tid-set split — no repeated
 //! database scans. This is the fast counting path; the horizontal scan in
 //! [`crate::counting`] is the paper-faithful one.
+//!
+//! Two allocation disciplines keep the recursion off the heap:
+//!
+//! * a **depth-indexed scratch arena** (two bitmaps per recursion depth,
+//!   reused across every table this index ever builds), so interior
+//!   recursion nodes write into preallocated slots instead of
+//!   materialising fresh bitmaps;
+//! * the **last two recursion levels never materialise at all** — the
+//!   four leaf cells of a set's final item pair `(a, b)` under a node
+//!   `L` follow by inclusion–exclusion from one fused
+//!   [`TidSet::triple_intersection_count`] pass (`|L ∩ a ∩ b|`) plus
+//!   `|L ∩ a|`, `|L ∩ b|`, and `|L|`.
+//!
+//! [`minterm_counts_batch`](VerticalIndex::minterm_counts_batch) adds
+//! Eclat-style prefix sharing on top: candidates are grouped into
+//! equivalence classes by their `(k-2)`-item prefix, the prefix's split
+//! tree is walked once per class, and at each of its leaves the
+//! class-shared quantities — the node total `|L|` and the per-item
+//! counts `|L ∩ a|` — are computed once, so each member's marginal cost
+//! is a single triple-intersection popcount pass per leaf.
+
+use std::collections::BTreeMap;
 
 use crate::database::TransactionDb;
 use crate::item::Item;
 use crate::itemset::Itemset;
 use crate::tidset::TidSet;
 
+/// One prefix-equivalence class of a level batch: the distinct suffix
+/// items that appear in any member's final `(a, b)` pair, and the
+/// members as `(result row, index of a, index of b)` into `items`.
+/// Indexing (instead of hashing) lets every leaf fill a flat per-item
+/// count buffer with one pass per distinct item.
+struct ClassPlan {
+    items: Vec<Item>,
+    members: Vec<(usize, u32, u32)>,
+}
+
 /// Per-item tid-sets for a transaction database.
 #[derive(Debug, Clone)]
 pub struct VerticalIndex {
     n_transactions: usize,
     tidsets: Vec<TidSet>,
+    /// Cached `TidSet::full(n)` — the root of every split recursion.
+    universe: TidSet,
+    /// Depth-indexed arena: slots `2d` / `2d+1` hold the with/without
+    /// bitmaps of recursion depth `d`. Grown on demand, reused across
+    /// tables.
+    scratch: Vec<TidSet>,
 }
 
 impl VerticalIndex {
@@ -28,7 +66,12 @@ impl VerticalIndex {
                 tidsets[item.index()].insert(tid);
             }
         }
-        VerticalIndex { n_transactions: n, tidsets }
+        VerticalIndex {
+            n_transactions: n,
+            tidsets,
+            universe: TidSet::full(n),
+            scratch: Vec::new(),
+        }
     }
 
     /// Number of transactions in the indexed database.
@@ -50,19 +93,27 @@ impl VerticalIndex {
     }
 
     /// Absolute support of an itemset via tid-set intersection.
+    ///
+    /// Sized to its input: the 0- and 1-item cases are pure lookups, the
+    /// 2-item case is an allocation-free [`TidSet::intersection_count`],
+    /// and larger sets fold into a single reused accumulator.
     pub fn support(&self, set: &Itemset) -> usize {
-        let mut items = set.iter();
-        let Some(first) = items.next() else {
-            return self.n_transactions;
-        };
-        let mut acc = self.tidsets[first.index()].clone();
-        for item in items {
-            acc.intersect_with(&self.tidsets[item.index()]);
-            if acc.is_empty() {
-                return 0;
+        let items = set.items();
+        match items {
+            [] => self.n_transactions,
+            [a] => self.tidsets[a.index()].count(),
+            [a, b] => self.tidsets[a.index()].intersection_count(&self.tidsets[b.index()]),
+            [a, rest @ ..] => {
+                let mut acc = self.tidsets[a.index()].clone();
+                for item in rest {
+                    acc.intersect_with(&self.tidsets[item.index()]);
+                    if acc.is_empty() {
+                        return 0;
+                    }
+                }
+                acc.count()
             }
         }
-        acc.count()
     }
 
     /// Counts all `2^k` minterms (contingency-table cells) of a `k`-itemset.
@@ -73,49 +124,216 @@ impl VerticalIndex {
     /// (other items are unconstrained). Index `2^k - 1` is "all present",
     /// index `0` is "none present".
     ///
-    /// Runs in `O(2^k · n/64)` via recursive tid-set splitting.
+    /// Runs in `O(2^k · n/64)` via recursive tid-set splitting. The only
+    /// heap allocation per call is the returned counts vector: interior
+    /// nodes use the scratch arena and the final item pair is finished
+    /// with fused popcount kernels, never materialising a bitmap.
     ///
     /// # Panics
     ///
     /// Panics if `set.len() > 20` (a `2^k` table would be astronomically
     /// large; the miners never get near this).
-    pub fn minterm_counts(&self, set: &Itemset) -> Vec<u64> {
+    pub fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
         let k = set.len();
         assert!(k <= 20, "refusing to build a 2^{k}-cell contingency table");
         let mut counts = vec![0u64; 1usize << k];
-        let all = TidSet::full(self.n_transactions);
-        self.split_recurse(set.items(), 0, all, &mut counts);
+        match set.items() {
+            [] => counts[0] = self.n_transactions as u64,
+            [a] => {
+                let with = self.tidsets[a.index()].count() as u64;
+                counts[1] = with;
+                counts[0] = self.n_transactions as u64 - with;
+            }
+            [prefix @ .., a, b] => {
+                self.ensure_scratch(prefix.len());
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let class = ClassPlan {
+                    items: vec![*a, *b],
+                    members: vec![(0usize, 0u32, 1u32)],
+                };
+                let mut item_counts = [0usize; 2];
+                let mut results = [counts];
+                self.prefix_recurse(
+                    &self.universe,
+                    prefix,
+                    0,
+                    0,
+                    &class,
+                    &mut item_counts,
+                    &mut scratch,
+                    &mut results,
+                );
+                self.scratch = scratch;
+                let [c] = results;
+                counts = c;
+            }
+        }
         counts
     }
 
-    fn split_recurse(&self, items: &[Item], mask: usize, current: TidSet, counts: &mut [u64]) {
-        match items.split_first() {
-            None => counts[mask] = current.count() as u64,
+    /// Batch minterm counting with Eclat-style prefix sharing.
+    ///
+    /// Candidates are grouped into equivalence classes by their
+    /// `(k-2)`-item prefix (the class key of the sorted item list minus
+    /// its last two elements). Each class walks the prefix's split tree
+    /// **once**; at every one of its `2^(k-2)` leaves the node total and
+    /// the per-item intersection counts are computed once for the whole
+    /// class, so a member's marginal cost is a single
+    /// [`TidSet::triple_intersection_count`] pass per leaf — its four
+    /// cells follow by inclusion–exclusion. A level of `m` same-prefix
+    /// candidates thus costs one tree walk plus `m` fused popcount
+    /// passes per leaf instead of `m` full tree walks.
+    ///
+    /// Results are returned in input order; sets of mixed sizes are
+    /// allowed (each size/prefix combination forms its own class).
+    pub fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        let mut results: Vec<Vec<u64>> = sets
+            .iter()
+            .map(|s| {
+                assert!(
+                    s.len() <= 20,
+                    "refusing to build a 2^{}-cell table",
+                    s.len()
+                );
+                vec![0u64; 1usize << s.len()]
+            })
+            .collect();
+        // Equivalence classes: prefix -> (candidate index, last two items).
+        let mut classes: BTreeMap<&[Item], Vec<(usize, Item, Item)>> = BTreeMap::new();
+        for (i, set) in sets.iter().enumerate() {
+            match set.items() {
+                [] => results[i][0] = self.n_transactions as u64,
+                [a] => {
+                    let with = self.tidsets[a.index()].count() as u64;
+                    results[i][1] = with;
+                    results[i][0] = self.n_transactions as u64 - with;
+                }
+                [prefix @ .., a, b] => classes.entry(prefix).or_default().push((i, *a, *b)),
+            }
+        }
+        let max_prefix = classes.keys().map(|p| p.len()).max().unwrap_or(0);
+        self.ensure_scratch(max_prefix);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // One flat per-item count buffer, sized once for the widest class
+        // and reused by every leaf of every class.
+        let mut item_counts: Vec<usize> = Vec::new();
+        for (prefix, raw) in &classes {
+            let mut items: Vec<Item> = raw.iter().flat_map(|&(_, a, b)| [a, b]).collect();
+            items.sort_unstable();
+            items.dedup();
+            let pos = |item: Item| items.binary_search(&item).unwrap() as u32;
+            let members = raw.iter().map(|&(ci, a, b)| (ci, pos(a), pos(b))).collect();
+            let class = ClassPlan { items, members };
+            if item_counts.len() < class.items.len() {
+                item_counts.resize(class.items.len(), 0);
+            }
+            self.prefix_recurse(
+                &self.universe,
+                prefix,
+                0,
+                0,
+                &class,
+                &mut item_counts,
+                &mut scratch,
+                &mut results,
+            );
+        }
+        self.scratch = scratch;
+        results
+    }
+
+    /// Walks the split tree of `prefix`, then finishes every member
+    /// (candidate index, suffix item pair) at each leaf.
+    ///
+    /// `scratch` holds the arena slots for depths `>= depth`; interior
+    /// nodes split into the first two slots and recurse with the rest, so
+    /// a node's bitmaps stay live (and untouched) while its subtree runs.
+    #[allow(clippy::too_many_arguments)]
+    fn prefix_recurse(
+        &self,
+        current: &TidSet,
+        prefix: &[Item],
+        depth: usize,
+        mask: usize,
+        class: &ClassPlan,
+        item_counts: &mut [usize],
+        scratch: &mut [TidSet],
+        results: &mut [Vec<u64>],
+    ) {
+        match prefix.split_first() {
+            None => {
+                // Leaf of the shared prefix tree: no bitmap ever
+                // materialises here. The node total and the per-item
+                // counts are class-shared (one popcount pass per distinct
+                // suffix item, written into the flat buffer); each member
+                // then pays a single fused triple-intersection pass, and
+                // its remaining three cells follow by inclusion–exclusion.
+                let node_total = current.count();
+                if node_total == 0 {
+                    return; // the results rows are already zeroed
+                }
+                let a_bit = 1usize << depth;
+                let b_bit = 1usize << (depth + 1);
+                for (slot, item) in item_counts.iter_mut().zip(&class.items) {
+                    *slot = current.intersection_count(&self.tidsets[item.index()]);
+                }
+                for &(ci, ap, bp) in &class.members {
+                    let (a, b) = (class.items[ap as usize], class.items[bp as usize]);
+                    let n_a = item_counts[ap as usize];
+                    let n_b = item_counts[bp as usize];
+                    let n_ab = current.triple_intersection_count(
+                        &self.tidsets[a.index()],
+                        &self.tidsets[b.index()],
+                    );
+                    results[ci][mask | a_bit | b_bit] = n_ab as u64;
+                    results[ci][mask | a_bit] = (n_a - n_ab) as u64;
+                    results[ci][mask | b_bit] = (n_b - n_ab) as u64;
+                    results[ci][mask] = (node_total + n_ab - n_a - n_b) as u64;
+                }
+            }
             Some((&first, rest)) => {
                 // Prune: an empty cell tid-set stays empty down the whole
-                // subtree, and the counts vector is already zeroed.
+                // subtree, and the results vectors are already zeroed.
                 if current.is_empty() {
                     return;
                 }
-                let (with, without) = current.split_by(&self.tidsets[first.index()]);
+                let (mine, deeper) = scratch.split_at_mut(2);
+                let (with, without) = mine.split_at_mut(1);
+                current.split_into(&self.tidsets[first.index()], &mut with[0], &mut without[0]);
                 // Bit j of the mask corresponds to items[j] of the original
-                // set; we process items left to right, so the bit for
+                // set; items are consumed left to right, so the bit for
                 // `first` is the current depth.
-                let depth_bit = 1usize << (mask_depth(counts.len(), rest.len()) - 1);
-                self.split_recurse(rest, mask | depth_bit, with, counts);
-                self.split_recurse(rest, mask, without, counts);
+                let bit = 1usize << depth;
+                self.prefix_recurse(
+                    &with[0],
+                    rest,
+                    depth + 1,
+                    mask | bit,
+                    class,
+                    item_counts,
+                    deeper,
+                    results,
+                );
+                self.prefix_recurse(
+                    &without[0],
+                    rest,
+                    depth + 1,
+                    mask,
+                    class,
+                    item_counts,
+                    deeper,
+                    results,
+                );
             }
         }
     }
-}
 
-/// Given the total table size `2^k` and the number of items still to be
-/// processed, returns the 1-based bit position of the item being processed
-/// now (items are consumed left to right, bit 0 = first item).
-#[inline]
-fn mask_depth(table_len: usize, remaining: usize) -> usize {
-    let k = table_len.trailing_zeros() as usize;
-    k - remaining
+    /// Grows the arena to cover `depths` recursion levels (two slots each).
+    fn ensure_scratch(&mut self, depths: usize) {
+        while self.scratch.len() < 2 * depths {
+            self.scratch.push(TidSet::new(self.n_transactions));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,13 +355,43 @@ mod tests {
             Itemset::from_ids([1]),
             Itemset::from_ids([0, 1]),
         ] {
-            assert_eq!(v.support(&set), d.support(&set), "support mismatch for {set}");
+            assert_eq!(
+                v.support(&set),
+                d.support(&set),
+                "support mismatch for {set}"
+            );
+        }
+    }
+
+    #[test]
+    fn support_of_larger_sets_uses_accumulator_path() {
+        let d = TransactionDb::from_ids(
+            4,
+            vec![
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![1, 2, 3],
+                vec![],
+            ],
+        );
+        let v = VerticalIndex::build(&d);
+        for set in [
+            Itemset::from_ids([0, 1, 2]),
+            Itemset::from_ids([0, 1, 2, 3]),
+            Itemset::from_ids([1, 2, 3]),
+        ] {
+            assert_eq!(
+                v.support(&set),
+                d.support(&set),
+                "support mismatch for {set}"
+            );
         }
     }
 
     #[test]
     fn pair_minterms_partition_the_database() {
-        let v = VerticalIndex::build(&db());
+        let mut v = VerticalIndex::build(&db());
         let counts = v.minterm_counts(&Itemset::from_ids([0, 1]));
         // bit0 = item 0 present, bit1 = item 1 present.
         assert_eq!(counts[0b00], 1); // {}
@@ -155,14 +403,14 @@ mod tests {
 
     #[test]
     fn singleton_minterms() {
-        let v = VerticalIndex::build(&db());
+        let mut v = VerticalIndex::build(&db());
         let counts = v.minterm_counts(&Itemset::from_ids([0]));
         assert_eq!(counts, vec![2, 3]); // absent, present
     }
 
     #[test]
     fn empty_set_minterms_is_total_count() {
-        let v = VerticalIndex::build(&db());
+        let mut v = VerticalIndex::build(&db());
         assert_eq!(v.minterm_counts(&Itemset::empty()), vec![5]);
     }
 
@@ -170,9 +418,16 @@ mod tests {
     fn triple_minterms_on_richer_db() {
         let d = TransactionDb::from_ids(
             3,
-            vec![vec![0, 1, 2], vec![0, 1], vec![0, 2], vec![1, 2], vec![2], vec![]],
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![2],
+                vec![],
+            ],
         );
-        let v = VerticalIndex::build(&d);
+        let mut v = VerticalIndex::build(&d);
         let set = Itemset::from_ids([0, 1, 2]);
         let counts = v.minterm_counts(&set);
         assert_eq!(counts.iter().sum::<u64>(), 6);
@@ -189,9 +444,72 @@ mod tests {
     #[test]
     fn all_present_cell_equals_support() {
         let d = db();
-        let v = VerticalIndex::build(&d);
+        let mut v = VerticalIndex::build(&d);
         let set = Itemset::from_ids([0, 1]);
         let counts = v.minterm_counts(&set);
         assert_eq!(counts[counts.len() - 1] as usize, d.support(&set));
+    }
+
+    #[test]
+    fn scratch_arena_is_reused_across_tables() {
+        let d = TransactionDb::from_ids(
+            4,
+            vec![
+                vec![0, 1, 2, 3],
+                vec![0, 2],
+                vec![1, 3],
+                vec![0, 1, 2],
+                vec![3],
+            ],
+        );
+        let mut v = VerticalIndex::build(&d);
+        let first = v.minterm_counts(&Itemset::from_ids([0, 1, 2, 3]));
+        let arena_after_first = v.scratch.len();
+        assert_eq!(arena_after_first, 2 * 2, "k=4 splits two prefix depths");
+        // Same and smaller tables must not grow the arena, and a dirty
+        // arena must not corrupt later counts.
+        let again = v.minterm_counts(&Itemset::from_ids([0, 1, 2, 3]));
+        let smaller = v.minterm_counts(&Itemset::from_ids([1, 3]));
+        assert_eq!(v.scratch.len(), arena_after_first);
+        assert_eq!(first, again);
+        assert_eq!(smaller.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn batch_matches_single_per_candidate() {
+        let d = TransactionDb::from_ids(
+            5,
+            vec![
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 2],
+                vec![0, 3],
+                vec![1, 2, 4],
+                vec![2, 3, 4],
+                vec![],
+                vec![0, 1, 4],
+            ],
+        );
+        let mut v = VerticalIndex::build(&d);
+        // A level with shared prefixes ({0,1},{0,2} share [0]; the triples
+        // share [0,1]), a mixed size, and the empty set.
+        let sets = vec![
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 2]),
+            Itemset::from_ids([0, 1, 3]),
+            Itemset::from_ids([0, 1, 4]),
+            Itemset::from_ids([2]),
+            Itemset::empty(),
+        ];
+        let batch = v.minterm_counts_batch(&sets);
+        assert_eq!(batch.len(), sets.len());
+        for (set, got) in sets.iter().zip(&batch) {
+            assert_eq!(got, &v.minterm_counts(set), "batch diverged for {set}");
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_slice_is_empty() {
+        let mut v = VerticalIndex::build(&db());
+        assert!(v.minterm_counts_batch(&[]).is_empty());
     }
 }

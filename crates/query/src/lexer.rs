@@ -70,7 +70,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character '{}' at offset {}", self.ch, self.offset)
+        write!(
+            f,
+            "unexpected character '{}' at offset {}",
+            self.ch, self.offset
+        )
     }
 }
 
@@ -90,35 +94,59 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '{' => {
-                out.push(Spanned { token: Token::LBrace, offset: i });
+                out.push(Spanned {
+                    token: Token::LBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { token: Token::RBrace, offset: i });
+                out.push(Spanned {
+                    token: Token::RBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '&' => {
-                out.push(Spanned { token: Token::Amp, offset: i });
+                out.push(Spanned {
+                    token: Token::Amp,
+                    offset: i,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Spanned { token: Token::Pipe, offset: i });
+                out.push(Spanned {
+                    token: Token::Pipe,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: i });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '<' | '>' => {
@@ -136,16 +164,21 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                     // A '.' not followed by a digit terminates the number
                     // (it could be an attribute dot — numbers in queries
                     // never precede dots in practice, but be precise).
-                    if bytes[i] == b'.'
-                        && (i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit())
+                    if bytes[i] == b'.' && (i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit())
                     {
                         break;
                     }
                     i += 1;
                 }
                 let text = &input[start..i];
-                let value: f64 = text.parse().map_err(|_| LexError { ch: c, offset: start })?;
-                out.push(Spanned { token: Token::Number(value), offset: start });
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    ch: c,
+                    offset: start,
+                })?;
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -154,9 +187,17 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 {
                     i += 1;
                 }
-                out.push(Spanned { token: Token::Ident(input[start..i].to_owned()), offset: start });
+                out.push(Spanned {
+                    token: Token::Ident(input[start..i].to_owned()),
+                    offset: start,
+                });
             }
-            other => return Err(LexError { ch: other, offset: i }),
+            other => {
+                return Err(LexError {
+                    ch: other,
+                    offset: i,
+                })
+            }
         }
     }
     Ok(out)

@@ -86,7 +86,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { found, expected, offset } => {
+            ParseError::Unexpected {
+                found,
+                expected,
+                offset,
+            } => {
                 write!(f, "expected {expected}, found {found} at offset {offset}")
             }
             ParseError::UnexpectedEnd { expected } => {
@@ -100,7 +104,10 @@ impl fmt::Display for ParseError {
                 write!(f, "label '{label}' does not occur in attribute '{attr}'")
             }
             ParseError::ItemIdExpected { found } => {
-                write!(f, "set constraints on S take numeric item ids, found '{found}'")
+                write!(
+                    f,
+                    "set constraints on S take numeric item ids, found '{found}'"
+                )
             }
             ParseError::ItemOutOfUniverse { item, n_items } => {
                 write!(f, "item {item} outside universe 0..{n_items}")
@@ -128,7 +135,11 @@ impl From<LexError> for ParseError {
 /// Returns [`ParseError`] on malformed input or unresolvable names.
 pub fn parse_constraints(input: &str, attrs: &AttributeTable) -> Result<ConstraintSet, ParseError> {
     let tokens = lex(input)?;
-    let mut parser = Parser { tokens, pos: 0, attrs };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        attrs,
+    };
     parser.query()
 }
 
@@ -202,7 +213,11 @@ impl Parser<'_> {
         if self.attrs.categorical(&attr).is_none() {
             return Err(ParseError::UnknownCategoricalAttr(attr));
         }
-        Ok(Constraint::CountDistinct { attr, cmp, value: value as u64 })
+        Ok(Constraint::CountDistinct {
+            attr,
+            cmp,
+            value: value as u64,
+        })
     }
 
     fn set_clause(&mut self) -> Result<Constraint, ParseError> {
@@ -251,9 +266,18 @@ impl Parser<'_> {
                 }
             }
             return Ok(match kind {
-                SetKind::Subset => Constraint::ItemSubset { items, negated: negated_subset },
-                SetKind::Disjoint => Constraint::ItemDisjoint { items, negated: false },
-                SetKind::Intersects => Constraint::ItemDisjoint { items, negated: true },
+                SetKind::Subset => Constraint::ItemSubset {
+                    items,
+                    negated: negated_subset,
+                },
+                SetKind::Disjoint => Constraint::ItemDisjoint {
+                    items,
+                    negated: false,
+                },
+                SetKind::Intersects => Constraint::ItemDisjoint {
+                    items,
+                    negated: true,
+                },
             });
         }
         let col = self
@@ -266,15 +290,28 @@ impl Parser<'_> {
                 SetElem::Label(l) => l,
                 SetElem::Id(id) => id.to_string(),
             };
-            let id = col
-                .id_of(&label)
-                .ok_or_else(|| ParseError::UnknownLabel { label, attr: attr.clone() })?;
+            let id = col.id_of(&label).ok_or_else(|| ParseError::UnknownLabel {
+                label,
+                attr: attr.clone(),
+            })?;
             categories.insert(id);
         }
         Ok(match kind {
-            SetKind::Subset => Constraint::ConstSubset { attr, categories, negated: negated_subset },
-            SetKind::Disjoint => Constraint::Disjoint { attr, categories, negated: false },
-            SetKind::Intersects => Constraint::Disjoint { attr, categories, negated: true },
+            SetKind::Subset => Constraint::ConstSubset {
+                attr,
+                categories,
+                negated: negated_subset,
+            },
+            SetKind::Disjoint => Constraint::Disjoint {
+                attr,
+                categories,
+                negated: false,
+            },
+            SetKind::Intersects => Constraint::Disjoint {
+                attr,
+                categories,
+                negated: true,
+            },
         })
     }
 
@@ -325,9 +362,11 @@ impl Parser<'_> {
     fn number(&mut self) -> Result<f64, ParseError> {
         match self.next_token("a number")? {
             (Token::Number(n), _) => Ok(n),
-            (t, offset) => {
-                Err(ParseError::Unexpected { found: t.to_string(), expected: "a number", offset })
-            }
+            (t, offset) => Err(ParseError::Unexpected {
+                found: t.to_string(),
+                expected: "a number",
+                offset,
+            }),
         }
     }
 
@@ -338,18 +377,22 @@ impl Parser<'_> {
     fn expect(&mut self, want: Token, expected: &'static str) -> Result<(), ParseError> {
         match self.next_token(expected)? {
             (t, _) if t == want => Ok(()),
-            (t, offset) => {
-                Err(ParseError::Unexpected { found: t.to_string(), expected, offset })
-            }
+            (t, offset) => Err(ParseError::Unexpected {
+                found: t.to_string(),
+                expected,
+                offset,
+            }),
         }
     }
 
     fn expect_ident(&mut self, expected: &'static str) -> Result<String, ParseError> {
         match self.next_token(expected)? {
             (Token::Ident(s), _) => Ok(s),
-            (t, offset) => {
-                Err(ParseError::Unexpected { found: t.to_string(), expected, offset })
-            }
+            (t, offset) => Err(ParseError::Unexpected {
+                found: t.to_string(),
+                expected,
+                offset,
+            }),
         }
     }
 
@@ -413,7 +456,10 @@ mod tests {
     fn attrs() -> AttributeTable {
         let mut t = AttributeTable::new(6);
         t.add_numeric("price", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        t.add_categorical("type", &["soda", "soda", "snacks", "dairy", "dairy", "beer"]);
+        t.add_categorical(
+            "type",
+            &["soda", "soda", "snacks", "dairy", "dairy", "beer"],
+        );
         t
     }
 
@@ -450,7 +496,10 @@ mod tests {
         let a = attrs();
         let cs = parse_constraints("|S.type| <= 1 & {beer} not subset type", &a).unwrap();
         assert_eq!(cs.len(), 2);
-        assert!(matches!(cs.constraints()[0], Constraint::CountDistinct { .. }));
+        assert!(matches!(
+            cs.constraints()[0],
+            Constraint::CountDistinct { .. }
+        ));
         assert!(matches!(
             cs.constraints()[1],
             Constraint::ConstSubset { negated: true, .. }
@@ -461,7 +510,10 @@ mod tests {
     fn parses_intersects_and_avg() {
         let a = attrs();
         let cs = parse_constraints("{dairy} intersects type & avg(price) <= 3.5", &a).unwrap();
-        assert!(matches!(cs.constraints()[0], Constraint::Disjoint { negated: true, .. }));
+        assert!(matches!(
+            cs.constraints()[0],
+            Constraint::Disjoint { negated: true, .. }
+        ));
         assert!(matches!(cs.constraints()[1], Constraint::Avg { .. }));
         assert!(cs.has_neither_monotone());
     }
@@ -484,7 +536,10 @@ mod tests {
         );
         assert_eq!(
             parse_constraints("{fish} subset type", &a),
-            Err(ParseError::UnknownLabel { label: "fish".into(), attr: "type".into() })
+            Err(ParseError::UnknownLabel {
+                label: "fish".into(),
+                attr: "type".into()
+            })
         );
         assert_eq!(
             parse_constraints("{soda} subset brand", &a),
@@ -545,11 +600,16 @@ mod tests {
         let a = attrs();
         assert_eq!(
             parse_constraints("{soda} subset S", &a),
-            Err(ParseError::ItemIdExpected { found: "soda".into() })
+            Err(ParseError::ItemIdExpected {
+                found: "soda".into()
+            })
         );
         assert_eq!(
             parse_constraints("{99} subset S", &a),
-            Err(ParseError::ItemOutOfUniverse { item: 99, n_items: 6 })
+            Err(ParseError::ItemOutOfUniverse {
+                item: 99,
+                n_items: 6
+            })
         );
         assert!(parse_constraints("{1.5} subset S", &a).is_err());
     }

@@ -55,7 +55,10 @@ fn cmp_str(cmp: Cmp) -> &'static str {
 
 fn check_label(label: &str) -> Result<(), RenderError> {
     let ok = !label.is_empty()
-        && label.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && label
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     if ok {
         Ok(())
@@ -73,7 +76,12 @@ fn check_label(label: &str) -> Result<(), RenderError> {
 pub fn render_constraint(c: &Constraint, attrs: &AttributeTable) -> Result<String, RenderError> {
     let mut out = String::new();
     match c {
-        Constraint::Agg { agg, attr, cmp, value } => {
+        Constraint::Agg {
+            agg,
+            attr,
+            cmp,
+            value,
+        } => {
             let _ = write!(out, "{agg}(S.{attr}) {} {value}", cmp_str(*cmp));
         }
         Constraint::Avg { attr, cmp, value } => {
@@ -82,15 +90,26 @@ pub fn render_constraint(c: &Constraint, attrs: &AttributeTable) -> Result<Strin
         Constraint::CountDistinct { attr, cmp, value } => {
             let _ = write!(out, "|S.{attr}| {} {value}", cmp_str(*cmp));
         }
-        Constraint::ConstSubset { attr, categories, negated }
-        | Constraint::Disjoint { attr, categories, negated } => {
+        Constraint::ConstSubset {
+            attr,
+            categories,
+            negated,
+        }
+        | Constraint::Disjoint {
+            attr,
+            categories,
+            negated,
+        } => {
             let col = attrs
                 .categorical(attr)
                 .ok_or_else(|| RenderError::UnknownCategoricalAttr(attr.clone()))?;
             out.push('{');
             for (i, &id) in categories.iter().enumerate() {
                 if id as usize >= col.n_categories() {
-                    return Err(RenderError::UnknownCategoryId { id, attr: attr.clone() });
+                    return Err(RenderError::UnknownCategoryId {
+                        id,
+                        attr: attr.clone(),
+                    });
                 }
                 let label = col.label(id);
                 check_label(label)?;
@@ -177,29 +196,63 @@ mod tests {
         roundtrip(Constraint::min_ge("price", 2.5));
         roundtrip(Constraint::sum_ge("price", 10.0));
         roundtrip(Constraint::agg(AggFn::Count, "price", Cmp::Le, 3.0));
-        roundtrip(Constraint::Avg { attr: "price".into(), cmp: Cmp::Ge, value: 3.5 });
+        roundtrip(Constraint::Avg {
+            attr: "price".into(),
+            cmp: Cmp::Ge,
+            value: 3.5,
+        });
     }
 
     #[test]
     fn categorical_constraints_roundtrip() {
         let a = attrs();
         let col = a.categorical("type").unwrap();
-        let cats: BTreeSet<u32> =
-            ["soda", "beer"].iter().map(|l| col.id_of(l).unwrap()).collect();
-        roundtrip(Constraint::ConstSubset { attr: "type".into(), categories: cats.clone(), negated: false });
-        roundtrip(Constraint::Disjoint { attr: "type".into(), categories: cats.clone(), negated: true });
+        let cats: BTreeSet<u32> = ["soda", "beer"]
+            .iter()
+            .map(|l| col.id_of(l).unwrap())
+            .collect();
+        roundtrip(Constraint::ConstSubset {
+            attr: "type".into(),
+            categories: cats.clone(),
+            negated: false,
+        });
+        roundtrip(Constraint::Disjoint {
+            attr: "type".into(),
+            categories: cats.clone(),
+            negated: true,
+        });
         let single: BTreeSet<u32> = [col.id_of("snack").unwrap()].into_iter().collect();
-        roundtrip(Constraint::ConstSubset { attr: "type".into(), categories: single, negated: true });
-        roundtrip(Constraint::CountDistinct { attr: "type".into(), cmp: Cmp::Le, value: 1 });
+        roundtrip(Constraint::ConstSubset {
+            attr: "type".into(),
+            categories: single,
+            negated: true,
+        });
+        roundtrip(Constraint::CountDistinct {
+            attr: "type".into(),
+            cmp: Cmp::Le,
+            value: 1,
+        });
     }
 
     #[test]
     fn item_constraints_roundtrip() {
         let items: BTreeSet<u32> = [0u32, 3].into_iter().collect();
-        roundtrip(Constraint::ItemSubset { items: items.clone(), negated: false });
-        roundtrip(Constraint::ItemSubset { items: items.clone(), negated: true });
-        roundtrip(Constraint::ItemDisjoint { items: items.clone(), negated: false });
-        roundtrip(Constraint::ItemDisjoint { items, negated: true });
+        roundtrip(Constraint::ItemSubset {
+            items: items.clone(),
+            negated: false,
+        });
+        roundtrip(Constraint::ItemSubset {
+            items: items.clone(),
+            negated: true,
+        });
+        roundtrip(Constraint::ItemDisjoint {
+            items: items.clone(),
+            negated: false,
+        });
+        roundtrip(Constraint::ItemDisjoint {
+            items,
+            negated: true,
+        });
     }
 
     #[test]
@@ -235,7 +288,10 @@ mod tests {
         };
         assert_eq!(
             render_constraint(&bad_id, &a),
-            Err(RenderError::UnknownCategoryId { id: 99, attr: "type".into() })
+            Err(RenderError::UnknownCategoryId {
+                id: 99,
+                attr: "type".into()
+            })
         );
         // A label with a space cannot be re-parsed.
         let mut t = AttributeTable::new(1);

@@ -16,7 +16,10 @@ use crate::gamma::{gamma_p, gamma_q};
 /// Panics if `df == 0` or `x < 0`.
 pub fn chi2_cdf(x: f64, df: u32) -> f64 {
     assert!(df > 0, "chi-squared needs at least 1 degree of freedom");
-    assert!(x >= 0.0, "chi-squared statistic must be non-negative, got {x}");
+    assert!(
+        x >= 0.0,
+        "chi-squared statistic must be non-negative, got {x}"
+    );
     gamma_p(df as f64 / 2.0, x / 2.0)
 }
 
@@ -25,7 +28,10 @@ pub fn chi2_cdf(x: f64, df: u32) -> f64 {
 /// relative precision.
 pub fn chi2_sf(x: f64, df: u32) -> f64 {
     assert!(df > 0, "chi-squared needs at least 1 degree of freedom");
-    assert!(x >= 0.0, "chi-squared statistic must be non-negative, got {x}");
+    assert!(
+        x >= 0.0,
+        "chi-squared statistic must be non-negative, got {x}"
+    );
     gamma_q(df as f64 / 2.0, x / 2.0)
 }
 
@@ -43,7 +49,10 @@ pub fn chi2_sf(x: f64, df: u32) -> f64 {
 /// Panics if `df == 0` or `p ∉ [0, 1)`.
 pub fn chi2_quantile(p: f64, df: u32) -> f64 {
     assert!(df > 0, "chi-squared needs at least 1 degree of freedom");
-    assert!((0.0..1.0).contains(&p), "quantile probability must be in [0, 1), got {p}");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "quantile probability must be in [0, 1), got {p}"
+    );
     if p == 0.0 {
         return 0.0;
     }

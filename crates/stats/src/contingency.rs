@@ -206,10 +206,7 @@ mod tests {
         // bit 0 = coffee present, bit 1 = doughnuts present.
         // O(coffee, doughnuts) = 30, O(¬coffee, doughnuts) = 20,
         // O(coffee, ¬doughnuts) = 39, O(¬coffee, ¬doughnuts) = 11.
-        ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![11, 39, 20, 30],
-        )
+        ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![11, 39, 20, 30])
     }
 
     #[test]

@@ -147,7 +147,11 @@ mod tests {
         close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
         close(ln_gamma(10.0), 362_880.0_f64.ln(), 1e-10);
         // Γ(1.5) = √π / 2
-        close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+        close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
     }
 
     #[test]

@@ -1,25 +1,43 @@
 use ccs::prelude::*;
 fn main() {
     // quick deterministic sweep mirroring the fuzz shapes
-    let mut deep = 0; let mut nonempty = 0; let mut total = 0;
-    for p in 0..4u32 { for every in 2..5u32 { for sum_lo in [6.0, 10.0, 14.0, 18.0] {
-        let n_items = 7u32;
-        let mut txns = Vec::new();
-        for i in 0..50u32 {
-            let mut t: Vec<u32> = vec![(i % 7), ((i*3) % 7)];
-            if i % every == 0 { t.extend([p, p+1, p+2, (p+3) % n_items]); }
-            txns.push(t);
+    let mut deep = 0;
+    let mut nonempty = 0;
+    let mut total = 0;
+    for p in 0..4u32 {
+        for every in 2..5u32 {
+            for sum_lo in [6.0, 10.0, 14.0, 18.0] {
+                let n_items = 7u32;
+                let mut txns = Vec::new();
+                for i in 0..50u32 {
+                    let mut t: Vec<u32> = vec![(i % 7), ((i * 3) % 7)];
+                    if i % every == 0 {
+                        t.extend([p, p + 1, p + 2, (p + 3) % n_items]);
+                    }
+                    txns.push(t);
+                }
+                let db = TransactionDb::from_ids(n_items, txns);
+                let attrs = AttributeTable::with_identity_prices(n_items);
+                let q = CorrelationQuery {
+                    params: MiningParams {
+                        confidence: 0.9,
+                        support_fraction: 0.1,
+                        ct_fraction: 0.25,
+                        min_item_support: 0.0,
+                        max_level: 6,
+                    },
+                    constraints: ConstraintSet::new().and(Constraint::sum_ge("price", sum_lo)),
+                };
+                let r = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap();
+                total += 1;
+                if !r.answers.is_empty() {
+                    nonempty += 1;
+                }
+                if r.answers.iter().any(|a| a.len() >= 3) {
+                    deep += 1;
+                }
+            }
         }
-        let db = TransactionDb::from_ids(n_items, txns);
-        let attrs = AttributeTable::with_identity_prices(n_items);
-        let q = CorrelationQuery {
-            params: MiningParams { confidence: 0.9, support_fraction: 0.1, ct_fraction: 0.25, min_item_support: 0.0, max_level: 6 },
-            constraints: ConstraintSet::new().and(Constraint::sum_ge("price", sum_lo)),
-        };
-        let r = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap();
-        total += 1;
-        if !r.answers.is_empty() { nonempty += 1; }
-        if r.answers.iter().any(|a| a.len() >= 3) { deep += 1; }
-    }}}
+    }
     println!("total={total} nonempty={nonempty} deep(>=3)={deep}");
 }

@@ -32,10 +32,17 @@ fn main() {
             // Collider: umbrella ⇐ promo OR rain (noisy).
             let umbrella = (promo || rain) && rng.gen_bool(0.9);
             // Chain: queue ⇐ umbrella (noisy) — so rain ⊥ queue | umbrella.
-            let queue = if umbrella { rng.gen_bool(0.8) } else { rng.gen_bool(0.1) };
+            let queue = if umbrella {
+                rng.gen_bool(0.8)
+            } else {
+                rng.gen_bool(0.1)
+            };
             let magazine = rng.gen_bool(0.3);
             let mut t = Vec::new();
-            for (id, present) in [promo, rain, umbrella, queue, magazine].into_iter().enumerate() {
+            for (id, present) in [promo, rain, umbrella, queue, magazine]
+                .into_iter()
+                .enumerate()
+            {
                 if present {
                     t.push(id as u32);
                 }
@@ -62,11 +69,25 @@ fn main() {
     println!("causal findings (unconstrained):");
     for f in &out.findings {
         match f {
-            CausalFinding::Collider { cause_1, cause_2, effect } => {
-                println!("  {} -> {} <- {}", pretty(*cause_1), pretty(*effect), pretty(*cause_2));
+            CausalFinding::Collider {
+                cause_1,
+                cause_2,
+                effect,
+            } => {
+                println!(
+                    "  {} -> {} <- {}",
+                    pretty(*cause_1),
+                    pretty(*effect),
+                    pretty(*cause_2)
+                );
             }
             CausalFinding::Mediator { a, mediator, c } => {
-                println!("  {} - [{}] - {}  (mediated)", pretty(*a), pretty(*mediator), pretty(*c));
+                println!(
+                    "  {} - [{}] - {}  (mediated)",
+                    pretty(*a),
+                    pretty(*mediator),
+                    pretty(*c)
+                );
             }
         }
     }

@@ -29,9 +29,15 @@ fn main() {
     let constraints = ConstraintSet::new()
         .and(Constraint::max_le("price", 20.0))
         .and(Constraint::sum_le("price", 45.0));
-    let query = CorrelationQuery { params: MiningParams::paper(), constraints };
+    let query = CorrelationQuery {
+        params: MiningParams::paper(),
+        constraints,
+    };
 
-    println!("query: {{ S | CT-supported & correlated & {} }}\n", query.constraints);
+    println!(
+        "query: {{ S | CT-supported & correlated & {} }}\n",
+        query.constraints
+    );
 
     // Compare the naive and constraint-pushing miners: same answers,
     // very different work.

@@ -7,8 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ccs::prelude::*;
 use ccs::itemset::HorizontalCounter;
+use ccs::prelude::*;
 
 fn main() {
     // 1. Synthetic market-basket data: the paper's "method 2" generator
@@ -16,7 +16,11 @@ fn main() {
     //    them.
     let params = RuleParams::small(3_000, 40, 7);
     let data = generate_rules(&params);
-    println!("database: {} baskets over {} items", data.db.len(), data.db.n_items());
+    println!(
+        "database: {} baskets over {} items",
+        data.db.len(),
+        data.db.n_items()
+    );
     println!("planted rules:");
     for rule in &data.rules {
         println!("  {} (support {:.2})", rule.items, rule.support);
@@ -29,7 +33,10 @@ fn main() {
     //    CT-supported, correlated, and with every item priced ≤ $30.
     let constraints = parse_constraints("correlated & ct_supported & max(S.price) <= 30", &attrs)
         .expect("well-formed query");
-    let query = CorrelationQuery { params: MiningParams::paper(), constraints };
+    let query = CorrelationQuery {
+        params: MiningParams::paper(),
+        constraints,
+    };
 
     // 4. Mine VALID_MIN(Q) with the constraint-pushing algorithm.
     let result = mine(&data.db, &attrs, &query, Algorithm::BmsPlusPlus).expect("valid query");
@@ -56,7 +63,10 @@ fn main() {
             let pattern: String = (0..first.len())
                 .map(|j| if cell & (1 << j) != 0 { '1' } else { '0' })
                 .collect();
-            println!("  cells[{pattern}] = {count} (expected {:.1})", table.expected(cell));
+            println!(
+                "  cells[{pattern}] = {count} (expected {:.1})",
+                table.expected(cell)
+            );
         }
         println!(
             "  chi² = {:.2}, p-value = {:.4}, correlated at 90%: {}",

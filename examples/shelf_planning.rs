@@ -32,11 +32,17 @@ fn main() {
     // always has at least one type).
     let constraints =
         parse_constraints("correlated & ct_supported & |S.type| <= 1", &attrs).unwrap();
-    let query = CorrelationQuery { params: MiningParams::paper(), constraints };
+    let query = CorrelationQuery {
+        params: MiningParams::paper(),
+        constraints,
+    };
 
     let result = mine(db, &attrs, &query, Algorithm::BmsPlusPlus).expect("valid query");
 
-    println!("single-department correlated sets ({} found):", result.answers.len());
+    println!(
+        "single-department correlated sets ({} found):",
+        result.answers.len()
+    );
     let type_col = attrs.categorical("type").unwrap();
     for set in result.answers.iter().take(20) {
         let dept = type_col.label(attrs.category_of("type", set.items()[0]));
@@ -50,6 +56,10 @@ fn main() {
     println!(
         "\nwithout the focus constraint the miner reports {} sets ({}x as many)",
         all.answers.len(),
-        if result.answers.is_empty() { 0 } else { all.answers.len() / result.answers.len().max(1) }
+        if result.answers.is_empty() {
+            0
+        } else {
+            all.answers.len() / result.answers.len().max(1)
+        }
     );
 }

@@ -79,8 +79,12 @@ fn main() {
     }
     // …and here the inclusion is strict: {milk, bread} is correlated but
     // too cheap, and MIN_VALID grows it until cheese comes aboard.
-    let grown: Vec<_> =
-        min_valid.answers.iter().filter(|s| !valid_min.contains(s)).cloned().collect();
+    let grown: Vec<_> = min_valid
+        .answers
+        .iter()
+        .filter(|s| !valid_min.contains(s))
+        .cloned()
+        .collect();
     println!(
         "\n{} answers exist only under MIN_VALID semantics: {}",
         grown.len(),

@@ -68,7 +68,8 @@ impl Flags<'_> {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag {key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag {key}"))
     }
 
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -102,7 +103,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
     let mut w = BufWriter::new(file);
     write_db(&db, &mut w).map_err(|e| format!("write {out_path}: {e}"))?;
-    eprintln!("wrote {} baskets over {} items to {out_path}", db.len(), db.n_items());
+    eprintln!(
+        "wrote {} baskets over {} items to {out_path}",
+        db.len(),
+        db.n_items()
+    );
     Ok(())
 }
 
@@ -137,8 +142,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         None => AttributeTable::with_identity_prices(db.n_items()),
     };
     let query_text = flags.get("--query").unwrap_or("correlated & ct_supported");
-    let constraints =
-        parse_constraints(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
+    let constraints = parse_constraints(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
     let algorithm = match flags.get("--algorithm").unwrap_or("bms++") {
         "bms+" => Algorithm::BmsPlus,
         "bms++" => Algorithm::BmsPlusPlus,
@@ -161,7 +165,10 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         min_item_support: flags.parse_or("--min-item-support", 0.0)?,
         max_level: flags.parse_or("--max-level", 8)?,
     };
-    let query = CorrelationQuery { params, constraints };
+    let query = CorrelationQuery {
+        params,
+        constraints,
+    };
     let result =
         mine_with_strategy(&db, &attrs, &query, algorithm, strategy).map_err(|e| e.to_string())?;
     let stdout = io::stdout();

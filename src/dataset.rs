@@ -61,7 +61,10 @@ impl From<io::Error> for DatasetError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> DatasetError {
-    DatasetError::Parse { line, message: message.into() }
+    DatasetError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes a database in the basket text format.
@@ -128,7 +131,10 @@ pub fn read_db<R: Read>(input: R) -> Result<TransactionDb, DatasetError> {
                 .map_err(|_| parse_err(lineno, format!("bad item id '{tok}'")))?;
             let n = n_items.expect("header seen");
             if id >= n {
-                return Err(parse_err(lineno, format!("item {id} outside universe 0..{n}")));
+                return Err(parse_err(
+                    lineno,
+                    format!("item {id} outside universe 0..{n}"),
+                ));
             }
             basket.push(id);
         }
@@ -199,7 +205,11 @@ pub fn read_attrs<R: Read>(input: R) -> Result<AttributeTable, DatasetError> {
                 if values.len() != t.n_items() as usize {
                     return Err(parse_err(
                         lineno,
-                        format!("column '{name}' has {} values, need {}", values.len(), t.n_items()),
+                        format!(
+                            "column '{name}' has {} values, need {}",
+                            values.len(),
+                            t.n_items()
+                        ),
                     ));
                 }
                 if kw == "numeric" {

@@ -12,7 +12,11 @@ use ccs::prelude::*;
 #[test]
 fn avg_solution_space_has_holes() {
     let attrs = AttributeTable::with_identity_prices(6);
-    let c = Constraint::Avg { attr: "price".into(), cmp: Cmp::Le, value: 3.0 };
+    let c = Constraint::Avg {
+        attr: "price".into(),
+        cmp: Cmp::Le,
+        value: 3.0,
+    };
     let small = Itemset::from_ids([1]); // avg 2
     let mid = Itemset::from_ids([1, 4]); // avg 3.5
     let large = Itemset::from_ids([0, 1, 4]); // avg 3
@@ -42,7 +46,10 @@ fn db() -> TransactionDb {
 
 fn query(value: f64) -> CorrelationQuery {
     CorrelationQuery {
-        params: MiningParams { support_fraction: 0.1, ..MiningParams::paper() },
+        params: MiningParams {
+            support_fraction: 0.1,
+            ..MiningParams::paper()
+        },
         constraints: ConstraintSet::new().and(Constraint::Avg {
             attr: "price".into(),
             cmp: Cmp::Le,

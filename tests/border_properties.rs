@@ -18,7 +18,7 @@ fn db_strategy() -> impl Strategy<Value = TransactionDb> {
     )
         .prop_map(|(mut txns, p, every)| {
             for (i, t) in txns.iter_mut().enumerate() {
-                if (i as u32) % every == 0 {
+                if (i as u32).is_multiple_of(every) {
                     t.push(p);
                     t.push(p + 1);
                 }
@@ -52,7 +52,12 @@ fn query(c: Constraint) -> CorrelationQuery {
 }
 
 /// Direct space membership from the definitions.
-fn in_space_direct(db: &TransactionDb, q: &CorrelationQuery, attrs: &AttributeTable, set: &Itemset) -> bool {
+fn in_space_direct(
+    db: &TransactionDb,
+    q: &CorrelationQuery,
+    attrs: &AttributeTable,
+    set: &Itemset,
+) -> bool {
     let mut counter = HorizontalCounter::new(db);
     let table = ContingencyTable::build(&mut counter, set);
     table.is_ct_supported(q.params.support_abs(db.len()), q.params.ct_fraction)
@@ -64,7 +69,9 @@ fn all_sets() -> Vec<Itemset> {
     let mut out = Vec::new();
     for mask in 1u32..(1 << N_ITEMS) {
         if mask.count_ones() >= 2 {
-            out.push(Itemset::from_ids((0..N_ITEMS).filter(|i| mask & (1 << i) != 0)));
+            out.push(Itemset::from_ids(
+                (0..N_ITEMS).filter(|i| mask & (1 << i) != 0),
+            ));
         }
     }
     out

@@ -21,16 +21,17 @@ fn db_strategy() -> impl Strategy<Value = TransactionDb> {
 
 /// A random itemset of size 2..=4 plus one extra item outside it.
 fn set_and_extra() -> impl Strategy<Value = (Itemset, u32)> {
-    (proptest::collection::btree_set(0u32..N_ITEMS, 2..=4), 0u32..N_ITEMS).prop_filter_map(
-        "extra must be outside the set",
-        |(ids, extra)| {
+    (
+        proptest::collection::btree_set(0u32..N_ITEMS, 2..=4),
+        0u32..N_ITEMS,
+    )
+        .prop_filter_map("extra must be outside the set", |(ids, extra)| {
             if ids.contains(&extra) {
                 None
             } else {
                 Some((Itemset::from_ids(ids), extra))
             }
-        },
-    )
+        })
 }
 
 proptest! {

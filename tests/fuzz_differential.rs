@@ -23,7 +23,7 @@ fn db_strategy() -> impl Strategy<Value = TransactionDb> {
     )
         .prop_map(|(mut txns, p, every, p2, every2)| {
             for (i, t) in txns.iter_mut().enumerate() {
-                if (i as u32) % every == 0 {
+                if (i as u32).is_multiple_of(every) {
                     t.push(p);
                     t.push(p + 1);
                     t.push(p + 2);
@@ -39,8 +39,12 @@ fn db_strategy() -> impl Strategy<Value = TransactionDb> {
 }
 
 fn constraint_strategy() -> impl Strategy<Value = Constraint> {
-    (0usize..14, 1.0f64..8.0, proptest::collection::btree_set(0u32..4, 1..3)).prop_map(
-        |(kind, c, cats)| {
+    (
+        0usize..14,
+        1.0f64..8.0,
+        proptest::collection::btree_set(0u32..4, 1..3),
+    )
+        .prop_map(|(kind, c, cats)| {
             let ids: BTreeSet<u32> = cats.iter().map(|&x| x.min(N_ITEMS - 1)).collect();
             match kind {
                 0 => Constraint::max_le("price", c),
@@ -49,33 +53,65 @@ fn constraint_strategy() -> impl Strategy<Value = Constraint> {
                 3 => Constraint::min_le("price", c),
                 4 => Constraint::max_ge("price", c),
                 5 => Constraint::sum_ge("price", c * 2.0),
-                6 => Constraint::ItemSubset { items: ids, negated: false },
-                7 => Constraint::ItemSubset { items: ids, negated: true },
-                8 => Constraint::ItemDisjoint { items: ids, negated: false },
-                9 => Constraint::ItemDisjoint { items: ids, negated: true },
-                10 => Constraint::ConstSubset { attr: "type".into(), categories: ids, negated: false },
-                11 => Constraint::Disjoint { attr: "type".into(), categories: ids, negated: false },
-                12 => Constraint::Disjoint { attr: "type".into(), categories: ids, negated: true },
+                6 => Constraint::ItemSubset {
+                    items: ids,
+                    negated: false,
+                },
+                7 => Constraint::ItemSubset {
+                    items: ids,
+                    negated: true,
+                },
+                8 => Constraint::ItemDisjoint {
+                    items: ids,
+                    negated: false,
+                },
+                9 => Constraint::ItemDisjoint {
+                    items: ids,
+                    negated: true,
+                },
+                10 => Constraint::ConstSubset {
+                    attr: "type".into(),
+                    categories: ids,
+                    negated: false,
+                },
+                11 => Constraint::Disjoint {
+                    attr: "type".into(),
+                    categories: ids,
+                    negated: false,
+                },
+                12 => Constraint::Disjoint {
+                    attr: "type".into(),
+                    categories: ids,
+                    negated: true,
+                },
                 _ => Constraint::CountDistinct {
                     attr: "type".into(),
                     cmp: if c < 4.0 { Cmp::Le } else { Cmp::Ge },
                     value: (c as u64 % 3) + 1,
                 },
             }
-        },
-    )
+        })
 }
 
 fn params_strategy() -> impl Strategy<Value = MiningParams> {
-    (0.8f64..0.99, 0.03f64..0.3, 0.05f64..0.5, 0.0f64..0.25, 3usize..7).prop_map(
-        |(confidence, support_fraction, ct_fraction, min_item_support, max_level)| MiningParams {
-            confidence,
-            support_fraction,
-            ct_fraction,
-            min_item_support,
-            max_level,
-        },
+    (
+        0.8f64..0.99,
+        0.03f64..0.3,
+        0.05f64..0.5,
+        0.0f64..0.25,
+        3usize..7,
     )
+        .prop_map(
+            |(confidence, support_fraction, ct_fraction, min_item_support, max_level)| {
+                MiningParams {
+                    confidence,
+                    support_fraction,
+                    ct_fraction,
+                    min_item_support,
+                    max_level,
+                }
+            },
+        )
 }
 
 proptest! {

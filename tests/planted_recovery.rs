@@ -62,7 +62,10 @@ fn constraints_remove_only_the_targeted_rules() {
         items: first.items.iter().map(|i| i.id()).collect(),
         negated: false,
     });
-    let q = CorrelationQuery { params: MiningParams::paper(), constraints };
+    let q = CorrelationQuery {
+        params: MiningParams::paper(),
+        constraints,
+    };
     let constrained = mine(&data.db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
     // The first rule's pairs are gone…
     let items: Vec<Item> = first.items.iter().collect();
@@ -87,17 +90,22 @@ fn constraints_remove_only_the_targeted_rules() {
     }
 }
 
-/// The batched BMS engine recovers the same ground truth as the
-/// per-set engine on realistic data.
+/// The level-batched engine recovers the same ground truth through
+/// every counting substrate on realistic data, and batches for real:
+/// one database scan per level, not one per contingency table.
 #[test]
 fn batched_engine_recovers_the_same_rules() {
-    use ccs::core::{run_bms, run_bms_batched};
-    use ccs::itemset::HorizontalCounter;
+    use ccs::core::run_bms;
+    use ccs::itemset::{HorizontalCounter, VerticalCounter};
     let (data, _) = setup(23);
     let params = MiningParams::paper();
-    let batched = run_bms_batched(&data.db, &params);
-    let mut counter = HorizontalCounter::new(&data.db);
-    let per_set = run_bms(&data.db, &params, &mut counter);
-    assert_eq!(batched.sig, per_set.sig);
-    assert!(batched.metrics.db_scans < per_set.metrics.db_scans);
+    let mut horizontal = HorizontalCounter::new(&data.db);
+    let h = run_bms(&data.db, &params, &mut horizontal);
+    let mut vertical = VerticalCounter::new(&data.db);
+    let v = run_bms(&data.db, &params, &mut vertical);
+    assert_eq!(h.sig, v.sig);
+    assert_eq!(h.notsig, v.notsig);
+    // Level batching: levels 2..=max each cost one scan.
+    assert_eq!(h.metrics.db_scans as usize, h.metrics.max_level_reached - 1);
+    assert!(h.metrics.db_scans < h.metrics.tables_built);
 }

@@ -40,10 +40,22 @@ fn constraint_strategy() -> impl Strategy<Value = Constraint> {
             2 => Constraint::sum_le("price", c * 2.0),
             3 => Constraint::min_le("price", c),
             4 => Constraint::max_ge("price", c),
-            5 => Constraint::ItemSubset { items: ids(), negated: false },
-            6 => Constraint::ItemSubset { items: ids(), negated: true },
-            7 => Constraint::ItemDisjoint { items: ids(), negated: false },
-            8 => Constraint::ItemDisjoint { items: ids(), negated: true },
+            5 => Constraint::ItemSubset {
+                items: ids(),
+                negated: false,
+            },
+            6 => Constraint::ItemSubset {
+                items: ids(),
+                negated: true,
+            },
+            7 => Constraint::ItemDisjoint {
+                items: ids(),
+                negated: false,
+            },
+            8 => Constraint::ItemDisjoint {
+                items: ids(),
+                negated: true,
+            },
             _ => Constraint::sum_ge("price", c * 2.0),
         }
     })

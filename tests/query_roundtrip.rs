@@ -16,7 +16,9 @@ fn attrs() -> AttributeTable {
     t.add_numeric("price", (0..N_ITEMS).map(|i| (i + 1) as f64).collect());
     t.add_categorical(
         "type",
-        &["soda", "soda", "snack", "dairy", "dairy", "beer", "frozen", "beer"],
+        &[
+            "soda", "soda", "snack", "dairy", "dairy", "beer", "frozen", "beer",
+        ],
     );
     t
 }
@@ -41,14 +43,26 @@ fn constraint_strategy() -> impl Strategy<Value = Constraint> {
                 4 => Constraint::sum_le("price", c),
                 5 => Constraint::sum_ge("price", c),
                 6 => Constraint::agg(AggFn::Count, "price", Cmp::Le, c.round()),
-                _ => Constraint::Avg { attr: "price".into(), cmp: Cmp::Ge, value: c },
+                _ => Constraint::Avg {
+                    attr: "price".into(),
+                    cmp: Cmp::Ge,
+                    value: c,
+                },
             }
         }),
         (category_set(), any::<bool>()).prop_map(|(categories, negated)| {
-            Constraint::ConstSubset { attr: "type".into(), categories, negated }
+            Constraint::ConstSubset {
+                attr: "type".into(),
+                categories,
+                negated,
+            }
         }),
         (category_set(), any::<bool>()).prop_map(|(categories, negated)| {
-            Constraint::Disjoint { attr: "type".into(), categories, negated }
+            Constraint::Disjoint {
+                attr: "type".into(),
+                categories,
+                negated,
+            }
         }),
         (0u64..5, any::<bool>()).prop_map(|(value, le)| Constraint::CountDistinct {
             attr: "type".into(),

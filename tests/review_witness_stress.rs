@@ -78,14 +78,23 @@ fn witness_class_paths_agree_with_naive() {
         if seed % 7 == 0 {
             cs = cs.and(Constraint::max_le("price", 7.0));
         }
-        let q = CorrelationQuery { params, constraints: cs };
+        let q = CorrelationQuery {
+            params,
+            constraints: cs,
+        };
         let vm = mine(&db, &attrs, &q, Algorithm::Naive).unwrap().answers;
-        let pp = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap().answers;
+        let pp = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus)
+            .unwrap()
+            .answers;
         assert_eq!(pp, vm, "BMS++ vs naive, seed {seed}, {}", q.constraints);
         let plus = mine(&db, &attrs, &q, Algorithm::BmsPlus).unwrap().answers;
         assert_eq!(plus, vm, "BMS+ vs naive, seed {seed}");
-        let mv = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap().answers;
-        let ss = mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap().answers;
+        let mv = mine(&db, &attrs, &q, Algorithm::NaiveMinValid)
+            .unwrap()
+            .answers;
+        let ss = mine(&db, &attrs, &q, Algorithm::BmsStarStar)
+            .unwrap()
+            .answers;
         assert_eq!(ss, mv, "BMS** vs naive, seed {seed}, {}", q.constraints);
         let star = mine(&db, &attrs, &q, Algorithm::BmsStar).unwrap().answers;
         assert_eq!(star, mv, "BMS* vs naive, seed {seed}");

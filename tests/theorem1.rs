@@ -31,7 +31,10 @@ fn divergence_db() -> TransactionDb {
 }
 
 fn params() -> MiningParams {
-    MiningParams { support_fraction: 0.1, ..MiningParams::paper() }
+    MiningParams {
+        support_fraction: 0.1,
+        ..MiningParams::paper()
+    }
 }
 
 #[test]
@@ -52,7 +55,11 @@ fn valid_min_is_always_contained_in_min_valid() {
         let vm = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
         let mv = mine(&db, &attrs, &q, Algorithm::BmsStarStar).unwrap();
         for s in &vm.answers {
-            assert!(mv.contains(s), "{s} in VALID_MIN but not MIN_VALID ({})", q.constraints);
+            assert!(
+                mv.contains(s),
+                "{s} in VALID_MIN but not MIN_VALID ({})",
+                q.constraints
+            );
         }
     }
 }
@@ -95,7 +102,11 @@ fn anti_monotone_constraints_collapse_the_semantics() {
             .map(|&a| mine(&db, &attrs, &q, a).unwrap().answers)
             .collect();
         for (i, a) in answers.iter().enumerate().skip(1) {
-            assert_eq!(&answers[0], a, "algorithm #{i} diverged on {}", q.constraints);
+            assert_eq!(
+                &answers[0], a,
+                "algorithm #{i} diverged on {}",
+                q.constraints
+            );
         }
     }
 }

@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion` 0.5 (see `vendor/README.md`).
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple wall-clock measurement loop:
+//! warm up briefly, pick an iteration count targeting ~0.1 s per sample,
+//! then report the median per-iteration time over `sample_size` samples.
+//! No statistics beyond min/median/max, no HTML reports, no baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `apriori_gen/400`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form, as in real criterion.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare id with no parameter component.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the timed closure; handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_one<R: FnMut(&mut Bencher)>(routine: &mut R, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    b.elapsed
+}
+
+/// Measures one benchmark and prints a single summary line.
+fn run_bench<R: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut routine: R) {
+    // Calibrate: grow the iteration count until one sample costs >= 10 ms,
+    // then scale to ~0.3 s per sample (capped to keep total time sane).
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let t = time_one(&mut routine, iters);
+        if t >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break t.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+    let target = 0.1_f64;
+    iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+    let mut samples: Vec<f64> = (0..sample_size.max(3))
+        .map(|_| time_one(&mut routine, iters).as_secs_f64() / iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name:<55} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        run_bench(id, self.default_sample_size, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.id, self.default_sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are prefixed `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` as `group_name/id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input as `group_name/id`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |acc, x| acc ^ x.wrapping_mul(0x9E37_79B9))
+    }
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| work(100));
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn full_api_surface_compiles_and_runs() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+        };
+        c.bench_function("unit/work", |b| b.iter(|| work(10)));
+        c.bench_with_input(BenchmarkId::new("unit/param", 32), &32u64, |b, &n| {
+            b.iter(|| work(n))
+        });
+        let mut group = c.benchmark_group("unit/group");
+        group.sample_size(3);
+        group.bench_function("inner", |b| b.iter(|| work(10)));
+        group.bench_with_input(BenchmarkId::new("with_input", 8), &8u64, |b, &n| {
+            b.iter(|| work(n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

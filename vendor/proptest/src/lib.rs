@@ -1,0 +1,498 @@
+//! Offline stand-in for `proptest` 1 (see `vendor/README.md`).
+//!
+//! Re-implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter_map` /
+//! `boxed`, range and tuple strategies, `collection::{vec, btree_set}`,
+//! [`prelude::any`], `prop_oneof!`, and the `proptest!` test macro with
+//! `#![proptest_config(...)]`. Differences from the real crate:
+//!
+//! * generation is plain random sampling from a fixed seed — no shrinking
+//!   and no persistence (`*.proptest-regressions` files are ignored);
+//! * `prop_assert!` family forwards to `assert!` (panics instead of
+//!   returning `TestCaseError`).
+//!
+//! Every test case is still fully deterministic: the runner derives its
+//! RNG seed from the test function name, so failures reproduce exactly.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner configuration; the workspace only ever overrides `cases`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+        /// Upper bound on strategy rejections before the runner gives up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// The deterministic RNG handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// A generator seeded from `name` (FNV-1a), so each test gets an
+        /// independent but reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// `generate` returning `None` means the draw was rejected (e.g. a
+    /// `prop_filter_map` miss); the runner retries with fresh randomness.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value, or `None` to reject this attempt.
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values `f` maps to `Some`, rejecting the rest.
+        fn prop_filter_map<U, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.generate(rng).and_then(&self.f)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    (self.start < self.end).then(|| rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    (self.start() <= self.end()).then(|| rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Draws a full-domain value of `A` ([`crate::prelude::any`]).
+    pub struct Any<A>(pub(crate) PhantomData<A>);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.gen())
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.gen())
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    /// `proptest::collection::vec`: a `Vec` of `size` draws from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::btree_set`: a set of `size` *distinct* draws.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates don't grow the set, so allow extra attempts; a
+            // too-small element domain surfaces as a rejection (None).
+            for _ in 0..(target * 8 + 16) {
+                if out.len() == target {
+                    break;
+                }
+                out.insert(self.elem.generate(rng)?);
+            }
+            (out.len() >= self.size.min).then_some(out)
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    use std::marker::PhantomData;
+
+    /// `any::<T>()`: the full-domain strategy for `T`.
+    pub fn any<A>() -> crate::strategy::Any<A>
+    where
+        crate::strategy::Any<A>: Strategy<Value = A>,
+    {
+        crate::strategy::Any(PhantomData)
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Rejections (`None` draws) retry with fresh randomness, bounded by
+/// `Config::max_global_rejects`; accepted cases run until `Config::cases`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut rng,
+                        ) {
+                            Some(value) => value,
+                            None => {
+                                rejected += 1;
+                                assert!(
+                                    rejected < config.max_global_rejects,
+                                    "proptest: too many strategy rejections ({rejected})",
+                                );
+                                continue;
+                            }
+                        };
+                    )*
+                    accepted += 1;
+                    $body
+                }
+            }
+        )*
+    };
+    // Without a config attribute, run with the defaults.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Stand-in `prop_assert!`: panics (via `assert!`) instead of returning
+/// a `TestCaseError`, which is equivalent under this runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Doc comments and multi-binding signatures must both parse.
+        #[test]
+        fn ranges_and_tuples(
+            (a, b) in (0u32..10, 5usize..9),
+            flip in any::<bool>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b), "b = {}", b);
+            let _ = flip;
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u32..100, 0..4),
+            s in crate::collection::btree_set(0u32..5, 1..3),
+        ) {
+            prop_assert!(v.len() < 4);
+            prop_assert!((1..=2).contains(&s.len()), "set {:?}", s);
+        }
+
+        #[test]
+        fn oneof_and_filter_map_compose(
+            x in prop_oneof![
+                (0u32..3).prop_map(|v| v * 100),
+                (10u32..13).prop_filter_map("odd only", |v| (v % 2 == 1).then_some(v)),
+            ],
+        ) {
+            prop_assert!(x == 0 || x == 100 || x == 200 || x == 11, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1_000_000).prop_map(|v| v);
+        let mut r1 = crate::test_runner::TestRng::for_test("alpha");
+        let mut r2 = crate::test_runner::TestRng::for_test("alpha");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+}

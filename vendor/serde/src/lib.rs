@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types as
+//! API surface for downstream users, but never serializes anything itself
+//! — so the traits here are markers, satisfied by the no-op impls the
+//! vendored `serde_derive` emits. Swapping the real serde back in is a
+//! one-line change in the workspace `Cargo.toml`.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace pins all third-party dependencies to vendored,
+//! network-free implementations (see `vendor/README.md`). Nothing in the
+//! workspace serializes data through serde — the `#[derive(Serialize,
+//! Deserialize)]` attributes on core types exist so downstream users can
+//! opt in later. These derive macros therefore only need to *accept* the
+//! attribute grammar (including the `#[serde(...)]` helper attribute) and
+//! emit marker-trait impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following `struct` or `enum` and any generics,
+/// skipping attributes and visibility. Returns `(name, has_generics)`.
+fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.clone().into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                    break;
+                }
+            }
+        }
+    }
+    let has_generics = matches!(
+        tokens.peek(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+    );
+    name.map(|n| (n, has_generics))
+}
+
+/// Derives the vendored marker `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        // Generic types would need bounds plumbing; no workspace type
+        // using the derive is generic, so plain impls suffice.
+        Some((name, false)) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the vendored marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
