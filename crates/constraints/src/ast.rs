@@ -19,6 +19,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use thiserror::Error;
 
 use ccs_itemset::Itemset;
 
@@ -140,17 +141,21 @@ pub enum Constraint {
 }
 
 /// An error found when validating constraints against an attribute table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
 pub enum ConstraintError {
     /// A numeric attribute referenced by a constraint is not registered.
+    #[error("unknown numeric attribute '{0}'")]
     UnknownNumericAttr(String),
     /// A categorical attribute referenced by a constraint is not
     /// registered.
+    #[error("unknown categorical attribute '{0}'")]
     UnknownCategoricalAttr(String),
     /// A numeric attribute has negative values, violating the
     /// non-negative-domain requirement of Lemma 1 for `sum`.
+    #[error("attribute '{0}' has negative values; sum constraints require a non-negative domain")]
     NegativeDomain(String),
     /// An item-level constraint mentions an id outside the universe.
+    #[error("item {item} outside universe 0..{n_items}")]
     ItemOutOfUniverse {
         /// The offending item id.
         item: u32,
@@ -158,27 +163,6 @@ pub enum ConstraintError {
         n_items: u32,
     },
 }
-
-impl fmt::Display for ConstraintError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ConstraintError::UnknownNumericAttr(a) => {
-                write!(f, "unknown numeric attribute '{a}'")
-            }
-            ConstraintError::UnknownCategoricalAttr(a) => {
-                write!(f, "unknown categorical attribute '{a}'")
-            }
-            ConstraintError::NegativeDomain(a) => {
-                write!(f, "attribute '{a}' has negative values; sum constraints require a non-negative domain")
-            }
-            ConstraintError::ItemOutOfUniverse { item, n_items } => {
-                write!(f, "item {item} outside universe 0..{n_items}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ConstraintError {}
 
 impl Constraint {
     /// Convenience constructor: `agg(S.attr) θ c`.

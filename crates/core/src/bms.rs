@@ -20,6 +20,7 @@ use std::time::Instant;
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
 
 use crate::engine::Engine;
+use crate::guard::{sorted_sets, BmsSnapshot, TruncationReason};
 use crate::metrics::MiningMetrics;
 use crate::params::MiningParams;
 
@@ -41,6 +42,15 @@ pub struct BmsOutput {
     pub metrics: MiningMetrics,
 }
 
+/// A BMS run plus its governance outcome: `truncation` is `Some` when the
+/// run's guard stopped the sweep, carrying the reason and the loop state
+/// at the last completed level boundary (the interrupted level's
+/// candidates, un-evaluated, ready to be re-entered on resume).
+pub(crate) struct BmsRun {
+    pub(crate) output: BmsOutput,
+    pub(crate) truncation: Option<(TruncationReason, BmsSnapshot)>,
+}
+
 /// Runs Algorithm BMS over `db` with the given statistical parameters.
 pub fn run_bms<C: MintermCounter>(
     db: &TransactionDb,
@@ -48,20 +58,27 @@ pub fn run_bms<C: MintermCounter>(
     counter: &mut C,
 ) -> BmsOutput {
     let mut engine = Engine::new(counter, params);
-    run_bms_with_engine(db, params, &mut engine)
+    run_bms_with_engine(db, params, &mut engine, None).output
 }
 
 /// [`run_bms`] over a caller-owned [`Engine`], so a two-phase algorithm
 /// (BMS*) can keep the verdict memo-cache warm across phases: its upward
 /// sweep then answers revisited sets from the cache instead of
 /// rebuilding their contingency tables.
+///
+/// `start` re-enters the level loop from a truncated run's snapshot
+/// instead of from the all-pairs seed. When the engine's guard is armed,
+/// a snapshot is taken at every level boundary so a mid-level trip can
+/// report the state needed to resume; unarmed runs skip the clone
+/// entirely.
 pub(crate) fn run_bms_with_engine<C: MintermCounter>(
     db: &TransactionDb,
     params: &MiningParams,
     engine: &mut Engine<'_, C>,
-) -> BmsOutput {
+    start: Option<BmsSnapshot>,
+) -> BmsRun {
     params.validate();
-    let start = Instant::now();
+    let start_time = Instant::now();
     let mut metrics = MiningMetrics::default();
     let base_stats = engine.counting_stats();
 
@@ -75,17 +92,42 @@ pub(crate) fn run_bms_with_engine<C: MintermCounter>(
         .filter(|i| supports[i.index()] as u64 >= item_threshold)
         .collect();
 
-    let mut sig: Vec<Itemset> = Vec::new();
-    let mut notsig_all: HashSet<Itemset> = HashSet::new();
+    // Level 2 candidates: all pairs of basis items — or the resumed
+    // frontier.
+    let (mut sig, mut notsig_all, mut cands, mut level) = match start {
+        Some(s) => (
+            s.sig,
+            s.notsig.into_iter().collect::<HashSet<Itemset>>(),
+            s.cands,
+            s.level,
+        ),
+        None => (
+            Vec::new(),
+            HashSet::new(),
+            candidate::all_pairs(&level1),
+            2usize,
+        ),
+    };
 
-    // Level 2 candidates: all pairs of basis items.
-    let mut cands = candidate::all_pairs(&level1);
-    let mut level = 2usize;
+    let mut truncation = None;
     while !cands.is_empty() && level <= params.max_level {
+        let snapshot = engine.guard().is_armed().then(|| BmsSnapshot {
+            level,
+            cands: cands.clone(),
+            sig: sig.clone(),
+            notsig: sorted_sets(notsig_all.iter().cloned()),
+        });
         metrics.candidates_generated += cands.len() as u64;
         metrics.max_level_reached = level;
         let mut notsig_level: HashSet<Itemset> = HashSet::new();
-        let verdicts = engine.evaluate_level(&cands);
+        let verdicts = match engine.evaluate_level(&cands) {
+            Ok(v) => v,
+            Err(reason) => {
+                metrics.max_level_reached = level - 1;
+                truncation = Some((reason, snapshot.expect("a trip implies an armed guard")));
+                break;
+            }
+        };
         for (set, v) in cands.iter().zip(verdicts) {
             if v.ct_supported {
                 if v.correlated {
@@ -105,13 +147,16 @@ pub(crate) fn run_bms_with_engine<C: MintermCounter>(
     metrics.notsig_size = notsig_all.len() as u64;
     let end_stats = engine.counting_stats();
     metrics.absorb_counting(end_stats.since(&base_stats));
-    metrics.elapsed = start.elapsed();
+    metrics.elapsed = start_time.elapsed();
 
-    BmsOutput {
-        sig,
-        notsig: notsig_all,
-        level1,
-        metrics,
+    BmsRun {
+        output: BmsOutput {
+            sig,
+            notsig: notsig_all,
+            level1,
+            metrics,
+        },
+        truncation,
     }
 }
 

@@ -10,7 +10,10 @@
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{MintermCounter, TransactionDb};
 
-use crate::bms::run_bms;
+use crate::bms::run_bms_with_engine;
+use crate::engine::Engine;
+use crate::guard::{ResumeInner, ResumeState, RunGuard};
+use crate::miner::Algorithm;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
 /// Runs Algorithm BMS+ and returns `VALID_MIN(Q)`.
@@ -25,19 +28,64 @@ pub fn run_bms_plus<C: MintermCounter>(
     query: &CorrelationQuery,
     counter: &mut C,
 ) -> Result<MiningResult, MiningError> {
+    run_bms_plus_guarded(db, attrs, query, counter, &RunGuard::unlimited(), None)
+}
+
+/// [`run_bms_plus`] under a resource guard, optionally re-entering a
+/// truncated run's level frontier.
+///
+/// On truncation the partial `SIG` is still filtered by the constraints:
+/// level-wise growth means every set in it belongs to the complete
+/// `VALID_MIN(Q)` too.
+pub(crate) fn run_bms_plus_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+    guard: &RunGuard,
+    resume: Option<ResumeInner>,
+) -> Result<MiningResult, MiningError> {
     query.validate(attrs)?;
     if query.constraints.has_neither_monotone() {
         return Err(MiningError::NonMonotoneConstraint);
     }
-    let out = run_bms(db, &query.params, counter);
-    let answers: Vec<_> = out
+    let start = match resume {
+        None => None,
+        Some(ResumeInner::Bms(s)) => Some(s),
+        Some(_) => {
+            return Err(MiningError::ResumeMismatch {
+                expected: "another algorithm",
+                requested: Algorithm::BmsPlus.name(),
+            })
+        }
+    };
+    let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
+    let run = run_bms_with_engine(db, &query.params, &mut engine, start);
+    let answers: Vec<_> = run
+        .output
         .sig
         .into_iter()
         .filter(|s| query.constraints.satisfied(s, attrs))
         .collect();
-    let mut metrics = out.metrics;
+    let mut metrics = run.output.metrics;
     metrics.sig_size = answers.len() as u64;
-    Ok(MiningResult::new(answers, Semantics::ValidMin, metrics))
+    match run.truncation {
+        None => Ok(MiningResult::new(answers, Semantics::ValidMin, metrics)),
+        Some((reason, snapshot)) => {
+            let frontier_level = snapshot.level - 1;
+            Ok(MiningResult::truncated(
+                answers,
+                Semantics::ValidMin,
+                metrics,
+                reason,
+                frontier_level,
+                ResumeState {
+                    algorithm: Algorithm::BmsPlus,
+                    inner: ResumeInner::Bms(snapshot),
+                },
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,9 @@ use ccs_constraints::AttributeTable;
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
 
 use crate::engine::Engine;
+use crate::guard::{ResumeInner, ResumeState, RunGuard, TruncationReason};
 use crate::metrics::MiningMetrics;
+use crate::miner::Algorithm;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
 /// Runs Algorithm BMS++ and returns `VALID_MIN(Q)`.
@@ -49,15 +51,47 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
     query: &CorrelationQuery,
     counter: &mut C,
 ) -> Result<MiningResult, MiningError> {
+    run_bms_plus_plus_guarded(db, attrs, query, counter, &RunGuard::unlimited(), None)
+}
+
+/// [`run_bms_plus_plus`] under a resource guard, optionally re-entering a
+/// truncated run's level frontier.
+///
+/// When the guard trips mid-sweep the accumulated SIG candidates still go
+/// through the single-witness verification epilogue (a bounded number of
+/// extra tables), so truncated answers get the same minimality guarantee
+/// as complete ones.
+pub(crate) fn run_bms_plus_plus_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+    guard: &RunGuard,
+    resume: Option<ResumeInner>,
+) -> Result<MiningResult, MiningError> {
     query.validate(attrs)?;
     if query.constraints.has_neither_monotone() {
         return Err(MiningError::NonMonotoneConstraint);
     }
+    let restart = match resume {
+        None => None,
+        Some(ResumeInner::PlusPlus {
+            level,
+            cands,
+            sig_candidates,
+        }) => Some((level, cands, sig_candidates)),
+        Some(_) => {
+            return Err(MiningError::ResumeMismatch {
+                expected: "another algorithm",
+                requested: Algorithm::BmsPlusPlus.name(),
+            })
+        }
+    };
     let start = Instant::now();
     let mut metrics = MiningMetrics::default();
     let base_stats = counter.stats();
     let analysis = query.constraints.analyze(attrs);
-    let mut engine = Engine::new(counter, &query.params);
+    let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
 
     // I. Preprocessing: GOOD₁ and the L1⁺ / L1⁻ split.
     let item_threshold = query.params.item_support_abs(db.len());
@@ -83,11 +117,22 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
         .collect();
     let witness_set: HashSet<Item> = l1_plus.iter().copied().collect();
 
-    // II + III. The level-wise sweep.
-    let mut sig_candidates: Vec<Itemset> = Vec::new();
-    let mut cands = candidate::pairs_from(&l1_plus, &l1_minus);
-    let mut level = 2usize;
+    // II + III. The level-wise sweep — or its resumed frontier.
+    let (mut level, mut cands, mut sig_candidates) = match restart {
+        Some(state) => state,
+        None => (
+            2usize,
+            candidate::pairs_from(&l1_plus, &l1_minus),
+            Vec::new(),
+        ),
+    };
+    let mut truncation: Option<(TruncationReason, ResumeState)> = None;
     while !cands.is_empty() && level <= query.params.max_level {
+        let snapshot = engine.guard().is_armed().then(|| ResumeInner::PlusPlus {
+            level,
+            cands: cands.clone(),
+            sig_candidates: sig_candidates.clone(),
+        });
         metrics.candidates_generated += cands.len() as u64;
         metrics.max_level_reached = level;
         let mut notsig_level: HashSet<Itemset> = HashSet::new();
@@ -101,7 +146,20 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
                 metrics.pruned_before_count += 1;
             }
         }
-        let verdicts = engine.evaluate_level(&survivors);
+        let verdicts = match engine.evaluate_level(&survivors) {
+            Ok(v) => v,
+            Err(reason) => {
+                metrics.max_level_reached = level - 1;
+                truncation = Some((
+                    reason,
+                    ResumeState {
+                        algorithm: Algorithm::BmsPlusPlus,
+                        inner: snapshot.expect("a trip implies an armed guard"),
+                    },
+                ));
+                break;
+            }
+        };
         for (set, v) in survivors.iter().zip(verdicts) {
             if !v.ct_supported {
                 continue;
@@ -144,7 +202,20 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
     let end = engine.counting_stats();
     metrics.absorb_counting(end.since(&base_stats));
     metrics.elapsed = start.elapsed();
-    Ok(MiningResult::new(answers, Semantics::ValidMin, metrics))
+    match truncation {
+        None => Ok(MiningResult::new(answers, Semantics::ValidMin, metrics)),
+        Some((reason, resume)) => {
+            let frontier_level = metrics.max_level_reached;
+            Ok(MiningResult::truncated(
+                answers,
+                Semantics::ValidMin,
+                metrics,
+                reason,
+                frontier_level,
+                resume,
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

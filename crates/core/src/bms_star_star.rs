@@ -33,8 +33,27 @@ use ccs_constraints::AttributeTable;
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
 
 use crate::engine::Engine;
+use crate::guard::{sorted_sets, ResumeInner, ResumeState, RunGuard, TruncationReason};
 use crate::metrics::MiningMetrics;
+use crate::miner::Algorithm;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// Deterministic snapshot form of the SUPP levels (levels sorted, sets
+/// within a level sorted).
+fn freeze_supp(supp: &HashMap<usize, HashSet<Itemset>>) -> Vec<(usize, Vec<Itemset>)> {
+    let mut out: Vec<(usize, Vec<Itemset>)> = supp
+        .iter()
+        .map(|(&k, sets)| (k, sorted_sets(sets.iter().cloned())))
+        .collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+fn thaw_supp(supp: Vec<(usize, Vec<Itemset>)>) -> HashMap<usize, HashSet<Itemset>> {
+    supp.into_iter()
+        .map(|(k, sets)| (k, sets.into_iter().collect()))
+        .collect()
+}
 
 /// Runs Algorithm BMS** and returns `MIN_VALID(Q)`.
 ///
@@ -48,15 +67,73 @@ pub fn run_bms_star_star<C: MintermCounter>(
     query: &CorrelationQuery,
     counter: &mut C,
 ) -> Result<MiningResult, MiningError> {
+    run_bms_star_star_guarded(db, attrs, query, counter, &RunGuard::unlimited(), None)
+}
+
+/// [`run_bms_star_star`] under a resource guard, optionally re-entering a
+/// truncated run's snapshot (either phase).
+///
+/// A phase-1 (SUPP enumeration) trip still runs the full phase-2 sweep
+/// over the *completed* SUPP levels — those evaluations are memo-cache
+/// hits, so the epilogue costs no new tables — and the answers it yields
+/// are the complete run's answers up to the truncated level. Phase 2
+/// checkpoints the guard once per level.
+pub(crate) fn run_bms_star_star_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+    guard: &RunGuard,
+    resume: Option<ResumeInner>,
+) -> Result<MiningResult, MiningError> {
     query.validate(attrs)?;
     if query.constraints.has_neither_monotone() {
         return Err(MiningError::NonMonotoneConstraint);
     }
+    enum StarStarEntry {
+        Fresh,
+        Phase1 {
+            level: usize,
+            cands: Vec<Itemset>,
+            supp: HashMap<usize, HashSet<Itemset>>,
+        },
+        Phase2 {
+            k: usize,
+            current: Vec<Itemset>,
+            sig: Vec<Itemset>,
+            supp: HashMap<usize, HashSet<Itemset>>,
+        },
+    }
+    let entry = match resume {
+        None => StarStarEntry::Fresh,
+        Some(ResumeInner::StarStarPhase1 { level, cands, supp }) => StarStarEntry::Phase1 {
+            level,
+            cands,
+            supp: thaw_supp(supp),
+        },
+        Some(ResumeInner::StarStarPhase2 {
+            k,
+            current,
+            sig,
+            supp,
+        }) => StarStarEntry::Phase2 {
+            k,
+            current,
+            sig,
+            supp: thaw_supp(supp),
+        },
+        Some(_) => {
+            return Err(MiningError::ResumeMismatch {
+                expected: "another algorithm",
+                requested: Algorithm::BmsStarStar.name(),
+            })
+        }
+    };
     let start = Instant::now();
     let mut metrics = MiningMetrics::default();
     let base_stats = counter.stats();
     let analysis = query.constraints.analyze(attrs);
-    let mut engine = Engine::new(counter, &query.params);
+    let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
 
     // Preprocessing, identical to BMS++.
     let item_threshold = query.params.item_support_abs(db.len());
@@ -83,46 +160,117 @@ pub fn run_bms_star_star<C: MintermCounter>(
     let witness_set: HashSet<Item> = l1_plus.iter().copied().collect();
 
     // Phase 1: SUPP levels, one counting batch per level. Verdicts stay
-    // in the engine's memo-cache for phase 2.
-    let mut supp: HashMap<usize, HashSet<Itemset>> = HashMap::new();
-    let mut cands = candidate::pairs_from(&l1_plus, &l1_minus);
-    let mut level = 2usize;
-    while !cands.is_empty() && level <= query.params.max_level {
-        metrics.candidates_generated += cands.len() as u64;
-        metrics.max_level_reached = level;
-        let mut survivors: Vec<Itemset> = Vec::with_capacity(cands.len());
-        for set in cands {
-            if analysis.am_residual_satisfied(&set, attrs) {
-                survivors.push(set);
-            } else {
-                metrics.pruned_before_count += 1;
+    // in the engine's memo-cache for phase 2. Skipped entirely when
+    // resuming into phase 2.
+    let mut truncation: Option<(TruncationReason, ResumeState)> = None;
+    let (supp, phase2_start) = match entry {
+        StarStarEntry::Phase2 {
+            k,
+            current,
+            sig,
+            supp,
+        } => (supp, Some((k, current, sig))),
+        fresh_or_phase1 => {
+            let (mut level, mut cands, mut supp) = match fresh_or_phase1 {
+                StarStarEntry::Phase1 { level, cands, supp } => (level, cands, supp),
+                _ => (
+                    2usize,
+                    candidate::pairs_from(&l1_plus, &l1_minus),
+                    HashMap::new(),
+                ),
+            };
+            while !cands.is_empty() && level <= query.params.max_level {
+                let snapshot = engine
+                    .guard()
+                    .is_armed()
+                    .then(|| ResumeInner::StarStarPhase1 {
+                        level,
+                        cands: cands.clone(),
+                        supp: freeze_supp(&supp),
+                    });
+                metrics.candidates_generated += cands.len() as u64;
+                metrics.max_level_reached = level;
+                let mut survivors: Vec<Itemset> = Vec::with_capacity(cands.len());
+                for set in cands {
+                    if analysis.am_residual_satisfied(&set, attrs) {
+                        survivors.push(set);
+                    } else {
+                        metrics.pruned_before_count += 1;
+                    }
+                }
+                let verdicts = match engine.evaluate_level(&survivors) {
+                    Ok(v) => v,
+                    Err(reason) => {
+                        metrics.max_level_reached = level - 1;
+                        truncation = Some((
+                            reason,
+                            ResumeState {
+                                algorithm: Algorithm::BmsStarStar,
+                                inner: snapshot.expect("a trip implies an armed guard"),
+                            },
+                        ));
+                        break;
+                    }
+                };
+                let mut supp_level: HashSet<Itemset> = HashSet::new();
+                for (set, v) in survivors.into_iter().zip(verdicts) {
+                    if v.ct_supported {
+                        supp_level.insert(set);
+                    }
+                }
+                cands = candidate::extend_gen(&supp_level, &good1, |cand| {
+                    cand.subsets_dropping_one().all(|s| {
+                        !s.iter().any(|i| witness_set.contains(&i)) || supp_level.contains(&s)
+                    })
+                });
+                supp.insert(level, supp_level);
+                level += 1;
             }
+            (supp, None)
         }
-        let verdicts = engine.evaluate_level(&survivors);
-        let mut supp_level: HashSet<Itemset> = HashSet::new();
-        for (set, v) in survivors.into_iter().zip(verdicts) {
-            if v.ct_supported {
-                supp_level.insert(set);
-            }
-        }
-        cands = candidate::extend_gen(&supp_level, &good1, |cand| {
-            cand.subsets_dropping_one()
-                .all(|s| !s.iter().any(|i| witness_set.contains(&i)) || supp_level.contains(&s))
-        });
-        supp.insert(level, supp_level);
-        level += 1;
-    }
+    };
 
     // Phase 2: upward SIG sweep over SUPP — every set here was judged in
     // phase 1, so each evaluation is a memo-cache hit: no new tables.
-    let mut sig: Vec<Itemset> = Vec::new();
-    let mut current: Vec<Itemset> = supp
-        .get(&2)
-        .map(|m| m.iter().cloned().collect())
-        .unwrap_or_default();
-    current.sort_unstable();
-    let mut k = 2usize;
+    // Even when phase 1 was truncated, the sweep runs to completion over
+    // the *completed* SUPP levels (pure cache work, no counting) — the
+    // answers it yields are the complete run's answers up to that level.
+    let (mut k, mut current, mut sig) = match phase2_start {
+        Some((k, current, sig)) => (k, current, sig),
+        None => {
+            let mut current: Vec<Itemset> = supp
+                .get(&2)
+                .map(|m| m.iter().cloned().collect())
+                .unwrap_or_default();
+            current.sort_unstable();
+            (2usize, current, Vec::new())
+        }
+    };
     while !current.is_empty() {
+        // The between-phase / per-level checkpoint: only consulted while
+        // the run is still live — after a phase-1 trip the sweep over the
+        // sound prefix must not be abandoned.
+        if truncation.is_none() {
+            let snapshot = engine
+                .guard()
+                .is_armed()
+                .then(|| ResumeInner::StarStarPhase2 {
+                    k,
+                    current: sorted_sets(current.iter().cloned()),
+                    sig: sig.clone(),
+                    supp: freeze_supp(&supp),
+                });
+            if let Err(reason) = engine.guard().checkpoint() {
+                truncation = Some((
+                    reason,
+                    ResumeState {
+                        algorithm: Algorithm::BmsStarStar,
+                        inner: snapshot.expect("a trip implies an armed guard"),
+                    },
+                ));
+                break;
+            }
+        }
         let mut notsig_level: HashSet<Itemset> = HashSet::new();
         for set in &current {
             if sig.iter().any(|a| a.is_subset_of(set)) {
@@ -144,7 +292,24 @@ pub fn run_bms_star_star<C: MintermCounter>(
     let end = engine.counting_stats();
     metrics.absorb_counting(end.since(&base_stats));
     metrics.elapsed = start.elapsed();
-    Ok(MiningResult::new(sig, Semantics::MinValid, metrics))
+    match truncation {
+        None => Ok(MiningResult::new(sig, Semantics::MinValid, metrics)),
+        Some((reason, resume)) => {
+            let frontier_level = match &resume.inner {
+                ResumeInner::StarStarPhase1 { level, .. } => level - 1,
+                ResumeInner::StarStarPhase2 { k, .. } => k - 1,
+                _ => unreachable!("BMS** trips carry BMS** snapshots"),
+            };
+            Ok(MiningResult::truncated(
+                sig,
+                Semantics::MinValid,
+                metrics,
+                reason,
+                frontier_level,
+                resume,
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use std::collections::{HashMap, HashSet};
 use ccs_itemset::{CountingStats, Itemset, MintermCounter};
 use ccs_stats::{chi2_quantile, ContingencyTable};
 
+use crate::guard::{RunGuard, TruncationReason};
 use crate::params::MiningParams;
 
 /// The verdict on one candidate set after building its contingency table.
@@ -45,10 +46,17 @@ pub(crate) struct Engine<'a, C: MintermCounter> {
     cache: HashMap<Itemset, Verdict>,
     /// Evaluations answered from `cache` without building a table.
     cache_hits: u64,
+    /// The run's resource governor, consulted at level boundaries and
+    /// passed into the counting layer as its interruption probe.
+    guard: RunGuard,
 }
 
 impl<'a, C: MintermCounter> Engine<'a, C> {
     pub(crate) fn new(counter: &'a mut C, params: &MiningParams) -> Self {
+        Self::with_guard(counter, params, RunGuard::unlimited())
+    }
+
+    pub(crate) fn with_guard(counter: &'a mut C, params: &MiningParams, guard: RunGuard) -> Self {
         let n = counter.n_transactions();
         Engine {
             counter,
@@ -58,7 +66,13 @@ impl<'a, C: MintermCounter> Engine<'a, C> {
             crit: None,
             cache: HashMap::new(),
             cache_hits: 0,
+            guard,
         }
+    }
+
+    /// The guard governing this engine's run.
+    pub(crate) fn guard(&self) -> &RunGuard {
+        &self.guard
     }
 
     /// The chi-squared critical value of the correlation test.
@@ -110,10 +124,22 @@ impl<'a, C: MintermCounter> Engine<'a, C> {
     ///
     /// Sets with cached verdicts (and in-batch duplicates) are answered
     /// from the memo-cache; the rest go to the counting layer as a single
-    /// [`MintermCounter::minterm_counts_batch`] call, so horizontal
-    /// strategies pay one scan per level and the vertical strategy shares
-    /// prefix work across candidates. Verdicts come back in input order.
-    pub(crate) fn evaluate_level(&mut self, sets: &[Itemset]) -> Vec<Verdict> {
+    /// guarded [`MintermCounter::minterm_counts_batch_guarded`] call, so
+    /// horizontal strategies pay one scan per level and the vertical
+    /// strategy shares prefix work across candidates. Verdicts come back
+    /// in input order.
+    ///
+    /// This is also a guard checkpoint — one at entry (the level
+    /// boundary) and, via the probe, inside the counting loops. On a
+    /// trip, the batch's partial counts are discarded (its completed work
+    /// is still in the statistics) and the truncation reason is returned;
+    /// the caller abandons the level and reports a truncated result. With
+    /// an unarmed guard this never fails.
+    pub(crate) fn evaluate_level(
+        &mut self,
+        sets: &[Itemset],
+    ) -> Result<Vec<Verdict>, TruncationReason> {
+        self.guard.checkpoint()?;
         let mut fresh: Vec<Itemset> = Vec::new();
         let mut queued: HashSet<&Itemset> = HashSet::new();
         for set in sets {
@@ -125,14 +151,30 @@ impl<'a, C: MintermCounter> Engine<'a, C> {
             }
         }
         if !fresh.is_empty() {
-            let counts = self.counter.minterm_counts_batch(&fresh);
+            let batch = self
+                .counter
+                .minterm_counts_batch_guarded(&fresh, &self.guard);
+            let counts = match batch {
+                Ok(counts) => counts,
+                // A counter only abandons a batch when the probe asks it
+                // to. Re-running the checkpoint classifies the cause —
+                // including a cancellation flag that was raised but not
+                // yet converted into a trip; the fallback covers
+                // misbehaving counters that interrupt unprompted.
+                Err(_) => {
+                    return Err(match self.guard.checkpoint() {
+                        Err(reason) => reason,
+                        Ok(()) => TruncationReason::WorkBudget,
+                    })
+                }
+            };
             for (set, cells) in fresh.into_iter().zip(counts) {
                 let table = ContingencyTable::from_counts(set.clone(), cells);
                 let v = self.judge(&table);
                 self.cache.insert(set, v);
             }
         }
-        sets.iter().map(|s| self.cache[s]).collect()
+        Ok(sets.iter().map(|s| self.cache[s]).collect())
     }
 
     /// Raw minterm counts for `set` (one accounted table), for callers

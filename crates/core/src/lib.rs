@@ -29,6 +29,7 @@ pub mod bms_star_star;
 pub mod border;
 pub mod causality;
 mod engine;
+pub mod guard;
 pub mod metrics;
 pub mod miner;
 pub mod naive;
@@ -42,8 +43,12 @@ pub use bms_star::run_bms_star;
 pub use bms_star_star::run_bms_star_star;
 pub use border::{solution_space, SolutionSpace};
 pub use causality::{discover_causality, CausalAnalysis, CausalFinding};
+pub use guard::{Completion, GuardLimits, ResumeState, RunGuard, TruncationReason};
 pub use metrics::MiningMetrics;
-pub use miner::{mine, mine_with_counter, mine_with_strategy, Algorithm, CountingStrategy};
+pub use miner::{
+    mine, mine_with_counter, mine_with_counter_guarded, mine_with_guard, mine_with_strategy,
+    resume_with_counter_guarded, resume_with_guard, Algorithm, CountingStrategy,
+};
 pub use naive::{run_naive, NAIVE_MAX_ITEMS};
 pub use params::MiningParams;
 pub use query::{CorrelationQuery, MiningError, MiningResult, Semantics};

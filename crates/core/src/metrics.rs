@@ -32,6 +32,10 @@ pub struct MiningMetrics {
     /// Evaluations answered from the engine's verdict cache (no table
     /// was rebuilt).
     pub cache_hits: u64,
+    /// Counting batches the vertical strategy answered via its horizontal
+    /// fallback because the run's memory budget could not fit the scratch
+    /// arena (the graceful-degradation ladder).
+    pub degraded_batches: u64,
     /// Highest lattice level reached.
     pub max_level_reached: usize,
     /// Number of sets placed in SIG (answers, before/after filtering
@@ -51,6 +55,7 @@ impl MiningMetrics {
         self.transactions_visited += stats.transactions_visited;
         self.cells_counted += stats.cells_counted;
         self.cache_hits += stats.cache_hits;
+        self.degraded_batches += stats.degraded_batches;
     }
 
     /// Merges another metrics record into this one (durations add;
@@ -64,6 +69,7 @@ impl MiningMetrics {
         self.transactions_visited += other.transactions_visited;
         self.cells_counted += other.cells_counted;
         self.cache_hits += other.cache_hits;
+        self.degraded_batches += other.degraded_batches;
         self.max_level_reached = self.max_level_reached.max(other.max_level_reached);
         self.sig_size += other.sig_size;
         self.notsig_size += other.notsig_size;
@@ -84,6 +90,7 @@ mod tests {
             transactions_visited: 30,
             cells_counted: 12,
             cache_hits: 1,
+            degraded_batches: 1,
         });
         m.absorb_counting(CountingStats {
             tables_built: 2,
@@ -91,12 +98,14 @@ mod tests {
             transactions_visited: 20,
             cells_counted: 8,
             cache_hits: 0,
+            degraded_batches: 0,
         });
         assert_eq!(m.tables_built, 5);
         assert_eq!(m.db_scans, 5);
         assert_eq!(m.transactions_visited, 50);
         assert_eq!(m.cells_counted, 20);
         assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.degraded_batches, 1);
     }
 
     #[test]

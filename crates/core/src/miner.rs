@@ -5,11 +5,12 @@ use ccs_itemset::{
     HorizontalCounter, MintermCounter, ParallelCounter, TransactionDb, VerticalCounter,
 };
 
-use crate::bms_plus::run_bms_plus;
-use crate::bms_plus_plus::run_bms_plus_plus;
-use crate::bms_star::run_bms_star;
-use crate::bms_star_star::run_bms_star_star;
-use crate::naive::run_naive;
+use crate::bms_plus::run_bms_plus_guarded;
+use crate::bms_plus_plus::run_bms_plus_plus_guarded;
+use crate::bms_star::run_bms_star_guarded;
+use crate::bms_star_star::run_bms_star_star_guarded;
+use crate::guard::{ResumeInner, ResumeState, RunGuard};
+use crate::naive::run_naive_guarded;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
 /// The mining algorithms of the paper, plus the exhaustive reference.
@@ -142,14 +143,184 @@ pub fn mine_with_counter<C: MintermCounter>(
     algorithm: Algorithm,
     counter: &mut C,
 ) -> Result<MiningResult, MiningError> {
+    mine_with_counter_guarded(db, attrs, query, algorithm, counter, &RunGuard::unlimited())
+}
+
+/// The single dispatch point every public entry funnels into: one
+/// algorithm, one counter, one guard, and (for resumed runs) the
+/// snapshot to re-enter from.
+fn dispatch<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    counter: &mut C,
+    guard: &RunGuard,
+    resume: Option<ResumeInner>,
+) -> Result<MiningResult, MiningError> {
     match algorithm {
-        Algorithm::BmsPlus => run_bms_plus(db, attrs, query, counter),
-        Algorithm::BmsPlusPlus => run_bms_plus_plus(db, attrs, query, counter),
-        Algorithm::BmsStar => run_bms_star(db, attrs, query, counter),
-        Algorithm::BmsStarStar => run_bms_star_star(db, attrs, query, counter),
-        Algorithm::Naive => run_naive(db, attrs, query, Semantics::ValidMin, counter),
-        Algorithm::NaiveMinValid => run_naive(db, attrs, query, Semantics::MinValid, counter),
+        Algorithm::BmsPlus => run_bms_plus_guarded(db, attrs, query, counter, guard, resume),
+        Algorithm::BmsPlusPlus => {
+            run_bms_plus_plus_guarded(db, attrs, query, counter, guard, resume)
+        }
+        Algorithm::BmsStar => run_bms_star_guarded(db, attrs, query, counter, guard, resume),
+        Algorithm::BmsStarStar => {
+            run_bms_star_star_guarded(db, attrs, query, counter, guard, resume)
+        }
+        Algorithm::Naive => run_naive_guarded(
+            db,
+            attrs,
+            query,
+            Semantics::ValidMin,
+            counter,
+            guard,
+            resume,
+        ),
+        Algorithm::NaiveMinValid => run_naive_guarded(
+            db,
+            attrs,
+            query,
+            Semantics::MinValid,
+            counter,
+            guard,
+            resume,
+        ),
     }
+}
+
+/// Runs `algorithm` under a resource guard: the run honours the guard's
+/// deadline, work budget, memory budget, and cancellation flag, and on a
+/// trip returns a *sound partial* [`MiningResult`] (see
+/// [`crate::guard::Completion`]) instead of an error.
+///
+/// # Errors
+///
+/// As [`mine_with_strategy`] — resource exhaustion is **not** an error.
+pub fn mine_with_guard(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    strategy: CountingStrategy,
+    guard: &RunGuard,
+) -> Result<MiningResult, MiningError> {
+    match strategy {
+        CountingStrategy::Horizontal => {
+            let mut counter = HorizontalCounter::new(db);
+            dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
+        }
+        CountingStrategy::Vertical => {
+            let mut counter = VerticalCounter::new(db);
+            dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
+        }
+        CountingStrategy::Parallel => {
+            let mut counter = ParallelCounter::with_available_parallelism(db);
+            dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
+        }
+    }
+}
+
+/// [`mine_with_guard`] against a caller-provided counter.
+///
+/// # Errors
+///
+/// As [`mine_with_guard`].
+pub fn mine_with_counter_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    counter: &mut C,
+    guard: &RunGuard,
+) -> Result<MiningResult, MiningError> {
+    dispatch(db, attrs, query, algorithm, counter, guard, None)
+}
+
+/// Continues a truncated run from its [`ResumeState`] snapshot, under a
+/// fresh guard. The snapshot pins the algorithm; database, attributes,
+/// and query must be the ones the original run used — the snapshot is a
+/// frontier over *that* search space, and resuming against different
+/// inputs yields garbage (though never unsoundness panics).
+///
+/// The resumed result's answers contain the partial run's answers; if
+/// the resumed run itself completes, the combined answer set equals the
+/// never-interrupted run's, exactly.
+///
+/// # Errors
+///
+/// As [`mine_with_guard`].
+pub fn resume_with_guard(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    strategy: CountingStrategy,
+    guard: &RunGuard,
+    state: ResumeState,
+) -> Result<MiningResult, MiningError> {
+    let algorithm = state.algorithm();
+    match strategy {
+        CountingStrategy::Horizontal => {
+            let mut counter = HorizontalCounter::new(db);
+            dispatch(
+                db,
+                attrs,
+                query,
+                algorithm,
+                &mut counter,
+                guard,
+                Some(state.inner),
+            )
+        }
+        CountingStrategy::Vertical => {
+            let mut counter = VerticalCounter::new(db);
+            dispatch(
+                db,
+                attrs,
+                query,
+                algorithm,
+                &mut counter,
+                guard,
+                Some(state.inner),
+            )
+        }
+        CountingStrategy::Parallel => {
+            let mut counter = ParallelCounter::with_available_parallelism(db);
+            dispatch(
+                db,
+                attrs,
+                query,
+                algorithm,
+                &mut counter,
+                guard,
+                Some(state.inner),
+            )
+        }
+    }
+}
+
+/// [`resume_with_guard`] against a caller-provided counter.
+///
+/// # Errors
+///
+/// As [`mine_with_guard`].
+pub fn resume_with_counter_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    counter: &mut C,
+    guard: &RunGuard,
+    state: ResumeState,
+) -> Result<MiningResult, MiningError> {
+    let algorithm = state.algorithm();
+    dispatch(
+        db,
+        attrs,
+        query,
+        algorithm,
+        counter,
+        guard,
+        Some(state.inner),
+    )
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@ use ccs_constraints::AttributeTable;
 use ccs_itemset::{Item, Itemset, MintermCounter, TransactionDb};
 
 use crate::engine::Engine;
+use crate::guard::{ResumeInner, ResumeState, RunGuard, TruncationReason};
 use crate::metrics::MiningMetrics;
+use crate::miner::Algorithm;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,11 +50,47 @@ pub fn run_naive<C: MintermCounter>(
     semantics: Semantics,
     counter: &mut C,
 ) -> Result<MiningResult, MiningError> {
+    run_naive_guarded(
+        db,
+        attrs,
+        query,
+        semantics,
+        counter,
+        &RunGuard::unlimited(),
+        None,
+    )
+}
+
+/// [`run_naive`] under a resource guard.
+///
+/// The exhaustive sweep holds no frontier worth snapshotting — every
+/// level is the full `k`-combination space — so its resume state is a
+/// plain restart marker. Truncated answers are still sound: a set's
+/// minimality is decided by its proper subsets, all of which live at
+/// completed lower levels.
+pub(crate) fn run_naive_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    semantics: Semantics,
+    counter: &mut C,
+    guard: &RunGuard,
+    resume: Option<ResumeInner>,
+) -> Result<MiningResult, MiningError> {
     query.validate(attrs)?;
+    match resume {
+        None | Some(ResumeInner::NaiveRestart) => {}
+        Some(_) => {
+            return Err(MiningError::ResumeMismatch {
+                expected: "another algorithm",
+                requested: Algorithm::Naive.name(),
+            })
+        }
+    }
     let start = Instant::now();
     let mut metrics = MiningMetrics::default();
     let base_stats = counter.stats();
-    let mut engine = Engine::new(counter, &query.params);
+    let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
 
     // Same item basis as the level-wise miners.
     let item_threshold = query.params.item_support_abs(db.len());
@@ -70,10 +108,18 @@ pub fn run_naive<C: MintermCounter>(
 
     let top = query.params.max_level.min(basis.len());
     let mut flags: HashMap<Itemset, Flags> = HashMap::new();
+    let mut truncation: Option<(TruncationReason, usize)> = None;
     for k in 2..=top {
-        for set in combinations(&basis, k) {
-            metrics.candidates_generated += 1;
-            let v = engine.evaluate(&set);
+        let sets = combinations(&basis, k);
+        metrics.candidates_generated += sets.len() as u64;
+        let verdicts = match engine.evaluate_level(&sets) {
+            Ok(v) => v,
+            Err(reason) => {
+                truncation = Some((reason, k - 1));
+                break;
+            }
+        };
+        for (set, v) in sets.into_iter().zip(verdicts) {
             let valid = query.constraints.satisfied(&set, attrs);
             flags.insert(
                 set,
@@ -114,11 +160,35 @@ pub fn run_naive<C: MintermCounter>(
     }
 
     metrics.sig_size = answers.len() as u64;
-    metrics.max_level_reached = top;
     let end = engine.counting_stats();
     metrics.absorb_counting(end.since(&base_stats));
     metrics.elapsed = start.elapsed();
-    Ok(MiningResult::new(answers, semantics, metrics))
+    match truncation {
+        None => {
+            metrics.max_level_reached = top;
+            Ok(MiningResult::new(answers, semantics, metrics))
+        }
+        Some((reason, frontier_level)) => {
+            metrics.max_level_reached = frontier_level;
+            // The snapshot must pin the semantics too, or resuming a
+            // MIN_VALID run would silently restart under VALID_MIN.
+            let algorithm = match semantics {
+                Semantics::ValidMin => Algorithm::Naive,
+                Semantics::MinValid => Algorithm::NaiveMinValid,
+            };
+            Ok(MiningResult::truncated(
+                answers,
+                semantics,
+                metrics,
+                reason,
+                frontier_level,
+                ResumeState {
+                    algorithm,
+                    inner: ResumeInner::NaiveRestart,
+                },
+            ))
+        }
+    }
 }
 
 /// All `k`-combinations of `items`, in lexicographic order.

@@ -4,7 +4,9 @@ use std::fmt;
 
 use ccs_constraints::{AttributeTable, ConstraintError, ConstraintSet};
 use ccs_itemset::Itemset;
+use thiserror::Error;
 
+use crate::guard::{Completion, ResumeState, TruncationReason};
 use crate::metrics::MiningMetrics;
 use crate::params::MiningParams;
 
@@ -77,10 +79,17 @@ pub struct MiningResult {
     pub semantics: Semantics,
     /// Work accounting.
     pub metrics: MiningMetrics,
+    /// Whether the run covered the whole search space or stopped at a
+    /// guard checkpoint. Truncated runs still carry a *sound* answer set:
+    /// every reported set is an answer of the complete run.
+    pub completion: Completion,
+    /// For truncated runs, the frontier from which
+    /// [`crate::miner::resume_with_guard`] continues the sweep.
+    pub resume: Option<ResumeState>,
 }
 
 impl MiningResult {
-    /// Builds a result, sorting the answers.
+    /// Builds a complete result, sorting the answers.
     pub fn new(mut answers: Vec<Itemset>, semantics: Semantics, metrics: MiningMetrics) -> Self {
         answers.sort_unstable();
         answers.dedup();
@@ -88,7 +97,30 @@ impl MiningResult {
             answers,
             semantics,
             metrics,
+            completion: Completion::Complete,
+            resume: None,
         }
+    }
+
+    /// Builds a truncated result: a sound partial answer set, the level
+    /// frontier it is complete up to, and the resume snapshot.
+    pub(crate) fn truncated(
+        answers: Vec<Itemset>,
+        semantics: Semantics,
+        metrics: MiningMetrics,
+        reason: TruncationReason,
+        frontier_level: usize,
+        resume: ResumeState,
+    ) -> Self {
+        let completion = Completion::Truncated {
+            reason,
+            frontier_level,
+            sets_evaluated: metrics.tables_built,
+        };
+        let mut result = MiningResult::new(answers, semantics, metrics);
+        result.completion = completion;
+        result.resume = Some(resume);
+        result
     }
 
     /// `true` iff `set` is among the answers.
@@ -98,48 +130,34 @@ impl MiningResult {
 }
 
 /// Errors a mining run can report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Error)]
 pub enum MiningError {
     /// A constraint references a missing or ill-typed attribute.
-    Constraint(ConstraintError),
+    #[error("constraint error: {0}")]
+    Constraint(#[from] ConstraintError),
     /// The query contains a constraint that is neither monotone nor
     /// anti-monotone (`avg`): the level-wise algorithms cannot handle it
     /// (§6 of the paper); use the naive miner.
+    #[error("query contains a constraint that is neither monotone nor anti-monotone (e.g. avg); only the naive miner supports such queries")]
     NonMonotoneConstraint,
     /// The exhaustive reference miner was asked to enumerate a basis
     /// larger than it can handle.
+    #[error("the exhaustive miner is limited to {limit} items, but the basis has {basis}; use a level-wise algorithm or add pruning constraints")]
     UniverseTooLarge {
         /// Items in the (filtered) basis.
         basis: usize,
         /// The miner's hard cap.
         limit: usize,
     },
-}
-
-impl fmt::Display for MiningError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MiningError::Constraint(e) => write!(f, "constraint error: {e}"),
-            MiningError::NonMonotoneConstraint => write!(
-                f,
-                "query contains a constraint that is neither monotone nor anti-monotone \
-                 (e.g. avg); only the naive miner supports such queries"
-            ),
-            MiningError::UniverseTooLarge { basis, limit } => write!(
-                f,
-                "the exhaustive miner is limited to {limit} items, but the basis has {basis}; \
-                 use a level-wise algorithm or add pruning constraints"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for MiningError {}
-
-impl From<ConstraintError> for MiningError {
-    fn from(e: ConstraintError) -> Self {
-        MiningError::Constraint(e)
-    }
+    /// A resume snapshot was handed to a different algorithm (or phase)
+    /// than the one that produced it.
+    #[error("resume state was produced by {expected}, not {requested}")]
+    ResumeMismatch {
+        /// The algorithm the snapshot belongs to.
+        expected: &'static str,
+        /// The algorithm that was asked to consume it.
+        requested: &'static str,
+    },
 }
 
 #[cfg(test)]

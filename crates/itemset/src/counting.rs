@@ -14,10 +14,28 @@
 //!
 //! Both implementations keep work counters so experiments can report *sets
 //! considered* / *tables built* alongside wall-clock time.
+//!
+//! # Cooperative interruption
+//!
+//! Batch counting can run for a long time on a dense level, so every
+//! counter also exposes a *guarded* batch entry point,
+//! [`MintermCounter::minterm_counts_batch_guarded`], which consults a
+//! [`CountProbe`] at interior loop boundaries (horizontal chunk loop,
+//! vertical prefix-class loop, parallel fan-out) and abandons the batch
+//! with [`BatchInterrupted`] when the probe asks it to stop. Work
+//! statistics stay accurate across an abandoned batch: every *completed*
+//! unit (scan, prefix class, table) is flushed into [`CountingStats`]
+//! before the error returns. The unguarded methods are the guarded ones
+//! driven by [`NoProbe`].
 
 use crate::database::TransactionDb;
 use crate::itemset::Itemset;
 use crate::vertical::VerticalIndex;
+
+/// How many transactions a horizontal scan processes between probe
+/// checks. Small enough to stay responsive on multi-million-row
+/// databases, large enough that the check is free.
+pub(crate) const PROBE_CHUNK: usize = 1024;
 
 /// Counting work statistics, shared by all counter implementations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +51,9 @@ pub struct CountingStats {
     /// Evaluations answered from a verdict cache instead of a counter
     /// (tracked by `ccs-core`'s engine, not by the counters themselves).
     pub cache_hits: u64,
+    /// Batches a vertical counter answered with horizontal scans after
+    /// its scratch arena tripped a memory budget (graceful degradation).
+    pub degraded_batches: u64,
 }
 
 impl CountingStats {
@@ -45,8 +66,60 @@ impl CountingStats {
             transactions_visited: self.transactions_visited - base.transactions_visited,
             cells_counted: self.cells_counted - base.cells_counted,
             cache_hits: self.cache_hits - base.cache_hits,
+            degraded_batches: self.degraded_batches - base.degraded_batches,
         }
     }
+}
+
+/// A cooperative-interruption hook consulted inside batch counting loops.
+///
+/// Implemented by `ccs-core`'s `RunGuard`; [`NoProbe`] is the no-op used
+/// by the unguarded paths. Probes must be [`Sync`]: the parallel counter
+/// shares one probe across its scoped workers.
+pub trait CountProbe: Sync {
+    /// `true` when counting should stop at the next boundary (deadline
+    /// passed, budget exhausted, or externally cancelled).
+    fn should_stop(&self) -> bool;
+
+    /// Records `cells` contingency cells of completed work against the
+    /// probe's work budget; returns `true` when the budget is now
+    /// exhausted (the completed work is kept, further work should stop).
+    fn charge(&self, cells: u64) -> bool;
+
+    /// The memory budget, in bytes, for a vertical counter's scratch
+    /// arena, or `None` for unlimited.
+    fn arena_budget_bytes(&self) -> Option<usize> {
+        None
+    }
+
+    /// Notifies the probe that a memory budget was tripped by a counter
+    /// that has no cheaper strategy to degrade to.
+    fn note_memory_trip(&self) {}
+}
+
+/// The probe that never interrupts: unguarded counting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl CountProbe for NoProbe {
+    fn should_stop(&self) -> bool {
+        false
+    }
+    fn charge(&self, _cells: u64) -> bool {
+        false
+    }
+}
+
+/// A batch was abandoned at a probe checkpoint. Carries the work that
+/// *did* complete, so callers can keep statistics accurate; the partial
+/// count vectors themselves are discarded (a half-counted table is not a
+/// sound table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchInterrupted {
+    /// Tables fully counted before the interrupt.
+    pub tables_completed: u64,
+    /// Contingency cells of those completed tables.
+    pub cells_completed: u64,
 }
 
 /// A strategy for counting the `2^k` minterms of an itemset.
@@ -67,11 +140,83 @@ pub trait MintermCounter {
         sets.iter().map(|s| self.minterm_counts(s)).collect()
     }
 
+    /// [`minterm_counts_batch`](Self::minterm_counts_batch) with
+    /// cooperative interruption: `probe` is consulted at interior loop
+    /// boundaries and the batch is abandoned with [`BatchInterrupted`]
+    /// when it asks to stop. Completed work is still recorded in
+    /// [`stats`](Self::stats).
+    ///
+    /// The default implementation checks the probe between sets.
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        let mut out = Vec::with_capacity(sets.len());
+        let mut done = BatchInterrupted::default();
+        for set in sets {
+            if probe.should_stop() {
+                return Err(done);
+            }
+            out.push(self.minterm_counts(set));
+            let cells = 1u64 << set.len();
+            done.tables_completed += 1;
+            done.cells_completed += cells;
+            if probe.charge(cells) {
+                return Err(done);
+            }
+        }
+        Ok(out)
+    }
+
     /// Number of transactions in the underlying database.
     fn n_transactions(&self) -> usize;
 
     /// Work performed so far.
     fn stats(&self) -> CountingStats;
+}
+
+/// One guarded horizontal scan over `db`, updating every candidate's
+/// table per transaction. Shared by [`HorizontalCounter`] and the
+/// degraded path of [`VerticalCounter`]. Flushes `stats` for the scan's
+/// completed work whether or not the scan finishes: `db_scans` counts the
+/// started scan, `transactions_visited` the rows actually read, and
+/// `tables_built`/`cells_counted` only move when the scan completes
+/// (a half-scanned table was never built).
+pub(crate) fn horizontal_batch_guarded(
+    db: &TransactionDb,
+    sets: &[Itemset],
+    probe: &dyn CountProbe,
+    stats: &mut CountingStats,
+) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+    if sets.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut tables: Vec<Vec<u64>> = sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
+    stats.db_scans += 1;
+    let mut visited_in_chunk = 0usize;
+    for t in db.transactions() {
+        if visited_in_chunk == PROBE_CHUNK {
+            visited_in_chunk = 0;
+            if probe.should_stop() {
+                return Err(BatchInterrupted::default());
+            }
+        }
+        visited_in_chunk += 1;
+        stats.transactions_visited += 1;
+        for (set, table) in sets.iter().zip(tables.iter_mut()) {
+            table[cell_index(t, set)] += 1;
+        }
+    }
+    let tables_built = sets.len() as u64;
+    let cells: u64 = tables.iter().map(|t| t.len() as u64).sum();
+    stats.tables_built += tables_built;
+    stats.cells_counted += cells;
+    // The scan completed: the tables are sound and the caller keeps them
+    // even if this charge exhausts the budget — the *next* checkpoint
+    // observes the exhaustion.
+    let _ = probe.charge(cells);
+    Ok(tables)
 }
 
 /// Paper-faithful counter: one database scan per contingency table.
@@ -108,21 +253,18 @@ impl MintermCounter for HorizontalCounter<'_> {
     /// as Apriori-style implementations do: each transaction updates every
     /// candidate's table.
     fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
-        if sets.is_empty() {
-            return Vec::new();
+        match horizontal_batch_guarded(self.db, sets, &NoProbe, &mut self.stats) {
+            Ok(tables) => tables,
+            Err(_) => unreachable!("NoProbe never interrupts"),
         }
-        let mut tables: Vec<Vec<u64>> =
-            sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
-        for t in self.db.transactions() {
-            self.stats.transactions_visited += 1;
-            for (set, table) in sets.iter().zip(tables.iter_mut()) {
-                table[cell_index(t, set)] += 1;
-            }
-        }
-        self.stats.db_scans += 1;
-        self.stats.tables_built += sets.len() as u64;
-        self.stats.cells_counted += tables.iter().map(|t| t.len() as u64).sum::<u64>();
-        tables
+    }
+
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        horizontal_batch_guarded(self.db, sets, probe, &mut self.stats)
     }
 
     fn n_transactions(&self) -> usize {
@@ -136,22 +278,32 @@ impl MintermCounter for HorizontalCounter<'_> {
 
 /// Tid-set-based counter: builds a vertical index once, then answers each
 /// table by recursive tid-set splitting.
+///
+/// Keeps a reference to the source database so it can *degrade
+/// gracefully*: when a [`CountProbe`] memory budget is smaller than the
+/// scratch arena a batch needs, the counter permanently falls back to
+/// guarded horizontal scans (recorded in
+/// [`CountingStats::degraded_batches`]) instead of aborting the run.
 #[derive(Debug)]
-pub struct VerticalCounter {
+pub struct VerticalCounter<'a> {
+    db: &'a TransactionDb,
     index: VerticalIndex,
     stats: CountingStats,
+    degraded: bool,
 }
 
-impl VerticalCounter {
+impl<'a> VerticalCounter<'a> {
     /// Builds the vertical index over `db` (one scan) and wraps it.
-    pub fn new(db: &TransactionDb) -> Self {
+    pub fn new(db: &'a TransactionDb) -> Self {
         let index = VerticalIndex::build(db);
         VerticalCounter {
+            db,
             index,
             stats: CountingStats {
                 db_scans: 1,
                 ..CountingStats::default()
             },
+            degraded: false,
         }
     }
 
@@ -165,9 +317,15 @@ impl VerticalCounter {
     pub fn index_mut(&mut self) -> &mut VerticalIndex {
         &mut self.index
     }
+
+    /// `true` once a memory budget has forced the counter onto the
+    /// horizontal fallback path (sticky for the rest of the run).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
 }
 
-impl MintermCounter for VerticalCounter {
+impl MintermCounter for VerticalCounter<'_> {
     fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
         self.stats.tables_built += 1;
         self.stats.cells_counted += 1u64 << set.len();
@@ -177,9 +335,53 @@ impl MintermCounter for VerticalCounter {
     /// Batch counting with Eclat-style prefix sharing; see
     /// [`VerticalIndex::minterm_counts_batch`].
     fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
-        self.stats.tables_built += sets.len() as u64;
-        self.stats.cells_counted += sets.iter().map(|s| 1u64 << s.len()).sum::<u64>();
-        self.index.minterm_counts_batch(sets)
+        match self.minterm_counts_batch_guarded(sets, &NoProbe) {
+            Ok(tables) => tables,
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        if sets.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Degradation ladder: if the scratch arena this batch needs would
+        // exceed the probe's memory budget, answer this and every later
+        // batch with horizontal scans — the strategies agree exactly
+        // (counting-equivalence property tests), only the cost model
+        // changes.
+        if !self.degraded {
+            if let Some(budget) = probe.arena_budget_bytes() {
+                let depths = sets
+                    .iter()
+                    .map(|s| s.len().saturating_sub(2))
+                    .max()
+                    .unwrap_or(0);
+                if VerticalIndex::scratch_bytes(self.index.n_transactions(), depths) > budget {
+                    self.degraded = true;
+                }
+            }
+        }
+        if self.degraded {
+            self.stats.degraded_batches += 1;
+            return horizontal_batch_guarded(self.db, sets, probe, &mut self.stats);
+        }
+        match self.index.minterm_counts_batch_guarded(sets, probe) {
+            Ok(tables) => {
+                self.stats.tables_built += sets.len() as u64;
+                self.stats.cells_counted += sets.iter().map(|s| 1u64 << s.len()).sum::<u64>();
+                Ok(tables)
+            }
+            Err(partial) => {
+                self.stats.tables_built += partial.tables_completed;
+                self.stats.cells_counted += partial.cells_completed;
+                Err(partial)
+            }
+        }
     }
 
     fn n_transactions(&self) -> usize {
@@ -213,6 +415,7 @@ pub fn cell_index(t: &[crate::item::Item], set: &Itemset) -> usize {
 mod tests {
     use super::*;
     use crate::item::Item;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn db() -> TransactionDb {
         TransactionDb::from_ids(
@@ -227,6 +430,40 @@ mod tests {
                 vec![3],
             ],
         )
+    }
+
+    /// A probe that stops after a fixed number of `charge` calls and can
+    /// also stop unconditionally.
+    struct BudgetProbe {
+        budget_cells: u64,
+        spent: AtomicU64,
+        stop_now: bool,
+    }
+
+    impl BudgetProbe {
+        fn cells(budget_cells: u64) -> Self {
+            BudgetProbe {
+                budget_cells,
+                spent: AtomicU64::new(0),
+                stop_now: false,
+            }
+        }
+        fn stopped() -> Self {
+            BudgetProbe {
+                budget_cells: u64::MAX,
+                spent: AtomicU64::new(0),
+                stop_now: true,
+            }
+        }
+    }
+
+    impl CountProbe for BudgetProbe {
+        fn should_stop(&self) -> bool {
+            self.stop_now || self.spent.load(Ordering::Relaxed) >= self.budget_cells
+        }
+        fn charge(&self, cells: u64) -> bool {
+            self.spent.fetch_add(cells, Ordering::Relaxed) + cells >= self.budget_cells
+        }
     }
 
     #[test]
@@ -359,5 +596,105 @@ mod tests {
         assert_eq!(delta.db_scans, 1);
         assert_eq!(delta.cells_counted, 4);
         assert_eq!(delta.transactions_visited, d.len() as u64);
+    }
+
+    #[test]
+    fn guarded_batch_with_noprobe_matches_unguarded() {
+        let d = db();
+        let sets = vec![
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([1, 2]),
+            Itemset::from_ids([0, 1, 2]),
+        ];
+        let mut h1 = HorizontalCounter::new(&d);
+        let expected = h1.minterm_counts_batch(&sets);
+        let mut h2 = HorizontalCounter::new(&d);
+        assert_eq!(
+            h2.minterm_counts_batch_guarded(&sets, &NoProbe).unwrap(),
+            expected
+        );
+        assert_eq!(h1.stats(), h2.stats());
+        let mut v = VerticalCounter::new(&d);
+        assert_eq!(
+            v.minterm_counts_batch_guarded(&sets, &NoProbe).unwrap(),
+            expected
+        );
+    }
+
+    #[test]
+    fn stopped_probe_interrupts_horizontal_batch_and_flushes_stats() {
+        let d = db();
+        let sets = vec![Itemset::from_ids([0, 1]), Itemset::from_ids([1, 2])];
+        let mut h = HorizontalCounter::new(&d);
+        // The probe is pre-stopped, but the first check happens after the
+        // first chunk; this db is tiny, so the scan completes. Use a
+        // pre-stopped probe against the *vertical* per-class loop (which
+        // checks before each class) for the immediate-stop case.
+        let mut v = VerticalCounter::new(&d);
+        let err = v
+            .minterm_counts_batch_guarded(&sets, &BudgetProbe::stopped())
+            .unwrap_err();
+        assert_eq!(err.tables_completed, 0);
+        assert_eq!(v.stats().tables_built, 0, "no completed class, no tables");
+        // Horizontal: budget of 1 cell trips after the first scan of the
+        // batch completes (charge happens at scan end), so the whole
+        // level's tables are still returned.
+        let got = h
+            .minterm_counts_batch_guarded(&sets, &BudgetProbe::cells(1))
+            .unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn vertical_budget_interrupt_keeps_completed_class_stats() {
+        let d = db();
+        // Two prefix classes: pairs ([] prefix is shared — one class) and
+        // a triple class. A 1-cell budget stops after the first class.
+        let sets = vec![
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 1, 2]),
+            Itemset::from_ids([1, 2, 3]),
+        ];
+        let mut v = VerticalCounter::new(&d);
+        let err = v
+            .minterm_counts_batch_guarded(&sets, &BudgetProbe::cells(1))
+            .unwrap_err();
+        assert!(err.tables_completed >= 1, "first class completed");
+        assert_eq!(v.stats().tables_built, err.tables_completed);
+        assert_eq!(v.stats().cells_counted, err.cells_completed);
+    }
+
+    #[test]
+    fn vertical_degrades_to_horizontal_under_arena_pressure() {
+        struct TinyArena;
+        impl CountProbe for TinyArena {
+            fn should_stop(&self) -> bool {
+                false
+            }
+            fn charge(&self, _cells: u64) -> bool {
+                false
+            }
+            fn arena_budget_bytes(&self) -> Option<usize> {
+                Some(1)
+            }
+        }
+        let d = db();
+        let pairs = vec![Itemset::from_ids([0, 1])];
+        let triples = vec![Itemset::from_ids([0, 1, 2])];
+        let mut v = VerticalCounter::new(&d);
+        // Pairs need no scratch arena: still vertical.
+        v.minterm_counts_batch_guarded(&pairs, &TinyArena).unwrap();
+        assert!(!v.is_degraded());
+        // A triple needs one scratch depth > 1 byte: degrade, answer
+        // horizontally, and stay degraded.
+        let got = v
+            .minterm_counts_batch_guarded(&triples, &TinyArena)
+            .unwrap();
+        assert!(v.is_degraded());
+        assert_eq!(v.stats().degraded_batches, 1);
+        let mut h = HorizontalCounter::new(&d);
+        assert_eq!(got, h.minterm_counts_batch(&triples));
+        v.minterm_counts_batch_guarded(&pairs, &TinyArena).unwrap();
+        assert_eq!(v.stats().degraded_batches, 2, "degradation is sticky");
     }
 }

@@ -25,7 +25,10 @@ pub mod parallel;
 pub mod tidset;
 pub mod vertical;
 
-pub use counting::{CountingStats, HorizontalCounter, MintermCounter, VerticalCounter};
+pub use counting::{
+    BatchInterrupted, CountProbe, CountingStats, HorizontalCounter, MintermCounter, NoProbe,
+    VerticalCounter,
+};
 pub use database::TransactionDb;
 pub use item::Item;
 pub use itemset::Itemset;

@@ -8,7 +8,9 @@
 //! An extension beyond the paper (its testbed was a single-core Pentium),
 //! used by the `Parallel` counting strategy of `ccs-core`.
 
-use crate::counting::{cell_index, CountingStats, MintermCounter};
+use crate::counting::{
+    cell_index, BatchInterrupted, CountProbe, CountingStats, MintermCounter, NoProbe, PROBE_CHUNK,
+};
 use crate::database::TransactionDb;
 use crate::itemset::Itemset;
 
@@ -99,61 +101,92 @@ impl MintermCounter for ParallelCounter<'_> {
     /// candidates × chunks: each worker scans its chunk once, updating a
     /// private table per candidate, and the per-chunk tables are merged.
     fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        match self.minterm_counts_batch_guarded(sets, &NoProbe) {
+            Ok(tables) => tables,
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    /// Guarded fan-out: every worker re-checks the shared probe once per
+    /// [`PROBE_CHUNK`] transactions of its own chunk and bails early when
+    /// asked to stop. An interrupted scan completes *no* tables (a level
+    /// is merged all-or-nothing), but the transactions actually visited
+    /// by every worker are still recorded in the statistics.
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
         let n = self.db.len();
         let mut tables: Vec<Vec<u64>> =
             sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
         if sets.is_empty() {
-            return tables;
+            return Ok(tables);
         }
-        self.stats.tables_built += sets.len() as u64;
         self.stats.db_scans += 1;
-        self.stats.transactions_visited += n as u64;
-        self.stats.cells_counted += tables.iter().map(|t| t.len() as u64).sum::<u64>();
 
         let threads = self.n_threads.min(n.div_ceil(1024).max(1));
         if threads <= 1 {
             for tid in 0..n {
+                if tid % PROBE_CHUNK == 0 && tid > 0 && probe.should_stop() {
+                    self.stats.transactions_visited += tid as u64;
+                    return Err(BatchInterrupted::default());
+                }
                 let t = self.db.transaction(tid);
                 for (set, table) in sets.iter().zip(tables.iter_mut()) {
                     table[cell_index(t, set)] += 1;
                 }
             }
-            return tables;
-        }
-
-        let chunk = n.div_ceil(threads);
-        let db = self.db;
-        let mut partials: Vec<Vec<Vec<u64>>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    scope.spawn(move || {
-                        let mut counts: Vec<Vec<u64>> =
-                            sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
-                        for tid in lo..hi {
-                            let txn = db.transaction(tid);
-                            for (set, table) in sets.iter().zip(counts.iter_mut()) {
-                                table[cell_index(txn, set)] += 1;
+            self.stats.transactions_visited += n as u64;
+        } else {
+            let chunk = n.div_ceil(threads);
+            let db = self.db;
+            let mut partials: Vec<(u64, Vec<Vec<u64>>)> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        scope.spawn(move || {
+                            let mut counts: Vec<Vec<u64>> =
+                                sets.iter().map(|s| vec![0u64; 1usize << s.len()]).collect();
+                            for (steps, tid) in (lo..hi).enumerate() {
+                                if steps % PROBE_CHUNK == 0 && steps > 0 && probe.should_stop() {
+                                    return (steps as u64, None);
+                                }
+                                let txn = db.transaction(tid);
+                                for (set, table) in sets.iter().zip(counts.iter_mut()) {
+                                    table[cell_index(txn, set)] += 1;
+                                }
                             }
-                        }
-                        counts
+                            ((hi - lo) as u64, Some(counts))
+                        })
                     })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("counting worker panicked"));
+                    .collect();
+                for h in handles {
+                    let (visited, counts) = h.join().expect("counting worker panicked");
+                    partials.push((visited, counts.unwrap_or_default()));
+                }
+            });
+            let interrupted = partials.iter().any(|(_, counts)| counts.is_empty());
+            self.stats.transactions_visited +=
+                partials.iter().map(|&(visited, _)| visited).sum::<u64>();
+            if interrupted {
+                return Err(BatchInterrupted::default());
             }
-        });
-        for partial in partials {
-            for (table, part) in tables.iter_mut().zip(partial) {
-                for (acc, c) in table.iter_mut().zip(part) {
-                    *acc += c;
+            for (_, partial) in partials {
+                for (table, part) in tables.iter_mut().zip(partial) {
+                    for (acc, c) in table.iter_mut().zip(part) {
+                        *acc += c;
+                    }
                 }
             }
         }
-        tables
+        let cells = tables.iter().map(|t| t.len() as u64).sum::<u64>();
+        self.stats.tables_built += sets.len() as u64;
+        self.stats.cells_counted += cells;
+        let _ = probe.charge(cells);
+        Ok(tables)
     }
 
     fn n_transactions(&self) -> usize {

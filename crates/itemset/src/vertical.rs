@@ -28,6 +28,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::counting::{BatchInterrupted, CountProbe, NoProbe};
 use crate::database::TransactionDb;
 use crate::item::Item;
 use crate::itemset::Itemset;
@@ -78,6 +79,15 @@ impl VerticalIndex {
     #[inline]
     pub fn n_transactions(&self) -> usize {
         self.n_transactions
+    }
+
+    /// The scratch-arena footprint, in bytes, that counting tables over
+    /// `depths` shared-prefix recursion levels requires for a database of
+    /// `n_transactions` rows: two bitmaps per depth, one `u64` word per 64
+    /// transactions each. A `k`-itemset needs `k - 2` depths. Used by
+    /// memory-budget checks *before* the arena grows.
+    pub fn scratch_bytes(n_transactions: usize, depths: usize) -> usize {
+        2 * depths * (n_transactions.div_ceil(64) * std::mem::size_of::<u64>())
     }
 
     /// Number of items in the universe.
@@ -187,6 +197,25 @@ impl VerticalIndex {
     /// Results are returned in input order; sets of mixed sizes are
     /// allowed (each size/prefix combination forms its own class).
     pub fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        match self.minterm_counts_batch_guarded(sets, &NoProbe) {
+            Ok(results) => results,
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    /// [`minterm_counts_batch`](Self::minterm_counts_batch) with a
+    /// cooperative-interruption probe consulted at prefix-class
+    /// boundaries: before each equivalence class is walked the probe's
+    /// `should_stop` is checked, and after each class completes its cells
+    /// are charged against the work budget. On interruption the batch is
+    /// abandoned with a [`BatchInterrupted`] recording the tables and
+    /// cells that *did* fully complete (trivial 0-/1-item sets plus every
+    /// finished class); partially-walked classes are discarded.
+    pub fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
         let mut results: Vec<Vec<u64>> = sets
             .iter()
             .map(|s| {
@@ -198,18 +227,30 @@ impl VerticalIndex {
                 vec![0u64; 1usize << s.len()]
             })
             .collect();
+        let mut done = BatchInterrupted::default();
         // Equivalence classes: prefix -> (candidate index, last two items).
+        // 0- and 1-item sets are answered inline from the index (no tree
+        // walk) and count as completed work immediately.
         let mut classes: BTreeMap<&[Item], Vec<(usize, Item, Item)>> = BTreeMap::new();
         for (i, set) in sets.iter().enumerate() {
             match set.items() {
-                [] => results[i][0] = self.n_transactions as u64,
+                [] => {
+                    results[i][0] = self.n_transactions as u64;
+                    done.tables_completed += 1;
+                    done.cells_completed += 1;
+                }
                 [a] => {
                     let with = self.tidsets[a.index()].count() as u64;
                     results[i][1] = with;
                     results[i][0] = self.n_transactions as u64 - with;
+                    done.tables_completed += 1;
+                    done.cells_completed += 2;
                 }
                 [prefix @ .., a, b] => classes.entry(prefix).or_default().push((i, *a, *b)),
             }
+        }
+        if done.cells_completed > 0 && probe.charge(done.cells_completed) && !classes.is_empty() {
+            return Err(done);
         }
         let max_prefix = classes.keys().map(|p| p.len()).max().unwrap_or(0);
         self.ensure_scratch(max_prefix);
@@ -217,7 +258,12 @@ impl VerticalIndex {
         // One flat per-item count buffer, sized once for the widest class
         // and reused by every leaf of every class.
         let mut item_counts: Vec<usize> = Vec::new();
+        let mut interrupted = false;
         for (prefix, raw) in &classes {
+            if probe.should_stop() {
+                interrupted = true;
+                break;
+            }
             let mut items: Vec<Item> = raw.iter().flat_map(|&(_, a, b)| [a, b]).collect();
             items.sort_unstable();
             items.dedup();
@@ -237,9 +283,20 @@ impl VerticalIndex {
                 &mut scratch,
                 &mut results,
             );
+            let class_cells: u64 = raw.iter().map(|&(ci, _, _)| results[ci].len() as u64).sum();
+            done.tables_completed += raw.len() as u64;
+            done.cells_completed += class_cells;
+            if probe.charge(class_cells) {
+                interrupted = true;
+                break;
+            }
         }
         self.scratch = scratch;
-        results
+        if interrupted && done.tables_completed < sets.len() as u64 {
+            Err(done)
+        } else {
+            Ok(results)
+        }
     }
 
     /// Walks the split tree of `prefix`, then finishes every member

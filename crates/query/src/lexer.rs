@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use thiserror::Error;
+
 /// A lexical token with its byte offset in the input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
@@ -60,25 +62,14 @@ impl fmt::Display for Token {
 }
 
 /// A lexing error: an unexpected character.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Error)]
+#[error("unexpected character '{ch}' at offset {offset}")]
 pub struct LexError {
     /// The offending character.
     pub ch: char,
     /// Its byte offset.
     pub offset: usize,
 }
-
-impl fmt::Display for LexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unexpected character '{}' at offset {}",
-            self.ch, self.offset
-        )
-    }
-}
-
-impl std::error::Error for LexError {}
 
 /// Tokenizes `input`.
 ///

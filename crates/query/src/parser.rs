@@ -31,18 +31,20 @@
 //! constraint.
 
 use std::collections::BTreeSet;
-use std::fmt;
 
 use ccs_constraints::{AggFn, AttributeTable, Cmp, Constraint, ConstraintSet};
+use thiserror::Error;
 
 use crate::lexer::{lex, LexError, Spanned, Token};
 
 /// A parse error with enough context to point at the problem.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Error)]
 pub enum ParseError {
     /// Tokenization failed.
-    Lex(LexError),
+    #[error("{0}")]
+    Lex(#[from] LexError),
     /// A token appeared where something else was expected.
+    #[error("expected {expected}, found {found} at offset {offset}")]
     Unexpected {
         /// What was found (display form), e.g. `"','"`.
         found: String,
@@ -52,16 +54,20 @@ pub enum ParseError {
         offset: usize,
     },
     /// The input ended mid-clause.
+    #[error("unexpected end of query, expected {expected}")]
     UnexpectedEnd {
         /// What the parser expected next.
         expected: &'static str,
     },
     /// An aggregate references an attribute that is not a numeric column.
+    #[error("unknown numeric attribute '{0}'")]
     UnknownNumericAttr(String),
     /// A set clause references an attribute that is not a categorical
     /// column.
+    #[error("unknown categorical attribute '{0}'")]
     UnknownCategoricalAttr(String),
     /// A category label does not occur in the referenced column.
+    #[error("label '{label}' does not occur in attribute '{attr}'")]
     UnknownLabel {
         /// The unresolved label.
         label: String,
@@ -69,59 +75,19 @@ pub enum ParseError {
         attr: String,
     },
     /// A set constraint on `S` itself contained a non-numeric element.
+    #[error("set constraints on S take numeric item ids, found '{found}'")]
     ItemIdExpected {
         /// The offending element.
         found: String,
     },
     /// An item id in a set constraint on `S` is outside the universe.
+    #[error("item {item} outside universe 0..{n_items}")]
     ItemOutOfUniverse {
         /// The offending id.
         item: u32,
         /// The universe size.
         n_items: u32,
     },
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected {
-                found,
-                expected,
-                offset,
-            } => {
-                write!(f, "expected {expected}, found {found} at offset {offset}")
-            }
-            ParseError::UnexpectedEnd { expected } => {
-                write!(f, "unexpected end of query, expected {expected}")
-            }
-            ParseError::UnknownNumericAttr(a) => write!(f, "unknown numeric attribute '{a}'"),
-            ParseError::UnknownCategoricalAttr(a) => {
-                write!(f, "unknown categorical attribute '{a}'")
-            }
-            ParseError::UnknownLabel { label, attr } => {
-                write!(f, "label '{label}' does not occur in attribute '{attr}'")
-            }
-            ParseError::ItemIdExpected { found } => {
-                write!(
-                    f,
-                    "set constraints on S take numeric item ids, found '{found}'"
-                )
-            }
-            ParseError::ItemOutOfUniverse { item, n_items } => {
-                write!(f, "item {item} outside universe 0..{n_items}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-impl From<LexError> for ParseError {
-    fn from(e: LexError) -> Self {
-        ParseError::Lex(e)
-    }
 }
 
 /// Parses a query string into a [`ConstraintSet`], resolving attribute
@@ -184,6 +150,16 @@ impl Parser<'_> {
 
     fn aggregate(&mut self) -> Result<Constraint, ParseError> {
         let word = self.expect_ident("an aggregate function")?;
+        // `None` marks `avg`, which is not an `AggFn` (it is neither
+        // monotone nor anti-monotone and gets its own constraint form).
+        let agg = match word.as_str() {
+            "min" => Some(AggFn::Min),
+            "max" => Some(AggFn::Max),
+            "sum" => Some(AggFn::Sum),
+            "count" => Some(AggFn::Count),
+            "avg" => None,
+            _ => return Err(self.unexpected_prev("an aggregate function")),
+        };
         self.expect(Token::LParen, "'('")?;
         let attr = self.attr_ref()?;
         self.expect(Token::RParen, "')'")?;
@@ -191,16 +167,12 @@ impl Parser<'_> {
         let value = self.number()?;
         // `count` ignores the attribute; `avg` and the rest need a real
         // numeric column.
-        if word != "count" && self.attrs.numeric(&attr).is_none() {
+        if agg != Some(AggFn::Count) && self.attrs.numeric(&attr).is_none() {
             return Err(ParseError::UnknownNumericAttr(attr));
         }
-        Ok(match word.as_str() {
-            "min" => Constraint::agg(AggFn::Min, attr, cmp, value),
-            "max" => Constraint::agg(AggFn::Max, attr, cmp, value),
-            "sum" => Constraint::agg(AggFn::Sum, attr, cmp, value),
-            "count" => Constraint::agg(AggFn::Count, attr, cmp, value),
-            "avg" => Constraint::Avg { attr, cmp, value },
-            _ => unreachable!("clause() routed a non-aggregate here"),
+        Ok(match agg {
+            Some(f) => Constraint::agg(f, attr, cmp, value),
+            None => Constraint::Avg { attr, cmp, value },
         })
     }
 

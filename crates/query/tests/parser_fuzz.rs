@@ -1,0 +1,76 @@
+//! Fuzz-style robustness tests for the query front end.
+//!
+//! The parser is fed garbage bytes, token soup, prefix truncations of a
+//! valid query, and single-byte mutations of one. The contract under
+//! test: `parse_constraints` never panics — every input yields `Ok` or
+//! a structured [`ccs_query::ParseError`].
+
+use ccs_constraints::AttributeTable;
+use ccs_query::parse_constraints;
+use proptest::prelude::*;
+
+fn attrs() -> AttributeTable {
+    let mut t = AttributeTable::with_identity_prices(6);
+    t.add_categorical("type", &["soda", "soda", "snack", "dairy", "dairy", "beer"]);
+    t
+}
+
+/// A query exercising every clause form the grammar has.
+const VALID: &str = "ct_supported & correlated & {snack} disjoint S.type \
+                     & {soda, beer} subset S.type & {dairy} not subset S.type \
+                     & max(S.price) <= 50 & sum(S.price) >= 100 \
+                     & |S.type| <= 2 & {0, 3} subset S & avg(S.price) <= 4";
+
+#[test]
+fn the_exemplar_query_parses() {
+    assert!(parse_constraints(VALID, &attrs()).is_ok());
+}
+
+#[test]
+fn every_prefix_truncation_returns_ok_or_err() {
+    let attrs = attrs();
+    for end in 0..=VALID.len() {
+        // VALID is pure ASCII, so every index is a char boundary.
+        let _ = parse_constraints(&VALID[..end], &attrs);
+    }
+}
+
+#[test]
+fn unknown_aggregate_word_is_an_error_not_a_panic() {
+    let err = parse_constraints("median(S.price) <= 3", &attrs()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("expected"), "unhelpful message: {msg}");
+}
+
+proptest! {
+    #[test]
+    fn garbage_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = parse_constraints(&input, &attrs());
+    }
+
+    #[test]
+    fn token_soup_never_panics(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("max"), Just("min"), Just("sum"), Just("count"), Just("avg"),
+            Just("("), Just(")"), Just("{"), Just("}"), Just("&"),
+            Just("<="), Just(">="), Just("|"), Just("."), Just(","),
+            Just("S"), Just("price"), Just("type"), Just("soda"), Just("7"),
+            Just("-3"), Just("not"), Just("subset"), Just("disjoint"),
+            Just("intersects"), Just("correlated"),
+        ],
+        0..12,
+    )) {
+        let input = parts.join(" ");
+        let _ = parse_constraints(&input, &attrs());
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(idx in 0usize..VALID.len(), b in any::<u8>()) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        bytes[idx] = b;
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = parse_constraints(&s, &attrs());
+        }
+    }
+}

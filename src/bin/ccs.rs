@@ -12,32 +12,38 @@
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ccs::dataset::{read_attrs, read_db, write_attrs, write_db};
 use ccs::prelude::*;
 
+/// Exit codes: 0 = complete answer set, 2 = sound but truncated answer
+/// set (budget/deadline/Ctrl-C), 1 = error.
+const EXIT_TRUNCATED: u8 = 2;
+const EXIT_ERROR: u8 = 1;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (recognized, result) = match args.first().map(String::as_str) {
-        Some("generate") => (true, cmd_generate(&args[1..])),
-        Some("attrs") => (true, cmd_attrs(&args[1..])),
+        Some("generate") => (true, cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS)),
+        Some("attrs") => (true, cmd_attrs(&args[1..]).map(|()| ExitCode::SUCCESS)),
         Some("mine") => (true, cmd_mine(&args[1..])),
-        Some("stats") => (true, cmd_stats(&args[1..])),
+        Some("stats") => (true, cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS)),
         Some("--help") | Some("-h") | None => {
             print_usage();
-            (true, Ok(()))
+            (true, Ok(ExitCode::SUCCESS))
         }
         Some(other) => (false, Err(format!("unknown command '{other}'"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             if !recognized {
                 eprintln!();
                 print_usage();
             }
-            ExitCode::from(2)
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
@@ -49,22 +55,104 @@ fn print_usage() {
   ccs attrs    --items <N> --db <file>                 write identity-price attributes
   ccs mine     --db <file> [--attrs <file>] --query <q> [--algorithm <a>]
                [--support <f>] [--ct <f>] [--confidence <f>] [--strategy <s>]
+               [--timeout <secs>] [--max-cells <N>] [--max-mem-mb <N>]
                algorithms: bms+ bms++ bms* bms** naive naive-min-valid
                strategies: horizontal vertical parallel
+               exits 0 when complete, 2 when truncated by a budget or Ctrl-C
   ccs stats    --db <file>                             print database statistics"
     );
 }
 
-/// Minimal flag parser: `--key value` pairs only.
+/// Installs a SIGINT handler that flips a cancellation flag, so Ctrl-C
+/// turns the current mining run into a sound truncated result instead of
+/// killing the process. Raw `signal(2)` via a hand-declared binding — no
+/// libc crate in this workspace.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static CANCEL: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        if let Some(flag) = CANCEL.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = CANCEL
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        // SAFETY: `signal` is the POSIX function; the handler does only
+        // async-signal-safe work (a relaxed atomic store).
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn install() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+}
+
+/// Minimal flag parser: `--key value` and `--key=value` pairs. Every
+/// flag takes a value. Construction walks the whole argument list and
+/// rejects misspelled or stray flags up front — a silently ignored
+/// `--timeout` would leave the user believing a budget is armed.
 struct Flags<'a>(&'a [String]);
 
-impl Flags<'_> {
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String], known: &[&str]) -> Result<Self, String> {
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if !arg.starts_with("--") {
+                return Err(format!("unexpected argument '{arg}'"));
+            }
+            let (key, has_inline_value) = match arg.split_once('=') {
+                Some((k, _)) => (k, true),
+                None => (arg, false),
+            };
+            if !known.contains(&key) {
+                return Err(format!("unknown flag '{key}'"));
+            }
+            if !has_inline_value {
+                if i + 1 >= args.len() {
+                    return Err(format!("missing value for {key}"));
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+        Ok(Flags(args))
+    }
+
     fn get(&self, key: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .position(|a| a == key)
-            .and_then(|i| self.0.get(i + 1))
-            .map(String::as_str)
+        let mut args = self.0.iter();
+        while let Some(a) = args.next() {
+            if a == key {
+                return args.next().map(String::as_str);
+            }
+            if let Some(v) = a.strip_prefix(key).and_then(|r| r.strip_prefix('=')) {
+                return Some(v);
+            }
+        }
+        None
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -78,20 +166,75 @@ impl Flags<'_> {
             Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for {key}")),
         }
     }
+
+    fn parse_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value '{v}' for {key}")),
+        }
+    }
+}
+
+/// Rejects out-of-range statistical parameters with an error instead of
+/// letting `MiningParams::validate` assert-panic deep in the run.
+fn check_params(params: &MiningParams) -> Result<(), String> {
+    if !(0.0..1.0).contains(&params.confidence) {
+        return Err(format!(
+            "--confidence must be in [0, 1), got {}",
+            params.confidence
+        ));
+    }
+    for (name, v) in [
+        ("--support", params.support_fraction),
+        ("--ct", params.ct_fraction),
+        ("--min-item-support", params.min_item_support),
+    ] {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{name} must be in [0, 1], got {v}"));
+        }
+    }
+    if params.max_level < 2 {
+        return Err(format!(
+            "--max-level must be at least 2, got {}",
+            params.max_level
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let flags = Flags(args);
+    let flags = Flags::new(
+        args,
+        &["--method", "--baskets", "--items", "--seed", "--db"],
+    )?;
     let method = flags.require("--method")?;
     let baskets: usize = flags.parse_or("--baskets", 10_000)?;
     let items: u32 = flags.parse_or("--items", 100)?;
     let seed: u64 = flags.parse_or("--seed", 42)?;
     let out_path = flags.require("--db")?;
 
+    if items == 0 {
+        return Err("--items must be at least 1".to_owned());
+    }
     let db = match method {
         "quest" => generate_quest(&QuestParams::small(baskets, items, seed)),
         "rules" => {
-            let data = generate_rules(&RuleParams::small(baskets, items, seed));
+            let p = RuleParams::small(baskets, items, seed);
+            // `generate_rules` plants disjoint rules and asserts there is
+            // room for them; turn that into a flag error up front.
+            let needed = p.n_rules * p.rule_len.1;
+            if needed > items as usize {
+                return Err(format!(
+                    "--items {items} is too small for the rules method, \
+                     which plants {} disjoint rules of up to {} items; \
+                     need at least {needed}",
+                    p.n_rules, p.rule_len.1
+                ));
+            }
+            let data = generate_rules(&p);
             eprintln!("planted rules:");
             for r in &data.rules {
                 eprintln!("  {} (support {:.2})", r.items, r.support);
@@ -112,7 +255,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_attrs(args: &[String]) -> Result<(), String> {
-    let flags = Flags(args);
+    let flags = Flags::new(args, &["--items", "--db"])?;
     let items: u32 = flags
         .require("--items")?
         .parse()
@@ -131,8 +274,25 @@ fn load_db(path: &str) -> Result<TransactionDb, String> {
     read_db(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
 }
 
-fn cmd_mine(args: &[String]) -> Result<(), String> {
-    let flags = Flags(args);
+fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::new(
+        args,
+        &[
+            "--db",
+            "--attrs",
+            "--query",
+            "--algorithm",
+            "--strategy",
+            "--confidence",
+            "--support",
+            "--ct",
+            "--min-item-support",
+            "--max-level",
+            "--timeout",
+            "--max-cells",
+            "--max-mem-mb",
+        ],
+    )?;
     let db = load_db(flags.require("--db")?)?;
     let attrs = match flags.get("--attrs") {
         Some(path) => {
@@ -165,19 +325,41 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         min_item_support: flags.parse_or("--min-item-support", 0.0)?,
         max_level: flags.parse_or("--max-level", 8)?,
     };
+    check_params(&params)?;
     let query = CorrelationQuery {
         params,
         constraints,
     };
-    let result =
-        mine_with_strategy(&db, &attrs, &query, algorithm, strategy).map_err(|e| e.to_string())?;
+
+    // Resource governance: budgets from the flags, cancellation from
+    // Ctrl-C. The guard is armed whenever any of these are in play.
+    let timeout_secs: Option<f64> = flags.parse_opt("--timeout")?;
+    if let Some(secs) = timeout_secs {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!(
+                "--timeout must be a non-negative number, got {secs}"
+            ));
+        }
+    }
+    let limits = GuardLimits {
+        timeout: timeout_secs.map(Duration::from_secs_f64),
+        work_budget_cells: flags.parse_opt("--max-cells")?,
+        memory_budget_bytes: flags
+            .parse_opt::<usize>("--max-mem-mb")?
+            .map(|mb| mb.saturating_mul(1024 * 1024)),
+    };
+    let cancel = sigint::install();
+    let guard = RunGuard::with_cancel_flag(limits, cancel);
+
+    let result = mine_with_guard(&db, &attrs, &query, algorithm, strategy, &guard)
+        .map_err(|e| e.to_string())?;
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
     for set in &result.answers {
         // A closed pipe (e.g. `ccs mine … | head`) is a normal way for
         // the reader to stop — finish quietly instead of panicking.
         if writeln!(out, "{set}").is_err() {
-            return Ok(());
+            return Ok(ExitCode::SUCCESS);
         }
     }
     drop(out);
@@ -188,11 +370,25 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         result.metrics.tables_built,
         result.metrics.elapsed.as_secs_f64()
     );
-    Ok(())
+    if result.metrics.degraded_batches > 0 {
+        eprintln!(
+            "memory budget: vertical counting fell back to horizontal scans for {} batch(es)",
+            result.metrics.degraded_batches
+        );
+    }
+    if result.completion.is_complete() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "run {}; the answers above are sound but possibly incomplete",
+            result.completion
+        );
+        Ok(ExitCode::from(EXIT_TRUNCATED))
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let flags = Flags(args);
+    let flags = Flags::new(args, &["--db"])?;
     let db = load_db(flags.require("--db")?)?;
     println!("baskets:          {}", db.len());
     println!("items:            {}", db.n_items());

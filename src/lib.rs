@@ -58,9 +58,10 @@ pub mod prelude {
         AggFn, AttributeTable, Cmp, Constraint, ConstraintSet, Monotonicity,
     };
     pub use ccs_core::{
-        discover_causality, mine, mine_with_strategy, solution_space, Algorithm, CausalAnalysis,
-        CausalFinding, CorrelationQuery, CountingStrategy, MiningError, MiningMetrics,
-        MiningParams, MiningResult, Semantics, SolutionSpace,
+        discover_causality, mine, mine_with_guard, mine_with_strategy, resume_with_guard,
+        solution_space, Algorithm, CausalAnalysis, CausalFinding, Completion, CorrelationQuery,
+        CountingStrategy, GuardLimits, MiningError, MiningMetrics, MiningParams, MiningResult,
+        ResumeState, RunGuard, Semantics, SolutionSpace, TruncationReason,
     };
     pub use ccs_datagen::{generate_quest, generate_rules, QuestParams, RuleParams};
     pub use ccs_itemset::{Item, Itemset, TransactionDb};

@@ -1,0 +1,515 @@
+//! Fault-injection harness for the resource-governed mining runtime.
+//!
+//! A [`FaultCounter`] decorates the real horizontal counter and, at a
+//! chosen guarded-batch index, simulates resource exhaustion — a passed
+//! deadline, an exhausted work budget, a memory-budget trip, or external
+//! cancellation — exactly the way the production paths do (via
+//! [`RunGuard::trip`], the probe's `note_memory_trip`, or the
+//! cancellation flag), then abandons the batch.
+//!
+//! For every algorithm and every injection point, the truncated run must
+//! uphold the guard contract:
+//!
+//! (a) **soundness** — every reported answer also appears in the
+//!     unguarded run's answer set (so it is a genuine, minimal member of
+//!     the semantics' answer set);
+//! (b) **mutual minimality** — no reported answer is a subset of
+//!     another;
+//! (c) **resumability** — continuing from the returned [`ResumeState`]
+//!     under an untripped guard reproduces the complete answer set
+//!     exactly.
+//!
+//! Injection indices sweep from 0 upward until the run completes, so
+//! every checkpoint — including the boundary between BMS*/BMS** phase 1
+//! and their phase-2 sweeps — sees each fault kind.
+
+use std::time::Duration;
+
+use ccs::core::{mine_with_counter_guarded, resume_with_counter_guarded};
+use ccs::itemset::{
+    BatchInterrupted, CountProbe, CountingStats, HorizontalCounter, MintermCounter,
+};
+use ccs::prelude::*;
+
+/// Wraps a real counter; at guarded-batch call number `trigger` it
+/// simulates `fault` and abandons the batch without doing any work.
+struct FaultCounter<'a> {
+    inner: HorizontalCounter<'a>,
+    guard: RunGuard,
+    fault: TruncationReason,
+    trigger: usize,
+    batches_seen: usize,
+}
+
+impl<'a> FaultCounter<'a> {
+    fn new(
+        db: &'a TransactionDb,
+        guard: RunGuard,
+        fault: TruncationReason,
+        trigger: usize,
+    ) -> Self {
+        FaultCounter {
+            inner: HorizontalCounter::new(db),
+            guard,
+            fault,
+            trigger,
+            batches_seen: 0,
+        }
+    }
+}
+
+impl MintermCounter for FaultCounter<'_> {
+    fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+        self.inner.minterm_counts(set)
+    }
+
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        self.inner.minterm_counts_batch(sets)
+    }
+
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        let index = self.batches_seen;
+        self.batches_seen += 1;
+        if index == self.trigger {
+            match self.fault {
+                TruncationReason::Cancelled => self.guard.cancel(),
+                TruncationReason::MemoryBudget => probe.note_memory_trip(),
+                other => self.guard.trip(other),
+            }
+            return Err(BatchInterrupted::default());
+        }
+        self.inner.minterm_counts_batch_guarded(sets, probe)
+    }
+
+    fn n_transactions(&self) -> usize {
+        self.inner.n_transactions()
+    }
+
+    fn stats(&self) -> CountingStats {
+        self.inner.stats()
+    }
+}
+
+/// Two XOR-planted modules — `{0, 1, 2}` with item 2 present iff exactly
+/// one of 0/1 is, and `{3, 4, 5}` likewise — plus a plain correlated pair
+/// `{6, 7}`. The XOR triples are pairwise independent but strongly
+/// three-way dependent, so their pairs stay below the significance
+/// threshold at level 2 and every miner (including constraint-pushing
+/// BMS++) grows genuine level-3 and level-4 candidates: multiple guarded
+/// batches per run, with scratch-hungry deep batches for the vertical
+/// counter.
+fn db() -> TransactionDb {
+    let mut txns = Vec::new();
+    for i in 0..160u32 {
+        let mut t = Vec::new();
+        let (a, b) = (i & 1, (i >> 1) & 1);
+        if a == 1 {
+            t.push(0);
+        }
+        if b == 1 {
+            t.push(1);
+        }
+        if a ^ b == 1 {
+            t.push(2);
+        }
+        let (c, d) = ((i >> 2) & 1, (i >> 3) & 1);
+        if c == 1 {
+            t.push(3);
+        }
+        if d == 1 {
+            t.push(4);
+        }
+        if c ^ d == 1 {
+            t.push(5);
+        }
+        if i % 5 == 0 {
+            t.extend([6, 7]);
+        }
+        txns.push(t);
+    }
+    TransactionDb::from_ids(8, txns)
+}
+
+/// Mixed constraints: one anti-monotone (`max ≤`) and one monotone
+/// (`sum ≥`), so BMS++ pushes, BMS*/BMS** run a genuine phase-2 sweep,
+/// and `VALID_MIN` ≠ `MIN_VALID`.
+fn query() -> CorrelationQuery {
+    CorrelationQuery {
+        params: MiningParams {
+            confidence: 0.9,
+            support_fraction: 0.1,
+            ct_fraction: 0.25,
+            min_item_support: 0.0,
+            max_level: 4,
+        },
+        constraints: ConstraintSet::new()
+            .and(Constraint::max_le("price", 7.0))
+            .and(Constraint::sum_ge("price", 3.0)),
+    }
+}
+
+fn attrs() -> AttributeTable {
+    AttributeTable::with_identity_prices(8)
+}
+
+fn sorted(answers: &[Itemset]) -> Vec<Itemset> {
+    let mut v = answers.to_vec();
+    v.sort_unstable();
+    v
+}
+
+const ALL_ALGORITHMS: [Algorithm; 6] = [
+    Algorithm::BmsPlus,
+    Algorithm::BmsPlusPlus,
+    Algorithm::BmsStar,
+    Algorithm::BmsStarStar,
+    Algorithm::Naive,
+    Algorithm::NaiveMinValid,
+];
+
+/// Injects `fault` at guarded-batch index 0, 1, 2, … until the run
+/// completes, asserting the guard contract (soundness, minimality,
+/// exact-resume) at every truncation point. Returns how many injection
+/// points truncated the run.
+fn sweep(algorithm: Algorithm, fault: TruncationReason) -> usize {
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    let complete = mine(&db, &attrs, &q, algorithm).unwrap();
+    assert!(complete.completion.is_complete());
+    let complete_answers = sorted(&complete.answers);
+    assert!(
+        !complete_answers.is_empty(),
+        "{algorithm}: the planted dataset must yield answers"
+    );
+
+    for trigger in 0..64 {
+        let guard = RunGuard::new(GuardLimits::default());
+        let mut counter = FaultCounter::new(&db, guard.clone(), fault, trigger);
+        let result =
+            mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard).unwrap();
+        match result.completion {
+            Completion::Complete => {
+                // The injection point lies beyond the last guarded batch:
+                // the run never saw the fault and must match the
+                // unguarded answer byte for byte.
+                assert_eq!(sorted(&result.answers), complete_answers, "{algorithm}");
+                assert!(result.resume.is_none());
+                assert!(
+                    trigger > 0,
+                    "{algorithm}: the very first injection must truncate"
+                );
+                return trigger;
+            }
+            Completion::Truncated {
+                reason,
+                frontier_level,
+                sets_evaluated,
+            } => {
+                assert_eq!(reason, fault, "{algorithm} trigger {trigger}");
+                assert!(frontier_level >= 1, "{algorithm} trigger {trigger}");
+                // Metrics must account exactly for the work the wrapped
+                // counter really did, even though the level aborted
+                // mid-batch.
+                assert_eq!(
+                    sets_evaluated,
+                    counter.stats().tables_built,
+                    "{algorithm} trigger {trigger}: sets_evaluated out of sync"
+                );
+                // (a) Soundness: partial ⊆ unguarded.
+                for s in &result.answers {
+                    assert!(
+                        complete.answers.contains(s),
+                        "{algorithm} trigger {trigger}: unsound partial answer {s}"
+                    );
+                }
+                // (b) Mutual minimality.
+                for (i, a) in result.answers.iter().enumerate() {
+                    for b in &result.answers[i + 1..] {
+                        assert!(
+                            !a.is_subset_of(b) && !b.is_subset_of(a),
+                            "{algorithm} trigger {trigger}: {a} and {b} are nested"
+                        );
+                    }
+                }
+                // (c) Resume-from-frontier reproduces the complete
+                // answer exactly.
+                let state = result
+                    .resume
+                    .expect("truncated runs carry a resume snapshot");
+                assert_eq!(state.algorithm(), algorithm);
+                let resume_guard = RunGuard::new(GuardLimits::default());
+                let mut resume_counter = HorizontalCounter::new(&db);
+                let resumed = resume_with_counter_guarded(
+                    &db,
+                    &attrs,
+                    &q,
+                    &mut resume_counter,
+                    &resume_guard,
+                    state,
+                )
+                .unwrap();
+                assert!(
+                    resumed.completion.is_complete(),
+                    "{algorithm} trigger {trigger}: resume under an untripped guard must finish"
+                );
+                assert_eq!(
+                    sorted(&resumed.answers),
+                    complete_answers,
+                    "{algorithm} trigger {trigger}: resume diverged from the unguarded run"
+                );
+            }
+        }
+    }
+    panic!("{algorithm}: more than 64 guarded batches on the toy dataset");
+}
+
+#[test]
+fn work_budget_faults_every_injection_point() {
+    for algorithm in ALL_ALGORITHMS {
+        let truncating = sweep(algorithm, TruncationReason::WorkBudget);
+        assert!(
+            truncating >= 2,
+            "{algorithm}: expected at least two guarded batches, found {truncating}"
+        );
+    }
+}
+
+#[test]
+fn deadline_faults_every_injection_point() {
+    for algorithm in Algorithm::paper_algorithms() {
+        sweep(algorithm, TruncationReason::Deadline);
+    }
+}
+
+#[test]
+fn cancellation_faults_every_injection_point() {
+    // The sweep drives the cancellation flag through every checkpoint,
+    // including the boundary between BMS*/BMS** phase 1 and the phase-2
+    // upward sweep: with a monotone `sum ≥` in the query, both phases
+    // run guarded batches, so the later injection indices land inside
+    // phase 2 and prove it observes the guard.
+    for algorithm in [Algorithm::BmsStar, Algorithm::BmsStarStar] {
+        sweep(algorithm, TruncationReason::Cancelled);
+    }
+}
+
+#[test]
+fn memory_faults_every_injection_point() {
+    // Injected through the probe's `note_memory_trip`, the path a
+    // fallback-less counter takes when its arena budget is exceeded.
+    for algorithm in [Algorithm::BmsPlus, Algorithm::BmsPlusPlus] {
+        sweep(algorithm, TruncationReason::MemoryBudget);
+    }
+}
+
+#[test]
+fn armed_guard_without_limits_matches_unguarded_run() {
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in ALL_ALGORITHMS {
+        let unguarded = mine(&db, &attrs, &q, algorithm).unwrap();
+        let guard = RunGuard::new(GuardLimits::default());
+        let guarded = mine_with_guard(
+            &db,
+            &attrs,
+            &q,
+            algorithm,
+            CountingStrategy::Horizontal,
+            &guard,
+        )
+        .unwrap();
+        assert!(guarded.completion.is_complete());
+        assert!(guarded.resume.is_none());
+        assert_eq!(guarded.answers, unguarded.answers, "{algorithm}");
+    }
+}
+
+#[test]
+fn zero_work_budget_truncates_empty_at_level_one() {
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in ALL_ALGORITHMS {
+        let guard = RunGuard::new(GuardLimits {
+            work_budget_cells: Some(0),
+            ..GuardLimits::default()
+        });
+        let result = mine_with_guard(
+            &db,
+            &attrs,
+            &q,
+            algorithm,
+            CountingStrategy::Horizontal,
+            &guard,
+        )
+        .unwrap();
+        match result.completion {
+            Completion::Truncated {
+                reason: TruncationReason::WorkBudget,
+                frontier_level,
+                ..
+            } => assert_eq!(frontier_level, 1, "{algorithm}"),
+            other => panic!("{algorithm}: expected a work-budget truncation, got {other}"),
+        }
+        assert!(result.answers.is_empty(), "{algorithm}");
+        // Even a nothing-done snapshot must resume to the full answer.
+        let complete = mine(&db, &attrs, &q, algorithm).unwrap();
+        let state = result.resume.expect("snapshot");
+        let mut counter = HorizontalCounter::new(&db);
+        let resumed = resume_with_counter_guarded(
+            &db,
+            &attrs,
+            &q,
+            &mut counter,
+            &RunGuard::new(GuardLimits::default()),
+            state,
+        )
+        .unwrap();
+        assert_eq!(
+            sorted(&resumed.answers),
+            sorted(&complete.answers),
+            "{algorithm}"
+        );
+    }
+}
+
+#[test]
+fn already_expired_deadline_truncates_before_any_counting() {
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in Algorithm::paper_algorithms() {
+        let guard = RunGuard::new(GuardLimits {
+            timeout: Some(Duration::ZERO),
+            ..GuardLimits::default()
+        });
+        let result = mine_with_guard(
+            &db,
+            &attrs,
+            &q,
+            algorithm,
+            CountingStrategy::Horizontal,
+            &guard,
+        )
+        .unwrap();
+        assert_eq!(
+            result.completion.truncation_reason(),
+            Some(TruncationReason::Deadline),
+            "{algorithm}"
+        );
+        assert!(result.answers.is_empty(), "{algorithm}");
+        assert_eq!(result.metrics.tables_built, 0, "{algorithm}");
+    }
+}
+
+#[test]
+fn cancelled_before_start_truncates_immediately() {
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    let guard = RunGuard::new(GuardLimits::default());
+    guard.cancel();
+    let result = mine_with_guard(
+        &db,
+        &attrs,
+        &q,
+        Algorithm::BmsStarStar,
+        CountingStrategy::Horizontal,
+        &guard,
+    )
+    .unwrap();
+    assert_eq!(
+        result.completion.truncation_reason(),
+        Some(TruncationReason::Cancelled)
+    );
+    assert!(result.answers.is_empty());
+}
+
+#[test]
+fn tight_memory_budget_degrades_vertical_counting_without_truncation() {
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in Algorithm::paper_algorithms() {
+        let unguarded = mine(&db, &attrs, &q, algorithm).unwrap();
+        let guard = RunGuard::new(GuardLimits {
+            memory_budget_bytes: Some(1),
+            ..GuardLimits::default()
+        });
+        let result = mine_with_guard(
+            &db,
+            &attrs,
+            &q,
+            algorithm,
+            CountingStrategy::Vertical,
+            &guard,
+        )
+        .unwrap();
+        // The vertical counter has a cheaper strategy to fall back on,
+        // so a memory trip degrades instead of truncating.
+        assert!(result.completion.is_complete(), "{algorithm}");
+        assert!(
+            result.metrics.degraded_batches > 0,
+            "{algorithm}: expected degraded batches under a 1-byte arena budget"
+        );
+        assert_eq!(
+            sorted(&result.answers),
+            sorted(&unguarded.answers),
+            "{algorithm}: degraded counting changed the answers"
+        );
+    }
+}
+
+#[test]
+fn real_work_budget_truncates_and_resumes_exactly() {
+    // Not an injected fault: an actual cell budget small enough to stop
+    // the run partway, exercising the organic charge-then-trip path.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in Algorithm::paper_algorithms() {
+        let complete = mine(&db, &attrs, &q, algorithm).unwrap();
+        let guard = RunGuard::new(GuardLimits {
+            work_budget_cells: Some(150),
+            ..GuardLimits::default()
+        });
+        let result = mine_with_guard(
+            &db,
+            &attrs,
+            &q,
+            algorithm,
+            CountingStrategy::Horizontal,
+            &guard,
+        )
+        .unwrap();
+        let Completion::Truncated { reason, .. } = result.completion else {
+            panic!("{algorithm}: 150 cells cannot cover the run");
+        };
+        assert_eq!(reason, TruncationReason::WorkBudget, "{algorithm}");
+        for s in &result.answers {
+            assert!(complete.answers.contains(s), "{algorithm}: unsound {s}");
+        }
+        let state = result.resume.expect("snapshot");
+        let mut counter = HorizontalCounter::new(&db);
+        let resumed = resume_with_counter_guarded(
+            &db,
+            &attrs,
+            &q,
+            &mut counter,
+            &RunGuard::new(GuardLimits::default()),
+            state,
+        )
+        .unwrap();
+        assert_eq!(
+            sorted(&resumed.answers),
+            sorted(&complete.answers),
+            "{algorithm}"
+        );
+    }
+}

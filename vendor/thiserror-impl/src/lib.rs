@@ -1,0 +1,409 @@
+//! Offline stand-in for `thiserror-impl`.
+//!
+//! This workspace pins all third-party dependencies to vendored,
+//! network-free implementations (see `vendor/README.md`). The derive
+//! implements the subset of `#[derive(thiserror::Error)]` the workspace
+//! uses:
+//!
+//! * enums with unit, tuple, and named-field variants, and structs with
+//!   named fields;
+//! * `#[error("…")]` format strings with implicit named-field capture
+//!   (`{field}`), positional selectors (`{0}`, `{1:?}`), and `{{`/`}}`
+//!   escapes;
+//! * `#[from]` on a single-field variant (generates both the `From` impl
+//!   and `Error::source`), and `#[source]` (source only).
+//!
+//! Generic error types, `#[error(transparent)]`, and backtrace capture
+//! are not implemented — nothing in the workspace needs them — and
+//! generics produce a `compile_error!` rather than silently-broken impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a variant or struct.
+struct Field {
+    /// Binding name used in patterns: the field name, or `_i` for the
+    /// `i`-th tuple field.
+    binding: String,
+    /// Named-struct field name (`None` for tuple fields).
+    name: Option<String>,
+    /// Source text of the field's type.
+    ty: String,
+    has_from: bool,
+    has_source: bool,
+}
+
+/// One parsed enum variant (or, with `name == ""` unused, the body of a
+/// struct).
+struct Variant {
+    name: String,
+    /// `None` → unit variant; `Some((named, fields))` otherwise.
+    fields: Option<(bool, Vec<Field>)>,
+    /// The `#[error("…")]` literal, verbatim (quotes included).
+    format: Option<String>,
+}
+
+/// Derives `Display`, `std::error::Error`, and `From` impls in the style
+/// of the real `thiserror` crate.
+#[proc_macro_derive(Error, attributes(error, from, source, backtrace))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("valid compile_error tokens"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut item_error_attr: Option<String> = None;
+
+    // Walk the item header: attributes (capturing `#[error(…)]` for the
+    // struct form), visibility, then the `struct`/`enum` keyword.
+    let mut kind = None;
+    while i < tokens.len() {
+        if let Some((attr, next)) = parse_attr(&tokens, i) {
+            if let Some(fmt) = attr {
+                item_error_attr = Some(fmt);
+            }
+            i = next;
+            continue;
+        }
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = Some(s);
+                i += 1;
+                break;
+            }
+        }
+        i += 1;
+    }
+    let kind = kind.ok_or("thiserror stand-in: expected a struct or enum")?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("thiserror stand-in: missing type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("thiserror stand-in: generic error types are not supported".into());
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err("thiserror stand-in: expected a brace-delimited body".into()),
+    };
+
+    let variants = if kind == "enum" {
+        parse_enum_body(body)?
+    } else {
+        vec![Variant {
+            name: String::new(),
+            fields: Some((true, parse_fields(body, true)?)),
+            format: item_error_attr,
+        }]
+    };
+
+    let mut out = String::new();
+    render_display(&mut out, &name, kind == "enum", &variants)?;
+    render_source(&mut out, &name, kind == "enum", &variants);
+    render_from(&mut out, &name, kind == "enum", &variants);
+    out.parse()
+        .map_err(|e| format!("thiserror stand-in: generated invalid tokens: {e:?}"))
+}
+
+/// Parses one `#[…]` attribute at `tokens[i]`. Returns
+/// `Some((error_format, next_index))` when an attribute is present;
+/// `error_format` is the `#[error("…")]` literal if that is what it was.
+fn parse_attr(tokens: &[TokenTree], i: usize) -> Option<(Option<String>, usize)> {
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fmt = match (inner.first(), inner.get(1)) {
+                (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+                    if id.to_string() == "error" =>
+                {
+                    args.stream().into_iter().next().and_then(|t| match t {
+                        TokenTree::Literal(l) => Some(l.to_string()),
+                        _ => None,
+                    })
+                }
+                _ => None,
+            };
+            Some((fmt, i + 2))
+        }
+        _ => None,
+    }
+}
+
+fn parse_enum_body(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut format = None;
+        while let Some((attr, next)) = parse_attr(&tokens, i) {
+            if let Some(fmt) = attr {
+                format = Some(fmt);
+            }
+            i = next;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "thiserror stand-in: expected a variant name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Some((false, parse_fields(g.stream(), false)?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some((true, parse_fields(g.stream(), true)?))
+            }
+            _ => None,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant {
+            name,
+            fields,
+            format,
+        });
+    }
+    Ok(variants)
+}
+
+/// Parses a comma-separated field list (top-level commas only; commas
+/// inside `<…>` belong to the type).
+fn parse_fields(body: TokenStream, named: bool) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    let mut index = 0usize;
+    while i < tokens.len() {
+        let mut has_from = false;
+        let mut has_source = false;
+        while let Some((_, next)) = parse_attr(&tokens, i) {
+            if let (Some(TokenTree::Punct(_)), Some(TokenTree::Group(g))) =
+                (tokens.get(i), tokens.get(i + 1))
+            {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    match id.to_string().as_str() {
+                        "from" => has_from = true,
+                        "source" => has_source = true,
+                        _ => {}
+                    }
+                }
+            }
+            i = next;
+        }
+        // Visibility: `pub` with an optional `(crate)`/`(super)` group.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = if named {
+            let n = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("thiserror stand-in: expected a field name".into()),
+            };
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                _ => return Err("thiserror stand-in: expected `:` after field name".into()),
+            }
+            Some(n)
+        } else {
+            None
+        };
+        // The type: tokens up to the next top-level comma.
+        let mut ty = String::new();
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        let binding = match &name {
+            Some(n) => n.clone(),
+            None => format!("_{index}"),
+        };
+        fields.push(Field {
+            binding,
+            name,
+            ty,
+            has_from,
+            has_source,
+        });
+        index += 1;
+    }
+    Ok(fields)
+}
+
+/// Rewrites positional selectors in an `#[error("…")]` literal so the
+/// string works with implicit named-argument capture against tuple-field
+/// bindings: `{0}` → `{_0}`, `{1:?}` → `{_1:?}`. `{{`/`}}` escapes and
+/// named captures pass through untouched.
+fn rewrite_positional(lit: &str) -> String {
+    let chars: Vec<char> = lit.chars().collect();
+    let mut out = String::with_capacity(lit.len() + 4);
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            let start = i + 1;
+            let mut end = start;
+            while end < chars.len() && chars[end] != '}' && chars[end] != ':' {
+                end += 1;
+            }
+            let arg: String = chars[start..end].iter().collect();
+            out.push('{');
+            if !arg.is_empty() && arg.chars().all(|d| d.is_ascii_digit()) {
+                out.push('_');
+            }
+            out.push_str(&arg);
+            i = end;
+            continue;
+        }
+        if c == '}' && chars.get(i + 1) == Some(&'}') {
+            out.push_str("}}");
+            i += 2;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn pattern(type_name: &str, is_enum: bool, v: &Variant) -> String {
+    let path = if is_enum {
+        format!("{type_name}::{}", v.name)
+    } else {
+        "Self".to_string()
+    };
+    match &v.fields {
+        None => path,
+        Some((true, fields)) => {
+            let list: Vec<&str> = fields.iter().map(|f| f.binding.as_str()).collect();
+            format!("{path} {{ {} }}", list.join(", "))
+        }
+        Some((false, fields)) => {
+            let list: Vec<&str> = fields.iter().map(|f| f.binding.as_str()).collect();
+            format!("{path}({})", list.join(", "))
+        }
+    }
+}
+
+fn render_display(
+    out: &mut String,
+    name: &str,
+    is_enum: bool,
+    variants: &[Variant],
+) -> Result<(), String> {
+    out.push_str(&format!(
+        "impl ::core::fmt::Display for {name} {{\n\
+         #[allow(unused_variables, clippy::used_underscore_binding)]\n\
+         fn fmt(&self, __formatter: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         match self {{\n"
+    ));
+    for v in variants {
+        let fmt = v.format.as_ref().ok_or_else(|| {
+            format!(
+                "thiserror stand-in: missing #[error(\"…\")] attribute on `{}`",
+                if v.name.is_empty() { name } else { &v.name }
+            )
+        })?;
+        out.push_str(&format!(
+            "{} => ::core::write!(__formatter, {}),\n",
+            pattern(name, is_enum, v),
+            rewrite_positional(fmt)
+        ));
+    }
+    out.push_str("}\n}\n}\n");
+    Ok(())
+}
+
+fn render_source(out: &mut String, name: &str, is_enum: bool, variants: &[Variant]) {
+    let mut arms = String::new();
+    for v in variants {
+        if let Some((_, fields)) = &v.fields {
+            if let Some(f) = fields.iter().find(|f| f.has_from || f.has_source) {
+                arms.push_str(&format!(
+                    "{} => ::core::option::Option::Some({} as &(dyn ::std::error::Error + 'static)),\n",
+                    pattern(name, is_enum, v),
+                    f.binding
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "impl ::std::error::Error for {name} {{\n\
+         #[allow(unused_variables, unreachable_patterns, clippy::match_single_binding)]\n\
+         fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+         match self {{\n\
+         {arms}_ => ::core::option::Option::None,\n\
+         }}\n}}\n}}\n"
+    ));
+}
+
+fn render_from(out: &mut String, name: &str, is_enum: bool, variants: &[Variant]) {
+    for v in variants {
+        let Some((named, fields)) = &v.fields else {
+            continue;
+        };
+        let Some(f) = fields.iter().find(|f| f.has_from) else {
+            continue;
+        };
+        if !is_enum || fields.len() != 1 {
+            // The real crate supports from-plus-backtrace shapes; the
+            // workspace only ever uses a single-field enum variant.
+            continue;
+        }
+        let construct = if *named {
+            format!(
+                "{name}::{} {{ {}: value }}",
+                v.name,
+                f.name.as_deref().unwrap_or("")
+            )
+        } else {
+            format!("{name}::{}(value)", v.name)
+        };
+        out.push_str(&format!(
+            "impl ::core::convert::From<{ty}> for {name} {{\n\
+             fn from(value: {ty}) -> Self {{ {construct} }}\n\
+             }}\n",
+            ty = f.ty
+        ));
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for the `thiserror` facade crate.
+//!
+//! Re-exports the vendored derive under the same path the real crate
+//! uses (`thiserror::Error`), so workspace code written against the real
+//! API compiles unchanged. See `vendor/README.md` for ground rules and
+//! `thiserror-impl` for the supported derive subset.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,87 @@
+//! Behavioral tests for the vendored `thiserror` derive: every shape the
+//! workspace error types use must round-trip through Display / source /
+//! From exactly as the real crate would render it.
+
+use thiserror::Error;
+
+#[derive(Debug, Clone, PartialEq, Error)]
+enum Inner {
+    #[error("inner boom")]
+    Boom,
+}
+
+#[derive(Debug, Clone, PartialEq, Error)]
+enum Outer {
+    /// Unit variant with brace escapes and multi-line text.
+    #[error("plain failure with {{literal braces}}")]
+    Plain,
+    /// Named fields captured implicitly.
+    #[error("item {item} outside universe 0..{n_items}")]
+    OutOfRange { item: u32, n_items: u32 },
+    /// Positional selectors, including a format spec.
+    #[error("bad token '{0}' (debug {0:?}) at {1}")]
+    BadToken(String, usize),
+    /// `#[from]` generates both `From` and `source()`.
+    #[error("wrapped: {0}")]
+    Wrapped(#[from] Inner),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Error)]
+#[error("unexpected character '{ch}' at offset {offset}")]
+struct CharError {
+    ch: char,
+    offset: usize,
+}
+
+#[test]
+fn unit_variant_display_keeps_escapes() {
+    assert_eq!(
+        Outer::Plain.to_string(),
+        "plain failure with {literal braces}"
+    );
+}
+
+#[test]
+fn named_fields_interpolate() {
+    let e = Outer::OutOfRange {
+        item: 9,
+        n_items: 4,
+    };
+    assert_eq!(e.to_string(), "item 9 outside universe 0..4");
+}
+
+#[test]
+fn positional_fields_interpolate_with_specs() {
+    let e = Outer::BadToken("&&".into(), 17);
+    assert_eq!(e.to_string(), "bad token '&&' (debug \"&&\") at 17");
+}
+
+#[test]
+fn from_attribute_generates_from_impl() {
+    let e: Outer = Inner::Boom.into();
+    assert_eq!(e, Outer::Wrapped(Inner::Boom));
+    assert_eq!(e.to_string(), "wrapped: inner boom");
+}
+
+#[test]
+fn from_attribute_generates_source() {
+    use std::error::Error as _;
+    let e: Outer = Inner::Boom.into();
+    let src = e.source().expect("wrapped error exposes a source");
+    assert_eq!(src.to_string(), "inner boom");
+    assert!(Outer::Plain.source().is_none());
+}
+
+#[test]
+fn struct_with_named_fields() {
+    use std::error::Error as _;
+    let e = CharError { ch: '%', offset: 3 };
+    assert_eq!(e.to_string(), "unexpected character '%' at offset 3");
+    assert!(e.source().is_none());
+}
+
+#[test]
+fn error_trait_object_compatible() {
+    let boxed: Box<dyn std::error::Error> = Box::new(Outer::Plain);
+    assert_eq!(boxed.to_string(), "plain failure with {literal braces}");
+}
