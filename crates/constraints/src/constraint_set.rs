@@ -121,6 +121,7 @@ impl ConstraintSet {
         let n = attrs.n_items() as usize;
 
         let mut allowed_universe: Option<Vec<bool>> = None;
+        let mut universe_contributors = Vec::new();
         let mut am_residual = Vec::new();
         let mut m_residual = Vec::new();
         let mut neither = Vec::new();
@@ -132,6 +133,7 @@ impl ConstraintSet {
             match c.monotonicity() {
                 Monotonicity::AntiMonotone => match am_allowed_items(c, attrs) {
                     Some(items) => {
+                        universe_contributors.push(idx);
                         let u = allowed_universe.get_or_insert_with(|| vec![true; n]);
                         let mut mask = vec![false; n];
                         for i in &items {
@@ -163,6 +165,7 @@ impl ConstraintSet {
         // single-class; all other monotone-succinct constraints become
         // residual SIG-time checks (footnote 5 of the paper).
         let mut witness_class: Option<Vec<bool>> = None;
+        let mut witness_source: Option<usize> = None;
         let mut captured_m: Option<usize> = None;
         if let Some((idx, single, class)) = classes.iter().min_by_key(|(_, _, class)| class.len()) {
             let mut mask = vec![false; n];
@@ -170,6 +173,7 @@ impl ConstraintSet {
                 mask[i.index()] = true;
             }
             witness_class = Some(mask);
+            witness_source = Some(*idx);
             if *single {
                 captured_m = Some(*idx);
             }
@@ -187,8 +191,11 @@ impl ConstraintSet {
         ConstraintAnalysis {
             constraints: self.constraints.clone(),
             allowed_universe,
+            universe_contributors,
             am_residual,
             witness_class,
+            witness_source,
+            captured_m,
             m_residual,
             neither,
         }
@@ -227,11 +234,18 @@ pub struct ConstraintAnalysis {
     /// intersection of all anti-monotone succinct universes. `None` when
     /// no such constraint exists (all items allowed).
     allowed_universe: Option<Vec<bool>>,
+    /// Indices of the am-succinct constraints folded into the universe.
+    universe_contributors: Vec<usize>,
     /// Indices of anti-monotone constraints requiring per-set checks.
     am_residual: Vec<usize>,
     /// `mask[i]` = item `i` belongs to the chosen `L1⁺` witness class.
     /// `None` when no exploitable monotone-succinct constraint exists.
     witness_class: Option<Vec<bool>>,
+    /// Index of the constraint whose class was chosen for `L1⁺`.
+    witness_source: Option<usize>,
+    /// Index of the monotone constraint fully captured by the witness
+    /// class (single-class only; multi-class sources stay residual).
+    captured_m: Option<usize>,
     /// Indices of monotone constraints requiring SIG-entry checks.
     m_residual: Vec<usize>,
     /// Indices of neither-monotone constraints (`avg`).
@@ -288,6 +302,39 @@ impl ConstraintAnalysis {
     /// Number of residual monotone constraints.
     pub fn n_m_residual(&self) -> usize {
         self.m_residual.len()
+    }
+
+    /// Indices (into the analyzed conjunction) of the am-succinct
+    /// constraints folded into the allowed universe.
+    pub fn universe_contributors(&self) -> &[usize] {
+        &self.universe_contributors
+    }
+
+    /// Indices of the residual anti-monotone constraints.
+    pub fn am_residual_indices(&self) -> &[usize] {
+        &self.am_residual
+    }
+
+    /// Indices of the residual monotone constraints.
+    pub fn m_residual_indices(&self) -> &[usize] {
+        &self.m_residual
+    }
+
+    /// Indices of the neither-monotone constraints.
+    pub fn neither_indices(&self) -> &[usize] {
+        &self.neither
+    }
+
+    /// Index of the constraint whose witness class seeds `L1⁺`, if any.
+    pub fn witness_source(&self) -> Option<usize> {
+        self.witness_source
+    }
+
+    /// Index of the monotone constraint fully captured by the chosen
+    /// witness class (`None` when the source is multi-class and must be
+    /// re-checked at SIG-entry time).
+    pub fn captured_monotone(&self) -> Option<usize> {
+        self.captured_m
     }
 }
 

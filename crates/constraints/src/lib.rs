@@ -13,17 +13,28 @@
 //! * [`constraint_set`] — conjunctions and the [`ConstraintAnalysis`]
 //!   consumed by the constraint-pushing miners,
 //! * [`selectivity`] — selectivity measurement and threshold calibration
-//!   for the experiment sweeps.
+//!   for the experiment sweeps,
+//! * [`interval`] — per-attribute interval reasoning over aggregate
+//!   bounds,
+//! * [`analyze`] — the static query analyzer: satisfiability verdicts
+//!   with minimal conflicting cores, conjunction normalization, and
+//!   push-plan diagnostics, all before any counting.
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ast;
 pub mod attr;
 pub mod classify;
 pub mod constraint_set;
+pub mod interval;
 pub mod selectivity;
 pub mod succinct;
 
+pub use analyze::{
+    analyze, analyze_spanned, ConstraintReport, Diagnostic, PushRole, QueryAnalysis, QueryVerdict,
+    Severity, Span,
+};
 pub use ast::{AggFn, Cmp, Constraint, ConstraintError};
 pub use attr::{AttributeTable, CategoricalColumn};
 pub use classify::Monotonicity;

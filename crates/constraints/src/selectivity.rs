@@ -56,7 +56,7 @@ pub fn threshold_for_le_selectivity(attrs: &AttributeTable, attr: &str, selectiv
         .unwrap_or_else(|| panic!("unknown numeric attribute '{attr}'"));
     assert!(!col.is_empty(), "empty item universe");
     let mut sorted: Vec<f64> = col.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(|a, b| a.total_cmp(b)); // columns are validated finite
     let want = (selectivity * sorted.len() as f64).round() as usize;
     if want == 0 {
         // Below the minimum: nothing qualifies.
@@ -83,7 +83,7 @@ pub fn threshold_for_ge_selectivity(attrs: &AttributeTable, attr: &str, selectiv
         .unwrap_or_else(|| panic!("unknown numeric attribute '{attr}'"));
     assert!(!col.is_empty(), "empty item universe");
     let mut sorted: Vec<f64> = col.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values")); // descending
+    sorted.sort_by(|a, b| b.total_cmp(a)); // descending; columns are validated finite
     let want = (selectivity * sorted.len() as f64).round() as usize;
     if want == 0 {
         sorted[0] + 1.0

@@ -66,6 +66,7 @@ pub fn am_allowed_items(c: &Constraint, attrs: &AttributeTable) -> Option<Vec<It
             categories,
             negated: true,
         } if categories.len() == 1 => {
+            #[allow(clippy::expect_used)] // guard: len() == 1
             let only = *categories.iter().next().expect("len checked");
             Some(select_categorical(attrs, attr, |cat| cat != only))
         }
@@ -82,6 +83,7 @@ pub fn am_allowed_items(c: &Constraint, attrs: &AttributeTable) -> Option<Vec<It
             items,
             negated: true,
         } if items.len() == 1 => {
+            #[allow(clippy::expect_used)] // guard: len() == 1
             let only = *items.iter().next().expect("len checked");
             Some(
                 (0..attrs.n_items())

@@ -1,0 +1,148 @@
+//! Property test for Lemma 1: [`Constraint::monotonicity`] must agree
+//! with a brute-force closure check over *every* subset pair of small
+//! random universes.
+//!
+//! For each generated `(attribute table, constraint)`:
+//!
+//! * `AntiMonotone` claims downward closure — whenever a nonempty `S`
+//!   satisfies the constraint, every nonempty `T ⊆ S` does too;
+//! * `Monotone` claims upward closure — the same implication with the
+//!   roles of `S` and `T` swapped;
+//! * `Neither` claims nothing and is vacuously consistent.
+//!
+//! Universes are capped at 5 items so the subset lattice (2^5 sets, ~1000
+//! ordered pairs) is enumerated exhaustively. Numeric columns are
+//! non-negative, matching the domain `ConstraintSet::validate` enforces
+//! for `sum` — Lemma 1's `sum ≤ v` classification is only sound there.
+
+use std::collections::BTreeSet;
+
+use ccs_constraints::{AggFn, AttributeTable, Cmp, Constraint, Monotonicity};
+use ccs_itemset::Itemset;
+use proptest::prelude::*;
+
+const MAX_ITEMS: u32 = 5;
+
+/// Labels the categorical column draws from.
+const LABELS: [&str; 3] = ["soda", "snack", "dairy"];
+
+fn attrs_strategy() -> impl Strategy<Value = AttributeTable> {
+    (
+        1u32..=MAX_ITEMS,
+        proptest::collection::vec(0u32..80, MAX_ITEMS as usize),
+        proptest::collection::vec(0usize..LABELS.len(), MAX_ITEMS as usize),
+    )
+        .prop_map(|(n, price_units, label_ids)| {
+            let mut t = AttributeTable::new(n);
+            // Quarter-step non-negative prices: exercises ties and
+            // fractional bounds without NaN/infinity risk.
+            t.add_numeric(
+                "price",
+                price_units[..n as usize]
+                    .iter()
+                    .map(|&u| f64::from(u) / 4.0)
+                    .collect(),
+            );
+            let labels: Vec<&str> = label_ids[..n as usize].iter().map(|&i| LABELS[i]).collect();
+            t.add_categorical("type", &labels);
+            t
+        })
+}
+
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    (
+        0usize..16,
+        0.0f64..20.0,
+        proptest::collection::btree_set(0u32..MAX_ITEMS, 1..4),
+        1u64..4,
+    )
+        .prop_map(|(kind, v, ids, k)| {
+            let cats: BTreeSet<u32> = ids.iter().map(|&x| x % LABELS.len() as u32).collect();
+            match kind {
+                0 => Constraint::max_le("price", v),
+                1 => Constraint::max_ge("price", v),
+                2 => Constraint::min_le("price", v),
+                3 => Constraint::min_ge("price", v),
+                4 => Constraint::sum_le("price", v),
+                5 => Constraint::sum_ge("price", v),
+                6 => Constraint::agg(AggFn::Count, "price", Cmp::Le, (v / 4.0).floor()),
+                7 => Constraint::agg(AggFn::Count, "price", Cmp::Ge, (v / 4.0).floor()),
+                8 => Constraint::Avg {
+                    attr: "price".into(),
+                    cmp: if v < 10.0 { Cmp::Le } else { Cmp::Ge },
+                    value: v,
+                },
+                9 => Constraint::CountDistinct {
+                    attr: "type".into(),
+                    cmp: if v < 10.0 { Cmp::Le } else { Cmp::Ge },
+                    value: k,
+                },
+                10 | 11 => Constraint::ConstSubset {
+                    attr: "type".into(),
+                    categories: cats,
+                    negated: kind == 11,
+                },
+                12 | 13 => Constraint::Disjoint {
+                    attr: "type".into(),
+                    categories: cats,
+                    negated: kind == 13,
+                },
+                14 => Constraint::ItemSubset {
+                    items: ids,
+                    negated: v < 10.0,
+                },
+                _ => Constraint::ItemDisjoint {
+                    items: ids,
+                    negated: v < 10.0,
+                },
+            }
+        })
+}
+
+/// All nonempty subsets of `0..n` as itemsets, with their bitmasks.
+fn all_subsets(n: u32) -> Vec<(u32, Itemset)> {
+    (1u32..1 << n)
+        .map(|mask| {
+            let ids = (0..n).filter(|&i| mask & (1 << i) != 0);
+            (mask, Itemset::from_ids(ids))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn classification_matches_brute_force_closure(
+        attrs in attrs_strategy(),
+        c in constraint_strategy(),
+    ) {
+        // Skip constraints referencing items outside this universe —
+        // `validate` would reject them, so no classification claim applies.
+        if c.validate(&attrs).is_err() {
+            continue;
+        }
+        let n = attrs.n_items();
+        let subsets = all_subsets(n);
+        let sat: Vec<bool> = subsets.iter().map(|(_, s)| c.satisfied(s, &attrs)).collect();
+        let claimed = c.monotonicity();
+        for (i, (sub_mask, sub)) in subsets.iter().enumerate() {
+            for (j, (sup_mask, sup)) in subsets.iter().enumerate() {
+                if sub_mask & sup_mask != *sub_mask {
+                    continue; // not a subset pair
+                }
+                match claimed {
+                    Monotonicity::AntiMonotone => prop_assert!(
+                        !sat[j] || sat[i],
+                        "{c} claims anti-monotone but {sup} satisfies and its subset {sub} does not"
+                    ),
+                    Monotonicity::Monotone => prop_assert!(
+                        !sat[i] || sat[j],
+                        "{c} claims monotone but {sub} satisfies and its superset {sup} does not"
+                    ),
+                    Monotonicity::Neither => {}
+                }
+            }
+        }
+    }
+}

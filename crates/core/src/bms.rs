@@ -124,7 +124,9 @@ pub(crate) fn run_bms_with_engine<C: MintermCounter>(
             Ok(v) => v,
             Err(reason) => {
                 metrics.max_level_reached = level - 1;
-                truncation = Some((reason, snapshot.expect("a trip implies an armed guard")));
+                #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
+                let snap = snapshot.expect("a trip implies an armed guard");
+                truncation = Some((reason, snap));
                 break;
             }
         };

@@ -150,11 +150,13 @@ pub(crate) fn run_bms_plus_plus_guarded<C: MintermCounter>(
             Ok(v) => v,
             Err(reason) => {
                 metrics.max_level_reached = level - 1;
+                #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
+                let snap = snapshot.expect("a trip implies an armed guard");
                 truncation = Some((
                     reason,
                     ResumeState {
                         algorithm: Algorithm::BmsPlusPlus,
-                        inner: snapshot.expect("a trip implies an armed guard"),
+                        inner: snap,
                     },
                 ));
                 break;

@@ -202,11 +202,13 @@ pub(crate) fn run_bms_star_star_guarded<C: MintermCounter>(
                     Ok(v) => v,
                     Err(reason) => {
                         metrics.max_level_reached = level - 1;
+                        #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
+                        let snap = snapshot.expect("a trip implies an armed guard");
                         truncation = Some((
                             reason,
                             ResumeState {
                                 algorithm: Algorithm::BmsStarStar,
-                                inner: snapshot.expect("a trip implies an armed guard"),
+                                inner: snap,
                             },
                         ));
                         break;
@@ -261,11 +263,13 @@ pub(crate) fn run_bms_star_star_guarded<C: MintermCounter>(
                     supp: freeze_supp(&supp),
                 });
             if let Err(reason) = engine.guard().checkpoint() {
+                #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
+                let snap = snapshot.expect("a trip implies an armed guard");
                 truncation = Some((
                     reason,
                     ResumeState {
                         algorithm: Algorithm::BmsStarStar,
-                        inner: snapshot.expect("a trip implies an armed guard"),
+                        inner: snap,
                     },
                 ));
                 break;

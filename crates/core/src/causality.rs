@@ -194,7 +194,9 @@ pub fn discover_causality<C: MintermCounter>(
                 metrics.candidates_generated += 1;
                 metrics.max_level_reached = metrics.max_level_reached.max(3);
                 let counts = engine.minterm_counts(&triple);
-                // Positions of a, b, c within the sorted triple.
+                // Positions of a, b, c within the sorted triple; the
+                // triple was built from exactly these three items.
+                #[allow(clippy::expect_used)]
                 let pos = |item: Item| {
                     triple
                         .items()

@@ -10,6 +10,7 @@ use crate::bms_plus_plus::run_bms_plus_plus_guarded;
 use crate::bms_star::run_bms_star_guarded;
 use crate::bms_star_star::run_bms_star_star_guarded;
 use crate::guard::{ResumeInner, ResumeState, RunGuard};
+use crate::metrics::MiningMetrics;
 use crate::naive::run_naive_guarded;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
@@ -149,6 +150,14 @@ pub fn mine_with_counter<C: MintermCounter>(
 /// The single dispatch point every public entry funnels into: one
 /// algorithm, one counter, one guard, and (for resumed runs) the
 /// snapshot to re-enter from.
+///
+/// Before any counting, the constraint conjunction goes through the
+/// static analyzer ([`ccs_constraints::analyze`]): a provably
+/// unsatisfiable conjunction short-circuits to an empty complete answer
+/// set with zero cells counted, and a satisfiable one is replaced by its
+/// equivalent normalized form so the miners work from the tightest
+/// non-redundant bounds. Normalization preserves `satisfied()` on every
+/// set of ≥ 2 items, so answer sets are unchanged for all algorithms.
 fn dispatch<C: MintermCounter>(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -158,6 +167,19 @@ fn dispatch<C: MintermCounter>(
     guard: &RunGuard,
     resume: Option<ResumeInner>,
 ) -> Result<MiningResult, MiningError> {
+    let analysis = ccs_constraints::analyze(&query.constraints, attrs)?;
+    if analysis.verdict.is_unsatisfiable() {
+        return Ok(MiningResult::new(
+            Vec::new(),
+            algorithm.semantics(),
+            MiningMetrics::default(),
+        ));
+    }
+    let normalized = CorrelationQuery {
+        params: query.params,
+        constraints: analysis.normalized,
+    };
+    let query = &normalized;
     match algorithm {
         Algorithm::BmsPlus => run_bms_plus_guarded(db, attrs, query, counter, guard, resume),
         Algorithm::BmsPlusPlus => {
@@ -430,6 +452,25 @@ mod tests {
                     assert_eq!(h, v, "{strategy:?} mismatch for {a}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_query_short_circuits_without_counting() {
+        // `max ≤ 1 & min ≥ 2` is provably empty, so every algorithm
+        // returns a complete empty answer with zero counting work.
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(3);
+        let mut q = query();
+        q.constraints = ConstraintSet::new()
+            .and(Constraint::max_le("price", 1.0))
+            .and(Constraint::min_ge("price", 2.0));
+        for &a in &Algorithm::paper_algorithms() {
+            let r = mine(&db, &attrs, &q, a).unwrap();
+            assert!(r.answers.is_empty(), "{a} returned answers");
+            assert_eq!(r.completion, crate::guard::Completion::Complete);
+            assert_eq!(r.metrics.cells_counted, 0);
+            assert_eq!(r.metrics.db_scans, 0);
         }
     }
 

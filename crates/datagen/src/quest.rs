@@ -109,6 +109,7 @@ pub fn generate(params: &QuestParams) -> TransactionDb {
     assert!(params.n_patterns > 0, "need at least one pattern");
     let mut rng = StdRng::seed_from_u64(params.seed);
     let patterns = generate_patterns(params, &mut rng);
+    #[allow(clippy::expect_used)] // guarded by the n_patterns assert above
     let total_weight = patterns.last().expect("n_patterns > 0").cumulative_weight;
 
     let mut transactions: Vec<Vec<Item>> = Vec::with_capacity(params.n_transactions);

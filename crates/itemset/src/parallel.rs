@@ -85,7 +85,11 @@ impl MintermCounter for ParallelCounter<'_> {
                 })
                 .collect();
             for h in handles {
-                partials.push(h.join().expect("counting worker panicked"));
+                // A worker panic is a bug in the counting kernel —
+                // propagate it rather than fabricate counts.
+                #[allow(clippy::expect_used)]
+                let partial = h.join().expect("counting worker panicked");
+                partials.push(partial);
             }
         });
         let mut counts = vec![0u64; cells];
@@ -164,6 +168,7 @@ impl MintermCounter for ParallelCounter<'_> {
                     })
                     .collect();
                 for h in handles {
+                    #[allow(clippy::expect_used)] // propagate worker panics
                     let (visited, counts) = h.join().expect("counting worker panicked");
                     partials.push((visited, counts.unwrap_or_default()));
                 }

@@ -267,6 +267,9 @@ impl VerticalIndex {
             let mut items: Vec<Item> = raw.iter().flat_map(|&(_, a, b)| [a, b]).collect();
             items.sort_unstable();
             items.dedup();
+            // `items` was deduped from exactly these members, so the
+            // search cannot miss.
+            #[allow(clippy::unwrap_used)]
             let pos = |item: Item| items.binary_search(&item).unwrap() as u32;
             let members = raw.iter().map(|&(ci, a, b)| (ci, pos(a), pos(b))).collect();
             let class = ClassPlan { items, members };

@@ -11,6 +11,8 @@ pub struct Spanned {
     pub token: Token,
     /// Byte offset where the token starts (for error messages).
     pub offset: usize,
+    /// Byte offset one past where the token ends.
+    pub end: usize,
 }
 
 /// The tokens of the query language.
@@ -88,6 +90,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::LBrace,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
@@ -95,6 +98,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::RBrace,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
@@ -102,6 +106,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::LParen,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
@@ -109,6 +114,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::RParen,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
@@ -116,6 +122,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::Comma,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
@@ -123,6 +130,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::Amp,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
@@ -130,6 +138,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::Pipe,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
@@ -137,13 +146,18 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::Dot,
                     offset: i,
+                    end: i + 1,
                 });
                 i += 1;
             }
             '<' | '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
                     let token = if c == '<' { Token::Le } else { Token::Ge };
-                    out.push(Spanned { token, offset: i });
+                    out.push(Spanned {
+                        token,
+                        offset: i,
+                        end: i + 2,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError { ch: c, offset: i });
@@ -169,6 +183,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::Number(value),
                     offset: start,
+                    end: i,
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -181,6 +196,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::Ident(input[start..i].to_owned()),
                     offset: start,
+                    end: i,
                 });
             }
             other => {
@@ -260,10 +276,12 @@ mod tests {
 
     #[test]
     fn offsets_are_recorded() {
-        let spanned = lex("a & b").unwrap();
-        assert_eq!(spanned[0].offset, 0);
-        assert_eq!(spanned[1].offset, 2);
-        assert_eq!(spanned[2].offset, 4);
+        let spanned = lex("abc & 2.5").unwrap();
+        assert_eq!((spanned[0].offset, spanned[0].end), (0, 3));
+        assert_eq!((spanned[1].offset, spanned[1].end), (4, 5));
+        assert_eq!((spanned[2].offset, spanned[2].end), (6, 9));
+        let ge = lex(">=").unwrap();
+        assert_eq!((ge[0].offset, ge[0].end), (0, 2));
     }
 
     #[test]

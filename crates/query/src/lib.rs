@@ -25,5 +25,5 @@ pub mod parser;
 pub mod render;
 
 pub use lexer::{lex, LexError, Token};
-pub use parser::{parse_constraints, ParseError};
+pub use parser::{parse_constraints, parse_query, ParseError, ParsedQuery};
 pub use render::{render_constraint, render_constraints, RenderError};

@@ -32,7 +32,7 @@
 
 use std::collections::BTreeSet;
 
-use ccs_constraints::{AggFn, AttributeTable, Cmp, Constraint, ConstraintSet};
+use ccs_constraints::{AggFn, AttributeTable, Cmp, Constraint, ConstraintSet, Span};
 use thiserror::Error;
 
 use crate::lexer::{lex, LexError, Spanned, Token};
@@ -60,34 +60,61 @@ pub enum ParseError {
         expected: &'static str,
     },
     /// An aggregate references an attribute that is not a numeric column.
-    #[error("unknown numeric attribute '{0}'")]
-    UnknownNumericAttr(String),
+    #[error("unknown numeric attribute '{attr}' at offset {offset}")]
+    UnknownNumericAttr {
+        /// The unresolved attribute name.
+        attr: String,
+        /// Byte offset of the attribute reference.
+        offset: usize,
+    },
     /// A set clause references an attribute that is not a categorical
     /// column.
-    #[error("unknown categorical attribute '{0}'")]
-    UnknownCategoricalAttr(String),
+    #[error("unknown categorical attribute '{attr}' at offset {offset}")]
+    UnknownCategoricalAttr {
+        /// The unresolved attribute name.
+        attr: String,
+        /// Byte offset of the attribute reference.
+        offset: usize,
+    },
     /// A category label does not occur in the referenced column.
-    #[error("label '{label}' does not occur in attribute '{attr}'")]
+    #[error("label '{label}' does not occur in attribute '{attr}' at offset {offset}")]
     UnknownLabel {
         /// The unresolved label.
         label: String,
         /// The column it was looked up in.
         attr: String,
+        /// Byte offset of the label inside the set literal.
+        offset: usize,
     },
     /// A set constraint on `S` itself contained a non-numeric element.
-    #[error("set constraints on S take numeric item ids, found '{found}'")]
+    #[error("set constraints on S take numeric item ids, found '{found}' at offset {offset}")]
     ItemIdExpected {
         /// The offending element.
         found: String,
+        /// Byte offset of the element.
+        offset: usize,
     },
     /// An item id in a set constraint on `S` is outside the universe.
-    #[error("item {item} outside universe 0..{n_items}")]
+    #[error("item {item} outside universe 0..{n_items} at offset {offset}")]
     ItemOutOfUniverse {
         /// The offending id.
         item: u32,
         /// The universe size.
         n_items: u32,
+        /// Byte offset of the offending id.
+        offset: usize,
     },
+}
+
+/// A parsed query: the constraint conjunction plus one byte-range
+/// [`Span`] per constraint, in the same order. Markers (`correlated`,
+/// `ct_supported`) contribute no constraint and no span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// The parsed constraint conjunction.
+    pub constraints: ConstraintSet,
+    /// `spans[i]` covers the clause that produced `constraints[i]`.
+    pub spans: Vec<Span>,
 }
 
 /// Parses a query string into a [`ConstraintSet`], resolving attribute
@@ -100,6 +127,18 @@ pub enum ParseError {
 ///
 /// Returns [`ParseError`] on malformed input or unresolvable names.
 pub fn parse_constraints(input: &str, attrs: &AttributeTable) -> Result<ConstraintSet, ParseError> {
+    parse_query(input, attrs).map(|q| q.constraints)
+}
+
+/// Parses a query string like [`parse_constraints`], additionally
+/// returning the byte-range span of each constraint's clause so
+/// downstream diagnostics (e.g. the static analyzer) can point back into
+/// the query text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or unresolvable names.
+pub fn parse_query(input: &str, attrs: &AttributeTable) -> Result<ParsedQuery, ParseError> {
     let tokens = lex(input)?;
     let mut parser = Parser {
         tokens,
@@ -116,14 +155,22 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
-    fn query(&mut self) -> Result<ConstraintSet, ParseError> {
-        let mut out = ConstraintSet::new();
+    fn query(&mut self) -> Result<ParsedQuery, ParseError> {
+        let mut out = ParsedQuery {
+            constraints: ConstraintSet::new(),
+            spans: Vec::new(),
+        };
         if self.tokens.is_empty() {
             return Ok(out);
         }
         loop {
+            let start = self.tokens.get(self.pos).map_or(0, |s| s.offset);
             if let Some(c) = self.clause()? {
-                out.push(c);
+                // `clause` consumed at least one token, so `pos - 1`
+                // indexes the clause's last token.
+                let end = self.tokens[self.pos - 1].end;
+                out.constraints.push(c);
+                out.spans.push(Span::new(start, end));
             }
             if self.peek().is_none() {
                 return Ok(out);
@@ -161,14 +208,17 @@ impl Parser<'_> {
             _ => return Err(self.unexpected_prev("an aggregate function")),
         };
         self.expect(Token::LParen, "'('")?;
-        let attr = self.attr_ref()?;
+        let (attr, attr_offset) = self.attr_ref()?;
         self.expect(Token::RParen, "')'")?;
         let cmp = self.comparison()?;
         let value = self.number()?;
         // `count` ignores the attribute; `avg` and the rest need a real
         // numeric column.
         if agg != Some(AggFn::Count) && self.attrs.numeric(&attr).is_none() {
-            return Err(ParseError::UnknownNumericAttr(attr));
+            return Err(ParseError::UnknownNumericAttr {
+                attr,
+                offset: attr_offset,
+            });
         }
         Ok(match agg {
             Some(f) => Constraint::agg(f, attr, cmp, value),
@@ -178,12 +228,15 @@ impl Parser<'_> {
 
     fn count_distinct(&mut self) -> Result<Constraint, ParseError> {
         self.expect(Token::Pipe, "'|'")?;
-        let attr = self.attr_ref()?;
+        let (attr, attr_offset) = self.attr_ref()?;
         self.expect(Token::Pipe, "'|'")?;
         let cmp = self.comparison()?;
         let value = self.number()?;
         if self.attrs.categorical(&attr).is_none() {
-            return Err(ParseError::UnknownCategoricalAttr(attr));
+            return Err(ParseError::UnknownCategoricalAttr {
+                attr,
+                offset: attr_offset,
+            });
         }
         Ok(Constraint::CountDistinct {
             attr,
@@ -214,27 +267,29 @@ impl Parser<'_> {
             "intersects" => (false, SetKind::Intersects),
             _ => return Err(self.unexpected_prev("a set operator")),
         };
-        let attr = self.attr_ref()?;
+        let (attr, attr_offset) = self.attr_ref()?;
         // `{3, 7} subset S` — a domain constraint on the itemset itself:
         // elements must be numeric item ids.
         if attr == "S" {
             let mut items = BTreeSet::new();
-            for e in elems {
+            for (e, offset) in elems {
                 match e {
                     SetElem::Id(id) => {
+                        if id >= self.attrs.n_items() {
+                            return Err(ParseError::ItemOutOfUniverse {
+                                item: id,
+                                n_items: self.attrs.n_items(),
+                                offset,
+                            });
+                        }
                         items.insert(id);
                     }
                     SetElem::Label(label) => {
-                        return Err(ParseError::ItemIdExpected { found: label });
+                        return Err(ParseError::ItemIdExpected {
+                            found: label,
+                            offset,
+                        });
                     }
-                }
-            }
-            for &id in &items {
-                if id >= self.attrs.n_items() {
-                    return Err(ParseError::ItemOutOfUniverse {
-                        item: id,
-                        n_items: self.attrs.n_items(),
-                    });
                 }
             }
             return Ok(match kind {
@@ -252,12 +307,15 @@ impl Parser<'_> {
                 },
             });
         }
-        let col = self
-            .attrs
-            .categorical(&attr)
-            .ok_or_else(|| ParseError::UnknownCategoricalAttr(attr.clone()))?;
+        let col =
+            self.attrs
+                .categorical(&attr)
+                .ok_or_else(|| ParseError::UnknownCategoricalAttr {
+                    attr: attr.clone(),
+                    offset: attr_offset,
+                })?;
         let mut categories = BTreeSet::new();
-        for e in elems {
+        for (e, offset) in elems {
             let label = match e {
                 SetElem::Label(l) => l,
                 SetElem::Id(id) => id.to_string(),
@@ -265,6 +323,7 @@ impl Parser<'_> {
             let id = col.id_of(&label).ok_or_else(|| ParseError::UnknownLabel {
                 label,
                 attr: attr.clone(),
+                offset,
             })?;
             categories.insert(id);
         }
@@ -287,10 +346,11 @@ impl Parser<'_> {
         })
     }
 
-    /// One element of a `{…}` set literal: a category label or an item id.
-    fn set_element(&mut self) -> Result<SetElem, ParseError> {
+    /// One element of a `{…}` set literal (a category label or an item
+    /// id), plus its byte offset for error reporting.
+    fn set_element(&mut self) -> Result<(SetElem, usize), ParseError> {
         match self.next_token("a category label or item id")? {
-            (Token::Ident(s), _) => Ok(SetElem::Label(s)),
+            (Token::Ident(s), offset) => Ok((SetElem::Label(s), offset)),
             (Token::Number(n), offset) => {
                 if n.fract() != 0.0 || n < 0.0 || n > u32::MAX as f64 {
                     return Err(ParseError::Unexpected {
@@ -299,7 +359,7 @@ impl Parser<'_> {
                         offset,
                     });
                 }
-                Ok(SetElem::Id(n as u32))
+                Ok((SetElem::Id(n as u32), offset))
             }
             (t, offset) => Err(ParseError::Unexpected {
                 found: t.to_string(),
@@ -309,14 +369,16 @@ impl Parser<'_> {
         }
     }
 
-    /// `('S' '.')? ident`
-    fn attr_ref(&mut self) -> Result<String, ParseError> {
+    /// `('S' '.')? ident`, plus the byte offset of the reference.
+    fn attr_ref(&mut self) -> Result<(String, usize), ParseError> {
+        let offset = self.tokens.get(self.pos).map_or(0, |s| s.offset);
         let first = self.expect_ident("an attribute name")?;
         if first == "S" && self.peek() == Some(&Token::Dot) {
             self.advance();
-            return self.expect_ident("an attribute name after 'S.'");
+            let name = self.expect_ident("an attribute name after 'S.'")?;
+            return Ok((name, offset));
         }
-        Ok(first)
+        Ok((first, offset))
     }
 
     fn comparison(&mut self) -> Result<Cmp, ParseError> {
@@ -504,18 +566,25 @@ mod tests {
         let a = attrs();
         assert_eq!(
             parse_constraints("max(weight) <= 3", &a),
-            Err(ParseError::UnknownNumericAttr("weight".into()))
+            Err(ParseError::UnknownNumericAttr {
+                attr: "weight".into(),
+                offset: 4
+            })
         );
         assert_eq!(
             parse_constraints("{fish} subset type", &a),
             Err(ParseError::UnknownLabel {
                 label: "fish".into(),
-                attr: "type".into()
+                attr: "type".into(),
+                offset: 1
             })
         );
         assert_eq!(
             parse_constraints("{soda} subset brand", &a),
-            Err(ParseError::UnknownCategoricalAttr("brand".into()))
+            Err(ParseError::UnknownCategoricalAttr {
+                attr: "brand".into(),
+                offset: 14
+            })
         );
     }
 
@@ -573,14 +642,16 @@ mod tests {
         assert_eq!(
             parse_constraints("{soda} subset S", &a),
             Err(ParseError::ItemIdExpected {
-                found: "soda".into()
+                found: "soda".into(),
+                offset: 1
             })
         );
         assert_eq!(
             parse_constraints("{99} subset S", &a),
             Err(ParseError::ItemOutOfUniverse {
                 item: 99,
-                n_items: 6
+                n_items: 6,
+                offset: 1
             })
         );
         assert!(parse_constraints("{1.5} subset S", &a).is_err());
@@ -590,5 +661,26 @@ mod tests {
     fn trailing_ampersand_is_an_error() {
         let a = attrs();
         assert!(parse_constraints("max(price) <= 3 &", &a).is_err());
+    }
+
+    #[test]
+    fn parse_query_records_clause_spans() {
+        let a = attrs();
+        let input = "max(price) <= 3 & {soda} subset type";
+        let q = parse_query(input, &a).unwrap();
+        assert_eq!(q.constraints.len(), 2);
+        assert_eq!(q.spans, vec![Span::new(0, 15), Span::new(18, 36)]);
+        assert_eq!(&input[0..15], "max(price) <= 3");
+        assert_eq!(&input[18..36], "{soda} subset type");
+    }
+
+    #[test]
+    fn markers_contribute_no_span() {
+        let a = attrs();
+        let input = "correlated & max(price) <= 3 & ct_supported";
+        let q = parse_query(input, &a).unwrap();
+        assert_eq!(q.constraints.len(), 1);
+        assert_eq!(q.spans, vec![Span::new(13, 28)]);
+        assert_eq!(&input[13..28], "max(price) <= 3");
     }
 }

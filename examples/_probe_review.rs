@@ -1,3 +1,7 @@
+// Examples trade error handling for readability: `unwrap`/`expect` on
+// fixed inputs that cannot fail.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ccs::prelude::*;
 fn main() {
     // quick deterministic sweep mirroring the fuzz shapes

@@ -14,6 +14,10 @@
 //! cargo run --release --example causality
 //! ```
 
+// Examples trade error handling for readability: `unwrap`/`expect` on
+// fixed inputs that cannot fail.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ccs::itemset::HorizontalCounter;
 use ccs::prelude::*;
 

@@ -12,6 +12,10 @@
 //! cargo run --release --example market_basket
 //! ```
 
+// Examples trade error handling for readability: `unwrap`/`expect` on
+// fixed inputs that cannot fail.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ccs::prelude::*;
 
 fn main() {

@@ -3,11 +3,16 @@
 //! ```text
 //! ccs generate --method rules --baskets 5000 --items 100 --seed 7 --db data.baskets
 //! ccs attrs    --items 100 --db data.attrs            # identity prices
+//! ccs analyze  --query "max(S.price) <= 2 & min(S.price) >= 5" --items 100
 //! ccs mine     --db data.baskets --attrs data.attrs \
 //!              --query "correlated & ct_supported & max(S.price) <= 50" \
-//!              --algorithm bms++
+//!              --algorithm bms++ --explain
 //! ccs stats    --db data.baskets
 //! ```
+
+// The binary carries exactly one `unsafe` block — the raw `signal(2)`
+// binding in `sigint` — and that module opts back in explicitly.
+#![deny(unsafe_code)]
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -17,16 +22,19 @@ use std::time::Duration;
 use ccs::dataset::{read_attrs, read_db, write_attrs, write_db};
 use ccs::prelude::*;
 
-/// Exit codes: 0 = complete answer set, 2 = sound but truncated answer
-/// set (budget/deadline/Ctrl-C), 1 = error.
+/// Exit codes: 0 = complete answer set (or satisfiable analysis), 2 =
+/// sound but truncated answer set (budget/deadline/Ctrl-C), 3 = `ccs
+/// analyze` proved the query unsatisfiable, 1 = error.
 const EXIT_TRUNCATED: u8 = 2;
 const EXIT_ERROR: u8 = 1;
+const EXIT_UNSATISFIABLE: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (recognized, result) = match args.first().map(String::as_str) {
         Some("generate") => (true, cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS)),
         Some("attrs") => (true, cmd_attrs(&args[1..]).map(|()| ExitCode::SUCCESS)),
+        Some("analyze") => (true, cmd_analyze(&args[1..])),
         Some("mine") => (true, cmd_mine(&args[1..])),
         Some("stats") => (true, cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS)),
         Some("--help") | Some("-h") | None => {
@@ -48,14 +56,26 @@ fn main() -> ExitCode {
     }
 }
 
+/// Prints to stdout, finishing quietly when the reader has closed the
+/// pipe (e.g. `ccs stats … | head`) instead of panicking like
+/// `println!` would.
+fn print_quietly(text: &str) {
+    let _ = io::stdout().write_all(text.as_bytes());
+}
+
 fn print_usage() {
     eprintln!(
         "usage:
   ccs generate --method quest|rules --baskets <N> --items <N> [--seed <n>] --db <file>
   ccs attrs    --items <N> --db <file>                 write identity-price attributes
+  ccs analyze  --query <q> (--attrs <file> | --db <file> | --items <N>) [--json]
+               static query analysis before any counting: satisfiability
+               verdict with a minimal conflicting core, normalization,
+               and a per-constraint push plan
+               exits 0 when satisfiable or trivial, 3 when unsatisfiable
   ccs mine     --db <file> [--attrs <file>] --query <q> [--algorithm <a>]
                [--support <f>] [--ct <f>] [--confidence <f>] [--strategy <s>]
-               [--timeout <secs>] [--max-cells <N>] [--max-mem-mb <N>]
+               [--timeout <secs>] [--max-cells <N>] [--max-mem-mb <N>] [--explain]
                algorithms: bms+ bms++ bms* bms** naive naive-min-valid
                strategies: horizontal vertical parallel
                exits 0 when complete, 2 when truncated by a budget or Ctrl-C
@@ -66,8 +86,10 @@ fn print_usage() {
 /// Installs a SIGINT handler that flips a cancellation flag, so Ctrl-C
 /// turns the current mining run into a sound truncated result instead of
 /// killing the process. Raw `signal(2)` via a hand-declared binding — no
-/// libc crate in this workspace.
+/// libc crate in this workspace. This module is the only place the
+/// binary opts out of its `deny(unsafe_code)`.
 #[cfg(unix)]
+#[allow(unsafe_code)]
 mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, OnceLock};
@@ -91,8 +113,18 @@ mod sigint {
         let flag = CANCEL
             .get_or_init(|| Arc::new(AtomicBool::new(false)))
             .clone();
-        // SAFETY: `signal` is the POSIX function; the handler does only
-        // async-signal-safe work (a relaxed atomic store).
+        // SAFETY: `signal` is the POSIX `signal(2)` function, declared by
+        // hand with the handler passed as `usize` (an `extern "C" fn(i32)`
+        // pointer is ABI-compatible with `void (*)(int)` on every
+        // supported unix target). The handler is registered *before* any
+        // mining starts and does only async-signal-safe work — a single
+        // relaxed atomic store. `CANCEL` is initialised via `get_or_init`
+        // before `signal` is called, so a SIGINT arriving in the
+        // registration window either runs the process default (terminate —
+        // the run has not started, nothing is lost) or finds the flag
+        // already initialised; the handler can never observe a
+        // partially-built `OnceLock` because `get_or_init` completes
+        // first on this thread, and no other thread exists yet.
         unsafe {
             signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
         }
@@ -110,14 +142,26 @@ mod sigint {
     }
 }
 
-/// Minimal flag parser: `--key value` and `--key=value` pairs. Every
-/// flag takes a value. Construction walks the whole argument list and
-/// rejects misspelled or stray flags up front — a silently ignored
-/// `--timeout` would leave the user believing a budget is armed.
-struct Flags<'a>(&'a [String]);
+/// Minimal flag parser: `--key value` and `--key=value` pairs, plus
+/// valueless boolean switches (`--json`, `--explain`). Construction
+/// walks the whole argument list and rejects misspelled or stray flags
+/// up front — a silently ignored `--timeout` would leave the user
+/// believing a budget is armed.
+struct Flags<'a> {
+    args: &'a [String],
+    switches: &'static [&'static str],
+}
 
 impl<'a> Flags<'a> {
     fn new(args: &'a [String], known: &[&str]) -> Result<Self, String> {
+        Self::with_switches(args, known, &[])
+    }
+
+    fn with_switches(
+        args: &'a [String],
+        known: &[&str],
+        switches: &'static [&'static str],
+    ) -> Result<Self, String> {
         let mut i = 0;
         while i < args.len() {
             let arg = args[i].as_str();
@@ -128,6 +172,13 @@ impl<'a> Flags<'a> {
                 Some((k, _)) => (k, true),
                 None => (arg, false),
             };
+            if switches.contains(&key) {
+                if has_inline_value {
+                    return Err(format!("{key} takes no value"));
+                }
+                i += 1;
+                continue;
+            }
             if !known.contains(&key) {
                 return Err(format!("unknown flag '{key}'"));
             }
@@ -139,11 +190,11 @@ impl<'a> Flags<'a> {
             }
             i += 1;
         }
-        Ok(Flags(args))
+        Ok(Flags { args, switches })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        let mut args = self.0.iter();
+        let mut args = self.args.iter();
         while let Some(a) = args.next() {
             if a == key {
                 return args.next().map(String::as_str);
@@ -153,6 +204,12 @@ impl<'a> Flags<'a> {
             }
         }
         None
+    }
+
+    /// `true` iff the boolean switch `key` appears.
+    fn has(&self, key: &str) -> bool {
+        debug_assert!(self.switches.contains(&key));
+        self.args.iter().any(|a| a == key)
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -274,8 +331,47 @@ fn load_db(path: &str) -> Result<TransactionDb, String> {
     read_db(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
 }
 
+fn load_attrs(path: &str) -> Result<AttributeTable, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_attrs(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::with_switches(
+        args,
+        &["--query", "--attrs", "--db", "--items"],
+        &["--json"],
+    )?;
+    let query_text = flags.require("--query")?;
+    let attrs = if let Some(path) = flags.get("--attrs") {
+        load_attrs(path)?
+    } else if let Some(items) = flags.parse_opt::<u32>("--items")? {
+        AttributeTable::with_identity_prices(items)
+    } else if let Some(path) = flags.get("--db") {
+        AttributeTable::with_identity_prices(load_db(path)?.n_items())
+    } else {
+        return Err(
+            "analyze needs an attribute universe: --attrs <file>, --db <file>, or --items <N>"
+                .to_owned(),
+        );
+    };
+    let parsed = parse_query(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
+    let analysis = analyze_spanned(&parsed.constraints, &parsed.spans, &attrs)
+        .map_err(|e| format!("analyze: {e}"))?;
+    if flags.has("--json") {
+        print_quietly(&format!("{}\n", analysis.to_json()));
+    } else {
+        print_quietly(&analysis.render(Some(query_text)));
+    }
+    if analysis.verdict.is_unsatisfiable() {
+        Ok(ExitCode::from(EXIT_UNSATISFIABLE))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
-    let flags = Flags::new(
+    let flags = Flags::with_switches(
         args,
         &[
             "--db",
@@ -292,17 +388,21 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
             "--max-cells",
             "--max-mem-mb",
         ],
+        &["--explain"],
     )?;
     let db = load_db(flags.require("--db")?)?;
     let attrs = match flags.get("--attrs") {
-        Some(path) => {
-            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            read_attrs(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))?
-        }
+        Some(path) => load_attrs(path)?,
         None => AttributeTable::with_identity_prices(db.n_items()),
     };
     let query_text = flags.get("--query").unwrap_or("correlated & ct_supported");
-    let constraints = parse_constraints(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
+    let parsed = parse_query(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
+    if flags.has("--explain") {
+        let analysis = analyze_spanned(&parsed.constraints, &parsed.spans, &attrs)
+            .map_err(|e| format!("analyze: {e}"))?;
+        eprint!("{}", analysis.render(Some(query_text)));
+    }
+    let constraints = parsed.constraints;
     let algorithm = match flags.get("--algorithm").unwrap_or("bms++") {
         "bms+" => Algorithm::BmsPlus,
         "bms++" => Algorithm::BmsPlusPlus,
@@ -364,10 +464,11 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     }
     drop(out);
     eprintln!(
-        "{} answers ({}), {} tables built, {:.3}s",
+        "{} answers ({}), {} tables built, {} cells counted, {:.3}s",
         result.answers.len(),
         result.semantics,
         result.metrics.tables_built,
+        result.metrics.cells_counted,
         result.metrics.elapsed.as_secs_f64()
     );
     if result.metrics.degraded_batches > 0 {
@@ -390,18 +491,25 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let flags = Flags::new(args, &["--db"])?;
     let db = load_db(flags.require("--db")?)?;
-    println!("baskets:          {}", db.len());
-    println!("items:            {}", db.n_items());
-    println!("avg basket size:  {:.2}", db.avg_transaction_len());
-    println!("max basket size:  {}", db.max_transaction_len());
     let supports = db.item_supports();
     let nonzero = supports.iter().filter(|&&s| s > 0).count();
-    println!("items occurring:  {nonzero}");
+    let mut text = format!(
+        "baskets:          {}\n\
+         items:            {}\n\
+         avg basket size:  {:.2}\n\
+         max basket size:  {}\n\
+         items occurring:  {nonzero}\n",
+        db.len(),
+        db.n_items(),
+        db.avg_transaction_len(),
+        db.max_transaction_len()
+    );
     if let Some((item, &support)) = supports.iter().enumerate().max_by_key(|(_, &s)| s) {
-        println!(
-            "most frequent:    i{item} ({support} baskets, {:.1}%)",
+        text.push_str(&format!(
+            "most frequent:    i{item} ({support} baskets, {:.1}%)\n",
             100.0 * support as f64 / db.len().max(1) as f64
-        );
+        ));
     }
+    print_quietly(&text);
     Ok(())
 }

@@ -100,7 +100,6 @@ pub fn read_db<R: Read>(input: R) -> Result<TransactionDb, DatasetError> {
     let reader = BufReader::new(input);
     let mut n_items: Option<u32> = None;
     let mut txns: Vec<Vec<u32>> = Vec::new();
-    let mut saw_header = false;
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
         let line = line?;
@@ -108,28 +107,29 @@ pub fn read_db<R: Read>(input: R) -> Result<TransactionDb, DatasetError> {
         if trimmed.starts_with('#') {
             continue;
         }
-        if !saw_header {
-            if trimmed.is_empty() {
+        let n = match n_items {
+            Some(n) => n,
+            None => {
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let mut parts = trimmed.split_whitespace();
+                if parts.next() != Some("items") {
+                    return Err(parse_err(lineno, "expected 'items <N>' header"));
+                }
+                let n: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "expected a number after 'items'"))?;
+                n_items = Some(n);
                 continue;
             }
-            let mut parts = trimmed.split_whitespace();
-            if parts.next() != Some("items") {
-                return Err(parse_err(lineno, "expected 'items <N>' header"));
-            }
-            let n: u32 = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| parse_err(lineno, "expected a number after 'items'"))?;
-            n_items = Some(n);
-            saw_header = true;
-            continue;
-        }
+        };
         let mut basket = Vec::new();
         for tok in trimmed.split_whitespace() {
             let id: u32 = tok
                 .parse()
                 .map_err(|_| parse_err(lineno, format!("bad item id '{tok}'")))?;
-            let n = n_items.expect("header seen");
             if id >= n {
                 return Err(parse_err(
                     lineno,
@@ -154,12 +154,16 @@ pub fn write_attrs<W: Write>(attrs: &AttributeTable, out: &mut W) -> io::Result<
     writeln!(out, "items {}", attrs.n_items())?;
     for name in attrs.numeric_names() {
         write!(out, "numeric {name}")?;
+        // The name comes from the table's own listing — lookup is
+        // infallible.
+        #[allow(clippy::expect_used)]
         for v in attrs.numeric(name).expect("listed name") {
             write!(out, " {v}")?;
         }
         writeln!(out)?;
     }
     for name in attrs.categorical_names() {
+        #[allow(clippy::expect_used)]
         let col = attrs.categorical(name).expect("listed name");
         write!(out, "categorical {name}")?;
         for &id in col.values() {
@@ -187,7 +191,9 @@ pub fn read_attrs<R: Read>(input: R) -> Result<AttributeTable, DatasetError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let keyword = parts.next().expect("non-empty line");
+        let Some(keyword) = parts.next() else {
+            continue; // unreachable: blank lines were skipped above
+        };
         match (keyword, &mut table) {
             ("items", None) => {
                 let n: u32 = parts

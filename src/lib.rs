@@ -55,7 +55,8 @@ pub use ccs_stats as stats;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use ccs_constraints::{
-        AggFn, AttributeTable, Cmp, Constraint, ConstraintSet, Monotonicity,
+        analyze, analyze_spanned, AggFn, AttributeTable, Cmp, Constraint, ConstraintSet,
+        Monotonicity, QueryAnalysis, QueryVerdict, Span,
     };
     pub use ccs_core::{
         discover_causality, mine, mine_with_guard, mine_with_strategy, resume_with_guard,
@@ -65,6 +66,6 @@ pub mod prelude {
     };
     pub use ccs_datagen::{generate_quest, generate_rules, QuestParams, RuleParams};
     pub use ccs_itemset::{Item, Itemset, TransactionDb};
-    pub use ccs_query::parse_constraints;
+    pub use ccs_query::{parse_constraints, parse_query, ParsedQuery};
     pub use ccs_stats::ContingencyTable;
 }

@@ -23,6 +23,10 @@
 //! every checkpoint — including the boundary between BMS*/BMS** phase 1
 //! and their phase-2 sweeps — sees each fault kind.
 
+// Helper fns outside `#[test]` bodies still trip `unwrap_used`; in a
+// test binary a panic is the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use ccs::core::{mine_with_counter_guarded, resume_with_counter_guarded};

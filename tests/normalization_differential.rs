@@ -1,0 +1,174 @@
+//! Differential test for the static analyzer's normalization: mining the
+//! *normalized* conjunction must produce exactly the answers of mining
+//! the *raw* conjunction, for all five algorithms.
+//!
+//! The miners' public entry points normalize internally (inside
+//! `dispatch`), so this test deliberately goes through the raw
+//! `run_*` functions — the only paths that take a query verbatim —
+//! with the normalized conjunction built explicitly via `analyze`.
+//! Going through `mine()` on both sides would compare the normalizer
+//! against itself and prove nothing.
+//!
+//! Two extra obligations ride along:
+//!
+//! * when the verdict is `Unsatisfiable`, exhaustive mining of the *raw*
+//!   conjunction must come back empty — a wrongly-unsatisfiable verdict
+//!   would otherwise silently discard answers;
+//! * a `Trivial` verdict means the normalized set is empty or equivalent,
+//!   which the main equality check already witnesses.
+
+// Helper fns outside `#[test]` bodies still trip `unwrap_used`; in a
+// test binary a panic is the failure report.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use ccs::core::{run_bms_plus, run_bms_plus_plus, run_bms_star, run_bms_star_star, run_naive};
+use ccs::itemset::HorizontalCounter;
+use ccs::prelude::*;
+
+const N_ITEMS: u32 = 6;
+
+fn attrs() -> AttributeTable {
+    let mut t = AttributeTable::with_identity_prices(N_ITEMS);
+    t.add_categorical("type", &["a", "a", "b", "b", "c", "c"]);
+    t
+}
+
+fn db_strategy() -> impl Strategy<Value = TransactionDb> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0u32..N_ITEMS, 0..5), 20..50),
+        0u32..3,
+        2u32..5,
+    )
+        .prop_map(|(mut txns, p, every)| {
+            for (i, t) in txns.iter_mut().enumerate() {
+                if (i as u32).is_multiple_of(every) {
+                    t.push(p);
+                    t.push(p + 1);
+                    t.push((p + 2) % N_ITEMS);
+                }
+            }
+            TransactionDb::from_ids(N_ITEMS, txns)
+        })
+}
+
+/// Constraints biased toward overlap: same attribute, close thresholds,
+/// so duplicate/subsumption/interval rules actually fire.
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    (
+        0usize..12,
+        1.0f64..8.0,
+        proptest::collection::btree_set(0u32..3, 1..3),
+    )
+        .prop_map(|(kind, v, ids)| {
+            let cats: BTreeSet<u32> = ids.clone();
+            match kind {
+                0 => Constraint::max_le("price", v),
+                1 => Constraint::max_le("price", v + 2.0), // frequent subsumption pairs
+                2 => Constraint::min_ge("price", v / 2.0),
+                3 => Constraint::sum_le("price", v * 2.0),
+                4 => Constraint::sum_ge("price", v),
+                5 => Constraint::min_le("price", v),
+                6 => Constraint::max_ge("price", v),
+                7 => Constraint::ConstSubset {
+                    attr: "type".into(),
+                    categories: cats,
+                    negated: false,
+                },
+                8 => Constraint::Disjoint {
+                    attr: "type".into(),
+                    categories: cats,
+                    negated: false,
+                },
+                9 => Constraint::ItemSubset {
+                    items: ids,
+                    negated: false,
+                },
+                10 => Constraint::ItemDisjoint {
+                    items: ids,
+                    negated: true,
+                },
+                _ => Constraint::CountDistinct {
+                    attr: "type".into(),
+                    cmp: if v < 4.0 { Cmp::Le } else { Cmp::Ge },
+                    value: (v as u64 % 3) + 1,
+                },
+            }
+        })
+}
+
+fn params() -> MiningParams {
+    MiningParams {
+        confidence: 0.9,
+        support_fraction: 0.1,
+        ct_fraction: 0.2,
+        min_item_support: 0.0,
+        max_level: 5,
+    }
+}
+
+/// Runs one raw (non-normalizing) algorithm entry point.
+fn run_raw(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    which: usize,
+) -> Vec<Itemset> {
+    let mut counter = HorizontalCounter::new(db);
+    let result = match which {
+        0 => run_bms_plus(db, attrs, q, &mut counter),
+        1 => run_bms_plus_plus(db, attrs, q, &mut counter),
+        2 => run_bms_star(db, attrs, q, &mut counter),
+        3 => run_bms_star_star(db, attrs, q, &mut counter),
+        _ => run_naive(db, attrs, q, Semantics::ValidMin, &mut counter),
+    };
+    result.unwrap().answers
+}
+
+const ALGO_NAMES: [&str; 5] = ["BMS+", "BMS++", "BMS*", "BMS**", "naive"];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn normalized_conjunction_mines_identically(
+        db in db_strategy(),
+        c1 in constraint_strategy(),
+        c2 in constraint_strategy(),
+        c3 in constraint_strategy(),
+    ) {
+        let attrs = attrs();
+        let raw_cs = ConstraintSet::new().and(c1).and(c2).and(c3);
+        let analysis = analyze(&raw_cs, &attrs).unwrap();
+
+        let raw_q = CorrelationQuery { params: params(), constraints: raw_cs };
+        if analysis.verdict.is_unsatisfiable() {
+            // Soundness of the verdict itself: the exhaustive miner on the
+            // RAW conjunction must find nothing.
+            let ground_truth = run_raw(&db, &attrs, &raw_q, 4);
+            prop_assert!(
+                ground_truth.is_empty(),
+                "analyzer called {} unsatisfiable, but naive mining found {} answers",
+                raw_q.constraints, ground_truth.len()
+            );
+            continue;
+        }
+
+        let norm_q = CorrelationQuery {
+            params: params(),
+            constraints: analysis.normalized.clone(),
+        };
+        for (which, name) in ALGO_NAMES.iter().enumerate() {
+            let raw = run_raw(&db, &attrs, &raw_q, which);
+            let norm = run_raw(&db, &attrs, &norm_q, which);
+            prop_assert_eq!(
+                &raw, &norm,
+                "{} answers diverge: raw [{}] vs normalized [{}]",
+                name, &raw_q.constraints, &norm_q.constraints
+            );
+        }
+    }
+}
