@@ -17,7 +17,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ccs_bench::DataMethod;
-use ccs_itemset::{HorizontalCounter, Itemset, MintermCounter, ParallelCounter, VerticalCounter};
+use ccs_itemset::{
+    HorizontalCounter, Itemset, MintermCounter, ParallelCounter, ParallelVerticalCounter,
+    ParallelVerticalIndex, VerticalCounter,
+};
 
 const N_ITEMS: u32 = 60;
 const N_BASKETS: usize = 10_000;
@@ -162,6 +165,51 @@ fn main() {
             tables_per_pass: t,
         });
     }
+    {
+        let mut c = ParallelVerticalCounter::new(&db);
+        let (s, t) = time_level(&mut c, &level, |c, l| single(c, l));
+        rows.push(Row {
+            name: "vertical_par/per_candidate",
+            seconds: s,
+            tables_per_pass: t,
+        });
+        let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
+        rows.push(Row {
+            name: "vertical_par/batch",
+            seconds: s,
+            tables_per_pass: t,
+        });
+    }
+
+    // Pool thread-scaling of the parallel-vertical batch path. On a
+    // single-core host every worker count serialises onto one CPU, so
+    // the curve is flat there — `available_parallelism` is recorded in
+    // the JSON so readers can tell a flat machine from a flat algorithm.
+    struct ScalePoint {
+        workers: usize,
+        seconds: f64,
+    }
+    let mut scaling: Vec<ScalePoint> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut index = ParallelVerticalIndex::build_with_workers(&db, workers);
+        index.set_work_floor(0); // measure the pooled path at every width
+        let pass = |index: &mut ParallelVerticalIndex, level: &[Itemset]| {
+            std::hint::black_box(index.minterm_counts_batch(level));
+        };
+        pass(&mut index, &level); // warm-up
+        let mut secs: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                pass(&mut index, &level);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_unstable_by(f64::total_cmp);
+        scaling.push(ScalePoint {
+            workers,
+            seconds: secs[REPS / 2],
+        });
+    }
 
     let vertical_single = rows
         .iter()
@@ -169,6 +217,14 @@ fn main() {
         .unwrap();
     let vertical_batch = rows.iter().find(|r| r.name == "vertical/batch").unwrap();
     let speedup = vertical_single.seconds / vertical_batch.seconds;
+    let vertical_par_batch = rows
+        .iter()
+        .find(|r| r.name == "vertical_par/batch")
+        .unwrap();
+    let par_speedup = vertical_batch.seconds / vertical_par_batch.seconds;
+    let available = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1);
 
     println!(
         "counting baseline: {N_CANDIDATES} candidates of size {CANDIDATE_SIZE}, \
@@ -188,6 +244,17 @@ fn main() {
         );
     }
     println!("\nvertical batch speedup over per-candidate: {speedup:.2}x");
+    println!("vertical_par batch speedup over vertical batch: {par_speedup:.2}x");
+    println!("thread scaling (vertical_par/batch, forced pooled path):");
+    for p in &scaling {
+        println!(
+            "  {} worker(s): {:.6}s ({:.2}x vs 1 worker)",
+            p.workers,
+            p.seconds,
+            scaling[0].seconds / p.seconds
+        );
+    }
+    println!("available parallelism on this host: {available}");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -195,7 +262,7 @@ fn main() {
         json,
         "  \"config\": {{ \"items\": {N_ITEMS}, \"transactions\": {N_BASKETS}, \
          \"candidates\": {N_CANDIDATES}, \"candidate_size\": {CANDIDATE_SIZE}, \
-         \"reps\": {REPS} }},"
+         \"reps\": {REPS}, \"available_parallelism\": {available} }},"
     );
     json.push_str("  \"strategies\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -211,9 +278,26 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"thread_scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"workers\": {}, \"median_seconds\": {:.6}, \
+             \"speedup_vs_1_worker\": {:.2} }}{}",
+            p.workers,
+            p.seconds,
+            scaling[0].seconds / p.seconds,
+            if i + 1 < scaling.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"vertical_batch_speedup_over_per_candidate\": {speedup:.2}"
+        "  \"vertical_batch_speedup_over_per_candidate\": {speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"vertical_par_batch_speedup_over_vertical_batch\": {par_speedup:.2}"
     );
     json.push_str("}\n");
 
@@ -221,4 +305,54 @@ fn main() {
     let path = out_dir.join("BENCH_counting.json");
     std::fs::write(&path, json).expect("write BENCH_counting.json");
     println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the per-scan spawn overhead: per-candidate
+    /// parallel counting used to spawn a fresh set of threads for every
+    /// scan, which made it the slowest strategy on the baseline shape.
+    /// With the persistent pool and the sequential work floor, a
+    /// one-candidate scan routes straight to the sequential kernel, so
+    /// it must now track the horizontal reference. Scaled-down shape +
+    /// a generous tolerance keep this timing assertion robust on noisy
+    /// or single-core hosts.
+    #[test]
+    fn parallel_per_candidate_is_not_the_slowest_strategy() {
+        let db = DataMethod::Quest.generate(N_ITEMS, 2_000, 7);
+        let level = dense_level(N_ITEMS, 60, CANDIDATE_SIZE, POOL);
+        let pass = |counter: &mut dyn MintermCounter| {
+            let t0 = Instant::now();
+            for set in &level {
+                std::hint::black_box(counter.minterm_counts(set));
+            }
+            t0.elapsed().as_secs_f64()
+        };
+        let mut horizontal = HorizontalCounter::new(&db);
+        let mut vertical = VerticalCounter::new(&db);
+        let mut parallel = ParallelCounter::with_available_parallelism(&db);
+        // Warm-up (vertical index build, page cache), then interleaved
+        // rounds with the per-strategy *minimum* kept: other test
+        // binaries share these cores, and min-of-rounds discards their
+        // scheduling noise where a mean or median would absorb it.
+        let (mut h, mut v, mut p) = (f64::MAX, f64::MAX, f64::MAX);
+        for _ in 0..2 {
+            pass(&mut horizontal);
+            pass(&mut vertical);
+            pass(&mut parallel);
+        }
+        for _ in 0..7 {
+            h = h.min(pass(&mut horizontal));
+            v = v.min(pass(&mut vertical));
+            p = p.min(pass(&mut parallel));
+        }
+        let slowest_other = h.max(v);
+        assert!(
+            p <= slowest_other * 1.5,
+            "parallel/per_candidate ({p:.6}s) is the slowest strategy again \
+             (slowest other: {slowest_other:.6}s) — per-scan dispatch overhead is back"
+        );
+    }
 }

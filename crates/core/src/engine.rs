@@ -5,8 +5,9 @@
 //! * [`Engine::evaluate_level`] hands a whole level of candidates to the
 //!   counting layer at once ([`MintermCounter::minterm_counts_batch`]),
 //!   so a horizontal strategy pays one scan per *level* rather than per
-//!   *candidate*, and the vertical strategy can share prefix
-//!   intersections across candidates.
+//!   *candidate*, the vertical strategy can share prefix intersections
+//!   across candidates, and the parallel-vertical strategy can fan the
+//!   level's prefix-equivalence classes out over its worker pool.
 //! * A verdict memo-cache keyed by [`Itemset`]: once a set has been
 //!   judged, any later evaluation — typically a BMS*/BMS** border sweep
 //!   revisiting sets the BMS phase already classified — is answered from

@@ -286,6 +286,12 @@ impl CountProbe for RunGuard {
         self.checkpoint().is_err()
     }
 
+    fn is_inert(&self) -> bool {
+        // Unarmed guards never trip, so pooled counters may skip the
+        // periodic probe-poll loop and block on worker results directly.
+        !self.inner.armed
+    }
+
     fn charge(&self, cells: u64) -> bool {
         let inner = &*self.inner;
         if !inner.armed {

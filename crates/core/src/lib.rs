@@ -46,8 +46,9 @@ pub use causality::{discover_causality, CausalAnalysis, CausalFinding};
 pub use guard::{Completion, GuardLimits, ResumeState, RunGuard, TruncationReason};
 pub use metrics::MiningMetrics;
 pub use miner::{
-    mine, mine_with_counter, mine_with_counter_guarded, mine_with_guard, mine_with_strategy,
-    resume_with_counter_guarded, resume_with_guard, Algorithm, CountingStrategy,
+    mine, mine_with_counter, mine_with_counter_guarded, mine_with_guard, mine_with_options,
+    mine_with_strategy, resume_with_counter_guarded, resume_with_guard, resume_with_options,
+    Algorithm, CountingStrategy, MiningOptions,
 };
 pub use naive::{run_naive, NAIVE_MAX_ITEMS};
 pub use params::MiningParams;

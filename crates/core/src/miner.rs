@@ -2,7 +2,8 @@
 
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{
-    HorizontalCounter, MintermCounter, ParallelCounter, TransactionDb, VerticalCounter,
+    HorizontalCounter, MintermCounter, ParallelCounter, ParallelVerticalCounter, TransactionDb,
+    VerticalCounter,
 };
 
 use crate::bms_plus::run_bms_plus_guarded;
@@ -86,6 +87,130 @@ pub enum CountingStrategy {
     /// cost model to `Horizontal`, divided across threads (an extension
     /// beyond the paper's single-core testbed).
     Parallel,
+    /// Vertical batch counting fanned out over prefix-equivalence
+    /// classes on a persistent worker pool, with a vertical →
+    /// horizontal degradation ladder under memory pressure
+    /// (DESIGN.md §6.2).
+    VerticalPar,
+    /// Picks a concrete strategy from the database shape and available
+    /// parallelism at mining time; see [`CountingStrategy::resolve`].
+    Auto,
+}
+
+impl CountingStrategy {
+    /// Resolves `Auto` to a concrete strategy from database shape.
+    /// Non-`Auto` strategies return themselves.
+    ///
+    /// The heuristic favours the measured-fastest substrate that the
+    /// shape supports: an empty database counts nothing (horizontal
+    /// avoids even the index build); a database whose per-item bitmaps
+    /// would be enormous *and* nearly empty (huge sparse universe) stays
+    /// horizontal; a database big enough to amortise pool dispatch uses
+    /// the parallel vertical engine when more than one worker is
+    /// available; everything else uses the sequential vertical index,
+    /// which dominates horizontal scanning by orders of magnitude on the
+    /// benchmark shapes (`results/BENCH_counting.json`).
+    pub fn resolve(self, db: &TransactionDb, threads: Option<usize>) -> CountingStrategy {
+        if self != CountingStrategy::Auto {
+            return self;
+        }
+        let n = db.len();
+        if n == 0 {
+            return CountingStrategy::Horizontal;
+        }
+        // Vertical index footprint: one n-bit bitmap per item.
+        let bitmap_bytes = (db.n_items() as usize).saturating_mul(n.div_ceil(64) * 8);
+        let density = db.avg_transaction_len() / f64::from(db.n_items().max(1));
+        if bitmap_bytes > (1 << 30) && density < 0.005 {
+            return CountingStrategy::Horizontal;
+        }
+        let workers = threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
+        });
+        if workers > 1 && n >= 4096 {
+            return CountingStrategy::VerticalPar;
+        }
+        CountingStrategy::Vertical
+    }
+
+    /// The CLI-facing name (also what [`std::str::FromStr`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            CountingStrategy::Horizontal => "horizontal",
+            CountingStrategy::Vertical => "vertical",
+            CountingStrategy::Parallel => "parallel",
+            CountingStrategy::VerticalPar => "vertical-par",
+            CountingStrategy::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for CountingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl std::str::FromStr for CountingStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "horizontal" => Ok(CountingStrategy::Horizontal),
+            "vertical" => Ok(CountingStrategy::Vertical),
+            "parallel" => Ok(CountingStrategy::Parallel),
+            "vertical-par" | "vertical_par" => Ok(CountingStrategy::VerticalPar),
+            "auto" => Ok(CountingStrategy::Auto),
+            other => Err(format!(
+                "unknown counting strategy '{other}' \
+                 (expected horizontal, vertical, parallel, vertical-par, or auto)"
+            )),
+        }
+    }
+}
+
+/// Counting configuration for a mining run: the strategy plus an
+/// optional worker-thread override for the pooled strategies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiningOptions {
+    /// Counting strategy (`Auto` resolves per database at run time).
+    pub strategy: CountingStrategy,
+    /// Worker threads for `Parallel` / `VerticalPar` / `Auto`. `None`
+    /// uses the process-wide pool sized to the machine's available
+    /// parallelism; `Some(n)` builds a private `n`-worker pool for this
+    /// run (created once, reused across every level).
+    pub threads: Option<usize>,
+}
+
+impl MiningOptions {
+    /// Options for a strategy with the default thread policy.
+    pub fn with_strategy(strategy: CountingStrategy) -> Self {
+        MiningOptions {
+            strategy,
+            threads: None,
+        }
+    }
+}
+
+/// Builds the counter for a resolved strategy. The single place the
+/// strategy enum turns into a concrete counter — every mine/resume
+/// entry point funnels through here.
+fn make_counter<'a>(db: &'a TransactionDb, options: MiningOptions) -> Box<dyn MintermCounter + 'a> {
+    match options.strategy.resolve(db, options.threads) {
+        CountingStrategy::Horizontal => Box::new(HorizontalCounter::new(db)),
+        CountingStrategy::Vertical => Box::new(VerticalCounter::new(db)),
+        CountingStrategy::Parallel => match options.threads {
+            Some(n) => Box::new(ParallelCounter::new(db, n)),
+            None => Box::new(ParallelCounter::with_available_parallelism(db)),
+        },
+        CountingStrategy::VerticalPar => match options.threads {
+            Some(n) => Box::new(ParallelVerticalCounter::with_workers(db, n)),
+            None => Box::new(ParallelVerticalCounter::new(db)),
+        },
+        CountingStrategy::Auto => unreachable!("resolve() never returns Auto"),
+    }
 }
 
 /// Runs `algorithm` on `db` with a counter chosen by `strategy`.
@@ -101,20 +226,33 @@ pub fn mine_with_strategy(
     algorithm: Algorithm,
     strategy: CountingStrategy,
 ) -> Result<MiningResult, MiningError> {
-    match strategy {
-        CountingStrategy::Horizontal => {
-            let mut counter = HorizontalCounter::new(db);
-            mine_with_counter(db, attrs, query, algorithm, &mut counter)
-        }
-        CountingStrategy::Vertical => {
-            let mut counter = VerticalCounter::new(db);
-            mine_with_counter(db, attrs, query, algorithm, &mut counter)
-        }
-        CountingStrategy::Parallel => {
-            let mut counter = ParallelCounter::with_available_parallelism(db);
-            mine_with_counter(db, attrs, query, algorithm, &mut counter)
-        }
-    }
+    mine_with_options(
+        db,
+        attrs,
+        query,
+        algorithm,
+        MiningOptions::with_strategy(strategy),
+        &RunGuard::unlimited(),
+    )
+}
+
+/// Runs `algorithm` with full counting options (strategy + thread
+/// override) under `guard`. [`mine_with_strategy`] and
+/// [`mine_with_guard`] are thin wrappers over this.
+///
+/// # Errors
+///
+/// As [`mine_with_strategy`].
+pub fn mine_with_options(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    options: MiningOptions,
+    guard: &RunGuard,
+) -> Result<MiningResult, MiningError> {
+    let mut counter = make_counter(db, options);
+    dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
 }
 
 /// Runs `algorithm` with the default (paper-faithful, horizontal)
@@ -226,20 +364,14 @@ pub fn mine_with_guard(
     strategy: CountingStrategy,
     guard: &RunGuard,
 ) -> Result<MiningResult, MiningError> {
-    match strategy {
-        CountingStrategy::Horizontal => {
-            let mut counter = HorizontalCounter::new(db);
-            dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
-        }
-        CountingStrategy::Vertical => {
-            let mut counter = VerticalCounter::new(db);
-            dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
-        }
-        CountingStrategy::Parallel => {
-            let mut counter = ParallelCounter::with_available_parallelism(db);
-            dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
-        }
-    }
+    mine_with_options(
+        db,
+        attrs,
+        query,
+        algorithm,
+        MiningOptions::with_strategy(strategy),
+        guard,
+    )
 }
 
 /// [`mine_with_guard`] against a caller-provided counter.
@@ -279,45 +411,41 @@ pub fn resume_with_guard(
     guard: &RunGuard,
     state: ResumeState,
 ) -> Result<MiningResult, MiningError> {
+    resume_with_options(
+        db,
+        attrs,
+        query,
+        MiningOptions::with_strategy(strategy),
+        guard,
+        state,
+    )
+}
+
+/// [`resume_with_guard`] with full counting options (strategy + thread
+/// override).
+///
+/// # Errors
+///
+/// As [`mine_with_guard`].
+pub fn resume_with_options(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    options: MiningOptions,
+    guard: &RunGuard,
+    state: ResumeState,
+) -> Result<MiningResult, MiningError> {
     let algorithm = state.algorithm();
-    match strategy {
-        CountingStrategy::Horizontal => {
-            let mut counter = HorizontalCounter::new(db);
-            dispatch(
-                db,
-                attrs,
-                query,
-                algorithm,
-                &mut counter,
-                guard,
-                Some(state.inner),
-            )
-        }
-        CountingStrategy::Vertical => {
-            let mut counter = VerticalCounter::new(db);
-            dispatch(
-                db,
-                attrs,
-                query,
-                algorithm,
-                &mut counter,
-                guard,
-                Some(state.inner),
-            )
-        }
-        CountingStrategy::Parallel => {
-            let mut counter = ParallelCounter::with_available_parallelism(db);
-            dispatch(
-                db,
-                attrs,
-                query,
-                algorithm,
-                &mut counter,
-                guard,
-                Some(state.inner),
-            )
-        }
-    }
+    let mut counter = make_counter(db, options);
+    dispatch(
+        db,
+        attrs,
+        query,
+        algorithm,
+        &mut counter,
+        guard,
+        Some(state.inner),
+    )
 }
 
 /// [`resume_with_guard`] against a caller-provided counter.
@@ -445,7 +573,12 @@ mod tests {
                 let h = mine_with_strategy(&db, &attrs, &q, a, CountingStrategy::Horizontal)
                     .unwrap()
                     .answers;
-                for strategy in [CountingStrategy::Vertical, CountingStrategy::Parallel] {
+                for strategy in [
+                    CountingStrategy::Vertical,
+                    CountingStrategy::Parallel,
+                    CountingStrategy::VerticalPar,
+                    CountingStrategy::Auto,
+                ] {
                     let v = mine_with_strategy(&db, &attrs, &q, a, strategy)
                         .unwrap()
                         .answers;
@@ -453,6 +586,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn vertical_par_agrees_across_explicit_thread_counts() {
+        // The pooled vertical counter must be bit-identical to the
+        // horizontal reference regardless of how many workers the run
+        // is given — including a degenerate 1-worker pool.
+        let attrs = AttributeTable::with_identity_prices(8);
+        let q = query();
+        let db = modular_db();
+        for &a in &Algorithm::paper_algorithms() {
+            let h = mine_with_strategy(&db, &attrs, &q, a, CountingStrategy::Horizontal)
+                .unwrap()
+                .answers;
+            for threads in [1, 2, 4] {
+                let options = MiningOptions {
+                    strategy: CountingStrategy::VerticalPar,
+                    threads: Some(threads),
+                };
+                let v = mine_with_options(&db, &attrs, &q, a, options, &RunGuard::unlimited())
+                    .unwrap()
+                    .answers;
+                assert_eq!(h, v, "vertical-par({threads}) mismatch for {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_from_database_shape() {
+        use CountingStrategy::*;
+        let small = db(); // 50 transactions: below the pool floor.
+        assert_eq!(Auto.resolve(&small, Some(8)), Vertical);
+        assert_eq!(Auto.resolve(&small, Some(1)), Vertical);
+        let empty = TransactionDb::from_ids(3, Vec::<Vec<u32>>::new());
+        assert_eq!(Auto.resolve(&empty, Some(8)), Horizontal);
+        // Concrete strategies are fixed points.
+        for s in [Horizontal, Vertical, Parallel, VerticalPar] {
+            assert_eq!(s.resolve(&small, None), s);
+        }
+        // A big database with workers to spare goes parallel-vertical.
+        let big = TransactionDb::from_ids(4, (0..5000u32).map(|t| vec![t % 4, (t + 1) % 4]));
+        assert_eq!(Auto.resolve(&big, Some(4)), VerticalPar);
+        assert_eq!(Auto.resolve(&big, Some(1)), Vertical);
+    }
+
+    #[test]
+    fn strategy_names_round_trip_through_fromstr() {
+        use CountingStrategy::*;
+        for s in [Horizontal, Vertical, Parallel, VerticalPar, Auto] {
+            assert_eq!(s.name().parse::<CountingStrategy>().unwrap(), s);
+        }
+        assert!("simd".parse::<CountingStrategy>().is_err());
+        assert_eq!(VerticalPar.to_string(), "vertical-par");
     }
 
     #[test]

@@ -51,8 +51,9 @@ pub struct CountingStats {
     /// Evaluations answered from a verdict cache instead of a counter
     /// (tracked by `ccs-core`'s engine, not by the counters themselves).
     pub cache_hits: u64,
-    /// Batches a vertical counter answered with horizontal scans after
-    /// its scratch arena tripped a memory budget (graceful degradation).
+    /// Batches a vertical counter answered below its preferred rung of
+    /// the degradation ladder (vertical-parallel → vertical →
+    /// horizontal) after a scratch-arena memory budget tripped.
     pub degraded_batches: u64,
 }
 
@@ -95,6 +96,15 @@ pub trait CountProbe: Sync {
     /// Notifies the probe that a memory budget was tripped by a counter
     /// that has no cheaper strategy to degrade to.
     fn note_memory_trip(&self) {}
+
+    /// `true` when this probe can never interrupt (no deadline, work
+    /// budget, memory budget, or cancellation source). Parallel engines
+    /// use this to choose a blocking wait over a poll-and-check loop
+    /// while draining worker results. Defaults to `false` — assuming a
+    /// probe may trip is always sound, just marginally slower.
+    fn is_inert(&self) -> bool {
+        false
+    }
 }
 
 /// The probe that never interrupts: unguarded counting.
@@ -107,6 +117,9 @@ impl CountProbe for NoProbe {
     }
     fn charge(&self, _cells: u64) -> bool {
         false
+    }
+    fn is_inert(&self) -> bool {
+        true
     }
 }
 
@@ -174,6 +187,37 @@ pub trait MintermCounter {
 
     /// Work performed so far.
     fn stats(&self) -> CountingStats;
+}
+
+/// Forwarding impl so strategy-selection code can hand around a
+/// `Box<dyn MintermCounter>` and still call everything through the
+/// trait. Each method forwards explicitly — inheriting the trait's
+/// per-set defaults here would silently discard the boxed counter's
+/// batch sharing and guarded-interrupt behaviour.
+impl MintermCounter for Box<dyn MintermCounter + '_> {
+    fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+        (**self).minterm_counts(set)
+    }
+
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        (**self).minterm_counts_batch(sets)
+    }
+
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        (**self).minterm_counts_batch_guarded(sets, probe)
+    }
+
+    fn n_transactions(&self) -> usize {
+        (**self).n_transactions()
+    }
+
+    fn stats(&self) -> CountingStats {
+        (**self).stats()
+    }
 }
 
 /// One guarded horizontal scan over `db`, updating every candidate's

@@ -9,7 +9,11 @@
 //! * [`counting`] — pluggable minterm (contingency-cell) counting with work
 //!   accounting, in both paper-faithful horizontal-scan and fast vertical
 //!   flavours,
-//! * [`parallel`] — a data-parallel horizontal counter (scoped threads),
+//! * [`pool`] — a persistent, dependency-free work-stealing worker pool,
+//! * [`parallel`] — a data-parallel horizontal counter on the pool,
+//! * [`vertical_par`] — vertical batch counting fanned out over
+//!   prefix-equivalence classes on the pool, with a memory-pressure
+//!   degradation ladder,
 //! * [`candidate`] — Apriori-style level-wise candidate generation,
 //!   including the asymmetric extension generator required by the
 //!   constraint-pushing algorithms BMS++ / BMS**.
@@ -22,8 +26,10 @@ pub mod database;
 pub mod item;
 pub mod itemset;
 pub mod parallel;
+pub mod pool;
 pub mod tidset;
 pub mod vertical;
+pub mod vertical_par;
 
 pub use counting::{
     BatchInterrupted, CountProbe, CountingStats, HorizontalCounter, MintermCounter, NoProbe,
@@ -33,5 +39,7 @@ pub use database::TransactionDb;
 pub use item::Item;
 pub use itemset::Itemset;
 pub use parallel::ParallelCounter;
+pub use pool::WorkerPool;
 pub use tidset::TidSet;
 pub use vertical::VerticalIndex;
+pub use vertical_par::{DegradationRung, ParallelVerticalCounter, ParallelVerticalIndex};

@@ -1,0 +1,457 @@
+//! [`WorkerPool`]: a persistent, dependency-free work-stealing thread
+//! pool for the parallel counting substrates.
+//!
+//! Hand-rolled on `std::thread` — no crossbeam, no rayon, no `unsafe` —
+//! because this workspace vendors no threading crates. The pool is
+//! created once (per run, or process-wide via [`WorkerPool::global`])
+//! and reused across every mining level, so the per-scan thread-spawn
+//! overhead that made the original scoped-thread `ParallelCounter`
+//! *slower* than its sequential twin is paid exactly once.
+//!
+//! Scheduling is the classic injector + work-stealing shape:
+//!
+//! * an **injector deque** receives jobs submitted from outside the pool
+//!   (the mining thread), consumed FIFO;
+//! * a **per-worker local deque** receives jobs a worker submits while
+//!   running (LIFO for the owner — the freshest job has the hottest
+//!   cache — FIFO for thieves);
+//! * an idle worker scans its own deque, then the injector, then
+//!   **steals** from its siblings' deques, and only then parks on a
+//!   condition variable.
+//!
+//! Sleep/wake uses an eventcount (a version counter bumped by every
+//! submission) so a job pushed between a worker's last scan and its park
+//! can never be lost. Because jobs outlive the submitting stack frame
+//! (`'static`), callers hand data to workers via `Arc`s; the parallel
+//! counters in [`crate::vertical_par`] and [`crate::parallel`] stream
+//! results back over `mpsc` channels so the submitting thread keeps
+//! ownership of probes and result buffers.
+//!
+//! Worker panics are contained: the worker catches the unwind, counts it
+//! ([`WorkerPool::jobs_panicked`]), and keeps serving. Batch helpers
+//! ([`WorkerPool::run_batch`]) re-raise the first captured panic on the
+//! calling thread, so a counting-kernel bug still fails loudly instead
+//! of fabricating counts.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// A unit of work. `'static` because pool workers are persistent
+/// threads: a job cannot borrow from the submitting stack frame.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, ignoring poisoning: the pool's queues hold plain data
+/// (`VecDeque`s and counters) that stay consistent even if a holder
+/// panicked mid-push, and worker panics are already contained.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The eventcount guarded by the sleep mutex: `version` increments on
+/// every submission, `shutdown` flips once on drop.
+struct SleepState {
+    version: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    /// Jobs submitted from outside the pool, consumed FIFO.
+    injector: Mutex<VecDeque<Job>>,
+    /// One stealable deque per worker: owner pops LIFO, thieves pop FIFO.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    sleep: Mutex<SleepState>,
+    wake: Condvar,
+    jobs_run: AtomicU64,
+    steals: AtomicU64,
+    jobs_panicked: AtomicU64,
+}
+
+impl PoolShared {
+    /// Announces new work: bump the eventcount and wake every parked
+    /// worker. Publishing the version *after* the push is what makes the
+    /// scan-then-park protocol lossless.
+    fn announce(&self) {
+        let mut state = lock(&self.sleep);
+        state.version = state.version.wrapping_add(1);
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// One scheduling scan for worker `idx`: own deque (LIFO), injector
+    /// (FIFO), then steal from siblings (FIFO).
+    fn find_job(&self, idx: usize) -> Option<Job> {
+        if let Some(job) = lock(&self.locals[idx]).pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            return Some(job);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            if let Some(job) = lock(&self.locals[(idx + off) % n]).pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` of the pool this thread serves,
+    /// if any — lets [`WorkerPool::execute`] route submissions from a
+    /// worker into its own local deque, and lets [`WorkerPool::run_batch`]
+    /// detect (and avoid deadlocking on) re-entrant batches.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// A persistent pool of worker threads with an injector deque and
+/// per-worker stealing. See the module docs for the scheduling shape.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("jobs_run", &self.jobs_run())
+            .field("steals", &self.steals())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `n_workers` threads (clamped to at least 1
+    /// requested; if the OS refuses every spawn, the pool still works by
+    /// running jobs inline on the submitting thread).
+    pub fn new(n_workers: usize) -> Self {
+        let n = n_workers.max(1);
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(SleepState {
+                version: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            jobs_run: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
+        });
+        let workers = (0..n)
+            .filter_map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ccs-pool-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .ok()
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// A process-wide pool sized to the machine's available parallelism,
+    /// created on first use and reused by every mining run — levels,
+    /// runs, and benches all dispatch onto the same resident threads.
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            Arc::new(WorkerPool::new(n))
+        })
+    }
+
+    /// Number of live worker threads (0 if every spawn failed, in which
+    /// case jobs run inline on the submitting thread).
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total jobs executed since the pool was created.
+    pub fn jobs_run(&self) -> u64 {
+        self.shared.jobs_run.load(Ordering::Relaxed)
+    }
+
+    /// Jobs a worker obtained from a sibling's deque rather than its own
+    /// or the injector.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that panicked (the panic was contained and the worker kept
+    /// serving).
+    pub fn jobs_panicked(&self) -> u64 {
+        self.shared.jobs_panicked.load(Ordering::Relaxed)
+    }
+
+    /// `true` when the calling thread is one of this pool's workers.
+    fn on_worker_thread(&self) -> Option<usize> {
+        let me = Arc::as_ptr(&self.shared) as usize;
+        CURRENT_WORKER.with(|w| match w.get() {
+            Some((pool, idx)) if pool == me => Some(idx),
+            _ => None,
+        })
+    }
+
+    /// Submits a job. From an external thread it lands on the injector;
+    /// from one of this pool's own workers it lands on that worker's
+    /// local deque (stealable by idle siblings). With no live workers the
+    /// job runs inline before `execute` returns.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, f: F) {
+        if self.workers.is_empty() {
+            run_contained(&self.shared, Box::new(f));
+            return;
+        }
+        let job: Job = Box::new(f);
+        match self.on_worker_thread() {
+            Some(idx) => lock(&self.shared.locals[idx]).push_back(job),
+            None => lock(&self.shared.injector).push_back(job),
+        }
+        self.shared.announce();
+    }
+
+    /// Runs every task on the pool and returns their results in input
+    /// order, blocking until all complete. A panicking task is re-raised
+    /// on the calling thread after the rest of the batch finishes.
+    ///
+    /// Called *from* one of this pool's worker threads, the batch runs
+    /// inline instead (the caller would otherwise deadlock waiting on a
+    /// pool it is itself occupying).
+    pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || self.workers.is_empty() || self.on_worker_thread().is_some() {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            let shared = Arc::clone(&self.shared);
+            self.execute(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                if result.is_err() {
+                    shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = tx.send((i, result));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut first_panic = None;
+        for (i, result) in rx {
+            match result {
+                Ok(value) => slots[i] = Some(value),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(value) => value,
+                // All senders are dropped only after every task ran, and
+                // panics were re-raised above; a hole means a worker died
+                // outside the panic protocol — fail loudly.
+                None => panic!("worker pool lost a batch task result"),
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drains remaining jobs, then stops and joins every worker.
+    fn drop(&mut self) {
+        lock(&self.shared.sleep).shutdown = true;
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs one job with panic containment.
+fn run_contained(shared: &PoolShared, job: Job) {
+    shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+    if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
+    CURRENT_WORKER.with(|w| w.set(Some((Arc::as_ptr(shared) as usize, idx))));
+    loop {
+        // Eventcount protocol: snapshot the version, scan every queue,
+        // and only park if the version is still unchanged — a submission
+        // racing the scan bumps the version and the park is skipped.
+        let seen = lock(&shared.sleep).version;
+        if let Some(job) = shared.find_job(idx) {
+            run_contained(shared, job);
+            continue;
+        }
+        let state = lock(&shared.sleep);
+        if state.shutdown {
+            // Shutdown drains: exit only once no queue has work.
+            return;
+        }
+        if state.version == seen {
+            let _unused = shared
+                .wake
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_batch_returns_results_in_input_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..64).map(|i| move || i * i).collect();
+        let got = pool.run_batch(tasks);
+        let expected: Vec<i32> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, expected);
+        assert!(pool.jobs_run() >= 64);
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches_without_respawning() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.n_workers(), 2);
+        for round in 0..10 {
+            let tasks: Vec<_> = (0..8).map(|i| move || i + round).collect();
+            let got = pool.run_batch(tasks);
+            assert_eq!(got, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.jobs_run(), 80);
+    }
+
+    #[test]
+    fn execute_runs_detached_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
+            });
+        }
+        drop(tx);
+        for _ in 0..16 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn jobs_submitted_from_workers_go_to_local_deques_and_are_stealable() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let (tx, rx) = mpsc::channel();
+        let inner_pool = Arc::clone(&pool);
+        pool.execute(move || {
+            // Submitted from a worker: lands on its local deque; the
+            // sibling worker can steal it while this one keeps going.
+            for i in 0..8 {
+                let tx = tx.clone();
+                inner_pool.execute(move || {
+                    let _ = tx.send(i);
+                });
+            }
+        });
+        let mut got: Vec<i32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_task_propagates_to_caller_without_killing_workers() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("kernel bug")),
+            Box::new(|| 3),
+        ];
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run_batch(tasks)));
+        assert!(caught.is_err(), "the batch must re-raise the panic");
+        assert_eq!(pool.jobs_panicked(), 1);
+        // The pool survives and keeps serving.
+        let after = pool.run_batch((0..4).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(after, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_run_batch_from_a_worker_runs_inline_instead_of_deadlocking() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner_pool = Arc::clone(&pool);
+        let outer = pool.run_batch(vec![move || {
+            // With one worker, dispatching this nested batch onto the
+            // pool would deadlock; the pool must detect re-entry.
+            inner_pool.run_batch((0..4).map(|i| move || i * 2).collect::<Vec<_>>())
+        }]);
+        assert_eq!(outer, vec![vec![0, 2, 4, 6]]);
+    }
+
+    #[test]
+    fn zero_worker_request_is_clamped() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.n_workers(), 1);
+        assert_eq!(pool.run_batch(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let pool = WorkerPool::new(1);
+        let out: Vec<i32> = pool.run_batch(Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = Arc::as_ptr(WorkerPool::global());
+        let b = Arc::as_ptr(WorkerPool::global());
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().n_workers() >= 1);
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..32 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop joins after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+}

@@ -142,6 +142,35 @@ impl TidSet {
             .sum()
     }
 
+    /// `|self ∩ other|` with a bounded early exit: the scan stops as soon
+    /// as the running count reaches `limit` (checked every few blocks).
+    ///
+    /// The result is exact whenever it is `< limit`. When `limit` is a
+    /// *true upper bound* of the intersection count — e.g. the popcount
+    /// of either operand — the result is always exact: the running count
+    /// can only reach the bound by having counted every intersecting
+    /// bit. That property lets the vertical leaf kernel and the
+    /// CT-support `s`-threshold check use this in place of
+    /// [`intersection_count`](Self::intersection_count) without changing
+    /// any count, while skipping the tail of the bitmap once the bound
+    /// saturates.
+    pub fn intersection_count_limited(&self, other: &TidSet, limit: usize) -> usize {
+        self.check_same_capacity(other);
+        let mut count = 0usize;
+        // Stride of 8 blocks (512 tids) between exit checks: cheap enough
+        // to keep the loop branch-predictable, fine-grained enough that a
+        // saturated bound skips most of a large bitmap.
+        for (ca, cb) in self.blocks.chunks(8).zip(other.blocks.chunks(8)) {
+            for (a, b) in ca.iter().zip(cb) {
+                count += (a & b).count_ones() as usize;
+            }
+            if count >= limit {
+                return count;
+            }
+        }
+        count
+    }
+
     /// Splits `self` by `other`: returns `(self ∩ other, self ∖ other)`.
     ///
     /// This is the recursion step of vertical contingency-table counting:
@@ -316,6 +345,49 @@ mod tests {
         let mut u = a.clone();
         u.union_with(&b);
         assert_eq!(u.count(), 5);
+    }
+
+    #[test]
+    fn limited_intersection_count_is_exact_below_the_limit() {
+        let a = TidSet::from_ids(2000, (0..2000).step_by(2));
+        let b = TidSet::from_ids(2000, (0..2000).step_by(3));
+        let exact = a.intersection_count(&b);
+        assert_eq!(a.intersection_count_limited(&b, usize::MAX), exact);
+        assert_eq!(a.intersection_count_limited(&b, exact + 1), exact);
+    }
+
+    #[test]
+    fn limited_intersection_count_is_exact_at_a_true_upper_bound() {
+        // Early exit at a bound that genuinely caps the count must still
+        // return the exact value: |a ∩ b| ≤ |a|.
+        let a = TidSet::from_ids(4096, 0..600);
+        let b = TidSet::full(4096);
+        let bound = a.count();
+        assert_eq!(a.intersection_count_limited(&b, bound), bound);
+        assert_eq!(
+            a.intersection_count_limited(&b, bound),
+            a.intersection_count(&b)
+        );
+    }
+
+    #[test]
+    fn limited_intersection_count_saturates_at_or_above_the_limit() {
+        let a = TidSet::full(8192);
+        let b = TidSet::full(8192);
+        let got = a.intersection_count_limited(&b, 100);
+        assert!(
+            got >= 100,
+            "early exit must only fire once the bound is hit"
+        );
+        assert!(got <= 8192);
+    }
+
+    #[test]
+    fn limited_intersection_count_zero_limit_exits_immediately() {
+        let a = TidSet::full(1024);
+        let b = TidSet::full(1024);
+        // A zero limit is trivially reached after the first stride.
+        assert!(a.intersection_count_limited(&b, 0) <= 512);
     }
 
     #[test]

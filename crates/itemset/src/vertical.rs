@@ -25,8 +25,17 @@
 //! class-shared quantities — the node total `|L|` and the per-item
 //! counts `|L ∩ a|` — are computed once, so each member's marginal cost
 //! is a single triple-intersection popcount pass per leaf.
+//!
+//! Internally the immutable state (tid-sets + universe) lives in a
+//! [`VerticalCore`] behind an `Arc`, and a level batch is planned into
+//! self-contained [`OwnedClass`] work units. That split is what lets
+//! [`crate::vertical_par::ParallelVerticalIndex`] fan the same classes
+//! out across a worker pool — each worker shares the core, owns its own
+//! scratch arena, and counts disjoint classes — while this type stays
+//! the single-threaded fast path with zero behavioural change.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::counting::{BatchInterrupted, CountProbe, NoProbe};
 use crate::database::TransactionDb;
@@ -34,32 +43,155 @@ use crate::item::Item;
 use crate::itemset::Itemset;
 use crate::tidset::TidSet;
 
-/// One prefix-equivalence class of a level batch: the distinct suffix
-/// items that appear in any member's final `(a, b)` pair, and the
-/// members as `(result row, index of a, index of b)` into `items`.
-/// Indexing (instead of hashing) lets every leaf fill a flat per-item
-/// count buffer with one pass per distinct item.
-struct ClassPlan {
-    items: Vec<Item>,
-    members: Vec<(usize, u32, u32)>,
-}
-
-/// Per-item tid-sets for a transaction database.
-#[derive(Debug, Clone)]
-pub struct VerticalIndex {
+/// The immutable heart of a vertical index: per-item tid-sets plus the
+/// cached universe bitmap. Shared (via `Arc`) between [`VerticalIndex`]
+/// and the parallel batch engine — every method takes `&self`, so any
+/// number of threads may count against one core concurrently, each with
+/// its own scratch arena.
+#[derive(Debug)]
+pub(crate) struct VerticalCore {
     n_transactions: usize,
     tidsets: Vec<TidSet>,
     /// Cached `TidSet::full(n)` — the root of every split recursion.
     universe: TidSet,
-    /// Depth-indexed arena: slots `2d` / `2d+1` hold the with/without
-    /// bitmaps of recursion depth `d`. Grown on demand, reused across
-    /// tables.
-    scratch: Vec<TidSet>,
 }
 
-impl VerticalIndex {
-    /// Builds the index in a single pass over the database.
-    pub fn build(db: &TransactionDb) -> Self {
+/// One prefix-equivalence class of a level batch, owning its data so it
+/// can cross a thread boundary: the shared `(k-2)`-item prefix, the
+/// distinct suffix items appearing in any member's final `(a, b)` pair,
+/// the members as `(index of a, index of b)` into `items`, and each
+/// member's destination row in the batch's results. Member `j`'s counts
+/// are written to local output row `j`; the caller scatters local rows
+/// to `rows[j]`. Indexing (instead of hashing) lets every leaf fill a
+/// flat per-item count buffer with one pass per distinct item.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnedClass {
+    pub(crate) prefix: Vec<Item>,
+    pub(crate) items: Vec<Item>,
+    pub(crate) members: Vec<(u32, u32)>,
+    pub(crate) rows: Vec<usize>,
+}
+
+impl OwnedClass {
+    /// Cells per member table: all members share `k = prefix + 2` items.
+    pub(crate) fn table_len(&self) -> usize {
+        1usize << (self.prefix.len() + 2)
+    }
+
+    /// Total cells this class produces (its work-budget charge).
+    pub(crate) fn cells(&self) -> u64 {
+        (self.members.len() * self.table_len()) as u64
+    }
+
+    /// Rough cost estimate in 64-bit bitmap words touched: per leaf of
+    /// the prefix tree, one node popcount + one split, one pass per
+    /// distinct item, and one triple pass per member. Used by the
+    /// parallel engine's sequential-fallback work floor.
+    pub(crate) fn estimated_word_ops(&self, n_transactions: usize) -> u64 {
+        let words = n_transactions.div_ceil(64).max(1) as u64;
+        let leaves = 1u64 << self.prefix.len();
+        leaves * (2 + self.items.len() as u64 + self.members.len() as u64) * words
+    }
+}
+
+/// A planned level batch: the non-trivial candidates of a
+/// [`minterm_counts_batch`](VerticalIndex::minterm_counts_batch) call,
+/// grouped into prefix-equivalence classes (deterministic `BTreeMap`
+/// prefix order). Trivial 0-/1-item sets were already answered inline
+/// during planning.
+pub(crate) struct LevelPlan {
+    pub(crate) classes: Vec<OwnedClass>,
+}
+
+/// Groups `sets` into prefix-equivalence classes. Trivial 0-/1-item sets
+/// are answered directly into `results` (no tree walk) and recorded in
+/// `done`; every `results[i]` must arrive zeroed and sized `2^k`.
+pub(crate) fn plan_level(
+    core: &VerticalCore,
+    sets: &[Itemset],
+    results: &mut [Vec<u64>],
+    done: &mut BatchInterrupted,
+) -> LevelPlan {
+    let mut grouped: BTreeMap<&[Item], Vec<(usize, Item, Item)>> = BTreeMap::new();
+    for (i, set) in sets.iter().enumerate() {
+        match set.items() {
+            [] => {
+                results[i][0] = core.n_transactions as u64;
+                done.tables_completed += 1;
+                done.cells_completed += 1;
+            }
+            [a] => {
+                let with = core.tidsets[a.index()].count() as u64;
+                results[i][1] = with;
+                results[i][0] = core.n_transactions as u64 - with;
+                done.tables_completed += 1;
+                done.cells_completed += 2;
+            }
+            [prefix @ .., a, b] => grouped.entry(prefix).or_default().push((i, *a, *b)),
+        }
+    }
+    let classes = grouped
+        .into_iter()
+        .map(|(prefix, raw)| {
+            let mut items: Vec<Item> = raw.iter().flat_map(|&(_, a, b)| [a, b]).collect();
+            items.sort_unstable();
+            items.dedup();
+            // `items` was deduped from exactly these members, so the
+            // search cannot miss.
+            #[allow(clippy::unwrap_used)]
+            let pos = |item: Item| items.binary_search(&item).unwrap() as u32;
+            let members = raw.iter().map(|&(_, a, b)| (pos(a), pos(b))).collect();
+            let rows = raw.iter().map(|&(ci, _, _)| ci).collect();
+            OwnedClass {
+                prefix: prefix.to_vec(),
+                items,
+                members,
+                rows,
+            }
+        })
+        .collect();
+    LevelPlan { classes }
+}
+
+/// Runs `classes` on the calling thread, scattering counts into
+/// `results` and charging the probe per completed class. Returns `true`
+/// if the probe interrupted the run (completed classes are kept;
+/// partially-walked classes never escape — the in-flight class's rows
+/// are restored untouched before returning).
+pub(crate) fn run_classes_sequential(
+    core: &VerticalCore,
+    classes: &[OwnedClass],
+    probe: &dyn CountProbe,
+    scratch: &mut Vec<TidSet>,
+    results: &mut [Vec<u64>],
+    done: &mut BatchInterrupted,
+) -> bool {
+    let mut item_counts: Vec<usize> = Vec::new();
+    let mut out: Vec<Vec<u64>> = Vec::new();
+    for class in classes {
+        if probe.should_stop() {
+            return true;
+        }
+        // Zero-copy: move each member's (zeroed) result row into the
+        // local output buffer, count, and move it back.
+        out.clear();
+        out.extend(class.rows.iter().map(|&r| std::mem::take(&mut results[r])));
+        core.count_class(class, &mut item_counts, scratch, &mut out);
+        for (local, &r) in out.iter_mut().zip(&class.rows) {
+            results[r] = std::mem::take(local);
+        }
+        done.tables_completed += class.members.len() as u64;
+        done.cells_completed += class.cells();
+        if probe.charge(class.cells()) {
+            return true;
+        }
+    }
+    false
+}
+
+impl VerticalCore {
+    /// Builds the core in a single pass over the database.
+    pub(crate) fn build(db: &TransactionDb) -> Self {
         let n = db.len();
         let mut tidsets = vec![TidSet::new(n); db.n_items() as usize];
         for (tid, t) in db.transactions().enumerate() {
@@ -67,47 +199,30 @@ impl VerticalIndex {
                 tidsets[item.index()].insert(tid);
             }
         }
-        VerticalIndex {
+        VerticalCore {
             n_transactions: n,
             tidsets,
             universe: TidSet::full(n),
-            scratch: Vec::new(),
         }
     }
 
-    /// Number of transactions in the indexed database.
     #[inline]
-    pub fn n_transactions(&self) -> usize {
+    pub(crate) fn n_transactions(&self) -> usize {
         self.n_transactions
     }
 
-    /// The scratch-arena footprint, in bytes, that counting tables over
-    /// `depths` shared-prefix recursion levels requires for a database of
-    /// `n_transactions` rows: two bitmaps per depth, one `u64` word per 64
-    /// transactions each. A `k`-itemset needs `k - 2` depths. Used by
-    /// memory-budget checks *before* the arena grows.
-    pub fn scratch_bytes(n_transactions: usize, depths: usize) -> usize {
-        2 * depths * (n_transactions.div_ceil(64) * std::mem::size_of::<u64>())
-    }
-
-    /// Number of items in the universe.
     #[inline]
-    pub fn n_items(&self) -> usize {
+    pub(crate) fn n_items(&self) -> usize {
         self.tidsets.len()
     }
 
-    /// The tid-set of a single item.
     #[inline]
-    pub fn tidset(&self, item: Item) -> &TidSet {
+    pub(crate) fn tidset(&self, item: Item) -> &TidSet {
         &self.tidsets[item.index()]
     }
 
     /// Absolute support of an itemset via tid-set intersection.
-    ///
-    /// Sized to its input: the 0- and 1-item cases are pure lookups, the
-    /// 2-item case is an allocation-free [`TidSet::intersection_count`],
-    /// and larger sets fold into a single reused accumulator.
-    pub fn support(&self, set: &Itemset) -> usize {
+    pub(crate) fn support(&self, set: &Itemset) -> usize {
         let items = set.items();
         match items {
             [] => self.n_transactions,
@@ -124,6 +239,245 @@ impl VerticalIndex {
                 acc.count()
             }
         }
+    }
+
+    /// Exact threshold test `support(set) >= s` with a bounded early
+    /// exit: the final popcount stops as soon as `s` matching
+    /// transactions have been seen, so a set far above the threshold
+    /// never scans its whole tid-set.
+    pub(crate) fn support_at_least(&self, set: &Itemset, s: usize) -> bool {
+        if s == 0 {
+            return true;
+        }
+        match set.items() {
+            [] => self.n_transactions >= s,
+            [a] => self.tidsets[a.index()].intersection_count_limited(&self.universe, s) >= s,
+            [a, b] => {
+                self.tidsets[a.index()].intersection_count_limited(&self.tidsets[b.index()], s) >= s
+            }
+            [a, rest @ .., last] => {
+                let mut acc = self.tidsets[a.index()].clone();
+                for item in rest {
+                    acc.intersect_with(&self.tidsets[item.index()]);
+                    if acc.is_empty() {
+                        return false;
+                    }
+                }
+                acc.intersection_count_limited(&self.tidsets[last.index()], s) >= s
+            }
+        }
+    }
+
+    /// Counts one class into `out`, where `out[j]` is member `j`'s
+    /// zeroed `2^k`-cell table. Grows `scratch`/`item_counts` on demand;
+    /// both are reused across calls.
+    pub(crate) fn count_class(
+        &self,
+        class: &OwnedClass,
+        item_counts: &mut Vec<usize>,
+        scratch: &mut Vec<TidSet>,
+        out: &mut [Vec<u64>],
+    ) {
+        debug_assert_eq!(out.len(), class.members.len());
+        self.ensure_scratch(scratch, class.prefix.len());
+        if item_counts.len() < class.items.len() {
+            item_counts.resize(class.items.len(), 0);
+        }
+        self.prefix_recurse(
+            &self.universe,
+            &class.prefix,
+            0,
+            0,
+            class,
+            item_counts,
+            scratch,
+            out,
+        );
+    }
+
+    /// Walks the split tree of `prefix`, then finishes every member
+    /// (suffix item pair) at each leaf.
+    ///
+    /// `scratch` holds the arena slots for depths `>= depth`; interior
+    /// nodes split into the first two slots and recurse with the rest, so
+    /// a node's bitmaps stay live (and untouched) while its subtree runs.
+    #[allow(clippy::too_many_arguments)]
+    fn prefix_recurse(
+        &self,
+        current: &TidSet,
+        prefix: &[Item],
+        depth: usize,
+        mask: usize,
+        class: &OwnedClass,
+        item_counts: &mut [usize],
+        scratch: &mut [TidSet],
+        out: &mut [Vec<u64>],
+    ) {
+        match prefix.split_first() {
+            None => {
+                // Leaf of the shared prefix tree: no bitmap ever
+                // materialises here. The node total and the per-item
+                // counts are class-shared (one popcount pass per distinct
+                // suffix item, written into the flat buffer); each member
+                // then pays a single fused triple-intersection pass, and
+                // its remaining three cells follow by inclusion–exclusion.
+                let node_total = current.count();
+                if node_total == 0 {
+                    return; // the output rows are already zeroed
+                }
+                let a_bit = 1usize << depth;
+                let b_bit = 1usize << (depth + 1);
+                for (slot, item) in item_counts.iter_mut().zip(&class.items) {
+                    // `node_total` is a true upper bound of |L ∩ a|
+                    // (L ∩ a ⊆ L), so the bounded popcount's early exit
+                    // is still exact — it just skips the bitmap tail once
+                    // the item saturates the node.
+                    *slot =
+                        current.intersection_count_limited(&self.tidsets[item.index()], node_total);
+                }
+                for (j, &(ap, bp)) in class.members.iter().enumerate() {
+                    let n_a = item_counts[ap as usize];
+                    let n_b = item_counts[bp as usize];
+                    let n_ab = if n_a == 0 || n_b == 0 {
+                        0
+                    } else {
+                        let (a, b) = (class.items[ap as usize], class.items[bp as usize]);
+                        current.triple_intersection_count(
+                            &self.tidsets[a.index()],
+                            &self.tidsets[b.index()],
+                        )
+                    };
+                    out[j][mask | a_bit | b_bit] = n_ab as u64;
+                    out[j][mask | a_bit] = (n_a - n_ab) as u64;
+                    out[j][mask | b_bit] = (n_b - n_ab) as u64;
+                    out[j][mask] = (node_total + n_ab - n_a - n_b) as u64;
+                }
+            }
+            Some((&first, rest)) => {
+                // Prune: an empty cell tid-set stays empty down the whole
+                // subtree, and the output rows are already zeroed.
+                if current.is_empty() {
+                    return;
+                }
+                let (mine, deeper) = scratch.split_at_mut(2);
+                let (with, without) = mine.split_at_mut(1);
+                current.split_into(&self.tidsets[first.index()], &mut with[0], &mut without[0]);
+                // Bit j of the mask corresponds to items[j] of the original
+                // set; items are consumed left to right, so the bit for
+                // `first` is the current depth.
+                let bit = 1usize << depth;
+                self.prefix_recurse(
+                    &with[0],
+                    rest,
+                    depth + 1,
+                    mask | bit,
+                    class,
+                    item_counts,
+                    deeper,
+                    out,
+                );
+                self.prefix_recurse(
+                    &without[0],
+                    rest,
+                    depth + 1,
+                    mask,
+                    class,
+                    item_counts,
+                    deeper,
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Grows `scratch` to cover `depths` recursion levels (two slots
+    /// each).
+    pub(crate) fn ensure_scratch(&self, scratch: &mut Vec<TidSet>, depths: usize) {
+        while scratch.len() < 2 * depths {
+            scratch.push(TidSet::new(self.n_transactions));
+        }
+    }
+}
+
+/// Per-item tid-sets for a transaction database.
+#[derive(Debug, Clone)]
+pub struct VerticalIndex {
+    core: Arc<VerticalCore>,
+    /// Depth-indexed arena: slots `2d` / `2d+1` hold the with/without
+    /// bitmaps of recursion depth `d`. Grown on demand, reused across
+    /// tables. Cloning the index shares the (immutable) core but gives
+    /// the clone a fresh arena.
+    scratch: Vec<TidSet>,
+}
+
+impl VerticalIndex {
+    /// Builds the index in a single pass over the database.
+    pub fn build(db: &TransactionDb) -> Self {
+        VerticalIndex {
+            core: Arc::new(VerticalCore::build(db)),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Wraps an existing shared core (same tid-sets, fresh arena).
+    pub(crate) fn from_core(core: Arc<VerticalCore>) -> Self {
+        VerticalIndex {
+            core,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The shared immutable core, for engines that fan work out across
+    /// threads.
+    pub(crate) fn core(&self) -> &Arc<VerticalCore> {
+        &self.core
+    }
+
+    /// Number of transactions in the indexed database.
+    #[inline]
+    pub fn n_transactions(&self) -> usize {
+        self.core.n_transactions()
+    }
+
+    /// The scratch-arena footprint, in bytes, that counting tables over
+    /// `depths` shared-prefix recursion levels requires for a database of
+    /// `n_transactions` rows: two bitmaps per depth, one `u64` word per 64
+    /// transactions each. A `k`-itemset needs `k - 2` depths. Used by
+    /// memory-budget checks *before* the arena grows. Parallel engines
+    /// multiply by their worker count — each worker owns a full arena.
+    pub fn scratch_bytes(n_transactions: usize, depths: usize) -> usize {
+        2 * depths * (n_transactions.div_ceil(64) * std::mem::size_of::<u64>())
+    }
+
+    /// Number of items in the universe.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.core.n_items()
+    }
+
+    /// The tid-set of a single item.
+    #[inline]
+    pub fn tidset(&self, item: Item) -> &TidSet {
+        self.core.tidset(item)
+    }
+
+    /// Absolute support of an itemset via tid-set intersection.
+    ///
+    /// Sized to its input: the 0- and 1-item cases are pure lookups, the
+    /// 2-item case is an allocation-free [`TidSet::intersection_count`],
+    /// and larger sets fold into a single reused accumulator.
+    pub fn support(&self, set: &Itemset) -> usize {
+        self.core.support(set)
+    }
+
+    /// Exact `support(set) >= s` threshold test with a bounded early
+    /// exit ([`TidSet::intersection_count_limited`]): the final popcount
+    /// stops as soon as `s` matching transactions have been seen. This
+    /// is the fast path for the CT-support `s`-threshold check — a
+    /// candidate far above the significance floor never scans its whole
+    /// tid-set.
+    pub fn support_at_least(&self, set: &Itemset, s: usize) -> bool {
+        self.core.support_at_least(set, s)
     }
 
     /// Counts all `2^k` minterms (contingency-table cells) of a `k`-itemset.
@@ -148,33 +502,26 @@ impl VerticalIndex {
         assert!(k <= 20, "refusing to build a 2^{k}-cell contingency table");
         let mut counts = vec![0u64; 1usize << k];
         match set.items() {
-            [] => counts[0] = self.n_transactions as u64,
+            [] => counts[0] = self.core.n_transactions() as u64,
             [a] => {
-                let with = self.tidsets[a.index()].count() as u64;
+                let with = self.core.tidset(*a).count() as u64;
                 counts[1] = with;
-                counts[0] = self.n_transactions as u64 - with;
+                counts[0] = self.core.n_transactions() as u64 - with;
             }
             [prefix @ .., a, b] => {
-                self.ensure_scratch(prefix.len());
-                let mut scratch = std::mem::take(&mut self.scratch);
-                let class = ClassPlan {
+                // Itemset items are sorted and distinct, so [a, b] is
+                // already a valid deduped suffix-item list.
+                let class = OwnedClass {
+                    prefix: prefix.to_vec(),
                     items: vec![*a, *b],
-                    members: vec![(0usize, 0u32, 1u32)],
+                    members: vec![(0, 1)],
+                    rows: vec![0],
                 };
-                let mut item_counts = [0usize; 2];
-                let mut results = [counts];
-                self.prefix_recurse(
-                    &self.universe,
-                    prefix,
-                    0,
-                    0,
-                    &class,
-                    &mut item_counts,
-                    &mut scratch,
-                    &mut results,
-                );
-                self.scratch = scratch;
-                let [c] = results;
+                let mut item_counts = vec![0usize; 2];
+                let mut out = [counts];
+                self.core
+                    .count_class(&class, &mut item_counts, &mut self.scratch, &mut out);
+                let [c] = out;
                 counts = c;
             }
         }
@@ -216,184 +563,51 @@ impl VerticalIndex {
         sets: &[Itemset],
         probe: &dyn CountProbe,
     ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
-        let mut results: Vec<Vec<u64>> = sets
-            .iter()
-            .map(|s| {
-                assert!(
-                    s.len() <= 20,
-                    "refusing to build a 2^{}-cell table",
-                    s.len()
-                );
-                vec![0u64; 1usize << s.len()]
-            })
-            .collect();
+        let mut results = alloc_results(sets);
         let mut done = BatchInterrupted::default();
-        // Equivalence classes: prefix -> (candidate index, last two items).
-        // 0- and 1-item sets are answered inline from the index (no tree
-        // walk) and count as completed work immediately.
-        let mut classes: BTreeMap<&[Item], Vec<(usize, Item, Item)>> = BTreeMap::new();
-        for (i, set) in sets.iter().enumerate() {
-            match set.items() {
-                [] => {
-                    results[i][0] = self.n_transactions as u64;
-                    done.tables_completed += 1;
-                    done.cells_completed += 1;
-                }
-                [a] => {
-                    let with = self.tidsets[a.index()].count() as u64;
-                    results[i][1] = with;
-                    results[i][0] = self.n_transactions as u64 - with;
-                    done.tables_completed += 1;
-                    done.cells_completed += 2;
-                }
-                [prefix @ .., a, b] => classes.entry(prefix).or_default().push((i, *a, *b)),
-            }
-        }
-        if done.cells_completed > 0 && probe.charge(done.cells_completed) && !classes.is_empty() {
+        let plan = plan_level(&self.core, sets, &mut results, &mut done);
+        if done.cells_completed > 0
+            && probe.charge(done.cells_completed)
+            && !plan.classes.is_empty()
+        {
             return Err(done);
         }
-        let max_prefix = classes.keys().map(|p| p.len()).max().unwrap_or(0);
-        self.ensure_scratch(max_prefix);
-        let mut scratch = std::mem::take(&mut self.scratch);
-        // One flat per-item count buffer, sized once for the widest class
-        // and reused by every leaf of every class.
-        let mut item_counts: Vec<usize> = Vec::new();
-        let mut interrupted = false;
-        for (prefix, raw) in &classes {
-            if probe.should_stop() {
-                interrupted = true;
-                break;
-            }
-            let mut items: Vec<Item> = raw.iter().flat_map(|&(_, a, b)| [a, b]).collect();
-            items.sort_unstable();
-            items.dedup();
-            // `items` was deduped from exactly these members, so the
-            // search cannot miss.
-            #[allow(clippy::unwrap_used)]
-            let pos = |item: Item| items.binary_search(&item).unwrap() as u32;
-            let members = raw.iter().map(|&(ci, a, b)| (ci, pos(a), pos(b))).collect();
-            let class = ClassPlan { items, members };
-            if item_counts.len() < class.items.len() {
-                item_counts.resize(class.items.len(), 0);
-            }
-            self.prefix_recurse(
-                &self.universe,
-                prefix,
-                0,
-                0,
-                &class,
-                &mut item_counts,
-                &mut scratch,
-                &mut results,
-            );
-            let class_cells: u64 = raw.iter().map(|&(ci, _, _)| results[ci].len() as u64).sum();
-            done.tables_completed += raw.len() as u64;
-            done.cells_completed += class_cells;
-            if probe.charge(class_cells) {
-                interrupted = true;
-                break;
-            }
-        }
-        self.scratch = scratch;
+        let max_prefix = plan
+            .classes
+            .iter()
+            .map(|c| c.prefix.len())
+            .max()
+            .unwrap_or(0);
+        self.core.ensure_scratch(&mut self.scratch, max_prefix);
+        let interrupted = run_classes_sequential(
+            &self.core,
+            &plan.classes,
+            probe,
+            &mut self.scratch,
+            &mut results,
+            &mut done,
+        );
         if interrupted && done.tables_completed < sets.len() as u64 {
             Err(done)
         } else {
             Ok(results)
         }
     }
+}
 
-    /// Walks the split tree of `prefix`, then finishes every member
-    /// (candidate index, suffix item pair) at each leaf.
-    ///
-    /// `scratch` holds the arena slots for depths `>= depth`; interior
-    /// nodes split into the first two slots and recurse with the rest, so
-    /// a node's bitmaps stay live (and untouched) while its subtree runs.
-    #[allow(clippy::too_many_arguments)]
-    fn prefix_recurse(
-        &self,
-        current: &TidSet,
-        prefix: &[Item],
-        depth: usize,
-        mask: usize,
-        class: &ClassPlan,
-        item_counts: &mut [usize],
-        scratch: &mut [TidSet],
-        results: &mut [Vec<u64>],
-    ) {
-        match prefix.split_first() {
-            None => {
-                // Leaf of the shared prefix tree: no bitmap ever
-                // materialises here. The node total and the per-item
-                // counts are class-shared (one popcount pass per distinct
-                // suffix item, written into the flat buffer); each member
-                // then pays a single fused triple-intersection pass, and
-                // its remaining three cells follow by inclusion–exclusion.
-                let node_total = current.count();
-                if node_total == 0 {
-                    return; // the results rows are already zeroed
-                }
-                let a_bit = 1usize << depth;
-                let b_bit = 1usize << (depth + 1);
-                for (slot, item) in item_counts.iter_mut().zip(&class.items) {
-                    *slot = current.intersection_count(&self.tidsets[item.index()]);
-                }
-                for &(ci, ap, bp) in &class.members {
-                    let (a, b) = (class.items[ap as usize], class.items[bp as usize]);
-                    let n_a = item_counts[ap as usize];
-                    let n_b = item_counts[bp as usize];
-                    let n_ab = current.triple_intersection_count(
-                        &self.tidsets[a.index()],
-                        &self.tidsets[b.index()],
-                    );
-                    results[ci][mask | a_bit | b_bit] = n_ab as u64;
-                    results[ci][mask | a_bit] = (n_a - n_ab) as u64;
-                    results[ci][mask | b_bit] = (n_b - n_ab) as u64;
-                    results[ci][mask] = (node_total + n_ab - n_a - n_b) as u64;
-                }
-            }
-            Some((&first, rest)) => {
-                // Prune: an empty cell tid-set stays empty down the whole
-                // subtree, and the results vectors are already zeroed.
-                if current.is_empty() {
-                    return;
-                }
-                let (mine, deeper) = scratch.split_at_mut(2);
-                let (with, without) = mine.split_at_mut(1);
-                current.split_into(&self.tidsets[first.index()], &mut with[0], &mut without[0]);
-                // Bit j of the mask corresponds to items[j] of the original
-                // set; items are consumed left to right, so the bit for
-                // `first` is the current depth.
-                let bit = 1usize << depth;
-                self.prefix_recurse(
-                    &with[0],
-                    rest,
-                    depth + 1,
-                    mask | bit,
-                    class,
-                    item_counts,
-                    deeper,
-                    results,
-                );
-                self.prefix_recurse(
-                    &without[0],
-                    rest,
-                    depth + 1,
-                    mask,
-                    class,
-                    item_counts,
-                    deeper,
-                    results,
-                );
-            }
-        }
-    }
-
-    /// Grows the arena to cover `depths` recursion levels (two slots each).
-    fn ensure_scratch(&mut self, depths: usize) {
-        while self.scratch.len() < 2 * depths {
-            self.scratch.push(TidSet::new(self.n_transactions));
-        }
-    }
+/// Allocates the zeroed `2^k` result vector for every candidate,
+/// rejecting absurd table sizes.
+pub(crate) fn alloc_results(sets: &[Itemset]) -> Vec<Vec<u64>> {
+    sets.iter()
+        .map(|s| {
+            assert!(
+                s.len() <= 20,
+                "refusing to build a 2^{}-cell table",
+                s.len()
+            );
+            vec![0u64; 1usize << s.len()]
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -446,6 +660,37 @@ mod tests {
                 d.support(&set),
                 "support mismatch for {set}"
             );
+        }
+    }
+
+    #[test]
+    fn support_at_least_matches_exact_support_on_every_threshold() {
+        let d = TransactionDb::from_ids(
+            4,
+            vec![
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![1, 2, 3],
+                vec![],
+            ],
+        );
+        let v = VerticalIndex::build(&d);
+        for set in [
+            Itemset::empty(),
+            Itemset::from_ids([0]),
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 1, 2]),
+            Itemset::from_ids([0, 1, 2, 3]),
+        ] {
+            let exact = v.support(&set);
+            for s in 0..=d.len() + 1 {
+                assert_eq!(
+                    v.support_at_least(&set, s),
+                    exact >= s,
+                    "threshold {s} mismatch for {set} (support {exact})"
+                );
+            }
         }
     }
 
@@ -533,6 +778,19 @@ mod tests {
         assert_eq!(v.scratch.len(), arena_after_first);
         assert_eq!(first, again);
         assert_eq!(smaller.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn clone_shares_the_core_but_not_the_arena() {
+        let d = db();
+        let mut v = VerticalIndex::build(&d);
+        let _ = v.minterm_counts(&Itemset::from_ids([0, 1]));
+        let mut clone = v.clone();
+        assert!(Arc::ptr_eq(v.core(), clone.core()));
+        assert_eq!(
+            clone.minterm_counts(&Itemset::from_ids([0, 1])),
+            v.minterm_counts(&Itemset::from_ids([0, 1]))
+        );
     }
 
     #[test]

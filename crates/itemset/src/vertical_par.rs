@@ -1,0 +1,696 @@
+//! [`ParallelVerticalIndex`]: vertical minterm counting fanned out over
+//! prefix-equivalence classes on a persistent [`WorkerPool`].
+//!
+//! Eclat-style vertical counting is embarrassingly parallel across
+//! prefix classes: each class walks its own split tree and writes to
+//! disjoint result rows. This engine plans a level batch exactly like
+//! [`VerticalIndex`](crate::vertical::VerticalIndex) (same classes, same
+//! kernel, same counts — the counting-equivalence property tests pin
+//! this), then hands the classes to pool workers. Per worker:
+//!
+//! * one **depth-indexed scratch arena** plus one flat per-item count
+//!   buffer, allocated lazily and reused across every class the worker
+//!   pulls, so arena memory is `workers × scratch_bytes`, not
+//!   `classes × scratch_bytes`;
+//! * classes are pulled from a shared atomic cursor (cheap dynamic load
+//!   balancing — class costs vary by `2^(k-2)`), counted into local
+//!   rows, and streamed back over a channel.
+//!
+//! # Interruption protocol
+//!
+//! Workers never see the [`CountProbe`] — a probe is borrowed and jobs
+//! are `'static`. Instead the submitting thread owns all probe
+//! interaction: it charges each class as its results arrive and polls
+//! `should_stop` while waiting. On a trip it raises a shared stop flag
+//! (first trip wins); workers observe it before pulling another class,
+//! finish the class in hand, and drain away. Every class that completes
+//! — before or during the drain — is kept and recorded, so a
+//! `Truncated` partial result and its `ResumeState` stay exact, matching
+//! the sequential engines' contract.
+//!
+//! # Small batches
+//!
+//! Dispatch costs real work (job boxing, channel traffic, per-worker
+//! arenas), so batches whose estimated bitmap traffic falls under a work
+//! floor run sequentially on the calling thread — identical results,
+//! none of the overhead.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use crate::counting::{
+    horizontal_batch_guarded, BatchInterrupted, CountProbe, CountingStats, MintermCounter, NoProbe,
+};
+use crate::database::TransactionDb;
+use crate::itemset::Itemset;
+use crate::pool::WorkerPool;
+use crate::tidset::TidSet;
+use crate::vertical::{
+    alloc_results, plan_level, run_classes_sequential, OwnedClass, VerticalCore, VerticalIndex,
+};
+
+/// Minimum estimated 64-bit bitmap words a batch must touch before the
+/// pool is engaged; smaller batches run sequentially on the caller.
+/// `1 << 17` words ≈ 1 MiB of bitmap traffic — far above the cost of a
+/// handful of job dispatches, far below one mining level on a database
+/// large enough to benefit from threads.
+pub const POOL_WORK_FLOOR: u64 = 1 << 17;
+
+/// How long the submitting thread waits for worker results between
+/// probe polls when the probe is armed.
+const PROBE_POLL: Duration = Duration::from_millis(1);
+
+/// A vertical index whose batch counting fans prefix-equivalence
+/// classes out across a persistent worker pool.
+#[derive(Debug)]
+pub struct ParallelVerticalIndex {
+    core: Arc<VerticalCore>,
+    pool: Arc<WorkerPool>,
+    /// Arena for the sequential fallback path (small batches, one-worker
+    /// pools); pool workers own their arenas per batch.
+    scratch: Vec<TidSet>,
+    work_floor: u64,
+}
+
+impl ParallelVerticalIndex {
+    /// Builds the index (one database pass) on the process-wide pool.
+    pub fn build(db: &TransactionDb) -> Self {
+        Self::with_pool(db, Arc::clone(WorkerPool::global()))
+    }
+
+    /// Builds the index on a private pool of `n_workers` threads.
+    pub fn build_with_workers(db: &TransactionDb, n_workers: usize) -> Self {
+        Self::with_pool(db, Arc::new(WorkerPool::new(n_workers)))
+    }
+
+    /// Builds the index on an existing pool.
+    pub fn with_pool(db: &TransactionDb, pool: Arc<WorkerPool>) -> Self {
+        ParallelVerticalIndex {
+            core: Arc::new(VerticalCore::build(db)),
+            pool,
+            scratch: Vec::new(),
+            work_floor: POOL_WORK_FLOOR,
+        }
+    }
+
+    /// Shares the core of an existing sequential index (no rebuild).
+    pub fn from_index(index: &VerticalIndex, pool: Arc<WorkerPool>) -> Self {
+        ParallelVerticalIndex {
+            core: Arc::clone(index.core()),
+            pool,
+            scratch: Vec::new(),
+            work_floor: POOL_WORK_FLOOR,
+        }
+    }
+
+    /// Number of pool workers available to a batch.
+    pub fn n_workers(&self) -> usize {
+        self.pool.n_workers()
+    }
+
+    /// Number of transactions in the indexed database.
+    #[inline]
+    pub fn n_transactions(&self) -> usize {
+        self.core.n_transactions()
+    }
+
+    /// Number of items in the universe.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.core.n_items()
+    }
+
+    /// Absolute support via tid-set intersection (sequential — a single
+    /// set never benefits from the pool).
+    pub fn support(&self, set: &Itemset) -> usize {
+        self.core.support(set)
+    }
+
+    /// Overrides the sequential-fallback work floor. Tests and
+    /// benchmarks set `0` to force pool dispatch on small batches (the
+    /// default floor would — correctly — route them sequentially).
+    pub fn set_work_floor(&mut self, floor: u64) {
+        self.work_floor = floor;
+    }
+
+    /// Counts one set sequentially; see
+    /// [`VerticalIndex::minterm_counts`] for cell indexing.
+    pub fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+        match self.minterm_counts_batch_guarded(std::slice::from_ref(set), &NoProbe) {
+            Ok(mut results) => results.swap_remove(0),
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    /// Batch minterm counting, parallel across prefix classes. Results
+    /// are identical to [`VerticalIndex::minterm_counts_batch`] in input
+    /// order.
+    pub fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        match self.minterm_counts_batch_guarded(sets, &NoProbe) {
+            Ok(results) => results,
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    /// Guarded batch counting; see the module docs for the interruption
+    /// protocol. Completed classes (including those draining when the
+    /// probe trips) are kept and recorded in the returned
+    /// [`BatchInterrupted`]; partially-counted classes never escape.
+    pub fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        let mut results = alloc_results(sets);
+        let mut done = BatchInterrupted::default();
+        let plan = plan_level(&self.core, sets, &mut results, &mut done);
+        if done.cells_completed > 0
+            && probe.charge(done.cells_completed)
+            && !plan.classes.is_empty()
+        {
+            return Err(done);
+        }
+        if plan.classes.is_empty() {
+            return Ok(results);
+        }
+        let estimated: u64 = plan
+            .classes
+            .iter()
+            .map(|c| c.estimated_word_ops(self.core.n_transactions()))
+            .sum();
+        let workers = self.pool.n_workers();
+        if workers <= 1 || plan.classes.len() < 2 || estimated < self.work_floor {
+            let interrupted = run_classes_sequential(
+                &self.core,
+                &plan.classes,
+                probe,
+                &mut self.scratch,
+                &mut results,
+                &mut done,
+            );
+            return finish(interrupted, done, results, sets.len());
+        }
+        let interrupted = self.run_classes_parallel(plan.classes, probe, &mut results, &mut done);
+        finish(interrupted, done, results, sets.len())
+    }
+
+    /// Fans `classes` out over the pool; returns `true` if the probe
+    /// interrupted the batch. See the module docs for the protocol.
+    fn run_classes_parallel(
+        &self,
+        classes: Vec<OwnedClass>,
+        probe: &dyn CountProbe,
+        results: &mut [Vec<u64>],
+        done: &mut BatchInterrupted,
+    ) -> bool {
+        if probe.should_stop() {
+            return true;
+        }
+        let n_classes = classes.len();
+        let classes = Arc::new(classes);
+        let stop = Arc::new(AtomicBool::new(false));
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Vec<u64>>)>();
+        let n_jobs = self.pool.n_workers().min(n_classes);
+        for _ in 0..n_jobs {
+            let core = Arc::clone(&self.core);
+            let classes = Arc::clone(&classes);
+            let stop = Arc::clone(&stop);
+            let cursor = Arc::clone(&cursor);
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                // Worker-local state, reused across every class this
+                // worker pulls: one arena, one item-count buffer.
+                let mut scratch: Vec<TidSet> = Vec::new();
+                let mut item_counts: Vec<usize> = Vec::new();
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(class) = classes.get(i) else { break };
+                    let mut out: Vec<Vec<u64>> = (0..class.members.len())
+                        .map(|_| vec![0u64; class.table_len()])
+                        .collect();
+                    core.count_class(class, &mut item_counts, &mut scratch, &mut out);
+                    if tx.send((i, out)).is_err() {
+                        break; // receiver gone: the batch is over
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let inert = probe.is_inert();
+        let mut stopped = false;
+        let mut completed = 0usize;
+        loop {
+            let msg = if inert {
+                rx.recv().map_err(|_| ())
+            } else {
+                match rx.recv_timeout(PROBE_POLL) {
+                    Ok(msg) => Ok(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if !stopped && probe.should_stop() {
+                            stopped = true;
+                            stop.store(true, Ordering::Release);
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(()),
+                }
+            };
+            let Ok((i, out)) = msg else { break };
+            let class = &classes[i];
+            for (local, &row) in out.into_iter().zip(&class.rows) {
+                results[row] = local;
+            }
+            done.tables_completed += class.members.len() as u64;
+            done.cells_completed += class.cells();
+            // First trip wins: later classes still draining out of the
+            // workers are kept (they are sound), but no new class starts.
+            if probe.charge(class.cells()) && !stopped {
+                stopped = true;
+                stop.store(true, Ordering::Release);
+            }
+            completed += 1;
+        }
+        assert!(
+            stopped || completed == n_classes,
+            "parallel vertical counting lost {} classes (worker died outside \
+             the interruption protocol — counting kernel bug)",
+            n_classes - completed
+        );
+        stopped
+    }
+}
+
+/// Shared epilogue: a batch is an error only if it was interrupted *and*
+/// work remains — an interrupt after the last table still completes the
+/// batch.
+fn finish(
+    interrupted: bool,
+    done: BatchInterrupted,
+    results: Vec<Vec<u64>>,
+    n_sets: usize,
+) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+    if interrupted && done.tables_completed < n_sets as u64 {
+        Err(done)
+    } else {
+        Ok(results)
+    }
+}
+
+/// The rung of the degradation ladder a [`ParallelVerticalCounter`] is
+/// currently answering batches from. Degradation is sticky and only
+/// moves down: vertical-parallel → vertical → horizontal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationRung {
+    /// Pool-parallel vertical counting (the preferred rung).
+    Parallel,
+    /// Single-threaded vertical counting — the per-worker arenas no
+    /// longer fit the memory budget, one arena still does.
+    Vertical,
+    /// Guarded horizontal scans — even one scratch arena exceeds the
+    /// budget.
+    Horizontal,
+}
+
+/// Tid-set counter that fans level batches over a worker pool, with a
+/// three-rung memory-pressure degradation ladder.
+///
+/// Like [`VerticalCounter`](crate::counting::VerticalCounter) it keeps a
+/// reference to the source database so it can degrade gracefully. The
+/// ladder is checked per batch against the probe's
+/// [`arena_budget_bytes`](CountProbe::arena_budget_bytes): parallel
+/// counting needs one scratch arena *per worker*, sequential vertical
+/// needs one, horizontal needs none. Any batch answered below
+/// [`DegradationRung::Parallel`] increments
+/// [`CountingStats::degraded_batches`].
+#[derive(Debug)]
+pub struct ParallelVerticalCounter<'a> {
+    db: &'a TransactionDb,
+    index: ParallelVerticalIndex,
+    /// Sequential twin sharing the same core — the `Vertical` rung and
+    /// the single-set path run here, with no second index build.
+    seq: VerticalIndex,
+    stats: CountingStats,
+    rung: DegradationRung,
+}
+
+impl<'a> ParallelVerticalCounter<'a> {
+    /// Builds the index over `db` (one scan) on the process-wide pool.
+    pub fn new(db: &'a TransactionDb) -> Self {
+        Self::from_index(db, ParallelVerticalIndex::build(db))
+    }
+
+    /// Builds on a private pool of `n_workers` threads.
+    pub fn with_workers(db: &'a TransactionDb, n_workers: usize) -> Self {
+        Self::from_index(db, ParallelVerticalIndex::build_with_workers(db, n_workers))
+    }
+
+    fn from_index(db: &'a TransactionDb, index: ParallelVerticalIndex) -> Self {
+        let seq = VerticalIndex::from_core(Arc::clone(index_core(&index)));
+        ParallelVerticalCounter {
+            db,
+            index,
+            seq,
+            stats: CountingStats {
+                db_scans: 1,
+                ..CountingStats::default()
+            },
+            rung: DegradationRung::Parallel,
+        }
+    }
+
+    /// Direct access to the underlying parallel index.
+    pub fn index(&self) -> &ParallelVerticalIndex {
+        &self.index
+    }
+
+    /// Mutable access (e.g. [`ParallelVerticalIndex::set_work_floor`]).
+    pub fn index_mut(&mut self) -> &mut ParallelVerticalIndex {
+        &mut self.index
+    }
+
+    /// The ladder rung the next batch will be answered from.
+    pub fn rung(&self) -> DegradationRung {
+        self.rung
+    }
+
+    /// Applies the (sticky, downward-only) degradation ladder for a
+    /// batch needing `depths` scratch recursion levels.
+    fn apply_ladder(&mut self, probe: &dyn CountProbe, depths: usize) {
+        let Some(budget) = probe.arena_budget_bytes() else {
+            return;
+        };
+        let per_arena = VerticalIndex::scratch_bytes(self.index.n_transactions(), depths);
+        let workers = self.index.n_workers().max(1);
+        if self.rung == DegradationRung::Parallel && per_arena.saturating_mul(workers) > budget {
+            self.rung = DegradationRung::Vertical;
+        }
+        if self.rung == DegradationRung::Vertical && per_arena > budget {
+            self.rung = DegradationRung::Horizontal;
+        }
+    }
+}
+
+fn index_core(index: &ParallelVerticalIndex) -> &Arc<VerticalCore> {
+    &index.core
+}
+
+impl MintermCounter for ParallelVerticalCounter<'_> {
+    fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+        self.stats.tables_built += 1;
+        self.stats.cells_counted += 1u64 << set.len();
+        self.seq.minterm_counts(set)
+    }
+
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        match self.minterm_counts_batch_guarded(sets, &NoProbe) {
+            Ok(tables) => tables,
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        if sets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let depths = sets
+            .iter()
+            .map(|s| s.len().saturating_sub(2))
+            .max()
+            .unwrap_or(0);
+        self.apply_ladder(probe, depths);
+        let outcome = match self.rung {
+            DegradationRung::Parallel => self.index.minterm_counts_batch_guarded(sets, probe),
+            DegradationRung::Vertical => {
+                self.stats.degraded_batches += 1;
+                self.seq.minterm_counts_batch_guarded(sets, probe)
+            }
+            DegradationRung::Horizontal => {
+                self.stats.degraded_batches += 1;
+                return horizontal_batch_guarded(self.db, sets, probe, &mut self.stats);
+            }
+        };
+        match outcome {
+            Ok(tables) => {
+                self.stats.tables_built += sets.len() as u64;
+                self.stats.cells_counted += sets.iter().map(|s| 1u64 << s.len()).sum::<u64>();
+                Ok(tables)
+            }
+            Err(partial) => {
+                self.stats.tables_built += partial.tables_completed;
+                self.stats.cells_counted += partial.cells_completed;
+                Err(partial)
+            }
+        }
+    }
+
+    fn n_transactions(&self) -> usize {
+        self.index.n_transactions()
+    }
+
+    fn stats(&self) -> CountingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::{HorizontalCounter, VerticalCounter};
+
+    fn db(n: usize) -> TransactionDb {
+        TransactionDb::from_ids(
+            8,
+            (0..n).map(|i| {
+                let mut t = Vec::new();
+                if i % 2 == 0 {
+                    t.extend([0, 1]);
+                }
+                if i % 3 == 0 {
+                    t.push(2);
+                }
+                if i % 5 == 0 {
+                    t.extend([3, 4]);
+                }
+                if i % 7 == 0 {
+                    t.extend([5, 6, 7]);
+                }
+                t
+            }),
+        )
+    }
+
+    fn level() -> Vec<Itemset> {
+        vec![
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 2]),
+            Itemset::from_ids([0, 1, 2]),
+            Itemset::from_ids([0, 1, 3]),
+            Itemset::from_ids([2, 3, 4]),
+            Itemset::from_ids([0, 1, 2, 3]),
+            Itemset::from_ids([3, 4, 5, 6]),
+            Itemset::from_ids([5]),
+            Itemset::empty(),
+        ]
+    }
+
+    #[test]
+    fn pooled_batch_matches_sequential_vertical_exactly() {
+        let d = db(600);
+        let sets = level();
+        let mut seq = VerticalIndex::build(&d);
+        let expected = seq.minterm_counts_batch(&sets);
+        for workers in [1usize, 2, 4] {
+            let mut par = ParallelVerticalIndex::build_with_workers(&d, workers);
+            par.set_work_floor(0); // force pool dispatch
+            assert_eq!(
+                par.minterm_counts_batch(&sets),
+                expected,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_floor_routes_small_batches_sequentially() {
+        let d = db(60);
+        let sets = level();
+        let mut par = ParallelVerticalIndex::build_with_workers(&d, 4);
+        let before = par.pool.jobs_run();
+        let got = par.minterm_counts_batch(&sets);
+        assert_eq!(
+            par.pool.jobs_run(),
+            before,
+            "a tiny batch must not dispatch pool jobs"
+        );
+        let mut seq = VerticalIndex::build(&d);
+        assert_eq!(got, seq.minterm_counts_batch(&sets));
+    }
+
+    #[test]
+    fn counter_matches_horizontal_counter() {
+        let d = db(400);
+        let sets = level();
+        let mut h = HorizontalCounter::new(&d);
+        let expected = h.minterm_counts_batch(&sets);
+        let mut c = ParallelVerticalCounter::with_workers(&d, 3);
+        c.index_mut().set_work_floor(0);
+        assert_eq!(c.minterm_counts_batch(&sets), expected);
+        assert_eq!(c.stats().tables_built, sets.len() as u64);
+        assert_eq!(c.stats().db_scans, 1, "index build is the only scan");
+        for set in &sets {
+            assert_eq!(c.minterm_counts(set), h.minterm_counts(set), "{set}");
+        }
+    }
+
+    #[test]
+    fn stopped_probe_interrupts_before_any_class() {
+        struct Stopped;
+        impl CountProbe for Stopped {
+            fn should_stop(&self) -> bool {
+                true
+            }
+            fn charge(&self, _cells: u64) -> bool {
+                true
+            }
+        }
+        let d = db(500);
+        let sets = vec![Itemset::from_ids([0, 1, 2]), Itemset::from_ids([3, 4, 5])];
+        let mut par = ParallelVerticalIndex::build_with_workers(&d, 2);
+        par.set_work_floor(0);
+        let err = par
+            .minterm_counts_batch_guarded(&sets, &Stopped)
+            .unwrap_err();
+        assert_eq!(err.tables_completed, 0);
+    }
+
+    #[test]
+    fn budget_trip_keeps_completed_classes_and_reports_exact_stats() {
+        use std::sync::atomic::AtomicU64;
+        /// Trips once `budget` cells have been charged.
+        struct Budget {
+            budget: u64,
+            spent: AtomicU64,
+        }
+        impl CountProbe for Budget {
+            fn should_stop(&self) -> bool {
+                self.spent.load(Ordering::Relaxed) >= self.budget
+            }
+            fn charge(&self, cells: u64) -> bool {
+                self.spent.fetch_add(cells, Ordering::Relaxed) + cells >= self.budget
+            }
+        }
+        let d = db(500);
+        // Many distinct prefixes => many classes, so a small budget trips
+        // mid-batch.
+        let sets: Vec<Itemset> = (0..6)
+            .map(|i| Itemset::from_ids([i, i + 1, i + 2]))
+            .collect();
+        let mut c = ParallelVerticalCounter::with_workers(&d, 2);
+        c.index_mut().set_work_floor(0);
+        let probe = Budget {
+            budget: 9,
+            spent: AtomicU64::new(0),
+        };
+        // The trip races the drain: workers may legitimately finish every
+        // class before the stop flag lands, in which case the batch
+        // completed and `Ok` is the correct answer. Both outcomes must
+        // keep the stats exact.
+        match c.minterm_counts_batch_guarded(&sets, &probe) {
+            Err(err) => {
+                assert!(err.tables_completed >= 1, "first class kept");
+                assert!(err.tables_completed < sets.len() as u64, "batch truncated");
+                assert_eq!(c.stats().tables_built, err.tables_completed);
+                assert_eq!(c.stats().cells_counted, err.cells_completed);
+            }
+            Ok(tables) => {
+                assert_eq!(tables.len(), sets.len());
+                assert_eq!(c.stats().tables_built, sets.len() as u64);
+            }
+        }
+        assert!(
+            probe.spent.load(Ordering::Relaxed) >= probe.budget,
+            "the budget did trip"
+        );
+    }
+
+    #[test]
+    fn ladder_degrades_parallel_to_vertical_to_horizontal() {
+        struct Arena(usize);
+        impl CountProbe for Arena {
+            fn should_stop(&self) -> bool {
+                false
+            }
+            fn charge(&self, _cells: u64) -> bool {
+                false
+            }
+            fn arena_budget_bytes(&self) -> Option<usize> {
+                Some(self.0)
+            }
+        }
+        let d = db(640); // 10 blocks => one arena depth = 160 bytes
+        let triples = vec![Itemset::from_ids([0, 1, 2]), Itemset::from_ids([3, 4, 5])];
+        let per_arena = VerticalIndex::scratch_bytes(d.len(), 1);
+        assert!(per_arena > 0);
+        let workers = 4;
+        let mut h = HorizontalCounter::new(&d);
+        let expected = h.minterm_counts_batch(&triples);
+
+        // Budget fits one arena but not four: drop to Vertical.
+        let mut c = ParallelVerticalCounter::with_workers(&d, workers);
+        c.index_mut().set_work_floor(0);
+        assert_eq!(c.rung(), DegradationRung::Parallel);
+        let got = c
+            .minterm_counts_batch_guarded(&triples, &Arena(per_arena))
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(c.rung(), DegradationRung::Vertical);
+        assert_eq!(c.stats().degraded_batches, 1);
+
+        // Budget fits no arena at all: drop to Horizontal, stay there.
+        let got = c.minterm_counts_batch_guarded(&triples, &Arena(1)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(c.rung(), DegradationRung::Horizontal);
+        assert_eq!(c.stats().degraded_batches, 2);
+
+        // Degradation is sticky even with a generous later budget.
+        let got = c
+            .minterm_counts_batch_guarded(&triples, &Arena(usize::MAX))
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(c.rung(), DegradationRung::Horizontal);
+        assert_eq!(c.stats().degraded_batches, 3);
+    }
+
+    #[test]
+    fn pair_only_batches_never_degrade() {
+        struct Arena;
+        impl CountProbe for Arena {
+            fn should_stop(&self) -> bool {
+                false
+            }
+            fn charge(&self, _cells: u64) -> bool {
+                false
+            }
+            fn arena_budget_bytes(&self) -> Option<usize> {
+                Some(1)
+            }
+        }
+        let d = db(100);
+        // Pairs need zero scratch depths: even a 1-byte budget keeps the
+        // parallel rung.
+        let pairs = vec![Itemset::from_ids([0, 1]), Itemset::from_ids([2, 3])];
+        let mut c = ParallelVerticalCounter::with_workers(&d, 4);
+        c.minterm_counts_batch_guarded(&pairs, &Arena).unwrap();
+        assert_eq!(c.rung(), DegradationRung::Parallel);
+        assert_eq!(c.stats().degraded_batches, 0);
+    }
+}

@@ -74,10 +74,12 @@ fn print_usage() {
                and a per-constraint push plan
                exits 0 when satisfiable or trivial, 3 when unsatisfiable
   ccs mine     --db <file> [--attrs <file>] --query <q> [--algorithm <a>]
-               [--support <f>] [--ct <f>] [--confidence <f>] [--strategy <s>]
-               [--timeout <secs>] [--max-cells <N>] [--max-mem-mb <N>] [--explain]
+               [--support <f>] [--ct <f>] [--confidence <f>] [--counting <s>]
+               [--threads <N>] [--timeout <secs>] [--max-cells <N>]
+               [--max-mem-mb <N>] [--explain]
                algorithms: bms+ bms++ bms* bms** naive naive-min-valid
-               strategies: horizontal vertical parallel
+               counting:   horizontal vertical parallel vertical-par auto
+                           (--strategy is accepted as an alias)
                exits 0 when complete, 2 when truncated by a budget or Ctrl-C
   ccs stats    --db <file>                             print database statistics"
     );
@@ -378,7 +380,9 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
             "--attrs",
             "--query",
             "--algorithm",
+            "--counting",
             "--strategy",
+            "--threads",
             "--confidence",
             "--support",
             "--ct",
@@ -412,12 +416,17 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
         "naive-min-valid" => Algorithm::NaiveMinValid,
         other => return Err(format!("unknown algorithm '{other}'")),
     };
-    let strategy = match flags.get("--strategy").unwrap_or("horizontal") {
-        "horizontal" => CountingStrategy::Horizontal,
-        "vertical" => CountingStrategy::Vertical,
-        "parallel" => CountingStrategy::Parallel,
-        other => return Err(format!("unknown strategy '{other}'")),
-    };
+    // `--counting` is the canonical flag; `--strategy` remains as an
+    // alias for scripts written against older releases.
+    let strategy: CountingStrategy = flags
+        .get("--counting")
+        .or_else(|| flags.get("--strategy"))
+        .unwrap_or("horizontal")
+        .parse()?;
+    let threads: Option<usize> = flags.parse_opt("--threads")?;
+    if threads == Some(0) {
+        return Err("--threads must be at least 1".to_owned());
+    }
     let params = MiningParams {
         confidence: flags.parse_or("--confidence", 0.9)?,
         support_fraction: flags.parse_or("--support", 0.25)?,
@@ -451,7 +460,8 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     let cancel = sigint::install();
     let guard = RunGuard::with_cancel_flag(limits, cancel);
 
-    let result = mine_with_guard(&db, &attrs, &query, algorithm, strategy, &guard)
+    let options = MiningOptions { strategy, threads };
+    let result = mine_with_options(&db, &attrs, &query, algorithm, options, &guard)
         .map_err(|e| e.to_string())?;
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
@@ -473,7 +483,7 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     );
     if result.metrics.degraded_batches > 0 {
         eprintln!(
-            "memory budget: vertical counting fell back to horizontal scans for {} batch(es)",
+            "memory budget: counting stepped down the degradation ladder for {} batch(es)",
             result.metrics.degraded_batches
         );
     }

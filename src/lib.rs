@@ -59,10 +59,11 @@ pub mod prelude {
         Monotonicity, QueryAnalysis, QueryVerdict, Span,
     };
     pub use ccs_core::{
-        discover_causality, mine, mine_with_guard, mine_with_strategy, resume_with_guard,
-        solution_space, Algorithm, CausalAnalysis, CausalFinding, Completion, CorrelationQuery,
-        CountingStrategy, GuardLimits, MiningError, MiningMetrics, MiningParams, MiningResult,
-        ResumeState, RunGuard, Semantics, SolutionSpace, TruncationReason,
+        discover_causality, mine, mine_with_guard, mine_with_options, mine_with_strategy,
+        resume_with_guard, resume_with_options, solution_space, Algorithm, CausalAnalysis,
+        CausalFinding, Completion, CorrelationQuery, CountingStrategy, GuardLimits, MiningError,
+        MiningMetrics, MiningOptions, MiningParams, MiningResult, ResumeState, RunGuard, Semantics,
+        SolutionSpace, TruncationReason,
     };
     pub use ccs_datagen::{generate_quest, generate_rules, QuestParams, RuleParams};
     pub use ccs_itemset::{Item, Itemset, TransactionDb};

@@ -1,7 +1,8 @@
 //! Differential property test for the counting substrates.
 //!
 //! Every counting strategy — horizontal, vertical (tid-set
-//! intersection), parallel — and every batch path (the default
+//! intersection), parallel, parallel-vertical (pool fan-out over
+//! prefix-equivalence classes) — and every batch path (the default
 //! per-candidate loop, the one-scan-per-level horizontal batch, the
 //! prefix-sharing vertical batch, the fan-out parallel batch) must
 //! produce bit-identical minterm counts on arbitrary databases, for
@@ -11,7 +12,8 @@
 use proptest::prelude::*;
 
 use ccs::itemset::{
-    HorizontalCounter, Itemset, MintermCounter, ParallelCounter, TransactionDb, VerticalCounter,
+    HorizontalCounter, Itemset, MintermCounter, ParallelCounter, ParallelVerticalCounter,
+    ParallelVerticalIndex, TransactionDb, VerticalCounter,
 };
 
 const N_ITEMS: u32 = 8;
@@ -58,10 +60,30 @@ proptest! {
         // Parallel, across thread counts, per candidate and batched.
         for threads in [1usize, 2, 5] {
             let mut parallel = ParallelCounter::new(&db, threads);
+            parallel.set_work_floor(0); // force pool dispatch even on tiny inputs
             let parallel_singles: Vec<Vec<u64>> =
                 sets.iter().map(|s| parallel.minterm_counts(s)).collect();
             prop_assert_eq!(&parallel_singles, &expected);
             prop_assert_eq!(&parallel.minterm_counts_batch(&sets), &expected);
         }
+
+        // Parallel-vertical: pool fan-out over prefix-equivalence
+        // classes, swept across worker counts including the machine's
+        // own parallelism, with the work floor zeroed so even these
+        // small batches take the pooled path.
+        let machine = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(1);
+        for workers in [1usize, 2, machine] {
+            let mut index = ParallelVerticalIndex::build_with_workers(&db, workers);
+            index.set_work_floor(0);
+            let par_singles: Vec<Vec<u64>> =
+                sets.iter().map(|s| index.minterm_counts(s)).collect();
+            prop_assert_eq!(&par_singles, &expected);
+            prop_assert_eq!(&index.minterm_counts_batch(&sets), &expected);
+        }
+
+        // And the full counter wrapper (ladder at its top rung).
+        let mut par_counter = ParallelVerticalCounter::with_workers(&db, 2);
+        par_counter.index_mut().set_work_floor(0);
+        prop_assert_eq!(&par_counter.minterm_counts_batch(&sets), &expected);
     }
 }

@@ -32,28 +32,41 @@ use std::time::Duration;
 use ccs::core::{mine_with_counter_guarded, resume_with_counter_guarded};
 use ccs::itemset::{
     BatchInterrupted, CountProbe, CountingStats, HorizontalCounter, MintermCounter,
+    ParallelVerticalCounter,
 };
 use ccs::prelude::*;
 
+/// Builds the real counter a fault sweep decorates; boxed so one sweep
+/// harness can run the horizontal reference and the pooled
+/// parallel-vertical counter through identical injection schedules.
+type CounterFactory = fn(&TransactionDb) -> Box<dyn MintermCounter + '_>;
+
+fn horizontal_factory(db: &TransactionDb) -> Box<dyn MintermCounter + '_> {
+    Box::new(HorizontalCounter::new(db))
+}
+
+/// A 2-worker pooled vertical counter with its work floor zeroed, so
+/// even the toy dataset's batches take the pool fan-out path.
+fn vertical_par_factory(db: &TransactionDb) -> Box<dyn MintermCounter + '_> {
+    let mut counter = ParallelVerticalCounter::with_workers(db, 2);
+    counter.index_mut().set_work_floor(0);
+    Box::new(counter)
+}
+
 /// Wraps a real counter; at guarded-batch call number `trigger` it
 /// simulates `fault` and abandons the batch without doing any work.
-struct FaultCounter<'a> {
-    inner: HorizontalCounter<'a>,
+struct FaultCounter<C> {
+    inner: C,
     guard: RunGuard,
     fault: TruncationReason,
     trigger: usize,
     batches_seen: usize,
 }
 
-impl<'a> FaultCounter<'a> {
-    fn new(
-        db: &'a TransactionDb,
-        guard: RunGuard,
-        fault: TruncationReason,
-        trigger: usize,
-    ) -> Self {
+impl<C: MintermCounter> FaultCounter<C> {
+    fn new(inner: C, guard: RunGuard, fault: TruncationReason, trigger: usize) -> Self {
         FaultCounter {
-            inner: HorizontalCounter::new(db),
+            inner,
             guard,
             fault,
             trigger,
@@ -62,7 +75,7 @@ impl<'a> FaultCounter<'a> {
     }
 }
 
-impl MintermCounter for FaultCounter<'_> {
+impl<C: MintermCounter> MintermCounter for FaultCounter<C> {
     fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
         self.inner.minterm_counts(set)
     }
@@ -180,6 +193,13 @@ const ALL_ALGORITHMS: [Algorithm; 6] = [
 /// exact-resume) at every truncation point. Returns how many injection
 /// points truncated the run.
 fn sweep(algorithm: Algorithm, fault: TruncationReason) -> usize {
+    sweep_with(algorithm, fault, horizontal_factory)
+}
+
+/// [`sweep`] with the decorated counter (and the resume counter) built
+/// by `factory`, so the same injection schedule can run against any
+/// counting substrate.
+fn sweep_with(algorithm: Algorithm, fault: TruncationReason, factory: CounterFactory) -> usize {
     let db = db();
     let attrs = attrs();
     let q = query();
@@ -193,7 +213,7 @@ fn sweep(algorithm: Algorithm, fault: TruncationReason) -> usize {
 
     for trigger in 0..64 {
         let guard = RunGuard::new(GuardLimits::default());
-        let mut counter = FaultCounter::new(&db, guard.clone(), fault, trigger);
+        let mut counter = FaultCounter::new(factory(&db), guard.clone(), fault, trigger);
         let result =
             mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard).unwrap();
         match result.completion {
@@ -247,7 +267,7 @@ fn sweep(algorithm: Algorithm, fault: TruncationReason) -> usize {
                     .expect("truncated runs carry a resume snapshot");
                 assert_eq!(state.algorithm(), algorithm);
                 let resume_guard = RunGuard::new(GuardLimits::default());
-                let mut resume_counter = HorizontalCounter::new(&db);
+                let mut resume_counter = factory(&db);
                 let resumed = resume_with_counter_guarded(
                     &db,
                     &attrs,
@@ -467,6 +487,116 @@ fn tight_memory_budget_degrades_vertical_counting_without_truncation() {
             sorted(&unguarded.answers),
             "{algorithm}: degraded counting changed the answers"
         );
+    }
+}
+
+#[test]
+fn parallel_vertical_faults_every_injection_point() {
+    // The full trip-at-every-batch-index sweep with the pooled
+    // parallel-vertical counter underneath (work floor zeroed so every
+    // batch fans out over the pool): partial answers stay sound, and
+    // resuming — also on the pooled counter — reproduces the complete
+    // answer set exactly.
+    for algorithm in ALL_ALGORITHMS {
+        let truncating = sweep_with(
+            algorithm,
+            TruncationReason::WorkBudget,
+            vertical_par_factory,
+        );
+        assert!(
+            truncating >= 2,
+            "{algorithm}: expected at least two guarded batches, found {truncating}"
+        );
+    }
+    for algorithm in [Algorithm::BmsStar, Algorithm::BmsStarStar] {
+        sweep_with(algorithm, TruncationReason::Cancelled, vertical_par_factory);
+    }
+}
+
+#[test]
+fn real_work_budget_trips_mid_pooled_batch_soundly() {
+    // Not an injected fault: a genuine cell budget that trips *inside*
+    // the pooled guarded batch, exercising first-trip-wins draining —
+    // the tripped run keeps every completed prefix class, stays sound,
+    // and resumes exactly. Budgets sweep from tiny to
+    // nearly-the-whole-run so the trip lands at many different points
+    // within and between batches.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in Algorithm::paper_algorithms() {
+        let complete = mine(&db, &attrs, &q, algorithm).unwrap();
+        for budget in [1u64, 40, 150, 400, 1000] {
+            let guard = RunGuard::new(GuardLimits {
+                work_budget_cells: Some(budget),
+                ..GuardLimits::default()
+            });
+            let mut counter = vertical_par_factory(&db);
+            let result =
+                mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard)
+                    .unwrap();
+            for s in &result.answers {
+                assert!(
+                    complete.answers.contains(s),
+                    "{algorithm} budget {budget}: unsound partial answer {s}"
+                );
+            }
+            let Some(state) = result.resume else {
+                assert!(
+                    result.completion.is_complete(),
+                    "{algorithm} budget {budget}: no snapshot on a truncated run"
+                );
+                continue;
+            };
+            let mut resume_counter = vertical_par_factory(&db);
+            let resumed = resume_with_counter_guarded(
+                &db,
+                &attrs,
+                &q,
+                &mut resume_counter,
+                &RunGuard::new(GuardLimits::default()),
+                state,
+            )
+            .unwrap();
+            assert_eq!(
+                sorted(&resumed.answers),
+                sorted(&complete.answers),
+                "{algorithm} budget {budget}: pooled resume diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_memory_budget_degrades_pooled_counting_without_truncation() {
+    // The parallel-vertical ladder: a budget that fits one arena but not
+    // one per worker degrades to sequential vertical; a 1-byte budget
+    // degrades all the way to horizontal. Neither truncates, and both
+    // keep the answers bit-identical.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in [Algorithm::BmsPlusPlus, Algorithm::BmsStarStar] {
+        let unguarded = mine(&db, &attrs, &q, algorithm).unwrap();
+        for budget in [1usize, 64 * 1024] {
+            let guard = RunGuard::new(GuardLimits {
+                memory_budget_bytes: Some(budget),
+                ..GuardLimits::default()
+            });
+            let mut counter = vertical_par_factory(&db);
+            let result =
+                mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard)
+                    .unwrap();
+            assert!(
+                result.completion.is_complete(),
+                "{algorithm} budget {budget}: the ladder must degrade, not truncate"
+            );
+            assert_eq!(
+                sorted(&result.answers),
+                sorted(&unguarded.answers),
+                "{algorithm} budget {budget}: degraded counting changed the answers"
+            );
+        }
     }
 }
 
