@@ -6,7 +6,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use ccs_bench::{paper_mining_params, DataMethod};
 use ccs_constraints::{AttributeTable, Constraint, ConstraintSet};
-use ccs_core::{mine_with_strategy, run_bms, Algorithm, CorrelationQuery, CountingStrategy};
+use ccs_core::{
+    run_bms, Algorithm, CorrelationQuery, CountingStrategy, MineRequest, MiningSession,
+};
 use ccs_itemset::{HorizontalCounter, ParallelCounter, VerticalCounter};
 
 const N_ITEMS: u32 = 30;
@@ -34,14 +36,12 @@ fn bench_algorithms(c: &mut Criterion) {
                 &algo,
                 |b, &a| {
                     b.iter(|| {
-                        mine_with_strategy(
-                            black_box(&db),
-                            &attrs,
-                            &query(cs.clone()),
-                            a,
-                            CountingStrategy::Horizontal,
-                        )
-                        .unwrap()
+                        MiningSession::new(black_box(&db), &attrs)
+                            .mine(
+                                &query(cs.clone()),
+                                &MineRequest::new(a).strategy(CountingStrategy::Horizontal),
+                            )
+                            .unwrap()
                     })
                 },
             );
@@ -54,14 +54,12 @@ fn bench_algorithms(c: &mut Criterion) {
                 &algo,
                 |b, &a| {
                     b.iter(|| {
-                        mine_with_strategy(
-                            black_box(&db),
-                            &attrs,
-                            &query(cs_m.clone()),
-                            a,
-                            CountingStrategy::Horizontal,
-                        )
-                        .unwrap()
+                        MiningSession::new(black_box(&db), &attrs)
+                            .mine(
+                                &query(cs_m.clone()),
+                                &MineRequest::new(a).strategy(CountingStrategy::Horizontal),
+                            )
+                            .unwrap()
                     })
                 },
             );
@@ -82,14 +80,12 @@ fn bench_counting_ablation(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                mine_with_strategy(
-                    black_box(&db),
-                    &attrs,
-                    &query(cs.clone()),
-                    Algorithm::BmsPlusPlus,
-                    strategy,
-                )
-                .unwrap()
+                MiningSession::new(black_box(&db), &attrs)
+                    .mine(
+                        &query(cs.clone()),
+                        &MineRequest::new(Algorithm::BmsPlusPlus).strategy(strategy),
+                    )
+                    .unwrap()
             })
         });
     }

@@ -20,13 +20,17 @@
 //!   it was in 2000.
 
 #![warn(missing_docs)]
+// The harness must measure the current library surface, never the
+// deprecated `mine*`/`resume*` shims (CI runs a dedicated `-D
+// deprecated` job over this crate and the CLI binary).
+#![deny(deprecated)]
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use ccs_constraints::{AttributeTable, ConstraintSet};
-use ccs_core::{mine, Algorithm, CorrelationQuery, MiningParams};
+use ccs_core::{Algorithm, CorrelationQuery, MineRequest, MiningParams, MiningSession};
 use ccs_datagen::{generate_quest, generate_rules, QuestParams, RuleParams};
 use ccs_itemset::TransactionDb;
 
@@ -214,8 +218,10 @@ pub fn measure(
         params: paper_mining_params(),
         constraints: constraints.clone(),
     };
-    let result = mine(db, attrs, &query, algorithm)
-        .unwrap_or_else(|e| panic!("{algorithm} failed on {figure}: {e}"));
+    let result = MiningSession::new(db, attrs)
+        .mine(&query, &MineRequest::new(algorithm))
+        .unwrap_or_else(|e| panic!("{algorithm} failed on {figure}: {e}"))
+        .result;
     SweepRow {
         figure: figure.to_owned(),
         dataset: dataset.label().to_owned(),

@@ -1,5 +1,5 @@
 //! Algorithm BMS — the unconstrained baseline of Brin, Motwani &
-//! Silverstein (SIGMOD 1997).
+//! Silverstein (SIGMOD 1997), as a policy on the levelwise kernel.
 //!
 //! A level-wise sweep of the itemset lattice that exploits two closure
 //! properties:
@@ -19,10 +19,16 @@ use std::time::Instant;
 
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
 
-use crate::engine::Engine;
-use crate::guard::{sorted_sets, BmsSnapshot, TruncationReason};
+use crate::engine::{Engine, Verdict};
+use crate::guard::{sorted_sets, BmsSnapshot, ResumeInner};
+use crate::kernel::{
+    run_levelwise, staged, AlgorithmPolicy, GuardMode, KernelConfig, KernelTrip, LevelMark,
+    LevelSeed,
+};
 use crate::metrics::MiningMetrics;
+use crate::miner::Algorithm;
 use crate::params::MiningParams;
+use crate::prep::frequent_items;
 
 /// The complete state Algorithm BMS leaves behind: `SIG` (all minimal
 /// correlated and CT-supported sets), `NOTSIG` (every CT-supported but
@@ -42,13 +48,56 @@ pub struct BmsOutput {
     pub metrics: MiningMetrics,
 }
 
-/// A BMS run plus its governance outcome: `truncation` is `Some` when the
-/// run's guard stopped the sweep, carrying the reason and the loop state
-/// at the last completed level boundary (the interrupted level's
-/// candidates, un-evaluated, ready to be re-entered on resume).
+/// A BMS run plus its governance outcome: `trip` is `Some` when the
+/// run's guard stopped the sweep, carrying the reason and the stamped
+/// resume snapshot from the last completed level boundary.
 pub(crate) struct BmsRun {
     pub(crate) output: BmsOutput,
-    pub(crate) truncation: Option<(TruncationReason, BmsSnapshot)>,
+    pub(crate) trip: Option<KernelTrip>,
+}
+
+/// The BMS sweep as a kernel policy: classify CT-supported survivors
+/// into `SIG` (correlated, reported and never expanded) or the level's
+/// `NOTSIG` (uncorrelated, seeds the next level via apriori-gen).
+///
+/// `wrap` chooses the [`ResumeInner`] variant a trip stamps, because the
+/// same sweep runs standalone (BMS/BMS+) and as BMS* phase 1.
+struct BmsPolicy {
+    sig: Vec<Itemset>,
+    notsig_all: HashSet<Itemset>,
+    /// Candidates staged for the next `candidates()` call.
+    cands: Vec<Itemset>,
+    wrap: fn(BmsSnapshot) -> ResumeInner,
+}
+
+impl AlgorithmPolicy for BmsPolicy {
+    fn candidates(&mut self, _level: usize) -> LevelSeed {
+        staged(&mut self.cands)
+    }
+
+    fn snapshot(&self, level: usize, cands: &[Itemset]) -> ResumeInner {
+        (self.wrap)(BmsSnapshot {
+            level,
+            cands: cands.to_vec(),
+            sig: self.sig.clone(),
+            notsig: sorted_sets(self.notsig_all.iter().cloned()),
+        })
+    }
+
+    fn absorb(&mut self, _level: usize, survivors: Vec<Itemset>, verdicts: Vec<Verdict>) {
+        let mut notsig_level: HashSet<Itemset> = HashSet::new();
+        for (set, v) in survivors.into_iter().zip(verdicts) {
+            if v.ct_supported {
+                if v.correlated {
+                    self.sig.push(set);
+                } else {
+                    notsig_level.insert(set);
+                }
+            }
+        }
+        self.cands = candidate::apriori_gen(&notsig_level);
+        self.notsig_all.extend(notsig_level);
+    }
 }
 
 /// Runs Algorithm BMS over `db` with the given statistical parameters.
@@ -58,7 +107,15 @@ pub fn run_bms<C: MintermCounter>(
     counter: &mut C,
 ) -> BmsOutput {
     let mut engine = Engine::new(counter, params);
-    run_bms_with_engine(db, params, &mut engine, None).output
+    run_bms_with_engine(
+        db,
+        params,
+        &mut engine,
+        None,
+        Algorithm::BmsPlus,
+        ResumeInner::Bms,
+    )
+    .output
 }
 
 /// [`run_bms`] over a caller-owned [`Engine`], so a two-phase algorithm
@@ -67,34 +124,28 @@ pub fn run_bms<C: MintermCounter>(
 /// rebuilding their contingency tables.
 ///
 /// `start` re-enters the level loop from a truncated run's snapshot
-/// instead of from the all-pairs seed. When the engine's guard is armed,
-/// a snapshot is taken at every level boundary so a mid-level trip can
-/// report the state needed to resume; unarmed runs skip the clone
-/// entirely.
-pub(crate) fn run_bms_with_engine<C: MintermCounter>(
+/// instead of from the all-pairs seed. A trip stamps `algorithm` and the
+/// `wrap`ped snapshot into the resume state, so the same sweep serves
+/// BMS/BMS+ and BMS* phase 1.
+pub(crate) fn run_bms_with_engine(
     db: &TransactionDb,
     params: &MiningParams,
-    engine: &mut Engine<'_, C>,
+    engine: &mut Engine<'_>,
     start: Option<BmsSnapshot>,
+    algorithm: Algorithm,
+    wrap: fn(BmsSnapshot) -> ResumeInner,
 ) -> BmsRun {
     params.validate();
     let start_time = Instant::now();
     let mut metrics = MiningMetrics::default();
     let base_stats = engine.counting_stats();
 
-    // Level 1: the item basis. The O(i) ≥ s filter of the pseudo-code,
-    // with s = min_item_support (0 ⇒ all items participate; see
-    // MiningParams).
-    let item_threshold = params.item_support_abs(db.len());
-    let supports = db.item_supports();
-    let level1: Vec<Item> = (0..db.n_items())
-        .map(Item::new)
-        .filter(|i| supports[i.index()] as u64 >= item_threshold)
-        .collect();
+    // Level 1: the item basis.
+    let level1: Vec<Item> = frequent_items(db, params);
 
     // Level 2 candidates: all pairs of basis items — or the resumed
     // frontier.
-    let (mut sig, mut notsig_all, mut cands, mut level) = match start {
+    let (sig, notsig_all, cands, level) = match start {
         Some(s) => (
             s.sig,
             s.notsig.into_iter().collect::<HashSet<Itemset>>(),
@@ -109,41 +160,27 @@ pub(crate) fn run_bms_with_engine<C: MintermCounter>(
         ),
     };
 
-    let mut truncation = None;
-    while !cands.is_empty() && level <= params.max_level {
-        let snapshot = engine.guard().is_armed().then(|| BmsSnapshot {
-            level,
-            cands: cands.clone(),
-            sig: sig.clone(),
-            notsig: sorted_sets(notsig_all.iter().cloned()),
-        });
-        metrics.candidates_generated += cands.len() as u64;
-        metrics.max_level_reached = level;
-        let mut notsig_level: HashSet<Itemset> = HashSet::new();
-        let verdicts = match engine.evaluate_level(&cands) {
-            Ok(v) => v,
-            Err(reason) => {
-                metrics.max_level_reached = level - 1;
-                #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
-                let snap = snapshot.expect("a trip implies an armed guard");
-                truncation = Some((reason, snap));
-                break;
-            }
-        };
-        for (set, v) in cands.iter().zip(verdicts) {
-            if v.ct_supported {
-                if v.correlated {
-                    sig.push(set.clone());
-                } else {
-                    notsig_level.insert(set.clone());
-                }
-            }
-        }
-        cands = candidate::apriori_gen(&notsig_level);
-        notsig_all.extend(notsig_level);
-        level += 1;
-    }
+    let mut policy = BmsPolicy {
+        sig,
+        notsig_all,
+        cands,
+        wrap,
+    };
+    let trip = run_levelwise(
+        engine,
+        &mut policy,
+        KernelConfig::new(algorithm, LevelMark::Eager),
+        GuardMode::Checked,
+        level,
+        params.max_level,
+        &mut metrics,
+    );
 
+    let BmsPolicy {
+        mut sig,
+        notsig_all,
+        ..
+    } = policy;
     sig.sort_unstable();
     metrics.sig_size = sig.len() as u64;
     metrics.notsig_size = notsig_all.len() as u64;
@@ -158,110 +195,6 @@ pub(crate) fn run_bms_with_engine<C: MintermCounter>(
             level1,
             metrics,
         },
-        truncation,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ccs_itemset::HorizontalCounter;
-
-    /// A database where items 0 and 1 are perfectly correlated and item 2
-    /// is independent noise.
-    fn correlated_db() -> TransactionDb {
-        let mut txns = Vec::new();
-        for i in 0..40 {
-            let mut t = if i % 2 == 0 { vec![0u32, 1] } else { vec![] };
-            if i % 3 == 0 {
-                t.push(2);
-            }
-            txns.push(t);
-        }
-        TransactionDb::from_ids(3, txns)
-    }
-
-    fn params() -> MiningParams {
-        MiningParams {
-            confidence: 0.9,
-            support_fraction: 0.1,
-            ct_fraction: 0.25,
-            min_item_support: 0.0,
-            max_level: 6,
-        }
-    }
-
-    #[test]
-    fn finds_the_planted_pair() {
-        let db = correlated_db();
-        let mut counter = HorizontalCounter::new(&db);
-        let out = run_bms(&db, &params(), &mut counter);
-        assert!(
-            out.sig.contains(&Itemset::from_ids([0, 1])),
-            "planted pair not found; SIG = {:?}",
-            out.sig
-        );
-    }
-
-    #[test]
-    fn independent_pairs_land_in_notsig() {
-        let db = correlated_db();
-        let mut counter = HorizontalCounter::new(&db);
-        let out = run_bms(&db, &params(), &mut counter);
-        // {0,2} is independent: must not be in SIG.
-        assert!(!out.sig.contains(&Itemset::from_ids([0, 2])));
-    }
-
-    #[test]
-    fn sig_sets_are_minimal() {
-        let db = correlated_db();
-        let mut counter = HorizontalCounter::new(&db);
-        let out = run_bms(&db, &params(), &mut counter);
-        for (i, a) in out.sig.iter().enumerate() {
-            for b in &out.sig[i + 1..] {
-                assert!(
-                    !a.is_subset_of(b) && !b.is_subset_of(a),
-                    "SIG contains nested sets {a} ⊆ {b}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn metrics_count_tables() {
-        let db = correlated_db();
-        let mut counter = HorizontalCounter::new(&db);
-        let out = run_bms(&db, &params(), &mut counter);
-        // 3 items → 3 pairs at level 2, plus whatever level 3 considered.
-        assert!(out.metrics.tables_built >= 3);
-        // Level-batched counting: at most one scan per level, never more
-        // scans than tables.
-        assert!(out.metrics.db_scans >= 1);
-        assert!(out.metrics.db_scans <= out.metrics.tables_built);
-        assert!(out.metrics.db_scans <= out.metrics.max_level_reached as u64);
-        assert!(out.metrics.candidates_generated >= out.metrics.tables_built);
-        assert!(out.metrics.max_level_reached >= 2);
-    }
-
-    #[test]
-    fn item_support_filter_prunes_basis() {
-        let db = correlated_db(); // item 2 support ~1/3, items 0,1 = 1/2
-        let p = MiningParams {
-            min_item_support: 0.4,
-            ..params()
-        };
-        let mut counter = HorizontalCounter::new(&db);
-        let out = run_bms(&db, &p, &mut counter);
-        assert_eq!(out.level1, vec![Item(0), Item(1)]);
-    }
-
-    #[test]
-    fn empty_database_yields_nothing() {
-        let db = TransactionDb::from_ids(4, Vec::<Vec<u32>>::new());
-        let mut counter = HorizontalCounter::new(&db);
-        let out = run_bms(&db, &params(), &mut counter);
-        // With zero transactions every table is all-zeros: chi2 = 0, so
-        // nothing is correlated.
-        assert!(out.sig.is_empty());
+        trip,
     }
 }

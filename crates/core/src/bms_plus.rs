@@ -12,7 +12,8 @@ use ccs_itemset::{MintermCounter, TransactionDb};
 
 use crate::bms::run_bms_with_engine;
 use crate::engine::Engine;
-use crate::guard::{ResumeInner, ResumeState, RunGuard};
+use crate::guard::{ResumeInner, RunGuard};
+use crate::kernel::{admit, MinerScope};
 use crate::miner::Algorithm;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
@@ -37,140 +38,43 @@ pub fn run_bms_plus<C: MintermCounter>(
 /// On truncation the partial `SIG` is still filtered by the constraints:
 /// level-wise growth means every set in it belongs to the complete
 /// `VALID_MIN(Q)` too.
-pub(crate) fn run_bms_plus_guarded<C: MintermCounter>(
+pub(crate) fn run_bms_plus_guarded(
     db: &TransactionDb,
     attrs: &AttributeTable,
     query: &CorrelationQuery,
-    counter: &mut C,
+    counter: &mut dyn MintermCounter,
     guard: &RunGuard,
     resume: Option<ResumeInner>,
 ) -> Result<MiningResult, MiningError> {
-    query.validate(attrs)?;
-    if query.constraints.has_neither_monotone() {
-        return Err(MiningError::NonMonotoneConstraint);
-    }
+    admit(query, attrs)?;
     let start = match resume {
         None => None,
         Some(ResumeInner::Bms(s)) => Some(s),
-        Some(_) => {
-            return Err(MiningError::ResumeMismatch {
-                expected: "another algorithm",
-                requested: Algorithm::BmsPlus.name(),
-            })
-        }
+        Some(_) => return Err(MiningError::foreign_snapshot(Algorithm::BmsPlus.name())),
     };
+    let mut scope = MinerScope::begin(counter.stats());
     let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
-    let run = run_bms_with_engine(db, &query.params, &mut engine, start);
+    let run = run_bms_with_engine(
+        db,
+        &query.params,
+        &mut engine,
+        start,
+        Algorithm::BmsPlus,
+        ResumeInner::Bms,
+    );
+    // The BMS run already absorbed its own counting into its metrics.
+    scope.rebase(engine.counting_stats());
     let answers: Vec<_> = run
         .output
         .sig
         .into_iter()
         .filter(|s| query.constraints.satisfied(s, attrs))
         .collect();
-    let mut metrics = run.output.metrics;
-    metrics.sig_size = answers.len() as u64;
-    match run.truncation {
-        None => Ok(MiningResult::new(answers, Semantics::ValidMin, metrics)),
-        Some((reason, snapshot)) => {
-            let frontier_level = snapshot.level - 1;
-            Ok(MiningResult::truncated(
-                answers,
-                Semantics::ValidMin,
-                metrics,
-                reason,
-                frontier_level,
-                ResumeState {
-                    algorithm: Algorithm::BmsPlus,
-                    inner: ResumeInner::Bms(snapshot),
-                },
-            ))
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::params::MiningParams;
-    use ccs_constraints::{Constraint, ConstraintSet};
-    use ccs_itemset::{HorizontalCounter, Itemset};
-
-    /// Items 0–1 and 2–3 perfectly correlated pairs; price of item i = i+1.
-    fn db() -> TransactionDb {
-        let mut txns = Vec::new();
-        for i in 0..60 {
-            let mut t = Vec::new();
-            if i % 2 == 0 {
-                t.extend([0u32, 1]);
-            }
-            if i % 3 == 0 {
-                t.extend([2, 3]);
-            }
-            txns.push(t);
-        }
-        TransactionDb::from_ids(4, txns)
-    }
-
-    fn query(constraints: ConstraintSet) -> CorrelationQuery {
-        CorrelationQuery {
-            params: MiningParams {
-                confidence: 0.9,
-                support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
-                max_level: 5,
-            },
-            constraints,
-        }
-    }
-
-    #[test]
-    fn unconstrained_returns_all_minimal_correlated() {
-        let db = db();
-        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
-        let mut c = HorizontalCounter::new(&db);
-        let r = run_bms_plus(&db, &attrs, &query(ConstraintSet::new()), &mut c).unwrap();
-        assert!(r.contains(&Itemset::from_ids([0, 1])));
-        assert!(r.contains(&Itemset::from_ids([2, 3])));
-    }
-
-    #[test]
-    fn constraints_filter_answers() {
-        let db = db();
-        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
-        // max price ≤ 2 keeps only items {0, 1} (prices 1, 2).
-        let cs = ConstraintSet::new().and(Constraint::max_le("price", 2.0));
-        let mut c = HorizontalCounter::new(&db);
-        let r = run_bms_plus(&db, &attrs, &query(cs), &mut c).unwrap();
-        assert!(r.contains(&Itemset::from_ids([0, 1])));
-        assert!(!r.contains(&Itemset::from_ids([2, 3])));
-    }
-
-    #[test]
-    fn avg_constraint_is_rejected() {
-        let db = db();
-        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
-        let cs = ConstraintSet::new().and(Constraint::Avg {
-            attr: "price".into(),
-            cmp: ccs_constraints::Cmp::Le,
-            value: 2.0,
-        });
-        let mut c = HorizontalCounter::new(&db);
-        assert_eq!(
-            run_bms_plus(&db, &attrs, &query(cs), &mut c),
-            Err(MiningError::NonMonotoneConstraint)
-        );
-    }
-
-    #[test]
-    fn work_is_independent_of_constraints() {
-        let db = db();
-        let attrs = ccs_constraints::AttributeTable::with_identity_prices(4);
-        let mut c1 = HorizontalCounter::new(&db);
-        let r1 = run_bms_plus(&db, &attrs, &query(ConstraintSet::new()), &mut c1).unwrap();
-        let cs = ConstraintSet::new().and(Constraint::max_le("price", 1.0));
-        let mut c2 = HorizontalCounter::new(&db);
-        let r2 = run_bms_plus(&db, &attrs, &query(cs), &mut c2).unwrap();
-        assert_eq!(r1.metrics.tables_built, r2.metrics.tables_built);
-    }
+    Ok(scope.seal(
+        &engine,
+        run.output.metrics,
+        answers,
+        Semantics::ValidMin,
+        run.trip,
+    ))
 }

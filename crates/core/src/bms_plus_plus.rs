@@ -1,12 +1,9 @@
 //! Algorithm BMS++ — constraint-pushing miner for `VALID_MIN` answers.
 //!
-//! Modifies Algorithm BMS in the three ways of §3.1 of the paper:
+//! Modifies Algorithm BMS in the three ways of §3.1 of the paper
+//! (DESIGN.md §11 maps them onto the kernel's policy hooks):
 //!
-//! I. **Preprocessing.** `GOOD₁` = items whose singleton satisfies every
-//!    anti-monotone constraint (this subsumes the succinct universes: an
-//!    item outside `σ_{A≤c}(Item)` fails `max(S.A) ≤ c` as a singleton).
-//!    `L1⁺` = frequent `GOOD₁` items in the chosen monotone-succinct
-//!    witness class; `L1⁻` = the remaining frequent `GOOD₁` items.
+//! I. **Preprocessing.** `GOOD₁`, `L1⁺`, `L1⁻` — see [`crate::prep`].
 //!
 //! II. **Candidate formation.** `CAND₂ = {{i₁,i₂} | i₁ ∈ L1⁺, i₂ ∈ L1⁺ ∪
 //!     L1⁻}`. For `k > 2`, a `k`-set is a candidate when every
@@ -28,16 +25,103 @@
 //! candidate closes the hole exactly.
 
 use std::collections::HashSet;
-use std::time::Instant;
 
-use ccs_constraints::AttributeTable;
+use ccs_constraints::{AttributeTable, ConstraintAnalysis};
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
 
-use crate::engine::Engine;
-use crate::guard::{ResumeInner, ResumeState, RunGuard, TruncationReason};
+use crate::engine::{Engine, Verdict};
+use crate::guard::{ResumeInner, RunGuard};
+use crate::kernel::{
+    admit, prune_am_residual, run_levelwise, staged, AlgorithmPolicy, GuardMode, KernelConfig,
+    LevelMark, LevelSeed, MinerScope,
+};
 use crate::metrics::MiningMetrics;
 use crate::miner::Algorithm;
+use crate::prep::preprocess;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// The §3.1 sweep as a kernel policy: residual anti-monotone constraints
+/// prune in `prefilter` (before any counting); residual monotone
+/// constraints gate SIG entry in `absorb`; `NOTSIG` extension respects
+/// the witness-subset candidate rule (modification II).
+pub(crate) struct PlusPlusPolicy<'a> {
+    pub(crate) analysis: &'a ConstraintAnalysis,
+    pub(crate) attrs: &'a AttributeTable,
+    pub(crate) good1: Vec<Item>,
+    pub(crate) witness_set: HashSet<Item>,
+    pub(crate) sig_candidates: Vec<Itemset>,
+    pub(crate) cands: Vec<Itemset>,
+}
+
+impl AlgorithmPolicy for PlusPlusPolicy<'_> {
+    fn candidates(&mut self, _level: usize) -> LevelSeed {
+        staged(&mut self.cands)
+    }
+
+    fn snapshot(&self, level: usize, cands: &[Itemset]) -> ResumeInner {
+        ResumeInner::PlusPlus {
+            level,
+            cands: cands.to_vec(),
+            sig_candidates: self.sig_candidates.clone(),
+        }
+    }
+
+    fn prefilter(
+        &mut self,
+        _level: usize,
+        cands: Vec<Itemset>,
+        metrics: &mut MiningMetrics,
+    ) -> Vec<Itemset> {
+        prune_am_residual(self.analysis, self.attrs, cands, metrics)
+    }
+
+    fn absorb(&mut self, _level: usize, survivors: Vec<Itemset>, verdicts: Vec<Verdict>) {
+        let mut notsig_level: HashSet<Itemset> = HashSet::new();
+        for (set, v) in survivors.into_iter().zip(verdicts) {
+            if !v.ct_supported {
+                continue;
+            }
+            if v.correlated {
+                if self.analysis.m_residual_satisfied(&set, self.attrs) {
+                    self.sig_candidates.push(set);
+                }
+            } else {
+                notsig_level.insert(set);
+            }
+        }
+        let witness_set = &self.witness_set;
+        self.cands = candidate::extend_gen(&notsig_level, &self.good1, |cand| {
+            cand.subsets_dropping_one()
+                .all(|s| !s.iter().any(|i| witness_set.contains(&i)) || notsig_level.contains(&s))
+        });
+    }
+}
+
+/// The single-witness minimality verification epilogue (shared between
+/// complete and truncated runs; see the module docs).
+pub(crate) fn verify_single_witness(
+    engine: &mut Engine<'_>,
+    analysis: &ConstraintAnalysis,
+    witness_set: &HashSet<Item>,
+    sig_candidates: Vec<Itemset>,
+) -> Vec<Itemset> {
+    if !analysis.has_witness_class() {
+        return sig_candidates;
+    }
+    let mut answers = Vec::with_capacity(sig_candidates.len());
+    for set in sig_candidates {
+        let witnesses: Vec<Item> = set.iter().filter(|i| witness_set.contains(i)).collect();
+        if witnesses.len() == 1 && set.len() >= 3 {
+            let residue = set.without_item(witnesses[0]);
+            let v = engine.evaluate(&residue);
+            if v.correlated && v.ct_supported {
+                continue; // `set` is not a minimal correlated set.
+            }
+        }
+        answers.push(set);
+    }
+    answers
+}
 
 /// Runs Algorithm BMS++ and returns `VALID_MIN(Q)`.
 ///
@@ -61,18 +145,15 @@ pub fn run_bms_plus_plus<C: MintermCounter>(
 /// through the single-witness verification epilogue (a bounded number of
 /// extra tables), so truncated answers get the same minimality guarantee
 /// as complete ones.
-pub(crate) fn run_bms_plus_plus_guarded<C: MintermCounter>(
+pub(crate) fn run_bms_plus_plus_guarded(
     db: &TransactionDb,
     attrs: &AttributeTable,
     query: &CorrelationQuery,
-    counter: &mut C,
+    counter: &mut dyn MintermCounter,
     guard: &RunGuard,
     resume: Option<ResumeInner>,
 ) -> Result<MiningResult, MiningError> {
-    query.validate(attrs)?;
-    if query.constraints.has_neither_monotone() {
-        return Err(MiningError::NonMonotoneConstraint);
-    }
+    admit(query, attrs)?;
     let restart = match resume {
         None => None,
         Some(ResumeInner::PlusPlus {
@@ -80,286 +161,50 @@ pub(crate) fn run_bms_plus_plus_guarded<C: MintermCounter>(
             cands,
             sig_candidates,
         }) => Some((level, cands, sig_candidates)),
-        Some(_) => {
-            return Err(MiningError::ResumeMismatch {
-                expected: "another algorithm",
-                requested: Algorithm::BmsPlusPlus.name(),
-            })
-        }
+        Some(_) => return Err(MiningError::foreign_snapshot(Algorithm::BmsPlusPlus.name())),
     };
-    let start = Instant::now();
+    let scope = MinerScope::begin(counter.stats());
     let mut metrics = MiningMetrics::default();
-    let base_stats = counter.stats();
     let analysis = query.constraints.analyze(attrs);
     let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
 
     // I. Preprocessing: GOOD₁ and the L1⁺ / L1⁻ split.
-    let item_threshold = query.params.item_support_abs(db.len());
-    let supports = db.item_supports();
-    let good1: Vec<Item> = (0..db.n_items())
-        .map(Item::new)
-        .filter(|&i| {
-            supports[i.index()] as u64 >= item_threshold
-                && query
-                    .constraints
-                    .anti_monotone_satisfied(&Itemset::singleton(i), attrs)
-        })
-        .collect();
-    let l1_plus: Vec<Item> = good1
-        .iter()
-        .copied()
-        .filter(|&i| analysis.item_witnesses(i))
-        .collect();
-    let l1_minus: Vec<Item> = good1
-        .iter()
-        .copied()
-        .filter(|&i| !analysis.item_witnesses(i))
-        .collect();
-    let witness_set: HashSet<Item> = l1_plus.iter().copied().collect();
+    let prep = preprocess(db, attrs, query, &analysis);
 
     // II + III. The level-wise sweep — or its resumed frontier.
-    let (mut level, mut cands, mut sig_candidates) = match restart {
+    let (level, cands, sig_candidates) = match restart {
         Some(state) => state,
         None => (
             2usize,
-            candidate::pairs_from(&l1_plus, &l1_minus),
+            candidate::pairs_from(&prep.l1_plus, &prep.l1_minus),
             Vec::new(),
         ),
     };
-    let mut truncation: Option<(TruncationReason, ResumeState)> = None;
-    while !cands.is_empty() && level <= query.params.max_level {
-        let snapshot = engine.guard().is_armed().then(|| ResumeInner::PlusPlus {
-            level,
-            cands: cands.clone(),
-            sig_candidates: sig_candidates.clone(),
-        });
-        metrics.candidates_generated += cands.len() as u64;
-        metrics.max_level_reached = level;
-        let mut notsig_level: HashSet<Itemset> = HashSet::new();
-        // III (first half): residual anti-monotone checks happen before
-        // any counting, so pruned sets never enter the level batch.
-        let mut survivors: Vec<Itemset> = Vec::with_capacity(cands.len());
-        for set in cands {
-            if analysis.am_residual_satisfied(&set, attrs) {
-                survivors.push(set);
-            } else {
-                metrics.pruned_before_count += 1;
-            }
-        }
-        let verdicts = match engine.evaluate_level(&survivors) {
-            Ok(v) => v,
-            Err(reason) => {
-                metrics.max_level_reached = level - 1;
-                #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
-                let snap = snapshot.expect("a trip implies an armed guard");
-                truncation = Some((
-                    reason,
-                    ResumeState {
-                        algorithm: Algorithm::BmsPlusPlus,
-                        inner: snap,
-                    },
-                ));
-                break;
-            }
-        };
-        for (set, v) in survivors.iter().zip(verdicts) {
-            if !v.ct_supported {
-                continue;
-            }
-            if v.correlated {
-                if analysis.m_residual_satisfied(set, attrs) {
-                    sig_candidates.push(set.clone());
-                }
-            } else {
-                notsig_level.insert(set.clone());
-            }
-        }
-        cands = candidate::extend_gen(&notsig_level, &good1, |cand| {
-            cand.subsets_dropping_one()
-                .all(|s| !s.iter().any(|i| witness_set.contains(&i)) || notsig_level.contains(&s))
-        });
-        level += 1;
-    }
+    let mut policy = PlusPlusPolicy {
+        analysis: &analysis,
+        attrs,
+        good1: prep.good1,
+        witness_set: prep.witness_set,
+        sig_candidates,
+        cands,
+    };
+    let trip = run_levelwise(
+        &mut engine,
+        &mut policy,
+        KernelConfig::new(Algorithm::BmsPlusPlus, LevelMark::Eager),
+        GuardMode::Checked,
+        level,
+        query.params.max_level,
+        &mut metrics,
+    );
 
     // Soundness verification: for a SIG candidate with a single witness,
     // check that removing the witness does not leave a correlated set.
-    let mut answers = Vec::with_capacity(sig_candidates.len());
-    if analysis.has_witness_class() {
-        for set in sig_candidates {
-            let witnesses: Vec<Item> = set.iter().filter(|i| witness_set.contains(i)).collect();
-            if witnesses.len() == 1 && set.len() >= 3 {
-                let residue = set.without_item(witnesses[0]);
-                let v = engine.evaluate(&residue);
-                if v.correlated && v.ct_supported {
-                    continue; // `set` is not a minimal correlated set.
-                }
-            }
-            answers.push(set);
-        }
-    } else {
-        answers = sig_candidates;
-    }
-
-    metrics.sig_size = answers.len() as u64;
-    let end = engine.counting_stats();
-    metrics.absorb_counting(end.since(&base_stats));
-    metrics.elapsed = start.elapsed();
-    match truncation {
-        None => Ok(MiningResult::new(answers, Semantics::ValidMin, metrics)),
-        Some((reason, resume)) => {
-            let frontier_level = metrics.max_level_reached;
-            Ok(MiningResult::truncated(
-                answers,
-                Semantics::ValidMin,
-                metrics,
-                reason,
-                frontier_level,
-                resume,
-            ))
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::bms_plus::run_bms_plus;
-    use crate::params::MiningParams;
-    use ccs_constraints::{Constraint, ConstraintSet};
-    use ccs_itemset::HorizontalCounter;
-
-    fn db() -> TransactionDb {
-        let mut txns = Vec::new();
-        for i in 0..60 {
-            let mut t = Vec::new();
-            if i % 2 == 0 {
-                t.extend([0u32, 1]);
-            }
-            if i % 3 == 0 {
-                t.extend([2, 3]);
-            }
-            if i % 5 == 0 {
-                t.push(4);
-            }
-            txns.push(t);
-        }
-        TransactionDb::from_ids(5, txns)
-    }
-
-    fn query(constraints: ConstraintSet) -> CorrelationQuery {
-        CorrelationQuery {
-            params: MiningParams {
-                confidence: 0.9,
-                support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
-                max_level: 5,
-            },
-            constraints,
-        }
-    }
-
-    fn attrs() -> AttributeTable {
-        AttributeTable::with_identity_prices(5)
-    }
-
-    /// BMS++ must agree with BMS+ on every constraint mix (Theorem 2.1).
-    fn assert_agrees_with_bms_plus(cs: ConstraintSet) {
-        let db = db();
-        let attrs = attrs();
-        let q = query(cs);
-        let mut c1 = HorizontalCounter::new(&db);
-        let plus = run_bms_plus(&db, &attrs, &q, &mut c1).unwrap();
-        let mut c2 = HorizontalCounter::new(&db);
-        let pp = run_bms_plus_plus(&db, &attrs, &q, &mut c2).unwrap();
-        assert_eq!(
-            plus.answers, pp.answers,
-            "BMS+ vs BMS++ for {}",
-            q.constraints
-        );
-        // BMS++ never considers more sets, up to the one verification
-        // table a single-witness SIG candidate may cost (see the module
-        // docs) — a bounded overhead of at most one table per answer.
-        assert!(
-            pp.metrics.tables_built <= plus.metrics.tables_built + pp.answers.len() as u64,
-            "|BMS++| = {} > |BMS+| = {} + {} answers",
-            pp.metrics.tables_built,
-            plus.metrics.tables_built,
-            pp.answers.len()
-        );
-    }
-
-    #[test]
-    fn agrees_unconstrained() {
-        assert_agrees_with_bms_plus(ConstraintSet::new());
-    }
-
-    #[test]
-    fn agrees_with_am_succinct_constraint() {
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::max_le("price", 2.0)));
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::max_le("price", 4.0)));
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::min_ge("price", 3.0)));
-    }
-
-    #[test]
-    fn agrees_with_am_nonsuccinct_constraint() {
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::sum_le("price", 3.0)));
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::sum_le("price", 7.0)));
-    }
-
-    #[test]
-    fn agrees_with_monotone_succinct_constraint() {
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::min_le("price", 1.0)));
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::min_le("price", 3.0)));
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::max_ge("price", 4.0)));
-    }
-
-    #[test]
-    fn agrees_with_monotone_nonsuccinct_constraint() {
-        assert_agrees_with_bms_plus(ConstraintSet::new().and(Constraint::sum_ge("price", 5.0)));
-    }
-
-    #[test]
-    fn agrees_with_mixed_constraints() {
-        assert_agrees_with_bms_plus(
-            ConstraintSet::new()
-                .and(Constraint::max_le("price", 4.0))
-                .and(Constraint::sum_ge("price", 3.0)),
-        );
-        assert_agrees_with_bms_plus(
-            ConstraintSet::new()
-                .and(Constraint::sum_le("price", 7.0))
-                .and(Constraint::min_le("price", 2.0)),
-        );
-    }
-
-    #[test]
-    fn succinct_am_constraint_prunes_tables() {
-        let db = db();
-        let attrs = attrs();
-        // Only items 0,1 allowed: BMS++ builds 1 pair table (+ nothing
-        // above), BMS+ builds all 10.
-        let q = query(ConstraintSet::new().and(Constraint::max_le("price", 2.0)));
-        let mut c2 = HorizontalCounter::new(&db);
-        let pp = run_bms_plus_plus(&db, &attrs, &q, &mut c2).unwrap();
-        let mut c1 = HorizontalCounter::new(&db);
-        let plus = run_bms_plus(&db, &attrs, &q, &mut c1).unwrap();
-        assert!(pp.metrics.tables_built < plus.metrics.tables_built / 2);
-    }
-
-    #[test]
-    fn avg_constraint_is_rejected() {
-        let db = db();
-        let attrs = attrs();
-        let q = query(ConstraintSet::new().and(Constraint::Avg {
-            attr: "price".into(),
-            cmp: ccs_constraints::Cmp::Le,
-            value: 2.0,
-        }));
-        let mut c = HorizontalCounter::new(&db);
-        assert_eq!(
-            run_bms_plus_plus(&db, &attrs, &q, &mut c),
-            Err(MiningError::NonMonotoneConstraint)
-        );
-    }
+    let answers = verify_single_witness(
+        &mut engine,
+        &analysis,
+        &policy.witness_set,
+        policy.sig_candidates,
+    );
+    Ok(scope.seal(&engine, metrics, answers, Semantics::ValidMin, trip))
 }

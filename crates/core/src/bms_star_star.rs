@@ -1,14 +1,13 @@
 //! Algorithm BMS** — constraint-pushing miner for `MIN_VALID` answers.
 //!
-//! Per Figure G of the paper, the work splits into two phases:
+//! Per Figure G of the paper, the work splits into two phases (DESIGN.md
+//! §11 maps them onto the kernel's policy hooks):
 //!
 //! 1. **SUPP enumeration.** A level-wise sweep that applies only the
 //!    *anti-monotone* machinery — the `L1⁺`/`L1⁻` preprocessing and
 //!    candidate formation of BMS++, the pre-count residual anti-monotone
-//!    checks, and the CT-support test — but *no* chi-squared test. The
-//!    result is `SUPP_k`: every CT-supported, anti-monotone-valid,
-//!    witness-touching set per level. Each level is counted as one batch
-//!    ([`Engine::evaluate_level`]), and every verdict — including the
+//!    checks, and the CT-support test — but *no* chi-squared test. Each
+//!    level is counted as one batch, and every verdict — including the
 //!    chi-squared outcome — lands in the engine's memo-cache.
 //!
 //! 2. **Upward SIG sweep.** Starting from `SUPP₂`, sets that are
@@ -16,43 +15,136 @@
 //!    (after a minimality check against already-found answers); the rest
 //!    seed single-item extensions *within SUPP* for the next level. No
 //!    contingency table is ever rebuilt — every phase-2 evaluation is a
-//!    memo-cache hit (visible as `cache_hits` in the metrics), which is
-//!    exactly why the §3.3 analysis charges BMS** only `Σᵢ vᵢ` tables.
+//!    memo-cache hit, which is exactly why the §3.3 analysis charges
+//!    BMS** only `Σᵢ vᵢ` tables.
 //!
 //! The candidate-generation and minimality amendments of
-//! [`crate::bms_star`] apply here too (DESIGN.md "Fidelity notes"). Every
-//! set in SUPP touches `L1⁺`, and every valid set must, so unlike BMS++
-//! no extra verification tables are needed: a minimal valid set's
-//! minimality violations always go through witness-touching subsets that
-//! phase 2 has already classified.
+//! [`crate::bms_star`] apply here too (DESIGN.md "Fidelity notes");
+//! unlike BMS++ no extra verification tables are needed, because every
+//! minimality violation goes through witness-touching subsets phase 2
+//! has already classified.
+//!
+//! Both phases are kernel policies over one shared engine; after a
+//! phase-1 trip, phase 2 re-enters in [`GuardMode::Bypass`] so the
+//! cache-only sweep survives the already-tripped guard.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
-use ccs_constraints::AttributeTable;
+use ccs_constraints::{AttributeTable, ConstraintAnalysis};
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
 
-use crate::engine::Engine;
-use crate::guard::{sorted_sets, ResumeInner, ResumeState, RunGuard, TruncationReason};
+use crate::engine::Verdict;
+use crate::guard::{freeze_levels, sorted_sets, thaw_levels, ResumeInner, RunGuard};
+use crate::kernel::{
+    admit, prune_am_residual, prune_non_minimal, run_levelwise, staged, AlgorithmPolicy, GuardMode,
+    KernelConfig, KernelTrip, LevelMark, LevelSeed, MinerScope,
+};
 use crate::metrics::MiningMetrics;
 use crate::miner::Algorithm;
+use crate::prep::preprocess;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
-/// Deterministic snapshot form of the SUPP levels (levels sorted, sets
-/// within a level sorted).
-fn freeze_supp(supp: &HashMap<usize, HashSet<Itemset>>) -> Vec<(usize, Vec<Itemset>)> {
-    let mut out: Vec<(usize, Vec<Itemset>)> = supp
-        .iter()
-        .map(|(&k, sets)| (k, sorted_sets(sets.iter().cloned())))
-        .collect();
-    out.sort_unstable_by_key(|&(k, _)| k);
-    out
+/// Phase 1 (SUPP enumeration) as a kernel policy: BMS++ candidate
+/// formation and pre-count pruning, CT-support-only acceptance.
+struct StarStarPhase1Policy<'a> {
+    analysis: &'a ConstraintAnalysis,
+    attrs: &'a AttributeTable,
+    good1: &'a [Item],
+    witness_set: &'a HashSet<Item>,
+    supp: HashMap<usize, HashSet<Itemset>>,
+    cands: Vec<Itemset>,
 }
 
-fn thaw_supp(supp: Vec<(usize, Vec<Itemset>)>) -> HashMap<usize, HashSet<Itemset>> {
-    supp.into_iter()
-        .map(|(k, sets)| (k, sets.into_iter().collect()))
-        .collect()
+impl AlgorithmPolicy for StarStarPhase1Policy<'_> {
+    fn candidates(&mut self, _level: usize) -> LevelSeed {
+        staged(&mut self.cands)
+    }
+
+    fn snapshot(&self, level: usize, cands: &[Itemset]) -> ResumeInner {
+        ResumeInner::StarStarPhase1 {
+            level,
+            cands: cands.to_vec(),
+            supp: freeze_levels(&self.supp),
+        }
+    }
+
+    fn prefilter(
+        &mut self,
+        _level: usize,
+        cands: Vec<Itemset>,
+        metrics: &mut MiningMetrics,
+    ) -> Vec<Itemset> {
+        prune_am_residual(self.analysis, self.attrs, cands, metrics)
+    }
+
+    fn absorb(&mut self, level: usize, survivors: Vec<Itemset>, verdicts: Vec<Verdict>) {
+        let mut supp_level: HashSet<Itemset> = HashSet::new();
+        for (set, v) in survivors.into_iter().zip(verdicts) {
+            if v.ct_supported {
+                supp_level.insert(set);
+            }
+        }
+        let witness_set = self.witness_set;
+        self.cands = candidate::extend_gen(&supp_level, self.good1, |cand| {
+            cand.subsets_dropping_one()
+                .all(|s| !s.iter().any(|i| witness_set.contains(&i)) || supp_level.contains(&s))
+        });
+        self.supp.insert(level, supp_level);
+    }
+}
+
+/// Phase 2 (upward SIG sweep within SUPP) as a kernel policy: every
+/// evaluation is a memo-cache hit; minimality prefilters against
+/// already-reported answers; residual monotone constraints gate SIG
+/// entry.
+struct StarStarPhase2Policy<'a> {
+    analysis: &'a ConstraintAnalysis,
+    attrs: &'a AttributeTable,
+    good1: &'a [Item],
+    supp: HashMap<usize, HashSet<Itemset>>,
+    sig: Vec<Itemset>,
+    current: Vec<Itemset>,
+}
+
+impl AlgorithmPolicy for StarStarPhase2Policy<'_> {
+    fn candidates(&mut self, _k: usize) -> LevelSeed {
+        staged(&mut self.current)
+    }
+
+    fn snapshot(&self, k: usize, cands: &[Itemset]) -> ResumeInner {
+        ResumeInner::StarStarPhase2 {
+            k,
+            current: sorted_sets(cands.iter().cloned()),
+            sig: self.sig.clone(),
+            supp: freeze_levels(&self.supp),
+        }
+    }
+
+    fn prefilter(
+        &mut self,
+        _k: usize,
+        cands: Vec<Itemset>,
+        _metrics: &mut MiningMetrics,
+    ) -> Vec<Itemset> {
+        prune_non_minimal(&self.sig, cands)
+    }
+
+    fn absorb(&mut self, k: usize, survivors: Vec<Itemset>, verdicts: Vec<Verdict>) {
+        let mut notsig_level: HashSet<Itemset> = HashSet::new();
+        for (set, v) in survivors.into_iter().zip(verdicts) {
+            if v.correlated && self.analysis.m_residual_satisfied(&set, self.attrs) {
+                self.sig.push(set);
+            } else {
+                notsig_level.insert(set);
+            }
+        }
+        self.current = match self.supp.get(&(k + 1)) {
+            None => Vec::new(),
+            Some(next_supp) => {
+                candidate::extend_gen(&notsig_level, self.good1, |cand| next_supp.contains(cand))
+            }
+        };
+    }
 }
 
 /// Runs Algorithm BMS** and returns `MIN_VALID(Q)`.
@@ -74,398 +166,106 @@ pub fn run_bms_star_star<C: MintermCounter>(
 /// truncated run's snapshot (either phase).
 ///
 /// A phase-1 (SUPP enumeration) trip still runs the full phase-2 sweep
-/// over the *completed* SUPP levels — those evaluations are memo-cache
-/// hits, so the epilogue costs no new tables — and the answers it yields
-/// are the complete run's answers up to the truncated level. Phase 2
-/// checkpoints the guard once per level.
-pub(crate) fn run_bms_star_star_guarded<C: MintermCounter>(
+/// over the *completed* SUPP levels (memo-cache hits: no new tables);
+/// it yields the complete run's answers up to the truncated level.
+/// Phase 2 checkpoints the guard once per level.
+pub(crate) fn run_bms_star_star_guarded(
     db: &TransactionDb,
     attrs: &AttributeTable,
     query: &CorrelationQuery,
-    counter: &mut C,
+    counter: &mut dyn MintermCounter,
     guard: &RunGuard,
     resume: Option<ResumeInner>,
 ) -> Result<MiningResult, MiningError> {
-    query.validate(attrs)?;
-    if query.constraints.has_neither_monotone() {
-        return Err(MiningError::NonMonotoneConstraint);
-    }
-    enum StarStarEntry {
-        Fresh,
-        Phase1 {
-            level: usize,
-            cands: Vec<Itemset>,
-            supp: HashMap<usize, HashSet<Itemset>>,
-        },
-        Phase2 {
-            k: usize,
-            current: Vec<Itemset>,
-            sig: Vec<Itemset>,
-            supp: HashMap<usize, HashSet<Itemset>>,
-        },
-    }
-    let entry = match resume {
-        None => StarStarEntry::Fresh,
-        Some(ResumeInner::StarStarPhase1 { level, cands, supp }) => StarStarEntry::Phase1 {
-            level,
-            cands,
-            supp: thaw_supp(supp),
-        },
+    admit(query, attrs)?;
+    // Split the snapshot by the phase it re-enters.
+    let (phase1_resume, phase2_resume) = match resume {
+        None => (None, None),
+        Some(ResumeInner::StarStarPhase1 { level, cands, supp }) => {
+            (Some((level, cands, thaw_levels(supp))), None)
+        }
         Some(ResumeInner::StarStarPhase2 {
             k,
             current,
             sig,
             supp,
-        }) => StarStarEntry::Phase2 {
-            k,
-            current,
-            sig,
-            supp: thaw_supp(supp),
-        },
-        Some(_) => {
-            return Err(MiningError::ResumeMismatch {
-                expected: "another algorithm",
-                requested: Algorithm::BmsStarStar.name(),
-            })
-        }
+        }) => (None, Some((k, current, sig, thaw_levels(supp)))),
+        Some(_) => return Err(MiningError::foreign_snapshot(Algorithm::BmsStarStar.name())),
     };
-    let start = Instant::now();
+    let scope = MinerScope::begin(counter.stats());
     let mut metrics = MiningMetrics::default();
-    let base_stats = counter.stats();
     let analysis = query.constraints.analyze(attrs);
-    let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
+    let mut engine = crate::engine::Engine::with_guard(counter, &query.params, guard.clone());
 
     // Preprocessing, identical to BMS++.
-    let item_threshold = query.params.item_support_abs(db.len());
-    let supports = db.item_supports();
-    let good1: Vec<Item> = (0..db.n_items())
-        .map(Item::new)
-        .filter(|&i| {
-            supports[i.index()] as u64 >= item_threshold
-                && query
-                    .constraints
-                    .anti_monotone_satisfied(&Itemset::singleton(i), attrs)
-        })
-        .collect();
-    let l1_plus: Vec<Item> = good1
-        .iter()
-        .copied()
-        .filter(|&i| analysis.item_witnesses(i))
-        .collect();
-    let l1_minus: Vec<Item> = good1
-        .iter()
-        .copied()
-        .filter(|&i| !analysis.item_witnesses(i))
-        .collect();
-    let witness_set: HashSet<Item> = l1_plus.iter().copied().collect();
+    let prep = preprocess(db, attrs, query, &analysis);
 
-    // Phase 1: SUPP levels, one counting batch per level. Verdicts stay
-    // in the engine's memo-cache for phase 2. Skipped entirely when
-    // resuming into phase 2.
-    let mut truncation: Option<(TruncationReason, ResumeState)> = None;
-    let (supp, phase2_start) = match entry {
-        StarStarEntry::Phase2 {
-            k,
-            current,
-            sig,
-            supp,
-        } => (supp, Some((k, current, sig))),
-        fresh_or_phase1 => {
-            let (mut level, mut cands, mut supp) = match fresh_or_phase1 {
-                StarStarEntry::Phase1 { level, cands, supp } => (level, cands, supp),
-                _ => (
-                    2usize,
-                    candidate::pairs_from(&l1_plus, &l1_minus),
-                    HashMap::new(),
-                ),
-            };
-            while !cands.is_empty() && level <= query.params.max_level {
-                let snapshot = engine
-                    .guard()
-                    .is_armed()
-                    .then(|| ResumeInner::StarStarPhase1 {
-                        level,
-                        cands: cands.clone(),
-                        supp: freeze_supp(&supp),
-                    });
-                metrics.candidates_generated += cands.len() as u64;
-                metrics.max_level_reached = level;
-                let mut survivors: Vec<Itemset> = Vec::with_capacity(cands.len());
-                for set in cands {
-                    if analysis.am_residual_satisfied(&set, attrs) {
-                        survivors.push(set);
-                    } else {
-                        metrics.pruned_before_count += 1;
-                    }
-                }
-                let verdicts = match engine.evaluate_level(&survivors) {
-                    Ok(v) => v,
-                    Err(reason) => {
-                        metrics.max_level_reached = level - 1;
-                        #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
-                        let snap = snapshot.expect("a trip implies an armed guard");
-                        truncation = Some((
-                            reason,
-                            ResumeState {
-                                algorithm: Algorithm::BmsStarStar,
-                                inner: snap,
-                            },
-                        ));
-                        break;
-                    }
-                };
-                let mut supp_level: HashSet<Itemset> = HashSet::new();
-                for (set, v) in survivors.into_iter().zip(verdicts) {
-                    if v.ct_supported {
-                        supp_level.insert(set);
-                    }
-                }
-                cands = candidate::extend_gen(&supp_level, &good1, |cand| {
-                    cand.subsets_dropping_one().all(|s| {
-                        !s.iter().any(|i| witness_set.contains(&i)) || supp_level.contains(&s)
-                    })
-                });
-                supp.insert(level, supp_level);
-                level += 1;
-            }
-            (supp, None)
-        }
-    };
-
-    // Phase 2: upward SIG sweep over SUPP — every set here was judged in
-    // phase 1, so each evaluation is a memo-cache hit: no new tables.
-    // Even when phase 1 was truncated, the sweep runs to completion over
-    // the *completed* SUPP levels (pure cache work, no counting) — the
-    // answers it yields are the complete run's answers up to that level.
-    let (mut k, mut current, mut sig) = match phase2_start {
-        Some((k, current, sig)) => (k, current, sig),
+    // Phase 1: SUPP levels, one counting batch per level; verdicts stay
+    // in the memo-cache for phase 2 (skipped on a phase-2 resume).
+    let mut trip: Option<KernelTrip> = None;
+    let (supp, phase2_start) = match phase2_resume {
+        Some((k, current, sig, supp)) => (supp, Some((k, current, sig))),
         None => {
-            let mut current: Vec<Itemset> = supp
-                .get(&2)
-                .map(|m| m.iter().cloned().collect())
-                .unwrap_or_default();
-            current.sort_unstable();
-            (2usize, current, Vec::new())
+            let (level, cands, supp) = phase1_resume.unwrap_or_else(|| {
+                (
+                    2usize,
+                    candidate::pairs_from(&prep.l1_plus, &prep.l1_minus),
+                    HashMap::new(),
+                )
+            });
+            let mut policy = StarStarPhase1Policy {
+                analysis: &analysis,
+                attrs,
+                good1: &prep.good1,
+                witness_set: &prep.witness_set,
+                supp,
+                cands,
+            };
+            trip = run_levelwise(
+                &mut engine,
+                &mut policy,
+                KernelConfig::new(Algorithm::BmsStarStar, LevelMark::Eager),
+                GuardMode::Checked,
+                level,
+                query.params.max_level,
+                &mut metrics,
+            );
+            (policy.supp, None)
         }
     };
-    while !current.is_empty() {
-        // The between-phase / per-level checkpoint: only consulted while
-        // the run is still live — after a phase-1 trip the sweep over the
-        // sound prefix must not be abandoned.
-        if truncation.is_none() {
-            let snapshot = engine
-                .guard()
-                .is_armed()
-                .then(|| ResumeInner::StarStarPhase2 {
-                    k,
-                    current: sorted_sets(current.iter().cloned()),
-                    sig: sig.clone(),
-                    supp: freeze_supp(&supp),
-                });
-            if let Err(reason) = engine.guard().checkpoint() {
-                #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
-                let snap = snapshot.expect("a trip implies an armed guard");
-                truncation = Some((
-                    reason,
-                    ResumeState {
-                        algorithm: Algorithm::BmsStarStar,
-                        inner: snap,
-                    },
-                ));
-                break;
-            }
-        }
-        let mut notsig_level: HashSet<Itemset> = HashSet::new();
-        for set in &current {
-            if sig.iter().any(|a| a.is_subset_of(set)) {
-                continue; // not minimal, and no superset can be either
-            }
-            let v = engine.evaluate(set);
-            if v.correlated && analysis.m_residual_satisfied(set, attrs) {
-                sig.push(set.clone());
-            } else {
-                notsig_level.insert(set.clone());
-            }
-        }
-        k += 1;
-        let Some(next_supp) = supp.get(&k) else { break };
-        current = candidate::extend_gen(&notsig_level, &good1, |cand| next_supp.contains(cand));
-    }
 
-    metrics.sig_size = sig.len() as u64;
-    let end = engine.counting_stats();
-    metrics.absorb_counting(end.since(&base_stats));
-    metrics.elapsed = start.elapsed();
-    match truncation {
-        None => Ok(MiningResult::new(sig, Semantics::MinValid, metrics)),
-        Some((reason, resume)) => {
-            let frontier_level = match &resume.inner {
-                ResumeInner::StarStarPhase1 { level, .. } => level - 1,
-                ResumeInner::StarStarPhase2 { k, .. } => k - 1,
-                _ => unreachable!("BMS** trips carry BMS** snapshots"),
-            };
-            Ok(MiningResult::truncated(
-                sig,
-                Semantics::MinValid,
-                metrics,
-                reason,
-                frontier_level,
-                resume,
-            ))
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::bms_star::run_bms_star;
-    use crate::naive::run_naive;
-    use crate::params::MiningParams;
-    use ccs_constraints::{Constraint, ConstraintSet};
-    use ccs_itemset::HorizontalCounter;
-
-    fn db() -> TransactionDb {
-        let mut txns = Vec::new();
-        for i in 0..60 {
-            let mut t = Vec::new();
-            if i % 2 == 0 {
-                t.extend([0u32, 1]);
-            }
-            if i % 3 == 0 {
-                t.extend([2, 3]);
-            }
-            if i % 5 == 0 {
-                t.push(4);
-            }
-            txns.push(t);
-        }
-        TransactionDb::from_ids(5, txns)
-    }
-
-    fn query(constraints: ConstraintSet) -> CorrelationQuery {
-        CorrelationQuery {
-            params: MiningParams {
-                confidence: 0.9,
-                support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
-                max_level: 5,
-            },
-            constraints,
-        }
-    }
-
-    fn assert_agrees(cs: ConstraintSet) {
-        let db = db();
-        let attrs = AttributeTable::with_identity_prices(5);
-        let q = query(cs);
-        let mut c1 = HorizontalCounter::new(&db);
-        let ss = run_bms_star_star(&db, &attrs, &q, &mut c1).unwrap();
-        let mut c2 = HorizontalCounter::new(&db);
-        let naive = run_naive(&db, &attrs, &q, Semantics::MinValid, &mut c2).unwrap();
-        assert_eq!(
-            ss.answers, naive.answers,
-            "BMS** vs naive for {}",
-            q.constraints
-        );
-        let mut c3 = HorizontalCounter::new(&db);
-        let star = run_bms_star(&db, &attrs, &q, &mut c3).unwrap();
-        assert_eq!(
-            ss.answers, star.answers,
-            "BMS** vs BMS* for {}",
-            q.constraints
-        );
-    }
-
-    #[test]
-    fn agrees_unconstrained() {
-        assert_agrees(ConstraintSet::new());
-    }
-
-    #[test]
-    fn agrees_with_anti_monotone_constraints() {
-        assert_agrees(ConstraintSet::new().and(Constraint::max_le("price", 4.0)));
-        assert_agrees(ConstraintSet::new().and(Constraint::sum_le("price", 5.0)));
-        assert_agrees(ConstraintSet::new().and(Constraint::min_ge("price", 2.0)));
-    }
-
-    #[test]
-    fn agrees_with_monotone_constraints() {
-        assert_agrees(ConstraintSet::new().and(Constraint::min_le("price", 2.0)));
-        assert_agrees(ConstraintSet::new().and(Constraint::max_ge("price", 4.0)));
-        assert_agrees(ConstraintSet::new().and(Constraint::sum_ge("price", 5.0)));
-        assert_agrees(ConstraintSet::new().and(Constraint::sum_ge("price", 8.0)));
-    }
-
-    #[test]
-    fn agrees_with_mixed_constraints() {
-        assert_agrees(
-            ConstraintSet::new()
-                .and(Constraint::max_le("price", 4.0))
-                .and(Constraint::sum_ge("price", 4.0)),
-        );
-        assert_agrees(
-            ConstraintSet::new()
-                .and(Constraint::sum_le("price", 9.0))
-                .and(Constraint::min_le("price", 3.0)),
-        );
-    }
-
-    #[test]
-    fn high_selectivity_makes_star_star_consider_more_sets() {
-        // With a barely-selective monotone constraint, BMS** enumerates
-        // the whole CT-supported region while BMS* stops at the
-        // correlation border — the §3.3 crossover, seen from the BMS*
-        // side.
-        let db = db();
-        let attrs = AttributeTable::with_identity_prices(5);
-        let q = query(ConstraintSet::new().and(Constraint::min_le("price", 5.0)));
-        let mut c1 = HorizontalCounter::new(&db);
-        let ss = run_bms_star_star(&db, &attrs, &q, &mut c1).unwrap();
-        let mut c2 = HorizontalCounter::new(&db);
-        let star = run_bms_star(&db, &attrs, &q, &mut c2).unwrap();
-        assert_eq!(ss.answers, star.answers);
-        assert!(
-            ss.metrics.tables_built >= star.metrics.tables_built,
-            "expected |BMS**| ≥ |BMS*| at selectivity 1.0: {} vs {}",
-            ss.metrics.tables_built,
-            star.metrics.tables_built
-        );
-    }
-
-    #[test]
-    fn phase_2_answers_from_the_verdict_cache() {
-        let db = db();
-        let attrs = AttributeTable::with_identity_prices(5);
-        let q = query(ConstraintSet::new());
-        let mut c = HorizontalCounter::new(&db);
-        let ss = run_bms_star_star(&db, &attrs, &q, &mut c).unwrap();
-        // Every phase-2 evaluation revisits a set phase 1 judged, so the
-        // sweep must be answered entirely from the verdict memo-cache...
-        assert!(
-            ss.metrics.cache_hits > 0,
-            "phase 2 built tables instead of hitting the cache"
-        );
-        // ...and the counting layer itself never sees those hits: the
-        // counter's raw table count equals the metrics' table count.
-        assert_eq!(ss.metrics.tables_built, c.stats().tables_built);
-        assert_eq!(c.stats().cache_hits, 0);
-    }
-
-    #[test]
-    fn avg_constraint_is_rejected() {
-        let db = db();
-        let attrs = AttributeTable::with_identity_prices(5);
-        let q = query(ConstraintSet::new().and(Constraint::Avg {
-            attr: "price".into(),
-            cmp: ccs_constraints::Cmp::Le,
-            value: 2.0,
-        }));
-        let mut c = HorizontalCounter::new(&db);
-        assert_eq!(
-            run_bms_star_star(&db, &attrs, &q, &mut c),
-            Err(MiningError::NonMonotoneConstraint)
-        );
-    }
+    // Phase 2: upward SIG sweep over SUPP — pure memo-cache work, no new
+    // tables. After a phase-1 trip it still completes over the finished
+    // SUPP levels; bypass mode keeps the tripped guard out of it.
+    let (k, current, sig) = phase2_start.unwrap_or_else(|| {
+        let current = sorted_sets(supp.get(&2).into_iter().flatten().cloned());
+        (2usize, current, Vec::new())
+    });
+    let mut policy = StarStarPhase2Policy {
+        analysis: &analysis,
+        attrs,
+        good1: &prep.good1,
+        supp,
+        sig,
+        current,
+    };
+    let mode = trip
+        .as_ref()
+        .map_or(GuardMode::Checked, |_| GuardMode::Bypass);
+    let phase2_trip = run_levelwise(
+        &mut engine,
+        &mut policy,
+        KernelConfig::new(Algorithm::BmsStarStar, LevelMark::Untouched).uncounted(),
+        mode,
+        k,
+        query.params.max_level,
+        &mut metrics,
+    );
+    Ok(scope.seal(
+        &engine,
+        metrics,
+        policy.sig,
+        Semantics::MinValid,
+        trip.or(phase2_trip),
+    ))
 }

@@ -35,8 +35,12 @@ pub(crate) struct Verdict {
 
 /// Wraps a counting strategy with the query's statistical tests and the
 /// (cached) chi-squared critical value.
-pub(crate) struct Engine<'a, C: MintermCounter> {
-    counter: &'a mut C,
+///
+/// The counter is held as a trait object so one concrete `Engine` type
+/// serves every strategy — which in turn lets the levelwise kernel and
+/// the policy trait stay non-generic.
+pub(crate) struct Engine<'a> {
+    counter: &'a mut dyn MintermCounter,
     /// Absolute cell-support threshold.
     pub s_abs: u64,
     /// CT-support cell fraction.
@@ -52,12 +56,16 @@ pub(crate) struct Engine<'a, C: MintermCounter> {
     guard: RunGuard,
 }
 
-impl<'a, C: MintermCounter> Engine<'a, C> {
-    pub(crate) fn new(counter: &'a mut C, params: &MiningParams) -> Self {
+impl<'a> Engine<'a> {
+    pub(crate) fn new(counter: &'a mut dyn MintermCounter, params: &MiningParams) -> Self {
         Self::with_guard(counter, params, RunGuard::unlimited())
     }
 
-    pub(crate) fn with_guard(counter: &'a mut C, params: &MiningParams, guard: RunGuard) -> Self {
+    pub(crate) fn with_guard(
+        counter: &'a mut dyn MintermCounter,
+        params: &MiningParams,
+        guard: RunGuard,
+    ) -> Self {
         let n = counter.n_transactions();
         Engine {
             counter,
@@ -115,7 +123,7 @@ impl<'a, C: MintermCounter> Engine<'a, C> {
             self.cache_hits += 1;
             return v;
         }
-        let table = ContingencyTable::build(self.counter, set);
+        let table = ContingencyTable::build(&mut *self.counter, set);
         let v = self.judge(&table);
         self.cache.insert(set.clone(), v);
         v

@@ -334,15 +334,41 @@ impl CountProbe for RunGuard {
 /// discard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResumeState {
+    pub(crate) format: u16,
     pub(crate) algorithm: Algorithm,
     pub(crate) inner: ResumeInner,
 }
+
+/// The snapshot format the current build stamps and accepts. Format 1
+/// was the pre-kernel layout (PRs 2–4), whose snapshots carried
+/// per-miner loop state the unified kernel no longer reconstructs the
+/// same way; resuming one would silently re-mine under different
+/// bookkeeping, so format-mismatched snapshots are rejected with
+/// [`crate::MiningError::ResumeFormatMismatch`] instead.
+pub const RESUME_FORMAT: u16 = 2;
 
 impl ResumeState {
     /// The algorithm that produced this snapshot; resuming runs the same
     /// one.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The snapshot format tag; resume rejects anything other than
+    /// [`RESUME_FORMAT`].
+    pub fn format(&self) -> u16 {
+        self.format
+    }
+
+    /// Forges a copy with a different format tag. Exists so the
+    /// fault-injection suite can exercise the rejection path; snapshots
+    /// with a forged tag are rejected by every resume entry point.
+    #[doc(hidden)]
+    pub fn with_format(&self, format: u16) -> Self {
+        Self {
+            format,
+            ..self.clone()
+        }
     }
 }
 
@@ -401,6 +427,30 @@ pub(crate) fn sorted_sets<I: IntoIterator<Item = Itemset>>(sets: I) -> Vec<Items
     let mut v: Vec<Itemset> = sets.into_iter().collect();
     v.sort_unstable();
     v
+}
+
+/// Deterministic snapshot form of a per-level set family (levels sorted,
+/// sets within a level sorted) — the frontier of BMS* phase 2 and the
+/// SUPP levels of BMS**.
+pub(crate) fn freeze_levels(
+    levels: &std::collections::HashMap<usize, std::collections::HashSet<Itemset>>,
+) -> Vec<(usize, Vec<Itemset>)> {
+    let mut out: Vec<(usize, Vec<Itemset>)> = levels
+        .iter()
+        .map(|(&k, sets)| (k, sorted_sets(sets.iter().cloned())))
+        .collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+/// Inverse of [`freeze_levels`].
+pub(crate) fn thaw_levels(
+    levels: Vec<(usize, Vec<Itemset>)>,
+) -> std::collections::HashMap<usize, std::collections::HashSet<Itemset>> {
+    levels
+        .into_iter()
+        .map(|(k, sets)| (k, sets.into_iter().collect()))
+        .collect()
 }
 
 #[cfg(test)]

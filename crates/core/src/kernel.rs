@@ -1,0 +1,323 @@
+//! The shared levelwise kernel every miner runs on.
+//!
+//! The paper's five algorithms — BMS and its four constrained variants —
+//! are all the *same* level-wise sweep of the itemset lattice, differing
+//! only in where constraints apply and which minimality semantics governs
+//! acceptance. This module owns that sweep exactly once:
+//!
+//! * the level loop and its termination/skip protocol ([`LevelSeed`]),
+//! * batch submission to [`Engine::evaluate_level`] (one counting batch
+//!   per level, verdict memo-cache in front),
+//! * guard probing and the trip path: per-level [`ResumeState`] stamping,
+//!   `max_level_reached` bookkeeping ([`LevelMark`]), and the
+//!   `frontier_level = level − 1` contract the fault-injection harness
+//!   checks,
+//! * the guard-bypassing epilogue mode ([`GuardMode::Bypass`]) that lets
+//!   BMS** finish its cache-only phase-2 sweep after a phase-1 trip.
+//!
+//! Each algorithm contributes only an [`AlgorithmPolicy`]: candidate
+//! seeding, the pre-count constraint phase, the post-count acceptance
+//! rule, and the shape of its resume snapshot. This is the seam the
+//! interactive-session work (Goethals & Van den Bussche) and future
+//! condensed-representation policies plug into.
+//!
+//! **Invariant enforced by CI:** no level loop and no [`ResumeState`]
+//! construction exists outside this module.
+
+use std::time::Instant;
+
+use ccs_constraints::{AttributeTable, ConstraintAnalysis};
+use ccs_itemset::{CountingStats, Itemset};
+
+use crate::engine::{Engine, Verdict};
+use crate::guard::{ResumeInner, ResumeState, TruncationReason, RESUME_FORMAT};
+use crate::metrics::MiningMetrics;
+use crate::miner::Algorithm;
+use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// What a policy feeds the kernel at the top of each level.
+pub(crate) enum LevelSeed {
+    /// The sweep is finished; leave the loop.
+    Done,
+    /// Nothing to do at this level, but deeper levels may still have
+    /// work (BMS* phase 2 skips gap levels without a checkpoint).
+    Skip,
+    /// Evaluate these candidates. An empty vector is *processed*, not
+    /// skipped: the level still checkpoints the guard, exactly like the
+    /// hand-rolled loops did.
+    Cands(Vec<Itemset>),
+}
+
+/// How the kernel maintains `metrics.max_level_reached`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LevelMark {
+    /// Mark the level as reached before counting; roll back to
+    /// `level − 1` if the guard trips mid-level (the BMS-family loops).
+    Eager,
+    /// Mark only when the level has post-prefilter survivors, keeping the
+    /// running maximum; never roll back (the BMS* upward sweep).
+    Survivors,
+    /// Leave the field alone; the wrapper sets it in its epilogue
+    /// (naive, BMS** phase 2).
+    Untouched,
+}
+
+/// Whether the kernel consults the guard.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GuardMode {
+    /// Normal operation: snapshot at each level boundary, evaluate the
+    /// level as one guarded batch, trip on guard exhaustion.
+    Checked,
+    /// Post-trip epilogue: no snapshots, no checkpoints, per-set
+    /// evaluation straight from the verdict cache. Used by BMS** phase 2
+    /// after its phase-1 SUPP enumeration was truncated — the sweep over
+    /// the *completed* SUPP levels is pure cache work and must not be
+    /// abandoned by the already-tripped guard.
+    Bypass,
+}
+
+/// Per-policy kernel configuration.
+pub(crate) struct KernelConfig {
+    /// Stamped into every [`ResumeState`] the kernel produces.
+    pub(crate) algorithm: Algorithm,
+    /// Whether candidate counts accrue to `metrics.candidates_generated`
+    /// (BMS** phase 2 revisits phase-1 sets and must not double-count).
+    pub(crate) count_candidates: bool,
+    /// `max_level_reached` bookkeeping mode.
+    pub(crate) mark: LevelMark,
+}
+
+impl KernelConfig {
+    /// Candidate-counting configuration for `algorithm` with the given
+    /// `max_level_reached` bookkeeping mode.
+    pub(crate) fn new(algorithm: Algorithm, mark: LevelMark) -> KernelConfig {
+        KernelConfig {
+            algorithm,
+            count_candidates: true,
+            mark,
+        }
+    }
+
+    /// Stops candidates from accruing to `metrics.candidates_generated`
+    /// (BMS** phase 2 revisits phase-1 sets).
+    pub(crate) fn uncounted(mut self) -> KernelConfig {
+        self.count_candidates = false;
+        self
+    }
+}
+
+/// A guard trip, as the kernel reports it: the reason, the resume
+/// snapshot taken at the interrupted level's boundary, and the deepest
+/// fully-completed level (`trip level − 1`, uniformly across all
+/// algorithms and phases).
+pub(crate) struct KernelTrip {
+    pub(crate) reason: TruncationReason,
+    pub(crate) state: ResumeState,
+    pub(crate) frontier_level: usize,
+}
+
+/// The paper-specific decisions of one algorithm (or one phase of a
+/// two-phase algorithm). The kernel drives the loop; the policy supplies
+/// candidates, constraint phases, and acceptance.
+pub(crate) trait AlgorithmPolicy {
+    /// Candidates for `level`, or [`LevelSeed::Done`]/[`LevelSeed::Skip`].
+    /// Called once per level, in increasing level order.
+    fn candidates(&mut self, level: usize) -> LevelSeed;
+
+    /// The resume snapshot for a trip at this level boundary. Called
+    /// *before* [`AlgorithmPolicy::prefilter`] mutates any policy state,
+    /// so the snapshot re-enters the level from scratch.
+    fn snapshot(&self, level: usize, cands: &[Itemset]) -> ResumeInner;
+
+    /// The pre-count constraint phase: return the candidates that go
+    /// into the counting batch, accounting any pruning in `metrics`
+    /// (BMS++/BMS** residual anti-monotone checks, BMS* minimality
+    /// prefilter). Defaults to pass-through.
+    fn prefilter(
+        &mut self,
+        level: usize,
+        cands: Vec<Itemset>,
+        metrics: &mut MiningMetrics,
+    ) -> Vec<Itemset> {
+        let _ = (level, metrics);
+        cands
+    }
+
+    /// The post-count phase: classify each survivor from its verdict
+    /// (SIG entry, NOTSIG seeding, frontier growth) and stage the next
+    /// level's state.
+    fn absorb(&mut self, level: usize, survivors: Vec<Itemset>, verdicts: Vec<Verdict>);
+}
+
+/// Runs the levelwise sweep from `start_level` through `max_level`
+/// (inclusive). Returns `Some` if the guard tripped; the policy then
+/// holds the sound partial state accumulated through the last completed
+/// level, and the trip carries the snapshot to resume from. In
+/// [`GuardMode::Bypass`] the sweep never trips.
+pub(crate) fn run_levelwise(
+    engine: &mut Engine<'_>,
+    policy: &mut dyn AlgorithmPolicy,
+    config: KernelConfig,
+    mode: GuardMode,
+    start_level: usize,
+    max_level: usize,
+    metrics: &mut MiningMetrics,
+) -> Option<KernelTrip> {
+    let mut level = start_level;
+    while level <= max_level {
+        let cands = match policy.candidates(level) {
+            LevelSeed::Done => break,
+            LevelSeed::Skip => {
+                level += 1;
+                continue;
+            }
+            LevelSeed::Cands(c) => c,
+        };
+        let snapshot = (mode == GuardMode::Checked && engine.guard().is_armed())
+            .then(|| policy.snapshot(level, &cands));
+        if config.count_candidates {
+            metrics.candidates_generated += cands.len() as u64;
+        }
+        if config.mark == LevelMark::Eager {
+            metrics.max_level_reached = level;
+        }
+        let survivors = policy.prefilter(level, cands, metrics);
+        if config.mark == LevelMark::Survivors && !survivors.is_empty() {
+            metrics.max_level_reached = metrics.max_level_reached.max(level);
+        }
+        let verdicts = match mode {
+            GuardMode::Bypass => survivors.iter().map(|s| engine.evaluate(s)).collect(),
+            GuardMode::Checked => match engine.evaluate_level(&survivors) {
+                Ok(v) => v,
+                Err(reason) => {
+                    if config.mark == LevelMark::Eager {
+                        metrics.max_level_reached = level - 1;
+                    }
+                    #[allow(clippy::expect_used)] // invariant: a trip implies an armed guard
+                    let inner = snapshot.expect("a trip implies an armed guard");
+                    return Some(KernelTrip {
+                        reason,
+                        state: ResumeState {
+                            format: RESUME_FORMAT,
+                            algorithm: config.algorithm,
+                            inner,
+                        },
+                        frontier_level: level - 1,
+                    });
+                }
+            },
+        };
+        policy.absorb(level, survivors, verdicts);
+        level += 1;
+    }
+    None
+}
+
+/// The shared admission check of every constrained miner: the query must
+/// validate against the attribute table, and the level-wise sweeps cannot
+/// push a neither-monotone (`avg`) constraint.
+pub(crate) fn admit(query: &CorrelationQuery, attrs: &AttributeTable) -> Result<(), MiningError> {
+    query.validate(attrs)?;
+    if query.constraints.has_neither_monotone() {
+        return Err(MiningError::NonMonotoneConstraint);
+    }
+    Ok(())
+}
+
+/// The staged-candidate protocol most policies use for `candidates()`:
+/// drain the vector `absorb` staged, or finish when it is empty.
+pub(crate) fn staged(cands: &mut Vec<Itemset>) -> LevelSeed {
+    if cands.is_empty() {
+        LevelSeed::Done
+    } else {
+        LevelSeed::Cands(std::mem::take(cands))
+    }
+}
+
+/// The pre-count residual anti-monotone prune of BMS++ / BMS** phase 1
+/// (modification III): failing candidates never reach the counter, and
+/// each is accounted in `metrics.pruned_before_count`.
+pub(crate) fn prune_am_residual(
+    analysis: &ConstraintAnalysis,
+    attrs: &AttributeTable,
+    cands: Vec<Itemset>,
+    metrics: &mut MiningMetrics,
+) -> Vec<Itemset> {
+    let mut survivors = Vec::with_capacity(cands.len());
+    for set in cands {
+        if analysis.am_residual_satisfied(&set, attrs) {
+            survivors.push(set);
+        } else {
+            metrics.pruned_before_count += 1;
+        }
+    }
+    survivors
+}
+
+/// The minimality prefilter of the upward sweeps: a candidate containing
+/// an already-reported answer cannot be minimal. Exact when applied
+/// against the pre-level `sig`: all candidates at a level have the same
+/// size, so a same-level answer is never a proper subset of another
+/// candidate.
+pub(crate) fn prune_non_minimal(sig: &[Itemset], cands: Vec<Itemset>) -> Vec<Itemset> {
+    cands
+        .into_iter()
+        .filter(|set| !sig.iter().any(|a| a.is_subset_of(set)))
+        .collect()
+}
+
+/// The wall-clock / counting-stats bracket around one mining run,
+/// shared by every `run_*_guarded` wrapper: [`MinerScope::begin`] at
+/// entry, [`MinerScope::seal`] at exit. Owning it here keeps the
+/// since-baseline discipline (counters are cumulative across a session)
+/// and the trip-to-result conversion in one place.
+pub(crate) struct MinerScope {
+    start: Instant,
+    base: CountingStats,
+}
+
+impl MinerScope {
+    /// Starts the clock with the counting baseline to subtract at seal
+    /// time (counters accumulate across runs; see `CountingStats::since`).
+    pub(crate) fn begin(base: CountingStats) -> MinerScope {
+        MinerScope {
+            start: Instant::now(),
+            base,
+        }
+    }
+
+    /// Re-bases the counting baseline mid-run. Two-phase miners whose
+    /// phase 1 already absorbed its own counting (BMS* delegating to
+    /// BMS) re-base before phase 2 so seal-time absorption only covers
+    /// the second phase.
+    pub(crate) fn rebase(&mut self, base: CountingStats) {
+        self.base = base;
+    }
+
+    /// Finalizes `metrics` (answer count, counting delta, wall clock) and
+    /// converts the kernel's trip report into a complete or truncated
+    /// [`MiningResult`].
+    pub(crate) fn seal(
+        self,
+        engine: &Engine<'_>,
+        mut metrics: MiningMetrics,
+        answers: Vec<Itemset>,
+        semantics: Semantics,
+        trip: Option<KernelTrip>,
+    ) -> MiningResult {
+        metrics.sig_size = answers.len() as u64;
+        metrics.absorb_counting(engine.counting_stats().since(&self.base));
+        metrics.elapsed = self.start.elapsed();
+        match trip {
+            None => MiningResult::new(answers, semantics, metrics),
+            Some(t) => MiningResult::truncated(
+                answers,
+                semantics,
+                metrics,
+                t.reason,
+                t.frontier_level,
+                t.state,
+            ),
+        }
+    }
+}

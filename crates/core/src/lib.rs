@@ -14,10 +14,12 @@
 //! | [`bms_star_star`] | `MIN_VALID` | full (§3.2) |
 //! | [`naive`] | either | exhaustive ground truth |
 //!
-//! Start from [`mine`] for the one-call API, or the per-algorithm
-//! functions for counter control. [`border`] computes both borders of
-//! the solution space — the complete characterization §5 of the paper
-//! calls for.
+//! Start from [`MiningSession`]: build a [`MineRequest`] naming an
+//! algorithm (plus counting strategy and resource guard, if you need
+//! them) and get a [`MineOutcome`] back. All algorithms run on one
+//! level-wise kernel (`kernel`), differing only in their policy.
+//! [`border`] computes both borders of the solution space — the
+//! complete characterization §5 of the paper calls for.
 
 #![warn(missing_docs)]
 
@@ -30,11 +32,14 @@ pub mod border;
 pub mod causality;
 mod engine;
 pub mod guard;
+mod kernel;
 pub mod metrics;
 pub mod miner;
 pub mod naive;
 pub mod params;
+mod prep;
 pub mod query;
+pub mod session;
 
 pub use bms::{run_bms, BmsOutput};
 pub use bms_plus::run_bms_plus;
@@ -45,11 +50,13 @@ pub use border::{solution_space, SolutionSpace};
 pub use causality::{discover_causality, CausalAnalysis, CausalFinding};
 pub use guard::{Completion, GuardLimits, ResumeState, RunGuard, TruncationReason};
 pub use metrics::MiningMetrics;
+#[allow(deprecated)]
 pub use miner::{
     mine, mine_with_counter, mine_with_counter_guarded, mine_with_guard, mine_with_options,
     mine_with_strategy, resume_with_counter_guarded, resume_with_guard, resume_with_options,
-    Algorithm, CountingStrategy, MiningOptions,
 };
+pub use miner::{Algorithm, CountingStrategy, MiningOptions};
 pub use naive::{run_naive, NAIVE_MAX_ITEMS};
 pub use params::MiningParams;
 pub use query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+pub use session::{mine_on, resume_on, MineOutcome, MineRequest, MiningSession};

@@ -49,14 +49,31 @@ pub struct MiningMetrics {
 }
 
 impl MiningMetrics {
-    /// Folds the counting layer's statistics into the metrics.
+    /// The counting-layer subset of these metrics, viewed as the
+    /// [`CountingStats`] shape it was absorbed from.
+    pub fn counting(&self) -> CountingStats {
+        CountingStats {
+            tables_built: self.tables_built,
+            db_scans: self.db_scans,
+            transactions_visited: self.transactions_visited,
+            cells_counted: self.cells_counted,
+            cache_hits: self.cache_hits,
+            degraded_batches: self.degraded_batches,
+        }
+    }
+
+    /// Folds the counting layer's statistics into the metrics. This is
+    /// the only place a counting delta crosses into mining metrics —
+    /// [`MiningMetrics::merge`] routes through it too.
     pub fn absorb_counting(&mut self, stats: CountingStats) {
-        self.tables_built += stats.tables_built;
-        self.db_scans += stats.db_scans;
-        self.transactions_visited += stats.transactions_visited;
-        self.cells_counted += stats.cells_counted;
-        self.cache_hits += stats.cache_hits;
-        self.degraded_batches += stats.degraded_batches;
+        let mut counting = self.counting();
+        counting += stats;
+        self.tables_built = counting.tables_built;
+        self.db_scans = counting.db_scans;
+        self.transactions_visited = counting.transactions_visited;
+        self.cells_counted = counting.cells_counted;
+        self.cache_hits = counting.cache_hits;
+        self.degraded_batches = counting.degraded_batches;
     }
 
     /// Merges another metrics record into this one (durations add;
@@ -64,13 +81,8 @@ impl MiningMetrics {
     /// pipeline of phases (BMS* = BMS + upward sweep).
     pub fn merge(&mut self, other: &MiningMetrics) {
         self.candidates_generated += other.candidates_generated;
-        self.tables_built += other.tables_built;
         self.pruned_before_count += other.pruned_before_count;
-        self.db_scans += other.db_scans;
-        self.transactions_visited += other.transactions_visited;
-        self.cells_counted += other.cells_counted;
-        self.cache_hits += other.cache_hits;
-        self.degraded_batches += other.degraded_batches;
+        self.absorb_counting(other.counting());
         self.max_level_reached = self.max_level_reached.max(other.max_level_reached);
         self.sig_size += other.sig_size;
         self.notsig_size += other.notsig_size;
@@ -114,6 +126,9 @@ mod tests {
         let a = MiningMetrics {
             candidates_generated: 10,
             tables_built: 8,
+            db_scans: 2,
+            cache_hits: 7,
+            degraded_batches: 1,
             max_level_reached: 3,
             sig_size: 2,
             elapsed: Duration::from_millis(5),
@@ -122,6 +137,7 @@ mod tests {
         let mut b = MiningMetrics {
             candidates_generated: 4,
             tables_built: 4,
+            db_scans: 3,
             max_level_reached: 5,
             elapsed: Duration::from_millis(7),
             ..MiningMetrics::default()
@@ -129,8 +145,26 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.candidates_generated, 14);
         assert_eq!(b.tables_built, 12);
+        assert_eq!(b.db_scans, 5);
+        assert_eq!(b.cache_hits, 7);
+        assert_eq!(b.degraded_batches, 1);
         assert_eq!(b.max_level_reached, 5);
         assert_eq!(b.sig_size, 2);
         assert_eq!(b.elapsed, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn counting_view_round_trips_through_absorb() {
+        let stats = CountingStats {
+            tables_built: 3,
+            db_scans: 1,
+            transactions_visited: 30,
+            cells_counted: 12,
+            cache_hits: 2,
+            degraded_batches: 1,
+        };
+        let mut m = MiningMetrics::default();
+        m.absorb_counting(stats);
+        assert_eq!(m.counting(), stats);
     }
 }

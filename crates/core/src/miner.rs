@@ -1,19 +1,20 @@
-//! The top-level mining API: pick an algorithm, get an answer set.
+//! Algorithm and counting-strategy vocabulary, plus the deprecated
+//! free-function mining API.
+//!
+//! The `mine*` / `resume*` function matrix that used to live here grew a
+//! row per option axis (strategy × guard × counter × resume) and is now
+//! collapsed into the builder-style session API:
+//! [`crate::session::MiningSession`] with a
+//! [`crate::session::MineRequest`]. The old functions remain as
+//! `#[deprecated]` one-line shims so downstream code keeps compiling
+//! (with a warning) for one release.
 
 use ccs_constraints::AttributeTable;
-use ccs_itemset::{
-    HorizontalCounter, MintermCounter, ParallelCounter, ParallelVerticalCounter, TransactionDb,
-    VerticalCounter,
-};
+use ccs_itemset::{MintermCounter, TransactionDb};
 
-use crate::bms_plus::run_bms_plus_guarded;
-use crate::bms_plus_plus::run_bms_plus_plus_guarded;
-use crate::bms_star::run_bms_star_guarded;
-use crate::bms_star_star::run_bms_star_star_guarded;
-use crate::guard::{ResumeInner, ResumeState, RunGuard};
-use crate::metrics::MiningMetrics;
-use crate::naive::run_naive_guarded;
+use crate::guard::{ResumeState, RunGuard};
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+use crate::session::{mine_on, resume_on, MineRequest, MiningSession};
 
 /// The mining algorithms of the paper, plus the exhaustive reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -194,31 +195,16 @@ impl MiningOptions {
     }
 }
 
-/// Builds the counter for a resolved strategy. The single place the
-/// strategy enum turns into a concrete counter — every mine/resume
-/// entry point funnels through here.
-fn make_counter<'a>(db: &'a TransactionDb, options: MiningOptions) -> Box<dyn MintermCounter + 'a> {
-    match options.strategy.resolve(db, options.threads) {
-        CountingStrategy::Horizontal => Box::new(HorizontalCounter::new(db)),
-        CountingStrategy::Vertical => Box::new(VerticalCounter::new(db)),
-        CountingStrategy::Parallel => match options.threads {
-            Some(n) => Box::new(ParallelCounter::new(db, n)),
-            None => Box::new(ParallelCounter::with_available_parallelism(db)),
-        },
-        CountingStrategy::VerticalPar => match options.threads {
-            Some(n) => Box::new(ParallelVerticalCounter::with_workers(db, n)),
-            None => Box::new(ParallelVerticalCounter::new(db)),
-        },
-        CountingStrategy::Auto => unreachable!("resolve() never returns Auto"),
-    }
-}
-
 /// Runs `algorithm` on `db` with a counter chosen by `strategy`.
 ///
 /// # Errors
 ///
 /// Returns [`MiningError`] on invalid constraints, or when a
 /// neither-monotone constraint reaches a level-wise algorithm.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MiningSession::mine` with `MineRequest::new(algorithm).strategy(...)`"
+)]
 pub fn mine_with_strategy(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -226,23 +212,21 @@ pub fn mine_with_strategy(
     algorithm: Algorithm,
     strategy: CountingStrategy,
 ) -> Result<MiningResult, MiningError> {
-    mine_with_options(
-        db,
-        attrs,
-        query,
-        algorithm,
-        MiningOptions::with_strategy(strategy),
-        &RunGuard::unlimited(),
-    )
+    MiningSession::new(db, attrs)
+        .mine(query, &MineRequest::new(algorithm).strategy(strategy))
+        .map(|o| o.result)
 }
 
 /// Runs `algorithm` with full counting options (strategy + thread
-/// override) under `guard`. [`mine_with_strategy`] and
-/// [`mine_with_guard`] are thin wrappers over this.
+/// override) under `guard`.
 ///
 /// # Errors
 ///
 /// As [`mine_with_strategy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MiningSession::mine` with `MineRequest::new(algorithm).options(...).guard(...)`"
+)]
 pub fn mine_with_options(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -251,8 +235,14 @@ pub fn mine_with_options(
     options: MiningOptions,
     guard: &RunGuard,
 ) -> Result<MiningResult, MiningError> {
-    let mut counter = make_counter(db, options);
-    dispatch(db, attrs, query, algorithm, &mut counter, guard, None)
+    MiningSession::new(db, attrs)
+        .mine(
+            query,
+            &MineRequest::new(algorithm)
+                .options(options)
+                .guard(guard.clone()),
+        )
+        .map(|o| o.result)
 }
 
 /// Runs `algorithm` with the default (paper-faithful, horizontal)
@@ -261,13 +251,19 @@ pub fn mine_with_options(
 /// # Errors
 ///
 /// As [`mine_with_strategy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MiningSession::mine` with `MineRequest::new(algorithm)`"
+)]
 pub fn mine(
     db: &TransactionDb,
     attrs: &AttributeTable,
     query: &CorrelationQuery,
     algorithm: Algorithm,
 ) -> Result<MiningResult, MiningError> {
-    mine_with_strategy(db, attrs, query, algorithm, CountingStrategy::Horizontal)
+    MiningSession::new(db, attrs)
+        .mine(query, &MineRequest::new(algorithm))
+        .map(|o| o.result)
 }
 
 /// Runs `algorithm` against a caller-provided counting strategy.
@@ -275,6 +271,7 @@ pub fn mine(
 /// # Errors
 ///
 /// As [`mine_with_strategy`].
+#[deprecated(since = "0.2.0", note = "use `session::mine_on`")]
 pub fn mine_with_counter<C: MintermCounter>(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -282,70 +279,7 @@ pub fn mine_with_counter<C: MintermCounter>(
     algorithm: Algorithm,
     counter: &mut C,
 ) -> Result<MiningResult, MiningError> {
-    mine_with_counter_guarded(db, attrs, query, algorithm, counter, &RunGuard::unlimited())
-}
-
-/// The single dispatch point every public entry funnels into: one
-/// algorithm, one counter, one guard, and (for resumed runs) the
-/// snapshot to re-enter from.
-///
-/// Before any counting, the constraint conjunction goes through the
-/// static analyzer ([`ccs_constraints::analyze`]): a provably
-/// unsatisfiable conjunction short-circuits to an empty complete answer
-/// set with zero cells counted, and a satisfiable one is replaced by its
-/// equivalent normalized form so the miners work from the tightest
-/// non-redundant bounds. Normalization preserves `satisfied()` on every
-/// set of ≥ 2 items, so answer sets are unchanged for all algorithms.
-fn dispatch<C: MintermCounter>(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    algorithm: Algorithm,
-    counter: &mut C,
-    guard: &RunGuard,
-    resume: Option<ResumeInner>,
-) -> Result<MiningResult, MiningError> {
-    let analysis = ccs_constraints::analyze(&query.constraints, attrs)?;
-    if analysis.verdict.is_unsatisfiable() {
-        return Ok(MiningResult::new(
-            Vec::new(),
-            algorithm.semantics(),
-            MiningMetrics::default(),
-        ));
-    }
-    let normalized = CorrelationQuery {
-        params: query.params,
-        constraints: analysis.normalized,
-    };
-    let query = &normalized;
-    match algorithm {
-        Algorithm::BmsPlus => run_bms_plus_guarded(db, attrs, query, counter, guard, resume),
-        Algorithm::BmsPlusPlus => {
-            run_bms_plus_plus_guarded(db, attrs, query, counter, guard, resume)
-        }
-        Algorithm::BmsStar => run_bms_star_guarded(db, attrs, query, counter, guard, resume),
-        Algorithm::BmsStarStar => {
-            run_bms_star_star_guarded(db, attrs, query, counter, guard, resume)
-        }
-        Algorithm::Naive => run_naive_guarded(
-            db,
-            attrs,
-            query,
-            Semantics::ValidMin,
-            counter,
-            guard,
-            resume,
-        ),
-        Algorithm::NaiveMinValid => run_naive_guarded(
-            db,
-            attrs,
-            query,
-            Semantics::MinValid,
-            counter,
-            guard,
-            resume,
-        ),
-    }
+    mine_on(db, attrs, query, &MineRequest::new(algorithm), counter)
 }
 
 /// Runs `algorithm` under a resource guard: the run honours the guard's
@@ -356,6 +290,10 @@ fn dispatch<C: MintermCounter>(
 /// # Errors
 ///
 /// As [`mine_with_strategy`] — resource exhaustion is **not** an error.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MiningSession::mine` with `MineRequest::new(algorithm).strategy(...).guard(...)`"
+)]
 pub fn mine_with_guard(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -364,14 +302,14 @@ pub fn mine_with_guard(
     strategy: CountingStrategy,
     guard: &RunGuard,
 ) -> Result<MiningResult, MiningError> {
-    mine_with_options(
-        db,
-        attrs,
-        query,
-        algorithm,
-        MiningOptions::with_strategy(strategy),
-        guard,
-    )
+    MiningSession::new(db, attrs)
+        .mine(
+            query,
+            &MineRequest::new(algorithm)
+                .strategy(strategy)
+                .guard(guard.clone()),
+        )
+        .map(|o| o.result)
 }
 
 /// [`mine_with_guard`] against a caller-provided counter.
@@ -379,6 +317,10 @@ pub fn mine_with_guard(
 /// # Errors
 ///
 /// As [`mine_with_guard`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::mine_on` with a guarded `MineRequest`"
+)]
 pub fn mine_with_counter_guarded<C: MintermCounter>(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -387,7 +329,13 @@ pub fn mine_with_counter_guarded<C: MintermCounter>(
     counter: &mut C,
     guard: &RunGuard,
 ) -> Result<MiningResult, MiningError> {
-    dispatch(db, attrs, query, algorithm, counter, guard, None)
+    mine_on(
+        db,
+        attrs,
+        query,
+        &MineRequest::new(algorithm).guard(guard.clone()),
+        counter,
+    )
 }
 
 /// Continues a truncated run from its [`ResumeState`] snapshot, under a
@@ -402,7 +350,9 @@ pub fn mine_with_counter_guarded<C: MintermCounter>(
 ///
 /// # Errors
 ///
-/// As [`mine_with_guard`].
+/// As [`mine_with_guard`], plus [`MiningError::ResumeFormatMismatch`]
+/// on a snapshot from an incompatible format generation.
+#[deprecated(since = "0.2.0", note = "use `MiningSession::resume`")]
 pub fn resume_with_guard(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -411,14 +361,15 @@ pub fn resume_with_guard(
     guard: &RunGuard,
     state: ResumeState,
 ) -> Result<MiningResult, MiningError> {
-    resume_with_options(
-        db,
-        attrs,
-        query,
-        MiningOptions::with_strategy(strategy),
-        guard,
-        state,
-    )
+    MiningSession::new(db, attrs)
+        .resume(
+            query,
+            &MineRequest::default()
+                .strategy(strategy)
+                .guard(guard.clone()),
+            state,
+        )
+        .map(|o| o.result)
 }
 
 /// [`resume_with_guard`] with full counting options (strategy + thread
@@ -426,7 +377,8 @@ pub fn resume_with_guard(
 ///
 /// # Errors
 ///
-/// As [`mine_with_guard`].
+/// As [`resume_with_guard`].
+#[deprecated(since = "0.2.0", note = "use `MiningSession::resume`")]
 pub fn resume_with_options(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -435,24 +387,21 @@ pub fn resume_with_options(
     guard: &RunGuard,
     state: ResumeState,
 ) -> Result<MiningResult, MiningError> {
-    let algorithm = state.algorithm();
-    let mut counter = make_counter(db, options);
-    dispatch(
-        db,
-        attrs,
-        query,
-        algorithm,
-        &mut counter,
-        guard,
-        Some(state.inner),
-    )
+    MiningSession::new(db, attrs)
+        .resume(
+            query,
+            &MineRequest::default().options(options).guard(guard.clone()),
+            state,
+        )
+        .map(|o| o.result)
 }
 
 /// [`resume_with_guard`] against a caller-provided counter.
 ///
 /// # Errors
 ///
-/// As [`mine_with_guard`].
+/// As [`resume_with_guard`].
+#[deprecated(since = "0.2.0", note = "use `session::resume_on`")]
 pub fn resume_with_counter_guarded<C: MintermCounter>(
     db: &TransactionDb,
     attrs: &AttributeTable,
@@ -461,15 +410,13 @@ pub fn resume_with_counter_guarded<C: MintermCounter>(
     guard: &RunGuard,
     state: ResumeState,
 ) -> Result<MiningResult, MiningError> {
-    let algorithm = state.algorithm();
-    dispatch(
+    resume_on(
         db,
         attrs,
         query,
-        algorithm,
+        &MineRequest::default().guard(guard.clone()),
         counter,
-        guard,
-        Some(state.inner),
+        state,
     )
 }
 
@@ -522,9 +469,16 @@ mod tests {
         let db = db();
         let attrs = AttributeTable::with_identity_prices(3);
         let q = query();
+        let mut session = MiningSession::new(&db, &attrs);
         let results: Vec<_> = Algorithm::paper_algorithms()
             .iter()
-            .map(|&a| mine(&db, &attrs, &q, a).unwrap().answers)
+            .map(|&a| {
+                session
+                    .mine(&q, &MineRequest::new(a))
+                    .unwrap()
+                    .result
+                    .answers
+            })
             .collect();
         for r in &results[1..] {
             assert_eq!(&results[0], r);
@@ -569,9 +523,12 @@ mod tests {
         let attrs = AttributeTable::with_identity_prices(8);
         let q = query();
         for db in [db(), modular_db()] {
+            let mut session = MiningSession::new(&db, &attrs);
             for &a in &Algorithm::paper_algorithms() {
-                let h = mine_with_strategy(&db, &attrs, &q, a, CountingStrategy::Horizontal)
+                let h = session
+                    .mine(&q, &MineRequest::new(a))
                     .unwrap()
+                    .result
                     .answers;
                 for strategy in [
                     CountingStrategy::Vertical,
@@ -579,8 +536,10 @@ mod tests {
                     CountingStrategy::VerticalPar,
                     CountingStrategy::Auto,
                 ] {
-                    let v = mine_with_strategy(&db, &attrs, &q, a, strategy)
+                    let v = session
+                        .mine(&q, &MineRequest::new(a).strategy(strategy))
                         .unwrap()
+                        .result
                         .answers;
                     assert_eq!(h, v, "{strategy:?} mismatch for {a}");
                 }
@@ -596,18 +555,18 @@ mod tests {
         let attrs = AttributeTable::with_identity_prices(8);
         let q = query();
         let db = modular_db();
+        let mut session = MiningSession::new(&db, &attrs);
         for &a in &Algorithm::paper_algorithms() {
-            let h = mine_with_strategy(&db, &attrs, &q, a, CountingStrategy::Horizontal)
+            let h = session
+                .mine(&q, &MineRequest::new(a))
                 .unwrap()
+                .result
                 .answers;
             for threads in [1, 2, 4] {
-                let options = MiningOptions {
-                    strategy: CountingStrategy::VerticalPar,
-                    threads: Some(threads),
-                };
-                let v = mine_with_options(&db, &attrs, &q, a, options, &RunGuard::unlimited())
-                    .unwrap()
-                    .answers;
+                let request = MineRequest::new(a)
+                    .strategy(CountingStrategy::VerticalPar)
+                    .threads(threads);
+                let v = session.mine(&q, &request).unwrap().result.answers;
                 assert_eq!(h, v, "vertical-par({threads}) mismatch for {a}");
             }
         }
@@ -651,8 +610,9 @@ mod tests {
         q.constraints = ConstraintSet::new()
             .and(Constraint::max_le("price", 1.0))
             .and(Constraint::min_ge("price", 2.0));
+        let mut session = MiningSession::new(&db, &attrs);
         for &a in &Algorithm::paper_algorithms() {
-            let r = mine(&db, &attrs, &q, a).unwrap();
+            let r = session.mine(&q, &MineRequest::new(a)).unwrap().result;
             assert!(r.answers.is_empty(), "{a} returned answers");
             assert_eq!(r.completion, crate::guard::Completion::Complete);
             assert_eq!(r.metrics.cells_counted, 0);
@@ -664,5 +624,25 @@ mod tests {
     fn names_match_paper_notation() {
         assert_eq!(Algorithm::BmsPlus.name(), "BMS+");
         assert_eq!(Algorithm::BmsStarStar.to_string(), "BMS**");
+    }
+
+    #[test]
+    fn deprecated_matrix_agrees_with_session() {
+        // The shims must stay behaviourally identical to the session API
+        // until they are removed.
+        #![allow(deprecated)]
+        let db = db();
+        let attrs = AttributeTable::with_identity_prices(3);
+        let q = query();
+        let via_shim = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
+        let via_session = MiningSession::new(&db, &attrs)
+            .mine(&q, &MineRequest::new(Algorithm::BmsPlusPlus))
+            .unwrap();
+        assert_eq!(via_shim.answers, via_session.result.answers);
+        assert_eq!(
+            via_session.strategy,
+            CountingStrategy::Horizontal,
+            "default request counts horizontally"
+        );
     }
 }

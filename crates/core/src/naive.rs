@@ -10,15 +10,18 @@
 //! holey solution spaces defeat level-wise pruning (§6 of the paper).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{Item, Itemset, MintermCounter, TransactionDb};
 
-use crate::engine::Engine;
-use crate::guard::{ResumeInner, ResumeState, RunGuard, TruncationReason};
+use crate::engine::{Engine, Verdict};
+use crate::guard::{ResumeInner, RunGuard};
+use crate::kernel::{
+    run_levelwise, AlgorithmPolicy, GuardMode, KernelConfig, LevelMark, LevelSeed, MinerScope,
+};
 use crate::metrics::MiningMetrics;
 use crate::miner::Algorithm;
+use crate::prep::frequent_items;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,37 +71,26 @@ pub fn run_naive<C: MintermCounter>(
 /// plain restart marker. Truncated answers are still sound: a set's
 /// minimality is decided by its proper subsets, all of which live at
 /// completed lower levels.
-pub(crate) fn run_naive_guarded<C: MintermCounter>(
+pub(crate) fn run_naive_guarded(
     db: &TransactionDb,
     attrs: &AttributeTable,
     query: &CorrelationQuery,
     semantics: Semantics,
-    counter: &mut C,
+    counter: &mut dyn MintermCounter,
     guard: &RunGuard,
     resume: Option<ResumeInner>,
 ) -> Result<MiningResult, MiningError> {
     query.validate(attrs)?;
     match resume {
         None | Some(ResumeInner::NaiveRestart) => {}
-        Some(_) => {
-            return Err(MiningError::ResumeMismatch {
-                expected: "another algorithm",
-                requested: Algorithm::Naive.name(),
-            })
-        }
+        Some(_) => return Err(MiningError::foreign_snapshot(Algorithm::Naive.name())),
     }
-    let start = Instant::now();
+    let scope = MinerScope::begin(counter.stats());
     let mut metrics = MiningMetrics::default();
-    let base_stats = counter.stats();
     let mut engine = Engine::with_guard(counter, &query.params, guard.clone());
 
     // Same item basis as the level-wise miners.
-    let item_threshold = query.params.item_support_abs(db.len());
-    let supports = db.item_supports();
-    let basis: Vec<Item> = (0..db.n_items())
-        .map(Item::new)
-        .filter(|i| supports[i.index()] as u64 >= item_threshold)
-        .collect();
+    let basis: Vec<Item> = frequent_items(db, &query.params);
     if basis.len() > NAIVE_MAX_ITEMS {
         return Err(MiningError::UniverseTooLarge {
             basis: basis.len(),
@@ -107,30 +99,28 @@ pub(crate) fn run_naive_guarded<C: MintermCounter>(
     }
 
     let top = query.params.max_level.min(basis.len());
-    let mut flags: HashMap<Itemset, Flags> = HashMap::new();
-    let mut truncation: Option<(TruncationReason, usize)> = None;
-    for k in 2..=top {
-        let sets = combinations(&basis, k);
-        metrics.candidates_generated += sets.len() as u64;
-        let verdicts = match engine.evaluate_level(&sets) {
-            Ok(v) => v,
-            Err(reason) => {
-                truncation = Some((reason, k - 1));
-                break;
-            }
-        };
-        for (set, v) in sets.into_iter().zip(verdicts) {
-            let valid = query.constraints.satisfied(&set, attrs);
-            flags.insert(
-                set,
-                Flags {
-                    ct_supported: v.ct_supported,
-                    correlated: v.correlated,
-                    valid,
-                },
-            );
-        }
-    }
+    // The snapshot must pin the semantics too, or resuming a MIN_VALID
+    // run would silently restart under VALID_MIN.
+    let algorithm = match semantics {
+        Semantics::ValidMin => Algorithm::Naive,
+        Semantics::MinValid => Algorithm::NaiveMinValid,
+    };
+    let mut policy = NaivePolicy {
+        basis: &basis,
+        constraints: &query.constraints,
+        attrs,
+        flags: HashMap::new(),
+    };
+    let trip = run_levelwise(
+        &mut engine,
+        &mut policy,
+        KernelConfig::new(algorithm, LevelMark::Untouched),
+        GuardMode::Checked,
+        2,
+        top,
+        &mut metrics,
+    );
+    let flags = policy.flags;
 
     let in_space = |f: &Flags, semantics: Semantics| match semantics {
         // The "space" minimality quantifies over differs per semantics:
@@ -159,34 +149,44 @@ pub(crate) fn run_naive_guarded<C: MintermCounter>(
         }
     }
 
-    metrics.sig_size = answers.len() as u64;
-    let end = engine.counting_stats();
-    metrics.absorb_counting(end.since(&base_stats));
-    metrics.elapsed = start.elapsed();
-    match truncation {
-        None => {
-            metrics.max_level_reached = top;
-            Ok(MiningResult::new(answers, semantics, metrics))
-        }
-        Some((reason, frontier_level)) => {
-            metrics.max_level_reached = frontier_level;
-            // The snapshot must pin the semantics too, or resuming a
-            // MIN_VALID run would silently restart under VALID_MIN.
-            let algorithm = match semantics {
-                Semantics::ValidMin => Algorithm::Naive,
-                Semantics::MinValid => Algorithm::NaiveMinValid,
-            };
-            Ok(MiningResult::truncated(
-                answers,
-                semantics,
-                metrics,
-                reason,
-                frontier_level,
-                ResumeState {
-                    algorithm,
-                    inner: ResumeInner::NaiveRestart,
+    metrics.max_level_reached = match &trip {
+        None => top,
+        Some(t) => t.frontier_level,
+    };
+    Ok(scope.seal(&engine, metrics, answers, semantics, trip))
+}
+
+/// The exhaustive sweep as a kernel policy: every `k`-combination of the
+/// basis is a candidate; verdicts and validity land in a flag table the
+/// epilogue derives both semantics from. The resume snapshot is a plain
+/// restart marker — the full combination space is its own frontier.
+struct NaivePolicy<'a> {
+    basis: &'a [Item],
+    constraints: &'a ccs_constraints::ConstraintSet,
+    attrs: &'a AttributeTable,
+    flags: HashMap<Itemset, Flags>,
+}
+
+impl AlgorithmPolicy for NaivePolicy<'_> {
+    fn candidates(&mut self, k: usize) -> LevelSeed {
+        LevelSeed::Cands(combinations(self.basis, k))
+    }
+
+    fn snapshot(&self, _level: usize, _cands: &[Itemset]) -> ResumeInner {
+        ResumeInner::NaiveRestart
+    }
+
+    fn absorb(&mut self, _level: usize, survivors: Vec<Itemset>, verdicts: Vec<Verdict>) {
+        for (set, v) in survivors.into_iter().zip(verdicts) {
+            let valid = self.constraints.satisfied(&set, self.attrs);
+            self.flags.insert(
+                set,
+                Flags {
+                    ct_supported: v.ct_supported,
+                    correlated: v.correlated,
+                    valid,
                 },
-            ))
+            );
         }
     }
 }

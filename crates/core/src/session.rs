@@ -1,0 +1,397 @@
+//! The session entry point: one builder-style API over every miner.
+//!
+//! [`MiningSession`] replaces the former `mine` / `mine_with_strategy` /
+//! `mine_with_options` / `mine_with_counter*` / `resume_with_*` matrix
+//! with a single surface: build a [`MineRequest`] (algorithm, counting
+//! options, guard), hand it to [`MiningSession::mine`] or
+//! [`MiningSession::resume`], get a [`MineOutcome`] back.
+//!
+//! A session owns the counting substrate and keeps it **warm across
+//! queries**: the vertical index (or worker pool) built for the first
+//! query is reused by every later query with the same resolved strategy,
+//! which is the iterative-session pattern of *Interactive Constrained
+//! Association Rule Mining* (Goethals & Van den Bussche) — in an
+//! exploration loop the analyst re-mines the same database under
+//! shifting constraints, and the index build must not be paid per query.
+//!
+//! For callers that need to own the counter (fault injection, custom
+//! substrates, post-run stats inspection), [`mine_on`] and [`resume_on`]
+//! run one request against a borrowed counter.
+
+use ccs_constraints::AttributeTable;
+use ccs_itemset::{
+    HorizontalCounter, MintermCounter, ParallelCounter, ParallelVerticalCounter, TransactionDb,
+    VerticalCounter,
+};
+
+use crate::bms_plus::run_bms_plus_guarded;
+use crate::bms_plus_plus::run_bms_plus_plus_guarded;
+use crate::bms_star::run_bms_star_guarded;
+use crate::bms_star_star::run_bms_star_star_guarded;
+use crate::guard::{ResumeInner, ResumeState, RunGuard, RESUME_FORMAT};
+use crate::metrics::MiningMetrics;
+use crate::miner::{Algorithm, CountingStrategy, MiningOptions};
+use crate::naive::run_naive_guarded;
+use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
+
+/// One mining request: the algorithm to run, the counting configuration,
+/// and the resource guard. Built fluently:
+///
+/// ```ignore
+/// MineRequest::new(Algorithm::BmsPlusPlus)
+///     .strategy(CountingStrategy::Auto)
+///     .threads(4)
+///     .guard(guard)
+/// ```
+#[derive(Debug, Clone)]
+pub struct MineRequest {
+    /// The algorithm to run. `None` (the [`MineRequest::default`] for
+    /// resume requests, where the snapshot pins the algorithm) makes
+    /// [`MiningSession::mine`] run BMS++, the paper's best `VALID_MIN`
+    /// algorithm.
+    pub algorithm: Option<Algorithm>,
+    /// Counting strategy and thread override.
+    pub options: MiningOptions,
+    /// Resource governor; defaults to the inert unlimited guard.
+    pub guard: RunGuard,
+}
+
+impl Default for MineRequest {
+    fn default() -> Self {
+        MineRequest {
+            algorithm: None,
+            options: MiningOptions::default(),
+            guard: RunGuard::unlimited(),
+        }
+    }
+}
+
+impl MineRequest {
+    /// A request for `algorithm` with default counting (paper-faithful
+    /// horizontal) and no resource limits.
+    pub fn new(algorithm: Algorithm) -> Self {
+        MineRequest {
+            algorithm: Some(algorithm),
+            options: MiningOptions::default(),
+            guard: RunGuard::unlimited(),
+        }
+    }
+
+    /// Sets the counting strategy (`Auto` resolves per database).
+    #[must_use]
+    pub fn strategy(mut self, strategy: CountingStrategy) -> Self {
+        self.options.strategy = strategy;
+        self
+    }
+
+    /// Overrides the worker-thread count for pooled strategies.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = Some(threads);
+        self
+    }
+
+    /// Replaces the full counting options.
+    #[must_use]
+    pub fn options(mut self, options: MiningOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attaches a resource guard (deadline / work / memory budgets,
+    /// cancellation).
+    #[must_use]
+    pub fn guard(mut self, guard: RunGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+}
+
+/// What a session run produced: the mining result plus the request
+/// echo — which algorithm ran and which concrete counting strategy the
+/// request's (possibly `Auto`) strategy resolved to.
+#[derive(Debug, Clone)]
+pub struct MineOutcome {
+    /// Answers, metrics, completion status, resume snapshot.
+    pub result: MiningResult,
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// The concrete strategy the run counted with (never `Auto`).
+    pub strategy: CountingStrategy,
+}
+
+/// A reusable mining session over one database: the single entry point
+/// for every algorithm, counting strategy, guard, and resume path.
+///
+/// The counting substrate is cached between queries (keyed by resolved
+/// strategy + thread override), so an interactive loop that re-mines
+/// under changing constraints pays the vertical index or pool spin-up
+/// once. Statistics are delta-based per run, so reuse never skews
+/// metrics.
+pub struct MiningSession<'a> {
+    db: &'a TransactionDb,
+    attrs: &'a AttributeTable,
+    counter: Option<CachedCounter<'a>>,
+}
+
+struct CachedCounter<'a> {
+    strategy: CountingStrategy,
+    threads: Option<usize>,
+    counter: Box<dyn MintermCounter + 'a>,
+}
+
+impl<'a> MiningSession<'a> {
+    /// Opens a session over `db` with item attributes `attrs`.
+    pub fn new(db: &'a TransactionDb, attrs: &'a AttributeTable) -> Self {
+        MiningSession {
+            db,
+            attrs,
+            counter: None,
+        }
+    }
+
+    /// The session's database.
+    pub fn db(&self) -> &TransactionDb {
+        self.db
+    }
+
+    /// The session's attribute table.
+    pub fn attrs(&self) -> &AttributeTable {
+        self.attrs
+    }
+
+    /// Runs one query.
+    ///
+    /// # Errors
+    ///
+    /// [`MiningError::Constraint`] on invalid constraints,
+    /// [`MiningError::NonMonotoneConstraint`] when an `avg` constraint
+    /// reaches a level-wise algorithm, or the naive miner's
+    /// [`MiningError::UniverseTooLarge`]. Resource exhaustion is **not**
+    /// an error — it yields a truncated [`MineOutcome`].
+    pub fn mine(
+        &mut self,
+        query: &CorrelationQuery,
+        request: &MineRequest,
+    ) -> Result<MineOutcome, MiningError> {
+        let algorithm = request.algorithm.unwrap_or(Algorithm::BmsPlusPlus);
+        self.run(query, request, algorithm, None)
+    }
+
+    /// Continues a truncated run from its [`ResumeState`] snapshot. The
+    /// snapshot pins the algorithm; a request naming a different one is
+    /// rejected, as is a snapshot from a different format generation.
+    /// Database, attributes, and query must be the ones the original run
+    /// used.
+    ///
+    /// # Errors
+    ///
+    /// As [`MiningSession::mine`], plus
+    /// [`MiningError::ResumeFormatMismatch`] and
+    /// [`MiningError::ResumeMismatch`].
+    pub fn resume(
+        &mut self,
+        query: &CorrelationQuery,
+        request: &MineRequest,
+        state: ResumeState,
+    ) -> Result<MineOutcome, MiningError> {
+        let algorithm = check_resume(&state, request.algorithm)?;
+        self.run(query, request, algorithm, Some(state.inner))
+    }
+
+    fn run(
+        &mut self,
+        query: &CorrelationQuery,
+        request: &MineRequest,
+        algorithm: Algorithm,
+        resume: Option<ResumeInner>,
+    ) -> Result<MineOutcome, MiningError> {
+        let strategy = request
+            .options
+            .strategy
+            .resolve(self.db, request.options.threads);
+        let threads = request.options.threads;
+        let reusable = matches!(
+            &self.counter,
+            Some(c) if c.strategy == strategy && c.threads == threads
+        );
+        if !reusable {
+            self.counter = Some(CachedCounter {
+                strategy,
+                threads,
+                counter: make_counter(self.db, strategy, threads),
+            });
+        }
+        #[allow(clippy::expect_used)] // just installed above
+        let cached = self.counter.as_mut().expect("counter installed above");
+        let result = dispatch(
+            self.db,
+            self.attrs,
+            query,
+            algorithm,
+            &mut *cached.counter,
+            &request.guard,
+            resume,
+        )?;
+        Ok(MineOutcome {
+            result,
+            algorithm,
+            strategy,
+        })
+    }
+}
+
+/// Runs one request against a caller-owned counter — the expert path for
+/// custom substrates, fault injection, and post-run counter inspection.
+/// The request's counting options are ignored (the counter *is* the
+/// strategy).
+///
+/// # Errors
+///
+/// As [`MiningSession::mine`].
+pub fn mine_on(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    request: &MineRequest,
+    counter: &mut dyn MintermCounter,
+) -> Result<MiningResult, MiningError> {
+    let algorithm = request.algorithm.unwrap_or(Algorithm::BmsPlusPlus);
+    dispatch(db, attrs, query, algorithm, counter, &request.guard, None)
+}
+
+/// [`mine_on`] for resuming a truncated run from its snapshot.
+///
+/// # Errors
+///
+/// As [`MiningSession::resume`].
+pub fn resume_on(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    request: &MineRequest,
+    counter: &mut dyn MintermCounter,
+    state: ResumeState,
+) -> Result<MiningResult, MiningError> {
+    let algorithm = check_resume(&state, request.algorithm)?;
+    dispatch(
+        db,
+        attrs,
+        query,
+        algorithm,
+        counter,
+        &request.guard,
+        Some(state.inner),
+    )
+}
+
+/// Validates a resume snapshot against the current build's format tag
+/// and the request's algorithm (if it names one), returning the
+/// algorithm to run.
+fn check_resume(
+    state: &ResumeState,
+    requested: Option<Algorithm>,
+) -> Result<Algorithm, MiningError> {
+    if state.format() != RESUME_FORMAT {
+        return Err(MiningError::ResumeFormatMismatch {
+            found: state.format(),
+            expected: RESUME_FORMAT,
+        });
+    }
+    let algorithm = state.algorithm();
+    if let Some(requested) = requested {
+        if requested != algorithm {
+            return Err(MiningError::ResumeMismatch {
+                expected: algorithm.name(),
+                requested: requested.name(),
+            });
+        }
+    }
+    Ok(algorithm)
+}
+
+/// Builds the counter for a resolved strategy. The single place the
+/// strategy enum turns into a concrete counter — every mine/resume
+/// entry point funnels through here.
+fn make_counter<'a>(
+    db: &'a TransactionDb,
+    strategy: CountingStrategy,
+    threads: Option<usize>,
+) -> Box<dyn MintermCounter + 'a> {
+    match strategy {
+        CountingStrategy::Horizontal => Box::new(HorizontalCounter::new(db)),
+        CountingStrategy::Vertical => Box::new(VerticalCounter::new(db)),
+        CountingStrategy::Parallel => match threads {
+            Some(n) => Box::new(ParallelCounter::new(db, n)),
+            None => Box::new(ParallelCounter::with_available_parallelism(db)),
+        },
+        CountingStrategy::VerticalPar => match threads {
+            Some(n) => Box::new(ParallelVerticalCounter::with_workers(db, n)),
+            None => Box::new(ParallelVerticalCounter::new(db)),
+        },
+        CountingStrategy::Auto => unreachable!("resolve() never returns Auto"),
+    }
+}
+
+/// The single dispatch point every entry funnels into: one algorithm,
+/// one counter, one guard, and (for resumed runs) the snapshot to
+/// re-enter from.
+///
+/// Before any counting, the constraint conjunction goes through the
+/// static analyzer ([`ccs_constraints::analyze`]): a provably
+/// unsatisfiable conjunction short-circuits to an empty complete answer
+/// set with zero cells counted, and a satisfiable one is replaced by its
+/// equivalent normalized form so the miners work from the tightest
+/// non-redundant bounds. Normalization preserves `satisfied()` on every
+/// set of ≥ 2 items, so answer sets are unchanged for all algorithms.
+pub(crate) fn dispatch(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    counter: &mut dyn MintermCounter,
+    guard: &RunGuard,
+    resume: Option<ResumeInner>,
+) -> Result<MiningResult, MiningError> {
+    let analysis = ccs_constraints::analyze(&query.constraints, attrs)?;
+    if analysis.verdict.is_unsatisfiable() {
+        return Ok(MiningResult::new(
+            Vec::new(),
+            algorithm.semantics(),
+            MiningMetrics::default(),
+        ));
+    }
+    let normalized = CorrelationQuery {
+        params: query.params,
+        constraints: analysis.normalized,
+    };
+    let query = &normalized;
+    match algorithm {
+        Algorithm::BmsPlus => run_bms_plus_guarded(db, attrs, query, counter, guard, resume),
+        Algorithm::BmsPlusPlus => {
+            run_bms_plus_plus_guarded(db, attrs, query, counter, guard, resume)
+        }
+        Algorithm::BmsStar => run_bms_star_guarded(db, attrs, query, counter, guard, resume),
+        Algorithm::BmsStarStar => {
+            run_bms_star_star_guarded(db, attrs, query, counter, guard, resume)
+        }
+        Algorithm::Naive => run_naive_guarded(
+            db,
+            attrs,
+            query,
+            Semantics::ValidMin,
+            counter,
+            guard,
+            resume,
+        ),
+        Algorithm::NaiveMinValid => run_naive_guarded(
+            db,
+            attrs,
+            query,
+            Semantics::MinValid,
+            counter,
+            guard,
+            resume,
+        ),
+    }
+}

@@ -70,6 +70,35 @@ impl CountingStats {
             degraded_batches: self.degraded_batches - base.degraded_batches,
         }
     }
+
+    /// A record charging `tables` contingency tables totalling `cells`
+    /// cells — the delta every counter reports per answered batch.
+    pub fn tables(tables_built: u64, cells_counted: u64) -> CountingStats {
+        CountingStats {
+            tables_built,
+            cells_counted,
+            ..CountingStats::default()
+        }
+    }
+}
+
+/// Field-wise accumulation — the one merge every counter and metrics
+/// record routes through, and the inverse of [`CountingStats::since`].
+impl std::ops::AddAssign<&CountingStats> for CountingStats {
+    fn add_assign(&mut self, rhs: &CountingStats) {
+        self.tables_built += rhs.tables_built;
+        self.db_scans += rhs.db_scans;
+        self.transactions_visited += rhs.transactions_visited;
+        self.cells_counted += rhs.cells_counted;
+        self.cache_hits += rhs.cache_hits;
+        self.degraded_batches += rhs.degraded_batches;
+    }
+}
+
+impl std::ops::AddAssign for CountingStats {
+    fn add_assign(&mut self, rhs: CountingStats) {
+        *self += &rhs;
+    }
 }
 
 /// A cooperative-interruption hook consulted inside batch counting loops.
@@ -252,10 +281,8 @@ pub(crate) fn horizontal_batch_guarded(
             table[cell_index(t, set)] += 1;
         }
     }
-    let tables_built = sets.len() as u64;
     let cells: u64 = tables.iter().map(|t| t.len() as u64).sum();
-    stats.tables_built += tables_built;
-    stats.cells_counted += cells;
+    *stats += CountingStats::tables(sets.len() as u64, cells);
     // The scan completed: the tables are sound and the caller keeps them
     // even if this charge exhausts the budget — the *next* checkpoint
     // observes the exhaustion.
@@ -287,9 +314,10 @@ impl MintermCounter for HorizontalCounter<'_> {
             counts[cell_index(t, set)] += 1;
             self.stats.transactions_visited += 1;
         }
-        self.stats.db_scans += 1;
-        self.stats.tables_built += 1;
-        self.stats.cells_counted += counts.len() as u64;
+        self.stats += CountingStats {
+            db_scans: 1,
+            ..CountingStats::tables(1, counts.len() as u64)
+        };
         counts
     }
 
@@ -371,8 +399,7 @@ impl<'a> VerticalCounter<'a> {
 
 impl MintermCounter for VerticalCounter<'_> {
     fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
-        self.stats.tables_built += 1;
-        self.stats.cells_counted += 1u64 << set.len();
+        self.stats += CountingStats::tables(1, 1u64 << set.len());
         self.index.minterm_counts(set)
     }
 
@@ -416,13 +443,15 @@ impl MintermCounter for VerticalCounter<'_> {
         }
         match self.index.minterm_counts_batch_guarded(sets, probe) {
             Ok(tables) => {
-                self.stats.tables_built += sets.len() as u64;
-                self.stats.cells_counted += sets.iter().map(|s| 1u64 << s.len()).sum::<u64>();
+                self.stats += CountingStats::tables(
+                    sets.len() as u64,
+                    sets.iter().map(|s| 1u64 << s.len()).sum::<u64>(),
+                );
                 Ok(tables)
             }
             Err(partial) => {
-                self.stats.tables_built += partial.tables_completed;
-                self.stats.cells_counted += partial.cells_completed;
+                self.stats +=
+                    CountingStats::tables(partial.tables_completed, partial.cells_completed);
                 Err(partial)
             }
         }
@@ -460,6 +489,53 @@ mod tests {
     use super::*;
     use crate::item::Item;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn stats_add_assign_sums_every_field() {
+        let a = CountingStats {
+            tables_built: 1,
+            db_scans: 2,
+            transactions_visited: 3,
+            cells_counted: 4,
+            cache_hits: 5,
+            degraded_batches: 6,
+        };
+        let b = CountingStats {
+            tables_built: 10,
+            db_scans: 20,
+            transactions_visited: 30,
+            cells_counted: 40,
+            cache_hits: 50,
+            degraded_batches: 60,
+        };
+        let mut sum = a;
+        sum += b;
+        assert_eq!(sum.tables_built, 11);
+        assert_eq!(sum.db_scans, 22);
+        assert_eq!(sum.transactions_visited, 33);
+        assert_eq!(sum.cells_counted, 44);
+        assert_eq!(sum.cache_hits, 55);
+        assert_eq!(sum.degraded_batches, 66);
+        // `since` is the merge's inverse, field for field.
+        assert_eq!(sum.since(&a), b);
+        assert_eq!(sum.since(&b), a);
+        // The by-ref form agrees with the by-value form.
+        let mut by_ref = a;
+        by_ref += &b;
+        assert_eq!(by_ref, sum);
+    }
+
+    #[test]
+    fn stats_tables_charges_only_tables_and_cells() {
+        assert_eq!(
+            CountingStats::tables(3, 24),
+            CountingStats {
+                tables_built: 3,
+                cells_counted: 24,
+                ..CountingStats::default()
+            }
+        );
+    }
 
     fn db() -> TransactionDb {
         TransactionDb::from_ids(

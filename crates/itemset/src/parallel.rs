@@ -234,10 +234,11 @@ impl MintermCounter for ParallelCounter<'_> {
             for t in self.db.transactions() {
                 counts[cell_index(t, set)] += 1;
             }
-            self.stats.db_scans += 1;
-            self.stats.transactions_visited += n;
-            self.stats.tables_built += 1;
-            self.stats.cells_counted += counts.len() as u64;
+            self.stats += CountingStats {
+                db_scans: 1,
+                transactions_visited: n,
+                ..CountingStats::tables(1, counts.len() as u64)
+            };
             return counts;
         }
         match self.minterm_counts_batch_guarded(std::slice::from_ref(set), &NoProbe) {
@@ -278,8 +279,7 @@ impl MintermCounter for ParallelCounter<'_> {
             self.scan_pooled(sets, probe, &mut tables)?;
         }
         let cells = tables.iter().map(|t| t.len() as u64).sum::<u64>();
-        self.stats.tables_built += sets.len() as u64;
-        self.stats.cells_counted += cells;
+        self.stats += CountingStats::tables(sets.len() as u64, cells);
         // The scan completed: the tables are sound and the caller keeps
         // them even if this charge exhausts the budget — the *next*
         // checkpoint observes the exhaustion.

@@ -401,8 +401,7 @@ fn index_core(index: &ParallelVerticalIndex) -> &Arc<VerticalCore> {
 
 impl MintermCounter for ParallelVerticalCounter<'_> {
     fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
-        self.stats.tables_built += 1;
-        self.stats.cells_counted += 1u64 << set.len();
+        self.stats += CountingStats::tables(1, 1u64 << set.len());
         self.seq.minterm_counts(set)
     }
 
@@ -440,13 +439,15 @@ impl MintermCounter for ParallelVerticalCounter<'_> {
         };
         match outcome {
             Ok(tables) => {
-                self.stats.tables_built += sets.len() as u64;
-                self.stats.cells_counted += sets.iter().map(|s| 1u64 << s.len()).sum::<u64>();
+                self.stats += CountingStats::tables(
+                    sets.len() as u64,
+                    sets.iter().map(|s| 1u64 << s.len()).sum::<u64>(),
+                );
                 Ok(tables)
             }
             Err(partial) => {
-                self.stats.tables_built += partial.tables_completed;
-                self.stats.cells_counted += partial.cells_completed;
+                self.stats +=
+                    CountingStats::tables(partial.tables_completed, partial.cells_completed);
                 Err(partial)
             }
         }

@@ -32,7 +32,10 @@ fn main() {
                     },
                     constraints: ConstraintSet::new().and(Constraint::sum_ge("price", sum_lo)),
                 };
-                let r = mine(&db, &attrs, &q, Algorithm::NaiveMinValid).unwrap();
+                let r = MiningSession::new(&db, &attrs)
+                    .mine(&q, &MineRequest::new(Algorithm::NaiveMinValid))
+                    .unwrap()
+                    .result;
                 total += 1;
                 if !r.answers.is_empty() {
                     nonempty += 1;

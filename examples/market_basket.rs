@@ -44,9 +44,13 @@ fn main() {
     );
 
     // Compare the naive and constraint-pushing miners: same answers,
-    // very different work.
+    // very different work. One session serves every request.
+    let mut session = MiningSession::new(&db, &attrs);
     for algo in [Algorithm::BmsPlus, Algorithm::BmsPlusPlus] {
-        let result = mine(&db, &attrs, &query, algo).expect("valid query");
+        let result = session
+            .mine(&query, &MineRequest::new(algo))
+            .expect("valid query")
+            .result;
         println!(
             "{:<6} {:>6} tables, {:>8.3}s, {} answers",
             algo.name(),
@@ -56,7 +60,10 @@ fn main() {
         );
     }
 
-    let result = mine(&db, &attrs, &query, Algorithm::BmsPlusPlus).expect("valid query");
+    let result = session
+        .mine(&query, &MineRequest::new(Algorithm::BmsPlusPlus))
+        .expect("valid query")
+        .result;
     println!("\ncheap correlated bundles:");
     for set in result.answers.iter().take(15) {
         let total: f64 = set.iter().map(|i| attrs.numeric_value("price", i)).sum();

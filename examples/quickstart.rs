@@ -43,7 +43,10 @@ fn main() {
     };
 
     // 4. Mine VALID_MIN(Q) with the constraint-pushing algorithm.
-    let result = mine(&data.db, &attrs, &query, Algorithm::BmsPlusPlus).expect("valid query");
+    let result = MiningSession::new(&data.db, &attrs)
+        .mine(&query, &MineRequest::new(Algorithm::BmsPlusPlus))
+        .expect("valid query")
+        .result;
     println!(
         "\nBMS++ found {} valid minimal correlated sets \
          ({} contingency tables, {:?}):",

@@ -41,7 +41,11 @@ fn main() {
         constraints,
     };
 
-    let result = mine(db, &attrs, &query, Algorithm::BmsPlusPlus).expect("valid query");
+    let mut session = MiningSession::new(db, &attrs);
+    let result = session
+        .mine(&query, &MineRequest::new(Algorithm::BmsPlusPlus))
+        .expect("valid query")
+        .result;
 
     println!(
         "single-department correlated sets ({} found):",
@@ -56,7 +60,10 @@ fn main() {
     // Contrast: without the constraint, cross-department correlations
     // drown the planner in noise.
     let unconstrained = CorrelationQuery::unconstrained(MiningParams::paper());
-    let all = mine(db, &attrs, &unconstrained, Algorithm::BmsPlus).expect("valid query");
+    let all = session
+        .mine(&unconstrained, &MineRequest::new(Algorithm::BmsPlus))
+        .expect("valid query")
+        .result;
     println!(
         "\nwithout the focus constraint the miner reports {} sets ({}x as many)",
         all.answers.len(),

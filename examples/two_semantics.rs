@@ -70,8 +70,15 @@ fn main() {
             .join(", ")
     };
 
-    let valid_min = mine(&db, &attrs, &query, Algorithm::BmsPlusPlus).unwrap();
-    let min_valid = mine(&db, &attrs, &query, Algorithm::BmsStarStar).unwrap();
+    let mut session = MiningSession::new(&db, &attrs);
+    let valid_min = session
+        .mine(&query, &MineRequest::new(Algorithm::BmsPlusPlus))
+        .unwrap()
+        .result;
+    let min_valid = session
+        .mine(&query, &MineRequest::new(Algorithm::BmsStarStar))
+        .unwrap()
+        .result;
 
     println!("constraint: {}", query.constraints);
     println!("VALID_MIN(Q) = {}", pretty(&valid_min.answers));

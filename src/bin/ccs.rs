@@ -13,6 +13,10 @@
 // The binary carries exactly one `unsafe` block — the raw `signal(2)`
 // binding in `sigint` — and that module opts back in explicitly.
 #![deny(unsafe_code)]
+// The CLI must stay on the current library surface: the deprecated
+// `mine*`/`resume*` shims are compile errors here (CI runs a dedicated
+// `-D deprecated` job over the binary and the bench crate too).
+#![deny(deprecated)]
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -461,8 +465,11 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     let guard = RunGuard::with_cancel_flag(limits, cancel);
 
     let options = MiningOptions { strategy, threads };
-    let result = mine_with_options(&db, &attrs, &query, algorithm, options, &guard)
-        .map_err(|e| e.to_string())?;
+    let request = MineRequest::new(algorithm).options(options).guard(guard);
+    let result = MiningSession::new(&db, &attrs)
+        .mine(&query, &request)
+        .map_err(|e| e.to_string())?
+        .result;
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
     for set in &result.answers {

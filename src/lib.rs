@@ -39,8 +39,9 @@
 //!     params: MiningParams { support_fraction: 0.1, ..MiningParams::paper() },
 //!     constraints: ConstraintSet::new().and(Constraint::max_le("price", 3.0)),
 //! };
-//! let result = mine(&db, &attrs, &query, Algorithm::BmsPlusPlus).unwrap();
-//! assert!(result.contains(&Itemset::from_ids([0, 1])));
+//! let mut session = MiningSession::new(&db, &attrs);
+//! let outcome = session.mine(&query, &MineRequest::new(Algorithm::BmsPlusPlus)).unwrap();
+//! assert!(outcome.result.contains(&Itemset::from_ids([0, 1])));
 //! ```
 
 pub mod dataset;
@@ -59,11 +60,15 @@ pub mod prelude {
         Monotonicity, QueryAnalysis, QueryVerdict, Span,
     };
     pub use ccs_core::{
-        discover_causality, mine, mine_with_guard, mine_with_options, mine_with_strategy,
-        resume_with_guard, resume_with_options, solution_space, Algorithm, CausalAnalysis,
-        CausalFinding, Completion, CorrelationQuery, CountingStrategy, GuardLimits, MiningError,
-        MiningMetrics, MiningOptions, MiningParams, MiningResult, ResumeState, RunGuard, Semantics,
-        SolutionSpace, TruncationReason,
+        discover_causality, mine_on, resume_on, solution_space, Algorithm, CausalAnalysis,
+        CausalFinding, Completion, CorrelationQuery, CountingStrategy, GuardLimits, MineOutcome,
+        MineRequest, MiningError, MiningMetrics, MiningOptions, MiningParams, MiningResult,
+        MiningSession, ResumeState, RunGuard, Semantics, SolutionSpace, TruncationReason,
+    };
+    #[allow(deprecated)]
+    pub use ccs_core::{
+        mine, mine_with_guard, mine_with_options, mine_with_strategy, resume_with_guard,
+        resume_with_options,
     };
     pub use ccs_datagen::{generate_quest, generate_rules, QuestParams, RuleParams};
     pub use ccs_itemset::{Item, Itemset, TransactionDb};

@@ -6,6 +6,19 @@
 
 use ccs::prelude::*;
 
+/// Session-API stand-in for the deprecated free `mine` — same shape, so
+/// the assertions below stay byte-identical to the original API's.
+fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(q, &MineRequest::new(algorithm))
+        .map(|o| o.result)
+}
+
 /// avg(price) over identity prices exhibits a hole along a chain:
 /// {1} → avg 2 ✓, {1,4} → avg 3.5 ✗, {0,1,4} → avg 3 ✓ for the bound
 /// avg ≤ 3.

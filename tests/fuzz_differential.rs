@@ -3,6 +3,19 @@
 use proptest::prelude::*;
 
 use ccs::prelude::*;
+
+/// Session-API stand-in for the deprecated free `mine` — same shape, so
+/// the assertions below stay byte-identical to the original API's.
+fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(q, &MineRequest::new(algorithm))
+        .map(|o| o.result)
+}
 use std::collections::BTreeSet;
 
 const N_ITEMS: u32 = 7;

@@ -29,12 +29,77 @@
 
 use std::time::Duration;
 
-use ccs::core::{mine_with_counter_guarded, resume_with_counter_guarded};
 use ccs::itemset::{
     BatchInterrupted, CountProbe, CountingStats, HorizontalCounter, MintermCounter,
     ParallelVerticalCounter,
 };
 use ccs::prelude::*;
+
+/// Session-API stand-ins with the shapes of the retired free-function
+/// matrix, so the sweeps below keep their original call sites.
+fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(q, &MineRequest::new(algorithm))
+        .map(|o| o.result)
+}
+
+fn mine_with_guard(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+    strategy: CountingStrategy,
+    guard: &RunGuard,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(
+            q,
+            &MineRequest::new(algorithm)
+                .strategy(strategy)
+                .guard(guard.clone()),
+        )
+        .map(|o| o.result)
+}
+
+fn mine_with_counter_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+    counter: &mut C,
+    guard: &RunGuard,
+) -> Result<MiningResult, MiningError> {
+    mine_on(
+        db,
+        attrs,
+        q,
+        &MineRequest::new(algorithm).guard(guard.clone()),
+        counter,
+    )
+}
+
+fn resume_with_counter_guarded<C: MintermCounter>(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    counter: &mut C,
+    guard: &RunGuard,
+    state: ResumeState,
+) -> Result<MiningResult, MiningError> {
+    resume_on(
+        db,
+        attrs,
+        q,
+        &MineRequest::default().guard(guard.clone()),
+        counter,
+        state,
+    )
+}
 
 /// Builds the real counter a fault sweep decorates; boxed so one sweep
 /// harness can run the horizontal reference and the pooled
@@ -646,4 +711,65 @@ fn real_work_budget_truncates_and_resumes_exactly() {
             "{algorithm}"
         );
     }
+}
+
+#[test]
+fn resume_rejects_foreign_snapshot_shapes() {
+    // A snapshot stamped with the retired pre-kernel format tag must be
+    // refused outright — its frontier encoding predates the unified
+    // kernel and cannot be reinterpreted — and a resume request naming a
+    // different algorithm than the snapshot pins must be refused too.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    let guard = RunGuard::new(GuardLimits {
+        work_budget_cells: Some(0),
+        ..GuardLimits::default()
+    });
+    let result = mine_with_guard(
+        &db,
+        &attrs,
+        &q,
+        Algorithm::BmsPlusPlus,
+        CountingStrategy::Horizontal,
+        &guard,
+    )
+    .unwrap();
+    let state = result.resume.expect("zero budget must truncate");
+    assert_eq!(state.format(), 2, "current snapshots carry format 2");
+
+    let stale = state.with_format(1);
+    let err = MiningSession::new(&db, &attrs)
+        .resume(&q, &MineRequest::default(), stale)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MiningError::ResumeFormatMismatch {
+                found: 1,
+                expected: 2
+            }
+        ),
+        "wrong rejection: {err}"
+    );
+    assert!(
+        err.to_string().contains("format 1"),
+        "the error must name the stale format: {err}"
+    );
+
+    let err = MiningSession::new(&db, &attrs)
+        .resume(&q, &MineRequest::new(Algorithm::BmsStar), state.clone())
+        .unwrap_err();
+    assert!(
+        matches!(err, MiningError::ResumeMismatch { .. }),
+        "wrong rejection: {err}"
+    );
+
+    // The untampered snapshot still resumes to the complete answer set.
+    let complete = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
+    let resumed = MiningSession::new(&db, &attrs)
+        .resume(&q, &MineRequest::default(), state)
+        .unwrap()
+        .result;
+    assert_eq!(sorted(&resumed.answers), sorted(&complete.answers));
 }

@@ -5,6 +5,19 @@
 
 use ccs::prelude::*;
 
+/// Session-API stand-in for the deprecated free `mine` — same shape, so
+/// the assertions below stay byte-identical to the original API's.
+fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(q, &MineRequest::new(algorithm))
+        .map(|o| o.result)
+}
+
 fn setup(seed: u64) -> (ccs::datagen::RulePlantedData, AttributeTable) {
     let params = RuleParams {
         n_transactions: 4_000,

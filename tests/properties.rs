@@ -7,6 +7,19 @@ use proptest::prelude::*;
 
 use ccs::prelude::*;
 
+/// Session-API stand-in for the deprecated free `mine` — same shape, so
+/// the assertions below stay byte-identical to the original API's.
+fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(q, &MineRequest::new(algorithm))
+        .map(|o| o.result)
+}
+
 const N_ITEMS: u32 = 6;
 
 /// A random database over 6 items: up to 60 baskets of random subsets,
@@ -170,10 +183,13 @@ proptest! {
         let attrs = AttributeTable::with_identity_prices(N_ITEMS);
         let q = query(ConstraintSet::new().and(c));
         for algo in Algorithm::paper_algorithms() {
-            let h = mine_with_strategy(&db, &attrs, &q, algo, CountingStrategy::Horizontal)
-                .unwrap().answers;
-            let v = mine_with_strategy(&db, &attrs, &q, algo, CountingStrategy::Vertical)
-                .unwrap().answers;
+            let mut session = MiningSession::new(&db, &attrs);
+            let h = session
+                .mine(&q, &MineRequest::new(algo).strategy(CountingStrategy::Horizontal))
+                .unwrap().result.answers;
+            let v = session
+                .mine(&q, &MineRequest::new(algo).strategy(CountingStrategy::Vertical))
+                .unwrap().result.answers;
             prop_assert_eq!(h, v, "strategy mismatch for {}", algo);
         }
     }

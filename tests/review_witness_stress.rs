@@ -1,6 +1,19 @@
 //! Review harness: stress the witness-class shortcut paths.
 
 use ccs::prelude::*;
+
+/// Session-API stand-in for the deprecated free `mine` — same shape, so
+/// the assertions below stay byte-identical to the original API's.
+fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(q, &MineRequest::new(algorithm))
+        .map(|o| o.result)
+}
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -4,6 +4,19 @@
 
 use ccs::prelude::*;
 
+/// Session-API stand-in for the deprecated free `mine` — same shape, so
+/// the assertions below stay byte-identical to the original API's.
+fn mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    q: &CorrelationQuery,
+    algorithm: Algorithm,
+) -> Result<MiningResult, MiningError> {
+    MiningSession::new(db, attrs)
+        .mine(q, &MineRequest::new(algorithm))
+        .map(|o| o.result)
+}
+
 /// Milk(“$1”)–bread(“$2”) always co-occur; cheese(“$5”) is independent
 /// of both, so pair correlations stop at {milk, bread}. The monotone
 /// constraint max(price) ≥ 5 invalidates that pair, and only the triple
