@@ -19,7 +19,7 @@ use std::time::Instant;
 use ccs_bench::DataMethod;
 use ccs_itemset::{
     HorizontalCounter, Itemset, MintermCounter, ParallelCounter, ParallelVerticalCounter,
-    ParallelVerticalIndex, VerticalCounter,
+    ParallelVerticalIndex, ShardedVerticalCounter, ShardedVerticalIndex, VerticalCounter,
 };
 
 const N_ITEMS: u32 = 60;
@@ -30,6 +30,12 @@ const CANDIDATE_SIZE: usize = 4;
 /// one full module plus the start of a second.
 const POOL: u32 = 12;
 const REPS: usize = 7;
+
+/// The sparse companion shape: the same transaction count spread over
+/// 4× the items, so each item's tid-set is ~4× emptier and whole
+/// superblocks go dark — the regime the population-hint skip targets.
+const SPARSE_ITEMS: u32 = 240;
+const SPARSE_CANDIDATES: usize = 200;
 
 /// One dense miner level: all `k`-subsets of consecutive `pool`-item
 /// windows until `n` candidates exist. This is the shape `apriori_gen`
@@ -85,11 +91,12 @@ struct Row {
     name: &'static str,
     seconds: f64,
     tables_per_pass: u64,
+    candidates: usize,
 }
 
 impl Row {
     fn candidates_per_sec(&self) -> f64 {
-        N_CANDIDATES as f64 / self.seconds
+        self.candidates as f64 / self.seconds
     }
 
     fn tables_per_sec(&self) -> f64 {
@@ -127,12 +134,14 @@ fn main() {
             name: "horizontal/per_candidate",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
         let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
         rows.push(Row {
             name: "horizontal/batch",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
     }
     {
@@ -142,12 +151,14 @@ fn main() {
             name: "vertical/per_candidate",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
         let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
         rows.push(Row {
             name: "vertical/batch",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
     }
     {
@@ -157,12 +168,14 @@ fn main() {
             name: "parallel/per_candidate",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
         let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
         rows.push(Row {
             name: "parallel/batch",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
     }
     {
@@ -172,12 +185,31 @@ fn main() {
             name: "vertical_par/per_candidate",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
         let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
         rows.push(Row {
             name: "vertical_par/batch",
             seconds: s,
             tables_per_pass: t,
+            candidates: N_CANDIDATES,
+        });
+    }
+    {
+        let mut c = ShardedVerticalCounter::new(&db);
+        let (s, t) = time_level(&mut c, &level, |c, l| single(c, l));
+        rows.push(Row {
+            name: "sharded/per_candidate",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: N_CANDIDATES,
+        });
+        let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
+        rows.push(Row {
+            name: "sharded/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: N_CANDIDATES,
         });
     }
 
@@ -208,6 +240,64 @@ fn main() {
         scaling.push(ScalePoint {
             workers,
             seconds: secs[REPS / 2],
+        });
+    }
+
+    // Shard-scaling of the sharded batch path at the global pool's
+    // width: shard counts sweep past the worker count so the curve also
+    // shows the merge overhead of many-small-shards.
+    let mut shard_scaling: Vec<ScalePoint> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let mut index = ShardedVerticalIndex::build_with_shards(&db, shards);
+        index.set_work_floor(0); // measure the pooled path at every width
+        let pass = |index: &mut ShardedVerticalIndex, level: &[Itemset]| {
+            std::hint::black_box(index.minterm_counts_batch(level));
+        };
+        pass(&mut index, &level); // warm-up
+        let mut secs: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                pass(&mut index, &level);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_unstable_by(f64::total_cmp);
+        shard_scaling.push(ScalePoint {
+            workers: shards,
+            seconds: secs[REPS / 2],
+        });
+    }
+
+    // The sparse companion shape, batch paths only: per-item tid-sets
+    // are ~4× emptier here, so the superblock population-hint skip does
+    // real work instead of merely not hurting.
+    let sparse_db = DataMethod::Quest.generate(SPARSE_ITEMS, N_BASKETS, 7);
+    let sparse_level = dense_level(SPARSE_ITEMS, SPARSE_CANDIDATES, CANDIDATE_SIZE, POOL);
+    let mut sparse_rows: Vec<Row> = Vec::new();
+    {
+        let mut c = VerticalCounter::new(&sparse_db);
+        let (s, t) = time_level(&mut c, &sparse_level, |c, l| batch(c, l));
+        sparse_rows.push(Row {
+            name: "vertical/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: SPARSE_CANDIDATES,
+        });
+        let mut c = ParallelVerticalCounter::new(&sparse_db);
+        let (s, t) = time_level(&mut c, &sparse_level, |c, l| batch(c, l));
+        sparse_rows.push(Row {
+            name: "vertical_par/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: SPARSE_CANDIDATES,
+        });
+        let mut c = ShardedVerticalCounter::new(&sparse_db);
+        let (s, t) = time_level(&mut c, &sparse_level, |c, l| batch(c, l));
+        sparse_rows.push(Row {
+            name: "sharded/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: SPARSE_CANDIDATES,
         });
     }
 
@@ -254,6 +344,28 @@ fn main() {
             scaling[0].seconds / p.seconds
         );
     }
+    println!("shard scaling (sharded/batch, global pool):");
+    for p in &shard_scaling {
+        println!(
+            "  {} shard(s): {:.6}s ({:.2}x vs 1 shard)",
+            p.workers,
+            p.seconds,
+            shard_scaling[0].seconds / p.seconds
+        );
+    }
+    println!(
+        "sparse shape ({SPARSE_ITEMS} items, {N_BASKETS} baskets, \
+         {SPARSE_CANDIDATES} candidates):"
+    );
+    for r in &sparse_rows {
+        println!(
+            "{:>26} {:>12.6} {:>16.0} {:>14.0}",
+            r.name,
+            r.seconds,
+            r.candidates_per_sec(),
+            r.tables_per_sec()
+        );
+    }
     println!("available parallelism on this host: {available}");
 
     let mut json = String::new();
@@ -291,6 +403,37 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"shard_scaling\": [\n");
+    for (i, p) in shard_scaling.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"shards\": {}, \"median_seconds\": {:.6}, \
+             \"speedup_vs_1_shard\": {:.2} }}{}",
+            p.workers,
+            p.seconds,
+            shard_scaling[0].seconds / p.seconds,
+            if i + 1 < shard_scaling.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"sparse\": {{ \"items\": {SPARSE_ITEMS}, \"transactions\": {N_BASKETS}, \
+         \"candidates\": {SPARSE_CANDIDATES}, \"strategies\": ["
+    );
+    for (i, r) in sparse_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"median_seconds\": {:.6}, \
+             \"candidates_per_sec\": {:.1}, \"tables_per_sec\": {:.1} }}{}",
+            r.name,
+            r.seconds,
+            r.candidates_per_sec(),
+            r.tables_per_sec(),
+            if i + 1 < sparse_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ] },\n");
     let _ = writeln!(
         json,
         "  \"vertical_batch_speedup_over_per_candidate\": {speedup:.2},"

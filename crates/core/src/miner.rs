@@ -93,6 +93,13 @@ pub enum CountingStrategy {
     /// horizontal degradation ladder under memory pressure
     /// (DESIGN.md §6.2).
     VerticalPar,
+    /// Vertical batch counting over horizontally sharded tid ranges:
+    /// each worker owns a disjoint transaction slice with its own cores
+    /// and arena, and per-shard contingency tables merge elementwise
+    /// into exact whole-database tables (DESIGN.md §6.3). The shard
+    /// count comes from [`MiningOptions::shards`] (default: one shard
+    /// per worker).
+    Sharded,
     /// Picks a concrete strategy from the database shape and available
     /// parallelism at mining time; see [`CountingStrategy::resolve`].
     Auto,
@@ -111,7 +118,20 @@ impl CountingStrategy {
     /// available; everything else uses the sequential vertical index,
     /// which dominates horizontal scanning by orders of magnitude on the
     /// benchmark shapes (`results/BENCH_counting.json`).
-    pub fn resolve(self, db: &TransactionDb, threads: Option<usize>) -> CountingStrategy {
+    ///
+    /// Shard-awareness: an explicit shard request (`shards` is `Some`)
+    /// routes `Auto` to the sharded substrate outright — the caller
+    /// asked for a specific horizontal partitioning, which only that
+    /// engine honours. Without one, sharding is chosen over
+    /// class-parallelism only when the database is large enough
+    /// (`n ≥ 65536`) that each worker's tid slice still spans many
+    /// cache-line superblocks.
+    pub fn resolve(
+        self,
+        db: &TransactionDb,
+        threads: Option<usize>,
+        shards: Option<usize>,
+    ) -> CountingStrategy {
         if self != CountingStrategy::Auto {
             return self;
         }
@@ -125,11 +145,17 @@ impl CountingStrategy {
         if bitmap_bytes > (1 << 30) && density < 0.005 {
             return CountingStrategy::Horizontal;
         }
+        if shards.is_some() {
+            return CountingStrategy::Sharded;
+        }
         let workers = threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|w| w.get())
                 .unwrap_or(1)
         });
+        if workers > 1 && n >= 65536 {
+            return CountingStrategy::Sharded;
+        }
         if workers > 1 && n >= 4096 {
             return CountingStrategy::VerticalPar;
         }
@@ -143,6 +169,7 @@ impl CountingStrategy {
             CountingStrategy::Vertical => "vertical",
             CountingStrategy::Parallel => "parallel",
             CountingStrategy::VerticalPar => "vertical-par",
+            CountingStrategy::Sharded => "sharded",
             CountingStrategy::Auto => "auto",
         }
     }
@@ -163,10 +190,12 @@ impl std::str::FromStr for CountingStrategy {
             "vertical" => Ok(CountingStrategy::Vertical),
             "parallel" => Ok(CountingStrategy::Parallel),
             "vertical-par" | "vertical_par" => Ok(CountingStrategy::VerticalPar),
+            "sharded" => Ok(CountingStrategy::Sharded),
             "auto" => Ok(CountingStrategy::Auto),
             other => Err(format!(
                 "unknown counting strategy '{other}' \
-                 (expected horizontal, vertical, parallel, vertical-par, or auto)"
+                 (expected horizontal, vertical, parallel, vertical-par, \
+                 sharded, or auto)"
             )),
         }
     }
@@ -178,11 +207,17 @@ impl std::str::FromStr for CountingStrategy {
 pub struct MiningOptions {
     /// Counting strategy (`Auto` resolves per database at run time).
     pub strategy: CountingStrategy,
-    /// Worker threads for `Parallel` / `VerticalPar` / `Auto`. `None`
-    /// uses the process-wide pool sized to the machine's available
-    /// parallelism; `Some(n)` builds a private `n`-worker pool for this
-    /// run (created once, reused across every level).
+    /// Worker threads for `Parallel` / `VerticalPar` / `Sharded` /
+    /// `Auto`. `None` uses the process-wide pool sized to the machine's
+    /// available parallelism; `Some(n)` builds a private `n`-worker pool
+    /// for this run (created once, reused across every level).
     pub threads: Option<usize>,
+    /// Tid-range shard count for `Sharded` (and a routing hint for
+    /// `Auto` — see [`CountingStrategy::resolve`]). `None` uses one
+    /// shard per worker; `Some(n)` splits the tid range into `n`
+    /// contiguous shards (clamped to the transaction count, so empty
+    /// shards are never minted).
+    pub shards: Option<usize>,
 }
 
 impl MiningOptions {
@@ -191,6 +226,7 @@ impl MiningOptions {
         MiningOptions {
             strategy,
             threads: None,
+            shards: None,
         }
     }
 }
@@ -576,28 +612,35 @@ mod tests {
     fn auto_resolves_from_database_shape() {
         use CountingStrategy::*;
         let small = db(); // 50 transactions: below the pool floor.
-        assert_eq!(Auto.resolve(&small, Some(8)), Vertical);
-        assert_eq!(Auto.resolve(&small, Some(1)), Vertical);
+        assert_eq!(Auto.resolve(&small, Some(8), None), Vertical);
+        assert_eq!(Auto.resolve(&small, Some(1), None), Vertical);
         let empty = TransactionDb::from_ids(3, Vec::<Vec<u32>>::new());
-        assert_eq!(Auto.resolve(&empty, Some(8)), Horizontal);
+        assert_eq!(Auto.resolve(&empty, Some(8), None), Horizontal);
         // Concrete strategies are fixed points.
-        for s in [Horizontal, Vertical, Parallel, VerticalPar] {
-            assert_eq!(s.resolve(&small, None), s);
+        for s in [Horizontal, Vertical, Parallel, VerticalPar, Sharded] {
+            assert_eq!(s.resolve(&small, None, None), s);
         }
         // A big database with workers to spare goes parallel-vertical.
         let big = TransactionDb::from_ids(4, (0..5000u32).map(|t| vec![t % 4, (t + 1) % 4]));
-        assert_eq!(Auto.resolve(&big, Some(4)), VerticalPar);
-        assert_eq!(Auto.resolve(&big, Some(1)), Vertical);
+        assert_eq!(Auto.resolve(&big, Some(4), None), VerticalPar);
+        assert_eq!(Auto.resolve(&big, Some(1), None), Vertical);
+        // An explicit shard request routes Auto to the sharded engine,
+        // and a huge database shards even without one.
+        assert_eq!(Auto.resolve(&big, Some(4), Some(3)), Sharded);
+        let huge = TransactionDb::from_ids(4, (0..70_000u32).map(|t| vec![t % 4, (t + 1) % 4]));
+        assert_eq!(Auto.resolve(&huge, Some(4), None), Sharded);
+        assert_eq!(Auto.resolve(&huge, Some(1), None), Vertical);
     }
 
     #[test]
     fn strategy_names_round_trip_through_fromstr() {
         use CountingStrategy::*;
-        for s in [Horizontal, Vertical, Parallel, VerticalPar, Auto] {
+        for s in [Horizontal, Vertical, Parallel, VerticalPar, Sharded, Auto] {
             assert_eq!(s.name().parse::<CountingStrategy>().unwrap(), s);
         }
         assert!("simd".parse::<CountingStrategy>().is_err());
         assert_eq!(VerticalPar.to_string(), "vertical-par");
+        assert_eq!(Sharded.to_string(), "sharded");
     }
 
     #[test]

@@ -20,8 +20,8 @@
 
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{
-    HorizontalCounter, MintermCounter, ParallelCounter, ParallelVerticalCounter, TransactionDb,
-    VerticalCounter,
+    HorizontalCounter, MintermCounter, ParallelCounter, ParallelVerticalCounter,
+    ShardedVerticalCounter, TransactionDb, VerticalCounter,
 };
 
 use crate::bms_plus::run_bms_plus_guarded;
@@ -91,6 +91,14 @@ impl MineRequest {
         self
     }
 
+    /// Overrides the tid-range shard count for the sharded strategy
+    /// (and routes `Auto` to it — see [`CountingStrategy::resolve`]).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.options.shards = Some(shards);
+        self
+    }
+
     /// Replaces the full counting options.
     #[must_use]
     pub fn options(mut self, options: MiningOptions) -> Self {
@@ -137,6 +145,7 @@ pub struct MiningSession<'a> {
 struct CachedCounter<'a> {
     strategy: CountingStrategy,
     threads: Option<usize>,
+    shards: Option<usize>,
     counter: Box<dyn MintermCounter + 'a>,
 }
 
@@ -206,20 +215,23 @@ impl<'a> MiningSession<'a> {
         algorithm: Algorithm,
         resume: Option<ResumeInner>,
     ) -> Result<MineOutcome, MiningError> {
-        let strategy = request
-            .options
-            .strategy
-            .resolve(self.db, request.options.threads);
+        let strategy = request.options.strategy.resolve(
+            self.db,
+            request.options.threads,
+            request.options.shards,
+        );
         let threads = request.options.threads;
+        let shards = request.options.shards;
         let reusable = matches!(
             &self.counter,
-            Some(c) if c.strategy == strategy && c.threads == threads
+            Some(c) if c.strategy == strategy && c.threads == threads && c.shards == shards
         );
         if !reusable {
             self.counter = Some(CachedCounter {
                 strategy,
                 threads,
-                counter: make_counter(self.db, strategy, threads),
+                shards,
+                counter: make_counter(self.db, strategy, threads, shards),
             });
         }
         #[allow(clippy::expect_used)] // just installed above
@@ -317,6 +329,7 @@ fn make_counter<'a>(
     db: &'a TransactionDb,
     strategy: CountingStrategy,
     threads: Option<usize>,
+    shards: Option<usize>,
 ) -> Box<dyn MintermCounter + 'a> {
     match strategy {
         CountingStrategy::Horizontal => Box::new(HorizontalCounter::new(db)),
@@ -328,6 +341,14 @@ fn make_counter<'a>(
         CountingStrategy::VerticalPar => match threads {
             Some(n) => Box::new(ParallelVerticalCounter::with_workers(db, n)),
             None => Box::new(ParallelVerticalCounter::new(db)),
+        },
+        CountingStrategy::Sharded => match (shards, threads) {
+            (Some(s), Some(t)) => {
+                Box::new(ShardedVerticalCounter::with_shards_and_workers(db, s, t))
+            }
+            (Some(s), None) => Box::new(ShardedVerticalCounter::with_shards(db, s)),
+            (None, Some(t)) => Box::new(ShardedVerticalCounter::with_shards_and_workers(db, t, t)),
+            (None, None) => Box::new(ShardedVerticalCounter::new(db)),
         },
         CountingStrategy::Auto => unreachable!("resolve() never returns Auto"),
     }

@@ -14,6 +14,9 @@
 //! * [`vertical_par`] — vertical batch counting fanned out over
 //!   prefix-equivalence classes on the pool, with a memory-pressure
 //!   degradation ladder,
+//! * [`sharded`] — vertical batch counting over horizontally sharded
+//!   tid ranges: per-shard cores and arenas, per-shard contingency
+//!   tables merged elementwise into exact whole-database tables,
 //! * [`candidate`] — Apriori-style level-wise candidate generation,
 //!   including the asymmetric extension generator required by the
 //!   constraint-pushing algorithms BMS++ / BMS**.
@@ -27,6 +30,7 @@ pub mod item;
 pub mod itemset;
 pub mod parallel;
 pub mod pool;
+pub mod sharded;
 pub mod tidset;
 pub mod vertical;
 pub mod vertical_par;
@@ -40,6 +44,7 @@ pub use item::Item;
 pub use itemset::Itemset;
 pub use parallel::ParallelCounter;
 pub use pool::WorkerPool;
+pub use sharded::{ShardedVerticalCounter, ShardedVerticalIndex};
 pub use tidset::TidSet;
 pub use vertical::VerticalIndex;
 pub use vertical_par::{DegradationRung, ParallelVerticalCounter, ParallelVerticalIndex};

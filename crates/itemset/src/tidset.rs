@@ -3,25 +3,77 @@
 //! A tid-set records which transactions of a database contain some item (or
 //! satisfy some pattern). Contingency-table construction in the vertical
 //! counting path reduces to `AND` / `AND NOT` over tid-sets plus popcounts,
-//! so this type is the innermost loop of the whole miner. It is a plain
-//! `Vec<u64>` of blocks with branch-free bulk operations.
+//! so this type is the innermost loop of the whole miner.
+//!
+//! # Blocked layout
+//!
+//! The bitmap is stored as 64-bit words grouped into *superblocks* of
+//! [`SUPERBLOCK_WORDS`] words each — 64 bytes, one cache line, 512 tids.
+//! The word vector is padded up to a whole number of superblocks (padding
+//! bits are always zero), so every bulk kernel runs a remainder-free
+//! `chunks_exact` loop over fixed-width 8×u64 panels that LLVM
+//! autovectorizes on stable Rust — no `unsafe`, no nightly `std::simd`.
+//!
+//! Alongside the words the set maintains `sb_pops`, an exact per-superblock
+//! population count, updated by every mutator (bulk kernels recompute it in
+//! the same fused pass that writes the words). The hints make [`count`]
+//! an O(capacity/512) sum instead of a full popcount pass, let
+//! intersection kernels skip whole superblocks where either operand is
+//! empty, and give [`intersection_count_limited`] a superblock-granular
+//! early exit.
+//!
+//! # Out-of-range contract
+//!
+//! The API is deliberately asymmetric about ids outside `0..capacity`:
+//!
+//! * [`insert`] **panics** — inserting an id the set cannot represent
+//!   would silently lose data, so it is always a caller bug;
+//! * [`remove`] and [`contains`] **tolerate** them — an out-of-range id is
+//!   trivially absent, so removing it is a no-op and membership is `false`.
+//!
+//! This contract is pinned by tests (`api_contract_*` below) and relied on
+//! by callers that probe ids from untrusted ranges.
+//!
+//! [`count`]: TidSet::count
+//! [`insert`]: TidSet::insert
+//! [`remove`]: TidSet::remove
+//! [`contains`]: TidSet::contains
+//! [`intersection_count_limited`]: TidSet::intersection_count_limited
 
 use std::fmt;
 
-/// A bitmap over transaction ids `0..capacity`.
-#[derive(Clone, PartialEq, Eq)]
-pub struct TidSet {
-    blocks: Vec<u64>,
-    capacity: usize,
-}
+/// Words per superblock: 8 × u64 = 64 bytes = one cache line = 512 tids.
+pub const SUPERBLOCK_WORDS: usize = 8;
+
+/// Tids covered by one superblock.
+pub const SUPERBLOCK_BITS: usize = SUPERBLOCK_WORDS * BLOCK_BITS;
 
 const BLOCK_BITS: usize = 64;
+
+/// A bitmap over transaction ids `0..capacity`, stored in cache-line
+/// superblocks with exact per-superblock population hints.
+///
+/// See the [module docs](self) for the layout and the out-of-range
+/// contract.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TidSet {
+    /// Bit storage, padded to a whole number of superblocks. Invariant:
+    /// every bit at position `>= capacity` (tail of the last live word and
+    /// all padding words) is zero.
+    words: Vec<u64>,
+    /// Exact popcount of each superblock. Invariant: `sb_pops[i]` equals
+    /// the popcount of words `[8i, 8i+8)` at all times.
+    sb_pops: Vec<u32>,
+    capacity: usize,
+}
 
 impl TidSet {
     /// An empty tid-set able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
+        let n_super = capacity.div_ceil(SUPERBLOCK_BITS);
         TidSet {
-            blocks: vec![0; capacity.div_ceil(BLOCK_BITS)],
+            words: vec![0; n_super * SUPERBLOCK_WORDS],
+            sb_pops: vec![0; n_super],
             capacity,
         }
     }
@@ -29,10 +81,11 @@ impl TidSet {
     /// A tid-set with every id in `0..capacity` present.
     pub fn full(capacity: usize) -> Self {
         let mut s = Self::new(capacity);
-        for b in &mut s.blocks {
+        for b in &mut s.words {
             *b = !0;
         }
         s.clear_tail();
+        s.rebuild_pops();
         s
     }
 
@@ -55,7 +108,9 @@ impl TidSet {
     ///
     /// # Panics
     ///
-    /// Panics if `tid >= capacity`.
+    /// Panics if `tid >= capacity`: an unrepresentable id cannot be
+    /// recorded, so accepting it would silently drop data (contrast with
+    /// [`remove`](Self::remove), where out-of-range is a harmless no-op).
     #[inline]
     pub fn insert(&mut self, tid: usize) {
         assert!(
@@ -63,31 +118,50 @@ impl TidSet {
             "tid {tid} out of range 0..{}",
             self.capacity
         );
-        self.blocks[tid / BLOCK_BITS] |= 1u64 << (tid % BLOCK_BITS);
-    }
-
-    /// Removes a transaction id (no-op if absent or out of range).
-    #[inline]
-    pub fn remove(&mut self, tid: usize) {
-        if tid < self.capacity {
-            self.blocks[tid / BLOCK_BITS] &= !(1u64 << (tid % BLOCK_BITS));
+        let word = tid / BLOCK_BITS;
+        let mask = 1u64 << (tid % BLOCK_BITS);
+        if self.words[word] & mask == 0 {
+            self.words[word] |= mask;
+            self.sb_pops[word / SUPERBLOCK_WORDS] += 1;
         }
     }
 
-    /// Membership test. Ids outside `0..capacity` are absent.
+    /// Removes a transaction id.
+    ///
+    /// Out-of-range ids are tolerated: they are never present, so the call
+    /// is a no-op (it cannot lose data, unlike an out-of-range
+    /// [`insert`](Self::insert), which panics).
     #[inline]
-    pub fn contains(&self, tid: usize) -> bool {
-        tid < self.capacity && self.blocks[tid / BLOCK_BITS] & (1u64 << (tid % BLOCK_BITS)) != 0
+    pub fn remove(&mut self, tid: usize) {
+        if tid < self.capacity {
+            let word = tid / BLOCK_BITS;
+            let mask = 1u64 << (tid % BLOCK_BITS);
+            if self.words[word] & mask != 0 {
+                self.words[word] &= !mask;
+                self.sb_pops[word / SUPERBLOCK_WORDS] -= 1;
+            }
+        }
     }
 
-    /// Number of ids present (popcount).
+    /// Membership test. Ids outside `0..capacity` are absent (`false`),
+    /// never an error — mirroring [`remove`](Self::remove).
+    #[inline]
+    pub fn contains(&self, tid: usize) -> bool {
+        tid < self.capacity && self.words[tid / BLOCK_BITS] & (1u64 << (tid % BLOCK_BITS)) != 0
+    }
+
+    /// Number of ids present.
+    ///
+    /// An O(capacity / 512) sum over the superblock population hints —
+    /// not a popcount pass over the bitmap.
+    #[inline]
     pub fn count(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        self.sb_pops.iter().map(|&p| p as usize).sum()
     }
 
     /// `true` iff no id is present.
     pub fn is_empty(&self) -> bool {
-        self.blocks.iter().all(|&b| b == 0)
+        self.sb_pops.iter().all(|&p| p == 0)
     }
 
     /// In-place intersection with `other`.
@@ -97,24 +171,57 @@ impl TidSet {
     /// Panics if capacities differ.
     pub fn intersect_with(&mut self, other: &TidSet) {
         self.check_same_capacity(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= b;
+        let TidSet { words, sb_pops, .. } = self;
+        for ((sw, ow), pop) in words
+            .chunks_exact_mut(SUPERBLOCK_WORDS)
+            .zip(other.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(sb_pops.iter_mut())
+        {
+            let mut p = 0u32;
+            for (a, b) in sw.iter_mut().zip(ow) {
+                *a &= b;
+                p += a.count_ones();
+            }
+            *pop = p;
         }
     }
 
     /// In-place union with `other`.
     pub fn union_with(&mut self, other: &TidSet) {
         self.check_same_capacity(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a |= b;
+        let TidSet { words, sb_pops, .. } = self;
+        for ((sw, ow), pop) in words
+            .chunks_exact_mut(SUPERBLOCK_WORDS)
+            .zip(other.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(sb_pops.iter_mut())
+        {
+            let mut p = 0u32;
+            for (a, b) in sw.iter_mut().zip(ow) {
+                *a |= b;
+                p += a.count_ones();
+            }
+            *pop = p;
         }
     }
 
     /// In-place difference: removes every id present in `other`.
     pub fn subtract(&mut self, other: &TidSet) {
         self.check_same_capacity(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= !b;
+        let TidSet { words, sb_pops, .. } = self;
+        for ((sw, ow), pop) in words
+            .chunks_exact_mut(SUPERBLOCK_WORDS)
+            .zip(other.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(sb_pops.iter_mut())
+        {
+            if *pop == 0 {
+                continue;
+            }
+            let mut p = 0u32;
+            for (a, b) in sw.iter_mut().zip(ow) {
+                *a &= !b;
+                p += a.count_ones();
+            }
+            *pop = p;
         }
     }
 
@@ -133,17 +240,32 @@ impl TidSet {
     }
 
     /// `|self ∩ other|` without allocating.
+    ///
+    /// Superblocks where either operand's population hint is zero are
+    /// skipped without touching the bitmap words.
     pub fn intersection_count(&self, other: &TidSet) -> usize {
         self.check_same_capacity(other);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        let mut count = 0usize;
+        for ((sw, ow), (&pa, &pb)) in self
+            .words
+            .chunks_exact(SUPERBLOCK_WORDS)
+            .zip(other.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(self.sb_pops.iter().zip(&other.sb_pops))
+        {
+            if pa == 0 || pb == 0 {
+                continue;
+            }
+            let mut c = 0u32;
+            for (a, b) in sw.iter().zip(ow) {
+                c += (a & b).count_ones();
+            }
+            count += c as usize;
+        }
+        count
     }
 
     /// `|self ∩ other|` with a bounded early exit: the scan stops as soon
-    /// as the running count reaches `limit` (checked every few blocks).
+    /// as the running count reaches `limit` (checked once per superblock).
     ///
     /// The result is exact whenever it is `< limit`. When `limit` is a
     /// *true upper bound* of the intersection count — e.g. the popcount
@@ -153,17 +275,25 @@ impl TidSet {
     /// CT-support `s`-threshold check use this in place of
     /// [`intersection_count`](Self::intersection_count) without changing
     /// any count, while skipping the tail of the bitmap once the bound
-    /// saturates.
+    /// saturates. Superblocks where either population hint is zero are
+    /// skipped entirely.
     pub fn intersection_count_limited(&self, other: &TidSet, limit: usize) -> usize {
         self.check_same_capacity(other);
         let mut count = 0usize;
-        // Stride of 8 blocks (512 tids) between exit checks: cheap enough
-        // to keep the loop branch-predictable, fine-grained enough that a
-        // saturated bound skips most of a large bitmap.
-        for (ca, cb) in self.blocks.chunks(8).zip(other.blocks.chunks(8)) {
-            for (a, b) in ca.iter().zip(cb) {
-                count += (a & b).count_ones() as usize;
+        for ((sw, ow), (&pa, &pb)) in self
+            .words
+            .chunks_exact(SUPERBLOCK_WORDS)
+            .zip(other.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(self.sb_pops.iter().zip(&other.sb_pops))
+        {
+            if pa == 0 || pb == 0 {
+                continue;
             }
+            let mut c = 0u32;
+            for (a, b) in sw.iter().zip(ow) {
+                c += (a & b).count_ones();
+            }
+            count += c as usize;
             if count >= limit {
                 return count;
             }
@@ -185,7 +315,8 @@ impl TidSet {
 
     /// [`split_by`](Self::split_by) into caller-owned scratch sets,
     /// allocation-free. `with` and `without` are overwritten entirely;
-    /// they only need matching capacity.
+    /// they only need matching capacity. One fused pass writes both
+    /// halves and both sets' population hints.
     ///
     /// # Panics
     ///
@@ -194,11 +325,34 @@ impl TidSet {
         self.check_same_capacity(other);
         self.check_same_capacity(with);
         self.check_same_capacity(without);
-        for i in 0..self.blocks.len() {
-            let s = self.blocks[i];
-            let o = other.blocks[i];
-            with.blocks[i] = s & o;
-            without.blocks[i] = s & !o;
+        for (sb, (((sw, ow), ww), uw)) in self
+            .words
+            .chunks_exact(SUPERBLOCK_WORDS)
+            .zip(other.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(with.words.chunks_exact_mut(SUPERBLOCK_WORDS))
+            .zip(without.words.chunks_exact_mut(SUPERBLOCK_WORDS))
+            .enumerate()
+        {
+            if self.sb_pops[sb] == 0 {
+                // Empty source superblock: both halves are empty there.
+                ww.fill(0);
+                uw.fill(0);
+                with.sb_pops[sb] = 0;
+                without.sb_pops[sb] = 0;
+                continue;
+            }
+            let mut pw = 0u32;
+            let mut pu = 0u32;
+            for (((s, o), w), u) in sw.iter().zip(ow).zip(ww.iter_mut()).zip(uw.iter_mut()) {
+                let both = s & o;
+                let only = s & !o;
+                *w = both;
+                *u = only;
+                pw += both.count_ones();
+                pu += only.count_ones();
+            }
+            with.sb_pops[sb] = pw;
+            without.sb_pops[sb] = pu;
         }
     }
 
@@ -207,13 +361,27 @@ impl TidSet {
     /// This is the member-specific kernel of the vertical batch leaf: the
     /// four contingency cells of a suffix pair `(a, b)` under a node `L`
     /// follow from `|L ∩ a ∩ b|` plus the class-shared `|L ∩ a|`,
-    /// `|L ∩ b|`, and `|L|` by inclusion–exclusion.
+    /// `|L ∩ b|`, and `|L|` by inclusion–exclusion. Superblocks where
+    /// `self` is empty (by its population hint) are skipped.
     pub fn triple_intersection_count(&self, a: &TidSet, b: &TidSet) -> usize {
         self.check_same_capacity(a);
         self.check_same_capacity(b);
         let mut count = 0usize;
-        for ((s, x), y) in self.blocks.iter().zip(&a.blocks).zip(&b.blocks) {
-            count += (s & x & y).count_ones() as usize;
+        for (((sw, xw), yw), &ps) in self
+            .words
+            .chunks_exact(SUPERBLOCK_WORDS)
+            .zip(a.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(b.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(&self.sb_pops)
+        {
+            if ps == 0 {
+                continue;
+            }
+            let mut c = 0u32;
+            for ((s, x), y) in sw.iter().zip(xw).zip(yw) {
+                c += (s & x & y).count_ones();
+            }
+            count += c as usize;
         }
         count
     }
@@ -222,29 +390,45 @@ impl TidSet {
     /// |self ∖ other|)` — without materialising either bitmap.
     ///
     /// The last level of the vertical counting recursion only needs the two
-    /// leaf cell counts, so this branch-free kernel replaces a `split_by`
-    /// (two allocations + two full passes) with a single fused pass.
+    /// leaf cell counts, so this fused kernel replaces a `split_by` (two
+    /// allocations + two full passes) with a single pass. Superblocks
+    /// where `self` is empty contribute nothing and are skipped; the
+    /// `without` half then follows as `|self| − |self ∩ other|` from the
+    /// hint sum, so only the AND lane is popcounted.
     pub fn count_split(&self, other: &TidSet) -> (usize, usize) {
         self.check_same_capacity(other);
+        let mut total = 0usize;
         let mut with = 0usize;
-        let mut without = 0usize;
-        for (s, o) in self.blocks.iter().zip(&other.blocks) {
-            with += (s & o).count_ones() as usize;
-            without += (s & !o).count_ones() as usize;
+        for ((sw, ow), &ps) in self
+            .words
+            .chunks_exact(SUPERBLOCK_WORDS)
+            .zip(other.words.chunks_exact(SUPERBLOCK_WORDS))
+            .zip(&self.sb_pops)
+        {
+            if ps == 0 {
+                continue;
+            }
+            total += ps as usize;
+            let mut c = 0u32;
+            for (s, o) in sw.iter().zip(ow) {
+                c += (s & o).count_ones();
+            }
+            with += c as usize;
         }
-        (with, without)
+        (with, total - with)
     }
 
     /// Overwrites `self` with the contents of `other` (no allocation;
     /// capacities must match).
     pub fn copy_from(&mut self, other: &TidSet) {
         self.check_same_capacity(other);
-        self.blocks.copy_from_slice(&other.blocks);
+        self.words.copy_from_slice(&other.words);
+        self.sb_pops.copy_from_slice(&other.sb_pops);
     }
 
     /// Iterates over the present ids in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks
+        self.words
             .iter()
             .enumerate()
             .flat_map(|(bi, &block)| BitIter {
@@ -262,14 +446,43 @@ impl TidSet {
         );
     }
 
-    /// Zeroes bits beyond `capacity` in the last block.
+    /// Zeroes every bit at position `>= capacity`: the tail of the last
+    /// live word and all padding words of the final superblock.
     fn clear_tail(&mut self) {
+        let live_words = self.capacity.div_ceil(BLOCK_BITS);
         let tail = self.capacity % BLOCK_BITS;
         if tail != 0 {
-            if let Some(last) = self.blocks.last_mut() {
-                *last &= (1u64 << tail) - 1;
-            }
+            self.words[live_words - 1] &= (1u64 << tail) - 1;
         }
+        for w in &mut self.words[live_words..] {
+            *w = 0;
+        }
+    }
+
+    /// Recomputes every superblock population hint from the words.
+    fn rebuild_pops(&mut self) {
+        let TidSet { words, sb_pops, .. } = self;
+        for (sw, pop) in words.chunks_exact(SUPERBLOCK_WORDS).zip(sb_pops.iter_mut()) {
+            *pop = sw.iter().map(|w| w.count_ones()).sum();
+        }
+    }
+
+    /// Debug-build invariant check: padding bits are zero and every
+    /// superblock hint matches its words. Compiled to nothing in release.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_check_invariants(&self) {
+        let mut reference = self.clone();
+        reference.clear_tail();
+        assert_eq!(
+            reference.words, self.words,
+            "tid-set has live bits beyond capacity {}",
+            self.capacity
+        );
+        reference.rebuild_pops();
+        assert_eq!(
+            reference.sb_pops, self.sb_pops,
+            "tid-set superblock population hints out of sync"
+        );
     }
 }
 
@@ -319,6 +532,7 @@ mod tests {
         s.remove(63);
         assert!(!s.contains(63));
         assert_eq!(s.count(), 2);
+        s.debug_check_invariants();
     }
 
     #[test]
@@ -327,12 +541,39 @@ mod tests {
         TidSet::new(10).insert(10);
     }
 
+    /// Pins the documented out-of-range contract: `insert` panics (see
+    /// `insert_out_of_range_panics`), while `remove` and `contains`
+    /// tolerate any id — a no-op and `false` respectively — and leave the
+    /// set's invariants intact (checked by debug assertions).
+    #[test]
+    fn api_contract_remove_and_contains_tolerate_out_of_range() {
+        let mut s = TidSet::from_ids(100, [0, 50, 99]);
+        for oob in [100usize, 101, 512, usize::MAX] {
+            assert!(!s.contains(oob), "id {oob} must read as absent");
+            s.remove(oob); // must be a no-op, not a panic
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 50, 99]);
+        s.debug_check_invariants();
+    }
+
     #[test]
     fn full_respects_capacity_tail() {
         let s = TidSet::full(70);
         assert_eq!(s.count(), 70);
         assert!(s.contains(69));
         assert!(!s.contains(70));
+        s.debug_check_invariants();
+    }
+
+    #[test]
+    fn full_clears_padding_words_of_the_last_superblock() {
+        // Capacity far from any superblock boundary: 3 live words + 5
+        // padding words in the single superblock.
+        let s = TidSet::full(130);
+        assert_eq!(s.count(), 130);
+        assert_eq!(s.iter().count(), 130);
+        assert_eq!(s.iter().max(), Some(129));
+        s.debug_check_invariants();
     }
 
     #[test]
@@ -345,6 +586,25 @@ mod tests {
         let mut u = a.clone();
         u.union_with(&b);
         assert_eq!(u.count(), 5);
+        u.debug_check_invariants();
+    }
+
+    #[test]
+    fn bulk_ops_keep_population_hints_exact() {
+        // Spread across several superblocks so the hint vector is
+        // non-trivial, with one deliberately empty superblock in between.
+        let a = TidSet::from_ids(2000, (0..700).chain(1500..1700));
+        let b = TidSet::from_ids(2000, (300..900).chain(1600..1900));
+        let mut x = a.clone();
+        x.intersect_with(&b);
+        x.debug_check_invariants();
+        let mut y = a.clone();
+        y.union_with(&b);
+        y.debug_check_invariants();
+        let mut z = a.clone();
+        z.subtract(&b);
+        z.debug_check_invariants();
+        assert_eq!(x.count() + z.count(), a.count());
     }
 
     #[test]
@@ -386,8 +646,20 @@ mod tests {
     fn limited_intersection_count_zero_limit_exits_immediately() {
         let a = TidSet::full(1024);
         let b = TidSet::full(1024);
-        // A zero limit is trivially reached after the first stride.
+        // A zero limit is trivially reached after the first superblock.
         assert!(a.intersection_count_limited(&b, 0) <= 512);
+    }
+
+    #[test]
+    fn intersection_kernels_skip_empty_superblocks() {
+        // `a` empty in the middle superblock, `b` empty at the ends; the
+        // hint-gated kernels must still count exactly.
+        let a = TidSet::from_ids(1536, (0..512).chain(1024..1536));
+        let b = TidSet::from_ids(1536, (256..1280).step_by(2));
+        let expected: usize = a.iter().filter(|&t| b.contains(t)).count();
+        assert_eq!(a.intersection_count(&b), expected);
+        assert_eq!(a.intersection_count_limited(&b, usize::MAX), expected);
+        assert_eq!(b.intersection_count(&a), expected);
     }
 
     #[test]
@@ -411,6 +683,29 @@ mod tests {
         let (ew, ewo) = a.split_by(&b);
         assert_eq!(with, ew);
         assert_eq!(without, ewo);
+        with.debug_check_invariants();
+        without.debug_check_invariants();
+    }
+
+    #[test]
+    fn split_into_clears_dirty_scratch_in_empty_superblocks() {
+        // The source's second superblock is empty, so the fast path must
+        // still zero whatever the scratch held there.
+        let a = TidSet::from_ids(1100, 0..100);
+        let b = TidSet::from_ids(1100, 50..150);
+        let mut with = TidSet::full(1100);
+        let mut without = TidSet::full(1100);
+        a.split_into(&b, &mut with, &mut without);
+        assert_eq!(
+            with.iter().collect::<Vec<_>>(),
+            (50..100).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            without.iter().collect::<Vec<_>>(),
+            (0..50).collect::<Vec<_>>()
+        );
+        with.debug_check_invariants();
+        without.debug_check_invariants();
     }
 
     #[test]
@@ -438,6 +733,7 @@ mod tests {
         let mut dst = TidSet::full(70);
         dst.copy_from(&src);
         assert_eq!(dst, src);
+        dst.debug_check_invariants();
     }
 
     #[test]
@@ -461,5 +757,17 @@ mod tests {
         assert!(s.is_empty());
         s.insert(0);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_degenerate_but_sound() {
+        let mut s = TidSet::new(0);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        s.remove(0);
+        assert_eq!(s.iter().count(), 0);
+        let t = TidSet::full(0);
+        assert_eq!(s.intersection_count(&t), 0);
     }
 }

@@ -103,30 +103,55 @@ pub(crate) struct LevelPlan {
     pub(crate) classes: Vec<OwnedClass>,
 }
 
-/// Groups `sets` into prefix-equivalence classes. Trivial 0-/1-item sets
-/// are answered directly into `results` (no tree walk) and recorded in
-/// `done`; every `results[i]` must arrive zeroed and sized `2^k`.
-pub(crate) fn plan_level(
-    core: &VerticalCore,
-    sets: &[Itemset],
+/// A trivial (0-/1-item) candidate of a level batch: its destination
+/// row and its single item, if any. Trivial sets never walk a split
+/// tree — they are answered from whole-database totals, which is what
+/// lets the sharded engine answer them from *summed* per-shard totals
+/// instead of any single core.
+pub(crate) struct TrivialSet {
+    pub(crate) row: usize,
+    pub(crate) item: Option<Item>,
+}
+
+/// Answers one trivial set into its (zeroed) result row given the
+/// database-wide transaction count and the item's database-wide
+/// support, recording the completed table in `done`.
+pub(crate) fn answer_trivial(
+    trivial: &TrivialSet,
+    n_transactions: u64,
+    item_support: u64,
     results: &mut [Vec<u64>],
     done: &mut BatchInterrupted,
-) -> LevelPlan {
+) {
+    let row = &mut results[trivial.row];
+    match trivial.item {
+        None => {
+            row[0] = n_transactions;
+            done.cells_completed += 1;
+        }
+        Some(_) => {
+            row[1] = item_support;
+            row[0] = n_transactions - item_support;
+            done.cells_completed += 2;
+        }
+    }
+    done.tables_completed += 1;
+}
+
+/// Splits `sets` into trivial 0-/1-item candidates and prefix-equivalence
+/// classes, without touching any counts. Pure grouping — shared by every
+/// engine (sequential, pool-parallel, sharded) so the class structure is
+/// identical no matter how the counting itself is distributed.
+pub(crate) fn group_classes(sets: &[Itemset]) -> (Vec<TrivialSet>, LevelPlan) {
+    let mut trivial = Vec::new();
     let mut grouped: BTreeMap<&[Item], Vec<(usize, Item, Item)>> = BTreeMap::new();
     for (i, set) in sets.iter().enumerate() {
         match set.items() {
-            [] => {
-                results[i][0] = core.n_transactions as u64;
-                done.tables_completed += 1;
-                done.cells_completed += 1;
-            }
-            [a] => {
-                let with = core.tidsets[a.index()].count() as u64;
-                results[i][1] = with;
-                results[i][0] = core.n_transactions as u64 - with;
-                done.tables_completed += 1;
-                done.cells_completed += 2;
-            }
+            [] => trivial.push(TrivialSet { row: i, item: None }),
+            [a] => trivial.push(TrivialSet {
+                row: i,
+                item: Some(*a),
+            }),
             [prefix @ .., a, b] => grouped.entry(prefix).or_default().push((i, *a, *b)),
         }
     }
@@ -150,7 +175,25 @@ pub(crate) fn plan_level(
             }
         })
         .collect();
-    LevelPlan { classes }
+    (trivial, LevelPlan { classes })
+}
+
+/// Groups `sets` into prefix-equivalence classes. Trivial 0-/1-item sets
+/// are answered directly into `results` (no tree walk) from the core's
+/// totals and recorded in `done`; every `results[i]` must arrive zeroed
+/// and sized `2^k`.
+pub(crate) fn plan_level(
+    core: &VerticalCore,
+    sets: &[Itemset],
+    results: &mut [Vec<u64>],
+    done: &mut BatchInterrupted,
+) -> LevelPlan {
+    let (trivial, plan) = group_classes(sets);
+    for t in &trivial {
+        let support = t.item.map_or(0, |a| core.tidsets[a.index()].count() as u64);
+        answer_trivial(t, core.n_transactions as u64, support, results, done);
+    }
+    plan
 }
 
 /// Runs `classes` on the calling thread, scattering counts into
@@ -192,12 +235,28 @@ pub(crate) fn run_classes_sequential(
 impl VerticalCore {
     /// Builds the core in a single pass over the database.
     pub(crate) fn build(db: &TransactionDb) -> Self {
-        let n = db.len();
+        Self::build_range(db, 0, db.len())
+    }
+
+    /// Builds a core over the transaction slice `start..end` only: shard
+    /// `tid` maps to database transaction `start + tid`, and every
+    /// bitmap has capacity `end - start`. This is the horizontal-sharding
+    /// primitive — a [`crate::sharded::ShardedVerticalIndex`] holds one
+    /// such core per disjoint range, and elementwise sums of the
+    /// per-shard contingency tables reproduce the whole-database tables
+    /// exactly (every transaction lives in exactly one shard).
+    pub(crate) fn build_range(db: &TransactionDb, start: usize, end: usize) -> Self {
+        debug_assert!(start <= end && end <= db.len());
+        let n = end - start;
         let mut tidsets = vec![TidSet::new(n); db.n_items() as usize];
-        for (tid, t) in db.transactions().enumerate() {
+        for (tid, t) in db.transactions().enumerate().skip(start).take(n) {
             for item in t {
-                tidsets[item.index()].insert(tid);
+                tidsets[item.index()].insert(tid - start);
             }
+        }
+        #[cfg(debug_assertions)]
+        for ts in &tidsets {
+            ts.debug_check_invariants();
         }
         VerticalCore {
             n_transactions: n,
@@ -441,12 +500,19 @@ impl VerticalIndex {
 
     /// The scratch-arena footprint, in bytes, that counting tables over
     /// `depths` shared-prefix recursion levels requires for a database of
-    /// `n_transactions` rows: two bitmaps per depth, one `u64` word per 64
-    /// transactions each. A `k`-itemset needs `k - 2` depths. Used by
-    /// memory-budget checks *before* the arena grows. Parallel engines
-    /// multiply by their worker count — each worker owns a full arena.
+    /// `n_transactions` rows: two bitmaps per depth, each padded to whole
+    /// cache-line superblocks and carrying its per-superblock population
+    /// hints (see [`TidSet`]'s module docs). A `k`-itemset needs `k - 2`
+    /// depths. Used by memory-budget checks *before* the arena grows.
+    /// Parallel engines multiply by their worker count — each worker owns
+    /// a full arena; the sharded engine sums the per-shard arenas, which
+    /// together cover the tid range once.
     pub fn scratch_bytes(n_transactions: usize, depths: usize) -> usize {
-        2 * depths * (n_transactions.div_ceil(64) * std::mem::size_of::<u64>())
+        use crate::tidset::{SUPERBLOCK_BITS, SUPERBLOCK_WORDS};
+        let supers = n_transactions.div_ceil(SUPERBLOCK_BITS);
+        let per_bitmap = supers * SUPERBLOCK_WORDS * std::mem::size_of::<u64>()
+            + supers * std::mem::size_of::<u32>();
+        2 * depths * per_bitmap
     }
 
     /// Number of items in the universe.

@@ -465,7 +465,7 @@ impl MintermCounter for ParallelVerticalCounter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::counting::{HorizontalCounter, VerticalCounter};
+    use crate::counting::HorizontalCounter;
 
     fn db(n: usize) -> TransactionDb {
         TransactionDb::from_ids(

@@ -79,11 +79,12 @@ fn print_usage() {
                exits 0 when satisfiable or trivial, 3 when unsatisfiable
   ccs mine     --db <file> [--attrs <file>] --query <q> [--algorithm <a>]
                [--support <f>] [--ct <f>] [--confidence <f>] [--counting <s>]
-               [--threads <N>] [--timeout <secs>] [--max-cells <N>]
-               [--max-mem-mb <N>] [--explain]
+               [--threads <N>] [--shards <N>] [--timeout <secs>]
+               [--max-cells <N>] [--max-mem-mb <N>] [--explain]
                algorithms: bms+ bms++ bms* bms** naive naive-min-valid
-               counting:   horizontal vertical parallel vertical-par auto
-                           (--strategy is accepted as an alias)
+               counting:   horizontal vertical parallel vertical-par
+                           sharded auto (--strategy is accepted as an
+                           alias; --shards N splits the tid range)
                exits 0 when complete, 2 when truncated by a budget or Ctrl-C
   ccs stats    --db <file>                             print database statistics"
     );
@@ -387,6 +388,7 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
             "--counting",
             "--strategy",
             "--threads",
+            "--shards",
             "--confidence",
             "--support",
             "--ct",
@@ -431,6 +433,10 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     if threads == Some(0) {
         return Err("--threads must be at least 1".to_owned());
     }
+    let shards: Option<usize> = flags.parse_opt("--shards")?;
+    if shards == Some(0) {
+        return Err("--shards must be at least 1".to_owned());
+    }
     let params = MiningParams {
         confidence: flags.parse_or("--confidence", 0.9)?,
         support_fraction: flags.parse_or("--support", 0.25)?,
@@ -464,7 +470,11 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     let cancel = sigint::install();
     let guard = RunGuard::with_cancel_flag(limits, cancel);
 
-    let options = MiningOptions { strategy, threads };
+    let options = MiningOptions {
+        strategy,
+        threads,
+        shards,
+    };
     let request = MineRequest::new(algorithm).options(options).guard(guard);
     let result = MiningSession::new(&db, &attrs)
         .mine(&query, &request)

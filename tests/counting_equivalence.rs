@@ -2,9 +2,10 @@
 //!
 //! Every counting strategy — horizontal, vertical (tid-set
 //! intersection), parallel, parallel-vertical (pool fan-out over
-//! prefix-equivalence classes) — and every batch path (the default
-//! per-candidate loop, the one-scan-per-level horizontal batch, the
-//! prefix-sharing vertical batch, the fan-out parallel batch) must
+//! prefix-equivalence classes), sharded (horizontally partitioned tid
+//! ranges with per-shard table merges) — and every batch path (the
+//! default per-candidate loop, the one-scan-per-level horizontal batch,
+//! the prefix-sharing vertical batch, the fan-out parallel batch) must
 //! produce bit-identical minterm counts on arbitrary databases, for
 //! candidate sets up to k = 6. This is the invariant that lets the
 //! miners pick a strategy freely.
@@ -13,7 +14,8 @@ use proptest::prelude::*;
 
 use ccs::itemset::{
     HorizontalCounter, Itemset, MintermCounter, ParallelCounter, ParallelVerticalCounter,
-    ParallelVerticalIndex, TransactionDb, VerticalCounter,
+    ParallelVerticalIndex, ShardedVerticalCounter, ShardedVerticalIndex, TransactionDb,
+    VerticalCounter,
 };
 
 const N_ITEMS: u32 = 8;
@@ -85,5 +87,29 @@ proptest! {
         let mut par_counter = ParallelVerticalCounter::with_workers(&db, 2);
         par_counter.index_mut().set_work_floor(0);
         prop_assert_eq!(&par_counter.minterm_counts_batch(&sets), &expected);
+
+        // Sharded: horizontally partitioned tid ranges, per-shard tables
+        // merged elementwise. Shard counts are deliberately not powers
+        // of two so shard boundaries land mid-superblock and shards get
+        // unequal lengths; the work floor is zeroed so even tiny batches
+        // take the pooled merge path. `CCS_TEST_SHARDS` (the CI
+        // forced-shards job) narrows the sweep to that single count.
+        let shard_counts: Vec<usize> = match std::env::var("CCS_TEST_SHARDS") {
+            Ok(s) => vec![s.parse().expect("CCS_TEST_SHARDS must be a shard count")],
+            Err(_) => vec![1, 2, 3, 7],
+        };
+        for shards in shard_counts {
+            let mut index = ShardedVerticalIndex::build_with_shards_and_workers(&db, shards, 2);
+            index.set_work_floor(0);
+            let sharded_singles: Vec<Vec<u64>> =
+                sets.iter().map(|s| index.minterm_counts(s)).collect();
+            prop_assert_eq!(&sharded_singles, &expected);
+            prop_assert_eq!(&index.minterm_counts_batch(&sets), &expected);
+        }
+
+        // And the sharded counter wrapper at its top rung.
+        let mut sharded_counter = ShardedVerticalCounter::with_shards_and_workers(&db, 3, 2);
+        sharded_counter.index_mut().set_work_floor(0);
+        prop_assert_eq!(&sharded_counter.minterm_counts_batch(&sets), &expected);
     }
 }

@@ -31,7 +31,7 @@ use std::time::Duration;
 
 use ccs::itemset::{
     BatchInterrupted, CountProbe, CountingStats, HorizontalCounter, MintermCounter,
-    ParallelVerticalCounter,
+    ParallelVerticalCounter, ShardedVerticalCounter,
 };
 use ccs::prelude::*;
 
@@ -114,6 +114,16 @@ fn horizontal_factory(db: &TransactionDb) -> Box<dyn MintermCounter + '_> {
 /// even the toy dataset's batches take the pool fan-out path.
 fn vertical_par_factory(db: &TransactionDb) -> Box<dyn MintermCounter + '_> {
     let mut counter = ParallelVerticalCounter::with_workers(db, 2);
+    counter.index_mut().set_work_floor(0);
+    Box::new(counter)
+}
+
+/// A 3-shard, 2-worker sharded vertical counter with its work floor
+/// zeroed: three shards on two workers guarantees at least one worker
+/// owns multiple shards, and the odd shard count leaves unequal shard
+/// lengths, so trips land mid-shard with other shards still in flight.
+fn sharded_factory(db: &TransactionDb) -> Box<dyn MintermCounter + '_> {
+    let mut counter = ShardedVerticalCounter::with_shards_and_workers(db, 3, 2);
     counter.index_mut().set_work_floor(0);
     Box::new(counter)
 }
@@ -575,6 +585,109 @@ fn parallel_vertical_faults_every_injection_point() {
     }
     for algorithm in [Algorithm::BmsStar, Algorithm::BmsStarStar] {
         sweep_with(algorithm, TruncationReason::Cancelled, vertical_par_factory);
+    }
+}
+
+#[test]
+fn sharded_faults_every_injection_point() {
+    // The trip-at-every-batch-index sweep over the sharded counter:
+    // partial answers stay sound and mutually minimal, and resuming —
+    // also on a sharded counter — reproduces the complete answer set
+    // exactly.
+    for algorithm in ALL_ALGORITHMS {
+        let truncating = sweep_with(algorithm, TruncationReason::WorkBudget, sharded_factory);
+        assert!(
+            truncating >= 2,
+            "{algorithm}: expected at least two guarded batches, found {truncating}"
+        );
+    }
+    for algorithm in [Algorithm::BmsStar, Algorithm::BmsStarStar] {
+        sweep_with(algorithm, TruncationReason::Cancelled, sharded_factory);
+    }
+}
+
+#[test]
+fn real_work_budget_trips_mid_shard_soundly() {
+    // A genuine cell budget tripping *inside* the sharded guarded
+    // batch: classes whose per-shard tables were only partially
+    // delivered must be discarded wholesale, completed classes are
+    // kept, partial answers stay sound, and resume is exact.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in Algorithm::paper_algorithms() {
+        let complete = mine(&db, &attrs, &q, algorithm).unwrap();
+        for budget in [1u64, 40, 150, 400, 1000] {
+            let guard = RunGuard::new(GuardLimits {
+                work_budget_cells: Some(budget),
+                ..GuardLimits::default()
+            });
+            let mut counter = sharded_factory(&db);
+            let result =
+                mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard)
+                    .unwrap();
+            for s in &result.answers {
+                assert!(
+                    complete.answers.contains(s),
+                    "{algorithm} budget {budget}: unsound partial answer {s}"
+                );
+            }
+            let Some(state) = result.resume else {
+                assert!(
+                    result.completion.is_complete(),
+                    "{algorithm} budget {budget}: no snapshot on a truncated run"
+                );
+                continue;
+            };
+            let mut resume_counter = sharded_factory(&db);
+            let resumed = resume_with_counter_guarded(
+                &db,
+                &attrs,
+                &q,
+                &mut resume_counter,
+                &RunGuard::new(GuardLimits::default()),
+                state,
+            )
+            .unwrap();
+            assert_eq!(
+                sorted(&resumed.answers),
+                sorted(&complete.answers),
+                "{algorithm} budget {budget}: sharded resume diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_memory_budget_degrades_sharded_counting_without_truncation() {
+    // The sharded ladder: a budget that fits one full-range arena but
+    // not the per-shard sum degrades to the sequential vertical index; a
+    // 1-byte budget degrades all the way to horizontal. Neither
+    // truncates, and both keep the answers bit-identical.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in [Algorithm::BmsPlusPlus, Algorithm::BmsStarStar] {
+        let unguarded = mine(&db, &attrs, &q, algorithm).unwrap();
+        for budget in [1usize, 64 * 1024] {
+            let guard = RunGuard::new(GuardLimits {
+                memory_budget_bytes: Some(budget),
+                ..GuardLimits::default()
+            });
+            let mut counter = sharded_factory(&db);
+            let result =
+                mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard)
+                    .unwrap();
+            assert!(
+                result.completion.is_complete(),
+                "{algorithm} budget {budget}: the ladder must degrade, not truncate"
+            );
+            assert_eq!(
+                sorted(&result.answers),
+                sorted(&unguarded.answers),
+                "{algorithm} budget {budget}: degraded counting changed the answers"
+            );
+        }
     }
 }
 

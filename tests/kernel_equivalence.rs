@@ -195,6 +195,17 @@ fn mine_horizontal(
         .result
 }
 
+/// Shard-count override for this run: `CCS_TEST_SHARDS`, when set,
+/// forces every non-horizontal strategy onto that many tid-range shards
+/// (the CI forced-shards job exports 3, a count that never divides the
+/// fixture sizes evenly). It also routes `Auto` to the sharded engine,
+/// so the forced run exercises sharding across the whole matrix.
+fn forced_shards() -> Option<usize> {
+    std::env::var("CCS_TEST_SHARDS")
+        .ok()
+        .map(|s| s.parse().expect("CCS_TEST_SHARDS must be a shard count"))
+}
+
 /// Same query under a non-default strategy; only the answers must match.
 fn mine_with(
     db: &TransactionDb,
@@ -203,8 +214,12 @@ fn mine_with(
     algorithm: Algorithm,
     strategy: CountingStrategy,
 ) -> MiningResult {
+    let mut request = MineRequest::new(algorithm).strategy(strategy);
+    if let Some(shards) = forced_shards() {
+        request = request.shards(shards);
+    }
     MiningSession::new(db, attrs)
-        .mine(q, &MineRequest::new(algorithm).strategy(strategy))
+        .mine(q, &request)
         .unwrap()
         .result
 }
@@ -248,6 +263,7 @@ fn render_transcript() -> String {
                     CountingStrategy::Vertical,
                     CountingStrategy::Parallel,
                     CountingStrategy::VerticalPar,
+                    CountingStrategy::Sharded,
                     CountingStrategy::Auto,
                 ] {
                     let v = mine_with(db, &attrs, &q, algorithm, strategy);
