@@ -13,13 +13,19 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use ccs_bench::DataMethod;
+use ccs_constraints::{AttributeTable, Constraint, ConstraintSet};
+use ccs_core::{
+    Algorithm, CheckpointCadence, CheckpointPolicy, CorrelationQuery, GuardLimits, MineRequest,
+    MiningParams, MiningSession, RunGuard,
+};
 use ccs_itemset::{
     HorizontalCounter, Itemset, MintermCounter, ParallelCounter, ParallelVerticalCounter,
-    ParallelVerticalIndex, ShardedVerticalCounter, ShardedVerticalIndex, VerticalCounter,
+    ParallelVerticalIndex, ShardedVerticalCounter, ShardedVerticalIndex, TransactionDb,
+    VerticalCounter,
 };
 
 const N_ITEMS: u32 = 60;
@@ -85,6 +91,63 @@ fn time_level<C: MintermCounter>(
     secs.sort_unstable_by(f64::total_cmp);
     let tables = counter.stats().tables_built - base_tables;
     (secs[REPS / 2], tables / (REPS as u64 + 1))
+}
+
+/// One durability data point: a full governed BMS++ mine, median of
+/// `REPS` runs, with the candidate throughput the checkpoint layer must
+/// not depress.
+struct OverheadPoint {
+    seconds: f64,
+    candidates: u64,
+    stamps_per_run: u64,
+}
+
+impl OverheadPoint {
+    fn candidates_per_sec(&self) -> f64 {
+        self.candidates as f64 / self.seconds
+    }
+}
+
+/// Times a complete mining run (armed guard both sides, so the only
+/// variable is the durability layer) with an optional checkpoint policy
+/// committing atomically to `ckpt_path` at every level.
+fn time_mine(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    ckpt_path: Option<&Path>,
+) -> OverheadPoint {
+    let run = || {
+        let mut request =
+            MineRequest::new(Algorithm::BmsPlusPlus).guard(RunGuard::new(GuardLimits::default()));
+        if let Some(path) = ckpt_path {
+            request =
+                request.checkpoint(CheckpointPolicy::file(path, CheckpointCadence::EveryLevel));
+        }
+        let outcome = MiningSession::new(db, attrs)
+            .mine(query, &request)
+            .expect("benchmark mine");
+        assert!(outcome.result.completion.is_complete());
+        let stamps = outcome.checkpoint.map_or(0, |r| {
+            assert!(r.error.is_none(), "checkpoint write failed: {:?}", r.error);
+            r.written
+        });
+        (outcome.result.metrics.candidates_generated, stamps)
+    };
+    let (candidates, stamps_per_run) = run(); // warm-up (page cache, pool)
+    let mut secs: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(run());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_unstable_by(f64::total_cmp);
+    OverheadPoint {
+        seconds: secs[REPS / 2],
+        candidates,
+        stamps_per_run,
+    }
 }
 
 struct Row {
@@ -301,6 +364,22 @@ fn main() {
         });
     }
 
+    // Durability overhead: a complete governed BMS++ mine on the dense
+    // database, with and without every-level checkpointing into a real
+    // file (atomic temp + fsync + rename per stamp). The guard is armed
+    // on both sides so the only variable is the persistence layer.
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let attrs = AttributeTable::with_identity_prices(N_ITEMS);
+    let mine_query = CorrelationQuery {
+        params: MiningParams::paper(),
+        constraints: ConstraintSet::new().and(Constraint::max_le("price", f64::from(N_ITEMS / 2))),
+    };
+    let ckpt_path = out_dir.join("bench_checkpoint.ccs");
+    let no_ckpt = time_mine(&db, &attrs, &mine_query, None);
+    let every_level = time_mine(&db, &attrs, &mine_query, Some(&ckpt_path));
+    let _ = std::fs::remove_file(&ckpt_path);
+    let overhead_pct = (every_level.seconds / no_ckpt.seconds - 1.0) * 100.0;
+
     let vertical_single = rows
         .iter()
         .find(|r| r.name == "vertical/per_candidate")
@@ -366,6 +445,19 @@ fn main() {
             r.tables_per_sec()
         );
     }
+    println!("checkpoint overhead (full BMS++ mine, armed guard both sides):");
+    println!(
+        "  no checkpoint: {:.6}s ({:.0} cand/s)",
+        no_ckpt.seconds,
+        no_ckpt.candidates_per_sec()
+    );
+    println!(
+        "  every level ({} stamps/run): {:.6}s ({:.0} cand/s, {:+.1}%)",
+        every_level.stamps_per_run,
+        every_level.seconds,
+        every_level.candidates_per_sec(),
+        overhead_pct
+    );
     println!("available parallelism on this host: {available}");
 
     let mut json = String::new();
@@ -434,6 +526,19 @@ fn main() {
         );
     }
     json.push_str("  ] },\n");
+    let _ = writeln!(
+        json,
+        "  \"checkpoint_overhead\": {{ \
+         \"no_checkpoint\": {{ \"median_seconds\": {:.6}, \"candidates_per_sec\": {:.1} }}, \
+         \"every_level\": {{ \"median_seconds\": {:.6}, \"candidates_per_sec\": {:.1}, \
+         \"stamps_per_run\": {} }}, \"overhead_percent\": {:.1} }},",
+        no_ckpt.seconds,
+        no_ckpt.candidates_per_sec(),
+        every_level.seconds,
+        every_level.candidates_per_sec(),
+        every_level.stamps_per_run,
+        overhead_pct
+    );
     let _ = writeln!(
         json,
         "  \"vertical_batch_speedup_over_per_candidate\": {speedup:.2},"

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use ccs_itemset::{CountProbe, Itemset};
 
 use crate::miner::Algorithm;
+use crate::persist::CheckpointRecorder;
 
 /// The resource limits a [`RunGuard`] enforces. All default to `None`
 /// (unlimited); a guard with empty limits is still *armed* — it tracks
@@ -167,6 +168,12 @@ struct GuardInner {
 #[derive(Debug, Clone)]
 pub struct RunGuard {
     inner: Arc<GuardInner>,
+    /// The durability layer's stamping hook, attached by the session when
+    /// a [`crate::CheckpointPolicy`] is configured. Rides on the guard
+    /// (not the engine or the miners) so the kernel can stamp at exactly
+    /// the points it takes resume snapshots without widening any miner
+    /// signature.
+    recorder: Option<Arc<CheckpointRecorder>>,
 }
 
 impl RunGuard {
@@ -189,6 +196,7 @@ impl RunGuard {
                 cancelled,
                 tripped: AtomicU8::new(TRIP_NONE),
             }),
+            recorder: None,
         }
     }
 
@@ -206,12 +214,27 @@ impl RunGuard {
                 cancelled: Arc::new(AtomicBool::new(false)),
                 tripped: AtomicU8::new(TRIP_NONE),
             }),
+            recorder: None,
         }
     }
 
     /// `true` when limits, cancellation, and snapshotting are active.
     pub fn is_armed(&self) -> bool {
         self.inner.armed
+    }
+
+    /// Attaches the durability recorder; governed state (budgets, trip
+    /// status, cancellation) stays shared with the original handle.
+    pub(crate) fn with_recorder(&self, recorder: Arc<CheckpointRecorder>) -> Self {
+        RunGuard {
+            inner: Arc::clone(&self.inner),
+            recorder: Some(recorder),
+        }
+    }
+
+    /// The attached durability recorder, if checkpointing is configured.
+    pub(crate) fn recorder(&self) -> Option<&CheckpointRecorder> {
+        self.recorder.as_deref()
     }
 
     /// The shared cancellation flag; raise it (or call

@@ -175,6 +175,20 @@ pub(crate) fn run_levelwise(
         };
         let snapshot = (mode == GuardMode::Checked && engine.guard().is_armed())
             .then(|| policy.snapshot(level, &cands));
+        // Durability: stamp a checkpoint at exactly the points a resume
+        // snapshot exists — the same level-boundary contract, so a crash
+        // replays the interrupted level from scratch, like a trip does.
+        if let (Some(inner), Some(recorder)) = (&snapshot, engine.guard().recorder()) {
+            recorder.stamp_level(
+                ResumeState {
+                    format: RESUME_FORMAT,
+                    algorithm: config.algorithm,
+                    inner: inner.clone(),
+                },
+                level,
+                metrics,
+            );
+        }
         if config.count_candidates {
             metrics.candidates_generated += cands.len() as u64;
         }

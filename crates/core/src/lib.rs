@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod miner;
 pub mod naive;
 pub mod params;
+pub mod persist;
 mod prep;
 pub mod query;
 pub mod session;
@@ -58,5 +59,10 @@ pub use miner::{
 pub use miner::{Algorithm, CountingStrategy, MiningOptions};
 pub use naive::{run_naive, NAIVE_MAX_ITEMS};
 pub use params::MiningParams;
+pub use persist::{
+    fingerprint_db, load_checkpoint, read_checkpoint_file, save_checkpoint, write_checkpoint_file,
+    Checkpoint, CheckpointCadence, CheckpointError, CheckpointPolicy, CheckpointReport,
+    CheckpointSink, CheckpointStatus, DbFingerprint, FileSink, MemorySink,
+};
 pub use query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 pub use session::{mine_on, resume_on, MineOutcome, MineRequest, MiningSession};

@@ -1,0 +1,1839 @@
+//! Crash-safe persistence for governed mining runs.
+//!
+//! PR 2/PR 5 gave every guarded run an exact in-memory [`ResumeState`]
+//! at each level boundary; this module makes those snapshots **durable**.
+//! A checkpoint file carries everything a fresh process needs to continue
+//! an interrupted sweep: the resume snapshot itself, the original query
+//! (parameters + constraint AST), a fingerprint of the database the run
+//! was mining, the metrics accumulated so far, and the answers already
+//! known at the stamp.
+//!
+//! ## File format (version 1)
+//!
+//! All integers are little-endian; `f64` is stored as its IEEE-754 bit
+//! pattern, so parameters round-trip exactly.
+//!
+//! | offset | bytes | field |
+//! |--------|-------|-------|
+//! | 0      | 8     | magic `"CCSCKPT\n"` |
+//! | 8      | 2     | file format version ([`CHECKPOINT_FILE_VERSION`]) |
+//! | 10     | 2     | resume format generation ([`RESUME_FORMAT`]) |
+//! | 12     | 4     | section count |
+//! | 16     | …     | sections |
+//! | end−4  | 4     | CRC32 of every preceding byte |
+//!
+//! Each section is self-describing — `u16` tag, `u16` reserved, `u64`
+//! payload length, payload, `u32` CRC32 of the payload — so a reader can
+//! skip tags it does not know (within a format generation) and corruption
+//! is localized to a section. The trailing whole-file CRC32 makes every
+//! torn prefix detectable: truncating the file at *any* byte boundary
+//! fails the load with [`CheckpointError::Corrupt`], never a panic and
+//! never a silently wrong resume.
+//!
+//! ## Atomicity
+//!
+//! [`FileSink`] commits a snapshot by writing to a sibling temporary
+//! file, `fsync`ing it, and atomically renaming it over the destination
+//! (then syncing the directory). A crash at any point leaves either the
+//! previous complete snapshot or the new complete snapshot on disk —
+//! never a torn hybrid. The fault-injection suite (`tests/durability.rs`)
+//! drives short writes, `ENOSPC`, fsync failures, and kill-after-K-bytes
+//! truncation through the [`CheckpointSink`] seam to prove it.
+//!
+//! ## Corruption handling
+//!
+//! Loading validates, in order: the magic header, the file and resume
+//! format tags, the whole-file checksum, each section checksum, and
+//! finally the payload grammar. Every failure maps to a typed
+//! [`CheckpointError`]; a corrupt or version-skewed checkpoint is a
+//! recoverable condition ("restart from scratch with a warning"), not a
+//! panic.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ccs_constraints::{AggFn, Cmp, Constraint, ConstraintSet};
+use ccs_itemset::{Itemset, TransactionDb};
+use thiserror::Error;
+
+use crate::guard::{BmsSnapshot, Completion};
+use crate::guard::{ResumeInner, ResumeState, TruncationReason, RESUME_FORMAT};
+use crate::metrics::MiningMetrics;
+use crate::miner::Algorithm;
+use crate::params::MiningParams;
+use crate::query::{CorrelationQuery, MiningResult};
+
+/// The eight magic bytes every checkpoint file starts with.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"CCSCKPT\n";
+
+/// The on-disk container version this build writes and reads. Bumped
+/// only when the header/section framing itself changes; snapshot
+/// *content* evolution is tracked by [`RESUME_FORMAT`].
+pub const CHECKPOINT_FILE_VERSION: u16 = 1;
+
+const TAG_META: u16 = 1;
+const TAG_QUERY: u16 = 2;
+const TAG_DBFP: u16 = 3;
+const TAG_METRICS: u16 = 4;
+const TAG_ANSWERS: u16 = 5;
+const TAG_RESUME: u16 = 6;
+
+/// Why a checkpoint could not be written or read back.
+///
+/// Deliberately *not* `Clone`/`PartialEq` (it carries an
+/// [`std::io::Error`]); match on the variant instead.
+#[derive(Debug, Error)]
+pub enum CheckpointError {
+    /// The bytes are not a complete, checksum-valid checkpoint: garbled
+    /// magic, a torn prefix, a failed CRC, or an ill-formed section
+    /// payload. The message pinpoints the first violation.
+    #[error("corrupt checkpoint: {0}")]
+    Corrupt(String),
+    /// The checkpoint was stamped by a different format generation
+    /// (container or resume format); its content cannot be interpreted
+    /// safely, so the run must be restarted instead of resumed.
+    #[error("checkpoint format {found} is not the {expected} this build reads; restart the run instead of resuming")]
+    FormatMismatch {
+        /// The tag found in the file.
+        found: u16,
+        /// The tag this build stamps and accepts.
+        expected: u16,
+    },
+    /// The checkpoint was taken against a different database (size or
+    /// content fingerprint differs); resuming would silently mine the
+    /// wrong data.
+    #[error("checkpoint does not match this database: {field} is {actual} here but was {stored} at stamp time; resume against the original database")]
+    DbMismatch {
+        /// Which fingerprint component disagreed.
+        field: &'static str,
+        /// The value recorded in the checkpoint.
+        stored: u64,
+        /// The value computed from the present database.
+        actual: u64,
+    },
+    /// The underlying I/O failed (write, fsync, rename, or read).
+    #[error("checkpoint I/O failed while {context}: {source}")]
+    Io {
+        /// What the sink was doing when the operation failed.
+        context: String,
+        /// The operating-system error.
+        #[source]
+        source: io::Error,
+    },
+}
+
+impl CheckpointError {
+    fn corrupt(msg: impl Into<String>) -> CheckpointError {
+        CheckpointError::Corrupt(msg.into())
+    }
+
+    fn io(context: impl Into<String>, source: io::Error) -> CheckpointError {
+        CheckpointError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC32 checksum (IEEE) used for both the per-section and the
+/// whole-file integrity checks.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Database fingerprint
+// ---------------------------------------------------------------------
+
+/// A cheap identity check for "is this the database the checkpoint was
+/// stamped against": the shape (transaction count, item-universe size)
+/// plus an FNV-1a hash of the full transaction content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbFingerprint {
+    /// Number of transactions.
+    pub n_transactions: u64,
+    /// Size of the item universe.
+    pub n_items: u32,
+    /// FNV-1a 64-bit hash over every transaction's item ids, in order.
+    pub content_hash: u64,
+}
+
+/// Computes the [`DbFingerprint`] of `db`. One full pass over the
+/// transactions; called once per save and once per load.
+pub fn fingerprint_db(db: &TransactionDb) -> DbFingerprint {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |b: u8| h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    for txn in db.transactions() {
+        for item in txn {
+            for b in item.id().to_le_bytes() {
+                eat(b);
+            }
+        }
+        eat(0xFF); // transaction separator
+    }
+    DbFingerprint {
+        n_transactions: db.len() as u64,
+        n_items: db.n_items(),
+        content_hash: h,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint value
+// ---------------------------------------------------------------------
+
+/// Where the run stood when the checkpoint was stamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointStatus {
+    /// A mid-run stamp at a level boundary: the run was still going, and
+    /// `level` is the one about to be evaluated. The embedded metrics
+    /// cover the work up to that boundary (counting-layer totals are
+    /// folded in at run end, so mid-run stamps may under-report them),
+    /// and the answer section is empty — answers are recomputed exactly
+    /// on resume.
+    InProgress {
+        /// The lattice level the interrupted sweep would evaluate next.
+        level: usize,
+    },
+    /// The final stamp of a truncated run: the guard tripped, the run
+    /// sealed a sound partial answer set, and this checkpoint is its
+    /// durable continuation.
+    Tripped {
+        /// Why the run stopped.
+        reason: TruncationReason,
+        /// The deepest fully-completed lattice level.
+        frontier_level: usize,
+        /// Contingency tables built before stopping.
+        sets_evaluated: u64,
+    },
+}
+
+/// One durable snapshot of a governed mining run: everything a fresh
+/// process needs to validate, report on, and continue the interrupted
+/// sweep. Serialize with [`Checkpoint::to_bytes`]; parse and validate
+/// with [`Checkpoint::from_bytes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The *original* (pre-normalization) query, so a resumed run passes
+    /// through exactly the same admission and analysis pipeline.
+    pub query: CorrelationQuery,
+    /// Fingerprint of the database the run was mining.
+    pub fingerprint: DbFingerprint,
+    /// Metrics accumulated up to the stamp.
+    pub metrics: MiningMetrics,
+    /// Answers known at the stamp: empty for mid-run stamps (they are
+    /// recomputed exactly on resume), the sealed sound partial answer
+    /// set for trip stamps.
+    pub answers: Vec<Itemset>,
+    /// Where the run stood.
+    pub status: CheckpointStatus,
+    /// The snapshot to re-enter the sweep from.
+    pub resume: ResumeState,
+}
+
+impl Checkpoint {
+    /// The algorithm that was running (pinned by the resume snapshot).
+    pub fn algorithm(&self) -> Algorithm {
+        self.resume.algorithm()
+    }
+
+    /// Serializes the checkpoint. Deterministic: the same checkpoint
+    /// always produces identical bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_FILE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.resume.format().to_le_bytes());
+        out.extend_from_slice(&6u32.to_le_bytes());
+        push_section(&mut out, TAG_META, &encode_meta(self));
+        push_section(&mut out, TAG_QUERY, &encode_query(&self.query));
+        push_section(&mut out, TAG_DBFP, &encode_fingerprint(&self.fingerprint));
+        push_section(&mut out, TAG_METRICS, &encode_metrics(&self.metrics));
+        push_section(&mut out, TAG_ANSWERS, &encode_itemsets(&self.answers));
+        push_section(&mut out, TAG_RESUME, &encode_resume(&self.resume.inner));
+        let file_crc = crc32(&out);
+        out.extend_from_slice(&file_crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] on a garbled magic header, torn
+    /// prefix, checksum failure, or ill-formed payload;
+    /// [`CheckpointError::FormatMismatch`] when the file or resume
+    /// format tag belongs to a different build generation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        if bytes.len() < CHECKPOINT_MAGIC.len() {
+            return Err(CheckpointError::corrupt(format!(
+                "{} bytes is shorter than the magic header",
+                bytes.len()
+            )));
+        }
+        if bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::corrupt("bad magic header"));
+        }
+        if bytes.len() < 16 {
+            return Err(CheckpointError::corrupt("truncated header"));
+        }
+        let file_version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if file_version != CHECKPOINT_FILE_VERSION {
+            return Err(CheckpointError::FormatMismatch {
+                found: file_version,
+                expected: CHECKPOINT_FILE_VERSION,
+            });
+        }
+        let resume_format = u16::from_le_bytes([bytes[10], bytes[11]]);
+        if resume_format != RESUME_FORMAT {
+            return Err(CheckpointError::FormatMismatch {
+                found: resume_format,
+                expected: RESUME_FORMAT,
+            });
+        }
+        // Whole-file checksum: catches every torn prefix and any byte
+        // flip anywhere, before section parsing trusts a single length.
+        if bytes.len() < 20 {
+            return Err(CheckpointError::corrupt("truncated before trailer"));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored = read_u32_at(bytes, bytes.len() - 4);
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(CheckpointError::corrupt(format!(
+                "file checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
+        let n_sections = read_u32_at(bytes, 12) as usize;
+        let mut dec = Dec::new(&body[16..]);
+        let mut meta = None;
+        let mut query = None;
+        let mut fingerprint = None;
+        let mut metrics = None;
+        let mut answers = None;
+        let mut resume = None;
+        for _ in 0..n_sections {
+            let tag = dec.u16()?;
+            let _reserved = dec.u16()?;
+            let len = dec.len_prefixed()?;
+            let payload = dec.bytes(len)?;
+            let section_crc = dec.u32()?;
+            let computed = crc32(payload);
+            if section_crc != computed {
+                return Err(CheckpointError::corrupt(format!(
+                    "section {tag} checksum mismatch"
+                )));
+            }
+            let mut p = Dec::new(payload);
+            match tag {
+                TAG_META => set_once(&mut meta, decode_meta(&mut p)?, "META")?,
+                TAG_QUERY => set_once(&mut query, decode_query(&mut p)?, "QUERY")?,
+                TAG_DBFP => set_once(&mut fingerprint, decode_fingerprint(&mut p)?, "DBFP")?,
+                TAG_METRICS => set_once(&mut metrics, decode_metrics(&mut p)?, "METRICS")?,
+                TAG_ANSWERS => set_once(&mut answers, decode_itemsets(&mut p)?, "ANSWERS")?,
+                TAG_RESUME => set_once(&mut resume, decode_resume(&mut p)?, "RESUME")?,
+                // Unknown sections from a same-generation writer with
+                // extra data: checksum-verified above, then skipped.
+                _ => continue,
+            }
+            p.finish(tag)?;
+        }
+        if !dec.is_empty() {
+            return Err(CheckpointError::corrupt(
+                "trailing bytes after the last section",
+            ));
+        }
+        let (algorithm, status) = section(meta, "META")?;
+        let inner = section(resume, "RESUME")?;
+        Ok(Checkpoint {
+            query: section(query, "QUERY")?,
+            fingerprint: section(fingerprint, "DBFP")?,
+            metrics: section(metrics, "METRICS")?,
+            answers: section(answers, "ANSWERS")?,
+            status,
+            resume: ResumeState {
+                format: resume_format,
+                algorithm,
+                inner,
+            },
+        })
+    }
+
+    /// Checks that `db` is the database this checkpoint was stamped
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::DbMismatch`] naming the first fingerprint
+    /// component that disagrees.
+    pub fn verify_db(&self, db: &TransactionDb) -> Result<(), CheckpointError> {
+        let actual = fingerprint_db(db);
+        let stored = self.fingerprint;
+        if stored.n_transactions != actual.n_transactions {
+            return Err(CheckpointError::DbMismatch {
+                field: "transaction count",
+                stored: stored.n_transactions,
+                actual: actual.n_transactions,
+            });
+        }
+        if stored.n_items != actual.n_items {
+            return Err(CheckpointError::DbMismatch {
+                field: "item universe size",
+                stored: stored.n_items as u64,
+                actual: actual.n_items as u64,
+            });
+        }
+        if stored.content_hash != actual.content_hash {
+            return Err(CheckpointError::DbMismatch {
+                field: "content hash",
+                stored: stored.content_hash,
+                actual: actual.content_hash,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, name: &str) -> Result<(), CheckpointError> {
+    if slot.is_some() {
+        return Err(CheckpointError::corrupt(format!(
+            "duplicate {name} section"
+        )));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn section<T>(slot: Option<T>, name: &str) -> Result<T, CheckpointError> {
+    slot.ok_or_else(|| CheckpointError::corrupt(format!("missing {name} section")))
+}
+
+fn read_u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+fn push_section(out: &mut Vec<u8>, tag: u16, payload: &[u8]) {
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding / decoding
+// ---------------------------------------------------------------------
+
+/// Bounded little-endian reader over one payload; every primitive is
+/// range-checked, so an ill-formed payload is a typed `Corrupt` error,
+/// never a panic or a huge allocation.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn finish(&self, tag: u16) -> Result<(), CheckpointError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CheckpointError::corrupt(format!(
+                "section {tag} has trailing bytes"
+            )))
+        }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| CheckpointError::corrupt("payload overruns its section"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| CheckpointError::corrupt("value exceeds this platform's usize"))
+    }
+
+    /// A `u64` length that must still fit in the remaining bytes (each
+    /// counted element is at least one byte), bounding allocations.
+    fn len_prefixed(&mut self) -> Result<usize, CheckpointError> {
+        let len = self.usize()?;
+        if len > self.bytes.len() - self.pos {
+            return Err(CheckpointError::corrupt(
+                "length prefix exceeds the remaining payload",
+            ));
+        }
+        Ok(len)
+    }
+
+    fn string(&mut self) -> Result<String, CheckpointError> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CheckpointError::corrupt("string is not valid UTF-8"))
+    }
+
+    fn u32_set(&mut self) -> Result<std::collections::BTreeSet<u32>, CheckpointError> {
+        let n = self.u32()? as usize;
+        let mut set = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            set.insert(self.u32()?);
+        }
+        Ok(set)
+    }
+
+    fn itemset(&mut self) -> Result<Itemset, CheckpointError> {
+        let n = self.u32()? as usize;
+        if n * 4 > self.bytes.len() - self.pos {
+            return Err(CheckpointError::corrupt("itemset overruns its section"));
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(self.u32()?);
+        }
+        Ok(Itemset::from_ids(ids))
+    }
+
+    fn itemsets(&mut self) -> Result<Vec<Itemset>, CheckpointError> {
+        let n = self.len_prefixed()?;
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            sets.push(self.itemset()?);
+        }
+        Ok(sets)
+    }
+
+    fn levels(&mut self) -> Result<Vec<(usize, Vec<Itemset>)>, CheckpointError> {
+        let n = self.len_prefixed()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = self.usize()?;
+            out.push((k, self.itemsets()?));
+        }
+        Ok(out)
+    }
+}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn u32_set(&mut self, set: &std::collections::BTreeSet<u32>) {
+        self.u32(set.len() as u32);
+        for &v in set {
+            self.u32(v);
+        }
+    }
+
+    fn itemset(&mut self, set: &Itemset) {
+        self.u32(set.len() as u32);
+        for item in set.iter() {
+            self.u32(item.id());
+        }
+    }
+
+    fn itemsets(&mut self, sets: &[Itemset]) {
+        self.usize(sets.len());
+        for s in sets {
+            self.itemset(s);
+        }
+    }
+
+    fn levels(&mut self, levels: &[(usize, Vec<Itemset>)]) {
+        self.usize(levels.len());
+        for (k, sets) in levels {
+            self.usize(*k);
+            self.itemsets(sets);
+        }
+    }
+}
+
+fn algorithm_code(a: Algorithm) -> u8 {
+    match a {
+        Algorithm::BmsPlus => 0,
+        Algorithm::BmsPlusPlus => 1,
+        Algorithm::BmsStar => 2,
+        Algorithm::BmsStarStar => 3,
+        Algorithm::Naive => 4,
+        Algorithm::NaiveMinValid => 5,
+    }
+}
+
+fn code_algorithm(code: u8) -> Result<Algorithm, CheckpointError> {
+    Ok(match code {
+        0 => Algorithm::BmsPlus,
+        1 => Algorithm::BmsPlusPlus,
+        2 => Algorithm::BmsStar,
+        3 => Algorithm::BmsStarStar,
+        4 => Algorithm::Naive,
+        5 => Algorithm::NaiveMinValid,
+        other => {
+            return Err(CheckpointError::corrupt(format!(
+                "unknown algorithm code {other}"
+            )))
+        }
+    })
+}
+
+fn reason_code(reason: TruncationReason) -> u8 {
+    match reason {
+        TruncationReason::Deadline => 1,
+        TruncationReason::WorkBudget => 2,
+        TruncationReason::MemoryBudget => 3,
+        TruncationReason::Cancelled => 4,
+    }
+}
+
+fn code_reason(code: u8) -> Result<TruncationReason, CheckpointError> {
+    Ok(match code {
+        1 => TruncationReason::Deadline,
+        2 => TruncationReason::WorkBudget,
+        3 => TruncationReason::MemoryBudget,
+        4 => TruncationReason::Cancelled,
+        other => {
+            return Err(CheckpointError::corrupt(format!(
+                "unknown truncation reason code {other}"
+            )))
+        }
+    })
+}
+
+fn encode_meta(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(algorithm_code(ckpt.algorithm()));
+    match ckpt.status {
+        CheckpointStatus::InProgress { level } => {
+            e.u8(0);
+            e.usize(level);
+        }
+        CheckpointStatus::Tripped {
+            reason,
+            frontier_level,
+            sets_evaluated,
+        } => {
+            e.u8(1);
+            e.u8(reason_code(reason));
+            e.usize(frontier_level);
+            e.u64(sets_evaluated);
+        }
+    }
+    e.buf
+}
+
+fn decode_meta(d: &mut Dec<'_>) -> Result<(Algorithm, CheckpointStatus), CheckpointError> {
+    let algorithm = code_algorithm(d.u8()?)?;
+    let status = match d.u8()? {
+        0 => CheckpointStatus::InProgress { level: d.usize()? },
+        1 => CheckpointStatus::Tripped {
+            reason: code_reason(d.u8()?)?,
+            frontier_level: d.usize()?,
+            sets_evaluated: d.u64()?,
+        },
+        other => {
+            return Err(CheckpointError::corrupt(format!(
+                "unknown checkpoint status code {other}"
+            )))
+        }
+    };
+    Ok((algorithm, status))
+}
+
+fn encode_query(query: &CorrelationQuery) -> Vec<u8> {
+    let mut e = Enc::new();
+    let p = &query.params;
+    e.f64(p.confidence);
+    e.f64(p.support_fraction);
+    e.f64(p.ct_fraction);
+    e.f64(p.min_item_support);
+    e.usize(p.max_level);
+    let constraints = query.constraints.constraints();
+    e.u32(constraints.len() as u32);
+    for c in constraints {
+        encode_constraint(&mut e, c);
+    }
+    e.buf
+}
+
+fn decode_query(d: &mut Dec<'_>) -> Result<CorrelationQuery, CheckpointError> {
+    let params = MiningParams {
+        confidence: d.f64()?,
+        support_fraction: d.f64()?,
+        ct_fraction: d.f64()?,
+        min_item_support: d.f64()?,
+        max_level: d.usize()?,
+    };
+    let n = d.u32()? as usize;
+    let mut constraints = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        constraints.push(decode_constraint(d)?);
+    }
+    Ok(CorrelationQuery {
+        params,
+        constraints: ConstraintSet::from_vec(constraints),
+    })
+}
+
+fn agg_code(agg: AggFn) -> u8 {
+    match agg {
+        AggFn::Min => 0,
+        AggFn::Max => 1,
+        AggFn::Sum => 2,
+        AggFn::Count => 3,
+    }
+}
+
+fn code_agg(code: u8) -> Result<AggFn, CheckpointError> {
+    Ok(match code {
+        0 => AggFn::Min,
+        1 => AggFn::Max,
+        2 => AggFn::Sum,
+        3 => AggFn::Count,
+        other => {
+            return Err(CheckpointError::corrupt(format!(
+                "unknown aggregate code {other}"
+            )))
+        }
+    })
+}
+
+fn cmp_code(cmp: Cmp) -> u8 {
+    match cmp {
+        Cmp::Le => 0,
+        Cmp::Ge => 1,
+    }
+}
+
+fn code_cmp(code: u8) -> Result<Cmp, CheckpointError> {
+    Ok(match code {
+        0 => Cmp::Le,
+        1 => Cmp::Ge,
+        other => {
+            return Err(CheckpointError::corrupt(format!(
+                "unknown comparison code {other}"
+            )))
+        }
+    })
+}
+
+fn encode_constraint(e: &mut Enc, c: &Constraint) {
+    match c {
+        Constraint::Agg {
+            agg,
+            attr,
+            cmp,
+            value,
+        } => {
+            e.u8(0);
+            e.u8(agg_code(*agg));
+            e.string(attr);
+            e.u8(cmp_code(*cmp));
+            e.f64(*value);
+        }
+        Constraint::ConstSubset {
+            attr,
+            categories,
+            negated,
+        } => {
+            e.u8(1);
+            e.string(attr);
+            e.u32_set(categories);
+            e.u8(*negated as u8);
+        }
+        Constraint::Disjoint {
+            attr,
+            categories,
+            negated,
+        } => {
+            e.u8(2);
+            e.string(attr);
+            e.u32_set(categories);
+            e.u8(*negated as u8);
+        }
+        Constraint::CountDistinct { attr, cmp, value } => {
+            e.u8(3);
+            e.string(attr);
+            e.u8(cmp_code(*cmp));
+            e.u64(*value);
+        }
+        Constraint::Avg { attr, cmp, value } => {
+            e.u8(4);
+            e.string(attr);
+            e.u8(cmp_code(*cmp));
+            e.f64(*value);
+        }
+        Constraint::ItemSubset { items, negated } => {
+            e.u8(5);
+            e.u32_set(items);
+            e.u8(*negated as u8);
+        }
+        Constraint::ItemDisjoint { items, negated } => {
+            e.u8(6);
+            e.u32_set(items);
+            e.u8(*negated as u8);
+        }
+    }
+}
+
+fn decode_bool(d: &mut Dec<'_>) -> Result<bool, CheckpointError> {
+    match d.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(CheckpointError::corrupt(format!(
+            "invalid boolean byte {other}"
+        ))),
+    }
+}
+
+fn decode_constraint(d: &mut Dec<'_>) -> Result<Constraint, CheckpointError> {
+    Ok(match d.u8()? {
+        0 => Constraint::Agg {
+            agg: code_agg(d.u8()?)?,
+            attr: d.string()?,
+            cmp: code_cmp(d.u8()?)?,
+            value: d.f64()?,
+        },
+        1 => Constraint::ConstSubset {
+            attr: d.string()?,
+            categories: d.u32_set()?,
+            negated: decode_bool(d)?,
+        },
+        2 => Constraint::Disjoint {
+            attr: d.string()?,
+            categories: d.u32_set()?,
+            negated: decode_bool(d)?,
+        },
+        3 => Constraint::CountDistinct {
+            attr: d.string()?,
+            cmp: code_cmp(d.u8()?)?,
+            value: d.u64()?,
+        },
+        4 => Constraint::Avg {
+            attr: d.string()?,
+            cmp: code_cmp(d.u8()?)?,
+            value: d.f64()?,
+        },
+        5 => Constraint::ItemSubset {
+            items: d.u32_set()?,
+            negated: decode_bool(d)?,
+        },
+        6 => Constraint::ItemDisjoint {
+            items: d.u32_set()?,
+            negated: decode_bool(d)?,
+        },
+        other => {
+            return Err(CheckpointError::corrupt(format!(
+                "unknown constraint code {other}"
+            )))
+        }
+    })
+}
+
+fn encode_fingerprint(fp: &DbFingerprint) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(fp.n_transactions);
+    e.u32(fp.n_items);
+    e.u64(fp.content_hash);
+    e.buf
+}
+
+fn decode_fingerprint(d: &mut Dec<'_>) -> Result<DbFingerprint, CheckpointError> {
+    Ok(DbFingerprint {
+        n_transactions: d.u64()?,
+        n_items: d.u32()?,
+        content_hash: d.u64()?,
+    })
+}
+
+fn encode_metrics(m: &MiningMetrics) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(m.candidates_generated);
+    e.u64(m.tables_built);
+    e.u64(m.pruned_before_count);
+    e.u64(m.db_scans);
+    e.u64(m.transactions_visited);
+    e.u64(m.cells_counted);
+    e.u64(m.cache_hits);
+    e.u64(m.degraded_batches);
+    e.usize(m.max_level_reached);
+    e.u64(m.sig_size);
+    e.u64(m.notsig_size);
+    e.u64(m.elapsed.as_secs());
+    e.u32(m.elapsed.subsec_nanos());
+    e.buf
+}
+
+fn decode_metrics(d: &mut Dec<'_>) -> Result<MiningMetrics, CheckpointError> {
+    Ok(MiningMetrics {
+        candidates_generated: d.u64()?,
+        tables_built: d.u64()?,
+        pruned_before_count: d.u64()?,
+        db_scans: d.u64()?,
+        transactions_visited: d.u64()?,
+        cells_counted: d.u64()?,
+        cache_hits: d.u64()?,
+        degraded_batches: d.u64()?,
+        max_level_reached: d.usize()?,
+        sig_size: d.u64()?,
+        notsig_size: d.u64()?,
+        elapsed: std::time::Duration::new(d.u64()?, {
+            let nanos = d.u32()?;
+            if nanos >= 1_000_000_000 {
+                return Err(CheckpointError::corrupt("elapsed nanoseconds out of range"));
+            }
+            nanos
+        }),
+    })
+}
+
+fn encode_itemsets(sets: &[Itemset]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.itemsets(sets);
+    e.buf
+}
+
+fn decode_itemsets(d: &mut Dec<'_>) -> Result<Vec<Itemset>, CheckpointError> {
+    d.itemsets()
+}
+
+fn encode_bms_snapshot(e: &mut Enc, s: &BmsSnapshot) {
+    e.usize(s.level);
+    e.itemsets(&s.cands);
+    e.itemsets(&s.sig);
+    e.itemsets(&s.notsig);
+}
+
+fn decode_bms_snapshot(d: &mut Dec<'_>) -> Result<BmsSnapshot, CheckpointError> {
+    Ok(BmsSnapshot {
+        level: d.usize()?,
+        cands: d.itemsets()?,
+        sig: d.itemsets()?,
+        notsig: d.itemsets()?,
+    })
+}
+
+fn encode_resume(inner: &ResumeInner) -> Vec<u8> {
+    let mut e = Enc::new();
+    match inner {
+        ResumeInner::Bms(s) => {
+            e.u8(0);
+            encode_bms_snapshot(&mut e, s);
+        }
+        ResumeInner::PlusPlus {
+            level,
+            cands,
+            sig_candidates,
+        } => {
+            e.u8(1);
+            e.usize(*level);
+            e.itemsets(cands);
+            e.itemsets(sig_candidates);
+        }
+        ResumeInner::StarPhase1(s) => {
+            e.u8(2);
+            encode_bms_snapshot(&mut e, s);
+        }
+        ResumeInner::StarPhase2 {
+            k,
+            sig,
+            frontier,
+            seen,
+        } => {
+            e.u8(3);
+            e.usize(*k);
+            e.itemsets(sig);
+            e.levels(frontier);
+            e.itemsets(seen);
+        }
+        ResumeInner::StarStarPhase1 { level, cands, supp } => {
+            e.u8(4);
+            e.usize(*level);
+            e.itemsets(cands);
+            e.levels(supp);
+        }
+        ResumeInner::StarStarPhase2 {
+            k,
+            current,
+            sig,
+            supp,
+        } => {
+            e.u8(5);
+            e.usize(*k);
+            e.itemsets(current);
+            e.itemsets(sig);
+            e.levels(supp);
+        }
+        ResumeInner::NaiveRestart => e.u8(6),
+    }
+    e.buf
+}
+
+fn decode_resume(d: &mut Dec<'_>) -> Result<ResumeInner, CheckpointError> {
+    Ok(match d.u8()? {
+        0 => ResumeInner::Bms(decode_bms_snapshot(d)?),
+        1 => ResumeInner::PlusPlus {
+            level: d.usize()?,
+            cands: d.itemsets()?,
+            sig_candidates: d.itemsets()?,
+        },
+        2 => ResumeInner::StarPhase1(decode_bms_snapshot(d)?),
+        3 => ResumeInner::StarPhase2 {
+            k: d.usize()?,
+            sig: d.itemsets()?,
+            frontier: d.levels()?,
+            seen: d.itemsets()?,
+        },
+        4 => ResumeInner::StarStarPhase1 {
+            level: d.usize()?,
+            cands: d.itemsets()?,
+            supp: d.levels()?,
+        },
+        5 => ResumeInner::StarStarPhase2 {
+            k: d.usize()?,
+            current: d.itemsets()?,
+            sig: d.itemsets()?,
+            supp: d.levels()?,
+        },
+        6 => ResumeInner::NaiveRestart,
+        other => {
+            return Err(CheckpointError::corrupt(format!(
+                "unknown resume snapshot code {other}"
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+/// Where committed checkpoint bytes go. The seam the fault-injection
+/// suite plugs into: production uses [`FileSink`]; tests wrap it (or
+/// replace it) with sinks that inject short writes, `ENOSPC`, fsync
+/// failures, and torn-write truncation.
+///
+/// A `commit` must be **atomic**: after it returns (success *or*
+/// failure), a subsequent [`CheckpointSink::load`] observes either the
+/// previous complete snapshot or the new complete snapshot, never a torn
+/// hybrid.
+pub trait CheckpointSink: Send {
+    /// Durably replaces the current snapshot with `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; the previous snapshot must survive it.
+    fn commit(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads back the current snapshot, or `None` if nothing has been
+    /// committed yet.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure other than the snapshot not existing.
+    fn load(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// The production sink: write-to-temp + fsync + atomic rename (+
+/// directory sync), so the destination path always holds a complete
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct FileSink {
+    path: PathBuf,
+}
+
+impl FileSink {
+    /// A sink committing to `path` (conventionally `*.ccs`); the sibling
+    /// temporary file is `path` + `.tmp`.
+    pub fn new(path: impl Into<PathBuf>) -> FileSink {
+        FileSink { path: path.into() }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    }
+}
+
+impl CheckpointSink for FileSink {
+    fn commit(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.tmp_path();
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        // Make the rename itself durable. Failure to sync the directory
+        // is not a torn state (the rename was atomic), so best-effort.
+        #[cfg(unix)]
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(&self.path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// An in-memory sink for tests and embedders: `commit` replaces the
+/// stored snapshot wholesale (atomic by construction).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    snapshot: Option<Vec<u8>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The current snapshot, if one has been committed.
+    pub fn snapshot(&self) -> Option<&[u8]> {
+        self.snapshot.as_deref()
+    }
+}
+
+impl CheckpointSink for MemorySink {
+    fn commit(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.snapshot = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn load(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.snapshot.clone())
+    }
+}
+
+/// Saves `ckpt` through a sink, mapping sink failures to
+/// [`CheckpointError::Io`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the sink's commit fails.
+pub fn save_checkpoint(
+    sink: &mut dyn CheckpointSink,
+    ckpt: &Checkpoint,
+) -> Result<(), CheckpointError> {
+    sink.commit(&ckpt.to_bytes())
+        .map_err(|e| CheckpointError::io("committing the snapshot", e))
+}
+
+/// Loads and validates the sink's current snapshot; `Ok(None)` when the
+/// sink holds nothing yet.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on read failure, plus every
+/// [`Checkpoint::from_bytes`] validation error.
+pub fn load_checkpoint(
+    sink: &mut dyn CheckpointSink,
+) -> Result<Option<Checkpoint>, CheckpointError> {
+    match sink
+        .load()
+        .map_err(|e| CheckpointError::io("reading the snapshot", e))?
+    {
+        None => Ok(None),
+        Some(bytes) => Checkpoint::from_bytes(&bytes).map(Some),
+    }
+}
+
+/// Reads and validates the checkpoint file at `path`.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the file cannot be read (including when
+/// it does not exist), plus every [`Checkpoint::from_bytes`] validation
+/// error.
+pub fn read_checkpoint_file(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    let path = path.as_ref();
+    let bytes = fs::read(path)
+        .map_err(|e| CheckpointError::io(format!("reading {}", path.display()), e))?;
+    Checkpoint::from_bytes(&bytes)
+}
+
+/// Atomically writes `ckpt` to `path` via a [`FileSink`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the write, fsync, or rename fails.
+pub fn write_checkpoint_file(
+    path: impl AsRef<Path>,
+    ckpt: &Checkpoint,
+) -> Result<(), CheckpointError> {
+    save_checkpoint(&mut FileSink::new(path.as_ref()), ckpt)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint policy and recorder
+// ---------------------------------------------------------------------
+
+/// When a governed run stamps durable checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCadence {
+    /// At every level boundary where the kernel takes a resume snapshot.
+    EveryLevel,
+    /// At every `n`-th level boundary (1 behaves like
+    /// [`CheckpointCadence::EveryLevel`]; 0 is treated as 1).
+    EveryLevels(usize),
+    /// Only the final stamp of a truncated run (cheapest; a hard crash
+    /// before the trip leaves no checkpoint).
+    OnTrip,
+}
+
+impl CheckpointCadence {
+    fn stamps_level(self, stamp_index: u64) -> bool {
+        match self {
+            CheckpointCadence::EveryLevel => true,
+            CheckpointCadence::EveryLevels(n) => stamp_index.is_multiple_of(n.max(1) as u64),
+            CheckpointCadence::OnTrip => false,
+        }
+    }
+}
+
+/// Durability configuration for a [`crate::MineRequest`]: where
+/// checkpoints go and how often they are stamped. Whatever the cadence,
+/// a guard trip always stamps a final checkpoint — the durable
+/// continuation behind `ccs resume`.
+#[derive(Clone)]
+pub struct CheckpointPolicy {
+    cadence: CheckpointCadence,
+    sink: Arc<Mutex<Box<dyn CheckpointSink>>>,
+}
+
+impl CheckpointPolicy {
+    /// A policy committing through `sink` at `cadence`.
+    pub fn new(sink: Box<dyn CheckpointSink>, cadence: CheckpointCadence) -> CheckpointPolicy {
+        CheckpointPolicy {
+            cadence,
+            sink: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// A policy committing atomically to the file at `path`.
+    pub fn file(path: impl Into<PathBuf>, cadence: CheckpointCadence) -> CheckpointPolicy {
+        CheckpointPolicy::new(Box::new(FileSink::new(path)), cadence)
+    }
+
+    /// The stamping cadence.
+    pub fn cadence(&self) -> CheckpointCadence {
+        self.cadence
+    }
+
+    /// Builds the per-run recorder the session threads through the guard.
+    pub(crate) fn recorder(
+        &self,
+        query: CorrelationQuery,
+        fingerprint: DbFingerprint,
+    ) -> Arc<CheckpointRecorder> {
+        Arc::new(CheckpointRecorder {
+            cadence: self.cadence,
+            sink: Arc::clone(&self.sink),
+            query,
+            fingerprint,
+            stamps_seen: AtomicU64::new(0),
+            written: AtomicU64::new(0),
+            first_error: Mutex::new(None),
+        })
+    }
+}
+
+impl fmt::Debug for CheckpointPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointPolicy")
+            .field("cadence", &self.cadence)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a run's durability layer did: how many snapshots were committed
+/// and the first write error, if any. Checkpoint writes are best-effort —
+/// a failing sink degrades durability, never the mining result — so the
+/// error is reported here instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointReport {
+    /// Snapshots committed successfully.
+    pub written: u64,
+    /// The first commit failure, rendered; later stamps are still
+    /// attempted (a transient `ENOSPC` may clear).
+    pub error: Option<String>,
+}
+
+/// The per-run stamping state: pre-baked run-constant sections (query,
+/// fingerprint), the sink, and the cadence counter. Carried by the
+/// [`crate::RunGuard`] so the kernel can stamp at exactly the points it
+/// takes resume snapshots, without widening any miner signature.
+pub(crate) struct CheckpointRecorder {
+    cadence: CheckpointCadence,
+    sink: Arc<Mutex<Box<dyn CheckpointSink>>>,
+    query: CorrelationQuery,
+    fingerprint: DbFingerprint,
+    stamps_seen: AtomicU64,
+    written: AtomicU64,
+    first_error: Mutex<Option<String>>,
+}
+
+impl CheckpointRecorder {
+    /// A mid-run stamp at a level boundary, gated by the cadence.
+    pub(crate) fn stamp_level(&self, state: ResumeState, level: usize, metrics: &MiningMetrics) {
+        let index = self.stamps_seen.fetch_add(1, Ordering::Relaxed);
+        if !self.cadence.stamps_level(index) {
+            return;
+        }
+        self.write(Checkpoint {
+            query: self.query.clone(),
+            fingerprint: self.fingerprint,
+            metrics: metrics.clone(),
+            answers: Vec::new(),
+            status: CheckpointStatus::InProgress { level },
+            resume: state,
+        });
+    }
+
+    /// The final stamp of a truncated run — written under every cadence,
+    /// so exit code 2 always leaves a durable continuation. A no-op for
+    /// complete runs (their checkpoint file, if any, goes stale but
+    /// still resumes to the same final answer).
+    pub(crate) fn stamp_trip(&self, result: &MiningResult) {
+        let (
+            Completion::Truncated {
+                reason,
+                frontier_level,
+                sets_evaluated,
+            },
+            Some(resume),
+        ) = (result.completion, &result.resume)
+        else {
+            return;
+        };
+        self.write(Checkpoint {
+            query: self.query.clone(),
+            fingerprint: self.fingerprint,
+            metrics: result.metrics.clone(),
+            answers: result.answers.clone(),
+            status: CheckpointStatus::Tripped {
+                reason,
+                frontier_level,
+                sets_evaluated,
+            },
+            resume: resume.clone(),
+        });
+    }
+
+    fn write(&self, ckpt: Checkpoint) {
+        let bytes = ckpt.to_bytes();
+        let committed = match self.sink.lock() {
+            Ok(mut sink) => sink.commit(&bytes),
+            Err(_) => Err(io::Error::other("checkpoint sink mutex poisoned")),
+        };
+        match committed {
+            Ok(()) => {
+                self.written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                if let Ok(mut slot) = self.first_error.lock() {
+                    slot.get_or_insert_with(|| e.to_string());
+                }
+            }
+        }
+    }
+
+    /// The run's durability summary.
+    pub(crate) fn report(&self) -> CheckpointReport {
+        CheckpointReport {
+            written: self.written.load(Ordering::Relaxed),
+            error: self.first_error.lock().ok().and_then(|slot| slot.clone()),
+        }
+    }
+}
+
+impl fmt::Debug for CheckpointRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointRecorder")
+            .field("cadence", &self.cadence)
+            .field("written", &self.written.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardLimits;
+    use crate::RunGuard;
+
+    fn sample_state() -> ResumeState {
+        ResumeState {
+            format: RESUME_FORMAT,
+            algorithm: Algorithm::BmsStarStar,
+            inner: ResumeInner::StarStarPhase2 {
+                k: 3,
+                current: vec![Itemset::from_ids([0, 1, 2])],
+                sig: vec![Itemset::from_ids([4, 5])],
+                supp: vec![(
+                    2,
+                    vec![Itemset::from_ids([0, 1]), Itemset::from_ids([1, 2])],
+                )],
+            },
+        }
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let query = CorrelationQuery {
+            params: MiningParams {
+                confidence: 0.9,
+                support_fraction: 0.1,
+                ct_fraction: 0.25,
+                min_item_support: 0.0,
+                max_level: 4,
+            },
+            constraints: ConstraintSet::new()
+                .and(Constraint::max_le("price", 7.0))
+                .and(Constraint::sum_ge("price", 3.0))
+                .and(Constraint::ItemSubset {
+                    items: [1, 3].into_iter().collect(),
+                    negated: true,
+                }),
+        };
+        Checkpoint {
+            query,
+            fingerprint: DbFingerprint {
+                n_transactions: 160,
+                n_items: 8,
+                content_hash: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            metrics: MiningMetrics {
+                candidates_generated: 42,
+                tables_built: 17,
+                max_level_reached: 3,
+                elapsed: std::time::Duration::new(1, 234_567_890),
+                ..MiningMetrics::default()
+            },
+            answers: vec![Itemset::from_ids([0, 1]), Itemset::from_ids([2, 4, 5])],
+            status: CheckpointStatus::Tripped {
+                reason: TruncationReason::WorkBudget,
+                frontier_level: 2,
+                sets_evaluated: 17,
+            },
+            resume: sample_state(),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.algorithm(), Algorithm::BmsStarStar);
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        let ckpt = sample_checkpoint();
+        assert_eq!(ckpt.to_bytes(), ckpt.to_bytes());
+    }
+
+    #[test]
+    fn every_resume_variant_round_trips() {
+        let bms = BmsSnapshot {
+            level: 2,
+            cands: vec![Itemset::from_ids([0, 1])],
+            sig: vec![],
+            notsig: vec![Itemset::from_ids([3])],
+        };
+        let variants = [
+            (ResumeInner::Bms(bms.clone()), Algorithm::BmsPlus),
+            (
+                ResumeInner::PlusPlus {
+                    level: 3,
+                    cands: vec![Itemset::from_ids([0, 1, 2])],
+                    sig_candidates: vec![Itemset::from_ids([4, 5])],
+                },
+                Algorithm::BmsPlusPlus,
+            ),
+            (ResumeInner::StarPhase1(bms), Algorithm::BmsStar),
+            (
+                ResumeInner::StarPhase2 {
+                    k: 3,
+                    sig: vec![Itemset::from_ids([0, 1])],
+                    frontier: vec![(3, vec![Itemset::from_ids([0, 1, 2])])],
+                    seen: vec![Itemset::from_ids([0, 1])],
+                },
+                Algorithm::BmsStar,
+            ),
+            (
+                ResumeInner::StarStarPhase1 {
+                    level: 2,
+                    cands: vec![],
+                    supp: vec![(2, vec![Itemset::from_ids([6, 7])])],
+                },
+                Algorithm::BmsStarStar,
+            ),
+            (ResumeInner::NaiveRestart, Algorithm::Naive),
+        ];
+        for (inner, algorithm) in variants {
+            let mut ckpt = sample_checkpoint();
+            ckpt.resume = ResumeState {
+                format: RESUME_FORMAT,
+                algorithm,
+                inner,
+            };
+            let back = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+            assert_eq!(back.resume, ckpt.resume);
+        }
+    }
+
+    #[test]
+    fn every_torn_prefix_is_rejected_cleanly() {
+        let bytes = sample_checkpoint().to_bytes();
+        for cut in 0..bytes.len() {
+            match Checkpoint::from_bytes(&bytes[..cut]) {
+                Err(CheckpointError::Corrupt(_)) => {}
+                other => panic!("prefix of {cut} bytes: expected Corrupt, got {other:?}"),
+            }
+        }
+        assert!(Checkpoint::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x01;
+            assert!(
+                Checkpoint::from_bytes(&mutated).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn future_resume_format_is_format_mismatch() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        let future = (RESUME_FORMAT + 1).to_le_bytes();
+        bytes[10] = future[0];
+        bytes[11] = future[1];
+        match Checkpoint::from_bytes(&bytes) {
+            Err(CheckpointError::FormatMismatch { found, expected }) => {
+                assert_eq!(found, RESUME_FORMAT + 1);
+                assert_eq!(expected, RESUME_FORMAT);
+            }
+            other => panic!("expected FormatMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbled_magic_is_corrupt() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn db_fingerprint_verification() {
+        let db = TransactionDb::from_ids(4, vec![vec![0, 1], vec![2, 3]]);
+        let other = TransactionDb::from_ids(4, vec![vec![0, 1], vec![2]]);
+        let mut ckpt = sample_checkpoint();
+        ckpt.fingerprint = fingerprint_db(&db);
+        assert!(ckpt.verify_db(&db).is_ok());
+        assert!(matches!(
+            ckpt.verify_db(&other),
+            Err(CheckpointError::DbMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = TransactionDb::from_ids(4, vec![vec![0, 1], vec![2, 3]]);
+        let b = TransactionDb::from_ids(4, vec![vec![0, 1], vec![2, 3]]);
+        let c = TransactionDb::from_ids(4, vec![vec![0, 1], vec![3, 2]]);
+        let d = TransactionDb::from_ids(4, vec![vec![0], vec![1, 2, 3]]);
+        assert_eq!(fingerprint_db(&a), fingerprint_db(&b));
+        // Transactions are stored sorted, so order within one is identity.
+        assert_eq!(fingerprint_db(&a), fingerprint_db(&c));
+        assert_ne!(
+            fingerprint_db(&a).content_hash,
+            fingerprint_db(&d).content_hash
+        );
+    }
+
+    #[test]
+    fn memory_sink_save_load_round_trip() {
+        let mut sink = MemorySink::new();
+        assert!(load_checkpoint(&mut sink).unwrap().is_none());
+        let ckpt = sample_checkpoint();
+        save_checkpoint(&mut sink, &ckpt).unwrap();
+        assert_eq!(load_checkpoint(&mut sink).unwrap(), Some(ckpt));
+    }
+
+    #[test]
+    fn file_sink_commits_atomically_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("ccs-persist-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ccs");
+        let mut sink = FileSink::new(&path);
+        assert!(sink.load().unwrap().is_none());
+        let ckpt = sample_checkpoint();
+        save_checkpoint(&mut sink, &ckpt).unwrap();
+        assert!(!sink.tmp_path().exists(), "temp file must be renamed away");
+        assert_eq!(read_checkpoint_file(&path).unwrap(), ckpt);
+        let mut second = sample_checkpoint();
+        second.answers.clear();
+        write_checkpoint_file(&path, &second).unwrap();
+        assert_eq!(read_checkpoint_file(&path).unwrap(), second);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_checkpoint_file("/nonexistent/dir/run.ccs"),
+            Err(CheckpointError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn cadence_gating() {
+        assert!(CheckpointCadence::EveryLevel.stamps_level(0));
+        assert!(CheckpointCadence::EveryLevel.stamps_level(7));
+        assert!(CheckpointCadence::EveryLevels(3).stamps_level(0));
+        assert!(!CheckpointCadence::EveryLevels(3).stamps_level(1));
+        assert!(CheckpointCadence::EveryLevels(3).stamps_level(3));
+        assert!(
+            CheckpointCadence::EveryLevels(0).stamps_level(1),
+            "0 behaves like 1"
+        );
+        assert!(!CheckpointCadence::OnTrip.stamps_level(0));
+    }
+
+    #[test]
+    fn recorder_gates_by_cadence_and_reports() {
+        let policy = CheckpointPolicy::new(
+            Box::new(MemorySink::new()),
+            CheckpointCadence::EveryLevels(2),
+        );
+        let ckpt = sample_checkpoint();
+        let recorder = policy.recorder(ckpt.query.clone(), ckpt.fingerprint);
+        let metrics = MiningMetrics::default();
+        recorder.stamp_level(sample_state(), 2, &metrics); // index 0: written
+        recorder.stamp_level(sample_state(), 3, &metrics); // index 1: skipped
+        recorder.stamp_level(sample_state(), 4, &metrics); // index 2: written
+        let report = recorder.report();
+        assert_eq!(report.written, 2);
+        assert_eq!(report.error, None);
+    }
+
+    #[test]
+    fn recorder_records_first_sink_error_without_aborting() {
+        struct FailingSink;
+        impl CheckpointSink for FailingSink {
+            fn commit(&mut self, _bytes: &[u8]) -> io::Result<()> {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+            }
+            fn load(&mut self) -> io::Result<Option<Vec<u8>>> {
+                Ok(None)
+            }
+        }
+        let policy = CheckpointPolicy::new(Box::new(FailingSink), CheckpointCadence::EveryLevel);
+        let ckpt = sample_checkpoint();
+        let recorder = policy.recorder(ckpt.query.clone(), ckpt.fingerprint);
+        recorder.stamp_level(sample_state(), 2, &MiningMetrics::default());
+        let report = recorder.report();
+        assert_eq!(report.written, 0);
+        assert!(report.error.unwrap().contains("disk full"));
+    }
+
+    #[test]
+    fn trip_stamp_writes_under_every_cadence() {
+        let result = MiningResult::truncated(
+            vec![Itemset::from_ids([0, 1])],
+            crate::query::Semantics::ValidMin,
+            MiningMetrics::default(),
+            TruncationReason::Deadline,
+            2,
+            sample_state(),
+        );
+        for cadence in [
+            CheckpointCadence::EveryLevel,
+            CheckpointCadence::EveryLevels(5),
+            CheckpointCadence::OnTrip,
+        ] {
+            let policy = CheckpointPolicy::new(Box::new(MemorySink::new()), cadence);
+            let ckpt = sample_checkpoint();
+            let recorder = policy.recorder(ckpt.query.clone(), ckpt.fingerprint);
+            recorder.stamp_trip(&result);
+            assert_eq!(recorder.report().written, 1, "{cadence:?}");
+        }
+    }
+
+    #[test]
+    fn trip_stamp_ignores_complete_results() {
+        let result = MiningResult::new(
+            vec![],
+            crate::query::Semantics::ValidMin,
+            MiningMetrics::default(),
+        );
+        let policy =
+            CheckpointPolicy::new(Box::new(MemorySink::new()), CheckpointCadence::EveryLevel);
+        let ckpt = sample_checkpoint();
+        let recorder = policy.recorder(ckpt.query.clone(), ckpt.fingerprint);
+        recorder.stamp_trip(&result);
+        assert_eq!(recorder.report().written, 0);
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped_when_checksummed() {
+        let ckpt = sample_checkpoint();
+        let mut bytes = ckpt.to_bytes();
+        // Rebuild: bump the section count, append an unknown section
+        // before the trailer, re-seal both checksums.
+        bytes.truncate(bytes.len() - 4);
+        let count = read_u32_at(&bytes, 12) + 1;
+        bytes[12..16].copy_from_slice(&count.to_le_bytes());
+        push_section(&mut bytes, 0x7FFF, b"future data");
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn guard_carries_recorder_to_clones() {
+        let policy =
+            CheckpointPolicy::new(Box::new(MemorySink::new()), CheckpointCadence::EveryLevel);
+        let ckpt = sample_checkpoint();
+        let recorder = policy.recorder(ckpt.query.clone(), ckpt.fingerprint);
+        let guard = RunGuard::new(GuardLimits::default()).with_recorder(Arc::clone(&recorder));
+        assert!(guard.recorder().is_some());
+        assert!(guard.clone().recorder().is_some());
+        assert!(RunGuard::unlimited().recorder().is_none());
+    }
+}

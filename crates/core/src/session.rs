@@ -28,10 +28,13 @@ use crate::bms_plus::run_bms_plus_guarded;
 use crate::bms_plus_plus::run_bms_plus_plus_guarded;
 use crate::bms_star::run_bms_star_guarded;
 use crate::bms_star_star::run_bms_star_star_guarded;
-use crate::guard::{ResumeInner, ResumeState, RunGuard, RESUME_FORMAT};
+use std::sync::Arc;
+
+use crate::guard::{GuardLimits, ResumeInner, ResumeState, RunGuard, RESUME_FORMAT};
 use crate::metrics::MiningMetrics;
 use crate::miner::{Algorithm, CountingStrategy, MiningOptions};
 use crate::naive::run_naive_guarded;
+use crate::persist::{fingerprint_db, CheckpointPolicy, CheckpointRecorder, CheckpointReport};
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
 
 /// One mining request: the algorithm to run, the counting configuration,
@@ -54,6 +57,12 @@ pub struct MineRequest {
     pub options: MiningOptions,
     /// Resource governor; defaults to the inert unlimited guard.
     pub guard: RunGuard,
+    /// Durability: where (and how often) the run stamps crash-safe
+    /// checkpoints. `None` (the default) keeps runs purely in-memory.
+    /// Checkpointing requires resume snapshots, so a request with an
+    /// unarmed guard is silently armed with empty limits — proven
+    /// answer-preserving by the guard fault suite.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for MineRequest {
@@ -62,6 +71,7 @@ impl Default for MineRequest {
             algorithm: None,
             options: MiningOptions::default(),
             guard: RunGuard::unlimited(),
+            checkpoint: None,
         }
     }
 }
@@ -74,7 +84,15 @@ impl MineRequest {
             algorithm: Some(algorithm),
             options: MiningOptions::default(),
             guard: RunGuard::unlimited(),
+            checkpoint: None,
         }
+    }
+
+    /// Names (or, with `None`, un-names) the algorithm to run.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
     }
 
     /// Sets the counting strategy (`Auto` resolves per database).
@@ -113,6 +131,15 @@ impl MineRequest {
         self.guard = guard;
         self
     }
+
+    /// Attaches a durability policy: the run stamps crash-safe
+    /// checkpoints through the policy's sink at its cadence, and always
+    /// on a guard trip.
+    #[must_use]
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
 }
 
 /// What a session run produced: the mining result plus the request
@@ -126,6 +153,11 @@ pub struct MineOutcome {
     pub algorithm: Algorithm,
     /// The concrete strategy the run counted with (never `Auto`).
     pub strategy: CountingStrategy,
+    /// The durability summary, when the request carried a
+    /// [`CheckpointPolicy`]: snapshots committed and the first write
+    /// error, if any. Checkpoint I/O failures degrade durability, never
+    /// the mining result.
+    pub checkpoint: Option<CheckpointReport>,
 }
 
 /// A reusable mining session over one database: the single entry point
@@ -236,21 +268,49 @@ impl<'a> MiningSession<'a> {
         }
         #[allow(clippy::expect_used)] // just installed above
         let cached = self.counter.as_mut().expect("counter installed above");
+        let (guard, recorder) = checkpoint_setup(self.db, query, request);
         let result = dispatch(
             self.db,
             self.attrs,
             query,
             algorithm,
             &mut *cached.counter,
-            &request.guard,
+            &guard,
             resume,
         )?;
         Ok(MineOutcome {
+            checkpoint: recorder.map(|r| {
+                r.stamp_trip(&result);
+                r.report()
+            }),
             result,
             algorithm,
             strategy,
         })
     }
+}
+
+/// Resolves a request's durability configuration into the guard to run
+/// with: no policy passes the request's guard through untouched; a policy
+/// builds the per-run recorder (pinning the *original* query, so resume
+/// re-normalizes identically) and rides it on the guard — arming an
+/// unarmed guard with empty limits first, because only armed guards take
+/// the resume snapshots checkpoints are made of.
+fn checkpoint_setup(
+    db: &TransactionDb,
+    query: &CorrelationQuery,
+    request: &MineRequest,
+) -> (RunGuard, Option<Arc<CheckpointRecorder>>) {
+    let Some(policy) = &request.checkpoint else {
+        return (request.guard.clone(), None);
+    };
+    let recorder = policy.recorder(query.clone(), fingerprint_db(db));
+    let guard = if request.guard.is_armed() {
+        request.guard.clone()
+    } else {
+        RunGuard::with_cancel_flag(GuardLimits::default(), request.guard.cancel_flag())
+    };
+    (guard.with_recorder(Arc::clone(&recorder)), Some(recorder))
 }
 
 /// Runs one request against a caller-owned counter — the expert path for
@@ -269,7 +329,7 @@ pub fn mine_on(
     counter: &mut dyn MintermCounter,
 ) -> Result<MiningResult, MiningError> {
     let algorithm = request.algorithm.unwrap_or(Algorithm::BmsPlusPlus);
-    dispatch(db, attrs, query, algorithm, counter, &request.guard, None)
+    dispatch_with_checkpoint(db, attrs, query, algorithm, counter, request, None)
 }
 
 /// [`mine_on`] for resuming a truncated run from its snapshot.
@@ -286,15 +346,34 @@ pub fn resume_on(
     state: ResumeState,
 ) -> Result<MiningResult, MiningError> {
     let algorithm = check_resume(&state, request.algorithm)?;
-    dispatch(
+    dispatch_with_checkpoint(
         db,
         attrs,
         query,
         algorithm,
         counter,
-        &request.guard,
+        request,
         Some(state.inner),
     )
+}
+
+/// [`dispatch`] plus the request's durability wiring — the borrowed-
+/// counter analogue of [`MiningSession::run`]'s checkpoint handling.
+fn dispatch_with_checkpoint(
+    db: &TransactionDb,
+    attrs: &AttributeTable,
+    query: &CorrelationQuery,
+    algorithm: Algorithm,
+    counter: &mut dyn MintermCounter,
+    request: &MineRequest,
+    resume: Option<ResumeInner>,
+) -> Result<MiningResult, MiningError> {
+    let (guard, recorder) = checkpoint_setup(db, query, request);
+    let result = dispatch(db, attrs, query, algorithm, counter, &guard, resume)?;
+    if let Some(recorder) = recorder {
+        recorder.stamp_trip(&result);
+    }
+    Ok(result)
 }
 
 /// Validates a resume snapshot against the current build's format tag

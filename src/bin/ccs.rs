@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Some("attrs") => (true, cmd_attrs(&args[1..]).map(|()| ExitCode::SUCCESS)),
         Some("analyze") => (true, cmd_analyze(&args[1..])),
         Some("mine") => (true, cmd_mine(&args[1..])),
+        Some("resume") => (true, cmd_resume(&args[1..])),
         Some("stats") => (true, cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS)),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -81,11 +82,24 @@ fn print_usage() {
                [--support <f>] [--ct <f>] [--confidence <f>] [--counting <s>]
                [--threads <N>] [--shards <N>] [--timeout <secs>]
                [--max-cells <N>] [--max-mem-mb <N>] [--explain]
+               [--checkpoint <file>] [--checkpoint-every <N>]
                algorithms: bms+ bms++ bms* bms** naive naive-min-valid
                counting:   horizontal vertical parallel vertical-par
                            sharded auto (--strategy is accepted as an
                            alias; --shards N splits the tid range)
+               --checkpoint stamps a crash-safe snapshot at every level
+               boundary (every Nth with --checkpoint-every) and on any
+               budget trip, so a truncated or killed run can continue
                exits 0 when complete, 2 when truncated by a budget or Ctrl-C
+  ccs resume   <checkpoint> --db <file> [--attrs <file>] [--query <q>]
+               [--counting <s>] [--threads <N>] [--shards <N>]
+               [--timeout <secs>] [--max-cells <N>] [--max-mem-mb <N>]
+               continue an interrupted run from its checkpoint file; the
+               snapshot pins the algorithm and the original query, and the
+               database must fingerprint-match the one the run started on.
+               a corrupt or format-skewed checkpoint restarts from scratch
+               (with a warning) when --query is given, else exits 1.
+               keeps stamping into the same file; exits 0 / 2 like mine
   ccs stats    --db <file>                             print database statistics"
     );
 }
@@ -377,6 +391,125 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Parses the counting flags shared by `mine` and `resume`.
+fn parse_counting(flags: &Flags<'_>) -> Result<MiningOptions, String> {
+    // `--counting` is the canonical flag; `--strategy` remains as an
+    // alias for scripts written against older releases.
+    let strategy: CountingStrategy = flags
+        .get("--counting")
+        .or_else(|| flags.get("--strategy"))
+        .unwrap_or("horizontal")
+        .parse()?;
+    let threads: Option<usize> = flags.parse_opt("--threads")?;
+    if threads == Some(0) {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    let shards: Option<usize> = flags.parse_opt("--shards")?;
+    if shards == Some(0) {
+        return Err("--shards must be at least 1".to_owned());
+    }
+    Ok(MiningOptions {
+        strategy,
+        threads,
+        shards,
+    })
+}
+
+/// Builds the run guard shared by `mine` and `resume`: budgets from the
+/// flags, cancellation from Ctrl-C. The guard is armed whenever any of
+/// these are in play.
+fn parse_guard(flags: &Flags<'_>) -> Result<RunGuard, String> {
+    let timeout_secs: Option<f64> = flags.parse_opt("--timeout")?;
+    if let Some(secs) = timeout_secs {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!(
+                "--timeout must be a non-negative number, got {secs}"
+            ));
+        }
+    }
+    let limits = GuardLimits {
+        timeout: timeout_secs.map(Duration::from_secs_f64),
+        work_budget_cells: flags.parse_opt("--max-cells")?,
+        memory_budget_bytes: flags
+            .parse_opt::<usize>("--max-mem-mb")?
+            .map(|mb| mb.saturating_mul(1024 * 1024)),
+    };
+    let cancel = sigint::install();
+    Ok(RunGuard::with_cancel_flag(limits, cancel))
+}
+
+/// The durability policy for `--checkpoint` / `--checkpoint-every`.
+fn parse_checkpoint(flags: &Flags<'_>) -> Result<Option<CheckpointPolicy>, String> {
+    let every: Option<usize> = flags.parse_opt("--checkpoint-every")?;
+    if every == Some(0) {
+        return Err("--checkpoint-every must be at least 1".to_owned());
+    }
+    let Some(path) = flags.get("--checkpoint") else {
+        if every.is_some() {
+            return Err("--checkpoint-every needs --checkpoint <file>".to_owned());
+        }
+        return Ok(None);
+    };
+    let cadence = match every {
+        None | Some(1) => CheckpointCadence::EveryLevel,
+        Some(n) => CheckpointCadence::EveryLevels(n),
+    };
+    Ok(Some(CheckpointPolicy::file(path, cadence)))
+}
+
+/// Prints the answers and the run summary, returning the process exit
+/// code: 0 for a complete answer set, 2 for a sound truncated one.
+fn emit_outcome(outcome: &MineOutcome, checkpoint_path: Option<&str>) -> Result<ExitCode, String> {
+    let result = &outcome.result;
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for set in &result.answers {
+        // A closed pipe (e.g. `ccs mine … | head`) is a normal way for
+        // the reader to stop — finish quietly instead of panicking.
+        if writeln!(out, "{set}").is_err() {
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+    drop(out);
+    eprintln!(
+        "{} answers ({}), {} tables built, {} cells counted, {:.3}s",
+        result.answers.len(),
+        result.semantics,
+        result.metrics.tables_built,
+        result.metrics.cells_counted,
+        result.metrics.elapsed.as_secs_f64()
+    );
+    if result.metrics.degraded_batches > 0 {
+        eprintln!(
+            "memory budget: counting stepped down the degradation ladder for {} batch(es)",
+            result.metrics.degraded_batches
+        );
+    }
+    if let Some(report) = &outcome.checkpoint {
+        if let Some(error) = &report.error {
+            eprintln!("warning: checkpoint write failed: {error}");
+        }
+    }
+    if result.completion.is_complete() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "run {}; the answers above are sound but possibly incomplete",
+            result.completion
+        );
+        if let Some(path) = checkpoint_path {
+            if outcome
+                .checkpoint
+                .as_ref()
+                .is_some_and(|r| r.written > 0 && r.error.is_none())
+            {
+                eprintln!("continue with: ccs resume {path} --db <file>");
+            }
+        }
+        Ok(ExitCode::from(EXIT_TRUNCATED))
+    }
+}
+
 fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::with_switches(
         args,
@@ -397,6 +530,8 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
             "--timeout",
             "--max-cells",
             "--max-mem-mb",
+            "--checkpoint",
+            "--checkpoint-every",
         ],
         &["--explain"],
     )?;
@@ -422,21 +557,7 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
         "naive-min-valid" => Algorithm::NaiveMinValid,
         other => return Err(format!("unknown algorithm '{other}'")),
     };
-    // `--counting` is the canonical flag; `--strategy` remains as an
-    // alias for scripts written against older releases.
-    let strategy: CountingStrategy = flags
-        .get("--counting")
-        .or_else(|| flags.get("--strategy"))
-        .unwrap_or("horizontal")
-        .parse()?;
-    let threads: Option<usize> = flags.parse_opt("--threads")?;
-    if threads == Some(0) {
-        return Err("--threads must be at least 1".to_owned());
-    }
-    let shards: Option<usize> = flags.parse_opt("--shards")?;
-    if shards == Some(0) {
-        return Err("--shards must be at least 1".to_owned());
-    }
+    let options = parse_counting(&flags)?;
     let params = MiningParams {
         confidence: flags.parse_or("--confidence", 0.9)?,
         support_fraction: flags.parse_or("--support", 0.25)?,
@@ -449,70 +570,123 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
         params,
         constraints,
     };
+    let guard = parse_guard(&flags)?;
+    let checkpoint_path = flags.get("--checkpoint");
 
-    // Resource governance: budgets from the flags, cancellation from
-    // Ctrl-C. The guard is armed whenever any of these are in play.
-    let timeout_secs: Option<f64> = flags.parse_opt("--timeout")?;
-    if let Some(secs) = timeout_secs {
-        if !secs.is_finite() || secs < 0.0 {
-            return Err(format!(
-                "--timeout must be a non-negative number, got {secs}"
-            ));
-        }
+    let mut request = MineRequest::new(algorithm).options(options).guard(guard);
+    if let Some(policy) = parse_checkpoint(&flags)? {
+        request = request.checkpoint(policy);
     }
-    let limits = GuardLimits {
-        timeout: timeout_secs.map(Duration::from_secs_f64),
-        work_budget_cells: flags.parse_opt("--max-cells")?,
-        memory_budget_bytes: flags
-            .parse_opt::<usize>("--max-mem-mb")?
-            .map(|mb| mb.saturating_mul(1024 * 1024)),
-    };
-    let cancel = sigint::install();
-    let guard = RunGuard::with_cancel_flag(limits, cancel);
-
-    let options = MiningOptions {
-        strategy,
-        threads,
-        shards,
-    };
-    let request = MineRequest::new(algorithm).options(options).guard(guard);
-    let result = MiningSession::new(&db, &attrs)
+    let outcome = MiningSession::new(&db, &attrs)
         .mine(&query, &request)
-        .map_err(|e| e.to_string())?
-        .result;
-    let stdout = io::stdout();
-    let mut out = BufWriter::new(stdout.lock());
-    for set in &result.answers {
-        // A closed pipe (e.g. `ccs mine … | head`) is a normal way for
-        // the reader to stop — finish quietly instead of panicking.
-        if writeln!(out, "{set}").is_err() {
-            return Ok(ExitCode::SUCCESS);
+        .map_err(|e| e.to_string())?;
+    emit_outcome(&outcome, checkpoint_path)
+}
+
+fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
+    let Some((path, rest)) = args.split_first().filter(|(p, _)| !p.starts_with("--")) else {
+        return Err(
+            "resume needs a checkpoint file: ccs resume <checkpoint> --db <file>".to_owned(),
+        );
+    };
+    let flags = Flags::new(
+        rest,
+        &[
+            "--db",
+            "--attrs",
+            "--query",
+            "--algorithm",
+            "--counting",
+            "--strategy",
+            "--threads",
+            "--shards",
+            "--timeout",
+            "--max-cells",
+            "--max-mem-mb",
+            "--checkpoint-every",
+        ],
+    )?;
+    let db = load_db(flags.require("--db")?)?;
+    let attrs = match flags.get("--attrs") {
+        Some(p) => load_attrs(p)?,
+        None => AttributeTable::with_identity_prices(db.n_items()),
+    };
+    let options = parse_counting(&flags)?;
+    let guard = parse_guard(&flags)?;
+    let every: Option<usize> = flags.parse_opt("--checkpoint-every")?;
+    if every == Some(0) {
+        return Err("--checkpoint-every must be at least 1".to_owned());
+    }
+    let cadence = match every {
+        None | Some(1) => CheckpointCadence::EveryLevel,
+        Some(n) => CheckpointCadence::EveryLevels(n),
+    };
+    // The resumed run keeps stamping into the same file, so a second
+    // interruption is just another `ccs resume`.
+    let request = MineRequest::default()
+        .options(options)
+        .guard(guard)
+        .checkpoint(CheckpointPolicy::file(path, cadence));
+
+    let checkpoint = match read_checkpoint_file(path) {
+        Ok(ckpt) => ckpt,
+        Err(e @ (CheckpointError::Corrupt(_) | CheckpointError::FormatMismatch { .. })) => {
+            // The degrade path: an unreadable checkpoint must never
+            // panic or silently mis-resume. With a query we can restart
+            // the run from scratch; without one, fail cleanly.
+            let Some(query_text) = flags.get("--query") else {
+                return Err(format!(
+                    "{e}; pass --query <q> to restart the run from scratch"
+                ));
+            };
+            eprintln!("warning: {e}; restarting from scratch");
+            let parsed = parse_query(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
+            // The original run's parameters are unreadable along with the
+            // checkpoint; restart under `ccs mine`'s defaults.
+            let query = CorrelationQuery {
+                params: MiningParams {
+                    confidence: 0.9,
+                    support_fraction: 0.25,
+                    ct_fraction: 0.25,
+                    min_item_support: 0.0,
+                    max_level: 8,
+                },
+                constraints: parsed.constraints,
+            };
+            let algorithm = match flags.get("--algorithm").unwrap_or("bms++") {
+                "bms+" => Algorithm::BmsPlus,
+                "bms++" => Algorithm::BmsPlusPlus,
+                "bms*" => Algorithm::BmsStar,
+                "bms**" => Algorithm::BmsStarStar,
+                "naive" => Algorithm::Naive,
+                "naive-min-valid" => Algorithm::NaiveMinValid,
+                other => return Err(format!("unknown algorithm '{other}'")),
+            };
+            let request = request.algorithm(algorithm);
+            let outcome = MiningSession::new(&db, &attrs)
+                .mine(&query, &request)
+                .map_err(|e| e.to_string())?;
+            return emit_outcome(&outcome, Some(path));
         }
-    }
-    drop(out);
+        Err(e) => return Err(e.to_string()),
+    };
+    checkpoint.verify_db(&db).map_err(|e| e.to_string())?;
     eprintln!(
-        "{} answers ({}), {} tables built, {} cells counted, {:.3}s",
-        result.answers.len(),
-        result.semantics,
-        result.metrics.tables_built,
-        result.metrics.cells_counted,
-        result.metrics.elapsed.as_secs_f64()
+        "resuming {} from {path} ({})",
+        checkpoint.algorithm().name(),
+        match checkpoint.status {
+            CheckpointStatus::InProgress { level } => format!("mid-run stamp at level {level}"),
+            CheckpointStatus::Tripped {
+                reason,
+                frontier_level,
+                ..
+            } => format!("tripped ({reason}) at level {frontier_level}"),
+        }
     );
-    if result.metrics.degraded_batches > 0 {
-        eprintln!(
-            "memory budget: counting stepped down the degradation ladder for {} batch(es)",
-            result.metrics.degraded_batches
-        );
-    }
-    if result.completion.is_complete() {
-        Ok(ExitCode::SUCCESS)
-    } else {
-        eprintln!(
-            "run {}; the answers above are sound but possibly incomplete",
-            result.completion
-        );
-        Ok(ExitCode::from(EXIT_TRUNCATED))
-    }
+    let outcome = MiningSession::new(&db, &attrs)
+        .resume(&checkpoint.query, &request, checkpoint.resume)
+        .map_err(|e| e.to_string())?;
+    emit_outcome(&outcome, Some(path))
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

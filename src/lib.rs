@@ -60,10 +60,13 @@ pub mod prelude {
         Monotonicity, QueryAnalysis, QueryVerdict, Span,
     };
     pub use ccs_core::{
-        discover_causality, mine_on, resume_on, solution_space, Algorithm, CausalAnalysis,
-        CausalFinding, Completion, CorrelationQuery, CountingStrategy, GuardLimits, MineOutcome,
-        MineRequest, MiningError, MiningMetrics, MiningOptions, MiningParams, MiningResult,
-        MiningSession, ResumeState, RunGuard, Semantics, SolutionSpace, TruncationReason,
+        discover_causality, fingerprint_db, mine_on, read_checkpoint_file, resume_on,
+        solution_space, write_checkpoint_file, Algorithm, CausalAnalysis, CausalFinding,
+        Checkpoint, CheckpointCadence, CheckpointError, CheckpointPolicy, CheckpointReport,
+        CheckpointSink, CheckpointStatus, Completion, CorrelationQuery, CountingStrategy,
+        DbFingerprint, FileSink, GuardLimits, MemorySink, MineOutcome, MineRequest, MiningError,
+        MiningMetrics, MiningOptions, MiningParams, MiningResult, MiningSession, ResumeState,
+        RunGuard, Semantics, SolutionSpace, TruncationReason,
     };
     #[allow(deprecated)]
     pub use ccs_core::{
