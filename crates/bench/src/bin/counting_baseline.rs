@@ -374,6 +374,7 @@ fn main() {
         params: MiningParams::paper(),
         constraints: ConstraintSet::new().and(Constraint::max_le("price", f64::from(N_ITEMS / 2))),
     };
+    // ccs-lint: allow(checkpoint-io-confined, reason = "bench measures checkpoint overhead through the public CheckpointPolicy API; persist.rs still does all I/O")
     let ckpt_path = out_dir.join("bench_checkpoint.ccs");
     let no_ckpt = time_mine(&db, &attrs, &mine_query, None);
     let every_level = time_mine(&db, &attrs, &mine_query, Some(&ckpt_path));

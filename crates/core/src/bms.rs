@@ -15,12 +15,11 @@
 //! all modifications of this sweep.
 
 use std::collections::HashSet;
-use std::time::Instant;
 
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
 
 use crate::engine::{Engine, Verdict};
-use crate::guard::{sorted_sets, BmsSnapshot, ResumeInner};
+use crate::guard::{sorted_sets, wall_now, BmsSnapshot, ResumeInner};
 use crate::kernel::{
     run_levelwise, staged, AlgorithmPolicy, GuardMode, KernelConfig, KernelTrip, LevelMark,
     LevelSeed,
@@ -136,7 +135,7 @@ pub(crate) fn run_bms_with_engine(
     wrap: fn(BmsSnapshot) -> ResumeInner,
 ) -> BmsRun {
     params.validate();
-    let start_time = Instant::now();
+    let start_time = wall_now();
     let mut metrics = MiningMetrics::default();
     let base_stats = engine.counting_stats();
 

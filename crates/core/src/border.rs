@@ -21,8 +21,8 @@
 //! test implemented by [`SolutionSpace::contains`] — the two borders
 //! really are a complete description.
 
+use crate::guard::wall_now;
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
@@ -78,7 +78,7 @@ pub fn solution_space<C: MintermCounter>(
     if query.constraints.has_neither_monotone() {
         return Err(MiningError::NonMonotoneConstraint);
     }
-    let start = Instant::now();
+    let start = wall_now();
     let mut metrics = MiningMetrics::default();
     let base_stats = counter.stats();
     let analysis = query.constraints.analyze(attrs);

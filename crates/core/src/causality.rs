@@ -22,8 +22,8 @@
 //! counting, and only *valid* triples are examined — user focus, pushed
 //! into causal discovery.
 
+use crate::guard::wall_now;
 use std::fmt;
-use std::time::Instant;
 
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{Item, Itemset, MintermCounter, TransactionDb};
@@ -110,7 +110,7 @@ pub fn discover_causality<C: MintermCounter>(
     if query.constraints.has_neither_monotone() {
         return Err(MiningError::NonMonotoneConstraint);
     }
-    let start = Instant::now();
+    let start = wall_now();
     let mut metrics = MiningMetrics::default();
     let base_stats = counter.stats();
     let analysis = query.constraints.analyze(attrs);

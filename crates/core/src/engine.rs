@@ -197,6 +197,7 @@ impl<'a> Engine<'a> {
     /// of a run.
     pub(crate) fn counting_stats(&self) -> CountingStats {
         let mut stats = self.counter.stats();
+        // ccs-lint: allow(counting-stats-merge-via-addassign, reason = "folds the engine's own hit counter into one field; not a stats-to-stats merge")
         stats.cache_hits += self.cache_hits;
         stats
     }

@@ -33,6 +33,16 @@ use ccs_itemset::{CountProbe, Itemset};
 use crate::miner::Algorithm;
 use crate::persist::CheckpointRecorder;
 
+/// The one sanctioned wall-clock read outside this module. Miners that
+/// need a start-of-run timestamp take it from here so every clock the
+/// mining layer sees funnels through guard code (`ccs-lint` enforces
+/// this as `nondeterminism-in-kernel`), keeping a single seam for any
+/// future virtual-clock testing.
+#[must_use]
+pub fn wall_now() -> Instant {
+    Instant::now()
+}
+
 /// The resource limits a [`RunGuard`] enforces. All default to `None`
 /// (unlimited); a guard with empty limits is still *armed* — it tracks
 /// work, honours external cancellation, and produces resume snapshots.

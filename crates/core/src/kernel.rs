@@ -30,7 +30,7 @@ use ccs_constraints::{AttributeTable, ConstraintAnalysis};
 use ccs_itemset::{CountingStats, Itemset};
 
 use crate::engine::{Engine, Verdict};
-use crate::guard::{ResumeInner, ResumeState, TruncationReason, RESUME_FORMAT};
+use crate::guard::{wall_now, ResumeInner, ResumeState, TruncationReason, RESUME_FORMAT};
 use crate::metrics::MiningMetrics;
 use crate::miner::Algorithm;
 use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
@@ -295,7 +295,7 @@ impl MinerScope {
     /// time (counters accumulate across runs; see `CountingStats::since`).
     pub(crate) fn begin(base: CountingStats) -> MinerScope {
         MinerScope {
-            start: Instant::now(),
+            start: wall_now(),
             base,
         }
     }

@@ -1,0 +1,182 @@
+//! Lightweight item-path tracking over the token stream.
+//!
+//! The rule engine needs three structural facts the lexer alone cannot
+//! give: whether a token sits inside `#[cfg(test)]` / `#[test]` code,
+//! whether it sits inside an `impl … AddAssign …` block (the one
+//! sanctioned home of field-wise [`CountingStats`] merges), and the
+//! header of the `fn` item a token belongs to. All three come from one
+//! brace-matching pass — no parse tree, matching the hand-rolled house
+//! style.
+//!
+//! [`CountingStats`]: ../rules/index.html
+
+use crate::lexer::{Tok, TokKind};
+
+/// Per-significant-token structural flags, indexed in lockstep with the
+/// significant-token vector handed to [`analyze`].
+pub struct Context {
+    /// Token is inside an item gated by `#[cfg(test)]` / `#[test]`.
+    pub in_test: Vec<bool>,
+    /// Token is inside an `impl` block whose header names `AddAssign`.
+    pub in_addassign_impl: Vec<bool>,
+}
+
+/// What a pending attribute run has told us about the next item.
+#[derive(Default, Clone, Copy)]
+struct Pending {
+    test: bool,
+    addassign_impl: bool,
+}
+
+/// One entry per open `{`.
+#[derive(Clone, Copy)]
+struct Block {
+    test: bool,
+    addassign: bool,
+}
+
+/// Computes structural flags for `sig`, the significant (non-trivia)
+/// tokens of a file.
+pub fn analyze(src: &str, sig: &[Tok]) -> Context {
+    let mut in_test = vec![false; sig.len()];
+    let mut in_addassign = vec![false; sig.len()];
+    let mut stack: Vec<Block> = Vec::new();
+    let mut pending = Pending::default();
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = sig[i];
+        let text = t.text(src);
+        let top = stack.last().copied().unwrap_or(Block {
+            test: false,
+            addassign: false,
+        });
+        in_test[i] = top.test;
+        in_addassign[i] = top.addassign;
+        match (t.kind, text) {
+            // An attribute: `#[…]` (or inner `#![…]`). Scan its bracket
+            // range; `test` anywhere inside covers `#[test]`,
+            // `#[cfg(test)]`, and `#[cfg(all(test, …))]`.
+            (TokKind::Punct, "#") => {
+                let mut j = i + 1;
+                if j < sig.len() && sig[j].text(src) == "!" {
+                    j += 1;
+                }
+                if j < sig.len() && sig[j].text(src) == "[" {
+                    let mut depth = 0usize;
+                    let mut has_test = false;
+                    while j < sig.len() {
+                        match sig[j].text(src) {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "test" if sig[j].kind == TokKind::Ident => has_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if has_test {
+                        pending.test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            // An `impl` header: peek ahead to its opening brace and look
+            // for `AddAssign` in the header (covers `impl AddAssign for T`
+            // and `impl ops::AddAssign<&T> for T`).
+            (TokKind::Ident, "impl") => {
+                let mut j = i + 1;
+                while j < sig.len() && !matches!(sig[j].text(src), "{" | ";") {
+                    if sig[j].kind == TokKind::Ident && sig[j].text(src) == "AddAssign" {
+                        pending.addassign_impl = true;
+                    }
+                    j += 1;
+                }
+            }
+            (TokKind::Punct, "{") => {
+                stack.push(Block {
+                    test: top.test || pending.test,
+                    addassign: top.addassign || pending.addassign_impl,
+                });
+                pending = Pending::default();
+            }
+            (TokKind::Punct, "}") => {
+                stack.pop();
+            }
+            // `#[cfg(test)] use foo;` — an item that never opens a brace
+            // drops its pending attributes at the terminating semicolon.
+            (TokKind::Punct, ";") => {
+                pending = Pending::default();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Context {
+        in_test,
+        in_addassign_impl: in_addassign,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_of(src: &str) -> (Vec<Tok>, Context) {
+        let sig: Vec<Tok> = lex(src).into_iter().filter(|t| !t.is_trivia()).collect();
+        let ctx = analyze(src, &sig);
+        (sig, ctx)
+    }
+
+    fn flag_at_ident(src: &str, ident: &str, flags: &[bool], sig: &[Tok]) -> bool {
+        let idx = sig
+            .iter()
+            .position(|t| t.text(src) == ident)
+            .unwrap_or_else(|| panic!("ident {ident} not found"));
+        flags[idx]
+    }
+
+    #[test]
+    fn cfg_test_module_is_test_code() {
+        let src = "fn real() { body(); }\n#[cfg(test)]\nmod tests { fn t() { probe(); } }\nfn after() { tail(); }";
+        let (sig, ctx) = ctx_of(src);
+        assert!(!flag_at_ident(src, "body", &ctx.in_test, &sig));
+        assert!(flag_at_ident(src, "probe", &ctx.in_test, &sig));
+        assert!(!flag_at_ident(src, "tail", &ctx.in_test, &sig));
+    }
+
+    #[test]
+    fn test_attribute_covers_one_fn() {
+        let src = "#[test]\nfn t() { probe(); }\nfn real() { body(); }";
+        let (sig, ctx) = ctx_of(src);
+        assert!(flag_at_ident(src, "probe", &ctx.in_test, &sig));
+        assert!(!flag_at_ident(src, "body", &ctx.in_test, &sig));
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() { body(); }";
+        let (sig, ctx) = ctx_of(src);
+        assert!(!flag_at_ident(src, "body", &ctx.in_test, &sig));
+    }
+
+    #[test]
+    fn addassign_impl_region() {
+        let src = "impl std::ops::AddAssign<&Stats> for Stats {\n fn add_assign(&mut self, r: &Stats) { merge(); } }\nfn outside() { other(); }";
+        let (sig, ctx) = ctx_of(src);
+        assert!(flag_at_ident(src, "merge", &ctx.in_addassign_impl, &sig));
+        assert!(!flag_at_ident(src, "other", &ctx.in_addassign_impl, &sig));
+    }
+
+    #[test]
+    fn non_addassign_impl_is_not_flagged() {
+        let src = "impl Stats { fn merge_like(&mut self) { body(); } }";
+        let (sig, ctx) = ctx_of(src);
+        assert!(!flag_at_ident(src, "body", &ctx.in_addassign_impl, &sig));
+    }
+}

@@ -1,0 +1,251 @@
+//! Span-anchored diagnostics: caret rendering, JSON emission, and the
+//! inline suppression protocol.
+//!
+//! Rendering follows the `ccs analyze` house style (source line + caret
+//! underline, byte-aligned — exact for ASCII sources), and the JSON
+//! emitter is hand-rolled like `QueryAnalysis::to_json`: the workspace
+//! intentionally carries no JSON dependency.
+//!
+//! Suppressions are inline comments of the form
+//!
+//! ```text
+//! // ccs-lint: allow(rule-id, reason = "why this site is sound")
+//! ```
+//!
+//! A trailing comment covers its own line; a standalone comment covers
+//! the next line holding code. The `reason` is **mandatory** — an allow
+//! without one (or naming an unknown rule) is itself a violation, so the
+//! suppression ledger stays auditable.
+
+use std::fmt::Write as _;
+
+/// One confirmed rule violation, anchored to a byte span in one file.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (kebab-case, stable — see [`crate::rules`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, unix separators.
+    pub path: String,
+    /// 1-based line of the span start.
+    pub line: usize,
+    /// 1-based byte column of the span start within its line.
+    pub col: usize,
+    /// Byte span in the file.
+    pub span: (usize, usize),
+    /// What was found at the span.
+    pub message: String,
+    /// Why the invariant matters (one line, from the rule table).
+    pub why: &'static str,
+}
+
+/// Byte offsets of line starts; resolves spans to line/column and line
+/// text.
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the index for `src`.
+    pub fn new(src: &str) -> LineIndex {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.starts.partition_point(|&s| s <= offset)
+    }
+
+    /// 1-based byte column of `offset` within its line.
+    pub fn col_of(&self, offset: usize) -> usize {
+        let line = self.line_of(offset);
+        offset - self.starts[line - 1] + 1
+    }
+
+    /// The text of 1-based `line` in `src`, without its newline.
+    pub fn line_text<'a>(&self, src: &'a str, line: usize) -> &'a str {
+        let start = self.starts.get(line - 1).copied().unwrap_or(src.len());
+        let end = self
+            .starts
+            .get(line)
+            .map_or(src.len(), |&next| next.saturating_sub(1));
+        src.get(start..end.max(start))
+            .unwrap_or("")
+            .trim_end_matches('\r')
+    }
+}
+
+/// A parsed `ccs-lint: allow(…)` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule id the comment names.
+    pub rule: String,
+    /// The mandatory justification, when present and non-empty.
+    pub reason: Option<String>,
+    /// Byte span of the comment token.
+    pub span: (usize, usize),
+    /// The 1-based line of code this suppression covers.
+    pub target_line: usize,
+}
+
+/// Extracts a suppression from one comment's text, if it contains the
+/// `ccs-lint: allow(…)` marker. Returns `None` for ordinary comments.
+pub fn parse_suppression(comment: &str) -> Option<(String, Option<String>)> {
+    let rest = comment.split("ccs-lint:").nth(1)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let inside = &rest[..close];
+    let (rule, tail) = match inside.split_once(',') {
+        Some((r, t)) => (r.trim(), t),
+        None => (inside.trim(), ""),
+    };
+    let reason = tail.split_once("reason").and_then(|(_, after)| {
+        let after = after.trim_start().strip_prefix('=')?.trim_start();
+        let after = after.strip_prefix('"')?;
+        let end = after.find('"')?;
+        let text = after[..end].trim();
+        (!text.is_empty()).then(|| text.to_owned())
+    });
+    Some((rule.to_owned(), reason))
+}
+
+/// Renders one violation in the caret style.
+pub fn render(v: &Violation, src: &str, index: &LineIndex) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "violation[{}]: {}", v.rule, v.message);
+    let _ = writeln!(s, "  --> {}:{}:{}", v.path, v.line, v.col);
+    let line_text = index.line_text(src, v.line);
+    let _ = writeln!(s, "      {line_text}");
+    let col0 = v.col - 1;
+    let width = (v.span.1 - v.span.0)
+        .min(line_text.len().saturating_sub(col0))
+        .max(1);
+    let mut carets = String::from("      ");
+    for b in line_text.as_bytes().iter().take(col0) {
+        carets.push(if *b == b'\t' { '\t' } else { ' ' });
+    }
+    for _ in 0..width {
+        carets.push('^');
+    }
+    let _ = writeln!(s, "{carets}");
+    let _ = writeln!(s, "  why: {}", v.why);
+    s
+}
+
+/// Escapes `s` for a JSON string body (same table as the analyzer's).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The whole report as a single-line JSON object.
+pub fn to_json(violations: &[Violation], files_scanned: usize, suppressed: usize) -> String {
+    let mut s = String::from("{\"violations\":[");
+    for (k, v) in violations.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"span\":[{},{}],\
+             \"message\":\"{}\",\"why\":\"{}\"}}",
+            v.rule,
+            json_escape(&v.path),
+            v.line,
+            v.col,
+            v.span.0,
+            v.span.1,
+            json_escape(&v.message),
+            json_escape(v.why),
+        );
+    }
+    let _ = write!(
+        s,
+        "],\"files_scanned\":{files_scanned},\"suppressed\":{suppressed},\"clean\":{}}}",
+        violations.is_empty()
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_index_resolves_spans() {
+        let src = "ab\ncde\n\nf";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_of(0), 1);
+        assert_eq!(idx.line_of(3), 2);
+        assert_eq!(idx.col_of(4), 2);
+        assert_eq!(idx.line_text(src, 2), "cde");
+        assert_eq!(idx.line_text(src, 3), "");
+        assert_eq!(idx.line_text(src, 4), "f");
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        assert_eq!(
+            parse_suppression(
+                "// ccs-lint: allow(no-panic-in-io-paths, reason = \"checked above\")"
+            ),
+            Some((
+                "no-panic-in-io-paths".to_owned(),
+                Some("checked above".to_owned())
+            ))
+        );
+        assert_eq!(
+            parse_suppression("// ccs-lint: allow(some-rule)"),
+            Some(("some-rule".to_owned(), None))
+        );
+        assert_eq!(
+            parse_suppression("// ccs-lint: allow(some-rule, reason = \"\")"),
+            Some(("some-rule".to_owned(), None)),
+            "empty reasons do not count"
+        );
+        assert_eq!(parse_suppression("// ordinary comment"), None);
+    }
+
+    #[test]
+    fn caret_render_is_aligned() {
+        let src = "fn f() {\n    let x = broken();\n}\n";
+        let idx = LineIndex::new(src);
+        let start = src.find("broken").unwrap();
+        let v = Violation {
+            rule: "demo-rule",
+            path: "src/demo.rs".into(),
+            line: idx.line_of(start),
+            col: idx.col_of(start),
+            span: (start, start + "broken".len()),
+            message: "demo".into(),
+            why: "demo why",
+        };
+        let text = render(&v, src, &idx);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "violation[demo-rule]: demo");
+        assert_eq!(lines[1], "  --> src/demo.rs:2:13");
+        assert_eq!(lines[2], "          let x = broken();");
+        assert_eq!(lines[3], "                  ^^^^^^");
+        assert_eq!(lines[4], "  why: demo why");
+    }
+}

@@ -1,0 +1,457 @@
+//! A comment/string/raw-string-aware Rust lexer with byte spans.
+//!
+//! The same span ethos as `ccs_query::lexer`, applied to Rust source: every
+//! token carries the byte range it came from, and the token stream is
+//! *lossless* — concatenating the spans of all tokens (trivia included)
+//! reproduces the input byte-for-byte. That round-trip property is what
+//! makes the rule engine trustworthy where the CI greps were blind: a
+//! `while level` inside a doc comment or a `"ResumeState {"` inside a
+//! string literal is a [`TokKind::LineComment`] / [`TokKind::Str`] token,
+//! never a false match.
+//!
+//! The lexer never fails. Malformed input (unterminated strings, stray
+//! bytes, lone quotes) degrades to best-effort tokens that still cover
+//! their bytes exactly — property-tested against arbitrary byte soup in
+//! `tests/lexer_prop.rs`.
+
+/// What a token is. Only the distinctions the rule engine needs: trivia
+/// (comments, whitespace) versus significant tokens, and enough literal
+/// kinds to keep pattern matching out of quoted text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier, keyword, or raw identifier (`r#type`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Numeric literal (including suffixes: `1_000u64`, `0xFF`, `2.5e-3`).
+    Number,
+    /// String, byte-string, or C-string literal (`"…"`, `b"…"`).
+    Str,
+    /// Raw (byte) string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStr,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// `// …` comment, to end of line (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting-aware (doc comments included).
+    BlockComment,
+    /// Horizontal and vertical whitespace.
+    Whitespace,
+    /// Any other single character (`{`, `+`, `#`, …).
+    Punct,
+}
+
+/// One token: a kind plus the byte range it occupies in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// Byte offset where the token starts.
+    pub start: usize,
+    /// Byte offset one past where the token ends.
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// `true` for comments and whitespace.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::Whitespace
+        )
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+/// The byte width of the char starting at `i` (callers guarantee `i` is a
+/// char boundary — the lexer only ever stops on boundaries).
+fn char_width(src: &str, i: usize) -> usize {
+    src[i..].chars().next().map_or(1, char::len_utf8)
+}
+
+/// Tokenizes `src` losslessly: the returned tokens are contiguous, start
+/// at 0, and end at `src.len()`.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        let kind = match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+                    i += 1;
+                }
+                TokKind::Whitespace
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += char_width(src, i);
+                }
+                TokKind::LineComment
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += char_width(src, i);
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                i = scan_string(src, i);
+                TokKind::Str
+            }
+            b'\'' => {
+                let (end, kind) = scan_quote(src, i);
+                i = end;
+                kind
+            }
+            // Literal prefixes have to be sniffed before the generic
+            // identifier path: `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`,
+            // `c"…"` — but `r#type` is a raw identifier and `radius` is a
+            // plain one.
+            b'r' | b'b' | b'c' => match scan_prefixed_literal(src, i) {
+                Some((end, kind)) => {
+                    i = end;
+                    kind
+                }
+                None => {
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(char_at(src, i)) {
+                        i += char_width(src, i);
+                    }
+                    TokKind::Ident
+                }
+            },
+            b'0'..=b'9' => {
+                i = scan_number(src, i);
+                TokKind::Number
+            }
+            _ if is_ident_start(char_at(src, i)) => {
+                i += char_width(src, i);
+                while i < bytes.len() && is_ident_continue(char_at(src, i)) {
+                    i += char_width(src, i);
+                }
+                TokKind::Ident
+            }
+            _ => {
+                i += char_width(src, i);
+                TokKind::Punct
+            }
+        };
+        toks.push(Tok {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    toks
+}
+
+fn char_at(src: &str, i: usize) -> char {
+    src[i..].chars().next().unwrap_or('\0')
+}
+
+/// Consumes a `"…"` string starting at the opening quote; handles escapes;
+/// unterminated strings run to end of input.
+fn scan_string(src: &str, mut i: usize) -> usize {
+    let bytes = src.as_bytes();
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                i += 1;
+                if i < bytes.len() {
+                    i += char_width(src, i);
+                }
+            }
+            b'"' => return i + 1,
+            _ => i += char_width(src, i),
+        }
+    }
+    i
+}
+
+/// Consumes a raw string `"…"` body given the number of `#` marks in its
+/// opener; unterminated bodies run to end of input. `i` points at the
+/// opening quote.
+fn scan_raw_string(src: &str, mut i: usize, hashes: usize) -> usize {
+    let bytes = src.as_bytes();
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += char_width(src, i);
+    }
+    i
+}
+
+/// Disambiguates `'` at `i`: lifetime (`'a`), loop label, or character
+/// literal (`'x'`, `'\n'`). Unterminated char literals degrade to a short
+/// [`TokKind::Char`] token rather than swallowing the rest of the file.
+fn scan_quote(src: &str, start: usize) -> (usize, TokKind) {
+    let bytes = src.as_bytes();
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return (i, TokKind::Punct);
+    }
+    if bytes[i] == b'\\' {
+        // Escape: consume `\x`, then everything up to the closing quote
+        // (covers `'\n'`, `'\u{1F600}'`, `'\''`).
+        i += 1;
+        if i < bytes.len() {
+            if bytes[i] == b'\'' {
+                i += 1; // escaped quote: `'\''`
+            } else {
+                i += char_width(src, i);
+            }
+        }
+        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+            i += char_width(src, i);
+        }
+        if i < bytes.len() && bytes[i] == b'\'' {
+            i += 1;
+        }
+        return (i, TokKind::Char);
+    }
+    if is_ident_start(char_at(src, i)) {
+        // Could be `'a'` (char) or `'a` / `'outer` (lifetime): scan the
+        // ident run and look for an immediate closing quote.
+        let mut j = i + char_width(src, i);
+        while j < bytes.len() && is_ident_continue(char_at(src, j)) {
+            j += char_width(src, j);
+        }
+        if j < bytes.len() && bytes[j] == b'\'' {
+            return (j + 1, TokKind::Char);
+        }
+        return (j, TokKind::Lifetime);
+    }
+    // `'('`-style: any single char then hopefully a closing quote.
+    i += char_width(src, i);
+    if i < bytes.len() && bytes[i] == b'\'' {
+        return (i + 1, TokKind::Char);
+    }
+    (i, TokKind::Char)
+}
+
+/// Sniffs a literal prefix at `i` (`r`, `b`, `c`, `br`, `cr`): returns the
+/// token end and kind if one matches, or `None` when this is an ordinary
+/// identifier.
+fn scan_prefixed_literal(src: &str, start: usize) -> Option<(usize, TokKind)> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    let mut raw = false;
+    match bytes[i] {
+        b'r' => {
+            raw = true;
+            i += 1;
+        }
+        b'b' | b'c' => {
+            i += 1;
+            if bytes.get(i) == Some(&b'r') {
+                raw = true;
+                i += 1;
+            }
+        }
+        _ => return None,
+    }
+    if raw {
+        // `r#…`: raw string if the hashes end at a quote, raw identifier
+        // otherwise (`r#type`).
+        let mut hashes = 0usize;
+        while bytes.get(i + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if bytes.get(i + hashes) == Some(&b'"') {
+            let end = scan_raw_string(src, i + hashes, hashes);
+            return Some((end, TokKind::RawStr));
+        }
+        if hashes == 1
+            && i == start + 1
+            && bytes.get(i + 1).copied().map(|b| is_ident_start(b as char)) == Some(true)
+        {
+            // Raw identifier `r#name`.
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_continue(char_at(src, j)) {
+                j += char_width(src, j);
+            }
+            return Some((j, TokKind::Ident));
+        }
+        return None;
+    }
+    match bytes.get(i) {
+        Some(&b'"') => Some((scan_string(src, i), TokKind::Str)),
+        Some(&b'\'') if bytes[start] == b'b' => {
+            let (end, _) = scan_quote(src, i);
+            Some((end, TokKind::Char))
+        }
+        _ => None,
+    }
+}
+
+/// Consumes a numeric literal: digit run with underscores, letters
+/// (suffixes, hex digits, exponents), and at most the fraction dot of a
+/// float — `0..n` must lex as `0`, `..`, `n`.
+fn scan_number(src: &str, mut i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let digits = |i: &mut usize| {
+        while *i < bytes.len() && (bytes[*i].is_ascii_alphanumeric() || bytes[*i] == b'_') {
+            // `1e-3`: a sign directly after an exponent letter belongs to
+            // the literal.
+            let at = *i;
+            *i += 1;
+            if matches!(bytes[at], b'e' | b'E')
+                && matches!(bytes.get(*i), Some(b'+') | Some(b'-'))
+                && bytes.get(*i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                *i += 1;
+            }
+        }
+    };
+    digits(&mut i);
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        digits(&mut i);
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before {t:?} in {src:?}");
+            assert!(t.end >= t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tail not covered in {src:?}");
+    }
+
+    #[test]
+    fn comments_and_strings_are_trivia_or_literals() {
+        let src = r#"let x = "while level"; // for level in
+            /* ResumeState { nested /* deeper */ } */ foo"#;
+        let sig = kinds(src);
+        assert_eq!(
+            sig,
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Str, "\"while level\""),
+                (TokKind::Punct, ";"),
+                (TokKind::Ident, "foo"),
+            ]
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r###"r"a{b"# r#"with "quotes" inside"# br#"bytes"# r#type"###;
+        let sig = kinds(src);
+        assert_eq!(sig[0], (TokKind::RawStr, r#"r"a{b""#));
+        assert_eq!(sig[1].0, TokKind::Punct); // the stray `#`
+        assert_eq!(sig[2], (TokKind::RawStr, r##"r#"with "quotes" inside"#"##));
+        assert_eq!(sig[3], (TokKind::RawStr, r##"br#"bytes"#"##));
+        assert_eq!(sig[4], (TokKind::Ident, "r#type"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let src = "'a' 'b &'static 'outer: loop {} b'\\n' '\\'' '{'";
+        let sig = kinds(src);
+        assert_eq!(sig[0], (TokKind::Char, "'a'"));
+        assert_eq!(sig[1], (TokKind::Lifetime, "'b"));
+        assert_eq!(sig[2], (TokKind::Punct, "&"));
+        assert_eq!(sig[3], (TokKind::Lifetime, "'static"));
+        assert_eq!(sig[4], (TokKind::Lifetime, "'outer"));
+        assert!(sig
+            .iter()
+            .any(|&(k, t)| k == TokKind::Char && t == "b'\\n'"));
+        assert!(sig.iter().any(|&(k, t)| k == TokKind::Char && t == "'\\''"));
+        assert!(sig.iter().any(|&(k, t)| k == TokKind::Char && t == "'{'"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let src = "0..n 1_000u64 0xFF 2.5e-3 1. x.0";
+        let sig = kinds(src);
+        assert_eq!(sig[0], (TokKind::Number, "0"));
+        assert_eq!(sig[1], (TokKind::Punct, "."));
+        assert_eq!(sig[2], (TokKind::Punct, "."));
+        assert_eq!(sig[3], (TokKind::Ident, "n"));
+        assert_eq!(sig[4], (TokKind::Number, "1_000u64"));
+        assert_eq!(sig[5], (TokKind::Number, "0xFF"));
+        assert_eq!(sig[6], (TokKind::Number, "2.5e-3"));
+        assert_eq!(sig[7], (TokKind::Number, "1"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn unterminated_forms_cover_their_bytes() {
+        for src in [
+            "\"never closed",
+            "/* never closed",
+            "r#\"never closed",
+            "'",
+            "b'",
+            "let s = \"trailing \\",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn empty_and_unicode_inputs() {
+        roundtrip("");
+        roundtrip("état = \"café\"; // naïve");
+        roundtrip("let 你好 = '好';");
+        let sig = kinds("état");
+        assert_eq!(sig[0].0, TokKind::Ident);
+    }
+}

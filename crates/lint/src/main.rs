@@ -1,0 +1,165 @@
+//! The `ccs-lint` binary.
+//!
+//! ```text
+//! ccs-lint --workspace [--format text|json] [--root DIR]
+//! ccs-lint --vendor [--update] [--root DIR]
+//! ```
+//!
+//! Exit codes: `0` clean, `3` violations (or vendor drift), `2` usage
+//! error, `1` I/O error — mirroring the `ccs` CLI's convention where `3`
+//! is "ran fine, the answer is bad".
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ccs_lint::diag::{self, LineIndex};
+use ccs_lint::{lint_tree, vendor};
+
+const USAGE: &str = "\
+usage: ccs-lint --workspace [--format text|json] [--root DIR]
+       ccs-lint --vendor [--update] [--root DIR]
+
+Lints the workspace's Rust sources against the architectural invariants
+in DESIGN.md §13, or (with --vendor) checks the vendored trees against
+their pinned hashes.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("ccs-lint: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut workspace = false;
+    let mut vendor_mode = false;
+    let mut update = false;
+    let mut format = "text".to_owned();
+    let mut root_arg: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--vendor" => vendor_mode = true,
+            "--update" => update = true,
+            "--format" => match it.next() {
+                Some(v) if v == "text" || v == "json" => format = v.clone(),
+                Some(v) => return usage(&format!("unknown format `{v}`")),
+                None => return usage("--format needs a value"),
+            },
+            "--root" => match it.next() {
+                Some(v) => root_arg = Some(v.clone()),
+                None => return usage("--root needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if workspace == vendor_mode {
+        return usage("pick exactly one of --workspace / --vendor");
+    }
+    if update && !vendor_mode {
+        return usage("--update only applies to --vendor");
+    }
+
+    let root = find_root(root_arg.as_deref())?;
+    if vendor_mode {
+        return run_vendor(&root, update);
+    }
+    run_workspace(&root, &format)
+}
+
+fn usage(msg: &str) -> Result<ExitCode, String> {
+    eprintln!("ccs-lint: {msg}\n{USAGE}");
+    Ok(ExitCode::from(2))
+}
+
+/// Finds the workspace root: `--root` verbatim, or the nearest ancestor
+/// of the current directory whose `Cargo.toml` declares `[workspace]`.
+fn find_root(arg: Option<&str>) -> Result<PathBuf, String> {
+    if let Some(dir) = arg {
+        let p = PathBuf::from(dir);
+        if p.join("Cargo.toml").exists() {
+            return Ok(p);
+        }
+        return Err(format!("--root {dir}: no Cargo.toml there"));
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory".to_owned());
+        }
+    }
+}
+
+fn run_workspace(root: &Path, format: &str) -> Result<ExitCode, String> {
+    let files = lint_tree(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let violations: Vec<_> = files.iter().flat_map(|f| f.violations.iter()).collect();
+    let suppressed: usize = files.iter().map(|f| f.suppressed).sum();
+    if format == "json" {
+        let all: Vec<diag::Violation> = files
+            .iter()
+            .flat_map(|f| f.violations.iter().cloned())
+            .collect();
+        println!("{}", diag::to_json(&all, files.len(), suppressed));
+    } else {
+        for f in &files {
+            let index = LineIndex::new(&f.src);
+            for v in &f.violations {
+                print!("{}", diag::render(v, &f.src, &index));
+                println!();
+            }
+        }
+        println!(
+            "checked {} files: {} violation{} ({} suppressed)",
+            files.len(),
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" },
+            suppressed,
+        );
+    }
+    if violations.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(3))
+    }
+}
+
+fn run_vendor(root: &Path, update: bool) -> Result<ExitCode, String> {
+    if update {
+        let entries = vendor::hash_trees(root).map_err(|e| format!("hashing vendor/: {e}"))?;
+        let lock = vendor::lock_path(root);
+        std::fs::write(&lock, vendor::render_lock(&entries))
+            .map_err(|e| format!("writing {}: {e}", lock.display()))?;
+        println!(
+            "pinned {} vendored trees in {}",
+            entries.len(),
+            vendor::LOCK_REL
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let drift = vendor::check(root).map_err(|e| format!("hashing vendor/: {e}"))?;
+    if drift.is_empty() {
+        println!("vendor/ matches {}", vendor::LOCK_REL);
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for line in &drift {
+            eprintln!("vendor drift: {line}");
+        }
+        Ok(ExitCode::from(3))
+    }
+}

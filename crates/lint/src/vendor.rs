@@ -1,0 +1,180 @@
+//! Vendored-dependency integrity: `ccs-lint --vendor`.
+//!
+//! The workspace carries offline stand-ins for its dev-dependencies under
+//! `vendor/`. Nothing in the build pins their contents, so an edit there
+//! — accidental or otherwise — would silently change what every test
+//! links against. This module hashes each vendored tree with FNV-1a-64
+//! (hand-rolled, like the CRC32 in persist.rs) and compares against the
+//! lock file at `crates/lint/tests/goldens/vendor.lock`; CI fails on
+//! drift, and `--vendor --update` re-pins after a deliberate change.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Where the pins live, relative to the workspace root.
+pub const LOCK_REL: &str = "crates/lint/tests/goldens/vendor.lock";
+
+/// FNV-1a-64 over `bytes`, continuing from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes one vendored tree: every file, in sorted relative-path order,
+/// as `path \0 contents \0` so renames and content edits both move the
+/// digest.
+fn hash_tree(dir: &Path) -> io::Result<u64> {
+    let mut files = Vec::new();
+    collect_files(dir, dir, &mut files)?;
+    files.sort();
+    let mut h = FNV_OFFSET;
+    for rel in files {
+        h = fnv1a(h, rel.as_bytes());
+        h = fnv1a(h, &[0]);
+        h = fnv1a(h, &std::fs::read(dir.join(&rel))?);
+        h = fnv1a(h, &[0]);
+    }
+    Ok(h)
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(root, &path, out)?;
+        } else {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(
+                rel.to_string_lossy()
+                    .replace(std::path::MAIN_SEPARATOR, "/"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Hashes every tree under `<root>/vendor`, plus its top-level files
+/// (README.md and friends) as a pseudo-tree named `.`, in name order.
+pub fn hash_trees(root: &Path) -> io::Result<Vec<(String, u64)>> {
+    let vendor = root.join("vendor");
+    let mut names = Vec::new();
+    let mut top = FNV_OFFSET;
+    let mut top_files = Vec::new();
+    for entry in std::fs::read_dir(&vendor)? {
+        let entry = entry?;
+        if entry.path().is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        } else {
+            top_files.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    top_files.sort();
+    for f in &top_files {
+        top = fnv1a(top, f.as_bytes());
+        top = fnv1a(top, &[0]);
+        top = fnv1a(top, &std::fs::read(vendor.join(f))?);
+        top = fnv1a(top, &[0]);
+    }
+    let mut out = vec![(".".to_owned(), top)];
+    for name in names {
+        out.push((name.clone(), hash_tree(&vendor.join(&name))?));
+    }
+    Ok(out)
+}
+
+/// Renders entries in the lock format: one `name fnv1a64:<hex16>` line
+/// each, preceded by a header comment.
+pub fn render_lock(entries: &[(String, u64)]) -> String {
+    let mut s = String::from(
+        "# Vendored-tree pins. Regenerate with: cargo run -p ccs-lint -- --vendor --update\n",
+    );
+    for (name, h) in entries {
+        s.push_str(&format!("{name} fnv1a64:{h:016x}\n"));
+    }
+    s
+}
+
+/// Parses a lock file; unrecognized lines are ignored so the header
+/// comment stays free-form.
+pub fn parse_lock(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, rest)) = line.split_once(' ') else {
+            continue;
+        };
+        let Some(hex) = rest.trim().strip_prefix("fnv1a64:") else {
+            continue;
+        };
+        if let Ok(h) = u64::from_str_radix(hex, 16) {
+            out.push((name.to_owned(), h));
+        }
+    }
+    out
+}
+
+/// The lock file's absolute path for a workspace root.
+pub fn lock_path(root: &Path) -> PathBuf {
+    root.join(LOCK_REL)
+}
+
+/// Compares the current `vendor/` hashes against the lock. `Ok(vec![])`
+/// means clean; a non-empty vec lists human-readable drift lines.
+pub fn check(root: &Path) -> io::Result<Vec<String>> {
+    let current = hash_trees(root)?;
+    let lock_text = std::fs::read_to_string(lock_path(root)).unwrap_or_default();
+    let pinned = parse_lock(&lock_text);
+    let mut drift = Vec::new();
+    if pinned.is_empty() {
+        drift.push(format!(
+            "{LOCK_REL} is missing or empty — run --vendor --update"
+        ));
+        return Ok(drift);
+    }
+    for (name, h) in &current {
+        match pinned.iter().find(|(n, _)| n == name) {
+            None => drift.push(format!("vendor/{name}: not pinned in the lock")),
+            Some((_, p)) if p != h => drift.push(format!(
+                "vendor/{name}: contents changed (pinned fnv1a64:{p:016x}, found fnv1a64:{h:016x})"
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, _) in &pinned {
+        if !current.iter().any(|(n, _)| n == name) {
+            drift.push(format!("vendor/{name}: pinned but missing from the tree"));
+        }
+    }
+    Ok(drift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a-64 test vectors.
+        assert_eq!(fnv1a(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(FNV_OFFSET, b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn lock_roundtrip() {
+        let entries = vec![(".".to_owned(), 7u64), ("proptest".to_owned(), 0xdead_beef)];
+        let text = render_lock(&entries);
+        assert_eq!(parse_lock(&text), entries);
+    }
+}

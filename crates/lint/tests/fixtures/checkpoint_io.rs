@@ -1,0 +1,31 @@
+//! pretend: crates/core/src/rogue_io.rs
+//!
+//! Seeded violations for `checkpoint-io-confined`. The old grep's
+//! comment-exclusion (`grep -vE '^\s*//'`) could never match `grep -rn`
+//! output (lines start with the file path), so it survived only because
+//! no comment happened to mention these names — the lint is immune by
+//! construction.
+
+fn rogue_parse(bytes: &[u8]) -> u16 {
+    // VIOLATION: checkpoint bytes have one reader, persist.rs.
+    let ckpt = from_bytes(bytes);
+    ckpt
+}
+
+fn rogue_path(dir: &std::path::Path) -> std::path::PathBuf {
+    // VIOLATION (x3): the `ckpt_path` name (twice) and the `.ccs`
+    // literal are persist.rs business.
+    let ckpt_path = dir.join("run.ccs");
+    ckpt_path
+}
+
+// VIOLATION: even *defining* a from_bytes here invites a second parser.
+fn from_bytes(bytes: &[u8]) -> u16 {
+    bytes.len() as u16
+}
+
+fn fine_mentions() {
+    // from_bytes and run.ccs in a comment are not checkpoint handling,
+    // and `from_bytes` inside a string is prose, not parsing:
+    let _doc = "persist.rs validates before Checkpoint::from_bytes returns";
+}

@@ -1,0 +1,32 @@
+//! pretend: crates/itemset/src/rogue_count.rs
+//!
+//! Seeded violations for `guard-probe-protocol`: a `*_guarded` entry
+//! point that threads no `CountProbe`/`RunGuard` cannot be interrupted,
+//! which silently breaks budgets, deadlines, and Ctrl-C. (Another pure
+//! grep false-negative: no shell pattern checked signatures.)
+
+pub struct Db;
+pub struct Itemset;
+pub trait CountProbe {}
+pub struct RunGuard;
+
+// VIOLATION: claims the guarded contract, observes no probe.
+pub fn minterm_counts_batch_guarded(db: &Db, sets: &[Itemset]) -> usize {
+    let _ = (db, sets);
+    0
+}
+
+pub fn fine_with_probe(db: &Db, probe: &dyn CountProbe) -> usize {
+    let _ = (db, probe);
+    0
+}
+
+pub fn fine_batch_guarded(db: &Db, probe: &dyn CountProbe) -> usize {
+    let _ = (db, probe);
+    0
+}
+
+pub fn fine_generic_guarded<C>(counter: &mut C, guard: &RunGuard) -> usize {
+    let _ = (counter, guard);
+    0
+}

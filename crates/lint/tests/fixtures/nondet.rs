@@ -1,0 +1,39 @@
+//! pretend: crates/core/src/rogue_clock.rs
+//!
+//! Seeded violations for `nondeterminism-in-kernel`: wall-clock reads
+//! outside guard.rs make mining runs unreproducible. Type-position
+//! `Instant` and test-code clocks are fine. (A third grep
+//! false-negative: nothing ever policed clock reads.)
+
+use std::time::{Instant, SystemTime};
+
+pub struct Scope {
+    // Fine: `Instant` in type position reads no clock.
+    pub start: Instant,
+}
+
+fn rogue_clock() -> Scope {
+    Scope {
+        // VIOLATION: route through guard::wall_now().
+        start: Instant::now(),
+    }
+}
+
+fn rogue_epoch() -> u64 {
+    // VIOLATION: SystemTime is worse — it isn't even monotonic.
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_a_test_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,46 @@
+//! pretend: crates/core/src/forge.rs
+//!
+//! Seeded violations for `resume-state-construction-confined`. The old
+//! grep pattern `ResumeState {` also matched the struct declaration and
+//! needed a second `grep -v`; the lint knows declarations from literals.
+
+pub struct ResumeState {
+    pub format: u16,
+}
+
+impl ResumeState {
+    fn describe(&self) -> u16 {
+        self.format
+    }
+}
+
+fn forge() -> ResumeState {
+    // VIOLATION: only the kernel stamps resume state.
+    ResumeState { format: 2 }
+}
+
+fn forge_in_match(cold: bool) -> Option<ResumeState> {
+    match cold {
+        // VIOLATION: match arms construct too (`=>` is not `->`).
+        true => Some(ResumeState { format: 2 }),
+        false => None,
+    }
+}
+
+fn fine_type_positions(state: ResumeState) -> u16 {
+    let copy: &ResumeState = &state;
+    copy.describe()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forging_in_tests_is_still_a_violation() {
+        // VIOLATION: this rule does not relax for test code — a forged
+        // stamp in a test is exactly the drift the kernel refactor banned.
+        let s = ResumeState { format: 99 };
+        assert_eq!(s.format, 99);
+    }
+}

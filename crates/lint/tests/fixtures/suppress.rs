@@ -1,0 +1,35 @@
+//! pretend: crates/core/src/suppress_demo.rs
+//!
+//! The suppression protocol end to end: a reasoned allow silences
+//! exactly one line; an allow without a reason, naming an unknown rule,
+//! or targeting the meta-rule is itself a `suppression-requires-reason`
+//! violation — so the ledger of exemptions stays auditable.
+
+use std::time::Instant;
+
+fn fine_reasoned_allow() -> Instant {
+    // ccs-lint: allow(nondeterminism-in-kernel, reason = "fixture demo of a sound suppression")
+    Instant::now()
+}
+
+fn fine_trailing_allow() -> Instant {
+    Instant::now() // ccs-lint: allow(nondeterminism-in-kernel, reason = "trailing form covers its own line")
+}
+
+fn rogue_reasonless() -> Instant {
+    // VIOLATION (meta) + VIOLATION (nondet survives): no reason given.
+    // ccs-lint: allow(nondeterminism-in-kernel)
+    Instant::now()
+}
+
+fn rogue_unknown_rule() {
+    // VIOLATION (meta): names a rule the engine does not know.
+    // ccs-lint: allow(no-such-rule, reason = "typo'd rule id")
+    let _ = 0;
+}
+
+fn rogue_meta_allow() {
+    // VIOLATION (meta): the meta-rule cannot be allowed away.
+    // ccs-lint: allow(suppression-requires-reason, reason = "nice try")
+    let _ = 0;
+}

@@ -1,0 +1,87 @@
+//! Property tests for the lint lexer.
+//!
+//! The contract: [`ccs_lint::lexer::lex`] never panics, and its token
+//! stream is *lossless* — tokens are contiguous, start at byte 0, and
+//! end at `src.len()`, so concatenating every span reproduces the input
+//! byte-for-byte. The inputs are hostile on purpose: arbitrary byte
+//! soup, and fragment soup biased toward the seams where Rust lexing is
+//! genuinely tricky (raw-string openers, lifetime/char ambiguity, byte
+//! literals, unterminated comments, escapes).
+
+use ccs_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Asserts the lossless-cover property and returns the tokens.
+fn roundtrip(src: &str) -> Vec<ccs_lint::lexer::Tok> {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    for t in &toks {
+        assert_eq!(t.start, pos, "gap or overlap before {t:?} in {src:?}");
+        assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "token {t:?} splits a char in {src:?}"
+        );
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tail of {src:?} not covered");
+    toks
+}
+
+proptest! {
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        roundtrip(&src);
+    }
+
+    #[test]
+    fn seam_soup_roundtrips(parts in proptest::collection::vec(
+        prop_oneof![
+            // Raw-string machinery: openers, closers, stray hashes.
+            Just("r"), Just("r#"), Just("r##\""), Just("\"#"), Just("#"),
+            Just("br\""), Just("br#\""), Just("b\""), Just("c\""),
+            // Quote seams: lifetimes vs char literals vs escapes.
+            Just("'"), Just("'a"), Just("'a'"), Just("'\\"), Just("'\\''"),
+            Just("b'"), Just("'static"), Just("'{'"),
+            // Comment seams, including unterminated and nested.
+            Just("//"), Just("/*"), Just("*/"), Just("/"), Just("/**"),
+            // String bodies and escapes.
+            Just("\""), Just("\\"), Just("\\\""), Just("while level"),
+            // Numbers at range/float/suffix seams.
+            Just("0"), Just("0."), Just(".."), Just("1e"), Just("1e-"),
+            Just("2.5e-3"), Just("0xFF"), Just("1_000u64"),
+            // Ordinary glue.
+            Just("ident"), Just("fn"), Just("{"), Just("}"), Just("["),
+            Just("]"), Just(";"), Just(" "), Just("\n"), Just("é"),
+        ],
+        0..24,
+    )) {
+        let src: String = parts.concat();
+        roundtrip(&src);
+    }
+
+    #[test]
+    fn trivia_classification_is_stable(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("// line\n"), Just("/* block */"), Just("  "), Just("\t\n"),
+            Just("ident"), Just("42"), Just("\"str\""), Just("'c'"),
+        ],
+        0..16,
+    )) {
+        // Significant tokens never lex as trivia and vice versa, no
+        // matter how the fragments interleave comments around them.
+        let src: String = parts.concat();
+        for t in roundtrip(&src) {
+            let text = t.text(&src);
+            match t.kind {
+                TokKind::Whitespace => {
+                    assert!(text.chars().all(|c| c.is_ascii_whitespace()), "{text:?}");
+                }
+                TokKind::LineComment => assert!(text.starts_with("//"), "{text:?}"),
+                TokKind::BlockComment => assert!(text.starts_with("/*"), "{text:?}"),
+                _ => {}
+            }
+        }
+    }
+}

@@ -34,14 +34,16 @@ const EXIT_ERROR: u8 = 1;
 const EXIT_UNSATISFIABLE: u8 = 3;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (recognized, result) = match args.first().map(String::as_str) {
-        Some("generate") => (true, cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS)),
-        Some("attrs") => (true, cmd_attrs(&args[1..]).map(|()| ExitCode::SUCCESS)),
-        Some("analyze") => (true, cmd_analyze(&args[1..])),
-        Some("mine") => (true, cmd_mine(&args[1..])),
-        Some("resume") => (true, cmd_resume(&args[1..])),
-        Some("stats") => (true, cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS)),
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next();
+    let rest: Vec<String> = argv.collect();
+    let (recognized, result) = match cmd.as_deref() {
+        Some("generate") => (true, cmd_generate(&rest).map(|()| ExitCode::SUCCESS)),
+        Some("attrs") => (true, cmd_attrs(&rest).map(|()| ExitCode::SUCCESS)),
+        Some("analyze") => (true, cmd_analyze(&rest)),
+        Some("mine") => (true, cmd_mine(&rest)),
+        Some("resume") => (true, cmd_resume(&rest)),
+        Some("stats") => (true, cmd_stats(&rest).map(|()| ExitCode::SUCCESS)),
         Some("--help") | Some("-h") | None => {
             print_usage();
             (true, Ok(ExitCode::SUCCESS))
@@ -183,9 +185,9 @@ impl<'a> Flags<'a> {
         known: &[&str],
         switches: &'static [&'static str],
     ) -> Result<Self, String> {
-        let mut i = 0;
-        while i < args.len() {
-            let arg = args[i].as_str();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let arg = arg.as_str();
             if !arg.starts_with("--") {
                 return Err(format!("unexpected argument '{arg}'"));
             }
@@ -197,19 +199,14 @@ impl<'a> Flags<'a> {
                 if has_inline_value {
                     return Err(format!("{key} takes no value"));
                 }
-                i += 1;
                 continue;
             }
             if !known.contains(&key) {
                 return Err(format!("unknown flag '{key}'"));
             }
-            if !has_inline_value {
-                if i + 1 >= args.len() {
-                    return Err(format!("missing value for {key}"));
-                }
-                i += 1;
+            if !has_inline_value && it.next().is_none() {
+                return Err(format!("missing value for {key}"));
             }
-            i += 1;
         }
         Ok(Flags { args, switches })
     }

@@ -157,6 +157,7 @@ pub fn write_attrs<W: Write>(attrs: &AttributeTable, out: &mut W) -> io::Result<
         // The name comes from the table's own listing — lookup is
         // infallible.
         #[allow(clippy::expect_used)]
+        // ccs-lint: allow(no-panic-in-io-paths, reason = "name comes from the table's own listing; lookup is infallible")
         for v in attrs.numeric(name).expect("listed name") {
             write!(out, " {v}")?;
         }
@@ -164,6 +165,7 @@ pub fn write_attrs<W: Write>(attrs: &AttributeTable, out: &mut W) -> io::Result<
     }
     for name in attrs.categorical_names() {
         #[allow(clippy::expect_used)]
+        // ccs-lint: allow(no-panic-in-io-paths, reason = "name comes from the table's own listing; lookup is infallible")
         let col = attrs.categorical(name).expect("listed name");
         write!(out, "categorical {name}")?;
         for &id in col.values() {
