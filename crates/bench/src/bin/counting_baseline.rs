@@ -19,13 +19,13 @@ use std::time::Instant;
 use ccs_bench::DataMethod;
 use ccs_constraints::{AttributeTable, Constraint, ConstraintSet};
 use ccs_core::{
-    Algorithm, CheckpointCadence, CheckpointPolicy, CorrelationQuery, GuardLimits, MineRequest,
-    MiningParams, MiningSession, RunGuard,
+    Algorithm, CheckpointCadence, CheckpointPolicy, CorrelationQuery, CountingStrategy,
+    GuardLimits, MineRequest, MiningParams, MiningSession, RunGuard,
 };
 use ccs_itemset::{
-    HorizontalCounter, Itemset, MintermCounter, ParallelCounter, ParallelVerticalCounter,
-    ParallelVerticalIndex, ShardedVerticalCounter, ShardedVerticalIndex, TransactionDb,
-    VerticalCounter,
+    FpTreeCounter, HorizontalCounter, Itemset, MintermCounter, ParallelCounter,
+    ParallelVerticalCounter, ParallelVerticalIndex, ShardedVerticalCounter, ShardedVerticalIndex,
+    TransactionDb, VerticalCounter,
 };
 
 const N_ITEMS: u32 = 60;
@@ -42,6 +42,41 @@ const REPS: usize = 7;
 /// superblocks go dark — the regime the population-hint skip targets.
 const SPARSE_ITEMS: u32 = 240;
 const SPARSE_CANDIDATES: usize = 200;
+
+/// The dense low-cardinality companion shape: a small universe where
+/// every basket is a union of a few correlated modules, so the whole
+/// database collapses into a handful of distinct profiles. Vertical
+/// counting still pays per *transaction* (bitmap words scale with
+/// baskets); the FP-tree pays per *distinct profile*, which is where
+/// pattern growth beats candidate intersection.
+const DENSE_LC_ITEMS: u32 = 28;
+const DENSE_LC_BASKETS: usize = 40_000;
+const DENSE_LC_CANDIDATES: usize = 400;
+
+/// Deterministic profile-clustered baskets: three overlapping modules
+/// switched by small moduli plus one rotating tail item — 32 distinct
+/// basket shapes across 40 000 transactions, avg length ≈ 14 of 28
+/// items (density ≈ 0.5, exactly the shape `Auto` routes to `fp-tree`).
+fn dense_low_cardinality_db() -> TransactionDb {
+    let mut txns = Vec::with_capacity(DENSE_LC_BASKETS);
+    for i in 0..DENSE_LC_BASKETS as u32 {
+        let mut t: Vec<u32> = Vec::new();
+        if i % 2 == 0 {
+            t.extend(0..10);
+        }
+        if i % 3 == 0 {
+            t.extend(8..18);
+        }
+        if i % 5 != 0 {
+            t.extend(16..24);
+        }
+        t.push(24 + i % 4);
+        t.sort_unstable();
+        t.dedup();
+        txns.push(t);
+    }
+    TransactionDb::from_ids(DENSE_LC_ITEMS, txns)
+}
 
 /// One dense miner level: all `k`-subsets of consecutive `pool`-item
 /// windows until `n` candidates exist. This is the shape `apriori_gen`
@@ -275,6 +310,23 @@ fn main() {
             candidates: N_CANDIDATES,
         });
     }
+    {
+        let mut c = FpTreeCounter::new(&db);
+        let (s, t) = time_level(&mut c, &level, |c, l| single(c, l));
+        rows.push(Row {
+            name: "fptree/per_candidate",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: N_CANDIDATES,
+        });
+        let (s, t) = time_level(&mut c, &level, |c, l| batch(c, l));
+        rows.push(Row {
+            name: "fptree/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: N_CANDIDATES,
+        });
+    }
 
     // Pool thread-scaling of the parallel-vertical batch path. On a
     // single-core host every worker count serialises onto one CPU, so
@@ -364,6 +416,47 @@ fn main() {
         });
     }
 
+    // The dense low-cardinality shape, batch paths: the FP-tree's home
+    // turf. Candidates are drawn from one 12-item module, so the
+    // projection memoizer amortizes to one conditional projection per
+    // header item across the whole level.
+    let lc_db = dense_low_cardinality_db();
+    let lc_level = dense_level(DENSE_LC_ITEMS, DENSE_LC_CANDIDATES, CANDIDATE_SIZE, POOL);
+    let mut lc_rows: Vec<Row> = Vec::new();
+    {
+        let mut c = VerticalCounter::new(&lc_db);
+        let (s, t) = time_level(&mut c, &lc_level, |c, l| batch(c, l));
+        lc_rows.push(Row {
+            name: "vertical/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: DENSE_LC_CANDIDATES,
+        });
+        let mut c = ParallelVerticalCounter::new(&lc_db);
+        let (s, t) = time_level(&mut c, &lc_level, |c, l| batch(c, l));
+        lc_rows.push(Row {
+            name: "vertical_par/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: DENSE_LC_CANDIDATES,
+        });
+        let mut c = FpTreeCounter::new(&lc_db);
+        let (s, t) = time_level(&mut c, &lc_level, |c, l| single(c, l));
+        lc_rows.push(Row {
+            name: "fptree/per_candidate",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: DENSE_LC_CANDIDATES,
+        });
+        let (s, t) = time_level(&mut c, &lc_level, |c, l| batch(c, l));
+        lc_rows.push(Row {
+            name: "fptree/batch",
+            seconds: s,
+            tables_per_pass: t,
+            candidates: DENSE_LC_CANDIDATES,
+        });
+    }
+
     // Durability overhead: a complete governed BMS++ mine on the dense
     // database, with and without every-level checkpointing into a real
     // file (atomic temp + fsync + rename per stamp). The guard is armed
@@ -392,9 +485,43 @@ fn main() {
         .find(|r| r.name == "vertical_par/batch")
         .unwrap();
     let par_speedup = vertical_batch.seconds / vertical_par_batch.seconds;
+    let lc_vertical_batch = lc_rows.iter().find(|r| r.name == "vertical/batch").unwrap();
+    let lc_fptree_batch = lc_rows.iter().find(|r| r.name == "fptree/batch").unwrap();
+    let fptree_speedup = lc_vertical_batch.seconds / lc_fptree_batch.seconds;
     let available = std::thread::available_parallelism()
         .map(|w| w.get())
         .unwrap_or(1);
+
+    // Build provenance: the ISA surface this binary was actually
+    // compiled for (cfg! probes are compile-time truth, whatever mix of
+    // .cargo/config.toml and RUSTFLAGS produced it) plus the RUSTFLAGS
+    // environment as seen at run time — together they make cross-box
+    // comparisons (the flat 1-CPU thread_scaling caveat) self-describing.
+    let target_features: Vec<&str> = [
+        ("sse4.2", cfg!(target_feature = "sse4.2")),
+        ("popcnt", cfg!(target_feature = "popcnt")),
+        ("avx", cfg!(target_feature = "avx")),
+        ("avx2", cfg!(target_feature = "avx2")),
+        ("avx512f", cfg!(target_feature = "avx512f")),
+    ]
+    .iter()
+    .filter(|(_, enabled)| *enabled)
+    .map(|(name, _)| *name)
+    .collect();
+    let rustflags = std::env::var("RUSTFLAGS")
+        .unwrap_or_else(|_| String::from("(unset; .cargo/config.toml: -C target-cpu=x86-64-v2)"));
+    // What `Auto` actually picks for each bench shape on this host.
+    let routing = [
+        ("dense", CountingStrategy::Auto.resolve(&db, None, None)),
+        (
+            "sparse",
+            CountingStrategy::Auto.resolve(&sparse_db, None, None),
+        ),
+        (
+            "dense_low_cardinality",
+            CountingStrategy::Auto.resolve(&lc_db, None, None),
+        ),
+    ];
 
     println!(
         "counting baseline: {N_CANDIDATES} candidates of size {CANDIDATE_SIZE}, \
@@ -446,6 +573,26 @@ fn main() {
             r.tables_per_sec()
         );
     }
+    println!(
+        "dense low-cardinality shape ({DENSE_LC_ITEMS} items, {DENSE_LC_BASKETS} baskets, \
+         {DENSE_LC_CANDIDATES} candidates, ~32 distinct profiles):"
+    );
+    for r in &lc_rows {
+        println!(
+            "{:>26} {:>12.6} {:>16.0} {:>14.0}",
+            r.name,
+            r.seconds,
+            r.candidates_per_sec(),
+            r.tables_per_sec()
+        );
+    }
+    println!(
+        "fptree batch speedup over vertical batch (dense low-cardinality): {fptree_speedup:.2}x"
+    );
+    println!("auto routing on this host:");
+    for (shape, strategy) in &routing {
+        println!("  {shape}: {strategy}");
+    }
     println!("checkpoint overhead (full BMS++ mine, armed guard both sides):");
     println!(
         "  no checkpoint: {:.6}s ({:.0} cand/s)",
@@ -467,7 +614,22 @@ fn main() {
         json,
         "  \"config\": {{ \"items\": {N_ITEMS}, \"transactions\": {N_BASKETS}, \
          \"candidates\": {N_CANDIDATES}, \"candidate_size\": {CANDIDATE_SIZE}, \
-         \"reps\": {REPS}, \"available_parallelism\": {available} }},"
+         \"reps\": {REPS}, \"available_parallelism\": {available},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"target_features\": \"{}\", \"rustflags\": \"{}\",",
+        target_features.join(","),
+        rustflags.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    let _ = writeln!(
+        json,
+        "    \"auto_routing\": {{ {} }} }},",
+        routing
+            .iter()
+            .map(|(shape, strategy)| format!("\"{shape}\": \"{strategy}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     json.push_str("  \"strategies\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -527,6 +689,28 @@ fn main() {
         );
     }
     json.push_str("  ] },\n");
+    let _ = writeln!(
+        json,
+        "  \"dense_low_cardinality\": {{ \"items\": {DENSE_LC_ITEMS}, \
+         \"transactions\": {DENSE_LC_BASKETS}, \"candidates\": {DENSE_LC_CANDIDATES}, \
+         \"distinct_profiles\": 32, \"strategies\": ["
+    );
+    for (i, r) in lc_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"median_seconds\": {:.6}, \
+             \"candidates_per_sec\": {:.1}, \"tables_per_sec\": {:.1} }}{}",
+            r.name,
+            r.seconds,
+            r.candidates_per_sec(),
+            r.tables_per_sec(),
+            if i + 1 < lc_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ], \"fptree_batch_speedup_over_vertical_batch\": {fptree_speedup:.2} }},"
+    );
     let _ = writeln!(
         json,
         "  \"checkpoint_overhead\": {{ \

@@ -100,10 +100,29 @@ pub enum CountingStrategy {
     /// count comes from [`MiningOptions::shards`] (default: one shard
     /// per worker).
     Sharded,
+    /// Pattern-growth counting over a compressed FP-tree: conditional
+    /// projections are memoized across a batch, so a dense level pays
+    /// one projection per header item instead of one tid-set
+    /// intersection per candidate (DESIGN.md §6.4). Wins on dense,
+    /// low-cardinality databases whose transactions collapse into few
+    /// distinct profiles; degrades FpTree → Vertical → Horizontal
+    /// under memory pressure.
+    FpTree,
     /// Picks a concrete strategy from the database shape and available
     /// parallelism at mining time; see [`CountingStrategy::resolve`].
     Auto,
 }
+
+/// `Auto` routes to the FP-tree counter only when the item universe is
+/// small enough that conditional projections stay compact…
+const FPTREE_MAX_ITEMS: u32 = 512;
+/// …and transactions are long enough that they collapse into shared
+/// tree prefixes…
+const FPTREE_MIN_AVG_LEN: f64 = 8.0;
+/// …and the database is dense enough (avg transaction length / items)
+/// that tid-set intersection pays per transaction for work the tree
+/// answers per distinct profile.
+const FPTREE_MIN_DENSITY: f64 = 0.2;
 
 impl CountingStrategy {
     /// Resolves `Auto` to a concrete strategy from database shape.
@@ -120,12 +139,21 @@ impl CountingStrategy {
     /// benchmark shapes (`results/BENCH_counting.json`).
     ///
     /// Shard-awareness: an explicit shard request (`shards` is `Some`)
-    /// routes `Auto` to the sharded substrate outright — the caller
-    /// asked for a specific horizontal partitioning, which only that
-    /// engine honours. Without one, sharding is chosen over
-    /// class-parallelism only when the database is large enough
-    /// (`n ≥ 65536`) that each worker's tid slice still spans many
-    /// cache-line superblocks.
+    /// routes `Auto` to the sharded substrate — the caller asked for a
+    /// specific horizontal partitioning, which only that engine
+    /// honours — but only when more than one worker is available: every
+    /// pool-backed strategy loses outright on a single-CPU box
+    /// (`vertical_par/batch` is 0.70× `vertical/batch` and 8-shard is
+    /// 0.64× 1-shard in `results/BENCH_counting.json`), so with one
+    /// worker the hint is ignored in favour of the sequential engines.
+    /// Without a hint, sharding is chosen over class-parallelism only
+    /// when the database is large enough (`n ≥ 65536`) that each
+    /// worker's tid slice still spans many cache-line superblocks.
+    ///
+    /// Dense low-cardinality shapes — a small item universe with long
+    /// transactions, where baskets collapse into few distinct profiles —
+    /// route to the FP-tree pattern-growth counter, whose cost tracks
+    /// distinct profiles rather than transactions (DESIGN.md §6.4).
     pub fn resolve(
         self,
         db: &TransactionDb,
@@ -145,14 +173,20 @@ impl CountingStrategy {
         if bitmap_bytes > (1 << 30) && density < 0.005 {
             return CountingStrategy::Horizontal;
         }
-        if shards.is_some() {
-            return CountingStrategy::Sharded;
-        }
         let workers = threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|w| w.get())
                 .unwrap_or(1)
         });
+        if workers > 1 && shards.is_some() {
+            return CountingStrategy::Sharded;
+        }
+        if db.n_items() <= FPTREE_MAX_ITEMS
+            && db.avg_transaction_len() >= FPTREE_MIN_AVG_LEN
+            && density >= FPTREE_MIN_DENSITY
+        {
+            return CountingStrategy::FpTree;
+        }
         if workers > 1 && n >= 65536 {
             return CountingStrategy::Sharded;
         }
@@ -170,6 +204,7 @@ impl CountingStrategy {
             CountingStrategy::Parallel => "parallel",
             CountingStrategy::VerticalPar => "vertical-par",
             CountingStrategy::Sharded => "sharded",
+            CountingStrategy::FpTree => "fp-tree",
             CountingStrategy::Auto => "auto",
         }
     }
@@ -191,11 +226,12 @@ impl std::str::FromStr for CountingStrategy {
             "parallel" => Ok(CountingStrategy::Parallel),
             "vertical-par" | "vertical_par" => Ok(CountingStrategy::VerticalPar),
             "sharded" => Ok(CountingStrategy::Sharded),
+            "fp-tree" | "fptree" => Ok(CountingStrategy::FpTree),
             "auto" => Ok(CountingStrategy::Auto),
             other => Err(format!(
                 "unknown counting strategy '{other}' \
                  (expected horizontal, vertical, parallel, vertical-par, \
-                 sharded, or auto)"
+                 sharded, fp-tree, or auto)"
             )),
         }
     }
@@ -570,6 +606,7 @@ mod tests {
                     CountingStrategy::Vertical,
                     CountingStrategy::Parallel,
                     CountingStrategy::VerticalPar,
+                    CountingStrategy::FpTree,
                     CountingStrategy::Auto,
                 ] {
                     let v = session
@@ -617,30 +654,54 @@ mod tests {
         let empty = TransactionDb::from_ids(3, Vec::<Vec<u32>>::new());
         assert_eq!(Auto.resolve(&empty, Some(8), None), Horizontal);
         // Concrete strategies are fixed points.
-        for s in [Horizontal, Vertical, Parallel, VerticalPar, Sharded] {
+        for s in [Horizontal, Vertical, Parallel, VerticalPar, Sharded, FpTree] {
             assert_eq!(s.resolve(&small, None, None), s);
         }
         // A big database with workers to spare goes parallel-vertical.
         let big = TransactionDb::from_ids(4, (0..5000u32).map(|t| vec![t % 4, (t + 1) % 4]));
         assert_eq!(Auto.resolve(&big, Some(4), None), VerticalPar);
         assert_eq!(Auto.resolve(&big, Some(1), None), Vertical);
-        // An explicit shard request routes Auto to the sharded engine,
-        // and a huge database shards even without one.
+        // An explicit shard request routes Auto to the sharded engine —
+        // but only with workers to run it: pool-backed strategies lose
+        // outright on a single-CPU box (BENCH_counting.json), so a
+        // 1-worker run ignores the hint and stays sequential.
         assert_eq!(Auto.resolve(&big, Some(4), Some(3)), Sharded);
+        assert_eq!(Auto.resolve(&big, Some(1), Some(3)), Vertical);
+        // A huge database shards even without a hint.
         let huge = TransactionDb::from_ids(4, (0..70_000u32).map(|t| vec![t % 4, (t + 1) % 4]));
         assert_eq!(Auto.resolve(&huge, Some(4), None), Sharded);
         assert_eq!(Auto.resolve(&huge, Some(1), None), Vertical);
+        // Dense low-cardinality: long transactions over a small item
+        // universe collapse into few profiles — pattern growth wins
+        // regardless of worker count, so it outranks the pool routes.
+        let dense = TransactionDb::from_ids(
+            33,
+            (0..5000u32).map(|t| (0..16).map(|j| (t % 3) + 2 * j).collect::<Vec<_>>()),
+        );
+        assert_eq!(Auto.resolve(&dense, Some(8), None), FpTree);
+        assert_eq!(Auto.resolve(&dense, Some(1), None), FpTree);
     }
 
     #[test]
     fn strategy_names_round_trip_through_fromstr() {
         use CountingStrategy::*;
-        for s in [Horizontal, Vertical, Parallel, VerticalPar, Sharded, Auto] {
+        for s in [
+            Horizontal,
+            Vertical,
+            Parallel,
+            VerticalPar,
+            Sharded,
+            FpTree,
+            Auto,
+        ] {
             assert_eq!(s.name().parse::<CountingStrategy>().unwrap(), s);
         }
         assert!("simd".parse::<CountingStrategy>().is_err());
         assert_eq!(VerticalPar.to_string(), "vertical-par");
         assert_eq!(Sharded.to_string(), "sharded");
+        assert_eq!(FpTree.to_string(), "fp-tree");
+        // The underscore-free alias parses too.
+        assert_eq!("fptree".parse::<CountingStrategy>().unwrap(), FpTree);
     }
 
     #[test]

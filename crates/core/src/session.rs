@@ -20,7 +20,7 @@
 
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{
-    HorizontalCounter, MintermCounter, ParallelCounter, ParallelVerticalCounter,
+    FpTreeCounter, HorizontalCounter, MintermCounter, ParallelCounter, ParallelVerticalCounter,
     ShardedVerticalCounter, TransactionDb, VerticalCounter,
 };
 
@@ -429,6 +429,7 @@ fn make_counter<'a>(
             (None, Some(t)) => Box::new(ShardedVerticalCounter::with_shards_and_workers(db, t, t)),
             (None, None) => Box::new(ShardedVerticalCounter::new(db)),
         },
+        CountingStrategy::FpTree => Box::new(FpTreeCounter::new(db)),
         CountingStrategy::Auto => unreachable!("resolve() never returns Auto"),
     }
 }

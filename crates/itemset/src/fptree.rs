@@ -1,0 +1,841 @@
+//! [`FpTree`]: pattern-growth minterm counting over a compressed prefix
+//! tree.
+//!
+//! The vertical substrates (tid-set intersection, pooled classes,
+//! sharded ranges) all pay per-candidate work proportional to the
+//! database's *transaction count* — every contingency table walks
+//! bitmaps of `n` bits. On dense, low-cardinality databases that is the
+//! wrong currency: transactions cluster into a few distinct profiles,
+//! and an FP-tree (Han-Pei-Yin) compresses the whole database into one
+//! prefix tree whose size tracks the number of *distinct transaction
+//! prefixes*, not the number of transactions. Counting then works on
+//! the tree, so its cost is independent of how many baskets share a
+//! profile — the regime where pattern growth beats Apriori-shaped
+//! candidate intersection off its home turf (ROADMAP item 3).
+//!
+//! # Tree layout
+//!
+//! One arena of parent-linked nodes. Items are ordered by descending
+//! whole-database support (ties broken by item id, so construction is
+//! deterministic); each transaction is sorted into that order and
+//! inserted root-down, sharing the longest existing prefix and bumping
+//! the shared nodes' counts. A *header table* keeps, per item, the list
+//! of that item's nodes (the classic node-links, stored as a vector in
+//! creation order).
+//!
+//! # Counting a contingency table
+//!
+//! For a candidate `S` with items at tree ranks `r_0 < … < r_{k-1}`,
+//! walking item `r_i`'s node-links gives, per node, its count and the
+//! exact set of `S`-items on the node's root path. Because transactions
+//! are inserted in rank order, a node's ancestors are *precisely* the
+//! transaction's items of smaller rank — so each node contributes its
+//! count to the cell "contains `r_i`, exactly this subset of the
+//! shallower `S`-items, deeper `S`-items unconstrained". One
+//! deepest-first inclusion-exclusion pass then strips the
+//! "unconstrained deeper" slack (each cell subtracts its already-exact
+//! deeper extensions), and the all-absent cell is the remainder against
+//! the transaction count. `k` node-link walks per candidate, no
+//! per-candidate tid-set work at all.
+//!
+//! # Batching: conditional projections, memoized
+//!
+//! [`FpTree::minterm_counts_batch_guarded`] groups a level's candidates
+//! by their *suffix item* (the deepest-ranked member) and materialises
+//! each header item's **conditional projection** — the node-link chain
+//! flattened into `(root-path items, count)` entries — at most once per
+//! batch, memoized across every candidate that touches the item. A
+//! dense level whose candidates are drawn from one correlated module
+//! thus pays one projection per header item plus a cheap mask fold per
+//! candidate, instead of one intersection recursion per candidate.
+//!
+//! # Interruption and degradation
+//!
+//! The guarded batch checks the [`CountProbe`] at every projection
+//! boundary (before each candidate's projection walks) and charges each
+//! completed table, so a trip abandons the batch with exact
+//! completed-candidate accounting — identical first-trip-wins contract
+//! to the vertical engines; a half-counted table never escapes.
+//! [`FpTreeCounter`] adds the memory-pressure ladder: when a probe's
+//! arena budget cannot hold the batch's memoized projections it
+//! degrades (stickily) to a lazily built [`VerticalIndex`], and below
+//! that to guarded horizontal scans.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::counting::{
+    horizontal_batch_guarded, BatchInterrupted, CountProbe, CountingStats, MintermCounter, NoProbe,
+};
+use crate::database::TransactionDb;
+use crate::itemset::Itemset;
+use crate::vertical::{alloc_results, VerticalIndex};
+use crate::vertical_par::DegradationRung;
+
+/// Sentinel in the item→cell-bit scratch map: item not in the candidate.
+const NOT_IN_SET: u32 = u32::MAX;
+
+/// Fixed per-entry overhead charged when estimating a conditional
+/// projection's memory footprint: the count plus the path vector's
+/// header, before the per-path-item bytes.
+const PROJ_ENTRY_BYTES: u64 = 24;
+
+/// One FP-tree node: its item, the number of transactions whose sorted
+/// prefix runs through it, its parent (0 is the root sentinel), and its
+/// depth (root children have depth 1).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    item: u32,
+    count: u64,
+    parent: u32,
+    depth: u32,
+}
+
+/// One entry of an item's conditional projection: the items on one of
+/// its nodes' root paths (order irrelevant — only membership is folded
+/// into cell masks) and that node's transaction count.
+#[derive(Debug, Clone)]
+struct PathCount {
+    path: Box<[u32]>,
+    count: u64,
+}
+
+/// A compressed prefix tree over a [`TransactionDb`], with a header
+/// table of per-item node-links, built in one insertion pass.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    n_transactions: usize,
+    /// `rank_of[item]` is the item's position in the support-descending
+    /// tree order (ties broken by item id).
+    rank_of: Vec<u32>,
+    /// Whole-database absolute support per item, for trivial tables.
+    item_supports: Vec<u64>,
+    /// Node arena; `nodes[0]` is the root sentinel.
+    nodes: Vec<Node>,
+    /// Header table: `headers[item]` lists the item's nodes.
+    headers: Vec<Vec<u32>>,
+    /// Estimated bytes of each item's materialised conditional
+    /// projection, for memory-budget checks *before* anything grows.
+    proj_bytes: Vec<u64>,
+}
+
+impl FpTree {
+    /// Builds the tree: one support-counting pass to fix the item order,
+    /// then one insertion pass over the transactions.
+    pub fn build(db: &TransactionDb) -> Self {
+        let n_items = db.n_items() as usize;
+        let supports = db.item_supports();
+        let mut order: Vec<u32> = (0..db.n_items()).collect();
+        order.sort_unstable_by_key(|&i| (std::cmp::Reverse(supports[i as usize]), i));
+        let mut rank_of = vec![0u32; n_items];
+        for (rank, &item) in order.iter().enumerate() {
+            rank_of[item as usize] = rank as u32;
+        }
+        let mut nodes = vec![Node {
+            item: u32::MAX,
+            count: 0,
+            parent: 0,
+            depth: 0,
+        }];
+        let mut headers: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+        // Child links are only needed while inserting; lookups never
+        // iterate the map, so the tree stays deterministic.
+        let mut children: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut sorted: Vec<u32> = Vec::new();
+        for t in db.transactions() {
+            sorted.clear();
+            sorted.extend(t.iter().map(|i| i.id()));
+            sorted.sort_unstable_by_key(|&i| rank_of[i as usize]);
+            let mut at = 0u32;
+            for &item in &sorted {
+                at = match children.get(&(at, item)) {
+                    Some(&n) => {
+                        nodes[n as usize].count += 1;
+                        n
+                    }
+                    None => {
+                        let n = nodes.len() as u32;
+                        nodes.push(Node {
+                            item,
+                            count: 1,
+                            parent: at,
+                            depth: nodes[at as usize].depth + 1,
+                        });
+                        children.insert((at, item), n);
+                        headers[item as usize].push(n);
+                        n
+                    }
+                };
+            }
+        }
+        let proj_bytes = headers
+            .iter()
+            .map(|chain| {
+                chain
+                    .iter()
+                    .map(|&n| PROJ_ENTRY_BYTES + 4 * u64::from(nodes[n as usize].depth - 1))
+                    .sum()
+            })
+            .collect();
+        FpTree {
+            n_transactions: db.len(),
+            rank_of,
+            item_supports: supports.into_iter().map(|s| s as u64).collect(),
+            nodes,
+            headers,
+            proj_bytes,
+        }
+    }
+
+    /// Number of transactions the tree compresses.
+    #[inline]
+    pub fn n_transactions(&self) -> usize {
+        self.n_transactions
+    }
+
+    /// Number of items in the universe.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Number of tree nodes (excluding the root sentinel) — the measure
+    /// of how well the database compressed.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Estimated bytes of the memoized conditional projections a batch
+    /// over `sets` materialises (each distinct item's projection is
+    /// built at most once). Used by [`FpTreeCounter`]'s memory-budget
+    /// check *before* any projection is built.
+    pub fn projection_bytes(&self, sets: &[Itemset]) -> u64 {
+        let mut seen = vec![false; self.headers.len()];
+        let mut total = 0u64;
+        for set in sets {
+            if set.len() < 2 {
+                continue; // trivial sets never walk a projection
+            }
+            for item in set.items() {
+                if !seen[item.index()] {
+                    seen[item.index()] = true;
+                    total += self.proj_bytes[item.index()];
+                }
+            }
+        }
+        total
+    }
+
+    /// Materialises item's conditional projection: one `(path, count)`
+    /// entry per node on its node-link chain.
+    fn projection(&self, item: u32) -> Vec<PathCount> {
+        self.headers[item as usize]
+            .iter()
+            .map(|&n| {
+                let node = &self.nodes[n as usize];
+                let mut path = Vec::with_capacity(node.depth.saturating_sub(1) as usize);
+                let mut p = node.parent;
+                while p != 0 {
+                    path.push(self.nodes[p as usize].item);
+                    p = self.nodes[p as usize].parent;
+                }
+                PathCount {
+                    path: path.into_boxed_slice(),
+                    count: node.count,
+                }
+            })
+            .collect()
+    }
+
+    /// Counts all `2^k` cells of `set` into `out` (zeroed, `2^k` long).
+    /// Cell indexing follows [`VerticalIndex::minterm_counts`]: bit `j`
+    /// of the cell index is 1 iff the `j`-th smallest item of `set` is
+    /// present. `bit_of` is reusable scratch of `n_items` entries, all
+    /// [`NOT_IN_SET`] on entry and restored to that on exit.
+    fn count_set_into(
+        &self,
+        set: &Itemset,
+        cache: &mut HashMap<u32, Vec<PathCount>>,
+        bit_of: &mut [u32],
+        out: &mut [u64],
+    ) {
+        let k = set.len();
+        debug_assert_eq!(out.len(), 1usize << k);
+        let n = self.n_transactions as u64;
+        match set.items() {
+            [] => {
+                out[0] = n;
+                return;
+            }
+            [a] => {
+                let s = self.item_supports[a.index()];
+                out[1] = s;
+                out[0] = n - s;
+                return;
+            }
+            _ => {}
+        }
+        // The candidate's items in tree order (shallowest first), each
+        // carrying its cell-index bit from the original sorted-item
+        // position.
+        let mut by_rank: Vec<(u32, u32, usize)> = set
+            .items()
+            .iter()
+            .enumerate()
+            .map(|(j, item)| (self.rank_of[item.index()], item.id(), 1usize << j))
+            .collect();
+        by_rank.sort_unstable();
+        for &(_, id, bit) in &by_rank {
+            bit_of[id as usize] = bit as u32;
+        }
+        // Pass 1: each item's projection scatters node counts to the
+        // cell "this item present, exactly this shallower subset,
+        // deeper items unconstrained". Paths only ever contain
+        // smaller-rank items, so the fold needs no rank filtering.
+        for &(_, id, bit) in &by_rank {
+            let projection = cache.entry(id).or_insert_with(|| self.projection(id));
+            for pc in projection.iter() {
+                let mut mask = 0usize;
+                for &p in pc.path.iter() {
+                    let b = bit_of[p as usize];
+                    if b != NOT_IN_SET {
+                        mask |= b as usize;
+                    }
+                }
+                out[mask | bit] += pc.count;
+            }
+        }
+        // Pass 2, deepest item first: strip the "deeper unconstrained"
+        // slack. A cell whose deepest item is r_i subtracts every
+        // already-exact extension of itself by deeper items.
+        for i in (0..k).rev() {
+            let bit_i = by_rank[i].2;
+            let deeper: usize = by_rank[i + 1..].iter().map(|e| e.2).sum();
+            if deeper == 0 {
+                continue;
+            }
+            let shallow: usize = by_rank[..i].iter().map(|e| e.2).sum();
+            let mut sub = shallow;
+            loop {
+                let cell = sub | bit_i;
+                let mut d = deeper;
+                while d != 0 {
+                    out[cell] -= out[cell | d];
+                    d = (d - 1) & deeper;
+                }
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & shallow;
+            }
+        }
+        // The all-absent cell is whatever the k walks never reached.
+        out[0] = n - out[1..].iter().sum::<u64>();
+        for &(_, id, _) in &by_rank {
+            bit_of[id as usize] = NOT_IN_SET;
+        }
+    }
+
+    /// Counts all `2^k` minterms of a `k`-itemset from the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set.len() > 20` (as every counting substrate does).
+    pub fn minterm_counts(&self, set: &Itemset) -> Vec<u64> {
+        let sets = std::slice::from_ref(set);
+        let mut results = alloc_results(sets);
+        let mut cache = HashMap::new();
+        let mut bit_of = vec![NOT_IN_SET; self.headers.len()];
+        self.count_set_into(set, &mut cache, &mut bit_of, &mut results[0]);
+        results.swap_remove(0)
+    }
+
+    /// Batch minterm counting with per-batch projection memoization;
+    /// results come back in input order.
+    pub fn minterm_counts_batch(&self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        match self.minterm_counts_batch_guarded(sets, &NoProbe) {
+            Ok(results) => results,
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    /// [`minterm_counts_batch`](Self::minterm_counts_batch) with a
+    /// cooperative-interruption probe consulted at projection
+    /// boundaries: trivial 0-/1-item candidates are answered (and
+    /// charged) up front from whole-tree totals, then candidates run
+    /// grouped by suffix item, with `should_stop` checked before and
+    /// the table charged after each one. On interruption the batch is
+    /// abandoned with a [`BatchInterrupted`] carrying exact
+    /// completed-candidate accounting; in-flight tables are discarded.
+    pub fn minterm_counts_batch_guarded(
+        &self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        let mut results = alloc_results(sets);
+        let mut done = BatchInterrupted::default();
+        let n = self.n_transactions as u64;
+        // Group non-trivial candidates by suffix item (deepest tree
+        // rank), so one suffix's projections stay hot across its group;
+        // the BTreeMap keeps the walk order deterministic.
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, set) in sets.iter().enumerate() {
+            match set.items() {
+                [] => {
+                    results[i][0] = n;
+                    done.tables_completed += 1;
+                    done.cells_completed += 1;
+                }
+                [a] => {
+                    let s = self.item_supports[a.index()];
+                    results[i][1] = s;
+                    results[i][0] = n - s;
+                    done.tables_completed += 1;
+                    done.cells_completed += 2;
+                }
+                items => {
+                    // Items are non-empty here, so the max exists.
+                    #[allow(clippy::unwrap_used)]
+                    let suffix = items
+                        .iter()
+                        .map(|item| self.rank_of[item.index()])
+                        .max()
+                        .unwrap();
+                    groups.entry(suffix).or_default().push(i);
+                }
+            }
+        }
+        if done.cells_completed > 0 && probe.charge(done.cells_completed) && !groups.is_empty() {
+            return Err(done);
+        }
+        let mut cache: HashMap<u32, Vec<PathCount>> = HashMap::new();
+        let mut bit_of = vec![NOT_IN_SET; self.headers.len()];
+        let mut interrupted = false;
+        'level: for rows in groups.values() {
+            for &row in rows {
+                if probe.should_stop() {
+                    interrupted = true;
+                    break 'level;
+                }
+                // The row's table is written in place; the candidate
+                // completes atomically from the caller's point of view
+                // because any interruption above discards `results`.
+                let mut table = std::mem::take(&mut results[row]);
+                self.count_set_into(&sets[row], &mut cache, &mut bit_of, &mut table);
+                results[row] = table;
+                let cells = 1u64 << sets[row].len();
+                done.tables_completed += 1;
+                done.cells_completed += cells;
+                if probe.charge(cells) {
+                    interrupted = true;
+                    break 'level;
+                }
+            }
+        }
+        if interrupted && done.tables_completed < sets.len() as u64 {
+            Err(done)
+        } else {
+            Ok(results)
+        }
+    }
+}
+
+/// Pattern-growth counter: answers contingency tables from an
+/// [`FpTree`], degrading under memory pressure through the same sticky,
+/// downward-only ladder as the other tiered counters:
+///
+/// * [`DegradationRung::Parallel`] — the FP-tree rung (the preferred
+///   substrate; the name is shared with the pooled counters, where the
+///   top rung happens to be parallel);
+/// * [`DegradationRung::Vertical`] — a full-range [`VerticalIndex`]
+///   twin, built lazily on first degradation (one extra database scan,
+///   recorded in [`CountingStats::db_scans`]);
+/// * [`DegradationRung::Horizontal`] — guarded horizontal scans.
+///
+/// Any batch answered below the top rung increments
+/// [`CountingStats::degraded_batches`]; all per-batch stats merge
+/// through `CountingStats`'s `AddAssign`, the single merge path every
+/// counter shares.
+#[derive(Debug)]
+pub struct FpTreeCounter<'a> {
+    db: &'a TransactionDb,
+    tree: FpTree,
+    /// Vertical twin for the middle rung, built only if the ladder
+    /// ever drops there.
+    seq: Option<VerticalIndex>,
+    stats: CountingStats,
+    rung: DegradationRung,
+}
+
+impl<'a> FpTreeCounter<'a> {
+    /// Builds the FP-tree (one support-ordering pass plus one insertion
+    /// pass, recorded as two database scans) and wraps it.
+    pub fn new(db: &'a TransactionDb) -> Self {
+        FpTreeCounter {
+            db,
+            tree: FpTree::build(db),
+            seq: None,
+            stats: CountingStats {
+                db_scans: 2,
+                ..CountingStats::default()
+            },
+            rung: DegradationRung::Parallel,
+        }
+    }
+
+    /// Direct access to the underlying tree.
+    pub fn tree(&self) -> &FpTree {
+        &self.tree
+    }
+
+    /// The ladder rung the next batch will be answered from
+    /// (`Parallel` denotes the FP-tree rung).
+    pub fn rung(&self) -> DegradationRung {
+        self.rung
+    }
+
+    /// Applies the (sticky, downward-only) degradation ladder for a
+    /// batch over `sets` needing `depths` vertical scratch levels.
+    fn apply_ladder(&mut self, probe: &dyn CountProbe, sets: &[Itemset], depths: usize) {
+        let Some(budget) = probe.arena_budget_bytes() else {
+            return;
+        };
+        if self.rung == DegradationRung::Parallel
+            && self.tree.projection_bytes(sets) > budget as u64
+        {
+            self.rung = DegradationRung::Vertical;
+        }
+        if self.rung == DegradationRung::Vertical
+            && VerticalIndex::scratch_bytes(self.tree.n_transactions(), depths) > budget
+        {
+            self.rung = DegradationRung::Horizontal;
+        }
+    }
+
+    /// The vertical index for the middle rung, built on first use (one
+    /// extra database scan, recorded in the stats).
+    fn seq_index(&mut self) -> &mut VerticalIndex {
+        if self.seq.is_none() {
+            self.seq = Some(VerticalIndex::build(self.db));
+            self.stats.db_scans += 1;
+        }
+        // Just installed above if absent.
+        #[allow(clippy::expect_used)]
+        self.seq.as_mut().expect("vertical twin just built")
+    }
+}
+
+impl MintermCounter for FpTreeCounter<'_> {
+    fn minterm_counts(&mut self, set: &Itemset) -> Vec<u64> {
+        self.stats += CountingStats::tables(1, 1u64 << set.len());
+        self.tree.minterm_counts(set)
+    }
+
+    fn minterm_counts_batch(&mut self, sets: &[Itemset]) -> Vec<Vec<u64>> {
+        match self.minterm_counts_batch_guarded(sets, &NoProbe) {
+            Ok(tables) => tables,
+            Err(_) => unreachable!("NoProbe never interrupts"),
+        }
+    }
+
+    fn minterm_counts_batch_guarded(
+        &mut self,
+        sets: &[Itemset],
+        probe: &dyn CountProbe,
+    ) -> Result<Vec<Vec<u64>>, BatchInterrupted> {
+        if sets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let depths = sets
+            .iter()
+            .map(|s| s.len().saturating_sub(2))
+            .max()
+            .unwrap_or(0);
+        self.apply_ladder(probe, sets, depths);
+        let outcome = match self.rung {
+            DegradationRung::Parallel => self.tree.minterm_counts_batch_guarded(sets, probe),
+            DegradationRung::Vertical => {
+                self.stats.degraded_batches += 1;
+                self.seq_index().minterm_counts_batch_guarded(sets, probe)
+            }
+            DegradationRung::Horizontal => {
+                self.stats.degraded_batches += 1;
+                return horizontal_batch_guarded(self.db, sets, probe, &mut self.stats);
+            }
+        };
+        match outcome {
+            Ok(tables) => {
+                self.stats += CountingStats::tables(
+                    sets.len() as u64,
+                    sets.iter().map(|s| 1u64 << s.len()).sum::<u64>(),
+                );
+                Ok(tables)
+            }
+            Err(partial) => {
+                self.stats +=
+                    CountingStats::tables(partial.tables_completed, partial.cells_completed);
+                Err(partial)
+            }
+        }
+    }
+
+    fn n_transactions(&self) -> usize {
+        self.tree.n_transactions()
+    }
+
+    fn stats(&self) -> CountingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::HorizontalCounter;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_ids(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![2],
+                vec![],
+                vec![3],
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![2, 3],
+            ],
+        )
+    }
+
+    fn level() -> Vec<Itemset> {
+        vec![
+            Itemset::empty(),
+            Itemset::from_ids([3]),
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 2]),
+            Itemset::from_ids([1, 2]),
+            Itemset::from_ids([0, 1, 2]),
+            Itemset::from_ids([1, 2, 3]),
+            Itemset::from_ids([0, 1, 2, 3]),
+            Itemset::from_ids([4]),
+            Itemset::from_ids([0, 4]),
+        ]
+    }
+
+    #[test]
+    fn tree_compresses_shared_prefixes() {
+        let t = FpTree::build(&db());
+        // 10 transactions insert far fewer nodes than their total item
+        // count because profiles share prefixes.
+        assert!(t.n_nodes() < 20, "no compression: {} nodes", t.n_nodes());
+        assert_eq!(t.n_transactions(), 10);
+    }
+
+    #[test]
+    fn tables_match_horizontal_reference() {
+        let d = db();
+        let t = FpTree::build(&d);
+        let mut h = HorizontalCounter::new(&d);
+        for set in level() {
+            assert_eq!(
+                t.minterm_counts(&set),
+                h.minterm_counts(&set),
+                "fp-tree diverged for {set}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_singles_and_counter_matches_horizontal() {
+        let d = db();
+        let sets = level();
+        let t = FpTree::build(&d);
+        let batch = t.minterm_counts_batch(&sets);
+        for (set, got) in sets.iter().zip(&batch) {
+            assert_eq!(got, &t.minterm_counts(set), "batch diverged for {set}");
+        }
+        let mut c = FpTreeCounter::new(&d);
+        let mut h = HorizontalCounter::new(&d);
+        assert_eq!(c.minterm_counts_batch(&sets), h.minterm_counts_batch(&sets));
+        assert_eq!(c.stats().tables_built, sets.len() as u64);
+        assert_eq!(c.stats().db_scans, 2, "tree build is two passes");
+    }
+
+    #[test]
+    fn counts_partition_the_database() {
+        let d = db();
+        let t = FpTree::build(&d);
+        for set in level() {
+            let counts = t.minterm_counts(&set);
+            assert_eq!(
+                counts.iter().sum::<u64>() as usize,
+                d.len(),
+                "cells of {set} do not partition the database"
+            );
+        }
+    }
+
+    /// A probe that stops after a fixed number of charged cells.
+    struct Budget {
+        cells: u64,
+        spent: AtomicU64,
+    }
+
+    impl Budget {
+        fn new(cells: u64) -> Self {
+            Budget {
+                cells,
+                spent: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CountProbe for Budget {
+        fn should_stop(&self) -> bool {
+            self.spent.load(Ordering::Relaxed) >= self.cells
+        }
+        fn charge(&self, cells: u64) -> bool {
+            self.spent.fetch_add(cells, Ordering::Relaxed) + cells >= self.cells
+        }
+    }
+
+    #[test]
+    fn stopped_probe_interrupts_before_any_candidate() {
+        struct Stopped;
+        impl CountProbe for Stopped {
+            fn should_stop(&self) -> bool {
+                true
+            }
+            fn charge(&self, _cells: u64) -> bool {
+                true
+            }
+        }
+        let d = db();
+        let mut c = FpTreeCounter::new(&d);
+        let sets = vec![Itemset::from_ids([0, 1]), Itemset::from_ids([1, 2])];
+        let err = c.minterm_counts_batch_guarded(&sets, &Stopped).unwrap_err();
+        assert_eq!(err.tables_completed, 0);
+        assert_eq!(c.stats().tables_built, 0);
+    }
+
+    #[test]
+    fn budget_trip_keeps_completed_candidates_and_exact_stats() {
+        let d = db();
+        let sets = level();
+        let mut c = FpTreeCounter::new(&d);
+        let probe = Budget::new(8);
+        let err = c.minterm_counts_batch_guarded(&sets, &probe).unwrap_err();
+        assert!(err.tables_completed >= 1, "something must complete");
+        assert!(
+            err.tables_completed < sets.len() as u64,
+            "an 8-cell budget cannot cover the level"
+        );
+        assert_eq!(c.stats().tables_built, err.tables_completed);
+        assert_eq!(c.stats().cells_counted, err.cells_completed);
+    }
+
+    #[test]
+    fn noprobe_guarded_matches_unguarded() {
+        let d = db();
+        let sets = level();
+        let t = FpTree::build(&d);
+        assert_eq!(
+            t.minterm_counts_batch_guarded(&sets, &NoProbe).unwrap(),
+            t.minterm_counts_batch(&sets)
+        );
+    }
+
+    #[test]
+    fn ladder_degrades_fptree_to_vertical_to_horizontal() {
+        struct Arena(usize);
+        impl CountProbe for Arena {
+            fn should_stop(&self) -> bool {
+                false
+            }
+            fn charge(&self, _cells: u64) -> bool {
+                false
+            }
+            fn arena_budget_bytes(&self) -> Option<usize> {
+                Some(self.0)
+            }
+        }
+        let d = db();
+        let sets = vec![Itemset::from_ids([0, 1, 2]), Itemset::from_ids([1, 2, 3])];
+        let mut h = HorizontalCounter::new(&d);
+        let expected = h.minterm_counts_batch(&sets);
+
+        // Unlimited arena: stays on the tree.
+        let mut c = FpTreeCounter::new(&d);
+        assert_eq!(
+            c.minterm_counts_batch_guarded(&sets, &NoProbe).unwrap(),
+            expected
+        );
+        assert_eq!(c.rung(), DegradationRung::Parallel);
+        assert_eq!(c.stats().degraded_batches, 0);
+
+        // A budget too small for the projections but big enough for one
+        // vertical arena drops exactly one rung, and builds the twin.
+        let proj = c.tree().projection_bytes(&sets) as usize;
+        let vertical = VerticalIndex::scratch_bytes(d.len(), 1);
+        assert!(proj > 0 && vertical > 0);
+        assert!(
+            vertical < proj,
+            "fixture must leave room for the middle rung: vertical {vertical} >= proj {proj}"
+        );
+        let mut c = FpTreeCounter::new(&d);
+        let got = c
+            .minterm_counts_batch_guarded(&sets, &Arena(proj - 1))
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(c.rung(), DegradationRung::Vertical);
+        assert_eq!(c.stats().degraded_batches, 1);
+        assert_eq!(c.stats().db_scans, 3, "vertical twin adds a scan");
+
+        // A 1-byte budget falls through to horizontal and stays there.
+        let mut c = FpTreeCounter::new(&d);
+        let got = c.minterm_counts_batch_guarded(&sets, &Arena(1)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(c.rung(), DegradationRung::Horizontal);
+        assert_eq!(c.stats().degraded_batches, 1);
+        let got = c.minterm_counts_batch_guarded(&sets, &Arena(1)).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(c.stats().degraded_batches, 2, "degradation is sticky");
+    }
+
+    #[test]
+    fn empty_inputs_answer_trivially() {
+        let empty = TransactionDb::from_ids(3, Vec::<Vec<u32>>::new());
+        let t = FpTree::build(&empty);
+        assert_eq!(t.minterm_counts(&Itemset::empty()), vec![0]);
+        assert_eq!(t.minterm_counts(&Itemset::from_ids([1])), vec![0, 0]);
+        let mut c = FpTreeCounter::new(&empty);
+        assert!(c.minterm_counts_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn projection_bytes_count_distinct_nontrivial_items_once() {
+        let d = db();
+        let t = FpTree::build(&d);
+        let pairs = vec![Itemset::from_ids([0, 1]), Itemset::from_ids([0, 2])];
+        let trivial = vec![Itemset::from_ids([0]), Itemset::empty()];
+        assert_eq!(t.projection_bytes(&trivial), 0);
+        let both = t.projection_bytes(&pairs);
+        let single = t.projection_bytes(&pairs[..1]);
+        assert!(both > single, "item 2's projection must add bytes");
+        let repeated = vec![
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([0, 1]),
+        ];
+        assert_eq!(
+            t.projection_bytes(&repeated),
+            t.projection_bytes(&repeated[..1]),
+            "memoized projections are charged once"
+        );
+    }
+}

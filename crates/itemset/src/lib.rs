@@ -17,6 +17,10 @@
 //! * [`sharded`] — vertical batch counting over horizontally sharded
 //!   tid ranges: per-shard cores and arenas, per-shard contingency
 //!   tables merged elementwise into exact whole-database tables,
+//! * [`fptree`] — pattern-growth counting over a compressed prefix
+//!   tree: conditional projections memoized per batch, for dense
+//!   low-cardinality databases where tid-set intersection pays per
+//!   transaction instead of per distinct profile,
 //! * [`candidate`] — Apriori-style level-wise candidate generation,
 //!   including the asymmetric extension generator required by the
 //!   constraint-pushing algorithms BMS++ / BMS**.
@@ -26,6 +30,7 @@
 pub mod candidate;
 pub mod counting;
 pub mod database;
+pub mod fptree;
 pub mod item;
 pub mod itemset;
 pub mod parallel;
@@ -40,6 +45,7 @@ pub use counting::{
     VerticalCounter,
 };
 pub use database::TransactionDb;
+pub use fptree::{FpTree, FpTreeCounter};
 pub use item::Item;
 pub use itemset::Itemset;
 pub use parallel::ParallelCounter;

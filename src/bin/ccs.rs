@@ -87,8 +87,8 @@ fn print_usage() {
                [--checkpoint <file>] [--checkpoint-every <N>]
                algorithms: bms+ bms++ bms* bms** naive naive-min-valid
                counting:   horizontal vertical parallel vertical-par
-                           sharded auto (--strategy is accepted as an
-                           alias; --shards N splits the tid range)
+                           sharded fp-tree auto (--strategy is accepted
+                           as an alias; --shards N splits the tid range)
                --checkpoint stamps a crash-safe snapshot at every level
                boundary (every Nth with --checkpoint-every) and on any
                budget trip, so a truncated or killed run can continue
@@ -456,8 +456,18 @@ fn parse_checkpoint(flags: &Flags<'_>) -> Result<Option<CheckpointPolicy>, Strin
 
 /// Prints the answers and the run summary, returning the process exit
 /// code: 0 for a complete answer set, 2 for a sound truncated one.
-fn emit_outcome(outcome: &MineOutcome, checkpoint_path: Option<&str>) -> Result<ExitCode, String> {
+/// `requested` is the strategy the command line asked for: when it was
+/// `auto`, the summary names the concrete strategy the run resolved to,
+/// so the routing decision is visible.
+fn emit_outcome(
+    outcome: &MineOutcome,
+    requested: CountingStrategy,
+    checkpoint_path: Option<&str>,
+) -> Result<ExitCode, String> {
     let result = &outcome.result;
+    if requested == CountingStrategy::Auto {
+        eprintln!("auto counting resolved to {}", outcome.strategy);
+    }
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
     for set in &result.answers {
@@ -577,7 +587,7 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     let outcome = MiningSession::new(&db, &attrs)
         .mine(&query, &request)
         .map_err(|e| e.to_string())?;
-    emit_outcome(&outcome, checkpoint_path)
+    emit_outcome(&outcome, options.strategy, checkpoint_path)
 }
 
 fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
@@ -663,7 +673,7 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
             let outcome = MiningSession::new(&db, &attrs)
                 .mine(&query, &request)
                 .map_err(|e| e.to_string())?;
-            return emit_outcome(&outcome, Some(path));
+            return emit_outcome(&outcome, options.strategy, Some(path));
         }
         Err(e) => return Err(e.to_string()),
     };
@@ -683,7 +693,7 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
     let outcome = MiningSession::new(&db, &attrs)
         .resume(&checkpoint.query, &request, checkpoint.resume)
         .map_err(|e| e.to_string())?;
-    emit_outcome(&outcome, Some(path))
+    emit_outcome(&outcome, options.strategy, Some(path))
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

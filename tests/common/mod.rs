@@ -11,7 +11,7 @@
 #![allow(dead_code, clippy::unwrap_used, clippy::expect_used)]
 
 use ccs::itemset::{
-    BatchInterrupted, CountProbe, CountingStats, HorizontalCounter, MintermCounter,
+    BatchInterrupted, CountProbe, CountingStats, FpTreeCounter, HorizontalCounter, MintermCounter,
     ParallelVerticalCounter, ShardedVerticalCounter,
 };
 use ccs::prelude::*;
@@ -109,9 +109,16 @@ pub fn sharded_factory(db: &TransactionDb) -> Box<dyn MintermCounter + '_> {
     Box::new(counter)
 }
 
+/// The pattern-growth counter: candidates answered from conditional
+/// projections of a compressed prefix tree, interruption at projection
+/// boundaries.
+pub fn fptree_factory(db: &TransactionDb) -> Box<dyn MintermCounter + '_> {
+    Box::new(FpTreeCounter::new(db))
+}
+
 /// Every counting substrate the durability differential must cover: the
-/// five concrete strategies, as sweep-compatible factories.
-pub const ALL_FACTORIES: [(&str, CounterFactory); 5] = [
+/// six concrete strategies, as sweep-compatible factories.
+pub const ALL_FACTORIES: [(&str, CounterFactory); 6] = [
     ("horizontal", horizontal_factory),
     ("vertical", |db| {
         Box::new(ccs::itemset::VerticalCounter::new(db))
@@ -121,6 +128,7 @@ pub const ALL_FACTORIES: [(&str, CounterFactory); 5] = [
     }),
     ("vertical-par", vertical_par_factory),
     ("sharded", sharded_factory),
+    ("fp-tree", fptree_factory),
 ];
 
 /// Wraps a real counter; at guarded-batch call number `trigger` it

@@ -34,9 +34,9 @@ use std::time::Duration;
 use ccs::itemset::{HorizontalCounter, MintermCounter};
 use ccs::prelude::*;
 use common::{
-    attrs, db, horizontal_factory, mine, mine_with_counter_guarded, mine_with_guard, query,
-    resume_with_counter_guarded, sharded_factory, sorted, vertical_par_factory, CounterFactory,
-    FaultCounter, ALL_ALGORITHMS,
+    attrs, db, fptree_factory, horizontal_factory, mine, mine_with_counter_guarded,
+    mine_with_guard, query, resume_with_counter_guarded, sharded_factory, sorted,
+    vertical_par_factory, CounterFactory, FaultCounter, ALL_ALGORITHMS,
 };
 
 /// Injects `fault` at guarded-batch index 0, 1, 2, … until the run
@@ -463,6 +463,115 @@ fn tight_memory_budget_degrades_sharded_counting_without_truncation() {
                 sorted(&unguarded.answers),
                 "{algorithm} budget {budget}: degraded counting changed the answers"
             );
+        }
+    }
+}
+
+#[test]
+fn fptree_faults_every_injection_point() {
+    // The trip-at-every-batch-index sweep over the pattern-growth
+    // counter: partial answers stay sound and mutually minimal, and
+    // resuming — also on an FP-tree counter — reproduces the complete
+    // answer set exactly.
+    for algorithm in ALL_ALGORITHMS {
+        let truncating = sweep_with(algorithm, TruncationReason::WorkBudget, fptree_factory);
+        assert!(
+            truncating >= 2,
+            "{algorithm}: expected at least two guarded batches, found {truncating}"
+        );
+    }
+    for algorithm in [Algorithm::BmsStar, Algorithm::BmsStarStar] {
+        sweep_with(algorithm, TruncationReason::Cancelled, fptree_factory);
+    }
+}
+
+#[test]
+fn real_work_budget_trips_mid_projection_soundly() {
+    // A genuine cell budget tripping at the FP-tree's projection
+    // boundaries: candidates whose conditional walks were in flight are
+    // discarded wholesale, completed candidates are kept, partial
+    // answers stay sound, and resume is exact.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in Algorithm::paper_algorithms() {
+        let complete = mine(&db, &attrs, &q, algorithm).unwrap();
+        for budget in [1u64, 40, 150, 400, 1000] {
+            let guard = RunGuard::new(GuardLimits {
+                work_budget_cells: Some(budget),
+                ..GuardLimits::default()
+            });
+            let mut counter = fptree_factory(&db);
+            let result =
+                mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard)
+                    .unwrap();
+            for s in &result.answers {
+                assert!(
+                    complete.answers.contains(s),
+                    "{algorithm} budget {budget}: unsound partial answer {s}"
+                );
+            }
+            let Some(state) = result.resume else {
+                assert!(
+                    result.completion.is_complete(),
+                    "{algorithm} budget {budget}: no snapshot on a truncated run"
+                );
+                continue;
+            };
+            let mut resume_counter = fptree_factory(&db);
+            let resumed = resume_with_counter_guarded(
+                &db,
+                &attrs,
+                &q,
+                &mut resume_counter,
+                &RunGuard::new(GuardLimits::default()),
+                state,
+            )
+            .unwrap();
+            assert_eq!(
+                sorted(&resumed.answers),
+                sorted(&complete.answers),
+                "{algorithm} budget {budget}: fp-tree resume diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_memory_budget_degrades_fptree_counting_without_truncation() {
+    // The FP-tree ladder: a budget the memoized projections overflow
+    // drops to the lazily built vertical twin, and a 1-byte budget falls
+    // through to horizontal scans. Neither truncates, and both keep the
+    // answers bit-identical to the unguarded run.
+    let db = db();
+    let attrs = attrs();
+    let q = query();
+    for algorithm in [Algorithm::BmsPlusPlus, Algorithm::BmsStarStar] {
+        let unguarded = mine(&db, &attrs, &q, algorithm).unwrap();
+        for budget in [1usize, 64 * 1024] {
+            let guard = RunGuard::new(GuardLimits {
+                memory_budget_bytes: Some(budget),
+                ..GuardLimits::default()
+            });
+            let mut counter = fptree_factory(&db);
+            let result =
+                mine_with_counter_guarded(&db, &attrs, &q, algorithm, &mut counter, &guard)
+                    .unwrap();
+            assert!(
+                result.completion.is_complete(),
+                "{algorithm} budget {budget}: the ladder must degrade, not truncate"
+            );
+            assert_eq!(
+                sorted(&result.answers),
+                sorted(&unguarded.answers),
+                "{algorithm} budget {budget}: degraded counting changed the answers"
+            );
+            if budget == 1 {
+                assert!(
+                    counter.stats().degraded_batches > 0,
+                    "{algorithm}: a 1-byte arena must force the ladder down"
+                );
+            }
         }
     }
 }

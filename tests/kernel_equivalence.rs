@@ -206,6 +206,19 @@ fn forced_shards() -> Option<usize> {
         .map(|s| s.parse().expect("CCS_TEST_SHARDS must be a shard count"))
 }
 
+/// Strategy override for this run: `CCS_TEST_STRATEGY`, when set,
+/// narrows the cross-strategy comparison to that single strategy (CLI
+/// names), so CI can run a focused forced pass — the fp-tree job
+/// exports `fp-tree`, driving pattern-growth counting through the whole
+/// algorithm × database × query matrix against the horizontal
+/// reference.
+fn forced_strategy() -> Option<CountingStrategy> {
+    std::env::var("CCS_TEST_STRATEGY").ok().map(|s| {
+        s.parse()
+            .expect("CCS_TEST_STRATEGY must name a counting strategy")
+    })
+}
+
 /// Same query under a non-default strategy; only the answers must match.
 fn mine_with(
     db: &TransactionDb,
@@ -259,13 +272,18 @@ fn render_transcript() -> String {
                 let r = mine_horizontal(db, &attrs, &q, algorithm);
                 assert!(r.completion.is_complete(), "{context}: truncated");
                 assert_mutually_minimal(&context, &r.answers);
-                for strategy in [
-                    CountingStrategy::Vertical,
-                    CountingStrategy::Parallel,
-                    CountingStrategy::VerticalPar,
-                    CountingStrategy::Sharded,
-                    CountingStrategy::Auto,
-                ] {
+                let strategies = match forced_strategy() {
+                    Some(s) => vec![s],
+                    None => vec![
+                        CountingStrategy::Vertical,
+                        CountingStrategy::Parallel,
+                        CountingStrategy::VerticalPar,
+                        CountingStrategy::Sharded,
+                        CountingStrategy::FpTree,
+                        CountingStrategy::Auto,
+                    ],
+                };
+                for strategy in strategies {
                     let v = mine_with(db, &attrs, &q, algorithm, strategy);
                     assert_eq!(
                         r.answers, v.answers,
