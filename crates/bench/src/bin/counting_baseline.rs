@@ -27,6 +27,7 @@ use ccs_itemset::{
     ParallelVerticalCounter, ParallelVerticalIndex, ShardedVerticalCounter, ShardedVerticalIndex,
     TransactionDb, VerticalCounter,
 };
+use ccs_stats::{chi2_quantile, ContingencyTable, Measure, MeasureContext};
 
 const N_ITEMS: u32 = 60;
 const N_BASKETS: usize = 10_000;
@@ -183,6 +184,37 @@ fn time_mine(
         candidates,
         stamps_per_run,
     }
+}
+
+/// How many sweeps over the prebuilt tables one verdict timing sample
+/// runs: a single sweep is microseconds, so the inner loop stretches
+/// each sample well past timer granularity.
+const VERDICT_PASSES: usize = 200;
+
+/// Median seconds for `VERDICT_PASSES` sweeps of `judge` over the
+/// prebuilt tables — counting cost is paid once, outside the timed
+/// region, so the two spellings differ only in how the verdict is
+/// reached.
+fn time_verdicts(
+    tables: &[ContingencyTable],
+    mut judge: impl FnMut(&ContingencyTable) -> bool,
+) -> f64 {
+    for t in tables {
+        std::hint::black_box(judge(t)); // warm-up
+    }
+    let mut secs: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..VERDICT_PASSES {
+                for t in tables {
+                    std::hint::black_box(judge(t));
+                }
+            }
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_unstable_by(f64::total_cmp);
+    secs[REPS / 2]
 }
 
 struct Row {
@@ -474,6 +506,32 @@ fn main() {
     let _ = std::fs::remove_file(&ckpt_path);
     let overhead_pct = (every_level.seconds / no_ckpt.seconds - 1.0) * 100.0;
 
+    // Verdict-dispatch overhead: every miner now judges correlation
+    // through `MeasureContext` (enum dispatch + precomputed critical
+    // value) instead of calling `chi_squared` directly. Both spellings
+    // sweep the same 500 prebuilt tables, so the delta is pure dispatch
+    // cost; the ratio-measure rows give the absolute scale of the
+    // all-confidence and bond statistics for comparison.
+    let tables: Vec<ContingencyTable> = {
+        let mut c = VerticalCounter::new(&db);
+        level
+            .iter()
+            .map(|set| ContingencyTable::build(&mut c, set))
+            .collect()
+    };
+    // ccs-lint: allow(measure-verdict-confined, reason = "bench baseline: the pre-measure-layer direct spelling this row compares dispatch against")
+    let direct_crit = chi2_quantile(0.9, 1);
+    // ccs-lint: allow(measure-verdict-confined, reason = "bench baseline: the pre-measure-layer direct spelling this row compares dispatch against")
+    let direct_secs = time_verdicts(&tables, |t| t.chi_squared() >= direct_crit);
+    let chi2_ctx = MeasureContext::new(Measure::Chi2, 0.9).expect("chi2 context");
+    let dispatch_secs = time_verdicts(&tables, |t| chi2_ctx.verdict(t));
+    let verdict_overhead_pct = (dispatch_secs / direct_secs - 1.0) * 100.0;
+    let allconf_ctx =
+        MeasureContext::new(Measure::AllConfidence, 0.5).expect("all-confidence context");
+    let allconf_secs = time_verdicts(&tables, |t| allconf_ctx.verdict(t));
+    let bond_ctx = MeasureContext::new(Measure::Bond, 0.1).expect("bond context");
+    let bond_secs = time_verdicts(&tables, |t| bond_ctx.verdict(t));
+
     let vertical_single = rows
         .iter()
         .find(|r| r.name == "vertical/per_candidate")
@@ -606,6 +664,32 @@ fn main() {
         every_level.candidates_per_sec(),
         overhead_pct
     );
+    let per_verdict = |secs: f64| secs / (VERDICT_PASSES * tables.len()) as f64 * 1e9;
+    println!(
+        "verdict dispatch overhead ({} tables x {VERDICT_PASSES} sweeps):",
+        tables.len()
+    );
+    println!(
+        "  direct chi2:         {:.6}s ({:.1} ns/verdict)",
+        direct_secs,
+        per_verdict(direct_secs)
+    );
+    println!(
+        "  MeasureContext chi2: {:.6}s ({:.1} ns/verdict, {:+.1}%)",
+        dispatch_secs,
+        per_verdict(dispatch_secs),
+        verdict_overhead_pct
+    );
+    println!(
+        "  all-confidence:      {:.6}s ({:.1} ns/verdict)",
+        allconf_secs,
+        per_verdict(allconf_secs)
+    );
+    println!(
+        "  bond:                {:.6}s ({:.1} ns/verdict)",
+        bond_secs,
+        per_verdict(bond_secs)
+    );
     println!("available parallelism on this host: {available}");
 
     let mut json = String::new();
@@ -723,6 +807,22 @@ fn main() {
         every_level.candidates_per_sec(),
         every_level.stamps_per_run,
         overhead_pct
+    );
+    let _ = writeln!(
+        json,
+        "  \"verdict_overhead\": {{ \"tables\": {}, \"sweeps_per_rep\": {VERDICT_PASSES}, \
+         \"direct_chi2\": {{ \"median_seconds\": {:.6}, \"ns_per_verdict\": {:.1} }}, \
+         \"measure_dispatch_chi2\": {{ \"median_seconds\": {:.6}, \"ns_per_verdict\": {:.1} }}, \
+         \"overhead_percent\": {:.1}, \
+         \"all_confidence_ns_per_verdict\": {:.1}, \"bond_ns_per_verdict\": {:.1} }},",
+        tables.len(),
+        direct_secs,
+        per_verdict(direct_secs),
+        dispatch_secs,
+        per_verdict(dispatch_secs),
+        verdict_overhead_pct,
+        per_verdict(allconf_secs),
+        per_verdict(bond_secs)
     );
     let _ = writeln!(
         json,

@@ -39,6 +39,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fmt::Write as _;
 
+use ccs_stats::MonotonicityClass;
 use serde::{Deserialize, Serialize};
 
 use crate::ast::{AggFn, Cmp, Constraint, ConstraintError};
@@ -192,6 +193,16 @@ pub struct QueryAnalysis {
     /// anti-monotone, making `VALID_MIN(Q) = MIN_VALID(Q)` (vacuously
     /// `true` for unsatisfiable queries — both answer sets are empty).
     pub valid_min_eq_min_valid: bool,
+    /// The correlation measure's closure direction the push plan was
+    /// built for — [`MonotonicityClass::UpwardClosed`] (the paper's χ²)
+    /// unless the analysis came from [`analyze_for_measure`]. Constraint
+    /// *roles* are measure-independent (universe carving, residual
+    /// checks, and witness seeding all happen before any correlation
+    /// test), but a downward-closed measure changes the sweep geometry
+    /// the plan feeds: minimal correlated sets are pairs, so `VALID_MIN`
+    /// miners close at level 2 and `MIN_VALID` sweeps re-check
+    /// correlation at every level instead of inheriting it upward.
+    pub measure_class: MonotonicityClass,
 }
 
 /// Analyzes `cs` against `attrs` without source spans.
@@ -217,6 +228,30 @@ pub fn analyze_spanned(
     cs: &ConstraintSet,
     spans: &[Span],
     attrs: &AttributeTable,
+) -> Result<QueryAnalysis, ConstraintError> {
+    analyze_for_measure(cs, spans, attrs, MonotonicityClass::UpwardClosed)
+}
+
+/// Analyzes `cs` for a run whose correlation measure has the given
+/// closure direction.
+///
+/// Constraint classification and role assignment are measure-independent;
+/// what the class changes is the *sweep geometry* the plan describes.
+/// Under a downward-closed (anti-monotone) measure the correlated region
+/// itself prunes like an anti-monotone constraint: minimal correlated
+/// sets are pairs, `VALID_MIN` miners (BMS/BMS++) close at level 2, and
+/// the `MIN_VALID` upward sweeps (BMS*/BMS**) must re-check correlation
+/// at every level because it is no longer inherited by supersets. The
+/// rendered plan and JSON record the class.
+///
+/// # Errors
+///
+/// As [`analyze`].
+pub fn analyze_for_measure(
+    cs: &ConstraintSet,
+    spans: &[Span],
+    attrs: &AttributeTable,
+    measure_class: MonotonicityClass,
 ) -> Result<QueryAnalysis, ConstraintError> {
     cs.validate(attrs)?;
     let constraints = cs.constraints();
@@ -275,6 +310,7 @@ pub fn analyze_spanned(
             reports: base_reports(constraints, spans, attrs),
             diagnostics,
             valid_min_eq_min_valid: true,
+            measure_class,
         });
     }
 
@@ -332,12 +368,24 @@ pub fn analyze_spanned(
         });
     }
 
+    if measure_class.is_downward() {
+        diagnostics.push(Diagnostic {
+            severity: Severity::Note,
+            message: "the correlation measure is downward-closed (anti-monotone): minimal \
+                      correlated sets are pairs, so VALID_MIN miners close at level 2 and \
+                      MIN_VALID sweeps re-check correlation at every level"
+                .into(),
+            constraints: Vec::new(),
+        });
+    }
+
     Ok(QueryAnalysis {
         verdict,
         valid_min_eq_min_valid: normalized.all_anti_monotone(),
         normalized,
         reports,
         diagnostics,
+        measure_class,
     })
 }
 
@@ -1456,6 +1504,15 @@ impl QueryAnalysis {
             ",\"valid_min_eq_min_valid\":{}",
             self.valid_min_eq_min_valid
         );
+        let _ = write!(
+            s,
+            ",\"measure_class\":\"{}\"",
+            if self.measure_class.is_downward() {
+                "downward-closed"
+            } else {
+                "upward-closed"
+            }
+        );
         s.push_str(",\"constraints\":[");
         for (k, r) in self.reports.iter().enumerate() {
             if k > 0 {
@@ -1642,6 +1699,30 @@ mod tests {
             let qa = analyze(&cs, &a).unwrap();
             assert_eq!(core_of(&qa), vec![0], "expected unsat for {c}");
         }
+    }
+
+    #[test]
+    fn downward_measure_class_is_recorded_without_moving_roles() {
+        let a = attrs();
+        let cs = ConstraintSet::new()
+            .and(Constraint::max_le("price", 4.0))
+            .and(Constraint::sum_ge("price", 5.0));
+        let up = analyze(&cs, &a).unwrap();
+        assert!(up.measure_class.is_upward());
+        assert!(up.to_json().contains("\"measure_class\":\"upward-closed\""));
+        assert!(!up.render(None).contains("downward-closed"));
+
+        let down = analyze_for_measure(&cs, &[], &a, MonotonicityClass::DownwardClosed).unwrap();
+        assert!(down.measure_class.is_downward());
+        assert!(down
+            .to_json()
+            .contains("\"measure_class\":\"downward-closed\""));
+        // The note about the flipped sweep geometry reaches the render.
+        assert!(down.render(None).contains("close at level 2"));
+        // Role assignment itself is measure-independent.
+        let roles = |qa: &QueryAnalysis| qa.reports.iter().map(|r| r.role).collect::<Vec<_>>();
+        assert_eq!(roles(&up), roles(&down));
+        assert_eq!(up.valid_min_eq_min_valid, down.valid_min_eq_min_valid);
     }
 
     #[test]

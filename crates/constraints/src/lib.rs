@@ -32,8 +32,8 @@ pub mod selectivity;
 pub mod succinct;
 
 pub use analyze::{
-    analyze, analyze_spanned, ConstraintReport, Diagnostic, PushRole, QueryAnalysis, QueryVerdict,
-    Severity, Span,
+    analyze, analyze_for_measure, analyze_spanned, ConstraintReport, Diagnostic, PushRole,
+    QueryAnalysis, QueryVerdict, Severity, Span,
 };
 pub use ast::{AggFn, Cmp, Constraint, ConstraintError};
 pub use attr::{AttributeTable, CategoricalColumn};

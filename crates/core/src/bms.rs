@@ -6,10 +6,12 @@
 //!
 //! * CT-support is *anti-monotone*: a candidate is only considered when
 //!   every maximal proper subset survived as CT-supported,
-//! * being correlated is *monotone*: the answer set is the *minimal*
-//!   correlated sets, so a correlated set is reported (added to `SIG`) and
-//!   never expanded; only CT-supported **un**correlated sets (`NOTSIG`)
-//!   seed the next level.
+//! * being correlated is *monotone* under the paper's χ² measure: the
+//!   answer set is the *minimal* correlated sets, so a correlated set is
+//!   reported (added to `SIG`) and never expanded; only CT-supported
+//!   **un**correlated sets (`NOTSIG`) seed the next level. Under a
+//!   *downward*-closed measure (all-confidence, bond) every minimal
+//!   correlated set is a pair, so the sweep stops after level 2.
 //!
 //! The constrained algorithms of the paper (BMS+, BMS++, BMS*, BMS**) are
 //! all modifications of this sweep.
@@ -17,6 +19,7 @@
 use std::collections::HashSet;
 
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
+use ccs_stats::MonotonicityClass;
 
 use crate::engine::{Engine, Verdict};
 use crate::guard::{sorted_sets, wall_now, BmsSnapshot, ResumeInner};
@@ -66,6 +69,11 @@ struct BmsPolicy {
     notsig_all: HashSet<Itemset>,
     /// Candidates staged for the next `candidates()` call.
     cands: Vec<Itemset>,
+    /// The measure's closure direction. Under a downward-closed measure
+    /// every minimal correlated set is a pair (correlation and
+    /// CT-support are both inherited by subsets), so the sweep never
+    /// extends beyond level 2.
+    class: MonotonicityClass,
     wrap: fn(BmsSnapshot) -> ResumeInner,
 }
 
@@ -94,7 +102,14 @@ impl AlgorithmPolicy for BmsPolicy {
                 }
             }
         }
-        self.cands = candidate::apriori_gen(&notsig_level);
+        self.cands = if self.class.is_downward() {
+            // A superset of an uncorrelated set is uncorrelated, and a
+            // superset of a SIG member is non-minimal: nothing above
+            // this level can be an answer.
+            Vec::new()
+        } else {
+            candidate::apriori_gen(&notsig_level)
+        };
         self.notsig_all.extend(notsig_level);
     }
 }
@@ -163,6 +178,7 @@ pub(crate) fn run_bms_with_engine(
         sig,
         notsig_all,
         cands,
+        class: params.measure.monotonicity(),
         wrap,
     };
     let trip = run_levelwise(

@@ -28,6 +28,7 @@ use std::collections::HashSet;
 
 use ccs_constraints::{AttributeTable, ConstraintAnalysis};
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
+use ccs_stats::MonotonicityClass;
 
 use crate::engine::{Engine, Verdict};
 use crate::guard::{ResumeInner, RunGuard};
@@ -51,6 +52,10 @@ pub(crate) struct PlusPlusPolicy<'a> {
     pub(crate) witness_set: HashSet<Item>,
     pub(crate) sig_candidates: Vec<Itemset>,
     pub(crate) cands: Vec<Itemset>,
+    /// The measure's closure direction; under a downward-closed measure
+    /// `VALID_MIN` answers are all pairs (see [`crate::bms`]), so
+    /// `NOTSIG` extension is futile and the sweep stops after level 2.
+    pub(crate) class: MonotonicityClass,
 }
 
 impl AlgorithmPolicy for PlusPlusPolicy<'_> {
@@ -88,6 +93,13 @@ impl AlgorithmPolicy for PlusPlusPolicy<'_> {
             } else {
                 notsig_level.insert(set);
             }
+        }
+        if self.class.is_downward() {
+            // Supersets of uncorrelated sets stay uncorrelated and
+            // supersets of correlated sets are non-minimal: no answer
+            // exists above this level.
+            self.cands = Vec::new();
+            return;
         }
         let witness_set = &self.witness_set;
         self.cands = candidate::extend_gen(&notsig_level, &self.good1, |cand| {
@@ -187,6 +199,7 @@ pub(crate) fn run_bms_plus_plus_guarded(
         witness_set: prep.witness_set,
         sig_candidates,
         cands,
+        class: query.params.measure.monotonicity(),
     };
     let trip = run_levelwise(
         &mut engine,

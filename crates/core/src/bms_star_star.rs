@@ -32,6 +32,7 @@ use std::collections::{HashMap, HashSet};
 
 use ccs_constraints::{AttributeTable, ConstraintAnalysis};
 use ccs_itemset::{candidate, Item, Itemset, MintermCounter, TransactionDb};
+use ccs_stats::MonotonicityClass;
 
 use crate::engine::Verdict;
 use crate::guard::{freeze_levels, sorted_sets, thaw_levels, ResumeInner, RunGuard};
@@ -104,6 +105,11 @@ struct StarStarPhase2Policy<'a> {
     supp: HashMap<usize, HashSet<Itemset>>,
     sig: Vec<Itemset>,
     current: Vec<Itemset>,
+    /// The measure's closure direction; under a downward-closed measure
+    /// an uncorrelated set never seeds extensions (its supersets are
+    /// uncorrelated too), so only correlated-but-monotone-failing sets
+    /// stay on the frontier.
+    class: MonotonicityClass,
 }
 
 impl AlgorithmPolicy for StarStarPhase2Policy<'_> {
@@ -132,6 +138,9 @@ impl AlgorithmPolicy for StarStarPhase2Policy<'_> {
     fn absorb(&mut self, k: usize, survivors: Vec<Itemset>, verdicts: Vec<Verdict>) {
         let mut notsig_level: HashSet<Itemset> = HashSet::new();
         for (set, v) in survivors.into_iter().zip(verdicts) {
+            if self.class.is_downward() && !v.correlated {
+                continue; // dead: supersets within SUPP are uncorrelated too
+            }
             if v.correlated && self.analysis.m_residual_satisfied(&set, self.attrs) {
                 self.sig.push(set);
             } else {
@@ -248,6 +257,7 @@ pub(crate) fn run_bms_star_star_guarded(
         supp,
         sig,
         current,
+        class: query.params.measure.monotonicity(),
     };
     let mode = trip
         .as_ref()

@@ -201,9 +201,8 @@ mod tests {
             params: MiningParams {
                 confidence: 0.9,
                 support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
                 max_level: 5,
+                ..MiningParams::paper()
             },
             constraints,
         }

@@ -27,7 +27,6 @@ use std::fmt;
 
 use ccs_constraints::AttributeTable;
 use ccs_itemset::{Item, Itemset, MintermCounter, TransactionDb};
-use ccs_stats::chi2_quantile;
 
 use crate::engine::Engine;
 use crate::metrics::MiningMetrics;
@@ -151,8 +150,11 @@ pub fn discover_causality<C: MintermCounter>(
     }
 
     // Conditional-independence critical value: two pooled 2×2 slices ⇒
-    // df = 2.
-    let ci_crit = chi2_quantile(query.params.confidence, 2);
+    // df = 2. Validated and precomputed at `MeasureContext` construction
+    // (this used to call `chi2_quantile` directly, which panics on an
+    // out-of-range confidence); under a non-χ² measure the CI test stays
+    // χ²-based at the context's standard fallback confidence.
+    let ci_crit = engine.measure_context().ci_critical_value();
 
     let mut findings = Vec::new();
     for a in 0..n {
@@ -291,6 +293,7 @@ mod tests {
             ct_fraction: 0.25,
             min_item_support: 0.0,
             max_level: 4,
+            ..MiningParams::paper()
         }
     }
 
@@ -433,6 +436,28 @@ mod tests {
             discover_causality(&db, &attrs, &q, &mut c),
             Err(MiningError::NonMonotoneConstraint)
         ));
+    }
+
+    #[test]
+    fn ci_cutoff_survives_thresholds_invalid_as_confidences() {
+        // A bond threshold of 1.0 is valid for the measure but out of
+        // range for `chi2_quantile`; before the `MeasureContext` fix the
+        // df = 2 call at the CI test site would have panicked on it.
+        let db = chain_db(2000, 3);
+        let attrs = AttributeTable::with_identity_prices(3);
+        let q = CorrelationQuery {
+            params: MiningParams {
+                measure: ccs_stats::Measure::Bond,
+                confidence: 1.0,
+                ..params()
+            },
+            constraints: ConstraintSet::new(),
+        };
+        let mut c = HorizontalCounter::new(&db);
+        let out = discover_causality(&db, &attrs, &q, &mut c).unwrap();
+        // Nothing co-occurs perfectly in noisy chain data; the point is
+        // the run completes rather than panicking in the quantile.
+        assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::collections::{HashMap, HashSet};
 
 use ccs_itemset::{CountingStats, Itemset, MintermCounter};
-use ccs_stats::{chi2_quantile, ContingencyTable};
+use ccs_stats::{ContingencyTable, MeasureContext};
 
 use crate::guard::{RunGuard, TruncationReason};
 use crate::params::MiningParams;
@@ -27,14 +27,15 @@ use crate::params::MiningParams;
 pub(crate) struct Verdict {
     /// CT-support test outcome.
     pub ct_supported: bool,
-    /// Correlation (chi-squared) test outcome.
+    /// Correlation test outcome under the run's measure.
     pub correlated: bool,
-    /// The raw chi-squared statistic.
-    pub chi2: f64,
+    /// The raw measure statistic (the chi-squared statistic under the
+    /// paper's measure).
+    pub statistic: f64,
 }
 
 /// Wraps a counting strategy with the query's statistical tests and the
-/// (cached) chi-squared critical value.
+/// precomputed measure criterion.
 ///
 /// The counter is held as a trait object so one concrete `Engine` type
 /// serves every strategy — which in turn lets the levelwise kernel and
@@ -45,8 +46,12 @@ pub(crate) struct Engine<'a> {
     pub s_abs: u64,
     /// CT-support cell fraction.
     pub p: f64,
-    confidence: f64,
-    crit: Option<f64>,
+    /// The run's validated measure criterion. For χ² the critical value
+    /// is the df = 1 quantile at *every* level, following Brin et al.
+    /// (and §2.1 of the paper: "a degree of freedom, which is always 1
+    /// for boolean variables") — the fixed cutoff that makes being
+    /// correlated upward closed; see the fidelity notes in DESIGN.md.
+    ctx: MeasureContext,
     /// Memoised verdicts: a set is counted at most once per engine.
     cache: HashMap<Itemset, Verdict>,
     /// Evaluations answered from `cache` without building a table.
@@ -67,12 +72,18 @@ impl<'a> Engine<'a> {
         guard: RunGuard,
     ) -> Self {
         let n = counter.n_transactions();
+        let ctx = match params.measure_context() {
+            Ok(ctx) => ctx,
+            // Every mining entry point validates params first, which
+            // performs this same construction; re-surfacing the message
+            // keeps the engine usable on its own.
+            Err(e) => panic!("confidence: {e}"),
+        };
         Engine {
             counter,
             s_abs: params.support_abs(n),
             p: params.ct_fraction,
-            confidence: params.confidence,
-            crit: None,
+            ctx,
             cache: HashMap::new(),
             cache_hits: 0,
             guard,
@@ -84,32 +95,20 @@ impl<'a> Engine<'a> {
         &self.guard
     }
 
-    /// The chi-squared critical value of the correlation test.
-    ///
-    /// Following Brin et al. (and §2.1 of the paper: "a degree of
-    /// freedom, which is always 1 for boolean variables"), the cutoff is
-    /// the df = 1 quantile at *every* level. This fixed cutoff is what
-    /// makes being correlated *monotone* — the statistic never decreases
-    /// when an item is added, so a superset compared against the same
-    /// cutoff stays correlated. A level-dependent cutoff (e.g. the
-    /// full-independence df = 2^k − k − 1) would break the upward
-    /// closure the whole algorithm family builds on; see the fidelity
-    /// notes in DESIGN.md.
-    pub(crate) fn critical_value(&mut self) -> f64 {
-        *self
-            .crit
-            .get_or_insert_with(|| chi2_quantile(self.confidence, 1))
+    /// The run's validated measure criterion.
+    pub(crate) fn measure_context(&self) -> &MeasureContext {
+        &self.ctx
     }
 
     /// Applies both tests to an already-built contingency table.
     fn judge(&mut self, table: &ContingencyTable) -> Verdict {
         let ct_supported = table.is_ct_supported(self.s_abs, self.p);
-        let chi2 = table.chi_squared();
-        let correlated = chi2 >= self.critical_value();
+        let statistic = self.ctx.statistic(table);
+        let correlated = statistic >= self.ctx.critical_value();
         Verdict {
             ct_supported,
             correlated,
-            chi2,
+            statistic,
         }
     }
 

@@ -14,7 +14,7 @@
 //! at the next checkpoint and reports a **sound partial answer set** —
 //! every reported set would also be reported by the unbounded run —
 //! together with a [`Completion::Truncated`] status and a
-//! [`ResumeState`] from which [`crate::miner::resume_with_guard`] can
+//! [`ResumeState`] from which [`crate::session::MiningSession::resume`] can
 //! continue the sweep and reproduce the complete answer exactly.
 //!
 //! The memory budget has a softer failure mode: a vertical counter that
@@ -361,7 +361,7 @@ impl CountProbe for RunGuard {
 ///
 /// Opaque by design — produce one from a truncated
 /// [`crate::MiningResult`], hand it back to
-/// [`crate::miner::resume_with_guard`]. The snapshot never contains the
+/// [`crate::session::MiningSession::resume`]. The snapshot never contains the
 /// interrupted level's partial verdicts: that level is re-executed in
 /// full on resume, which is what makes partially-counted batches safe to
 /// discard.

@@ -51,11 +51,6 @@ pub use border::{solution_space, SolutionSpace};
 pub use causality::{discover_causality, CausalAnalysis, CausalFinding};
 pub use guard::{Completion, GuardLimits, ResumeState, RunGuard, TruncationReason};
 pub use metrics::MiningMetrics;
-#[allow(deprecated)]
-pub use miner::{
-    mine, mine_with_counter, mine_with_counter_guarded, mine_with_guard, mine_with_options,
-    mine_with_strategy, resume_with_counter_guarded, resume_with_guard, resume_with_options,
-};
 pub use miner::{Algorithm, CountingStrategy, MiningOptions};
 pub use naive::{run_naive, NAIVE_MAX_ITEMS};
 pub use params::MiningParams;

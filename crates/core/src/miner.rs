@@ -1,20 +1,15 @@
-//! Algorithm and counting-strategy vocabulary, plus the deprecated
-//! free-function mining API.
+//! Algorithm and counting-strategy vocabulary.
 //!
-//! The `mine*` / `resume*` function matrix that used to live here grew a
-//! row per option axis (strategy × guard × counter × resume) and is now
-//! collapsed into the builder-style session API:
+//! The `mine*` / `resume*` free-function matrix that used to live here
+//! grew a row per option axis (strategy × guard × counter × resume) and
+//! was collapsed into the builder-style session API —
 //! [`crate::session::MiningSession`] with a
-//! [`crate::session::MineRequest`]. The old functions remain as
-//! `#[deprecated]` one-line shims so downstream code keeps compiling
-//! (with a warning) for one release.
+//! [`crate::session::MineRequest`] — with one-release `#[deprecated]`
+//! shims since removed.
 
-use ccs_constraints::AttributeTable;
-use ccs_itemset::{MintermCounter, TransactionDb};
+use ccs_itemset::TransactionDb;
 
-use crate::guard::{ResumeState, RunGuard};
-use crate::query::{CorrelationQuery, MiningError, MiningResult, Semantics};
-use crate::session::{mine_on, resume_on, MineRequest, MiningSession};
+use crate::query::Semantics;
 
 /// The mining algorithms of the paper, plus the exhaustive reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -267,236 +262,13 @@ impl MiningOptions {
     }
 }
 
-/// Runs `algorithm` on `db` with a counter chosen by `strategy`.
-///
-/// # Errors
-///
-/// Returns [`MiningError`] on invalid constraints, or when a
-/// neither-monotone constraint reaches a level-wise algorithm.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `MiningSession::mine` with `MineRequest::new(algorithm).strategy(...)`"
-)]
-pub fn mine_with_strategy(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    algorithm: Algorithm,
-    strategy: CountingStrategy,
-) -> Result<MiningResult, MiningError> {
-    MiningSession::new(db, attrs)
-        .mine(query, &MineRequest::new(algorithm).strategy(strategy))
-        .map(|o| o.result)
-}
-
-/// Runs `algorithm` with full counting options (strategy + thread
-/// override) under `guard`.
-///
-/// # Errors
-///
-/// As [`mine_with_strategy`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `MiningSession::mine` with `MineRequest::new(algorithm).options(...).guard(...)`"
-)]
-pub fn mine_with_options(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    algorithm: Algorithm,
-    options: MiningOptions,
-    guard: &RunGuard,
-) -> Result<MiningResult, MiningError> {
-    MiningSession::new(db, attrs)
-        .mine(
-            query,
-            &MineRequest::new(algorithm)
-                .options(options)
-                .guard(guard.clone()),
-        )
-        .map(|o| o.result)
-}
-
-/// Runs `algorithm` with the default (paper-faithful, horizontal)
-/// counting strategy.
-///
-/// # Errors
-///
-/// As [`mine_with_strategy`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `MiningSession::mine` with `MineRequest::new(algorithm)`"
-)]
-pub fn mine(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    algorithm: Algorithm,
-) -> Result<MiningResult, MiningError> {
-    MiningSession::new(db, attrs)
-        .mine(query, &MineRequest::new(algorithm))
-        .map(|o| o.result)
-}
-
-/// Runs `algorithm` against a caller-provided counting strategy.
-///
-/// # Errors
-///
-/// As [`mine_with_strategy`].
-#[deprecated(since = "0.2.0", note = "use `session::mine_on`")]
-pub fn mine_with_counter<C: MintermCounter>(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    algorithm: Algorithm,
-    counter: &mut C,
-) -> Result<MiningResult, MiningError> {
-    mine_on(db, attrs, query, &MineRequest::new(algorithm), counter)
-}
-
-/// Runs `algorithm` under a resource guard: the run honours the guard's
-/// deadline, work budget, memory budget, and cancellation flag, and on a
-/// trip returns a *sound partial* [`MiningResult`] (see
-/// [`crate::guard::Completion`]) instead of an error.
-///
-/// # Errors
-///
-/// As [`mine_with_strategy`] — resource exhaustion is **not** an error.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `MiningSession::mine` with `MineRequest::new(algorithm).strategy(...).guard(...)`"
-)]
-pub fn mine_with_guard(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    algorithm: Algorithm,
-    strategy: CountingStrategy,
-    guard: &RunGuard,
-) -> Result<MiningResult, MiningError> {
-    MiningSession::new(db, attrs)
-        .mine(
-            query,
-            &MineRequest::new(algorithm)
-                .strategy(strategy)
-                .guard(guard.clone()),
-        )
-        .map(|o| o.result)
-}
-
-/// [`mine_with_guard`] against a caller-provided counter.
-///
-/// # Errors
-///
-/// As [`mine_with_guard`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::mine_on` with a guarded `MineRequest`"
-)]
-pub fn mine_with_counter_guarded<C: MintermCounter>(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    algorithm: Algorithm,
-    counter: &mut C,
-    guard: &RunGuard,
-) -> Result<MiningResult, MiningError> {
-    mine_on(
-        db,
-        attrs,
-        query,
-        &MineRequest::new(algorithm).guard(guard.clone()),
-        counter,
-    )
-}
-
-/// Continues a truncated run from its [`ResumeState`] snapshot, under a
-/// fresh guard. The snapshot pins the algorithm; database, attributes,
-/// and query must be the ones the original run used — the snapshot is a
-/// frontier over *that* search space, and resuming against different
-/// inputs yields garbage (though never unsoundness panics).
-///
-/// The resumed result's answers contain the partial run's answers; if
-/// the resumed run itself completes, the combined answer set equals the
-/// never-interrupted run's, exactly.
-///
-/// # Errors
-///
-/// As [`mine_with_guard`], plus [`MiningError::ResumeFormatMismatch`]
-/// on a snapshot from an incompatible format generation.
-#[deprecated(since = "0.2.0", note = "use `MiningSession::resume`")]
-pub fn resume_with_guard(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    strategy: CountingStrategy,
-    guard: &RunGuard,
-    state: ResumeState,
-) -> Result<MiningResult, MiningError> {
-    MiningSession::new(db, attrs)
-        .resume(
-            query,
-            &MineRequest::default()
-                .strategy(strategy)
-                .guard(guard.clone()),
-            state,
-        )
-        .map(|o| o.result)
-}
-
-/// [`resume_with_guard`] with full counting options (strategy + thread
-/// override).
-///
-/// # Errors
-///
-/// As [`resume_with_guard`].
-#[deprecated(since = "0.2.0", note = "use `MiningSession::resume`")]
-pub fn resume_with_options(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    options: MiningOptions,
-    guard: &RunGuard,
-    state: ResumeState,
-) -> Result<MiningResult, MiningError> {
-    MiningSession::new(db, attrs)
-        .resume(
-            query,
-            &MineRequest::default().options(options).guard(guard.clone()),
-            state,
-        )
-        .map(|o| o.result)
-}
-
-/// [`resume_with_guard`] against a caller-provided counter.
-///
-/// # Errors
-///
-/// As [`resume_with_guard`].
-#[deprecated(since = "0.2.0", note = "use `session::resume_on`")]
-pub fn resume_with_counter_guarded<C: MintermCounter>(
-    db: &TransactionDb,
-    attrs: &AttributeTable,
-    query: &CorrelationQuery,
-    counter: &mut C,
-    guard: &RunGuard,
-    state: ResumeState,
-) -> Result<MiningResult, MiningError> {
-    resume_on(
-        db,
-        attrs,
-        query,
-        &MineRequest::default().guard(guard.clone()),
-        counter,
-        state,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::MiningParams;
-    use ccs_constraints::{Constraint, ConstraintSet};
+    use crate::query::CorrelationQuery;
+    use crate::session::{MineRequest, MiningSession};
+    use ccs_constraints::{AttributeTable, Constraint, ConstraintSet};
 
     fn db() -> TransactionDb {
         let mut txns = Vec::new();
@@ -518,9 +290,8 @@ mod tests {
             params: MiningParams {
                 confidence: 0.9,
                 support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
                 max_level: 4,
+                ..MiningParams::paper()
             },
             constraints: ConstraintSet::new().and(Constraint::max_le("price", 3.0)),
         }
@@ -731,22 +502,12 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_matrix_agrees_with_session() {
-        // The shims must stay behaviourally identical to the session API
-        // until they are removed.
-        #![allow(deprecated)]
+    fn default_request_counts_horizontally() {
         let db = db();
         let attrs = AttributeTable::with_identity_prices(3);
-        let q = query();
-        let via_shim = mine(&db, &attrs, &q, Algorithm::BmsPlusPlus).unwrap();
         let via_session = MiningSession::new(&db, &attrs)
-            .mine(&q, &MineRequest::new(Algorithm::BmsPlusPlus))
+            .mine(&query(), &MineRequest::new(Algorithm::BmsPlusPlus))
             .unwrap();
-        assert_eq!(via_shim.answers, via_session.result.answers);
-        assert_eq!(
-            via_session.strategy,
-            CountingStrategy::Horizontal,
-            "default request counts horizontally"
-        );
+        assert_eq!(via_session.strategy, CountingStrategy::Horizontal);
     }
 }

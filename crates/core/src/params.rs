@@ -1,14 +1,23 @@
 //! Mining parameters shared by every algorithm.
 
-/// The statistical parameters of a correlation query: the chi-squared
-/// confidence level `α`, the cell-support threshold `s` (as a fraction of
-/// the database size), and the cell fraction `p` of the CT-support test —
-/// the `(α, s, p%)` triple of Brin et al. that the paper keeps.
+use ccs_stats::{Measure, MeasureContext, MeasureError};
+
+/// The statistical parameters of a correlation query: the correlation
+/// measure and its threshold, the cell-support threshold `s` (as a
+/// fraction of the database size), and the cell fraction `p` of the
+/// CT-support test — the `(α, s, p%)` triple of Brin et al. that the
+/// paper keeps, generalized over the measure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MiningParams {
-    /// Chi-squared confidence level for the correlation test (the paper's
-    /// experiments use 0.9: an itemset is correlated when its statistic
-    /// exceeds the 90% quantile).
+    /// The correlation measure the run tests ([`Measure::Chi2`] is the
+    /// paper's, and the default).
+    pub measure: Measure,
+    /// The measure threshold, validated per measure at
+    /// [`MiningParams::measure_context`]. For χ² this is the confidence
+    /// level — the field keeps the paper's spelling (the experiments
+    /// use 0.9: an itemset is correlated when its statistic exceeds the
+    /// 90% quantile); for all-confidence/bond it is the ratio cutoff in
+    /// `(0, 1]`.
     pub confidence: f64,
     /// Cell-support threshold `s` as a fraction of the number of baskets
     /// (0.25 in the paper's experiments).
@@ -33,12 +42,24 @@ impl MiningParams {
     /// of baskets, `p` = 25% of cells.
     pub fn paper() -> Self {
         MiningParams {
+            measure: Measure::Chi2,
             confidence: 0.9,
             support_fraction: 0.25,
             ct_fraction: 0.25,
             min_item_support: 0.0,
             max_level: 8,
         }
+    }
+
+    /// The validated per-run measure criterion: the single place the
+    /// threshold is range-checked and the critical values precomputed.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError`] when `confidence` is outside the measure's
+    /// range.
+    pub fn measure_context(&self) -> Result<MeasureContext, MeasureError> {
+        MeasureContext::new(self.measure, self.confidence)
     }
 
     /// Validates the parameter ranges.
@@ -48,11 +69,9 @@ impl MiningParams {
     /// Panics on out-of-range values; parameters are programmer input,
     /// not user data.
     pub fn validate(&self) {
-        assert!(
-            (0.0..1.0).contains(&self.confidence),
-            "confidence must be in [0, 1), got {}",
-            self.confidence
-        );
+        if let Err(e) = self.measure_context() {
+            panic!("confidence: {e}");
+        }
         assert!(
             (0.0..=1.0).contains(&self.support_fraction),
             "support_fraction must be in [0, 1], got {}",
@@ -96,9 +115,36 @@ mod tests {
     fn paper_defaults() {
         let p = MiningParams::paper();
         p.validate();
+        assert_eq!(p.measure, Measure::Chi2);
         assert_eq!(p.confidence, 0.9);
         assert_eq!(p.support_fraction, 0.25);
         assert_eq!(p.ct_fraction, 0.25);
+    }
+
+    #[test]
+    fn thresholds_validate_per_measure() {
+        // 1.0 is invalid as a χ² confidence but the top of the ratio
+        // measures' range; 0.0 is the reverse.
+        for measure in [Measure::AllConfidence, Measure::Bond] {
+            MiningParams {
+                measure,
+                confidence: 1.0,
+                ..MiningParams::paper()
+            }
+            .validate();
+            assert!(MiningParams {
+                measure,
+                confidence: 0.0,
+                ..MiningParams::paper()
+            }
+            .measure_context()
+            .is_err());
+        }
+        MiningParams {
+            confidence: 0.0,
+            ..MiningParams::paper()
+        }
+        .validate();
     }
 
     #[test]

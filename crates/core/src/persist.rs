@@ -8,10 +8,13 @@
 //! was mining, the metrics accumulated so far, and the answers already
 //! known at the stamp.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! All integers are little-endian; `f64` is stored as its IEEE-754 bit
-//! pattern, so parameters round-trip exactly.
+//! pattern, so parameters round-trip exactly. Version 2 prepends a
+//! one-byte correlation-measure tag to the QUERY section; version 1
+//! files (written before the measure layer existed) are still read, and
+//! decode as the paper's χ² measure.
 //!
 //! | offset | bytes | field |
 //! |--------|-------|-------|
@@ -58,6 +61,7 @@ use std::sync::{Arc, Mutex};
 
 use ccs_constraints::{AggFn, Cmp, Constraint, ConstraintSet};
 use ccs_itemset::{Itemset, TransactionDb};
+use ccs_stats::Measure;
 use thiserror::Error;
 
 use crate::guard::{BmsSnapshot, Completion};
@@ -70,10 +74,15 @@ use crate::query::{CorrelationQuery, MiningResult};
 /// The eight magic bytes every checkpoint file starts with.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"CCSCKPT\n";
 
-/// The on-disk container version this build writes and reads. Bumped
-/// only when the header/section framing itself changes; snapshot
-/// *content* evolution is tracked by [`RESUME_FORMAT`].
-pub const CHECKPOINT_FILE_VERSION: u16 = 1;
+/// The on-disk container version this build writes. Bumped only when
+/// the header/section layout itself changes; snapshot *content*
+/// evolution is tracked by [`RESUME_FORMAT`]. Version 2 added the
+/// correlation-measure tag to the QUERY section.
+pub const CHECKPOINT_FILE_VERSION: u16 = 2;
+
+/// The oldest container version this build still reads. Version 1
+/// predates the measure layer; its queries decode as χ².
+pub const CHECKPOINT_MIN_FILE_VERSION: u16 = 1;
 
 const TAG_META: u16 = 1;
 const TAG_QUERY: u16 = 2;
@@ -313,7 +322,7 @@ impl Checkpoint {
         }
         // ccs-lint: allow(no-panic-in-io-paths, reason = "len >= 16 checked above; fault-injection tests cover truncation")
         let file_version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if file_version != CHECKPOINT_FILE_VERSION {
+        if !(CHECKPOINT_MIN_FILE_VERSION..=CHECKPOINT_FILE_VERSION).contains(&file_version) {
             return Err(CheckpointError::FormatMismatch {
                 found: file_version,
                 expected: CHECKPOINT_FILE_VERSION,
@@ -365,7 +374,7 @@ impl Checkpoint {
             let mut p = Dec::new(payload);
             match tag {
                 TAG_META => set_once(&mut meta, decode_meta(&mut p)?, "META")?,
-                TAG_QUERY => set_once(&mut query, decode_query(&mut p)?, "QUERY")?,
+                TAG_QUERY => set_once(&mut query, decode_query(&mut p, file_version)?, "QUERY")?,
                 TAG_DBFP => set_once(&mut fingerprint, decode_fingerprint(&mut p)?, "DBFP")?,
                 TAG_METRICS => set_once(&mut metrics, decode_metrics(&mut p)?, "METRICS")?,
                 TAG_ANSWERS => set_once(&mut answers, decode_itemsets(&mut p)?, "ANSWERS")?,
@@ -754,6 +763,7 @@ fn decode_meta(d: &mut Dec<'_>) -> Result<(Algorithm, CheckpointStatus), Checkpo
 fn encode_query(query: &CorrelationQuery) -> Vec<u8> {
     let mut e = Enc::new();
     let p = &query.params;
+    e.u8(p.measure.tag());
     e.f64(p.confidence);
     e.f64(p.support_fraction);
     e.f64(p.ct_fraction);
@@ -767,8 +777,17 @@ fn encode_query(query: &CorrelationQuery) -> Vec<u8> {
     e.buf
 }
 
-fn decode_query(d: &mut Dec<'_>) -> Result<CorrelationQuery, CheckpointError> {
+fn decode_query(d: &mut Dec<'_>, file_version: u16) -> Result<CorrelationQuery, CheckpointError> {
+    // Version 1 predates the measure layer: every v1 run was χ².
+    let measure = if file_version >= 2 {
+        let tag = d.u8()?;
+        Measure::from_tag(tag)
+            .ok_or_else(|| CheckpointError::corrupt(format!("unknown measure tag {tag}")))?
+    } else {
+        Measure::Chi2
+    };
     let params = MiningParams {
+        measure,
         confidence: d.f64()?,
         support_fraction: d.f64()?,
         ct_fraction: d.f64()?,
@@ -1507,6 +1526,7 @@ mod tests {
     fn sample_checkpoint() -> Checkpoint {
         let query = CorrelationQuery {
             params: MiningParams {
+                measure: Measure::Chi2,
                 confidence: 0.9,
                 support_fraction: 0.1,
                 ct_fraction: 0.25,
@@ -1642,6 +1662,103 @@ mod tests {
                 Checkpoint::from_bytes(&mutated).is_err(),
                 "flip at byte {i} went undetected"
             );
+        }
+    }
+
+    /// Serializes `ckpt` exactly as the version-1 writer did: file
+    /// version 1 in the header and no measure tag in the QUERY section.
+    fn to_bytes_v1(ckpt: &Checkpoint) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&ckpt.resume.format().to_le_bytes());
+        out.extend_from_slice(&6u32.to_le_bytes());
+        let mut q = Enc::new();
+        let p = &ckpt.query.params;
+        q.f64(p.confidence);
+        q.f64(p.support_fraction);
+        q.f64(p.ct_fraction);
+        q.f64(p.min_item_support);
+        q.usize(p.max_level);
+        let constraints = ckpt.query.constraints.constraints();
+        q.u32(constraints.len() as u32);
+        for c in constraints {
+            encode_constraint(&mut q, c);
+        }
+        push_section(&mut out, TAG_META, &encode_meta(ckpt));
+        push_section(&mut out, TAG_QUERY, &q.buf);
+        push_section(&mut out, TAG_DBFP, &encode_fingerprint(&ckpt.fingerprint));
+        push_section(&mut out, TAG_METRICS, &encode_metrics(&ckpt.metrics));
+        push_section(&mut out, TAG_ANSWERS, &encode_itemsets(&ckpt.answers));
+        push_section(&mut out, TAG_RESUME, &encode_resume(&ckpt.resume.inner));
+        let file_crc = crc32(&out);
+        out.extend_from_slice(&file_crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn version_1_checkpoints_decode_as_chi_squared() {
+        let ckpt = sample_checkpoint();
+        let v1 = to_bytes_v1(&ckpt);
+        let back = Checkpoint::from_bytes(&v1).unwrap();
+        assert_eq!(back.query.params.measure, Measure::Chi2);
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn measure_round_trips_through_version_2() {
+        for measure in Measure::ALL {
+            let mut ckpt = sample_checkpoint();
+            ckpt.query.params.measure = measure;
+            if measure != Measure::Chi2 {
+                ckpt.query.params.confidence = 0.6;
+            }
+            let back = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+            assert_eq!(back.query.params.measure, measure, "{measure}");
+            assert_eq!(back, ckpt);
+        }
+    }
+
+    #[test]
+    fn future_file_version_is_format_mismatch() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        let future = (CHECKPOINT_FILE_VERSION + 1).to_le_bytes();
+        bytes[8] = future[0];
+        bytes[9] = future[1];
+        match Checkpoint::from_bytes(&bytes) {
+            Err(CheckpointError::FormatMismatch { found, expected }) => {
+                assert_eq!(found, CHECKPOINT_FILE_VERSION + 1);
+                assert_eq!(expected, CHECKPOINT_FILE_VERSION);
+            }
+            other => panic!("expected FormatMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_measure_tag_is_corrupt() {
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.to_bytes();
+        // The QUERY payload begins with the measure tag; find it by
+        // re-encoding the section and locating its payload in the file.
+        let payload = encode_query(&ckpt.query);
+        let pos = bytes
+            .windows(payload.len())
+            .position(|w| w == &payload[..])
+            .expect("QUERY payload present");
+        let mut mutated = bytes.clone();
+        mutated[pos] = 250; // no such measure
+                            // Fix the section CRC (4 bytes after the payload) and file CRC.
+        let section_crc = crc32(&mutated[pos..pos + payload.len()]);
+        mutated[pos + payload.len()..pos + payload.len() + 4]
+            .copy_from_slice(&section_crc.to_le_bytes());
+        let len = mutated.len();
+        let file_crc = crc32(&mutated[..len - 4]);
+        mutated[len - 4..].copy_from_slice(&file_crc.to_le_bytes());
+        match Checkpoint::from_bytes(&mutated) {
+            Err(CheckpointError::Corrupt(msg)) => {
+                assert!(msg.contains("measure tag"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 

@@ -84,7 +84,7 @@ pub struct MiningResult {
     /// every reported set is an answer of the complete run.
     pub completion: Completion,
     /// For truncated runs, the frontier from which
-    /// [`crate::miner::resume_with_guard`] continues the sweep.
+    /// [`crate::session::MiningSession::resume`] continues the sweep.
     pub resume: Option<ResumeState>,
 }
 

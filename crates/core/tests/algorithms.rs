@@ -36,9 +36,8 @@ mod bms {
         MiningParams {
             confidence: 0.9,
             support_fraction: 0.1,
-            ct_fraction: 0.25,
-            min_item_support: 0.0,
             max_level: 6,
+            ..MiningParams::paper()
         }
     }
 
@@ -141,9 +140,8 @@ mod bms_plus {
             params: MiningParams {
                 confidence: 0.9,
                 support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
                 max_level: 5,
+                ..MiningParams::paper()
             },
             constraints,
         }
@@ -226,9 +224,8 @@ mod bms_plus_plus {
             params: MiningParams {
                 confidence: 0.9,
                 support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
                 max_level: 5,
+                ..MiningParams::paper()
             },
             constraints,
         }
@@ -365,9 +362,8 @@ mod bms_star {
             params: MiningParams {
                 confidence: 0.9,
                 support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
                 max_level: 5,
+                ..MiningParams::paper()
             },
             constraints,
         }
@@ -475,9 +471,8 @@ mod bms_star_star {
             params: MiningParams {
                 confidence: 0.9,
                 support_fraction: 0.1,
-                ct_fraction: 0.25,
-                min_item_support: 0.0,
                 max_level: 5,
+                ..MiningParams::paper()
             },
             constraints,
         }

@@ -83,6 +83,15 @@ pub const RULES: &[Rule] = &[
         owner: GUARD,
     },
     Rule {
+        id: "measure-verdict-confined",
+        invariant: "`chi_squared` / `is_correlated` / `chi2_quantile` calls live only in \
+                    the stats crate (the measure layer)",
+        why: "a direct χ² call bypasses the run's `MeasureContext`, silently judging \
+              with the wrong measure when the query asks for all-confidence or bond \
+              (DESIGN.md §14)",
+        owner: "crates/stats/src",
+    },
+    Rule {
         id: "suppression-requires-reason",
         invariant: "every `ccs-lint: allow(...)` names a known rule and carries a reason",
         why: "an allow without a reason (or naming an unknown rule) hides an \
@@ -140,6 +149,7 @@ pub fn check_file(path: &str, src: &str, sig: &[Tok], ctx: &Context) -> Vec<Find
     check_guard_probe(path, src, sig, ctx, &mut out);
     check_no_panic(path, src, sig, ctx, &mut out);
     check_nondeterminism(path, src, sig, ctx, &mut out);
+    check_measure_verdict(path, src, sig, ctx, &mut out);
     out
 }
 
@@ -425,6 +435,46 @@ fn check_nondeterminism(path: &str, src: &str, sig: &[Tok], ctx: &Context, out: 
     }
 }
 
+/// `measure-verdict-confined`: calls to the raw χ² spellings
+/// (`chi_squared(…)`, `is_correlated(…)`, `chi2_quantile(…)`) in
+/// production code outside the stats crate. Everything downstream must
+/// judge through `MeasureContext`, whose verdict follows the query's
+/// measure; a direct call pins χ² regardless. Test code is exempt (the
+/// differential suites recompute χ² on purpose), as are benches and
+/// examples (outside `src/` trees).
+fn check_measure_verdict(
+    path: &str,
+    src: &str,
+    sig: &[Tok],
+    ctx: &Context,
+    out: &mut Vec<Finding>,
+) {
+    let in_scope =
+        (in_crates_src(path) || path.starts_with("src/")) && !path.starts_with("crates/stats/src/");
+    if !in_scope {
+        return;
+    }
+    for (i, t) in sig.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text(src);
+        if !matches!(name, "chi_squared" | "is_correlated" | "chi2_quantile") {
+            continue;
+        }
+        // Only calls judge; a doc path or `use` item computes nothing.
+        if sig.get(i + 1).is_some_and(|n| n.text(src) == "(") {
+            out.push(Finding {
+                rule: "measure-verdict-confined",
+                span: (t.start, t.end),
+                message: format!(
+                    "`{name}(…)` outside the measure layer — judge through `MeasureContext`"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +576,39 @@ mod tests {
         );
         let patterns = "fn f(a: [u8; 2]) { let [x, y] = a; let v = vec![0; 4]; }";
         assert!(run("crates/core/src/persist.rs", patterns).is_empty());
+    }
+
+    #[test]
+    fn measure_verdict_flags_calls_outside_stats() {
+        let hit = "fn f(t: &ContingencyTable) -> bool { t.chi_squared() >= crit }";
+        assert_eq!(
+            run("crates/core/src/engine.rs", hit),
+            vec!["measure-verdict-confined"]
+        );
+        assert!(
+            run("crates/stats/src/contingency.rs", hit).is_empty(),
+            "the stats crate owns the spellings"
+        );
+        let quantile = "fn f() -> f64 { chi2_quantile(0.95, 2) }";
+        assert_eq!(
+            run("src/bin/ccs.rs", quantile),
+            vec!["measure-verdict-confined"]
+        );
+        assert!(
+            run("crates/bench/benches/substrates.rs", quantile).is_empty(),
+            "benches time the raw statistic on purpose"
+        );
+        assert!(
+            run("examples/quickstart.rs", quantile).is_empty(),
+            "examples may show the raw statistic"
+        );
+        let test_code = "#[cfg(test)]\nmod t { fn f(t: &T) { assert!(t.is_correlated(0.9)); } }";
+        assert!(run("crates/core/src/border.rs", test_code).is_empty());
+        let import = "use ccs_stats::chi2_quantile;\nfn f(ctx: &MeasureContext, t: &T) -> bool { ctx.verdict(t) }";
+        assert!(
+            run("crates/core/src/causality.rs", import).is_empty(),
+            "imports and MeasureContext verdicts are fine"
+        );
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! pretend: crates/core/src/rogue_verdict.rs
+//!
+//! Seeded violations for `measure-verdict-confined`: raw χ² spellings
+//! called outside the stats crate judge with the wrong measure whenever
+//! the query asks for all-confidence or bond. Production code must go
+//! through `MeasureContext`; test code recomputes χ² on purpose and is
+//! exempt.
+
+use ccs_stats::{chi2_quantile, ContingencyTable, MeasureContext};
+
+fn rogue_statistic(table: &ContingencyTable) -> f64 {
+    // VIOLATION: the raw statistic ignores the run's measure.
+    table.chi_squared()
+}
+
+fn rogue_verdict(table: &ContingencyTable) -> bool {
+    // VIOLATION: pins the χ² test regardless of `params.measure`.
+    table.is_correlated(0.9)
+}
+
+fn rogue_cutoff() -> f64 {
+    // VIOLATION: quantiles are precomputed once, in `MeasureContext`.
+    chi2_quantile(0.95, 2)
+}
+
+// Fine: the measure-aware spelling every production call site must use.
+fn sanctioned(ctx: &MeasureContext, table: &ContingencyTable) -> bool {
+    ctx.verdict(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_recomputation_is_fine() {
+        let t = table();
+        assert!(t.chi_squared() >= 0.0);
+        assert!(t.is_correlated(0.9) || !t.is_correlated(0.99));
+    }
+}

@@ -76,17 +76,24 @@ impl ContingencyTable {
     /// Marginal frequency of the `j`-th smallest item of the set: the
     /// fraction of transactions containing it.
     pub fn marginal(&self, j: usize) -> f64 {
-        assert!(j < self.set.len(), "marginal index {j} out of range");
         if self.n == 0 {
+            assert!(j < self.set.len(), "marginal index {j} out of range");
             return 0.0;
         }
+        self.marginal_count(j) as f64 / self.n as f64
+    }
+
+    /// Absolute marginal count of the `j`-th smallest item of the set:
+    /// the number of transactions containing it.
+    pub fn marginal_count(&self, j: usize) -> u64 {
+        assert!(j < self.set.len(), "marginal index {j} out of range");
         let mut present = 0u64;
         for (cell, &count) in self.counts.iter().enumerate() {
             if cell & (1 << j) != 0 {
                 present += count;
             }
         }
-        present as f64 / self.n as f64
+        present
     }
 
     /// Expected count of cell `c` under full independence.
@@ -172,6 +179,47 @@ impl ContingencyTable {
             return false;
         }
         self.chi_squared() >= chi2_quantile(confidence, 1)
+    }
+
+    /// The all-confidence of the set: the all-present cell count divided
+    /// by the largest marginal count — equivalently, the smallest
+    /// confidence of any rule `s_j ⇒ S ∖ {s_j}`.
+    ///
+    /// Anti-monotone (downward closed over sets of size ≥ 2): adding an
+    /// item can only shrink the numerator and grow the denominator, and
+    /// IEEE division is monotone in each argument, so the value never
+    /// increases — exactly, not just approximately, in `f64`.
+    ///
+    /// `0.0` for empty sets and when no item occurs at all.
+    pub fn all_confidence(&self) -> f64 {
+        let k = self.set.len();
+        if k == 0 {
+            return 0.0;
+        }
+        let max_marginal = (0..k).map(|j| self.marginal_count(j)).max().unwrap_or(0);
+        if max_marginal == 0 {
+            return 0.0;
+        }
+        self.counts[self.counts.len() - 1] as f64 / max_marginal as f64
+    }
+
+    /// The bond of the set: the all-present cell count divided by the
+    /// number of transactions containing *at least one* of the items —
+    /// the Jaccard similarity of the items' transaction sets.
+    ///
+    /// Anti-monotone for the same reason as
+    /// [`ContingencyTable::all_confidence`].
+    ///
+    /// `0.0` for empty sets and when no item occurs at all.
+    pub fn bond(&self) -> f64 {
+        if self.set.is_empty() {
+            return 0.0;
+        }
+        let union = self.n - self.counts[0];
+        if union == 0 {
+            return 0.0;
+        }
+        self.counts[self.counts.len() - 1] as f64 / union as f64
     }
 
     /// Fraction of cells whose observed count is at least `s`.
@@ -285,6 +333,37 @@ mod tests {
         );
         assert_eq!(t.degrees_of_freedom(), 4); // 2^3 - 3 - 1
         close(t.chi_squared(), 0.0, 1e-9); // uniform ⇒ independent
+    }
+
+    #[test]
+    fn figure_b_ratio_measures() {
+        let t = coffee_doughnuts();
+        // both = 30, coffee marginal = 69, doughnuts marginal = 50,
+        // union = 100 − 11 = 89.
+        close(t.all_confidence(), 30.0 / 69.0, 1e-12);
+        close(t.bond(), 30.0 / 89.0, 1e-12);
+    }
+
+    #[test]
+    fn ratio_measures_on_degenerate_tables() {
+        let empty = ContingencyTable::from_counts(Itemset::empty(), vec![100]);
+        close(empty.all_confidence(), 0.0, 0.0);
+        close(empty.bond(), 0.0, 0.0);
+        // No item ever occurs: both denominators are empty.
+        let absent = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![50, 0, 0, 0]);
+        close(absent.all_confidence(), 0.0, 0.0);
+        close(absent.bond(), 0.0, 0.0);
+        // A singleton is its own union and marginal.
+        let single = ContingencyTable::from_counts(Itemset::from_ids([3]), vec![40, 60]);
+        close(single.all_confidence(), 1.0, 0.0);
+        close(single.bond(), 1.0, 0.0);
+    }
+
+    #[test]
+    fn perfect_co_occurrence_maximizes_ratio_measures() {
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![50, 0, 0, 50]);
+        close(t.all_confidence(), 1.0, 0.0);
+        close(t.bond(), 1.0, 0.0);
     }
 
     #[test]

@@ -10,14 +10,18 @@
 //!   quantiles (critical values),
 //! * [`contingency`] — `2^k`-cell contingency tables over itemsets, the
 //!   chi-squared independence test, and the anti-monotone CT-support
-//!   significance test.
+//!   significance test,
+//! * [`measure`] — the pluggable correlation-measure layer (χ² /
+//!   all-confidence / bond) behind one validated verdict interface.
 
 #![warn(missing_docs)]
 
 pub mod chi2;
 pub mod contingency;
 pub mod gamma;
+pub mod measure;
 
 pub use chi2::{chi2_cdf, chi2_quantile, chi2_sf};
 pub use contingency::ContingencyTable;
 pub use gamma::{gamma_p, gamma_q, ln_gamma};
+pub use measure::{Measure, MeasureContext, MeasureError, MonotonicityClass};

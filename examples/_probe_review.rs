@@ -26,9 +26,8 @@ fn main() {
                     params: MiningParams {
                         confidence: 0.9,
                         support_fraction: 0.1,
-                        ct_fraction: 0.25,
-                        min_item_support: 0.0,
                         max_level: 6,
+                        ..MiningParams::paper()
                     },
                     constraints: ConstraintSet::new().and(Constraint::sum_ge("price", sum_lo)),
                 };

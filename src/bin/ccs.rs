@@ -81,11 +81,15 @@ fn print_usage() {
                and a per-constraint push plan
                exits 0 when satisfiable or trivial, 3 when unsatisfiable
   ccs mine     --db <file> [--attrs <file>] --query <q> [--algorithm <a>]
+               [--measure chi2|all-confidence|bond] [--threshold <f>]
                [--support <f>] [--ct <f>] [--confidence <f>] [--counting <s>]
                [--threads <N>] [--shards <N>] [--timeout <secs>]
                [--max-cells <N>] [--max-mem-mb <N>] [--explain]
                [--checkpoint <file>] [--checkpoint-every <N>]
                algorithms: bms+ bms++ bms* bms** naive naive-min-valid
+               measures:   chi2 (default; --confidence is its threshold
+                           spelling), all-confidence, bond — --threshold
+                           sets the cutoff for any measure
                counting:   horizontal vertical parallel vertical-par
                            sharded fp-tree auto (--strategy is accepted
                            as an alias; --shards N splits the tid range)
@@ -254,13 +258,13 @@ impl<'a> Flags<'a> {
 }
 
 /// Rejects out-of-range statistical parameters with an error instead of
-/// letting `MiningParams::validate` assert-panic deep in the run.
+/// letting `MiningParams::validate` assert-panic deep in the run. The
+/// threshold check routes through `measure_context()`, the single
+/// validation point, so the CLI and the library agree on each measure's
+/// range.
 fn check_params(params: &MiningParams) -> Result<(), String> {
-    if !(0.0..1.0).contains(&params.confidence) {
-        return Err(format!(
-            "--confidence must be in [0, 1), got {}",
-            params.confidence
-        ));
+    if let Err(e) = params.measure_context() {
+        return Err(e.to_string());
     }
     for (name, v) in [
         ("--support", params.support_fraction),
@@ -529,6 +533,8 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
             "--strategy",
             "--threads",
             "--shards",
+            "--measure",
+            "--threshold",
             "--confidence",
             "--support",
             "--ct",
@@ -549,12 +555,6 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
     };
     let query_text = flags.get("--query").unwrap_or("correlated & ct_supported");
     let parsed = parse_query(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
-    if flags.has("--explain") {
-        let analysis = analyze_spanned(&parsed.constraints, &parsed.spans, &attrs)
-            .map_err(|e| format!("analyze: {e}"))?;
-        eprint!("{}", analysis.render(Some(query_text)));
-    }
-    let constraints = parsed.constraints;
     let algorithm = match flags.get("--algorithm").unwrap_or("bms++") {
         "bms+" => Algorithm::BmsPlus,
         "bms++" => Algorithm::BmsPlusPlus,
@@ -565,14 +565,63 @@ fn cmd_mine(args: &[String]) -> Result<ExitCode, String> {
         other => return Err(format!("unknown algorithm '{other}'")),
     };
     let options = parse_counting(&flags)?;
+    let measure: Measure = flags
+        .get("--measure")
+        .unwrap_or("chi2")
+        .parse()
+        .map_err(|e| format!("--measure: {e}"))?;
+    // `--threshold` is the measure-neutral spelling of the cutoff;
+    // `--confidence` remains the historical χ² spelling of the same
+    // field. Accepting both at once would silently shadow one of them.
+    let threshold = match (
+        flags.parse_opt::<f64>("--threshold")?,
+        flags.parse_opt::<f64>("--confidence")?,
+    ) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--threshold and --confidence are two spellings of the same cutoff; \
+                 pass only one"
+                    .to_owned(),
+            )
+        }
+        (Some(t), None) => t,
+        (None, Some(c)) => {
+            if measure != Measure::Chi2 {
+                return Err(format!(
+                    "--confidence is the chi2 spelling of the cutoff; \
+                     use --threshold with --measure {measure}"
+                ));
+            }
+            c
+        }
+        (None, None) => measure.default_threshold(),
+    };
     let params = MiningParams {
-        confidence: flags.parse_or("--confidence", 0.9)?,
+        measure,
+        confidence: threshold,
         support_fraction: flags.parse_or("--support", 0.25)?,
         ct_fraction: flags.parse_or("--ct", 0.25)?,
         min_item_support: flags.parse_or("--min-item-support", 0.0)?,
         max_level: flags.parse_or("--max-level", 8)?,
     };
     check_params(&params)?;
+    if flags.has("--explain") {
+        let analysis = analyze_for_measure(
+            &parsed.constraints,
+            &parsed.spans,
+            &attrs,
+            measure.monotonicity(),
+        )
+        .map_err(|e| format!("analyze: {e}"))?;
+        eprintln!(
+            "measure: {} (threshold {}) — {}",
+            measure,
+            params.confidence,
+            measure.monotonicity().describe()
+        );
+        eprint!("{}", analysis.render(Some(query_text)));
+    }
+    let constraints = parsed.constraints;
     let query = CorrelationQuery {
         params,
         constraints,
@@ -649,15 +698,10 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("warning: {e}; restarting from scratch");
             let parsed = parse_query(query_text, &attrs).map_err(|e| format!("query: {e}"))?;
             // The original run's parameters are unreadable along with the
-            // checkpoint; restart under `ccs mine`'s defaults.
+            // checkpoint; restart under `ccs mine`'s defaults (which are
+            // the paper's, including the χ² measure).
             let query = CorrelationQuery {
-                params: MiningParams {
-                    confidence: 0.9,
-                    support_fraction: 0.25,
-                    ct_fraction: 0.25,
-                    min_item_support: 0.0,
-                    max_level: 8,
-                },
+                params: MiningParams::paper(),
                 constraints: parsed.constraints,
             };
             let algorithm = match flags.get("--algorithm").unwrap_or("bms++") {

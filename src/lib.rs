@@ -56,8 +56,8 @@ pub use ccs_stats as stats;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use ccs_constraints::{
-        analyze, analyze_spanned, AggFn, AttributeTable, Cmp, Constraint, ConstraintSet,
-        Monotonicity, QueryAnalysis, QueryVerdict, Span,
+        analyze, analyze_for_measure, analyze_spanned, AggFn, AttributeTable, Cmp, Constraint,
+        ConstraintSet, Monotonicity, QueryAnalysis, QueryVerdict, Span,
     };
     pub use ccs_core::{
         discover_causality, fingerprint_db, mine_on, read_checkpoint_file, resume_on,
@@ -68,13 +68,10 @@ pub mod prelude {
         MiningMetrics, MiningOptions, MiningParams, MiningResult, MiningSession, ResumeState,
         RunGuard, Semantics, SolutionSpace, TruncationReason,
     };
-    #[allow(deprecated)]
-    pub use ccs_core::{
-        mine, mine_with_guard, mine_with_options, mine_with_strategy, resume_with_guard,
-        resume_with_options,
-    };
     pub use ccs_datagen::{generate_quest, generate_rules, QuestParams, RuleParams};
     pub use ccs_itemset::{Item, Itemset, TransactionDb};
     pub use ccs_query::{parse_constraints, parse_query, ParsedQuery};
-    pub use ccs_stats::ContingencyTable;
+    pub use ccs_stats::{
+        ContingencyTable, Measure, MeasureContext, MeasureError, MonotonicityClass,
+    };
 }

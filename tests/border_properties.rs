@@ -43,9 +43,8 @@ fn query(c: Constraint) -> CorrelationQuery {
         params: MiningParams {
             confidence: 0.9,
             support_fraction: 0.15,
-            ct_fraction: 0.25,
-            min_item_support: 0.0,
             max_level: 5, // == N_ITEMS, so sweeps never truncate
+            ..MiningParams::paper()
         },
         constraints: ConstraintSet::new().and(c),
     }

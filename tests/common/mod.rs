@@ -237,9 +237,8 @@ pub fn query() -> CorrelationQuery {
         params: MiningParams {
             confidence: 0.9,
             support_fraction: 0.1,
-            ct_fraction: 0.25,
-            min_item_support: 0.0,
             max_level: 4,
+            ..MiningParams::paper()
         },
         constraints: ConstraintSet::new()
             .and(Constraint::max_le("price", 7.0))

@@ -432,13 +432,15 @@ fn golden_future_resume_format_is_format_mismatch() {
 
 #[test]
 fn golden_future_file_version_is_format_mismatch() {
+    // Pinned fixture: file version 3, one past the current 2 (version 2
+    // added the measure tag to the QUERY payload).
     let bytes = include_bytes!("goldens/future_file_version.ccs");
     match Checkpoint::from_bytes(bytes) {
         Err(CheckpointError::FormatMismatch {
-            found: 2,
-            expected: 1,
+            found: 3,
+            expected: 2,
         }) => {}
-        other => panic!("expected FormatMismatch {{ found: 2, expected: 1 }}, got {other:?}"),
+        other => panic!("expected FormatMismatch {{ found: 3, expected: 2 }}, got {other:?}"),
     }
 }
 

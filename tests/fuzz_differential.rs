@@ -122,6 +122,7 @@ fn params_strategy() -> impl Strategy<Value = MiningParams> {
                     ct_fraction,
                     min_item_support,
                     max_level,
+                    ..MiningParams::paper()
                 }
             },
         )

@@ -1,0 +1,177 @@
+//! The measure layer's contracts, property-tested — the downward
+//! counterpart of `chi2_monotonicity.rs`:
+//!
+//! * every measure's [`MeasureContext::verdict`] agrees with a scalar
+//!   recomputation of the statistic from the raw minterm counts,
+//! * all-confidence and bond are anti-monotone: extending a set never
+//!   flips a failing verdict to passing (exactly, no tolerance — IEEE
+//!   division is monotone in each argument),
+//! * the χ² verdict through the measure trait is bit-identical to the
+//!   historical `is_correlated` path.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use ccs::itemset::{HorizontalCounter, Item, Itemset, TransactionDb};
+use ccs::prelude::*;
+
+const N_ITEMS: u32 = 6;
+
+fn db_strategy() -> impl Strategy<Value = TransactionDb> {
+    proptest::collection::vec(proptest::collection::vec(0u32..N_ITEMS, 0..6), 10..60)
+        .prop_map(|txns| TransactionDb::from_ids(N_ITEMS, txns))
+}
+
+/// A random itemset of size 2..=4 plus one extra item outside it.
+fn set_and_extra() -> impl Strategy<Value = (Itemset, u32)> {
+    (
+        proptest::collection::btree_set(0u32..N_ITEMS, 2..=4),
+        0u32..N_ITEMS,
+    )
+        .prop_filter_map("extra must be outside the set", |(ids, extra)| {
+            if ids.contains(&extra) {
+                None
+            } else {
+                Some((Itemset::from_ids(ids), extra))
+            }
+        })
+}
+
+/// Recomputes the measure statistic from the raw cells alone — an
+/// independent spelling of the definitions the `ContingencyTable`
+/// methods must match.
+fn statistic_from_cells(measure: Measure, cells: &[u64], n: u64) -> f64 {
+    let k = cells.len().trailing_zeros() as usize;
+    let all = cells[cells.len() - 1];
+    match measure {
+        Measure::Chi2 => {
+            // Σ (O − E)² / E over cells with E > 0, with independence
+            // expectations from the per-item marginal probabilities.
+            let marginals: Vec<f64> = (0..k)
+                .map(|bit| {
+                    cells
+                        .iter()
+                        .enumerate()
+                        .filter(|(m, _)| m & (1 << bit) != 0)
+                        .map(|(_, &c)| c as f64)
+                        .sum::<f64>()
+                        / n as f64
+                })
+                .collect();
+            let mut stat = 0.0;
+            for (m, &count) in cells.iter().enumerate() {
+                let mut e = n as f64;
+                for (bit, &p) in marginals.iter().enumerate() {
+                    e *= if m & (1 << bit) != 0 { p } else { 1.0 - p };
+                }
+                if e > 0.0 {
+                    let d = count as f64 - e;
+                    stat += d * d / e;
+                }
+            }
+            stat
+        }
+        Measure::AllConfidence => {
+            let max_marginal = (0..k)
+                .map(|bit| {
+                    cells
+                        .iter()
+                        .enumerate()
+                        .filter(|(m, _)| m & (1 << bit) != 0)
+                        .map(|(_, &c)| c)
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0);
+            if max_marginal == 0 {
+                0.0
+            } else {
+                all as f64 / max_marginal as f64
+            }
+        }
+        Measure::Bond => {
+            let union = n - cells[0];
+            if union == 0 {
+                0.0
+            } else {
+                all as f64 / union as f64
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// `MeasureContext::verdict` is exactly `recomputed statistic ≥
+    /// critical value` for every measure on random tables.
+    #[test]
+    fn verdict_matches_scalar_recomputation(
+        db in db_strategy(),
+        (set, _) in set_and_extra(),
+        threshold in 0.05f64..0.95,
+    ) {
+        let mut counter = HorizontalCounter::new(&db);
+        let table = ContingencyTable::build(&mut counter, &set);
+        let cells: Vec<u64> = table.counts().to_vec();
+        for measure in Measure::ALL {
+            let ctx = MeasureContext::new(measure, threshold).unwrap();
+            let scratch = statistic_from_cells(measure, &cells, db.len() as u64);
+            let library = ctx.statistic(&table);
+            prop_assert!(
+                (scratch - library).abs() <= 1e-9 * scratch.abs().max(1.0),
+                "{measure}: library {library} vs from-scratch {scratch} on {set}"
+            );
+            prop_assert_eq!(
+                ctx.verdict(&table),
+                scratch >= ctx.critical_value(),
+                "{} verdict disagrees with scalar recomputation on {}", measure, &set
+            );
+        }
+    }
+
+    /// The ratio measures never flip `false → true` when extending a set
+    /// — the anti-monotonicity the downward miners' pruning rests on.
+    /// Exact comparison, no floating-point slack.
+    #[test]
+    fn ratio_measures_are_anti_monotone(
+        db in db_strategy(),
+        (set, extra) in set_and_extra(),
+        threshold in 0.05f64..1.0,
+    ) {
+        let mut counter = HorizontalCounter::new(&db);
+        let base = ContingencyTable::build(&mut counter, &set);
+        let sup = ContingencyTable::build(&mut counter, &set.with_item(Item::new(extra)));
+        for measure in [Measure::AllConfidence, Measure::Bond] {
+            let ctx = MeasureContext::new(measure, threshold).unwrap();
+            prop_assert!(
+                ctx.statistic(&sup) <= ctx.statistic(&base),
+                "{measure} grew from {} to {} adding i{extra} to {set}",
+                ctx.statistic(&base),
+                ctx.statistic(&sup)
+            );
+            if !ctx.verdict(&base) {
+                prop_assert!(
+                    !ctx.verdict(&sup),
+                    "{measure}: superset of failing {set} passes at {threshold}"
+                );
+            }
+        }
+    }
+
+    /// The χ² path through the measure trait is bit-identical to the
+    /// historical direct spelling.
+    #[test]
+    fn chi2_through_the_trait_is_bit_identical(
+        db in db_strategy(),
+        (set, _) in set_and_extra(),
+        confidence in 0.5f64..0.999,
+    ) {
+        let mut counter = HorizontalCounter::new(&db);
+        let table = ContingencyTable::build(&mut counter, &set);
+        let ctx = MeasureContext::new(Measure::Chi2, confidence).unwrap();
+        prop_assert_eq!(ctx.statistic(&table).to_bits(), table.chi_squared().to_bits());
+        prop_assert_eq!(ctx.verdict(&table), table.is_correlated(confidence));
+    }
+}

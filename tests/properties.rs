@@ -79,9 +79,8 @@ fn query(constraints: ConstraintSet) -> CorrelationQuery {
         params: MiningParams {
             confidence: 0.9,
             support_fraction: 0.15,
-            ct_fraction: 0.25,
-            min_item_support: 0.0,
             max_level: 5,
+            ..MiningParams::paper()
         },
         constraints,
     }

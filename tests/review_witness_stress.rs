@@ -66,8 +66,8 @@ fn witness_class_paths_agree_with_naive() {
             confidence: 0.9,
             support_fraction: [0.05, 0.1, 0.2][rng.gen_range(0..3)],
             ct_fraction: [0.125, 0.25, 0.375][rng.gen_range(0..3)],
-            min_item_support: 0.0,
             max_level: 6,
+            ..MiningParams::paper()
         };
         // Witness class = {item 0} only (price 1): min(price) <= 1.
         // Occasionally widen or add an AM / monotone residual constraint.
